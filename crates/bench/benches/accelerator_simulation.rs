@@ -1,0 +1,41 @@
+//! Criterion bench: Eyeriss / TPU accelerator model evaluation (the Section
+//! 7.2 accelerator sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eden_dnn::zoo::ModelId;
+use eden_dram::OperatingPoint;
+use eden_sysim::{AcceleratorConfig, AcceleratorSim, GpuSim, WorkloadProfile};
+use eden_tensor::Precision;
+
+fn bench_accelerators(c: &mut Criterion) {
+    let workload = WorkloadProfile::for_model(ModelId::YoloTiny, Precision::Int8);
+    let mut group = c.benchmark_group("accelerator_simulation");
+    group.sample_size(30);
+    for config in [
+        AcceleratorConfig::eyeriss_ddr4(),
+        AcceleratorConfig::tpu_ddr4(),
+        AcceleratorConfig::eyeriss_lpddr3(),
+        AcceleratorConfig::tpu_lpddr3(),
+    ] {
+        let sim = AcceleratorSim::new(config);
+        group.bench_with_input(BenchmarkId::from_parameter(config.name), &sim, |b, s| {
+            b.iter(|| {
+                let nominal = s.run(&workload, &OperatingPoint::nominal());
+                let reduced = s.run(&workload, &OperatingPoint::with_vdd_reduction(0.30));
+                reduced.energy_reduction_vs(&nominal)
+            })
+        });
+    }
+    group.bench_function("gpu_titanx", |b| {
+        let gpu = GpuSim::table5();
+        b.iter(|| {
+            let nominal = gpu.run(&workload, &OperatingPoint::nominal());
+            let reduced = gpu.run(&workload, &OperatingPoint::with_vdd_reduction(0.30));
+            reduced.energy_reduction_vs(&nominal)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_accelerators);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench: CPU system-model evaluation across the Figure 13/14
+//! workloads (one full sweep of energy and speedup accounting).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eden_dnn::zoo::ModelId;
+use eden_dram::OperatingPoint;
+use eden_sysim::{CpuSim, WorkloadProfile};
+use eden_tensor::Precision;
+
+fn bench_cpu(c: &mut Criterion) {
+    let cpu = CpuSim::table4();
+    let workloads: Vec<WorkloadProfile> = ModelId::system_eval()
+        .into_iter()
+        .map(|id| WorkloadProfile::for_model(id, Precision::Int8))
+        .collect();
+    let mut group = c.benchmark_group("cpu_simulation");
+    group.sample_size(30);
+    group.bench_function("figure13_14_sweep", |b| {
+        b.iter(|| {
+            workloads
+                .iter()
+                .map(|w| {
+                    let nominal = cpu.run(w, &OperatingPoint::nominal());
+                    let reduced = cpu.run(w, &OperatingPoint::with_reductions(0.30, 5.5));
+                    let ideal = cpu.run_ideal_latency(w);
+                    (
+                        reduced.energy_reduction_vs(&nominal),
+                        reduced.speedup_over(&nominal),
+                        ideal.speedup_over(&nominal),
+                    )
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function("workload_profile_build", |b| {
+        b.iter(|| WorkloadProfile::for_model(ModelId::Vgg16, Precision::Int8))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cpu);
+criterion_main!(benches);

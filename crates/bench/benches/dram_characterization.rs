@@ -1,0 +1,30 @@
+//! Criterion bench: DRAM characterization and error-model fitting
+//! (the paper reports ~4 minutes to profile a full 4 GB module; this measures
+//! our per-bank characterization plus model selection).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eden_dram::characterize::{characterize_bank, CharacterizeConfig};
+use eden_dram::fit::select_model;
+use eden_dram::{ApproxDramDevice, OperatingPoint, Vendor};
+
+fn bench_characterization(c: &mut Criterion) {
+    let device = ApproxDramDevice::new(Vendor::A, 7);
+    let op = OperatingPoint::with_vdd_reduction(0.30);
+    let cfg = CharacterizeConfig {
+        rows_per_pattern: 1,
+        bitlines_per_row: 1024,
+        reads_per_row: 3,
+        seed: 1,
+    };
+    let mut group = c.benchmark_group("dram_characterization");
+    group.sample_size(15);
+    group.bench_function("characterize_bank", |b| {
+        b.iter(|| characterize_bank(&device, 0, &op, &cfg))
+    });
+    let obs = characterize_bank(&device, 0, &op, &cfg);
+    group.bench_function("fit_and_select_model", |b| b.iter(|| select_model(&obs, 0)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_characterization);
+criterion_main!(benches);

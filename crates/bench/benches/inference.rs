@@ -1,0 +1,36 @@
+//! Criterion bench: inference on reliable vs approximate DRAM (the overhead
+//! of software error injection and bounding correction, cf. the 80–90x
+//! speedup the paper gets over SoftMC by simulating).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eden_core::bounding::{BoundingLogic, CorrectionPolicy};
+use eden_core::faults::ApproximateMemory;
+use eden_core::inference;
+use eden_dnn::{data::SyntheticVision, zoo, Dataset};
+use eden_dram::ErrorModel;
+use eden_tensor::Precision;
+
+fn bench_inference(c: &mut Criterion) {
+    let dataset = SyntheticVision::tiny(0);
+    let net = zoo::lenet(&dataset.spec(), 1);
+    let samples = &dataset.test()[..16];
+    let bounding =
+        BoundingLogic::calibrated(&net, &dataset.train()[..8], 1.5, CorrectionPolicy::Zero);
+    let mut group = c.benchmark_group("lenet_inference_16_samples");
+    group.sample_size(15);
+    group.bench_function("reliable", |b| {
+        b.iter(|| inference::evaluate_reliable(&net, samples, Precision::Int8))
+    });
+    group.bench_function("approximate_ber_1e-2", |b| {
+        b.iter(|| {
+            let mut memory =
+                ApproximateMemory::from_model(ErrorModel::uniform(0.02, 0.5, 3), 5)
+                    .with_bounding(bounding);
+            inference::evaluate_with_faults(&net, samples, Precision::Int8, &mut memory)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

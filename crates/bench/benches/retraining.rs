@@ -1,0 +1,31 @@
+//! Criterion bench: one epoch of curricular retraining of LeNet (the boost
+//! step the paper reports takes ~10 minutes for ResNet101 on a P100).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eden_core::curricular::{CurricularConfig, CurricularTrainer};
+use eden_dnn::{data::SyntheticVision, zoo, Dataset};
+use eden_dram::ErrorModel;
+
+fn bench_retraining(c: &mut Criterion) {
+    let dataset = SyntheticVision::tiny(0);
+    let net = zoo::lenet(&dataset.spec(), 1);
+    let template = ErrorModel::uniform(0.01, 0.5, 3);
+    let mut group = c.benchmark_group("curricular_retraining");
+    group.sample_size(10);
+    group.bench_function("lenet_one_epoch", |b| {
+        b.iter(|| {
+            let mut copy = net.clone();
+            CurricularTrainer::new(CurricularConfig {
+                epochs: 1,
+                step_epochs: 1,
+                target_ber: 5e-3,
+                ..CurricularConfig::default()
+            })
+            .retrain(&mut copy, &dataset, &template)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_retraining);
+criterion_main!(benches);

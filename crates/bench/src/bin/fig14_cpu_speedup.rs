@@ -1,0 +1,50 @@
+//! Figure 14: CPU speedup of EDEN (reduced tRCD, per-model Table 3 values)
+//! versus a system with an ideal tRCD = 0, per DNN, for FP32 and int8.
+
+use eden_bench::report;
+use eden_dnn::zoo::ModelId;
+use eden_dram::OperatingPoint;
+use eden_sysim::result::geometric_mean;
+use eden_sysim::{CpuSim, WorkloadProfile};
+use eden_tensor::Precision;
+
+fn main() {
+    report::header("Figure 14", "CPU speedup: EDEN (reduced tRCD) vs ideal tRCD = 0");
+    let cpu = CpuSim::table4();
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>12}",
+        "model", "FP32 EDEN", "FP32 ideal", "int8 EDEN", "int8 ideal"
+    );
+    let mut eden_speedups = Vec::new();
+    let mut ideal_speedups = Vec::new();
+    for id in ModelId::system_eval() {
+        let spec = id.spec();
+        print!("{:<14}", spec.display_name);
+        for (precision, coarse) in [
+            (Precision::Fp32, spec.paper.coarse_fp32),
+            (Precision::Int8, spec.paper.coarse_int8),
+        ] {
+            let Some((_, _, dtrcd)) = coarse else {
+                print!(" {:>12} {:>12}", "—", "—");
+                continue;
+            };
+            let workload = WorkloadProfile::for_model(id, precision);
+            let nominal = cpu.run(&workload, &OperatingPoint::nominal());
+            let reduced = cpu.run(&workload, &OperatingPoint::with_trcd_reduction(dtrcd));
+            let ideal = cpu.run_ideal_latency(&workload);
+            let s = reduced.speedup_over(&nominal);
+            let si = ideal.speedup_over(&nominal);
+            eden_speedups.push(s);
+            ideal_speedups.push(si);
+            print!(" {:>11.3}x {:>11.3}x", s, si);
+        }
+        println!();
+    }
+    println!(
+        "\ngeometric means: EDEN {:.3}x, ideal {:.3}x   (paper: 1.08x EDEN, 1.10x ideal; YOLO up to 1.17x)",
+        geometric_mean(&eden_speedups),
+        geometric_mean(&ideal_speedups)
+    );
+    println!("paper shape: YOLO-family DNNs (irregular accesses) gain the most; ResNet and");
+    println!("SqueezeNet are not DRAM-latency bound and gain essentially nothing.");
+}

@@ -1,0 +1,53 @@
+//! Section 7.2 (GPU): DRAM energy savings and speedup of EDEN on the Titan X
+//! model for the YOLO and YOLO-Tiny workloads.
+
+use eden_bench::report;
+use eden_dnn::zoo::ModelId;
+use eden_dram::OperatingPoint;
+use eden_sysim::result::geometric_mean;
+use eden_sysim::{GpuSim, WorkloadProfile};
+use eden_tensor::Precision;
+
+fn main() {
+    report::header("Section 7.2 (GPU)", "GPU DRAM energy savings and speedup (YOLO family)");
+    let gpu = GpuSim::table5();
+    println!(
+        "{:<14} {:<6} {:>12} {:>12} {:>12}",
+        "model", "prec", "energy save", "EDEN speedup", "ideal tRCD=0"
+    );
+    let mut savings = Vec::new();
+    let mut speedups = Vec::new();
+    for id in [ModelId::YoloTiny, ModelId::Yolo] {
+        let spec = id.spec();
+        for (precision, coarse) in [
+            (Precision::Fp32, spec.paper.coarse_fp32),
+            (Precision::Int8, spec.paper.coarse_int8),
+        ] {
+            let Some((_, dvdd, dtrcd)) = coarse else { continue };
+            let workload = WorkloadProfile::for_model(id, precision);
+            let nominal = gpu.run(&workload, &OperatingPoint::nominal());
+            let energy = gpu.run(&workload, &OperatingPoint::with_vdd_reduction(dvdd));
+            let faster = gpu.run(&workload, &OperatingPoint::with_trcd_reduction(dtrcd));
+            let ideal = gpu.run_ideal_latency(&workload);
+            let saving = energy.energy_reduction_vs(&nominal);
+            let speedup = faster.speedup_over(&nominal);
+            savings.push(1.0 - saving);
+            speedups.push(speedup);
+            println!(
+                "{:<14} {:<6} {:>11.1}% {:>11.3}x {:>11.3}x",
+                spec.display_name,
+                precision.to_string(),
+                100.0 * saving,
+                speedup,
+                ideal.speedup_over(&nominal)
+            );
+        }
+    }
+    println!(
+        "\ngeometric means: {} energy saving, {:.3}x speedup   (paper: 37% energy, 1.027x speedup)",
+        report::pct(1.0 - geometric_mean(&savings)),
+        geometric_mean(&speedups)
+    );
+    println!("paper shape: GPU DRAM energy savings exceed CPU savings; speedups are small");
+    println!("because the GPU hides most activation latency (YOLO is compute bound).");
+}

@@ -1,0 +1,5 @@
+//! `eden-bench` hosts the experiment binaries (`src/bin/`) that regenerate
+//! every table and figure of the paper, and the Criterion benches
+//! (`benches/`). This library crate only exposes small shared helpers.
+
+pub mod report;

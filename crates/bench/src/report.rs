@@ -1,0 +1,49 @@
+//! Small shared helpers for the experiment binaries.
+
+use eden_dnn::data::SyntheticVision;
+use eden_dnn::train::{TrainConfig, Trainer};
+use eden_dnn::zoo::ModelId;
+use eden_dnn::{Dataset, Network};
+
+/// Trains the scaled-down zoo model `id` on its synthetic dataset and returns
+/// the trained network together with the dataset.
+pub fn train_model(id: ModelId, epochs: usize, seed: u64) -> (Network, SyntheticVision) {
+    let dataset = id.dataset(seed);
+    let mut net = id.build(&dataset.spec(), seed);
+    Trainer::new(TrainConfig {
+        epochs,
+        seed,
+        ..TrainConfig::default()
+    })
+    .train(&mut net, &dataset);
+    (net, dataset)
+}
+
+/// Prints a section header in the style used by all experiment binaries.
+pub fn header(experiment: &str, description: &str) {
+    println!("==============================================================");
+    println!("{experiment}: {description}");
+    println!("==============================================================");
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats_fractions() {
+        assert_eq!(pct(0.215), "21.5%");
+    }
+
+    #[test]
+    fn train_model_returns_a_runnable_network() {
+        let (net, dataset) = train_model(ModelId::LeNet, 1, 0);
+        assert!(net.param_count() > 0);
+        assert!(!dataset.test().is_empty());
+    }
+}

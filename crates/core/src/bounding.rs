@@ -1,0 +1,196 @@
+//! Implausible-value correction ("bounding logic", Sections 3.2 and 5).
+//!
+//! A single bit error in the exponent of a floating-point value turns a small
+//! weight into an enormous one and collapses DNN accuracy. EDEN compares
+//! every value loaded from approximate DRAM against thresholds learned from
+//! the baseline DNN and *zeroes* out-of-range values (zeroing outperforms
+//! saturating, Section 3.2). The paper implements this as one cycle of simple
+//! comparator logic in the memory controller (Section 5).
+
+use eden_dnn::{DataSite, Network};
+use eden_tensor::{Precision, QuantTensor, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// What to do with a value that falls outside the plausible range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CorrectionPolicy {
+    /// Replace the value with zero (the paper's chosen policy).
+    Zero,
+    /// Clamp the value to the nearest threshold (evaluated and rejected by
+    /// the paper; kept for the ablation experiment).
+    Saturate,
+}
+
+/// Thresholds and policy used to correct implausible values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingLogic {
+    /// Lower plausibility bound.
+    pub lower: f32,
+    /// Upper plausibility bound.
+    pub upper: f32,
+    /// Correction policy.
+    pub policy: CorrectionPolicy,
+    /// Added latency of the hardware comparator in memory-controller cycles
+    /// (Section 5 reports a 1-cycle cost).
+    pub latency_cycles: u32,
+}
+
+impl BoundingLogic {
+    /// Creates bounding logic with explicit thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower > upper`.
+    pub fn new(lower: f32, upper: f32, policy: CorrectionPolicy) -> Self {
+        assert!(lower <= upper, "invalid bounding thresholds [{lower}, {upper}]");
+        Self {
+            lower,
+            upper,
+            policy,
+            latency_cycles: 1,
+        }
+    }
+
+    /// Derives thresholds from the weight ranges of a trained baseline
+    /// network, expanded by a safety `margin` factor (the paper computes the
+    /// thresholds during baseline training; e.g. most SqueezeNet1.1 weights
+    /// lie within `[-5, 5]`).
+    ///
+    /// Activations can be larger than weights; when validation data is
+    /// available, prefer [`BoundingLogic::calibrated`], which also observes
+    /// the feature-map ranges. This constructor uses a conservative extra
+    /// factor to cover activations it cannot observe.
+    pub fn from_network(net: &Network, margin: f32, policy: CorrectionPolicy) -> Self {
+        let bound = (Self::weight_abs_max(net) * margin).max(1.0) * 32.0;
+        Self::new(-bound, bound, policy)
+    }
+
+    /// Derives thresholds from both the weight ranges of the baseline network
+    /// and the feature-map ranges observed while evaluating `samples` on
+    /// reliable memory — the paper's "thresholds computed during training of
+    /// the baseline DNN" (Section 3.2).
+    pub fn calibrated(
+        net: &Network,
+        samples: &[(Tensor, usize)],
+        margin: f32,
+        policy: CorrectionPolicy,
+    ) -> Self {
+        let mut max_abs = Self::weight_abs_max(net);
+        for (x, _) in samples {
+            let mut recorder = |_site: &DataSite, q: &mut QuantTensor| {
+                max_abs = max_abs.max(q.dequantize().abs_max());
+            };
+            let output = net.forward_with_ifm_hook(x, Precision::Fp32, &mut recorder);
+            max_abs = max_abs.max(output.abs_max());
+        }
+        let bound = (max_abs * margin).max(1.0) * 2.0;
+        Self::new(-bound, bound, policy)
+    }
+
+    fn weight_abs_max(net: &Network) -> f32 {
+        let mut max_abs = 0.0f32;
+        net.visit_params_ref(&mut |_, t| {
+            max_abs = max_abs.max(t.abs_max());
+        });
+        max_abs
+    }
+
+    /// Corrects implausible values in a loaded tensor; returns how many
+    /// values were corrected.
+    pub fn correct(&self, tensor: &mut QuantTensor) -> usize {
+        let mut corrected = 0;
+        for i in 0..tensor.len() {
+            let v = tensor.value(i);
+            if v.is_nan() || v < self.lower || v > self.upper {
+                let replacement = match self.policy {
+                    CorrectionPolicy::Zero => 0.0,
+                    CorrectionPolicy::Saturate => {
+                        if v.is_nan() {
+                            0.0
+                        } else if v < self.lower {
+                            self.lower
+                        } else {
+                            self.upper
+                        }
+                    }
+                };
+                tensor.set_value(i, replacement);
+                corrected += 1;
+            }
+        }
+        corrected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eden_dnn::data::SyntheticVision;
+    use eden_dnn::{zoo, Dataset};
+    use eden_tensor::{Precision, Tensor};
+
+    #[test]
+    fn zeroing_removes_implausible_values() {
+        let logic = BoundingLogic::new(-10.0, 10.0, CorrectionPolicy::Zero);
+        let t = Tensor::from_vec(vec![1.0, -3.0, 1e12, f32::NAN, -2e9], &[5]);
+        let mut q = QuantTensor::quantize(&t, Precision::Fp32);
+        let corrected = logic.correct(&mut q);
+        assert_eq!(corrected, 3);
+        let d = q.dequantize();
+        assert_eq!(d.data()[0], 1.0);
+        assert_eq!(d.data()[2], 0.0);
+        assert_eq!(d.data()[3], 0.0);
+        assert_eq!(d.data()[4], 0.0);
+    }
+
+    #[test]
+    fn saturating_clamps_to_thresholds() {
+        let logic = BoundingLogic::new(-2.0, 2.0, CorrectionPolicy::Saturate);
+        let t = Tensor::from_vec(vec![5.0, -7.0, 0.5], &[3]);
+        let mut q = QuantTensor::quantize(&t, Precision::Fp32);
+        logic.correct(&mut q);
+        let d = q.dequantize();
+        assert_eq!(d.data(), &[2.0, -2.0, 0.5]);
+    }
+
+    #[test]
+    fn in_range_values_are_untouched() {
+        let logic = BoundingLogic::new(-100.0, 100.0, CorrectionPolicy::Zero);
+        let t = Tensor::from_vec(vec![1.0, -50.0, 99.9], &[3]);
+        let mut q = QuantTensor::quantize(&t, Precision::Fp32);
+        assert_eq!(logic.correct(&mut q), 0);
+        assert_eq!(q.dequantize(), t);
+    }
+
+    #[test]
+    fn network_derived_thresholds_cover_its_own_weights() {
+        let dataset = SyntheticVision::tiny(0);
+        let net = zoo::lenet(&dataset.spec(), 1);
+        let logic = BoundingLogic::from_network(&net, 1.5, CorrectionPolicy::Zero);
+        // No weight of the network itself should be "implausible".
+        let mut corrected = 0;
+        net.visit_params_ref(&mut |_, t| {
+            let mut q = QuantTensor::quantize(t, Precision::Fp32);
+            corrected += logic.correct(&mut q);
+        });
+        assert_eq!(corrected, 0);
+        assert_eq!(logic.latency_cycles, 1);
+    }
+
+    #[test]
+    fn exponent_flip_is_caught_by_bounding() {
+        let logic = BoundingLogic::new(-8.0, 8.0, CorrectionPolicy::Zero);
+        let t = Tensor::from_vec(vec![0.75], &[1]);
+        let mut q = QuantTensor::quantize(&t, Precision::Fp32);
+        q.flip_bit(0, 30); // exponent MSB → enormous value
+        assert!(q.value(0).abs() > 1e30);
+        logic.correct(&mut q);
+        assert_eq!(q.value(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_thresholds_are_rejected() {
+        BoundingLogic::new(5.0, -5.0, CorrectionPolicy::Zero);
+    }
+}

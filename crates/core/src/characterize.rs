@@ -1,0 +1,409 @@
+//! DNN error-tolerance characterization (Section 3.3).
+//!
+//! * **Coarse-grained**: find the highest single BER the whole DNN tolerates
+//!   while staying within the user's accuracy budget, via a logarithmic-scale
+//!   binary search (DNN error-tolerance curves are monotonically
+//!   decreasing).
+//! * **Fine-grained**: find a per-data-type tolerable BER by iteratively
+//!   sweeping over the DNN's weights and IFMs, raising each data type's BER
+//!   until accuracy would drop below the target (Figure 11).
+
+use crate::bounding::BoundingLogic;
+use crate::faults::ApproximateMemory;
+use crate::inference;
+use eden_dnn::network::DataTypeInfo;
+use eden_dnn::{DataSite, Dataset, Network};
+use eden_dram::error_model::Layout;
+use eden_dram::inject::Injector;
+use eden_dram::ErrorModel;
+use eden_tensor::{Precision, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of coarse-grained characterization.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoarseConfig {
+    /// Maximum tolerated accuracy drop relative to the reliable baseline
+    /// (the paper's headline setting is 0.01, i.e. "within 1%").
+    pub accuracy_drop: f32,
+    /// Number of validation samples used per accuracy estimate.
+    pub eval_samples: usize,
+    /// Lower end of the BER search range.
+    pub ber_min: f64,
+    /// Upper end of the BER search range.
+    pub ber_max: f64,
+    /// Binary-search iterations on the logarithmic BER axis.
+    pub iterations: usize,
+    /// Injection seed.
+    pub seed: u64,
+}
+
+impl Default for CoarseConfig {
+    fn default() -> Self {
+        Self {
+            accuracy_drop: 0.01,
+            eval_samples: 64,
+            ber_min: 1e-5,
+            ber_max: 0.3,
+            iterations: 8,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of coarse-grained characterization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoarseCharacterization {
+    /// Accuracy of the DNN on reliable memory.
+    pub baseline_accuracy: f32,
+    /// Minimum acceptable accuracy (`baseline − accuracy_drop`).
+    pub accuracy_floor: f32,
+    /// The highest BER that keeps accuracy at or above the floor.
+    pub max_tolerable_ber: f64,
+    /// `(BER, accuracy)` points probed during the search.
+    pub probes: Vec<(f64, f32)>,
+}
+
+/// Finds the maximum BER the whole DNN tolerates (coarse-grained, Table 3).
+pub fn coarse_characterize(
+    net: &Network,
+    dataset: &dyn Dataset,
+    precision: Precision,
+    template: &ErrorModel,
+    bounding: Option<BoundingLogic>,
+    cfg: &CoarseConfig,
+) -> CoarseCharacterization {
+    let samples = eval_slice(dataset, cfg.eval_samples);
+    let baseline = inference::evaluate_reliable(net, samples, precision);
+    let floor = baseline - cfg.accuracy_drop;
+
+    let accuracy_at = |ber: f64| -> f32 {
+        let mut memory = ApproximateMemory::from_model(template.with_ber(ber), cfg.seed);
+        if let Some(b) = bounding {
+            memory = memory.with_bounding(b);
+        }
+        inference::evaluate_with_faults(net, samples, precision, &mut memory)
+    };
+
+    let mut probes = Vec::new();
+    // Quick exits: if even the minimum BER fails, or the maximum passes.
+    let acc_min = accuracy_at(cfg.ber_min);
+    probes.push((cfg.ber_min, acc_min));
+    if acc_min < floor {
+        return CoarseCharacterization {
+            baseline_accuracy: baseline,
+            accuracy_floor: floor,
+            max_tolerable_ber: 0.0,
+            probes,
+        };
+    }
+    let acc_max = accuracy_at(cfg.ber_max);
+    probes.push((cfg.ber_max, acc_max));
+    if acc_max >= floor {
+        return CoarseCharacterization {
+            baseline_accuracy: baseline,
+            accuracy_floor: floor,
+            max_tolerable_ber: cfg.ber_max,
+            probes,
+        };
+    }
+
+    // Logarithmic-scale binary search (error-tolerance curves decrease
+    // monotonically with BER).
+    let mut lo = cfg.ber_min.ln();
+    let mut hi = cfg.ber_max.ln();
+    for _ in 0..cfg.iterations {
+        let mid = 0.5 * (lo + hi);
+        let ber = mid.exp();
+        let acc = accuracy_at(ber);
+        probes.push((ber, acc));
+        if acc >= floor {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    CoarseCharacterization {
+        baseline_accuracy: baseline,
+        accuracy_floor: floor,
+        max_tolerable_ber: lo.exp(),
+        probes,
+    }
+}
+
+/// Configuration of fine-grained characterization.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FineConfig {
+    /// Maximum tolerated accuracy drop relative to the reliable baseline.
+    pub accuracy_drop: f32,
+    /// Validation samples per accuracy estimate (the paper samples 10% of
+    /// the validation set during this procedure).
+    pub eval_samples: usize,
+    /// Starting BER for every data type (bootstrapped from the
+    /// coarse-grained result in the paper).
+    pub bootstrap_ber: f64,
+    /// Multiplicative BER increment per accepted step (the paper uses linear
+    /// 0.5-unit steps around the bootstrap value; a multiplicative step
+    /// explores the same range in fewer evaluations).
+    pub step_factor: f64,
+    /// Maximum sweep rounds over the data-type list.
+    pub max_rounds: usize,
+    /// Injection seed.
+    pub seed: u64,
+}
+
+impl Default for FineConfig {
+    fn default() -> Self {
+        Self {
+            accuracy_drop: 0.01,
+            eval_samples: 32,
+            bootstrap_ber: 1e-3,
+            step_factor: 1.5,
+            max_rounds: 4,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-data-type tolerable BERs (fine-grained, Figure 11).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FineCharacterization {
+    /// Accuracy of the DNN on reliable memory.
+    pub baseline_accuracy: f32,
+    /// Minimum acceptable accuracy.
+    pub accuracy_floor: f32,
+    /// Each data type with its size and maximum tolerable BER.
+    pub tolerances: Vec<(DataTypeInfo, f64)>,
+}
+
+impl FineCharacterization {
+    /// Tolerable BER of a specific data type, if characterized.
+    pub fn tolerance_of(&self, site: &DataSite) -> Option<f64> {
+        self.tolerances
+            .iter()
+            .find(|(info, _)| &info.site == site)
+            .map(|(_, ber)| *ber)
+    }
+
+    /// The highest per-data-type BER found.
+    pub fn max_tolerance(&self) -> f64 {
+        self.tolerances.iter().map(|(_, b)| *b).fold(0.0, f64::max)
+    }
+}
+
+/// Characterizes the tolerable BER of every weight tensor and IFM
+/// individually (Section 3.3, "Fine-Grained Characterization").
+pub fn fine_characterize(
+    net: &Network,
+    dataset: &dyn Dataset,
+    precision: Precision,
+    template: &ErrorModel,
+    bounding: Option<BoundingLogic>,
+    cfg: &FineConfig,
+) -> FineCharacterization {
+    let samples = eval_slice(dataset, cfg.eval_samples);
+    let baseline = inference::evaluate_reliable(net, samples, precision);
+    let floor = baseline - cfg.accuracy_drop;
+    let sites = net.data_sites();
+
+    let mut tolerances: Vec<f64> = vec![cfg.bootstrap_ber; sites.len()];
+    let mut active: Vec<bool> = vec![true; sites.len()];
+
+    let evaluate = |tolerances: &[f64], seed: u64| -> f32 {
+        let mut memory = ApproximateMemory::reliable(seed);
+        for (info, &ber) in sites.iter().zip(tolerances) {
+            memory.assign_site(
+                info.site.clone(),
+                Injector::from_model(template.with_ber(ber), Layout::default()),
+            );
+        }
+        if let Some(b) = bounding {
+            memory = memory.with_bounding(b);
+        }
+        inference::evaluate_with_faults(net, samples, precision, &mut memory)
+    };
+
+    for round in 0..cfg.max_rounds {
+        if !active.iter().any(|&a| a) {
+            break;
+        }
+        for i in 0..sites.len() {
+            if !active[i] {
+                continue;
+            }
+            let mut candidate = tolerances.clone();
+            candidate[i] *= cfg.step_factor;
+            let acc = evaluate(&candidate, cfg.seed ^ (round as u64) << 8 ^ i as u64);
+            if acc >= floor {
+                tolerances = candidate;
+            } else {
+                // This data type cannot tolerate a higher error rate; drop it
+                // from the sweep list (the paper's procedure).
+                active[i] = false;
+            }
+        }
+    }
+
+    FineCharacterization {
+        baseline_accuracy: baseline,
+        accuracy_floor: floor,
+        tolerances: sites.into_iter().zip(tolerances).collect(),
+    }
+}
+
+fn eval_slice<'a>(dataset: &'a dyn Dataset, n: usize) -> &'a [(Tensor, usize)] {
+    let test = dataset.test();
+    &test[..n.min(test.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounding::CorrectionPolicy;
+    use eden_dnn::data::SyntheticVision;
+    use eden_dnn::train::{TrainConfig, Trainer};
+    use eden_dnn::{zoo, DataKind};
+
+    fn trained(seed: u64) -> (Network, SyntheticVision) {
+        let dataset = SyntheticVision::tiny(seed);
+        let mut net = zoo::lenet(&dataset.spec(), seed);
+        Trainer::new(TrainConfig {
+            epochs: 4,
+            ..TrainConfig::default()
+        })
+        .train(&mut net, &dataset);
+        (net, dataset)
+    }
+
+    fn quick_coarse() -> CoarseConfig {
+        CoarseConfig {
+            eval_samples: 32,
+            iterations: 5,
+            accuracy_drop: 0.02,
+            ..CoarseConfig::default()
+        }
+    }
+
+    #[test]
+    fn coarse_search_finds_a_boundary_ber() {
+        let (net, dataset) = trained(0);
+        let template = ErrorModel::uniform(0.01, 0.5, 1);
+        let bounding =
+            BoundingLogic::calibrated(&net, &dataset.train()[..16], 1.5, CorrectionPolicy::Zero);
+        let result = coarse_characterize(
+            &net,
+            &dataset,
+            Precision::Int8,
+            &template,
+            Some(bounding),
+            &quick_coarse(),
+        );
+        assert!(result.max_tolerable_ber > 0.0);
+        assert!(result.max_tolerable_ber <= 0.3);
+        assert!(result.probes.len() >= 3);
+        // Accuracy at a BER well below the found maximum must meet the floor.
+        let safe: Vec<_> = result
+            .probes
+            .iter()
+            .filter(|(b, _)| *b <= result.max_tolerable_ber * 0.5)
+            .collect();
+        for (_, acc) in safe {
+            assert!(*acc >= result.accuracy_floor - 0.05);
+        }
+    }
+
+    #[test]
+    fn coarse_search_respects_tighter_accuracy_budgets() {
+        let (net, dataset) = trained(1);
+        let template = ErrorModel::uniform(0.01, 0.5, 2);
+        let bounding =
+            BoundingLogic::calibrated(&net, &dataset.train()[..16], 1.5, CorrectionPolicy::Zero);
+        let loose = coarse_characterize(
+            &net,
+            &dataset,
+            Precision::Int8,
+            &template,
+            Some(bounding),
+            &CoarseConfig {
+                accuracy_drop: 0.10,
+                ..quick_coarse()
+            },
+        );
+        let tight = coarse_characterize(
+            &net,
+            &dataset,
+            Precision::Int8,
+            &template,
+            Some(bounding),
+            &CoarseConfig {
+                accuracy_drop: 0.005,
+                ..quick_coarse()
+            },
+        );
+        assert!(
+            loose.max_tolerable_ber >= tight.max_tolerable_ber,
+            "a looser accuracy budget must tolerate at least as much error"
+        );
+    }
+
+    #[test]
+    fn fine_characterization_covers_every_data_type() {
+        let (net, dataset) = trained(2);
+        let template = ErrorModel::uniform(0.01, 0.5, 3);
+        let bounding =
+            BoundingLogic::calibrated(&net, &dataset.train()[..16], 1.5, CorrectionPolicy::Zero);
+        let cfg = FineConfig {
+            eval_samples: 24,
+            max_rounds: 2,
+            bootstrap_ber: 5e-4,
+            ..FineConfig::default()
+        };
+        let fine = fine_characterize(
+            &net,
+            &dataset,
+            Precision::Int8,
+            &template,
+            Some(bounding),
+            &cfg,
+        );
+        assert_eq!(fine.tolerances.len(), net.data_sites().len());
+        // Every tolerance is at least the bootstrap value.
+        for (_, ber) in &fine.tolerances {
+            assert!(*ber >= cfg.bootstrap_ber);
+        }
+        // Weight and IFM entries both exist.
+        assert!(fine
+            .tolerances
+            .iter()
+            .any(|(info, _)| info.site.kind == DataKind::Weight));
+        assert!(fine
+            .tolerances
+            .iter()
+            .any(|(info, _)| info.site.kind == DataKind::Ifm));
+        assert!(fine.max_tolerance() >= cfg.bootstrap_ber);
+    }
+
+    #[test]
+    fn fine_tolerances_can_exceed_the_coarse_tolerance() {
+        // The paper observes that individual data types tolerate up to ~3x
+        // the coarse-grained BER; at minimum, the maximum fine tolerance
+        // should not be smaller than the bootstrap.
+        let (net, dataset) = trained(3);
+        let template = ErrorModel::uniform(0.01, 0.5, 4);
+        let bounding =
+            BoundingLogic::calibrated(&net, &dataset.train()[..16], 1.5, CorrectionPolicy::Zero);
+        let fine = fine_characterize(
+            &net,
+            &dataset,
+            Precision::Int8,
+            &template,
+            Some(bounding),
+            &FineConfig {
+                eval_samples: 24,
+                max_rounds: 3,
+                bootstrap_ber: 1e-3,
+                ..FineConfig::default()
+            },
+        );
+        assert!(fine.max_tolerance() > 1e-3);
+    }
+}

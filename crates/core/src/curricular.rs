@@ -1,0 +1,286 @@
+//! Curricular retraining (Section 3.2).
+//!
+//! Retraining a DNN with the error characteristics of the target approximate
+//! DRAM boosts its error tolerance by 5–10×. Injecting the full target error
+//! rate from the first epoch occasionally diverges ("accuracy collapse"), so
+//! EDEN ramps the injected BER from zero to the target in steps — every two
+//! epochs in the paper. Errors are injected only in the forward pass (the
+//! forward pass runs on approximate DRAM, the backward pass on reliable
+//! DRAM), and implausible values are corrected on every load.
+
+use crate::bounding::{BoundingLogic, CorrectionPolicy};
+use crate::faults::ApproximateMemory;
+use eden_dnn::data::Dataset;
+use eden_dnn::loss;
+use eden_dnn::metrics;
+use eden_dnn::optimizer::Sgd;
+use eden_dnn::Network;
+use eden_dram::ErrorModel;
+use eden_tensor::Precision;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of curricular retraining.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurricularConfig {
+    /// Total retraining epochs (10–15 in the paper).
+    pub epochs: usize,
+    /// Epochs between error-rate increases (2 in the paper).
+    pub step_epochs: usize,
+    /// Target bit error rate reached at the end of the ramp.
+    pub target_ber: f64,
+    /// Whether to ramp the error rate (curricular) or inject the full target
+    /// rate from the first epoch (the non-curricular ablation of Figure 10).
+    pub curricular: bool,
+    /// Numeric precision of the stored data during retraining.
+    pub precision: Precision,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// SGD learning rate (lower than baseline training: this is fine-tuning).
+    pub learning_rate: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// Shuffling / injection seed.
+    pub seed: u64,
+}
+
+impl Default for CurricularConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 6,
+            step_epochs: 2,
+            target_ber: 1e-2,
+            curricular: true,
+            precision: Precision::Int8,
+            batch_size: 16,
+            learning_rate: 0.01,
+            momentum: 0.9,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of a retraining run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetrainReport {
+    /// `(injected BER, mean loss)` per epoch.
+    pub epochs: Vec<(f64, f32)>,
+    /// Accuracy on reliable memory after retraining.
+    pub final_reliable_accuracy: f32,
+    /// Accuracy on approximate memory at the target BER after retraining.
+    pub final_approximate_accuracy: f32,
+}
+
+/// Retrains ("boosts") a DNN for a target approximate DRAM error model.
+#[derive(Debug, Clone)]
+pub struct CurricularTrainer {
+    config: CurricularConfig,
+}
+
+impl CurricularTrainer {
+    /// Creates a trainer with the given configuration.
+    pub fn new(config: CurricularConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CurricularConfig {
+        &self.config
+    }
+
+    /// Injected BER for a given epoch under the configured schedule.
+    pub fn ber_for_epoch(&self, epoch: usize) -> f64 {
+        if !self.config.curricular {
+            return self.config.target_ber;
+        }
+        let steps_total = (self.config.epochs.div_ceil(self.config.step_epochs)).max(1);
+        let step = (epoch / self.config.step_epochs).min(steps_total - 1);
+        // Ramp linearly from target/steps to target.
+        self.config.target_ber * (step + 1) as f64 / steps_total as f64
+    }
+
+    /// Retrains `net` in place against the error characteristics captured by
+    /// `error_model`, returning a report.
+    pub fn retrain(
+        &self,
+        net: &mut Network,
+        dataset: &dyn Dataset,
+        error_model: &ErrorModel,
+    ) -> RetrainReport {
+        let cfg = &self.config;
+        let bounding = BoundingLogic::calibrated(
+            net,
+            &dataset.train()[..16.min(dataset.train().len())],
+            1.5,
+            CorrectionPolicy::Zero,
+        );
+        let mut optimizer = Sgd::new(cfg.learning_rate, cfg.momentum, 1e-4);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut epochs = Vec::with_capacity(cfg.epochs);
+
+        for epoch in 0..cfg.epochs {
+            let ber = self.ber_for_epoch(epoch);
+            let epoch_model = error_model.with_ber(ber);
+            let mut memory = ApproximateMemory::from_model(epoch_model, cfg.seed ^ epoch as u64)
+                .with_bounding(bounding);
+            let loss = self.train_epoch(net, dataset, &mut optimizer, &mut memory, &mut rng);
+            epochs.push((ber, loss));
+        }
+
+        let target_model = error_model.with_ber(cfg.target_ber);
+        let mut eval_memory =
+            ApproximateMemory::from_model(target_model, cfg.seed ^ 0xEEEE).with_bounding(bounding);
+        RetrainReport {
+            epochs,
+            final_reliable_accuracy: metrics::accuracy(net, dataset.test()),
+            final_approximate_accuracy: crate::inference::evaluate_with_faults(
+                net,
+                dataset.test(),
+                cfg.precision,
+                &mut eval_memory,
+            ),
+        }
+    }
+
+    /// One epoch of retraining: the forward pass runs on approximate DRAM
+    /// (weights and IFMs corrupted and bound-corrected), the backward pass
+    /// and weight update run on reliable DRAM.
+    fn train_epoch(
+        &self,
+        net: &mut Network,
+        dataset: &dyn Dataset,
+        optimizer: &mut Sgd,
+        memory: &mut ApproximateMemory,
+        rng: &mut StdRng,
+    ) -> f32 {
+        let cfg = &self.config;
+        let mut order: Vec<usize> = (0..dataset.train().len()).collect();
+        order.shuffle(rng);
+        let mut total_loss = 0.0;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch_size) {
+            // Weights are fetched from approximate DRAM once per batch.
+            let mut corrupted = net.clone();
+            corrupted.corrupt_weights(cfg.precision, memory);
+            corrupted.zero_grads();
+            let mut batch_loss = 0.0;
+            for &i in chunk {
+                let (x, label) = &dataset.train()[i];
+                let logits = corrupted.forward_train_with_ifm_hook(x, cfg.precision, memory);
+                let (l, d_logits) = loss::cross_entropy(&logits, *label);
+                batch_loss += l;
+                corrupted.backward(&d_logits.scale(1.0 / chunk.len() as f32));
+            }
+            // Transfer gradients to the clean master copy and update it on
+            // reliable memory.
+            let grads = corrupted.collect_grads();
+            net.set_grads(&grads);
+            optimizer.step(net);
+            net.zero_grads();
+            total_loss += batch_loss / chunk.len() as f32;
+            batches += 1;
+        }
+        total_loss / batches.max(1) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eden_dnn::data::SyntheticVision;
+    use eden_dnn::train::{TrainConfig, Trainer};
+    use eden_dnn::{zoo, Dataset};
+
+    fn baseline(seed: u64) -> (Network, SyntheticVision) {
+        let dataset = SyntheticVision::tiny(seed);
+        let mut net = zoo::lenet(&dataset.spec(), seed);
+        Trainer::new(TrainConfig {
+            epochs: 4,
+            ..TrainConfig::default()
+        })
+        .train(&mut net, &dataset);
+        (net, dataset)
+    }
+
+    #[test]
+    fn schedule_ramps_to_target() {
+        let trainer = CurricularTrainer::new(CurricularConfig {
+            epochs: 6,
+            step_epochs: 2,
+            target_ber: 0.03,
+            ..CurricularConfig::default()
+        });
+        assert!(trainer.ber_for_epoch(0) < 0.03);
+        assert!(trainer.ber_for_epoch(0) > 0.0);
+        assert!(trainer.ber_for_epoch(2) > trainer.ber_for_epoch(0));
+        assert!((trainer.ber_for_epoch(5) - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_curricular_schedule_is_flat() {
+        let trainer = CurricularTrainer::new(CurricularConfig {
+            curricular: false,
+            target_ber: 0.02,
+            ..CurricularConfig::default()
+        });
+        for e in 0..6 {
+            assert_eq!(trainer.ber_for_epoch(e), 0.02);
+        }
+    }
+
+    #[test]
+    fn retraining_boosts_error_tolerance() {
+        let (net, dataset) = baseline(0);
+        let template = ErrorModel::uniform(0.01, 0.5, 3);
+        let target_ber = 6e-3;
+        let samples = &dataset.test()[..48];
+
+        // Accuracy of the *baseline* DNN at the target BER.
+        let bounding =
+            BoundingLogic::calibrated(&net, &dataset.train()[..16], 1.5, CorrectionPolicy::Zero);
+        let mut memory = ApproximateMemory::from_model(template.with_ber(target_ber), 9)
+            .with_bounding(bounding);
+        let baseline_acc =
+            crate::inference::evaluate_with_faults(&net, samples, Precision::Int8, &mut memory);
+
+        // Boost and re-evaluate.
+        let mut boosted = net.clone();
+        let trainer = CurricularTrainer::new(CurricularConfig {
+            epochs: 4,
+            step_epochs: 1,
+            target_ber,
+            seed: 5,
+            ..CurricularConfig::default()
+        });
+        let report = trainer.retrain(&mut boosted, &dataset, &template);
+
+        assert_eq!(report.epochs.len(), 4);
+        assert!(
+            report.final_approximate_accuracy >= baseline_acc - 0.05,
+            "boosted accuracy {} should not be below baseline-under-errors {}",
+            report.final_approximate_accuracy,
+            baseline_acc
+        );
+        // The boosted DNN must still work on reliable memory.
+        let reliable = eden_dnn::metrics::accuracy(&boosted, dataset.test());
+        let chance = 1.0 / dataset.spec().num_classes as f32;
+        assert!(reliable > chance + 0.15);
+    }
+
+    #[test]
+    fn retraining_is_deterministic() {
+        let (net, dataset) = baseline(1);
+        let template = ErrorModel::uniform(0.01, 0.5, 2);
+        let cfg = CurricularConfig {
+            epochs: 2,
+            ..CurricularConfig::default()
+        };
+        let mut a = net.clone();
+        let mut b = net.clone();
+        let ra = CurricularTrainer::new(cfg).retrain(&mut a, &dataset, &template);
+        let rb = CurricularTrainer::new(cfg).retrain(&mut b, &dataset, &template);
+        assert_eq!(ra, rb);
+    }
+}

@@ -1,0 +1,256 @@
+//! The approximate-memory fault hook.
+//!
+//! [`ApproximateMemory`] models DNN data living in approximate DRAM: every
+//! time the DNN "loads" a weight tensor or IFM, the configured error source
+//! (a fitted error model or the simulated device itself) corrupts the stored
+//! bits, and the optional bounding logic corrects implausible values — the
+//! same flow as Figure 6 of the paper. Different data types can be backed by
+//! different error rates (fine-grained mapping) and are placed at different
+//! DRAM addresses.
+
+use crate::bounding::BoundingLogic;
+use eden_dnn::{DataSite, FaultHook};
+use eden_dram::error_model::Layout;
+use eden_dram::inject::{AddressAllocator, Injector};
+use eden_dram::ErrorModel;
+use eden_tensor::QuantTensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Statistics accumulated while serving loads from approximate memory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Tensor loads served.
+    pub loads: u64,
+    /// Bits flipped by the error source.
+    pub bit_flips: u64,
+    /// Values corrected by the bounding logic.
+    pub corrections: u64,
+}
+
+/// Approximate DRAM backing the DNN's weights and feature maps.
+pub struct ApproximateMemory {
+    default_injector: Option<Injector>,
+    site_injectors: HashMap<DataSite, Injector>,
+    site_layouts: HashMap<DataSite, Layout>,
+    allocator: AddressAllocator,
+    bounding: Option<BoundingLogic>,
+    rng: StdRng,
+    stats: MemoryStats,
+}
+
+impl ApproximateMemory {
+    /// Memory in which every data type is backed by the same error model
+    /// (coarse-grained operation).
+    pub fn from_model(model: ErrorModel, seed: u64) -> Self {
+        Self {
+            default_injector: Some(Injector::from_model(model, Layout::default())),
+            site_injectors: HashMap::new(),
+            site_layouts: HashMap::new(),
+            allocator: AddressAllocator::new(2048 * 8),
+            bounding: None,
+            rng: StdRng::seed_from_u64(seed),
+            stats: MemoryStats::default(),
+        }
+    }
+
+    /// Memory backed by an arbitrary injector (e.g. the simulated device).
+    pub fn from_injector(injector: Injector, seed: u64) -> Self {
+        Self {
+            default_injector: Some(injector),
+            site_injectors: HashMap::new(),
+            site_layouts: HashMap::new(),
+            allocator: AddressAllocator::new(2048 * 8),
+            bounding: None,
+            rng: StdRng::seed_from_u64(seed),
+            stats: MemoryStats::default(),
+        }
+    }
+
+    /// Reliable memory: no errors are ever injected.
+    pub fn reliable(seed: u64) -> Self {
+        Self {
+            default_injector: None,
+            site_injectors: HashMap::new(),
+            site_layouts: HashMap::new(),
+            allocator: AddressAllocator::new(2048 * 8),
+            bounding: None,
+            rng: StdRng::seed_from_u64(seed),
+            stats: MemoryStats::default(),
+        }
+    }
+
+    /// Enables implausible-value correction on every load.
+    pub fn with_bounding(mut self, bounding: BoundingLogic) -> Self {
+        self.bounding = Some(bounding);
+        self
+    }
+
+    /// Backs one specific data type with its own error source (fine-grained
+    /// mapping: different partitions have different BERs).
+    pub fn assign_site(&mut self, site: DataSite, injector: Injector) {
+        self.site_injectors.insert(site, injector);
+    }
+
+    /// Replaces the default error source for all unassigned sites.
+    pub fn set_default(&mut self, injector: Option<Injector>) {
+        self.default_injector = injector;
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> MemoryStats {
+        self.stats
+    }
+
+    /// Resets accumulated statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = MemoryStats::default();
+    }
+
+    /// The bounding logic, if enabled.
+    pub fn bounding(&self) -> Option<&BoundingLogic> {
+        self.bounding.as_ref()
+    }
+
+    fn layout_for(&mut self, site: &DataSite, total_bits: u64) -> Layout {
+        if let Some(layout) = self.site_layouts.get(site) {
+            return *layout;
+        }
+        let layout = self.allocator.allocate(total_bits);
+        self.site_layouts.insert(site.clone(), layout);
+        layout
+    }
+}
+
+impl FaultHook for ApproximateMemory {
+    fn corrupt(&mut self, site: &DataSite, tensor: &mut QuantTensor) {
+        self.stats.loads += 1;
+        let layout = self.layout_for(site, tensor.total_bits());
+        let injector = self
+            .site_injectors
+            .get(site)
+            .or(self.default_injector.as_ref())
+            .cloned();
+        if let Some(injector) = injector {
+            let placed = match injector {
+                Injector::Model { model, .. } => Injector::from_model(model, layout),
+                other => other,
+            };
+            self.stats.bit_flips += placed.corrupt(tensor, &mut self.rng);
+        }
+        if let Some(bounding) = &self.bounding {
+            self.stats.corrections += bounding.correct(tensor) as u64;
+        }
+    }
+}
+
+impl std::fmt::Debug for ApproximateMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ApproximateMemory(default: {}, {} site overrides, stats: {:?})",
+            self.default_injector
+                .as_ref()
+                .map(|i| format!("BER {:.2e}", i.expected_ber()))
+                .unwrap_or_else(|| "reliable".to_string()),
+            self.site_injectors.len(),
+            self.stats
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounding::CorrectionPolicy;
+    use eden_dnn::DataKind;
+    use eden_tensor::{Precision, Tensor};
+
+    fn site(i: usize, kind: DataKind) -> DataSite {
+        DataSite::new(i, format!("layer{i}"), kind)
+    }
+
+    fn stored(n: usize) -> QuantTensor {
+        QuantTensor::quantize(
+            &Tensor::from_vec((0..n).map(|i| (i as f32 * 0.11).sin()).collect(), &[n]),
+            Precision::Int8,
+        )
+    }
+
+    #[test]
+    fn reliable_memory_never_corrupts() {
+        let mut mem = ApproximateMemory::reliable(0);
+        let clean = stored(512);
+        let mut t = clean.clone();
+        mem.corrupt(&site(0, DataKind::Weight), &mut t);
+        assert_eq!(t, clean);
+        assert_eq!(mem.stats().bit_flips, 0);
+        assert_eq!(mem.stats().loads, 1);
+    }
+
+    #[test]
+    fn model_backed_memory_flips_bits() {
+        let mut mem = ApproximateMemory::from_model(ErrorModel::uniform(0.02, 0.5, 1), 2);
+        let clean = stored(4096);
+        let mut t = clean.clone();
+        mem.corrupt(&site(0, DataKind::Ifm), &mut t);
+        assert!(mem.stats().bit_flips > 0);
+        assert_eq!(clean.bit_differences(&t), mem.stats().bit_flips);
+    }
+
+    #[test]
+    fn different_sites_get_different_addresses() {
+        let mut mem = ApproximateMemory::from_model(ErrorModel::uniform(0.02, 1.0, 3), 4);
+        let clean = stored(2048);
+        let mut a = clean.clone();
+        let mut b = clean.clone();
+        mem.corrupt(&site(0, DataKind::Weight), &mut a);
+        mem.corrupt(&site(1, DataKind::Weight), &mut b);
+        // With deterministic weak cells (F = 1), identical data corrupted at
+        // different addresses must differ.
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn same_site_reuses_its_address() {
+        let mut mem = ApproximateMemory::from_model(ErrorModel::uniform(0.02, 1.0, 5), 6);
+        let clean = stored(2048);
+        let mut a = clean.clone();
+        let mut b = clean.clone();
+        let s = site(2, DataKind::Weight);
+        mem.corrupt(&s, &mut a);
+        mem.corrupt(&s, &mut b);
+        // Same weak cells, F = 1 → identical corruption.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn site_overrides_take_precedence() {
+        let mut mem = ApproximateMemory::from_model(ErrorModel::uniform(0.05, 1.0, 7), 8);
+        let quiet_site = site(3, DataKind::Weight);
+        mem.assign_site(
+            quiet_site.clone(),
+            Injector::from_model(ErrorModel::uniform(0.0, 0.0, 7), Layout::default()),
+        );
+        let clean = stored(2048);
+        let mut protected = clean.clone();
+        mem.corrupt(&quiet_site, &mut protected);
+        assert_eq!(protected, clean, "site mapped to an error-free partition");
+        let mut unprotected = clean.clone();
+        mem.corrupt(&site(4, DataKind::Weight), &mut unprotected);
+        assert_ne!(unprotected, clean);
+    }
+
+    #[test]
+    fn bounding_corrects_fp32_explosions() {
+        let model = ErrorModel::uniform(0.01, 0.8, 11);
+        let mut mem = ApproximateMemory::from_model(model, 12)
+            .with_bounding(BoundingLogic::new(-16.0, 16.0, CorrectionPolicy::Zero));
+        let t = Tensor::from_vec((0..2048).map(|i| (i as f32 * 0.01).sin()).collect(), &[2048]);
+        let mut q = QuantTensor::quantize(&t, Precision::Fp32);
+        mem.corrupt(&site(0, DataKind::Weight), &mut q);
+        let max = q.dequantize().abs_max();
+        assert!(max <= 16.0, "bounding must cap corrupted magnitudes, got {max}");
+    }
+}

@@ -1,0 +1,192 @@
+//! DNN inference on approximate DRAM (Section 3.5).
+//!
+//! Weights reside permanently in approximate DRAM, so they are corrupted once
+//! per inference pass (the bit flips a real device would produce on the loads
+//! of that pass); IFMs are corrupted every time they move between layers. The
+//! only modification to the inference algorithm itself is the
+//! implausible-value correction carried by [`ApproximateMemory`].
+
+use crate::faults::ApproximateMemory;
+use eden_dnn::{FaultHook, Network};
+use eden_tensor::{Precision, Tensor};
+
+/// Returns a copy of `net` whose weights have been loaded through
+/// approximate memory (quantized to `precision`, corrupted, corrected,
+/// dequantized).
+pub fn corrupted_network(
+    net: &Network,
+    precision: Precision,
+    memory: &mut ApproximateMemory,
+) -> Network {
+    let mut copy = net.clone();
+    copy.corrupt_weights(precision, memory);
+    copy
+}
+
+/// Runs one forward pass with both weights and IFMs served from approximate
+/// memory, returning the output logits.
+pub fn forward_with_faults(
+    net: &Network,
+    input: &Tensor,
+    precision: Precision,
+    memory: &mut ApproximateMemory,
+) -> Tensor {
+    let corrupted = corrupted_network(net, precision, memory);
+    corrupted.forward_with_ifm_hook(input, precision, memory)
+}
+
+/// Classification accuracy over `samples` when the network runs on
+/// approximate memory. Weights are re-loaded (and re-corrupted) once per
+/// sample batch of 16 to model periodic re-fetching from DRAM.
+pub fn evaluate_with_faults(
+    net: &Network,
+    samples: &[(Tensor, usize)],
+    precision: Precision,
+    memory: &mut ApproximateMemory,
+) -> f32 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for chunk in samples.chunks(16) {
+        let corrupted = corrupted_network(net, precision, memory);
+        for (x, label) in chunk {
+            let logits = corrupted.forward_with_ifm_hook(x, precision, memory);
+            if logits.argmax() == *label {
+                correct += 1;
+            }
+        }
+    }
+    correct as f32 / samples.len() as f32
+}
+
+/// Accuracy of the same network on reliable memory (the baseline the
+/// user-specified accuracy target refers to).
+pub fn evaluate_reliable(net: &Network, samples: &[(Tensor, usize)], precision: Precision) -> f32 {
+    let mut memory = ApproximateMemory::reliable(0);
+    evaluate_with_faults(net, samples, precision, &mut memory)
+}
+
+/// Evaluates accuracy at a sequence of bit error rates using a template
+/// error model (the BER sweep that produces the paper's error-tolerance
+/// curves, Figure 8).
+pub fn accuracy_vs_ber(
+    net: &Network,
+    samples: &[(Tensor, usize)],
+    precision: Precision,
+    template: &eden_dram::ErrorModel,
+    bers: &[f64],
+    bounding: Option<crate::bounding::BoundingLogic>,
+    seed: u64,
+) -> Vec<(f64, f32)> {
+    bers.iter()
+        .map(|&ber| {
+            let model = template.with_ber(ber);
+            let mut memory = ApproximateMemory::from_model(model, seed);
+            if let Some(b) = bounding {
+                memory = memory.with_bounding(b);
+            }
+            (ber, evaluate_with_faults(net, samples, precision, &mut memory))
+        })
+        .collect()
+}
+
+/// Convenience wrapper: a [`FaultHook`] that applies no corruption, for
+/// code paths that need a hook object for reliable memory.
+pub fn reliable_hook() -> impl FaultHook {
+    eden_dnn::NoFaults
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounding::{BoundingLogic, CorrectionPolicy};
+    use eden_dnn::data::SyntheticVision;
+    use eden_dnn::train::{TrainConfig, Trainer};
+    use eden_dnn::{zoo, Dataset};
+    use eden_dram::ErrorModel;
+
+    fn trained_lenet(seed: u64) -> (eden_dnn::Network, SyntheticVision) {
+        let dataset = SyntheticVision::tiny(seed);
+        let mut net = zoo::lenet(&dataset.spec(), seed);
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 4,
+            ..TrainConfig::default()
+        });
+        trainer.train(&mut net, &dataset);
+        (net, dataset)
+    }
+
+    #[test]
+    fn reliable_evaluation_matches_plain_accuracy() {
+        let (net, dataset) = trained_lenet(0);
+        let plain = eden_dnn::metrics::accuracy(&net, dataset.test());
+        let via_memory = evaluate_reliable(&net, dataset.test(), Precision::Fp32);
+        assert!((plain - via_memory).abs() < 1e-6);
+    }
+
+    #[test]
+    fn low_ber_preserves_accuracy_high_ber_destroys_it() {
+        let (net, dataset) = trained_lenet(1);
+        let samples = &dataset.test()[..32];
+        let template = ErrorModel::uniform(0.01, 0.5, 3);
+        let bounding =
+            BoundingLogic::calibrated(&net, &dataset.train()[..16], 1.5, CorrectionPolicy::Zero);
+        let curve = accuracy_vs_ber(
+            &net,
+            samples,
+            Precision::Int8,
+            &template,
+            &[1e-5, 0.4],
+            Some(bounding),
+            5,
+        );
+        let baseline = evaluate_reliable(&net, samples, Precision::Int8);
+        let chance = 1.0 / dataset.spec().num_classes as f32;
+        assert!(curve[0].1 >= baseline - 0.1, "tiny BER should not hurt accuracy");
+        assert!(
+            curve[1].1 <= baseline - 0.15 || curve[1].1 <= chance + 0.2,
+            "40% BER should destroy accuracy (got {} vs baseline {baseline})",
+            curve[1].1
+        );
+    }
+
+    #[test]
+    fn bounding_protects_fp32_from_accuracy_collapse() {
+        // The paper's key observation (Section 3.2): without correction, a
+        // modest BER collapses FP32 accuracy because of exponent-bit flips;
+        // with zeroing correction the DNN tolerates orders of magnitude more.
+        let (net, dataset) = trained_lenet(2);
+        let samples = &dataset.test()[..32];
+        let template = ErrorModel::uniform(0.01, 0.5, 7);
+        let model = template.with_ber(1e-3);
+        let baseline = evaluate_reliable(&net, samples, Precision::Fp32);
+
+        let mut unprotected = ApproximateMemory::from_model(model, 1);
+        let without = evaluate_with_faults(&net, samples, Precision::Fp32, &mut unprotected);
+
+        let bounding =
+            BoundingLogic::calibrated(&net, &dataset.train()[..16], 1.5, CorrectionPolicy::Zero);
+        let mut protected = ApproximateMemory::from_model(model, 1).with_bounding(bounding);
+        let with = evaluate_with_faults(&net, samples, Precision::Fp32, &mut protected);
+
+        assert!(
+            with >= without,
+            "bounding ({with}) should never hurt vs unprotected ({without})"
+        );
+        assert!(
+            with >= baseline - 0.25,
+            "with bounding, 1e-3 BER should retain most accuracy ({with} vs {baseline})"
+        );
+    }
+
+    #[test]
+    fn corrupted_network_differs_from_original_at_high_ber() {
+        let (net, dataset) = trained_lenet(3);
+        let mut memory = ApproximateMemory::from_model(ErrorModel::uniform(0.05, 0.5, 1), 2);
+        let corrupted = corrupted_network(&net, Precision::Int8, &mut memory);
+        let x = &dataset.test()[0].0;
+        assert_ne!(net.forward(x), corrupted.forward(x));
+        assert!(memory.stats().bit_flips > 0);
+    }
+}

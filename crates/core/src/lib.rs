@@ -1,0 +1,57 @@
+//! # eden-core
+//!
+//! The EDEN framework (Section 3): the first general framework that enables
+//! energy-efficient, high-performance DNN inference on approximate DRAM
+//! while strictly meeting a user-specified accuracy target.
+//!
+//! EDEN's three steps, all implemented here:
+//!
+//! 1. **Boosting DNN error tolerance** with *curricular retraining*
+//!    ([`curricular`]) and *implausible-value correction* ([`bounding`]),
+//!    Section 3.2.
+//! 2. **DNN error-tolerance characterization**, coarse-grained and
+//!    fine-grained ([`characterize`]), Section 3.3.
+//! 3. **DNN→DRAM mapping**, coarse-grained (one operating point for the
+//!    whole module, Table 3) and fine-grained (Algorithm 1) ([`mapping`]),
+//!    Section 3.4.
+//!
+//! [`faults`] provides the approximate-memory fault hook that backs both
+//! retraining and inference ([`inference`]), and [`pipeline`] chains the
+//! three steps into the iterative loop of Figure 4.
+//!
+//! # Example
+//!
+//! ```
+//! use eden_core::faults::ApproximateMemory;
+//! use eden_core::inference;
+//! use eden_dnn::{data::SyntheticVision, zoo, Dataset};
+//! use eden_dram::ErrorModel;
+//! use eden_tensor::Precision;
+//!
+//! let dataset = SyntheticVision::tiny(0);
+//! let net = zoo::lenet(&dataset.spec(), 1);
+//! let model = ErrorModel::uniform(0.001, 0.5, 7);
+//! let mut memory = ApproximateMemory::from_model(model, 3);
+//! let accuracy = inference::evaluate_with_faults(
+//!     &net,
+//!     &dataset.test()[..8],
+//!     Precision::Int8,
+//!     &mut memory,
+//! );
+//! assert!((0.0..=1.0).contains(&accuracy));
+//! ```
+
+pub mod bounding;
+pub mod characterize;
+pub mod curricular;
+pub mod faults;
+pub mod inference;
+pub mod mapping;
+pub mod pipeline;
+
+pub use bounding::{BoundingLogic, CorrectionPolicy};
+pub use characterize::{CoarseCharacterization, FineCharacterization};
+pub use curricular::{CurricularConfig, CurricularTrainer};
+pub use faults::ApproximateMemory;
+pub use mapping::{CoarseMapping, FineMapping};
+pub use pipeline::{EdenConfig, EdenOutcome, EdenPipeline};

@@ -1,0 +1,344 @@
+//! DNN→DRAM mapping (Section 3.4).
+//!
+//! * **Coarse-grained**: pick the single most aggressive voltage and `tRCD`
+//!   reduction whose module-level BER stays below the DNN's maximum
+//!   tolerable BER (the ΔVDD / ΔtRCD columns of Table 3).
+//! * **Fine-grained (Algorithm 1)**: place every DNN data type into the DRAM
+//!   partition with the largest parameter reduction whose BER it tolerates
+//!   and which still has space, tracking per-partition operating points
+//!   (Figure 12).
+
+use crate::characterize::FineCharacterization;
+use eden_dnn::network::DataTypeInfo;
+use eden_dram::characterize::DramErrorProfile;
+use eden_dram::params::{NOMINAL_TRCD_NS, NOMINAL_VDD};
+use eden_dram::vendor::VendorProfile;
+use eden_dram::OperatingPoint;
+use eden_tensor::Precision;
+use serde::{Deserialize, Serialize};
+
+/// Voltage step used when sweeping candidate reductions (volts).
+pub const VDD_STEP: f32 = 0.05;
+/// `tRCD` step used when sweeping candidate reductions (nanoseconds).
+pub const TRCD_STEP: f32 = 0.5;
+
+/// Result of coarse-grained mapping: one operating point for the module.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoarseMapping {
+    /// The DNN's maximum tolerable BER (from coarse characterization).
+    pub max_tolerable_ber: f64,
+    /// Largest voltage reduction whose BER stays below the tolerable BER.
+    pub vdd_reduction: f32,
+    /// Largest `tRCD` reduction whose BER stays below the tolerable BER.
+    pub trcd_reduction_ns: f32,
+    /// The combined operating point (voltage reduction applied for energy
+    /// experiments, `tRCD` reduction for performance experiments).
+    pub operating_point: OperatingPoint,
+}
+
+/// Finds the most aggressive ΔVDD and ΔtRCD a DNN tolerates on a vendor's
+/// DRAM (Table 3). Each reduction is chosen independently, as in the paper's
+/// energy (voltage) and performance (latency) evaluations.
+pub fn coarse_map(max_tolerable_ber: f64, vendor: &VendorProfile) -> CoarseMapping {
+    let mut vdd_reduction = 0.0f32;
+    let mut dv = VDD_STEP;
+    while dv < NOMINAL_VDD - 0.5 {
+        if vendor.ber_voltage(dv) <= max_tolerable_ber {
+            vdd_reduction = dv;
+        } else {
+            break;
+        }
+        dv += VDD_STEP;
+    }
+    let mut trcd_reduction = 0.0f32;
+    let mut dt = TRCD_STEP;
+    while dt < NOMINAL_TRCD_NS - 1.0 {
+        if vendor.ber_trcd(dt) <= max_tolerable_ber {
+            trcd_reduction = dt;
+        } else {
+            break;
+        }
+        dt += TRCD_STEP;
+    }
+    CoarseMapping {
+        max_tolerable_ber,
+        vdd_reduction,
+        trcd_reduction_ns: trcd_reduction,
+        operating_point: OperatingPoint::with_reductions(vdd_reduction, trcd_reduction),
+    }
+}
+
+/// One data type placed into one partition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// The data type.
+    pub data: DataTypeInfo,
+    /// Tolerable BER of the data type.
+    pub tolerable_ber: f64,
+    /// Index of the partition it was placed in.
+    pub partition_index: usize,
+    /// Index (into the profile's operating points) the partition runs at.
+    pub op_index: usize,
+}
+
+/// Result of fine-grained mapping (Algorithm 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FineMapping {
+    /// Successful placements.
+    pub assignments: Vec<Assignment>,
+    /// Data types that did not fit in any suitable partition; they must be
+    /// stored in a DRAM module operating at nominal parameters.
+    pub unmapped: Vec<DataTypeInfo>,
+    /// Chosen operating-point index per partition (`None` = unused).
+    pub partition_ops: Vec<Option<usize>>,
+}
+
+impl FineMapping {
+    /// Fraction of mapped bytes placed in partitions running below nominal
+    /// parameters.
+    pub fn mapped_fraction(&self, precision: Precision) -> f64 {
+        let mapped: u64 = self.assignments.iter().map(|a| a.data.bytes(precision)).sum();
+        let unmapped: u64 = self.unmapped.iter().map(|d| d.bytes(precision)).sum();
+        if mapped + unmapped == 0 {
+            return 0.0;
+        }
+        mapped as f64 / (mapped + unmapped) as f64
+    }
+}
+
+/// Benefit score of an operating point: how much its parameters are reduced
+/// relative to the most aggressive reductions EDEN considers. Algorithm 1
+/// picks the partition/operating point with the highest benefit that still
+/// meets the data type's BER requirement.
+fn benefit(op: &OperatingPoint) -> f64 {
+    (op.vdd_reduction() / 0.35) as f64 + (op.trcd_reduction_ns() / 6.0) as f64
+}
+
+/// Fine-grained DNN→DRAM mapping (Algorithm 1 of the paper).
+///
+/// Data types are processed from least to most error tolerant, so the
+/// operating point of each partition is constrained by the strictest data
+/// assigned to it.
+pub fn fine_map(
+    characterization: &FineCharacterization,
+    profile: &DramErrorProfile,
+    precision: Precision,
+) -> FineMapping {
+    let mut sorted: Vec<(DataTypeInfo, f64)> = characterization.tolerances.clone();
+    sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut remaining_bytes: Vec<u64> = profile.partitions.iter().map(|p| p.capacity_bytes).collect();
+    let mut partition_ops: Vec<Option<usize>> = vec![None; profile.partition_count()];
+    let mut assignments = Vec::new();
+    let mut unmapped = Vec::new();
+
+    for (data, tolerable_ber) in sorted {
+        let size = data.bytes(precision);
+        let mut best: Option<(usize, usize, f64)> = None; // (partition, op, benefit)
+        for (p_idx, partition) in profile.partitions.iter().enumerate() {
+            if remaining_bytes[p_idx] < size {
+                continue;
+            }
+            // The candidate operating point for this partition: either the
+            // one already imposed by stricter data, or the most beneficial
+            // point this data type tolerates.
+            let candidate_op = match partition_ops[p_idx] {
+                Some(existing) => {
+                    if profile.ber(p_idx, existing) <= tolerable_ber {
+                        Some(existing)
+                    } else {
+                        None
+                    }
+                }
+                None => {
+                    let mut best_op: Option<(usize, f64)> = None;
+                    for (o_idx, op) in profile.operating_points.iter().enumerate() {
+                        if profile.ber(p_idx, o_idx) <= tolerable_ber {
+                            let b = benefit(op);
+                            if best_op.map(|(_, bb)| b > bb).unwrap_or(true) {
+                                best_op = Some((o_idx, b));
+                            }
+                        }
+                    }
+                    best_op.map(|(o, _)| o)
+                }
+            };
+            let _ = partition;
+            if let Some(o_idx) = candidate_op {
+                let b = benefit(&profile.operating_points[o_idx]);
+                if best.map(|(_, _, bb)| b > bb).unwrap_or(true) {
+                    best = Some((p_idx, o_idx, b));
+                }
+            }
+        }
+        match best {
+            Some((p_idx, o_idx, _)) => {
+                remaining_bytes[p_idx] -= size;
+                partition_ops[p_idx] = Some(o_idx);
+                assignments.push(Assignment {
+                    data,
+                    tolerable_ber,
+                    partition_index: p_idx,
+                    op_index: o_idx,
+                });
+            }
+            None => unmapped.push(data),
+        }
+    }
+
+    FineMapping {
+        assignments,
+        unmapped,
+        partition_ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eden_dnn::{DataKind, DataSite};
+    use eden_dram::characterize::CharacterizeConfig;
+    use eden_dram::geometry::{partitions, DramGeometry, PartitionGranularity};
+    use eden_dram::{ApproxDramDevice, Vendor};
+
+    #[test]
+    fn coarse_map_reproduces_table3_correspondence() {
+        let vendor = Vendor::A.profile();
+        // 0.5% BER → −0.10 V / −1.0 ns (SqueezeNet row of Table 3).
+        let squeeze = coarse_map(0.005, &vendor);
+        assert!((squeeze.vdd_reduction - 0.10).abs() < 0.051, "{:?}", squeeze);
+        assert!((squeeze.trcd_reduction_ns - 1.0).abs() < 0.51, "{:?}", squeeze);
+        // 4% BER → about −0.30 V / −5.5 ns (ResNet row).
+        let resnet = coarse_map(0.04, &vendor);
+        assert!((resnet.vdd_reduction - 0.30).abs() < 0.051, "{:?}", resnet);
+        assert!((resnet.trcd_reduction_ns - 5.5).abs() < 0.51, "{:?}", resnet);
+        // 5% BER → about −0.35 V / −6.0 ns (VGG/YOLO rows).
+        let vgg = coarse_map(0.05, &vendor);
+        assert!((vgg.vdd_reduction - 0.35).abs() < 0.051, "{:?}", vgg);
+        assert!((vgg.trcd_reduction_ns - 6.0).abs() < 0.51, "{:?}", vgg);
+    }
+
+    #[test]
+    fn higher_tolerance_never_reduces_the_reductions() {
+        let vendor = Vendor::A.profile();
+        let mut prev = coarse_map(0.001, &vendor);
+        for ber in [0.005, 0.01, 0.02, 0.04, 0.08] {
+            let cur = coarse_map(ber, &vendor);
+            assert!(cur.vdd_reduction >= prev.vdd_reduction);
+            assert!(cur.trcd_reduction_ns >= prev.trcd_reduction_ns);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn zero_tolerance_maps_to_nominal_parameters() {
+        let m = coarse_map(0.0, &Vendor::A.profile());
+        assert_eq!(m.vdd_reduction, 0.0);
+        assert_eq!(m.trcd_reduction_ns, 0.0);
+        assert!(m.operating_point.is_nominal());
+    }
+
+    fn synthetic_characterization() -> FineCharacterization {
+        // Three data types with increasing tolerance.
+        let mk = |i: usize, kind, elements, ber| {
+            (
+                DataTypeInfo {
+                    site: DataSite::new(i, format!("layer{i}"), kind),
+                    elements,
+                },
+                ber,
+            )
+        };
+        FineCharacterization {
+            baseline_accuracy: 0.9,
+            accuracy_floor: 0.89,
+            tolerances: vec![
+                mk(0, DataKind::Weight, 4096, 1e-4),
+                mk(1, DataKind::Ifm, 2048, 5e-3),
+                mk(2, DataKind::Weight, 1024, 5e-2),
+            ],
+        }
+    }
+
+    fn device_profile() -> DramErrorProfile {
+        let device = ApproxDramDevice::new(Vendor::A, 3);
+        let parts = partitions(&DramGeometry::ddr4_module(), PartitionGranularity::Bank);
+        let ops = vec![
+            OperatingPoint::nominal(),
+            OperatingPoint::with_vdd_reduction(0.10),
+            OperatingPoint::with_vdd_reduction(0.25),
+            OperatingPoint::with_vdd_reduction(0.35),
+        ];
+        DramErrorProfile::characterize(
+            &device,
+            &parts[..4],
+            &ops,
+            &CharacterizeConfig {
+                rows_per_pattern: 1,
+                bitlines_per_row: 256,
+                reads_per_row: 2,
+                seed: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn fine_mapping_places_every_data_type() {
+        let mapping = fine_map(&synthetic_characterization(), &device_profile(), Precision::Int8);
+        assert_eq!(mapping.assignments.len(), 3);
+        assert!(mapping.unmapped.is_empty());
+        assert!(mapping.mapped_fraction(Precision::Int8) > 0.999);
+    }
+
+    #[test]
+    fn tolerant_data_lands_in_more_aggressive_partitions() {
+        let profile = device_profile();
+        let mapping = fine_map(&synthetic_characterization(), &profile, Precision::Int8);
+        let op_reduction = |a: &Assignment| profile.operating_points[a.op_index].vdd_reduction();
+        let strict = mapping
+            .assignments
+            .iter()
+            .find(|a| a.tolerable_ber == 1e-4)
+            .unwrap();
+        let tolerant = mapping
+            .assignments
+            .iter()
+            .find(|a| a.tolerable_ber == 5e-2)
+            .unwrap();
+        assert!(
+            op_reduction(tolerant) >= op_reduction(strict),
+            "more tolerant data should run at least as aggressively"
+        );
+        // Every assignment respects its BER budget.
+        for a in &mapping.assignments {
+            assert!(profile.ber(a.partition_index, a.op_index) <= a.tolerable_ber);
+        }
+    }
+
+    #[test]
+    fn intolerant_data_is_left_unmapped_when_no_partition_qualifies() {
+        // A characterization whose only data type tolerates essentially no
+        // errors cannot be mapped to any reduced-parameter partition unless
+        // the profile includes the nominal point — remove it to force the
+        // unmapped path.
+        let mut profile = device_profile();
+        profile.operating_points.remove(0);
+        for row in &mut profile.ber {
+            row.remove(0);
+        }
+        let characterization = FineCharacterization {
+            baseline_accuracy: 0.9,
+            accuracy_floor: 0.89,
+            tolerances: vec![(
+                DataTypeInfo {
+                    site: DataSite::new(0, "fragile", DataKind::Weight),
+                    elements: 128,
+                },
+                1e-12,
+            )],
+        };
+        let mapping = fine_map(&characterization, &profile, Precision::Int8);
+        assert_eq!(mapping.assignments.len(), 0);
+        assert_eq!(mapping.unmapped.len(), 1);
+    }
+}

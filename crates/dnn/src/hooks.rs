@@ -1,0 +1,116 @@
+//! Fault-injection hooks.
+//!
+//! EDEN corrupts the DNN data types that live in approximate DRAM: layer
+//! weights and input feature maps (IFMs). A [`FaultHook`] is invoked whenever
+//! such a data type is "loaded from memory" during inference or retraining,
+//! and may flip bits of its stored representation. The EDEN framework
+//! (`eden-core`) implements hooks backed by DRAM error models and by the
+//! simulated approximate DRAM device.
+
+use eden_tensor::QuantTensor;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of DNN data type being loaded from memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataKind {
+    /// Layer weights (and biases).
+    Weight,
+    /// Input feature map of a layer.
+    Ifm,
+}
+
+impl fmt::Display for DataKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataKind::Weight => f.write_str("weight"),
+            DataKind::Ifm => f.write_str("ifm"),
+        }
+    }
+}
+
+/// Identifies one DNN data type: a (layer, kind) pair.
+///
+/// This is the granularity at which the paper's fine-grained characterization
+/// assigns tolerable bit error rates (Section 3.3) and at which Algorithm 1
+/// maps data to DRAM partitions (Section 3.4).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DataSite {
+    /// Index of the layer within the network.
+    pub layer_index: usize,
+    /// Name of the layer.
+    pub layer_name: String,
+    /// Whether this is the layer's weights or its IFM.
+    pub kind: DataKind,
+}
+
+impl DataSite {
+    /// Creates a data site.
+    pub fn new(layer_index: usize, layer_name: impl Into<String>, kind: DataKind) -> Self {
+        Self {
+            layer_index,
+            layer_name: layer_name.into(),
+            kind,
+        }
+    }
+}
+
+impl fmt::Display for DataSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}[{}]", self.layer_index, self.layer_name, self.kind)
+    }
+}
+
+/// A hook invoked on every load of a DNN data type from (approximate) memory.
+pub trait FaultHook {
+    /// Corrupts (or leaves untouched) the stored representation of a data
+    /// type that was just loaded from memory.
+    fn corrupt(&mut self, site: &DataSite, tensor: &mut QuantTensor);
+}
+
+/// A hook that never injects faults (reliable DRAM).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultHook for NoFaults {
+    fn corrupt(&mut self, _site: &DataSite, _tensor: &mut QuantTensor) {}
+}
+
+impl<F> FaultHook for F
+where
+    F: FnMut(&DataSite, &mut QuantTensor),
+{
+    fn corrupt(&mut self, site: &DataSite, tensor: &mut QuantTensor) {
+        self(site, tensor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eden_tensor::{Precision, Tensor};
+
+    #[test]
+    fn no_faults_leaves_tensor_unchanged() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let mut q = QuantTensor::quantize(&t, Precision::Int8);
+        let before = q.clone();
+        NoFaults.corrupt(&DataSite::new(0, "conv", DataKind::Weight), &mut q);
+        assert_eq!(q, before);
+    }
+
+    #[test]
+    fn closures_are_hooks() {
+        let t = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let mut q = QuantTensor::quantize(&t, Precision::Int8);
+        let mut hook = |_site: &DataSite, tensor: &mut QuantTensor| tensor.flip_bit(0, 0);
+        hook.corrupt(&DataSite::new(1, "fc", DataKind::Ifm), &mut q);
+        assert_eq!(q.bit_differences(&QuantTensor::quantize(&t, Precision::Int8)), 1);
+    }
+
+    #[test]
+    fn data_site_display_is_informative() {
+        let s = DataSite::new(3, "conv2", DataKind::Weight);
+        assert_eq!(s.to_string(), "3/conv2[weight]");
+    }
+}

@@ -1,0 +1,102 @@
+//! The [`Layer`] trait implemented by all network building blocks.
+
+use eden_tensor::Tensor;
+
+/// A named, mutable view of a layer parameter and its accumulated gradient.
+pub struct ParamEntry<'a> {
+    /// Parameter name, unique within the layer (e.g. `"weight"`, `"bias"`).
+    pub name: &'a str,
+    /// The parameter tensor.
+    pub value: &'a mut Tensor,
+    /// The gradient accumulated by the most recent backward pass(es).
+    pub grad: &'a mut Tensor,
+}
+
+/// A neural-network layer.
+///
+/// Layers operate on single samples in `[channels, height, width]` layout for
+/// spatial layers or `[features]` for dense layers; batching is handled by the
+/// trainer. Each layer supports:
+///
+/// * a **pure forward pass** ([`Layer::forward`]) used for inference,
+/// * a **training forward pass** ([`Layer::forward_train`]) that caches the
+///   intermediates needed by [`Layer::backward`], and
+/// * a **backward pass** that accumulates parameter gradients and returns the
+///   gradient with respect to the layer input.
+pub trait Layer: LayerClone + Send {
+    /// Human-readable layer name (unique within a network, e.g. `"conv1"`).
+    fn name(&self) -> &str;
+
+    /// Pure inference forward pass.
+    fn forward(&self, input: &Tensor) -> Tensor;
+
+    /// Training forward pass; caches intermediates for [`Layer::backward`].
+    fn forward_train(&mut self, input: &Tensor) -> Tensor;
+
+    /// Backward pass. Consumes the cached intermediates of the most recent
+    /// [`Layer::forward_train`] call, accumulates parameter gradients and
+    /// returns the gradient with respect to the layer input.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called without a preceding
+    /// [`Layer::forward_train`].
+    fn backward(&mut self, d_out: &Tensor) -> Tensor;
+
+    /// Visits every trainable parameter (and its gradient) of this layer.
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamEntry<'_>));
+
+    /// Visits every trainable parameter immutably.
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&str, &Tensor));
+
+    /// Resets all accumulated gradients to zero.
+    fn zero_grads(&mut self) {
+        self.visit_params(&mut |p| {
+            for g in p.grad.data_mut() {
+                *g = 0.0;
+            }
+        });
+    }
+
+    /// Output shape for a given input shape. Used to pre-compute data-type
+    /// sizes for DNN→DRAM mapping without running inference.
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize>;
+
+    /// Number of trainable parameters.
+    fn param_count(&self) -> usize {
+        let mut n = 0;
+        self.visit_params_ref(&mut |_, t| n += t.len());
+        n
+    }
+
+    /// Approximate number of multiply-accumulate operations needed to
+    /// evaluate this layer on one sample with the given input shape. Used by
+    /// the system-level simulators to estimate compute time.
+    ///
+    /// The default (one MAC per parameter) is correct for dense layers and a
+    /// lower bound for everything else; convolutional layers override it.
+    fn macs(&self, _input_shape: &[usize]) -> u64 {
+        self.param_count() as u64
+    }
+}
+
+/// Object-safe cloning support for boxed layers.
+pub trait LayerClone {
+    /// Clones the layer into a new box.
+    fn clone_box(&self) -> Box<dyn Layer>;
+}
+
+impl<T> LayerClone for T
+where
+    T: 'static + Layer + Clone,
+{
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}

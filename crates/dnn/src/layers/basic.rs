@@ -1,0 +1,243 @@
+//! Parameter-free layers: activations, pooling and flattening.
+
+use crate::layer::{Layer, ParamEntry};
+use eden_tensor::ops;
+use eden_tensor::Tensor;
+
+/// Rectified linear unit activation.
+#[derive(Debug, Clone)]
+pub struct Relu {
+    name: String,
+    cache_input: Option<Tensor>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            cache_input: None,
+        }
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&self, input: &Tensor) -> Tensor {
+        ops::relu(input)
+    }
+
+    fn forward_train(&mut self, input: &Tensor) -> Tensor {
+        self.cache_input = Some(input.clone());
+        ops::relu(input)
+    }
+
+    fn backward(&mut self, d_out: &Tensor) -> Tensor {
+        let input = self.cache_input.as_ref().expect("backward before forward_train");
+        ops::relu_backward(input, d_out)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(ParamEntry<'_>)) {}
+
+    fn visit_params_ref(&self, _f: &mut dyn FnMut(&str, &Tensor)) {}
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        input_shape.to_vec()
+    }
+}
+
+/// Max pooling over square windows.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    name: String,
+    size: usize,
+    stride: usize,
+    cache: Option<(Vec<usize>, Vec<usize>)>,
+}
+
+impl MaxPool2d {
+    /// Creates a max pooling layer with window `size` and stride `stride`.
+    pub fn new(name: impl Into<String>, size: usize, stride: usize) -> Self {
+        Self {
+            name: name.into(),
+            size,
+            stride,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&self, input: &Tensor) -> Tensor {
+        ops::maxpool2d(input, self.size, self.stride).0
+    }
+
+    fn forward_train(&mut self, input: &Tensor) -> Tensor {
+        let (out, arg) = ops::maxpool2d(input, self.size, self.stride);
+        self.cache = Some((input.shape().to_vec(), arg));
+        out
+    }
+
+    fn backward(&mut self, d_out: &Tensor) -> Tensor {
+        let (shape, arg) = self.cache.as_ref().expect("backward before forward_train");
+        ops::maxpool2d_backward(shape, d_out, arg)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(ParamEntry<'_>)) {}
+
+    fn visit_params_ref(&self, _f: &mut dyn FnMut(&str, &Tensor)) {}
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        let (c, h, w) = (input_shape[0], input_shape[1], input_shape[2]);
+        vec![
+            c,
+            (h - self.size) / self.stride + 1,
+            (w - self.size) / self.stride + 1,
+        ]
+    }
+}
+
+/// Global average pooling: `[c, h, w] -> [c]`.
+#[derive(Debug, Clone)]
+pub struct GlobalAvgPool {
+    name: String,
+    cache_shape: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pooling layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            cache_shape: None,
+        }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&self, input: &Tensor) -> Tensor {
+        ops::global_avg_pool(input)
+    }
+
+    fn forward_train(&mut self, input: &Tensor) -> Tensor {
+        self.cache_shape = Some(input.shape().to_vec());
+        ops::global_avg_pool(input)
+    }
+
+    fn backward(&mut self, d_out: &Tensor) -> Tensor {
+        let shape = self.cache_shape.as_ref().expect("backward before forward_train");
+        ops::global_avg_pool_backward(shape, d_out)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(ParamEntry<'_>)) {}
+
+    fn visit_params_ref(&self, _f: &mut dyn FnMut(&str, &Tensor)) {}
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        vec![input_shape[0]]
+    }
+}
+
+/// Flattens any tensor into a rank-1 feature vector.
+#[derive(Debug, Clone)]
+pub struct Flatten {
+    name: String,
+    cache_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            cache_shape: None,
+        }
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&self, input: &Tensor) -> Tensor {
+        input.reshape(&[input.len()])
+    }
+
+    fn forward_train(&mut self, input: &Tensor) -> Tensor {
+        self.cache_shape = Some(input.shape().to_vec());
+        input.reshape(&[input.len()])
+    }
+
+    fn backward(&mut self, d_out: &Tensor) -> Tensor {
+        let shape = self.cache_shape.as_ref().expect("backward before forward_train");
+        d_out.reshape(shape)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(ParamEntry<'_>)) {}
+
+    fn visit_params_ref(&self, _f: &mut dyn FnMut(&str, &Tensor)) {}
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        vec![input_shape.iter().product()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_forward_and_backward_agree_with_ops() {
+        let mut l = Relu::new("relu");
+        let x = Tensor::from_vec(vec![-2.0, 0.5, 3.0], &[3]);
+        let y = l.forward_train(&x);
+        assert_eq!(y.data(), &[0.0, 0.5, 3.0]);
+        let g = l.backward(&Tensor::from_vec(vec![1.0, 1.0, 1.0], &[3]));
+        assert_eq!(g.data(), &[0.0, 1.0, 1.0]);
+        assert_eq!(l.param_count(), 0);
+    }
+
+    #[test]
+    fn maxpool_output_shape_matches_forward() {
+        let l = MaxPool2d::new("pool", 2, 2);
+        let x = Tensor::zeros(&[3, 8, 8]);
+        assert_eq!(l.forward(&x).shape(), l.output_shape(&[3, 8, 8]).as_slice());
+    }
+
+    #[test]
+    fn flatten_round_trips_gradient_shape() {
+        let mut l = Flatten::new("flatten");
+        let x = Tensor::zeros(&[2, 3, 3]);
+        let y = l.forward_train(&x);
+        assert_eq!(y.shape(), &[18]);
+        let g = l.backward(&Tensor::zeros(&[18]));
+        assert_eq!(g.shape(), &[2, 3, 3]);
+    }
+
+    #[test]
+    fn global_avg_pool_shapes() {
+        let l = GlobalAvgPool::new("gap");
+        assert_eq!(l.output_shape(&[16, 4, 4]), vec![16]);
+        let x = Tensor::full(&[2, 2, 2], 3.0);
+        assert_eq!(l.forward(&x).data(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn boxed_layer_clone_works() {
+        let l: Box<dyn Layer> = Box::new(Relu::new("r"));
+        let c = l.clone();
+        assert_eq!(c.name(), "r");
+    }
+}

@@ -1,0 +1,189 @@
+//! Fully-connected (dense) layers.
+
+use crate::layer::{Layer, ParamEntry};
+use eden_tensor::{init, ops, Tensor};
+use rand::rngs::StdRng;
+
+/// A fully-connected layer computing `y = W x + b`.
+///
+/// Weights have shape `[out_features, in_features]`.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    name: String,
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    cache_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with He-uniform initialized weights.
+    pub fn new(name: impl Into<String>, in_features: usize, out_features: usize, rng: &mut StdRng) -> Self {
+        Self {
+            name: name.into(),
+            weight: init::he_uniform(&[out_features, in_features], in_features, rng),
+            bias: Tensor::zeros(&[out_features]),
+            grad_weight: Tensor::zeros(&[out_features, in_features]),
+            grad_bias: Tensor::zeros(&[out_features]),
+            cache_input: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.shape()[1]
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.shape()[0]
+    }
+
+    fn apply(&self, input: &Tensor) -> Tensor {
+        let x = input.reshape(&[input.len(), 1]);
+        let y = ops::matmul(&self.weight, &x);
+        let mut out = y.reshape(&[self.out_features()]);
+        out.axpy(1.0, &self.bias);
+        out
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&self, input: &Tensor) -> Tensor {
+        self.apply(input)
+    }
+
+    fn forward_train(&mut self, input: &Tensor) -> Tensor {
+        self.cache_input = Some(input.reshape(&[input.len()]));
+        self.apply(input)
+    }
+
+    fn backward(&mut self, d_out: &Tensor) -> Tensor {
+        let input = self.cache_input.as_ref().expect("backward before forward_train");
+        let n_in = self.in_features();
+        let n_out = self.out_features();
+        // d_weight[o, i] += d_out[o] * input[i]
+        let gd = self.grad_weight.data_mut();
+        for o in 0..n_out {
+            let go = d_out.data()[o];
+            if go == 0.0 {
+                continue;
+            }
+            for i in 0..n_in {
+                gd[o * n_in + i] += go * input.data()[i];
+            }
+        }
+        self.grad_bias.axpy(1.0, d_out);
+        // d_input[i] = sum_o d_out[o] * w[o, i]
+        let mut d_in = vec![0.0f32; n_in];
+        for o in 0..n_out {
+            let go = d_out.data()[o];
+            if go == 0.0 {
+                continue;
+            }
+            for i in 0..n_in {
+                d_in[i] += go * self.weight.data()[o * n_in + i];
+            }
+        }
+        Tensor::from_vec(d_in, &[n_in])
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamEntry<'_>)) {
+        f(ParamEntry {
+            name: "weight",
+            value: &mut self.weight,
+            grad: &mut self.grad_weight,
+        });
+        f(ParamEntry {
+            name: "bias",
+            value: &mut self.bias,
+            grad: &mut self.grad_bias,
+        });
+    }
+
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&str, &Tensor)) {
+        f("weight", &self.weight);
+        f("bias", &self.bias);
+    }
+
+    fn output_shape(&self, _input_shape: &[usize]) -> Vec<usize> {
+        vec![self.out_features()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eden_tensor::init::seeded_rng;
+
+    #[test]
+    fn forward_matches_manual_computation() {
+        let mut rng = seeded_rng(0);
+        let mut l = Dense::new("fc", 2, 2, &mut rng);
+        l.visit_params(&mut |p| {
+            if p.name == "weight" {
+                *p.value = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+            } else {
+                *p.value = Tensor::from_vec(vec![0.5, -0.5], &[2]);
+            }
+        });
+        let y = l.forward(&Tensor::from_vec(vec![1.0, 1.0], &[2]));
+        assert_eq!(y.data(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn backward_matches_numerical_gradient() {
+        let mut rng = seeded_rng(3);
+        let mut l = Dense::new("fc", 3, 2, &mut rng);
+        let x = Tensor::from_vec(vec![0.4, -0.7, 1.2], &[3]);
+        let _ = l.forward_train(&x);
+        let d_out = Tensor::from_vec(vec![1.0, -2.0], &[2]);
+        let d_in = l.backward(&d_out);
+
+        // Numerical check of input gradient for loss = sum(d_out .* y).
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let lp: f32 = l.forward(&xp).mul(&d_out).sum();
+            let lm: f32 = l.forward(&xm).mul(&d_out).sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - d_in.data()[i]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn grads_accumulate_and_zero() {
+        let mut rng = seeded_rng(1);
+        let mut l = Dense::new("fc", 2, 2, &mut rng);
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[2]);
+        let g = Tensor::from_vec(vec![1.0, 1.0], &[2]);
+        l.forward_train(&x);
+        l.backward(&g);
+        l.forward_train(&x);
+        l.backward(&g);
+        let mut sum = 0.0;
+        l.visit_params(&mut |p| {
+            if p.name == "bias" {
+                sum = p.grad.sum();
+            }
+        });
+        assert_eq!(sum, 4.0);
+        l.zero_grads();
+        l.visit_params(&mut |p| assert_eq!(p.grad.sum(), 0.0));
+    }
+
+    #[test]
+    fn param_count_is_correct() {
+        let mut rng = seeded_rng(2);
+        let l = Dense::new("fc", 10, 5, &mut rng);
+        assert_eq!(l.param_count(), 10 * 5 + 5);
+    }
+}

@@ -1,0 +1,21 @@
+//! Concrete layer implementations.
+//!
+//! * [`basic`] — activations, pooling, flattening.
+//! * [`dense`] — fully-connected layers.
+//! * [`conv`] — standard and depthwise 2-D convolutions.
+//! * [`norm`] — per-channel normalization.
+//! * [`blocks`] — composite blocks used by the model zoo (residual blocks,
+//!   SqueezeNet fire modules, MobileNet depthwise-separable blocks, DenseNet
+//!   densely-connected blocks).
+
+pub mod basic;
+pub mod blocks;
+pub mod conv;
+pub mod dense;
+pub mod norm;
+
+pub use basic::{Flatten, GlobalAvgPool, MaxPool2d, Relu};
+pub use blocks::{DenseBlock, DepthwiseSeparable, Fire, Residual};
+pub use conv::{Conv2d, DepthwiseConv2d};
+pub use dense::Dense;
+pub use norm::ChannelNorm;

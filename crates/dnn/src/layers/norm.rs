@@ -1,0 +1,218 @@
+//! Per-channel normalization.
+
+use crate::layer::{Layer, ParamEntry};
+use eden_tensor::Tensor;
+
+/// Per-channel normalization with learnable scale and shift.
+///
+/// During training the layer normalizes each channel by the sample's own
+/// channel statistics and updates running statistics with momentum; during
+/// inference it uses the running statistics. The backward pass treats the
+/// normalization statistics as constants (a standard simplification that is
+/// sufficient for the shallow networks used in this reproduction).
+#[derive(Debug, Clone)]
+pub struct ChannelNorm {
+    name: String,
+    gamma: Tensor,
+    beta: Tensor,
+    grad_gamma: Tensor,
+    grad_beta: Tensor,
+    running_mean: Tensor,
+    running_var: Tensor,
+    momentum: f32,
+    eps: f32,
+    cache: Option<NormCache>,
+}
+
+#[derive(Debug, Clone)]
+struct NormCache {
+    normalized: Tensor,
+    inv_std: Vec<f32>,
+    channels: usize,
+    spatial: usize,
+}
+
+impl ChannelNorm {
+    /// Creates a normalization layer over `channels` channels.
+    pub fn new(name: impl Into<String>, channels: usize) -> Self {
+        Self {
+            name: name.into(),
+            gamma: Tensor::full(&[channels], 1.0),
+            beta: Tensor::zeros(&[channels]),
+            grad_gamma: Tensor::zeros(&[channels]),
+            grad_beta: Tensor::zeros(&[channels]),
+            running_mean: Tensor::zeros(&[channels]),
+            running_var: Tensor::full(&[channels], 1.0),
+            momentum: 0.1,
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    fn stats(input: &Tensor) -> (Vec<f32>, Vec<f32>) {
+        let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        let spatial = h * w;
+        let mut means = vec![0.0f32; c];
+        let mut vars = vec![0.0f32; c];
+        for ch in 0..c {
+            let slice = &input.data()[ch * spatial..(ch + 1) * spatial];
+            let mean = slice.iter().sum::<f32>() / spatial as f32;
+            let var = slice.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / spatial as f32;
+            means[ch] = mean;
+            vars[ch] = var;
+        }
+        (means, vars)
+    }
+
+    fn normalize(&self, input: &Tensor, means: &[f32], vars: &[f32]) -> (Tensor, Vec<f32>) {
+        let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        let spatial = h * w;
+        let mut out = vec![0.0f32; c * spatial];
+        let mut inv_std = vec![0.0f32; c];
+        for ch in 0..c {
+            let istd = 1.0 / (vars[ch] + self.eps).sqrt();
+            inv_std[ch] = istd;
+            let g = self.gamma.data()[ch];
+            let b = self.beta.data()[ch];
+            for i in 0..spatial {
+                let x = input.data()[ch * spatial + i];
+                out[ch * spatial + i] = g * (x - means[ch]) * istd + b;
+            }
+        }
+        (Tensor::from_vec(out, input.shape()), inv_std)
+    }
+}
+
+impl Layer for ChannelNorm {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&self, input: &Tensor) -> Tensor {
+        self.normalize(input, self.running_mean.data(), self.running_var.data())
+            .0
+    }
+
+    fn forward_train(&mut self, input: &Tensor) -> Tensor {
+        let (means, vars) = Self::stats(input);
+        for (rm, m) in self.running_mean.data_mut().iter_mut().zip(&means) {
+            *rm = (1.0 - self.momentum) * *rm + self.momentum * m;
+        }
+        for (rv, v) in self.running_var.data_mut().iter_mut().zip(&vars) {
+            *rv = (1.0 - self.momentum) * *rv + self.momentum * v;
+        }
+        let (out, inv_std) = self.normalize(input, &means, &vars);
+        // Store the normalized (pre-affine) values for the backward pass.
+        let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        let spatial = h * w;
+        let mut normalized = vec![0.0f32; c * spatial];
+        for ch in 0..c {
+            for i in 0..spatial {
+                normalized[ch * spatial + i] =
+                    (input.data()[ch * spatial + i] - means[ch]) * inv_std[ch];
+            }
+        }
+        self.cache = Some(NormCache {
+            normalized: Tensor::from_vec(normalized, input.shape()),
+            inv_std,
+            channels: c,
+            spatial,
+        });
+        out
+    }
+
+    fn backward(&mut self, d_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("backward before forward_train");
+        let c = cache.channels;
+        let spatial = cache.spatial;
+        let mut d_in = vec![0.0f32; c * spatial];
+        for ch in 0..c {
+            let g = self.gamma.data()[ch];
+            let istd = cache.inv_std[ch];
+            for i in 0..spatial {
+                let idx = ch * spatial + i;
+                let go = d_out.data()[idx];
+                self.grad_gamma.data_mut()[ch] += go * cache.normalized.data()[idx];
+                self.grad_beta.data_mut()[ch] += go;
+                d_in[idx] = go * g * istd;
+            }
+        }
+        Tensor::from_vec(d_in, d_out.shape())
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamEntry<'_>)) {
+        f(ParamEntry {
+            name: "gamma",
+            value: &mut self.gamma,
+            grad: &mut self.grad_gamma,
+        });
+        f(ParamEntry {
+            name: "beta",
+            value: &mut self.beta,
+            grad: &mut self.grad_beta,
+        });
+    }
+
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&str, &Tensor)) {
+        f("gamma", &self.gamma);
+        f("beta", &self.beta);
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        input_shape.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eden_tensor::init::{seeded_rng, uniform};
+
+    #[test]
+    fn training_forward_normalizes_channels() {
+        let mut l = ChannelNorm::new("norm", 2);
+        let mut rng = seeded_rng(0);
+        let x = uniform(&[2, 8, 8], 3.0, 5.0, &mut rng);
+        let y = l.forward_train(&x);
+        // After normalization, each channel should have ~0 mean and ~1 std.
+        let spatial = 64;
+        for ch in 0..2 {
+            let slice = &y.data()[ch * spatial..(ch + 1) * spatial];
+            let mean: f32 = slice.iter().sum::<f32>() / spatial as f32;
+            assert!(mean.abs() < 1e-3, "channel mean {mean} not ~0");
+        }
+    }
+
+    #[test]
+    fn inference_uses_running_stats() {
+        let mut l = ChannelNorm::new("norm", 1);
+        let mut rng = seeded_rng(1);
+        // Prime the running statistics with several training passes.
+        for _ in 0..50 {
+            let x = uniform(&[1, 4, 4], 9.0, 11.0, &mut rng);
+            l.forward_train(&x);
+        }
+        let x = Tensor::full(&[1, 4, 4], 10.0);
+        let y = l.forward(&x);
+        // Input equal to the running mean should normalize to ~beta (= 0).
+        assert!(y.abs_max() < 1.0);
+    }
+
+    #[test]
+    fn backward_produces_finite_gradients() {
+        let mut l = ChannelNorm::new("norm", 3);
+        let mut rng = seeded_rng(2);
+        let x = uniform(&[3, 4, 4], -1.0, 1.0, &mut rng);
+        let y = l.forward_train(&x);
+        let d = l.backward(&Tensor::full(y.shape(), 1.0));
+        assert_eq!(d.shape(), x.shape());
+        assert!(d.data().iter().all(|v| v.is_finite()));
+        l.visit_params(&mut |p| assert!(p.grad.data().iter().all(|v| v.is_finite())));
+    }
+
+    #[test]
+    fn gamma_beta_counted_as_params() {
+        let l = ChannelNorm::new("norm", 7);
+        assert_eq!(l.param_count(), 14);
+    }
+}

@@ -1,0 +1,60 @@
+//! Loss functions.
+
+use eden_tensor::{ops, Tensor};
+
+/// Softmax cross-entropy loss for a single sample.
+///
+/// Returns `(loss, gradient_wrt_logits)`.
+pub fn cross_entropy(logits: &Tensor, label: usize) -> (f32, Tensor) {
+    ops::softmax_cross_entropy(logits, label)
+}
+
+/// Mean softmax cross-entropy loss over a batch of `(logits, label)` pairs.
+///
+/// Returns the mean loss and the per-sample logit gradients scaled by `1/n`.
+pub fn batch_cross_entropy(batch: &[(Tensor, usize)]) -> (f32, Vec<Tensor>) {
+    assert!(!batch.is_empty(), "empty batch");
+    let n = batch.len() as f32;
+    let mut total = 0.0;
+    let mut grads = Vec::with_capacity(batch.len());
+    for (logits, label) in batch {
+        let (l, g) = ops::softmax_cross_entropy(logits, *label);
+        total += l;
+        grads.push(g.scale(1.0 / n));
+    }
+    (total / n, grads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_prediction_has_low_loss() {
+        let confident = Tensor::from_vec(vec![10.0, -10.0, -10.0], &[3]);
+        let (low, _) = cross_entropy(&confident, 0);
+        let (high, _) = cross_entropy(&confident, 1);
+        assert!(low < 0.01);
+        assert!(high > 5.0);
+    }
+
+    #[test]
+    fn batch_loss_is_mean_of_sample_losses() {
+        let a = Tensor::from_vec(vec![1.0, 0.0], &[2]);
+        let b = Tensor::from_vec(vec![0.0, 1.0], &[2]);
+        let (la, _) = cross_entropy(&a, 0);
+        let (lb, _) = cross_entropy(&b, 0);
+        let (batch, grads) = batch_cross_entropy(&[(a, 0), (b, 0)]);
+        assert!((batch - (la + lb) / 2.0).abs() < 1e-6);
+        assert_eq!(grads.len(), 2);
+    }
+
+    #[test]
+    fn gradient_points_away_from_wrong_class() {
+        let logits = Tensor::from_vec(vec![0.0, 0.0], &[2]);
+        let (_, g) = cross_entropy(&logits, 0);
+        // Gradient of the true class is negative (its logit should increase).
+        assert!(g.data()[0] < 0.0);
+        assert!(g.data()[1] > 0.0);
+    }
+}

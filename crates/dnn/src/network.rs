@@ -1,0 +1,412 @@
+//! Sequential networks of layers.
+
+use crate::hooks::{DataKind, DataSite, FaultHook};
+use crate::layer::{Layer, ParamEntry};
+use eden_tensor::{Precision, QuantTensor, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Description of one DNN data type (a layer's weights or IFM) and its size.
+///
+/// Used by the EDEN framework to enumerate mappable data and compute DRAM
+/// footprints.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataTypeInfo {
+    /// Which data type this is.
+    pub site: DataSite,
+    /// Number of scalar elements.
+    pub elements: usize,
+}
+
+impl DataTypeInfo {
+    /// Size in bytes at a given precision.
+    pub fn bytes(&self, precision: Precision) -> u64 {
+        (self.elements as u64 * precision.bits() as u64) / 8
+    }
+}
+
+/// A feed-forward network: an ordered sequence of layers applied to a single
+/// sample.
+#[derive(Clone)]
+pub struct Network {
+    name: String,
+    input_shape: Vec<usize>,
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Network {
+    /// Creates an empty network for inputs of the given shape.
+    pub fn new(name: impl Into<String>, input_shape: &[usize]) -> Self {
+        Self {
+            name: name.into(),
+            input_shape: input_shape.to_vec(),
+            layers: Vec::new(),
+        }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: impl Layer + 'static) -> &mut Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer.
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) -> &mut Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// The network name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The expected input shape (per sample).
+    pub fn input_shape(&self) -> &[usize] {
+        &self.input_shape
+    }
+
+    /// The layers of the network.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Number of layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Pure inference forward pass.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// Training forward pass (caches intermediates in each layer).
+    pub fn forward_train(&mut self, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward_train(&x);
+        }
+        x
+    }
+
+    /// Backward pass through all layers; returns the gradient with respect to
+    /// the network input.
+    pub fn backward(&mut self, d_out: &Tensor) -> Tensor {
+        let mut d = d_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            d = layer.backward(&d);
+        }
+        d
+    }
+
+    /// Zeros all accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    /// Visits every parameter of every layer (training order).
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(ParamEntry<'_>)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    /// Visits every parameter immutably.
+    pub fn visit_params_ref(&self, f: &mut dyn FnMut(&str, &Tensor)) {
+        for layer in &self.layers {
+            layer.visit_params_ref(f);
+        }
+    }
+
+    /// Collects all accumulated gradients in visit order.
+    pub fn collect_grads(&mut self) -> Vec<Tensor> {
+        let mut out = Vec::new();
+        self.visit_params(&mut |p| out.push(p.grad.clone()));
+        out
+    }
+
+    /// Overwrites all accumulated gradients from a vector in visit order
+    /// (e.g. gradients computed on a corrupted copy of the network).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads` does not match the parameter structure.
+    pub fn set_grads(&mut self, grads: &[Tensor]) {
+        let mut i = 0;
+        self.visit_params(&mut |p| {
+            assert!(i < grads.len(), "not enough gradient tensors");
+            assert_eq!(p.grad.shape(), grads[i].shape(), "gradient shape mismatch");
+            *p.grad = grads[i].clone();
+            i += 1;
+        });
+        assert_eq!(i, grads.len(), "too many gradient tensors");
+    }
+
+    /// Predicted class for a single sample (argmax of the output logits).
+    pub fn predict(&self, input: &Tensor) -> usize {
+        self.forward(input).argmax()
+    }
+
+    /// The output logits dimension (class count), derived from shapes.
+    pub fn output_classes(&self) -> usize {
+        self.data_flow_shapes().last().map(|s| s.iter().product()).unwrap_or(0)
+    }
+
+    /// The shape of every layer's output (last entry is the network output).
+    pub fn data_flow_shapes(&self) -> Vec<Vec<usize>> {
+        let mut shapes = Vec::with_capacity(self.layers.len());
+        let mut cur = self.input_shape.clone();
+        for layer in &self.layers {
+            cur = layer.output_shape(&cur);
+            shapes.push(cur.clone());
+        }
+        shapes
+    }
+
+    /// Enumerates every mappable DNN data type: one weight entry per layer
+    /// with parameters, plus one IFM entry per layer (the layer's input).
+    pub fn data_sites(&self) -> Vec<DataTypeInfo> {
+        let mut out = Vec::new();
+        let mut cur_shape = self.input_shape.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            // IFM: the input of this layer.
+            out.push(DataTypeInfo {
+                site: DataSite::new(i, layer.name(), DataKind::Ifm),
+                elements: cur_shape.iter().product(),
+            });
+            // Weights, if any.
+            let params = layer.param_count();
+            if params > 0 {
+                out.push(DataTypeInfo {
+                    site: DataSite::new(i, layer.name(), DataKind::Weight),
+                    elements: params,
+                });
+            }
+            cur_shape = layer.output_shape(&cur_shape);
+        }
+        out
+    }
+
+    /// Approximate multiply-accumulate count for one inference.
+    pub fn total_macs(&self) -> u64 {
+        let mut total = 0;
+        let mut cur = self.input_shape.clone();
+        for layer in &self.layers {
+            total += layer.macs(&cur);
+            cur = layer.output_shape(&cur);
+        }
+        total
+    }
+
+    /// Total bytes of all weights at a precision.
+    pub fn weight_bytes(&self, precision: Precision) -> u64 {
+        (self.param_count() as u64 * precision.bits() as u64) / 8
+    }
+
+    /// Total bytes of all IFMs (per inference of one sample) at a precision.
+    pub fn ifm_bytes(&self, precision: Precision) -> u64 {
+        let mut total = 0u64;
+        let mut cur: Vec<usize> = self.input_shape.clone();
+        for layer in &self.layers {
+            total += cur.iter().product::<usize>() as u64;
+            cur = layer.output_shape(&cur);
+        }
+        total * precision.bits() as u64 / 8
+    }
+
+    /// Corrupts all layer weights in place by round-tripping them through the
+    /// stored representation at `precision` and applying `hook` — modelling
+    /// weights that reside in approximate DRAM.
+    pub fn corrupt_weights(&mut self, precision: Precision, hook: &mut dyn FaultHook) {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let site = DataSite::new(i, layer.name(), DataKind::Weight);
+            layer.visit_params(&mut |p| {
+                let mut q = QuantTensor::quantize(p.value, precision);
+                hook.corrupt(&site, &mut q);
+                *p.value = q.dequantize();
+            });
+        }
+    }
+
+    /// Pure forward pass in which every layer's IFM is round-tripped through
+    /// the stored representation at `precision` and corrupted by `hook`
+    /// before use — modelling IFMs that are stored to and loaded from
+    /// approximate DRAM between layers.
+    pub fn forward_with_ifm_hook(
+        &self,
+        input: &Tensor,
+        precision: Precision,
+        hook: &mut dyn FaultHook,
+    ) -> Tensor {
+        let mut x = input.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let site = DataSite::new(i, layer.name(), DataKind::Ifm);
+            let mut q = QuantTensor::quantize(&x, precision);
+            hook.corrupt(&site, &mut q);
+            x = layer.forward(&q.dequantize());
+        }
+        x
+    }
+
+    /// Training forward pass with IFM corruption (used by curricular
+    /// retraining, which runs the forward pass on approximate DRAM).
+    pub fn forward_train_with_ifm_hook(
+        &mut self,
+        input: &Tensor,
+        precision: Precision,
+        hook: &mut dyn FaultHook,
+    ) -> Tensor {
+        let mut x = input.clone();
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let site = DataSite::new(i, layer.name(), DataKind::Ifm);
+            let mut q = QuantTensor::quantize(&x, precision);
+            hook.corrupt(&site, &mut q);
+            x = layer.forward_train(&q.dequantize());
+        }
+        x
+    }
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Network({}, {} layers, {} params, input {:?})",
+            self.name,
+            self.depth(),
+            self.param_count(),
+            self.input_shape
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Conv2d, Dense, Flatten, MaxPool2d, Relu};
+    use eden_tensor::init::{seeded_rng, uniform};
+
+    fn tiny_net(seed: u64) -> Network {
+        let mut rng = seeded_rng(seed);
+        let mut net = Network::new("tiny", &[1, 8, 8]);
+        net.push(Conv2d::new("conv1", 1, 4, 3, 1, 1, &mut rng))
+            .push(Relu::new("relu1"))
+            .push(MaxPool2d::new("pool1", 2, 2))
+            .push(Flatten::new("flatten"))
+            .push(Dense::new("fc", 4 * 4 * 4, 3, &mut rng));
+        net
+    }
+
+    #[test]
+    fn forward_output_matches_declared_shapes() {
+        let net = tiny_net(0);
+        let x = Tensor::zeros(&[1, 8, 8]);
+        let y = net.forward(&x);
+        assert_eq!(y.shape(), &[3]);
+        assert_eq!(net.data_flow_shapes().last().unwrap(), &vec![3]);
+        assert_eq!(net.output_classes(), 3);
+    }
+
+    #[test]
+    fn backward_runs_end_to_end() {
+        let mut net = tiny_net(1);
+        let mut rng = seeded_rng(9);
+        let x = uniform(&[1, 8, 8], -1.0, 1.0, &mut rng);
+        let y = net.forward_train(&x);
+        let d = net.backward(&Tensor::full(y.shape(), 1.0));
+        assert_eq!(d.shape(), &[1, 8, 8]);
+    }
+
+    #[test]
+    fn data_sites_enumerate_weights_and_ifms() {
+        let net = tiny_net(2);
+        let sites = net.data_sites();
+        // 5 layers → 5 IFMs; conv + dense have weights → 2 weight entries.
+        assert_eq!(sites.len(), 7);
+        let weights: Vec<_> = sites
+            .iter()
+            .filter(|s| s.site.kind == DataKind::Weight)
+            .collect();
+        assert_eq!(weights.len(), 2);
+        assert_eq!(
+            weights.iter().map(|w| w.elements).sum::<usize>(),
+            net.param_count()
+        );
+        // First IFM is the network input.
+        assert_eq!(sites[0].elements, 64);
+    }
+
+    #[test]
+    fn weight_and_ifm_bytes_scale_with_precision() {
+        let net = tiny_net(3);
+        assert_eq!(
+            net.weight_bytes(Precision::Fp32),
+            4 * net.weight_bytes(Precision::Int8)
+        );
+        assert!(net.ifm_bytes(Precision::Int8) > 0);
+    }
+
+    #[test]
+    fn grads_round_trip_between_copies() {
+        let mut a = tiny_net(4);
+        let mut b = a.clone();
+        let mut rng = seeded_rng(10);
+        let x = uniform(&[1, 8, 8], -1.0, 1.0, &mut rng);
+        let y = b.forward_train(&x);
+        b.backward(&Tensor::full(y.shape(), 1.0));
+        let grads = b.collect_grads();
+        a.set_grads(&grads);
+        assert_eq!(a.collect_grads(), grads);
+    }
+
+    #[test]
+    fn corrupt_weights_changes_output() {
+        let mut net = tiny_net(5);
+        let mut rng = seeded_rng(11);
+        let x = uniform(&[1, 8, 8], -1.0, 1.0, &mut rng);
+        let clean = net.forward(&x);
+        // Flip the MSB of every weight value — output must change.
+        net.corrupt_weights(Precision::Int8, &mut |_: &DataSite, q: &mut QuantTensor| {
+            for i in 0..q.len() {
+                q.flip_bit(i, 7);
+            }
+        });
+        let corrupted = net.forward(&x);
+        assert_ne!(clean, corrupted);
+    }
+
+    #[test]
+    fn ifm_hook_without_faults_matches_quantized_forward() {
+        let net = tiny_net(6);
+        let mut rng = seeded_rng(12);
+        let x = uniform(&[1, 8, 8], -1.0, 1.0, &mut rng);
+        let a = net.forward_with_ifm_hook(&x, Precision::Fp32, &mut crate::hooks::NoFaults);
+        let b = net.forward(&x);
+        // FP32 round-trip is lossless, so outputs are identical.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cloned_network_is_independent() {
+        let net = tiny_net(7);
+        let mut copy = net.clone();
+        copy.corrupt_weights(Precision::Int8, &mut |_: &DataSite, q: &mut QuantTensor| {
+            for i in 0..q.len() {
+                q.flip_bit(i, 0);
+            }
+        });
+        let x = Tensor::full(&[1, 8, 8], 0.5);
+        assert_ne!(net.forward(&x), copy.forward(&x));
+    }
+}

@@ -1,0 +1,146 @@
+//! Stochastic gradient descent optimizers.
+
+use crate::network::Network;
+use eden_tensor::Tensor;
+
+/// SGD with momentum and optional weight decay.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+    /// L2 weight decay coefficient.
+    pub weight_decay: f32,
+    velocities: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(learning_rate: f32, momentum: f32, weight_decay: f32) -> Self {
+        Self {
+            learning_rate,
+            momentum,
+            weight_decay,
+            velocities: Vec::new(),
+        }
+    }
+
+    /// Applies one update step using the gradients currently accumulated in
+    /// the network, then leaves the gradients untouched (call
+    /// [`Network::zero_grads`] before the next accumulation).
+    pub fn step(&mut self, net: &mut Network) {
+        let lr = self.learning_rate;
+        let momentum = self.momentum;
+        let wd = self.weight_decay;
+        let mut idx = 0;
+        let velocities = &mut self.velocities;
+        net.visit_params(&mut |p| {
+            if velocities.len() <= idx {
+                velocities.push(Tensor::zeros(p.value.shape()));
+            }
+            let v = &mut velocities[idx];
+            assert_eq!(v.shape(), p.value.shape(), "optimizer state shape mismatch");
+            for i in 0..p.value.len() {
+                let g = p.grad.data()[i] + wd * p.value.data()[i];
+                let vel = momentum * v.data()[i] - lr * g;
+                v.data_mut()[i] = vel;
+                p.value.data_mut()[i] += vel;
+            }
+            idx += 1;
+        });
+    }
+
+    /// Clears momentum state (e.g. when switching networks).
+    pub fn reset(&mut self) {
+        self.velocities.clear();
+    }
+}
+
+impl Default for Sgd {
+    fn default() -> Self {
+        Self::new(0.05, 0.9, 1e-4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Dense;
+    use eden_tensor::init::seeded_rng;
+
+    fn one_param_net() -> Network {
+        let mut rng = seeded_rng(0);
+        let mut net = Network::new("n", &[2]);
+        net.push(Dense::new("fc", 2, 1, &mut rng));
+        net
+    }
+
+    #[test]
+    fn step_moves_weights_against_gradient() {
+        let mut net = one_param_net();
+        let mut before = Vec::new();
+        net.visit_params_ref(&mut |_, t| before.push(t.clone()));
+        // Set all gradients to +1: weights must decrease.
+        net.visit_params(&mut |p| {
+            for g in p.grad.data_mut() {
+                *g = 1.0;
+            }
+        });
+        let mut opt = Sgd::new(0.1, 0.0, 0.0);
+        opt.step(&mut net);
+        let mut after = Vec::new();
+        net.visit_params_ref(&mut |_, t| after.push(t.clone()));
+        for (b, a) in before.iter().zip(&after) {
+            for (x, y) in b.data().iter().zip(a.data()) {
+                assert!((x - y - 0.1).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn momentum_accelerates_repeated_steps() {
+        let mut plain_net = one_param_net();
+        let mut momentum_net = plain_net.clone();
+        let set_grad = |net: &mut Network| {
+            net.visit_params(&mut |p| {
+                for g in p.grad.data_mut() {
+                    *g = 1.0;
+                }
+            })
+        };
+        let mut plain = Sgd::new(0.1, 0.0, 0.0);
+        let mut with_mom = Sgd::new(0.1, 0.9, 0.0);
+        for _ in 0..3 {
+            set_grad(&mut plain_net);
+            plain.step(&mut plain_net);
+            set_grad(&mut momentum_net);
+            with_mom.step(&mut momentum_net);
+        }
+        let mut plain_sum = 0.0;
+        plain_net.visit_params_ref(&mut |_, t| plain_sum += t.sum());
+        let mut mom_sum = 0.0;
+        momentum_net.visit_params_ref(&mut |_, t| mom_sum += t.sum());
+        assert!(mom_sum < plain_sum, "momentum should have moved farther");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradient() {
+        let mut net = one_param_net();
+        let mut before = 0.0;
+        net.visit_params_ref(&mut |n, t| {
+            if n == "weight" {
+                before = t.sq_norm();
+            }
+        });
+        let mut opt = Sgd::new(0.1, 0.0, 0.5);
+        opt.step(&mut net); // grads are zero, only decay acts
+        let mut after = 0.0;
+        net.visit_params_ref(&mut |n, t| {
+            if n == "weight" {
+                after = t.sq_norm();
+            }
+        });
+        assert!(after < before);
+    }
+}

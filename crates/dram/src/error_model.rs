@@ -1,0 +1,488 @@
+//! The four probabilistic DRAM error models of Section 4.
+//!
+//! * **Error Model 0** — bit errors uniformly distributed over a bank
+//!   (parameters `P`, the fraction of weak cells, and `F_A`, the probability
+//!   that a weak cell fails on an access).
+//! * **Error Model 1** — errors concentrated on particular *bitlines*
+//!   (per-bitline weak-cell fraction `P_B` and failure probability `F_B`).
+//! * **Error Model 2** — errors concentrated on particular *wordlines*
+//!   (per-wordline `P_W`, `F_W`).
+//! * **Error Model 3** — data-dependent errors (`P`, `F_V1` for cells storing
+//!   a one, `F_V0` for cells storing a zero).
+//!
+//! All models are deterministic in *which* cells are weak (derived from the
+//! model seed and the cell address) and stochastic in whether a weak cell
+//! fails on a particular access, mirroring how real weak cells behave.
+
+use crate::util::unit_for;
+use eden_tensor::QuantTensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How data maps onto DRAM rows, used to give injected errors spatial
+/// structure (which bitline / wordline a bit lands on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Layout {
+    /// Bits per DRAM row (default: a 2 KB row).
+    pub row_bits: usize,
+    /// Row offset at which the tensor starts (tensors placed at different
+    /// addresses see different weak rows).
+    pub base_row: usize,
+}
+
+impl Default for Layout {
+    fn default() -> Self {
+        Self {
+            row_bits: 2048 * 8,
+            base_row: 0,
+        }
+    }
+}
+
+impl Layout {
+    /// Creates a layout with the given row width (bits) and base row.
+    pub fn new(row_bits: usize, base_row: usize) -> Self {
+        assert!(row_bits > 0, "row_bits must be positive");
+        Self { row_bits, base_row }
+    }
+
+    /// Maps a linear bit offset to `(row, bitline)`.
+    pub fn locate(&self, bit_offset: u64) -> (u64, u64) {
+        (
+            self.base_row as u64 + bit_offset / self.row_bits as u64,
+            bit_offset % self.row_bits as u64,
+        )
+    }
+}
+
+/// Which of the paper's four error models this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ErrorModelKind {
+    /// Error Model 0: uniform random errors.
+    Uniform,
+    /// Error Model 1: bitline-correlated errors.
+    Bitline,
+    /// Error Model 2: wordline-correlated errors.
+    Wordline,
+    /// Error Model 3: data-dependent errors.
+    DataDependent,
+}
+
+impl ErrorModelKind {
+    /// All four model kinds, in paper order.
+    pub fn all() -> [ErrorModelKind; 4] {
+        [
+            ErrorModelKind::Uniform,
+            ErrorModelKind::Bitline,
+            ErrorModelKind::Wordline,
+            ErrorModelKind::DataDependent,
+        ]
+    }
+
+    /// The paper's numbering (Error Model 0–3).
+    pub fn index(self) -> usize {
+        match self {
+            ErrorModelKind::Uniform => 0,
+            ErrorModelKind::Bitline => 1,
+            ErrorModelKind::Wordline => 2,
+            ErrorModelKind::DataDependent => 3,
+        }
+    }
+}
+
+impl fmt::Display for ErrorModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Error Model {}", self.index())
+    }
+}
+
+/// Fraction of bitlines/wordlines treated as "hot" (much weaker than average)
+/// by the spatially-correlated models.
+const HOT_LINE_FRACTION: f64 = 0.08;
+
+/// A parameterized, seedable DRAM error model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorModel {
+    kind: ErrorModelKind,
+    seed: u64,
+    /// Fraction of weak cells (`P`, `P_B`, `P_W` depending on the model).
+    weak_fraction: f64,
+    /// Mean per-access failure probability of a weak cell.
+    flip_prob: f64,
+    /// Spatial concentration for Models 1/2 (0 = uniform, 1 = highly
+    /// concentrated on a few lines).
+    spread: f64,
+    /// Failure probability for weak cells storing a one (Model 3).
+    flip_prob_one: f64,
+    /// Failure probability for weak cells storing a zero (Model 3).
+    flip_prob_zero: f64,
+}
+
+impl ErrorModel {
+    /// Error Model 0 with weak-cell fraction `p` and weak-cell failure
+    /// probability `f`.
+    pub fn uniform(p: f64, f: f64, seed: u64) -> Self {
+        Self {
+            kind: ErrorModelKind::Uniform,
+            seed,
+            weak_fraction: clamp_prob(p),
+            flip_prob: clamp_prob(f),
+            spread: 0.0,
+            flip_prob_one: clamp_prob(f),
+            flip_prob_zero: clamp_prob(f),
+        }
+    }
+
+    /// Error Model 1 (bitline-correlated) with mean parameters `p`/`f` and a
+    /// concentration `spread` in `[0, 1]`.
+    pub fn bitline(p: f64, f: f64, spread: f64, seed: u64) -> Self {
+        Self {
+            kind: ErrorModelKind::Bitline,
+            spread: spread.clamp(0.0, 1.0),
+            ..Self::uniform(p, f, seed)
+        }
+    }
+
+    /// Error Model 2 (wordline-correlated) with mean parameters `p`/`f` and a
+    /// concentration `spread` in `[0, 1]`.
+    pub fn wordline(p: f64, f: f64, spread: f64, seed: u64) -> Self {
+        Self {
+            kind: ErrorModelKind::Wordline,
+            spread: spread.clamp(0.0, 1.0),
+            ..Self::uniform(p, f, seed)
+        }
+    }
+
+    /// Error Model 3 (data-dependent) with weak-cell fraction `p` and
+    /// per-value failure probabilities `f_one` / `f_zero`.
+    pub fn data_dependent(p: f64, f_one: f64, f_zero: f64, seed: u64) -> Self {
+        Self {
+            kind: ErrorModelKind::DataDependent,
+            seed,
+            weak_fraction: clamp_prob(p),
+            flip_prob: clamp_prob(0.5 * (f_one + f_zero)),
+            spread: 0.0,
+            flip_prob_one: clamp_prob(f_one),
+            flip_prob_zero: clamp_prob(f_zero),
+        }
+    }
+
+    /// The model kind.
+    pub fn kind(&self) -> ErrorModelKind {
+        self.kind
+    }
+
+    /// The model seed (identifies the weak-cell map).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The weak-cell fraction `P`.
+    pub fn weak_fraction(&self) -> f64 {
+        self.weak_fraction
+    }
+
+    /// The mean weak-cell failure probability.
+    pub fn flip_prob(&self) -> f64 {
+        self.flip_prob
+    }
+
+    /// Expected bit error rate over random 50/50 data.
+    pub fn expected_ber(&self) -> f64 {
+        match self.kind {
+            ErrorModelKind::DataDependent => {
+                self.weak_fraction * 0.5 * (self.flip_prob_one + self.flip_prob_zero)
+            }
+            _ => self.weak_fraction * self.flip_prob,
+        }
+    }
+
+    /// Returns a copy of the model rescaled so that its expected BER equals
+    /// `target_ber`, preserving the model's structure (spatial concentration,
+    /// data-dependence ratio, weak-cell map).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_ber` is not in `[0, 1]`.
+    pub fn with_ber(&self, target_ber: f64) -> Self {
+        assert!((0.0..=1.0).contains(&target_ber), "BER must be in [0,1]");
+        let mut out = *self;
+        if target_ber == 0.0 {
+            out.weak_fraction = 0.0;
+            return out;
+        }
+        // Keep the weak-cell failure probability shape, adjust the weak-cell
+        // fraction; if that would exceed 1, saturate P and raise F instead.
+        let mean_f = match self.kind {
+            ErrorModelKind::DataDependent => 0.5 * (self.flip_prob_one + self.flip_prob_zero),
+            _ => self.flip_prob,
+        }
+        .max(1e-12);
+        let p = target_ber / mean_f;
+        if p <= 1.0 {
+            out.weak_fraction = p;
+        } else {
+            out.weak_fraction = 1.0;
+            let scale = target_ber / mean_f;
+            out.flip_prob = clamp_prob(self.flip_prob * scale);
+            out.flip_prob_one = clamp_prob(self.flip_prob_one * scale);
+            out.flip_prob_zero = clamp_prob(self.flip_prob_zero * scale);
+        }
+        out
+    }
+
+    /// Weakness multiplier of a bitline or wordline for the spatially
+    /// correlated models: a small fraction of lines is much weaker than the
+    /// rest, the others slightly stronger, with mean 1.
+    fn line_factor(&self, line: u64, salt: u64) -> f64 {
+        if self.spread == 0.0 {
+            return 1.0;
+        }
+        let hot_factor = 1.0 + 9.0 * self.spread;
+        let cold_factor =
+            (1.0 - HOT_LINE_FRACTION * hot_factor).max(0.0) / (1.0 - HOT_LINE_FRACTION);
+        let u = unit_for(self.seed ^ 0x11AE, line, salt, 0);
+        if u < HOT_LINE_FRACTION {
+            hot_factor
+        } else {
+            cold_factor
+        }
+    }
+
+    /// Whether the cell at `(row, bitline)` is weak under this model.
+    pub fn is_weak(&self, row: u64, bitline: u64) -> bool {
+        let p = match self.kind {
+            ErrorModelKind::Bitline => {
+                (self.weak_fraction * self.line_factor(bitline, 0xB17)).min(1.0)
+            }
+            ErrorModelKind::Wordline => {
+                (self.weak_fraction * self.line_factor(row, 0x40D)).min(1.0)
+            }
+            _ => self.weak_fraction,
+        };
+        unit_for(self.seed, row, bitline, 0xCE11) < p
+    }
+
+    /// Per-access failure probability of a weak cell at `(row, bitline)`
+    /// storing `stored_one`.
+    ///
+    /// For the spatially-correlated models the *density* of weak cells varies
+    /// per line (see [`ErrorModel::is_weak`]); the failure probability of a
+    /// weak cell is uniform, which keeps the expected BER exactly `P × F`.
+    pub fn weak_flip_prob(&self, _row: u64, _bitline: u64, stored_one: bool) -> f64 {
+        match self.kind {
+            ErrorModelKind::Uniform | ErrorModelKind::Bitline | ErrorModelKind::Wordline => {
+                self.flip_prob
+            }
+            ErrorModelKind::DataDependent => {
+                if stored_one {
+                    self.flip_prob_one
+                } else {
+                    self.flip_prob_zero
+                }
+            }
+        }
+    }
+
+    /// Injects bit errors into a stored tensor laid out according to
+    /// `layout`, drawing per-access failures from `rng`.
+    ///
+    /// Returns the number of bits flipped.
+    pub fn inject(&self, tensor: &mut QuantTensor, layout: &Layout, rng: &mut StdRng) -> u64 {
+        if self.weak_fraction == 0.0 {
+            return 0;
+        }
+        let bits = tensor.bits_per_value() as u64;
+        let mut flipped = 0u64;
+        for i in 0..tensor.len() {
+            for b in 0..bits {
+                let offset = i as u64 * bits + b;
+                let (row, bitline) = layout.locate(offset);
+                if !self.is_weak(row, bitline) {
+                    continue;
+                }
+                let stored_one = tensor.get_bit(i, b as u32);
+                let f = self.weak_flip_prob(row, bitline, stored_one);
+                if rng.gen::<f64>() < f {
+                    tensor.flip_bit(i, b as u32);
+                    flipped += 1;
+                }
+            }
+        }
+        flipped
+    }
+}
+
+impl fmt::Display for ErrorModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (P={:.4}, F={:.3}, BER≈{:.2e})",
+            self.kind,
+            self.weak_fraction,
+            self.flip_prob,
+            self.expected_ber()
+        )
+    }
+}
+
+fn clamp_prob(p: f64) -> f64 {
+    p.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eden_tensor::{Precision, Tensor};
+    use rand::SeedableRng;
+
+    fn stored(n: usize, precision: Precision) -> QuantTensor {
+        let t = Tensor::from_vec((0..n).map(|i| (i as f32 * 0.37).sin()).collect(), &[n]);
+        QuantTensor::quantize(&t, precision)
+    }
+
+    #[test]
+    fn observed_ber_matches_expected_ber() {
+        for kind_model in [
+            ErrorModel::uniform(0.02, 0.5, 3),
+            ErrorModel::bitline(0.02, 0.5, 0.8, 3),
+            ErrorModel::wordline(0.02, 0.5, 0.8, 3),
+            ErrorModel::data_dependent(0.02, 0.7, 0.3, 3),
+        ] {
+            let clean = stored(20_000, Precision::Int8);
+            let mut corrupted = clean.clone();
+            let mut rng = StdRng::seed_from_u64(11);
+            // A narrow row layout gives the spatially-correlated models enough
+            // distinct bitlines *and* rows for their line-level variation to
+            // average out over this tensor size.
+            kind_model.inject(&mut corrupted, &Layout::new(512, 0), &mut rng);
+            let observed = clean.bit_differences(&corrupted) as f64 / clean.total_bits() as f64;
+            let expected = kind_model.expected_ber();
+            assert!(
+                (observed - expected).abs() / expected < 0.35,
+                "{kind_model}: observed {observed:.4} vs expected {expected:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn with_ber_scales_expected_rate() {
+        let m = ErrorModel::uniform(0.01, 0.4, 0);
+        for target in [1e-4, 1e-3, 1e-2, 0.2] {
+            let scaled = m.with_ber(target);
+            assert!((scaled.expected_ber() - target).abs() / target < 1e-6);
+            assert_eq!(scaled.kind(), m.kind());
+        }
+        assert_eq!(m.with_ber(0.0).expected_ber(), 0.0);
+    }
+
+    #[test]
+    fn zero_ber_model_never_flips() {
+        let m = ErrorModel::uniform(0.05, 0.5, 1).with_ber(0.0);
+        let clean = stored(1000, Precision::Int8);
+        let mut c = clean.clone();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(m.inject(&mut c, &Layout::default(), &mut rng), 0);
+        assert_eq!(c, clean);
+    }
+
+    #[test]
+    fn weak_cells_are_stable_across_calls() {
+        let m = ErrorModel::uniform(0.05, 1.0, 9);
+        assert_eq!(m.is_weak(10, 20), m.is_weak(10, 20));
+        // With F = 1.0, two injections into identical data flip exactly the
+        // same cells.
+        let clean = stored(2000, Precision::Int16);
+        let mut a = clean.clone();
+        let mut b = clean.clone();
+        let mut rng_a = StdRng::seed_from_u64(1);
+        let mut rng_b = StdRng::seed_from_u64(2);
+        m.inject(&mut a, &Layout::default(), &mut rng_a);
+        m.inject(&mut b, &Layout::default(), &mut rng_b);
+        assert_eq!(a, b, "deterministic weak cells with F=1 must flip identically");
+    }
+
+    #[test]
+    fn bitline_model_concentrates_errors_on_bitlines() {
+        // Use a narrow row so bitlines repeat often, then check the flip
+        // distribution across bitlines is much more skewed than uniform.
+        let layout = Layout::new(256, 0);
+        let uniform = ErrorModel::uniform(0.05, 0.8, 5);
+        let bitline = ErrorModel::bitline(0.05, 0.8, 1.0, 5);
+        let count_per_line = |m: &ErrorModel| {
+            let clean = stored(8192, Precision::Int8);
+            let mut c = clean.clone();
+            let mut rng = StdRng::seed_from_u64(3);
+            m.inject(&mut c, &layout, &mut rng);
+            let mut per_line = vec![0u32; 256];
+            for i in 0..clean.len() {
+                for b in 0..8u32 {
+                    if clean.get_bit(i, b) != c.get_bit(i, b) {
+                        let offset = i as u64 * 8 + b as u64;
+                        per_line[(offset % 256) as usize] += 1;
+                    }
+                }
+            }
+            per_line
+        };
+        let max_frac = |v: &[u32]| {
+            let total: u32 = v.iter().sum();
+            *v.iter().max().unwrap() as f64 / total.max(1) as f64
+        };
+        assert!(
+            max_frac(&count_per_line(&bitline)) > 2.0 * max_frac(&count_per_line(&uniform)),
+            "bitline model should concentrate flips on few bitlines"
+        );
+    }
+
+    #[test]
+    fn wordline_model_concentrates_errors_on_rows() {
+        let layout = Layout::new(256, 0);
+        let wordline = ErrorModel::wordline(0.05, 0.8, 1.0, 8);
+        let clean = stored(8192, Precision::Int8);
+        let mut c = clean.clone();
+        let mut rng = StdRng::seed_from_u64(4);
+        wordline.inject(&mut c, &layout, &mut rng);
+        let rows = 8192 * 8 / 256;
+        let mut per_row = vec![0u32; rows];
+        for i in 0..clean.len() {
+            for b in 0..8u32 {
+                if clean.get_bit(i, b) != c.get_bit(i, b) {
+                    per_row[(i * 8 + b as usize) / 256] += 1;
+                }
+            }
+        }
+        // A concentrated model has "hot" rows far above the mean row count.
+        let total: u32 = per_row.iter().sum();
+        let mean = total as f64 / rows as f64;
+        let max = *per_row.iter().max().unwrap() as f64;
+        assert!(
+            max > 3.0 * mean,
+            "hottest row ({max}) should be well above the mean ({mean:.1})"
+        );
+    }
+
+    #[test]
+    fn data_dependent_model_prefers_configured_direction() {
+        // All-ones data with F_V1 >> F_V0 flips many bits; all-zeros data few.
+        let ones = QuantTensor::quantize(&Tensor::from_vec(vec![-1.0; 4096], &[4096]), Precision::Int8);
+        let zeros = QuantTensor::quantize(&Tensor::from_vec(vec![0.0; 4096], &[4096]), Precision::Int8);
+        let m = ErrorModel::data_dependent(0.05, 0.9, 0.01, 6);
+        let flips = |clean: &QuantTensor| {
+            let mut c = clean.clone();
+            let mut rng = StdRng::seed_from_u64(5);
+            m.inject(&mut c, &Layout::default(), &mut rng)
+        };
+        // -1.0 in two's complement int8 is 0xFF (all ones).
+        assert!(flips(&ones) > 10 * flips(&zeros).max(1));
+    }
+
+    #[test]
+    fn display_mentions_paper_numbering() {
+        assert_eq!(ErrorModelKind::Uniform.to_string(), "Error Model 0");
+        assert_eq!(ErrorModelKind::DataDependent.to_string(), "Error Model 3");
+        assert!(ErrorModel::uniform(0.01, 0.5, 0).to_string().contains("Error Model 0"));
+    }
+}

@@ -1,0 +1,209 @@
+//! DRAM organization: banks, subarrays, rows and partitions.
+//!
+//! EDEN partitions DRAM at chip, bank or subarray granularity and operates
+//! each partition at its own voltage/latency (Section 3.4, Section 5). This
+//! module models the address structure needed to (a) place DNN data types in
+//! partitions and (b) give bit errors the spatial structure (bitline /
+//! wordline locality) observed on real devices.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a DRAM module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramGeometry {
+    /// Number of banks in the module.
+    pub banks: usize,
+    /// Subarrays per bank.
+    pub subarrays_per_bank: usize,
+    /// Rows per subarray.
+    pub rows_per_subarray: usize,
+    /// Row size in bytes (the unit sensed by one activation).
+    pub row_bytes: usize,
+}
+
+impl DramGeometry {
+    /// A 16-bank DDR4-like module with 2 KB rows (8 GB-class geometry scaled
+    /// to the sizes this reproduction actually stores).
+    pub fn ddr4_module() -> Self {
+        Self {
+            banks: 16,
+            subarrays_per_bank: 32,
+            rows_per_subarray: 512,
+            row_bytes: 2048,
+        }
+    }
+
+    /// Row size in bits.
+    pub fn row_bits(&self) -> usize {
+        self.row_bytes * 8
+    }
+
+    /// Rows per bank.
+    pub fn rows_per_bank(&self) -> usize {
+        self.subarrays_per_bank * self.rows_per_subarray
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.banks as u64 * self.rows_per_bank() as u64 * self.row_bytes as u64
+    }
+
+    /// Capacity of one bank in bytes.
+    pub fn bank_bytes(&self) -> u64 {
+        self.rows_per_bank() as u64 * self.row_bytes as u64
+    }
+
+    /// Capacity of one subarray in bytes.
+    pub fn subarray_bytes(&self) -> u64 {
+        self.rows_per_subarray as u64 * self.row_bytes as u64
+    }
+}
+
+impl Default for DramGeometry {
+    fn default() -> Self {
+        Self::ddr4_module()
+    }
+}
+
+/// Granularity at which DRAM is partitioned for fine-grained mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PartitionGranularity {
+    /// One partition per bank.
+    Bank,
+    /// One partition per subarray.
+    Subarray,
+}
+
+/// A DRAM partition: a contiguous region that can be operated at its own
+/// voltage and timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Partition {
+    /// Partition index within the module.
+    pub index: usize,
+    /// Bank that contains this partition.
+    pub bank: usize,
+    /// First subarray of the partition within the bank.
+    pub first_subarray: usize,
+    /// Number of subarrays in the partition.
+    pub subarrays: usize,
+    /// Capacity in bytes.
+    pub capacity_bytes: u64,
+}
+
+/// Splits a module into equal partitions at the requested granularity.
+pub fn partitions(geometry: &DramGeometry, granularity: PartitionGranularity) -> Vec<Partition> {
+    match granularity {
+        PartitionGranularity::Bank => (0..geometry.banks)
+            .map(|b| Partition {
+                index: b,
+                bank: b,
+                first_subarray: 0,
+                subarrays: geometry.subarrays_per_bank,
+                capacity_bytes: geometry.bank_bytes(),
+            })
+            .collect(),
+        PartitionGranularity::Subarray => {
+            let mut out = Vec::with_capacity(geometry.banks * geometry.subarrays_per_bank);
+            let mut index = 0;
+            for bank in 0..geometry.banks {
+                for sa in 0..geometry.subarrays_per_bank {
+                    out.push(Partition {
+                        index,
+                        bank,
+                        first_subarray: sa,
+                        subarrays: 1,
+                        capacity_bytes: geometry.subarray_bytes(),
+                    });
+                    index += 1;
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Physical location of one bit within a module (used to give injected errors
+/// the spatial structure of the device).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitAddress {
+    /// Bank index.
+    pub bank: usize,
+    /// Row index within the bank.
+    pub row: usize,
+    /// Bit position within the row (the bitline the cell sits on).
+    pub bitline: usize,
+}
+
+/// Maps a linear bit offset within a partition to a physical bit address,
+/// assuming data is stored contiguously row after row.
+pub fn bit_address(geometry: &DramGeometry, partition: &Partition, bit_offset: u64) -> BitAddress {
+    let row_bits = geometry.row_bits() as u64;
+    let row_in_partition = (bit_offset / row_bits) as usize;
+    let bitline = (bit_offset % row_bits) as usize;
+    let row = partition.first_subarray * geometry.rows_per_subarray
+        + (row_in_partition % (partition.subarrays * geometry.rows_per_subarray));
+    BitAddress {
+        bank: partition.bank,
+        row,
+        bitline,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr4_geometry_capacity() {
+        let g = DramGeometry::ddr4_module();
+        assert_eq!(g.rows_per_bank(), 32 * 512);
+        assert_eq!(g.capacity_bytes(), 16 * 32 * 512 * 2048);
+        assert_eq!(g.row_bits(), 16384);
+    }
+
+    #[test]
+    fn bank_partitions_cover_module() {
+        let g = DramGeometry::ddr4_module();
+        let parts = partitions(&g, PartitionGranularity::Bank);
+        assert_eq!(parts.len(), 16);
+        let total: u64 = parts.iter().map(|p| p.capacity_bytes).sum();
+        assert_eq!(total, g.capacity_bytes());
+    }
+
+    #[test]
+    fn subarray_partitions_cover_module() {
+        let g = DramGeometry::ddr4_module();
+        let parts = partitions(&g, PartitionGranularity::Subarray);
+        assert_eq!(parts.len(), 16 * 32);
+        let total: u64 = parts.iter().map(|p| p.capacity_bytes).sum();
+        assert_eq!(total, g.capacity_bytes());
+        // Indexes are unique and dense.
+        for (i, p) in parts.iter().enumerate() {
+            assert_eq!(p.index, i);
+        }
+    }
+
+    #[test]
+    fn bit_addresses_walk_rows_sequentially() {
+        let g = DramGeometry::ddr4_module();
+        let parts = partitions(&g, PartitionGranularity::Bank);
+        let p = &parts[3];
+        let a0 = bit_address(&g, p, 0);
+        let a1 = bit_address(&g, p, 1);
+        let a_next_row = bit_address(&g, p, g.row_bits() as u64);
+        assert_eq!(a0.bank, 3);
+        assert_eq!(a0.row, a1.row);
+        assert_eq!(a1.bitline, 1);
+        assert_eq!(a_next_row.row, a0.row + 1);
+        assert_eq!(a_next_row.bitline, 0);
+    }
+
+    #[test]
+    fn bit_addresses_wrap_within_partition() {
+        let g = DramGeometry::ddr4_module();
+        let parts = partitions(&g, PartitionGranularity::Subarray);
+        let p = &parts[0];
+        let beyond = bit_address(&g, p, p.capacity_bytes * 8 + 5);
+        assert!(beyond.row < g.rows_per_subarray);
+    }
+}

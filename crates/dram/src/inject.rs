@@ -1,0 +1,172 @@
+//! Error injection sources shared by retraining and inference.
+//!
+//! An [`Injector`] corrupts stored tensors either through a fitted
+//! probabilistic [`ErrorModel`] (the fast path used for EDEN "offloading",
+//! Section 4) or through the simulated [`ApproxDramDevice`] itself (the
+//! "real device" path used for validation, Section 6.2). An
+//! [`AddressAllocator`] hands out non-overlapping DRAM placements so that
+//! different DNN data types occupy different rows, as they would in a real
+//! module.
+
+use crate::device::ApproxDramDevice;
+use crate::error_model::{ErrorModel, Layout};
+use crate::geometry::Partition;
+use crate::params::OperatingPoint;
+use eden_tensor::QuantTensor;
+use rand::rngs::StdRng;
+
+/// Where injected errors come from.
+#[derive(Debug, Clone)]
+pub enum Injector {
+    /// A probabilistic error model (Error Models 0–3).
+    Model {
+        /// The error model.
+        model: ErrorModel,
+        /// Data layout used to place tensor bits on rows/bitlines.
+        layout: Layout,
+    },
+    /// The simulated approximate DRAM device read at a given operating point.
+    Device {
+        /// The device.
+        device: ApproxDramDevice,
+        /// Partition holding the data.
+        partition: Partition,
+        /// Operating point of the partition.
+        op: OperatingPoint,
+    },
+}
+
+impl Injector {
+    /// Creates an injector backed by an error model.
+    pub fn from_model(model: ErrorModel, layout: Layout) -> Self {
+        Injector::Model { model, layout }
+    }
+
+    /// Creates an injector backed by the simulated device.
+    pub fn from_device(device: ApproxDramDevice, partition: Partition, op: OperatingPoint) -> Self {
+        Injector::Device {
+            device,
+            partition,
+            op,
+        }
+    }
+
+    /// Expected bit error rate of this injector.
+    pub fn expected_ber(&self) -> f64 {
+        match self {
+            Injector::Model { model, .. } => model.expected_ber(),
+            Injector::Device { device, op, .. } => device.expected_ber(op),
+        }
+    }
+
+    /// Corrupts a stored tensor in place; returns the number of flipped bits.
+    pub fn corrupt(&self, tensor: &mut QuantTensor, rng: &mut StdRng) -> u64 {
+        match self {
+            Injector::Model { model, layout } => model.inject(tensor, layout, rng),
+            Injector::Device {
+                device,
+                partition,
+                op,
+            } => device.read_tensor(tensor, partition, op, rng),
+        }
+    }
+}
+
+/// Allocates consecutive, non-overlapping row ranges for DNN data types.
+#[derive(Debug, Clone)]
+pub struct AddressAllocator {
+    row_bits: usize,
+    next_row: usize,
+}
+
+impl AddressAllocator {
+    /// Creates an allocator for rows of `row_bits` bits each.
+    pub fn new(row_bits: usize) -> Self {
+        Self {
+            row_bits,
+            next_row: 0,
+        }
+    }
+
+    /// Allocates rows for a tensor of `total_bits` bits and returns the
+    /// layout describing its placement.
+    pub fn allocate(&mut self, total_bits: u64) -> Layout {
+        let layout = Layout::new(self.row_bits, self.next_row);
+        let rows = (total_bits as usize).div_ceil(self.row_bits).max(1);
+        self.next_row += rows;
+        layout
+    }
+
+    /// Number of rows handed out so far.
+    pub fn rows_used(&self) -> usize {
+        self.next_row
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{partitions, DramGeometry, PartitionGranularity};
+    use crate::vendor::Vendor;
+    use eden_tensor::{Precision, Tensor};
+    use rand::SeedableRng;
+
+    fn stored(n: usize) -> QuantTensor {
+        QuantTensor::quantize(
+            &Tensor::from_vec((0..n).map(|i| (i as f32 * 0.3).cos()).collect(), &[n]),
+            Precision::Int8,
+        )
+    }
+
+    #[test]
+    fn model_injector_corrupts_at_expected_rate() {
+        let inj = Injector::from_model(ErrorModel::uniform(0.01, 0.5, 1), Layout::default());
+        let clean = stored(20_000);
+        let mut t = clean.clone();
+        let mut rng = StdRng::seed_from_u64(0);
+        let flips = inj.corrupt(&mut t, &mut rng);
+        let observed = flips as f64 / clean.total_bits() as f64;
+        assert!((observed - inj.expected_ber()).abs() / inj.expected_ber() < 0.4);
+    }
+
+    #[test]
+    fn device_injector_matches_device_behaviour() {
+        let dev = ApproxDramDevice::new(Vendor::A, 3);
+        let part = partitions(&DramGeometry::ddr4_module(), PartitionGranularity::Bank)[0];
+        let op = OperatingPoint::with_vdd_reduction(0.30);
+        let inj = Injector::from_device(dev, part, op);
+        let mut t = stored(20_000);
+        let mut rng = StdRng::seed_from_u64(1);
+        let flips = inj.corrupt(&mut t, &mut rng);
+        assert!(flips > 0);
+        assert!((inj.expected_ber() - dev.expected_ber(&op)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn allocator_hands_out_disjoint_rows() {
+        let mut alloc = AddressAllocator::new(1024);
+        let a = alloc.allocate(4096);
+        let b = alloc.allocate(100);
+        let c = alloc.allocate(3000);
+        assert_eq!(a.base_row, 0);
+        assert_eq!(b.base_row, 4); // 4096 bits / 1024 bits-per-row
+        assert_eq!(c.base_row, 5);
+        assert_eq!(alloc.rows_used(), 8);
+    }
+
+    #[test]
+    fn tensors_at_different_addresses_see_different_weak_cells() {
+        let model = ErrorModel::uniform(0.02, 1.0, 5);
+        let mut alloc = AddressAllocator::new(2048);
+        let clean = stored(2048);
+        let la = alloc.allocate(clean.total_bits());
+        let lb = alloc.allocate(clean.total_bits());
+        let mut a = clean.clone();
+        let mut b = clean.clone();
+        let mut rng = StdRng::seed_from_u64(2);
+        model.inject(&mut a, &la, &mut rng);
+        model.inject(&mut b, &lb, &mut rng);
+        // Same data, same model, different addresses → different flip sets.
+        assert_ne!(a, b);
+    }
+}

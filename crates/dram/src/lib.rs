@@ -1,0 +1,50 @@
+//! # eden-dram
+//!
+//! Approximate DRAM substrate for the EDEN reproduction.
+//!
+//! The paper (Sections 2.2–2.3, 4 and 6.2) relies on:
+//!
+//! * DRAM organization and operating parameters (supply voltage `VDD` and the
+//!   timing parameters `tRCD`/`tRAS`/`tRP`) — [`params`], [`geometry`];
+//! * real approximate DRAM devices whose bit-error behaviour depends on the
+//!   operating point, on the stored data pattern and on spatial location
+//!   (bitline / wordline), characterized per vendor (Figure 5) — [`vendor`],
+//!   [`device`], [`characterize`];
+//! * four probabilistic error models fitted to device observations with
+//!   maximum-likelihood estimation and model selection (Section 4) —
+//!   [`error_model`], [`fit`];
+//! * error injection into the bit-exact stored representation of DNN data —
+//!   [`inject`];
+//! * a DRAMPower-style energy model with `VDD²` scaling — [`energy`].
+//!
+//! # Example
+//!
+//! ```
+//! use eden_dram::error_model::{ErrorModel, Layout};
+//! use eden_tensor::{Precision, QuantTensor, Tensor};
+//! use rand::SeedableRng;
+//!
+//! let model = ErrorModel::uniform(0.01, 0.5, 7);
+//! let t = Tensor::from_vec(vec![1.0; 1024], &[1024]);
+//! let clean = QuantTensor::quantize(&t, Precision::Int8);
+//! let mut corrupted = clean.clone();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! model.inject(&mut corrupted, &Layout::default(), &mut rng);
+//! assert!(clean.bit_differences(&corrupted) > 0);
+//! ```
+
+pub mod characterize;
+pub mod device;
+pub mod energy;
+pub mod error_model;
+pub mod fit;
+pub mod geometry;
+pub mod inject;
+pub mod params;
+pub mod util;
+pub mod vendor;
+
+pub use device::ApproxDramDevice;
+pub use error_model::{ErrorModel, ErrorModelKind, Layout};
+pub use params::OperatingPoint;
+pub use vendor::Vendor;

@@ -1,0 +1,65 @@
+//! Small deterministic hashing utilities used by the device and error models.
+//!
+//! Per-cell weakness must be a *stable* function of the device seed and the
+//! cell address (so that re-reading the same location at the same operating
+//! point fails the same way, as real weak cells do), but we cannot store a
+//! weakness value for every cell of a multi-gigabyte device. These helpers
+//! derive stable pseudo-random values from addresses on the fly.
+
+/// SplitMix64 step: maps a 64-bit state to a well-mixed 64-bit value.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministically hashes a set of address components with a seed.
+pub fn hash_cell(seed: u64, a: u64, b: u64, c: u64) -> u64 {
+    let mut h = splitmix64(seed ^ 0xA076_1D64_78BD_642F);
+    h = splitmix64(h ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    h = splitmix64(h ^ b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+    splitmix64(h ^ c.wrapping_mul(0x1656_67B1_9E37_79F9))
+}
+
+/// Maps a 64-bit hash to a uniform `f64` in `[0, 1)`.
+pub fn hash_to_unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Uniform `[0, 1)` value for a (seed, address) pair.
+pub fn unit_for(seed: u64, a: u64, b: u64, c: u64) -> f64 {
+    hash_to_unit(hash_cell(seed, a, b, c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashing_is_deterministic() {
+        assert_eq!(hash_cell(1, 2, 3, 4), hash_cell(1, 2, 3, 4));
+        assert_ne!(hash_cell(1, 2, 3, 4), hash_cell(2, 2, 3, 4));
+        assert_ne!(hash_cell(1, 2, 3, 4), hash_cell(1, 2, 3, 5));
+    }
+
+    #[test]
+    fn unit_values_are_in_range_and_well_spread() {
+        let mut buckets = [0usize; 10];
+        for i in 0..10_000u64 {
+            let u = unit_for(42, i, 0, 0);
+            assert!((0.0..1.0).contains(&u));
+            buckets[(u * 10.0) as usize] += 1;
+        }
+        // Each decile should hold roughly 1000 samples.
+        for b in buckets {
+            assert!((700..1300).contains(&b), "bucket count {b} far from uniform");
+        }
+    }
+
+    #[test]
+    fn splitmix_changes_all_zero_input() {
+        assert_ne!(splitmix64(0), 0);
+    }
+}

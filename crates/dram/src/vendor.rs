@@ -1,0 +1,284 @@
+//! Vendor-specific bit-error-rate behaviour of approximate DRAM.
+//!
+//! The paper characterizes real DDR3/DDR4 modules from three major vendors
+//! (Figure 5) and finds that the bit error rate (BER) grows as supply voltage
+//! and `tRCD` are reduced, with vendor-to-vendor variation and a dependence on
+//! the stored data pattern (1→0 flips dominate under voltage scaling, 0→1
+//! flips under `tRCD` scaling). This module encodes those observations as
+//! per-vendor BER curves; the curves for vendor A are calibrated so that the
+//! BER ↔ (ΔVDD, ΔtRCD) correspondence of Table 3 is reproduced.
+
+use crate::params::OperatingPoint;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the three DRAM vendors characterized by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Vendor {
+    /// Vendor A (the reference vendor used for Table 3 and the mapping
+    /// experiments).
+    A,
+    /// Vendor B: fails earlier (higher BER at the same reduction).
+    B,
+    /// Vendor C: has more guardband (lower BER at the same reduction).
+    C,
+}
+
+impl Vendor {
+    /// All vendors.
+    pub fn all() -> [Vendor; 3] {
+        [Vendor::A, Vendor::B, Vendor::C]
+    }
+
+    /// The vendor's BER profile.
+    pub fn profile(self) -> VendorProfile {
+        VendorProfile::new(self)
+    }
+
+    /// Scale applied to the reduction axis: vendor B reaches the same BER
+    /// with a smaller reduction, vendor C needs a larger one.
+    fn reduction_scale(self) -> f32 {
+        match self {
+            Vendor::A => 1.0,
+            Vendor::B => 0.82,
+            Vendor::C => 1.18,
+        }
+    }
+}
+
+impl fmt::Display for Vendor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Vendor::A => f.write_str("Vendor A"),
+            Vendor::B => f.write_str("Vendor B"),
+            Vendor::C => f.write_str("Vendor C"),
+        }
+    }
+}
+
+/// Control points of vendor A's BER-vs-ΔVDD curve, calibrated to Table 3.
+const VOLTAGE_CURVE: &[(f32, f64)] = &[
+    (0.00, 1e-9),
+    (0.05, 1e-6),
+    (0.10, 5.0e-3),
+    (0.15, 6.5e-3),
+    (0.20, 8.0e-3),
+    (0.25, 9.5e-3),
+    (0.30, 2.8e-2),
+    (0.35, 4.5e-2),
+    (0.40, 9.0e-2),
+    (0.50, 2.5e-1),
+    (0.60, 5.0e-1),
+];
+
+/// Control points of vendor A's BER-vs-ΔtRCD curve, calibrated to Table 3.
+const TRCD_CURVE: &[(f32, f64)] = &[
+    (0.0, 1e-9),
+    (0.5, 1e-6),
+    (1.0, 5.0e-3),
+    (2.0, 1.2e-2),
+    (2.5, 1.8e-2),
+    (3.0, 2.0e-2),
+    (4.0, 2.5e-2),
+    (4.5, 2.8e-2),
+    (5.0, 3.3e-2),
+    (5.5, 3.8e-2),
+    (6.0, 4.8e-2),
+    (6.5, 7.0e-2),
+    (8.0, 1.5e-1),
+    (10.0, 4.5e-1),
+];
+
+/// BER behaviour of one vendor's DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VendorProfile {
+    vendor: Vendor,
+    /// Probability that a weak cell fails on any given access (the `F`
+    /// parameter of the paper's error models).
+    pub weak_cell_flip_prob: f64,
+    /// Relative flip probability of cells storing `1` vs `0` under voltage
+    /// scaling (1→0 flips dominate, so this is > 1).
+    pub voltage_one_bias: f64,
+    /// Relative flip probability of cells storing `0` vs `1` under tRCD
+    /// scaling (0→1 flips dominate, so this is > 1).
+    pub trcd_zero_bias: f64,
+}
+
+impl VendorProfile {
+    /// Creates the profile for a vendor.
+    pub fn new(vendor: Vendor) -> Self {
+        let (flip, v_bias, t_bias) = match vendor {
+            Vendor::A => (0.35, 1.6, 1.6),
+            Vendor::B => (0.45, 1.8, 1.4),
+            Vendor::C => (0.30, 1.4, 1.8),
+        };
+        Self {
+            vendor,
+            weak_cell_flip_prob: flip,
+            voltage_one_bias: v_bias,
+            trcd_zero_bias: t_bias,
+        }
+    }
+
+    /// The vendor.
+    pub fn vendor(&self) -> Vendor {
+        self.vendor
+    }
+
+    /// BER contributed by voltage reduction alone, averaged over data values.
+    pub fn ber_voltage(&self, vdd_reduction: f32) -> f64 {
+        interpolate(VOLTAGE_CURVE, vdd_reduction / self.vendor.reduction_scale())
+    }
+
+    /// BER contributed by tRCD reduction alone, averaged over data values.
+    pub fn ber_trcd(&self, trcd_reduction_ns: f32) -> f64 {
+        interpolate(TRCD_CURVE, trcd_reduction_ns / self.vendor.reduction_scale())
+    }
+
+    /// Total average BER at an operating point (both mechanisms combined).
+    pub fn ber(&self, op: &OperatingPoint) -> f64 {
+        let v = self.ber_voltage(op.vdd_reduction());
+        let t = self.ber_trcd(op.trcd_reduction_ns());
+        1.0 - (1.0 - v) * (1.0 - t)
+    }
+
+    /// BER at an operating point for a cell storing the given bit value.
+    ///
+    /// 1→0 flips are more probable under voltage scaling and 0→1 flips under
+    /// tRCD scaling (Figure 5 / Error Model 3), so the per-value BER deviates
+    /// from the average while preserving it for 50/50 data.
+    pub fn ber_for_stored(&self, op: &OperatingPoint, stored_one: bool) -> f64 {
+        let v = self.ber_voltage(op.vdd_reduction());
+        let t = self.ber_trcd(op.trcd_reduction_ns());
+        let (v_w, t_w) = if stored_one {
+            (
+                2.0 * self.voltage_one_bias / (1.0 + self.voltage_one_bias),
+                2.0 / (1.0 + self.trcd_zero_bias),
+            )
+        } else {
+            (
+                2.0 / (1.0 + self.voltage_one_bias),
+                2.0 * self.trcd_zero_bias / (1.0 + self.trcd_zero_bias),
+            )
+        };
+        let v = (v * v_w).min(1.0);
+        let t = (t * t_w).min(1.0);
+        1.0 - (1.0 - v) * (1.0 - t)
+    }
+
+    /// BER for a repeating byte data pattern (e.g. `0xFF`, `0xAA`, `0x00`),
+    /// as used in the Figure 5 characterization.
+    pub fn ber_for_pattern(&self, op: &OperatingPoint, pattern: u8) -> f64 {
+        let ones = pattern.count_ones() as f64 / 8.0;
+        ones * self.ber_for_stored(op, true) + (1.0 - ones) * self.ber_for_stored(op, false)
+    }
+}
+
+/// Piecewise log-linear interpolation of a BER curve over a reduction axis.
+fn interpolate(curve: &[(f32, f64)], x: f32) -> f64 {
+    if x <= curve[0].0 {
+        return curve[0].1;
+    }
+    if x >= curve[curve.len() - 1].0 {
+        return curve[curve.len() - 1].1;
+    }
+    for w in curve.windows(2) {
+        let (x0, y0) = w[0];
+        let (x1, y1) = w[1];
+        if x >= x0 && x <= x1 {
+            let t = ((x - x0) / (x1 - x0)) as f64;
+            let ln = y0.ln() + t * (y1.ln() - y0.ln());
+            return ln.exp();
+        }
+    }
+    curve[curve.len() - 1].1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::OperatingPoint;
+
+    #[test]
+    fn ber_is_monotonic_in_reductions() {
+        let p = Vendor::A.profile();
+        let mut prev = 0.0;
+        for step in 0..=40 {
+            let dv = step as f32 * 0.015;
+            let b = p.ber_voltage(dv);
+            assert!(b >= prev, "voltage BER not monotonic at Δ{dv}");
+            prev = b;
+        }
+        prev = 0.0;
+        for step in 0..=40 {
+            let dt = step as f32 * 0.25;
+            let b = p.ber_trcd(dt);
+            assert!(b >= prev, "tRCD BER not monotonic at Δ{dt}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn nominal_operation_is_essentially_error_free() {
+        for v in Vendor::all() {
+            let b = v.profile().ber(&OperatingPoint::nominal());
+            assert!(b < 1e-8, "{v}: nominal BER {b} too high");
+        }
+    }
+
+    #[test]
+    fn table3_calibration_points_hold_for_vendor_a() {
+        let p = Vendor::A.profile();
+        // −0.10 V must stay within a 0.5% BER budget, −0.30 V within ~3–4%.
+        assert!(p.ber_voltage(0.10) <= 0.005 + 1e-9);
+        assert!(p.ber_voltage(0.30) <= 0.04);
+        assert!(p.ber_voltage(0.30) > 0.015);
+        assert!(p.ber_voltage(0.35) <= 0.05);
+        // tRCD: −5.5 ns within 4%, −6.0 ns within 5%.
+        assert!(p.ber_trcd(5.5) <= 0.04);
+        assert!(p.ber_trcd(6.0) <= 0.05);
+        assert!(p.ber_trcd(6.5) > 0.05);
+    }
+
+    #[test]
+    fn vendor_b_fails_earlier_than_vendor_c() {
+        let op = OperatingPoint::with_vdd_reduction(0.25);
+        let b = Vendor::B.profile().ber(&op);
+        let c = Vendor::C.profile().ber(&op);
+        assert!(b > c, "vendor B ({b}) should have more errors than C ({c})");
+    }
+
+    #[test]
+    fn data_pattern_dependence_matches_figure5() {
+        // Under voltage scaling, all-ones (0xFF) fails more than all-zeros.
+        let p = Vendor::A.profile();
+        let op_v = OperatingPoint::with_vdd_reduction(0.3);
+        assert!(p.ber_for_pattern(&op_v, 0xFF) > p.ber_for_pattern(&op_v, 0x00));
+        // Under tRCD scaling the order is reversed.
+        let op_t = OperatingPoint::with_trcd_reduction(5.0);
+        assert!(p.ber_for_pattern(&op_t, 0x00) > p.ber_for_pattern(&op_t, 0xFF));
+        // Mixed patterns fall in between.
+        let hi = p.ber_for_pattern(&op_v, 0xFF);
+        let lo = p.ber_for_pattern(&op_v, 0x00);
+        let mid = p.ber_for_pattern(&op_v, 0xAA);
+        assert!(mid <= hi && mid >= lo);
+    }
+
+    #[test]
+    fn average_of_stored_bers_matches_overall_ber() {
+        let p = Vendor::A.profile();
+        let op = OperatingPoint::with_vdd_reduction(0.3);
+        let avg = 0.5 * p.ber_for_stored(&op, true) + 0.5 * p.ber_for_stored(&op, false);
+        let overall = p.ber(&op);
+        assert!((avg - overall).abs() / overall < 0.05, "avg {avg} vs overall {overall}");
+    }
+
+    #[test]
+    fn combined_reductions_have_higher_ber_than_either_alone() {
+        let p = Vendor::A.profile();
+        let both = p.ber(&OperatingPoint::with_reductions(0.25, 4.0));
+        let v_only = p.ber(&OperatingPoint::with_vdd_reduction(0.25));
+        let t_only = p.ber(&OperatingPoint::with_trcd_reduction(4.0));
+        assert!(both > v_only && both > t_only);
+    }
+}

@@ -1,0 +1,261 @@
+//! Trace-driven multi-core CPU model (Table 4).
+//!
+//! The paper simulates a 2-core out-of-order CPU with a three-level cache
+//! hierarchy and a 2-channel DDR4-2133 memory system using ZSim + Ramulator,
+//! and estimates DRAM energy with DRAMPower (Section 7.1). This model keeps
+//! the first-order behaviour those tools expose:
+//!
+//! * execution time is the larger of compute time and DRAM-bandwidth time,
+//!   plus the row-activation latency that out-of-order execution and
+//!   prefetchers cannot hide (which only the irregular accesses of
+//!   YOLO-style workloads expose);
+//! * DRAM energy is per-command energy plus background energy, scaled by
+//!   `VDD²` through [`DramEnergyModel`].
+
+use crate::result::SystemResult;
+use crate::workload::WorkloadProfile;
+use eden_dram::energy::{AccessCounts, DramEnergyModel, DramKind};
+use eden_dram::params::TimingParams;
+use eden_dram::OperatingPoint;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the simulated CPU system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuConfig {
+    /// Number of cores.
+    pub cores: usize,
+    /// Core frequency in GHz.
+    pub freq_ghz: f64,
+    /// Multiply-accumulates each core retires per cycle (SIMD units).
+    pub macs_per_cycle_per_core: f64,
+    /// Aggregate DRAM bandwidth in bytes per nanosecond.
+    pub dram_bandwidth_bytes_per_ns: f64,
+    /// Fraction of feature-map traffic served by the cache hierarchy
+    /// (weights are streamed from DRAM: they are used once per inference).
+    pub feature_map_cache_hit_rate: f64,
+    /// Row-buffer hit rate of regular (streaming) accesses.
+    pub regular_row_hit_rate: f64,
+    /// Row-buffer hit rate of irregular accesses.
+    pub irregular_row_hit_rate: f64,
+    /// Nanoseconds of each row-miss latency hidden by out-of-order execution,
+    /// prefetching and memory-level parallelism.
+    pub hidden_latency_ns: f64,
+    /// Fraction of a workload's irregular accesses that turn into exposed
+    /// (demand, unprefetchable) DRAM row misses.
+    pub irregular_miss_weight: f64,
+}
+
+impl CpuConfig {
+    /// The configuration of Table 4 (2 cores at 4 GHz, DDR4-2133 × 2
+    /// channels).
+    pub fn table4() -> Self {
+        Self {
+            cores: 2,
+            freq_ghz: 4.0,
+            macs_per_cycle_per_core: 32.0,
+            dram_bandwidth_bytes_per_ns: 34.0,
+            feature_map_cache_hit_rate: 0.60,
+            regular_row_hit_rate: 0.85,
+            irregular_row_hit_rate: 0.40,
+            hidden_latency_ns: 31.0,
+            irregular_miss_weight: 0.25,
+        }
+    }
+
+    /// Peak MAC throughput in MACs per nanosecond.
+    pub fn macs_per_ns(&self) -> f64 {
+        self.cores as f64 * self.freq_ghz * self.macs_per_cycle_per_core
+    }
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        Self::table4()
+    }
+}
+
+/// The CPU system simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuSim {
+    config: CpuConfig,
+}
+
+impl CpuSim {
+    /// Creates a simulator with an explicit configuration.
+    pub fn new(config: CpuConfig) -> Self {
+        Self { config }
+    }
+
+    /// Creates the Table 4 configuration.
+    pub fn table4() -> Self {
+        Self::new(CpuConfig::table4())
+    }
+
+    /// The simulator configuration.
+    pub fn config(&self) -> &CpuConfig {
+        &self.config
+    }
+
+    /// Runs one inference of `workload` with DRAM at `op`.
+    pub fn run(&self, workload: &WorkloadProfile, op: &OperatingPoint) -> SystemResult {
+        self.run_with_timing(workload, op.timing, op.vdd_reduction())
+    }
+
+    /// Runs one inference with an idealized zero `tRCD` (the "ideal
+    /// activation latency" bar of Figure 14) at nominal voltage.
+    pub fn run_ideal_latency(&self, workload: &WorkloadProfile) -> SystemResult {
+        let timing = TimingParams {
+            trcd_ns: 0.0,
+            ..TimingParams::nominal()
+        };
+        self.run_with_timing(workload, timing, 0.0)
+    }
+
+    fn run_with_timing(
+        &self,
+        workload: &WorkloadProfile,
+        timing: TimingParams,
+        vdd_reduction: f32,
+    ) -> SystemResult {
+        let cfg = &self.config;
+
+        // DRAM traffic after cache filtering.
+        let weight_bytes = workload.weight_bytes() as f64;
+        let fm_bytes = workload.feature_map_bytes() as f64;
+        let read_bytes = weight_bytes + fm_bytes * 0.5 * (1.0 - cfg.feature_map_cache_hit_rate);
+        let write_bytes = fm_bytes * 0.5 * (1.0 - cfg.feature_map_cache_hit_rate);
+        let reads = (read_bytes / 64.0).ceil() as u64;
+        let writes = (write_bytes / 64.0).ceil() as u64;
+
+        // Row-buffer behaviour: irregular accesses hit open rows less often.
+        let irregular = workload.irregular_access_fraction;
+        let row_hit = cfg.regular_row_hit_rate * (1.0 - irregular)
+            + cfg.irregular_row_hit_rate * irregular;
+        let activations = ((reads + writes) as f64 * (1.0 - row_hit)).ceil() as u64;
+
+        // Time components.
+        let compute_ns = workload.total_macs() as f64 / cfg.macs_per_ns();
+        let bandwidth_ns = (read_bytes + write_bytes) / cfg.dram_bandwidth_bytes_per_ns;
+        let exposed_misses = reads as f64 * irregular * cfg.irregular_miss_weight;
+        let miss_latency =
+            (timing.trp_ns + timing.trcd_ns + timing.cl_ns) as f64 - cfg.hidden_latency_ns;
+        let exposed_latency_ns = exposed_misses * miss_latency.max(0.0);
+        let time_ns = compute_ns.max(bandwidth_ns) + exposed_latency_ns;
+
+        let counts = AccessCounts {
+            activations,
+            reads,
+            writes,
+            elapsed_ns: time_ns,
+        };
+        let energy_model = DramEnergyModel::at_operating_point(
+            DramKind::Ddr4,
+            &voltage_only(vdd_reduction),
+        );
+        SystemResult {
+            time_ns,
+            compute_ns,
+            bandwidth_ns,
+            exposed_latency_ns,
+            dram_counts: counts,
+            dram_energy: energy_model.energy(&counts),
+        }
+    }
+}
+
+/// Builds an operating point carrying only a voltage reduction (used for
+/// energy accounting; timing is handled separately).
+fn voltage_only(vdd_reduction: f32) -> OperatingPoint {
+    if vdd_reduction <= 0.0 {
+        OperatingPoint::nominal()
+    } else {
+        OperatingPoint::with_vdd_reduction(vdd_reduction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eden_dnn::zoo::ModelId;
+    use eden_tensor::Precision;
+
+    fn profile(id: ModelId) -> WorkloadProfile {
+        WorkloadProfile::for_model(id, Precision::Int8)
+    }
+
+    #[test]
+    fn reduced_trcd_speeds_up_latency_bound_workloads() {
+        let cpu = CpuSim::table4();
+        let yolo = profile(ModelId::Yolo);
+        let nominal = cpu.run(&yolo, &OperatingPoint::nominal());
+        let reduced = cpu.run(&yolo, &OperatingPoint::with_trcd_reduction(5.5));
+        let ideal = cpu.run_ideal_latency(&yolo);
+        let speedup = reduced.speedup_over(&nominal);
+        let ideal_speedup = ideal.speedup_over(&nominal);
+        assert!(speedup > 1.05, "YOLO speedup {speedup} too small");
+        assert!(speedup < 1.30, "YOLO speedup {speedup} implausibly large");
+        assert!(ideal_speedup >= speedup);
+        // EDEN should capture most of the ideal-tRCD benefit (Figure 14).
+        assert!(
+            (speedup - 1.0) > 0.6 * (ideal_speedup - 1.0),
+            "EDEN speedup {speedup} should be close to ideal {ideal_speedup}"
+        );
+    }
+
+    #[test]
+    fn compute_bound_workloads_see_little_speedup() {
+        let cpu = CpuSim::table4();
+        for id in [ModelId::ResNet, ModelId::SqueezeNet] {
+            let p = profile(id);
+            let nominal = cpu.run(&p, &OperatingPoint::nominal());
+            let ideal = cpu.run_ideal_latency(&p);
+            let s = ideal.speedup_over(&nominal);
+            assert!(s < 1.04, "{id}: ideal speedup {s} should be marginal");
+        }
+    }
+
+    #[test]
+    fn voltage_reduction_saves_dram_energy_without_changing_time() {
+        let cpu = CpuSim::table4();
+        let p = profile(ModelId::Vgg16);
+        let nominal = cpu.run(&p, &OperatingPoint::nominal());
+        let reduced = cpu.run(&p, &OperatingPoint::with_vdd_reduction(0.35));
+        assert!((reduced.time_ns - nominal.time_ns).abs() < 1e-6);
+        let saving = reduced.energy_reduction_vs(&nominal);
+        assert!(
+            saving > 0.25 && saving < 0.45,
+            "VGG energy saving {saving} outside the paper's ballpark"
+        );
+    }
+
+    #[test]
+    fn smaller_voltage_reduction_saves_less() {
+        let cpu = CpuSim::table4();
+        let p = profile(ModelId::SqueezeNet);
+        let nominal = cpu.run(&p, &OperatingPoint::nominal());
+        let small = cpu.run(&p, &OperatingPoint::with_vdd_reduction(0.10));
+        let large = cpu.run(&p, &OperatingPoint::with_vdd_reduction(0.30));
+        assert!(small.energy_reduction_vs(&nominal) < large.energy_reduction_vs(&nominal));
+        assert!(small.energy_reduction_vs(&nominal) > 0.02);
+    }
+
+    #[test]
+    fn activations_never_exceed_accesses() {
+        let cpu = CpuSim::table4();
+        for id in ModelId::all() {
+            let r = cpu.run(&profile(id), &OperatingPoint::nominal());
+            assert!(r.dram_counts.activations <= r.dram_counts.reads + r.dram_counts.writes);
+            assert!(r.time_ns > 0.0);
+        }
+    }
+
+    #[test]
+    fn irregular_workloads_expose_more_latency() {
+        let cpu = CpuSim::table4();
+        let yolo = cpu.run(&profile(ModelId::Yolo), &OperatingPoint::nominal());
+        let resnet = cpu.run(&profile(ModelId::ResNet), &OperatingPoint::nominal());
+        let yolo_frac = yolo.exposed_latency_ns / yolo.time_ns;
+        let resnet_frac = resnet.exposed_latency_ns / resnet.time_ns;
+        assert!(yolo_frac > 3.0 * resnet_frac.max(1e-6));
+    }
+}

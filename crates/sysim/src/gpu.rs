@@ -1,0 +1,211 @@
+//! GPU inference model (Table 5).
+//!
+//! The paper evaluates EDEN on an NVIDIA Titan X simulated with GPGPU-Sim and
+//! GPUWattch (Section 7.2). GPUs hide most memory latency with massive
+//! multithreading, so the model exposes very little row-activation latency
+//! (which is why the paper measures only 0–5.5% speedup) while the GDDR5
+//! memory system — almost entirely powered from the scaled rail — yields
+//! larger relative DRAM energy savings (37% on average).
+
+use crate::result::SystemResult;
+use crate::workload::WorkloadProfile;
+use eden_dram::energy::{AccessCounts, DramEnergyModel, DramKind};
+use eden_dram::params::TimingParams;
+use eden_dram::OperatingPoint;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the simulated GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// Number of streaming multiprocessors.
+    pub sms: usize,
+    /// Core frequency in GHz.
+    pub freq_ghz: f64,
+    /// MACs per cycle per SM.
+    pub macs_per_cycle_per_sm: f64,
+    /// Aggregate GDDR5 bandwidth in bytes per nanosecond.
+    pub dram_bandwidth_bytes_per_ns: f64,
+    /// Fraction of feature-map traffic served by shared memory / L2.
+    pub feature_map_cache_hit_rate: f64,
+    /// Row-buffer hit rate (GPU memory controllers aggressively coalesce).
+    pub row_hit_rate: f64,
+    /// Nanoseconds of each row miss hidden by multithreading.
+    pub hidden_latency_ns: f64,
+    /// Fraction of irregular accesses that become exposed misses.
+    pub irregular_miss_weight: f64,
+    /// Concurrent outstanding misses the GPU sustains (memory-level
+    /// parallelism); exposed latency is divided by this factor.
+    pub miss_parallelism: f64,
+    /// Fraction of GDDR5 energy on the scaled voltage rail.
+    pub vdd_scalable_fraction: f64,
+}
+
+impl GpuConfig {
+    /// The Titan X configuration of Table 5.
+    pub fn table5() -> Self {
+        Self {
+            sms: 28,
+            freq_ghz: 1.417,
+            macs_per_cycle_per_sm: 128.0,
+            dram_bandwidth_bytes_per_ns: 336.0,
+            feature_map_cache_hit_rate: 0.55,
+            row_hit_rate: 0.80,
+            hidden_latency_ns: 34.0,
+            irregular_miss_weight: 0.25,
+            miss_parallelism: 16.0,
+            vdd_scalable_fraction: 0.92,
+        }
+    }
+
+    /// Peak MAC throughput in MACs per nanosecond.
+    pub fn macs_per_ns(&self) -> f64 {
+        self.sms as f64 * self.freq_ghz * self.macs_per_cycle_per_sm
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        Self::table5()
+    }
+}
+
+/// The GPU system simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuSim {
+    config: GpuConfig,
+}
+
+impl GpuSim {
+    /// Creates a simulator with an explicit configuration.
+    pub fn new(config: GpuConfig) -> Self {
+        Self { config }
+    }
+
+    /// Creates the Table 5 (Titan X) configuration.
+    pub fn table5() -> Self {
+        Self::new(GpuConfig::table5())
+    }
+
+    /// The simulator configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Runs one inference of `workload` with DRAM at `op`.
+    pub fn run(&self, workload: &WorkloadProfile, op: &OperatingPoint) -> SystemResult {
+        self.run_with_timing(workload, op.timing, op.vdd_reduction())
+    }
+
+    /// Runs with an idealized zero `tRCD` at nominal voltage.
+    pub fn run_ideal_latency(&self, workload: &WorkloadProfile) -> SystemResult {
+        let timing = TimingParams {
+            trcd_ns: 0.0,
+            ..TimingParams::nominal()
+        };
+        self.run_with_timing(workload, timing, 0.0)
+    }
+
+    fn run_with_timing(
+        &self,
+        workload: &WorkloadProfile,
+        timing: TimingParams,
+        vdd_reduction: f32,
+    ) -> SystemResult {
+        let cfg = &self.config;
+        let weight_bytes = workload.weight_bytes() as f64;
+        let fm_bytes = workload.feature_map_bytes() as f64;
+        let read_bytes = weight_bytes + fm_bytes * 0.5 * (1.0 - cfg.feature_map_cache_hit_rate);
+        let write_bytes = fm_bytes * 0.5 * (1.0 - cfg.feature_map_cache_hit_rate);
+        let reads = (read_bytes / 64.0).ceil() as u64;
+        let writes = (write_bytes / 64.0).ceil() as u64;
+        let activations = ((reads + writes) as f64 * (1.0 - cfg.row_hit_rate)).ceil() as u64;
+
+        let compute_ns = workload.total_macs() as f64 / cfg.macs_per_ns();
+        let bandwidth_ns = (read_bytes + write_bytes) / cfg.dram_bandwidth_bytes_per_ns;
+        let exposed_misses =
+            reads as f64 * workload.irregular_access_fraction * cfg.irregular_miss_weight;
+        let miss_latency =
+            (timing.trp_ns + timing.trcd_ns + timing.cl_ns) as f64 - cfg.hidden_latency_ns;
+        let exposed_latency_ns = exposed_misses * miss_latency.max(0.0) / cfg.miss_parallelism;
+        // GPUs overlap memory stalls with compute from other thread blocks:
+        // exposed latency only matters when the workload is memory bound.
+        let time_ns = compute_ns.max(bandwidth_ns + exposed_latency_ns);
+
+        let counts = AccessCounts {
+            activations,
+            reads,
+            writes,
+            elapsed_ns: time_ns,
+        };
+        let op = if vdd_reduction <= 0.0 {
+            OperatingPoint::nominal()
+        } else {
+            OperatingPoint::with_vdd_reduction(vdd_reduction)
+        };
+        let energy_model = DramEnergyModel::at_operating_point(DramKind::Ddr4, &op)
+            .with_scalable_fraction(cfg.vdd_scalable_fraction);
+        SystemResult {
+            time_ns,
+            compute_ns,
+            bandwidth_ns,
+            exposed_latency_ns,
+            dram_counts: counts,
+            dram_energy: energy_model.energy(&counts),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eden_dnn::zoo::ModelId;
+    use eden_tensor::Precision;
+
+    #[test]
+    fn gpu_is_faster_than_cpu_for_the_same_workload() {
+        let p = WorkloadProfile::for_model(ModelId::Yolo, Precision::Fp32);
+        let gpu = GpuSim::table5().run(&p, &OperatingPoint::nominal());
+        let cpu = crate::cpu::CpuSim::table4().run(&p, &OperatingPoint::nominal());
+        assert!(gpu.time_ns < cpu.time_ns);
+    }
+
+    #[test]
+    fn gpu_energy_savings_are_larger_than_cpu_savings() {
+        // Same workload, same voltage reduction: GDDR5's larger scalable
+        // fraction yields larger relative savings (37% vs 21% in the paper).
+        let p = WorkloadProfile::for_model(ModelId::Yolo, Precision::Int8);
+        let op = OperatingPoint::with_vdd_reduction(0.30);
+        let gpu = GpuSim::table5();
+        let cpu = crate::cpu::CpuSim::table4();
+        let gpu_saving = gpu
+            .run(&p, &op)
+            .energy_reduction_vs(&gpu.run(&p, &OperatingPoint::nominal()));
+        let cpu_saving = cpu
+            .run(&p, &op)
+            .energy_reduction_vs(&cpu.run(&p, &OperatingPoint::nominal()));
+        assert!(gpu_saving > cpu_saving);
+        assert!(gpu_saving > 0.30 && gpu_saving < 0.50, "gpu saving {gpu_saving}");
+    }
+
+    #[test]
+    fn gpu_speedup_is_modest_even_for_yolo() {
+        let gpu = GpuSim::table5();
+        let tiny = WorkloadProfile::for_model(ModelId::YoloTiny, Precision::Int8);
+        let nominal = gpu.run(&tiny, &OperatingPoint::nominal());
+        let reduced = gpu.run(&tiny, &OperatingPoint::with_trcd_reduction(4.5));
+        let ideal = gpu.run_ideal_latency(&tiny);
+        let s = reduced.speedup_over(&nominal);
+        let ideal_s = ideal.speedup_over(&nominal);
+        assert!(s >= 1.0 && s < 1.12, "GPU YOLO-Tiny speedup {s}");
+        assert!(ideal_s >= s);
+    }
+
+    #[test]
+    fn compute_bound_models_see_no_gpu_speedup() {
+        let gpu = GpuSim::table5();
+        let p = WorkloadProfile::for_model(ModelId::ResNet, Precision::Int8);
+        let nominal = gpu.run(&p, &OperatingPoint::nominal());
+        let ideal = gpu.run_ideal_latency(&p);
+        assert!(ideal.speedup_over(&nominal) < 1.03);
+    }
+}

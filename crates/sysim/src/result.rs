@@ -1,0 +1,84 @@
+//! Shared result types of the system simulators.
+
+use eden_dram::energy::{AccessCounts, EnergyBreakdown};
+use serde::{Deserialize, Serialize};
+
+/// The outcome of running one DNN inference on a simulated system at a DRAM
+/// operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemResult {
+    /// End-to-end execution time in nanoseconds.
+    pub time_ns: f64,
+    /// Time spent on compute (overlappable with memory).
+    pub compute_ns: f64,
+    /// Time spent streaming data at DRAM bandwidth.
+    pub bandwidth_ns: f64,
+    /// Memory latency that could not be hidden (exposed stall time).
+    pub exposed_latency_ns: f64,
+    /// DRAM command counts.
+    pub dram_counts: AccessCounts,
+    /// DRAM energy breakdown.
+    pub dram_energy: EnergyBreakdown,
+}
+
+impl SystemResult {
+    /// Speedup of this result relative to a baseline run of the same
+    /// workload (baseline time / this time).
+    pub fn speedup_over(&self, baseline: &SystemResult) -> f64 {
+        baseline.time_ns / self.time_ns
+    }
+
+    /// Fractional DRAM energy reduction relative to a baseline run.
+    pub fn energy_reduction_vs(&self, baseline: &SystemResult) -> f64 {
+        1.0 - self.dram_energy.total_nj() / baseline.dram_energy.total_nj()
+    }
+}
+
+/// Geometric mean of a set of per-workload ratios (the paper reports GMean
+/// across workloads in Figures 13 and 14).
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(time: f64, energy: f64) -> SystemResult {
+        SystemResult {
+            time_ns: time,
+            compute_ns: time / 2.0,
+            bandwidth_ns: time / 4.0,
+            exposed_latency_ns: time / 4.0,
+            dram_counts: AccessCounts::default(),
+            dram_energy: EnergyBreakdown {
+                activation_nj: energy,
+                ..EnergyBreakdown::default()
+            },
+        }
+    }
+
+    #[test]
+    fn speedup_and_energy_reduction_are_relative() {
+        let base = result(100.0, 10.0);
+        let faster = result(80.0, 7.0);
+        assert!((faster.speedup_over(&base) - 1.25).abs() < 1e-9);
+        assert!((faster.energy_reduction_vs(&base) - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geometric_mean_of_identical_values() {
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-9);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geometric_mean_is_below_arithmetic_mean_for_spread_values() {
+        let g = geometric_mean(&[1.0, 4.0]);
+        assert!(g < 2.5 && g > 1.9);
+    }
+}

@@ -1,0 +1,211 @@
+//! Per-layer DRAM traffic and compute profiles of DNN inference workloads.
+//!
+//! The system models are driven by how many bytes each DNN layer moves to and
+//! from DRAM (weights, IFMs, OFMs) and how many multiply-accumulates it
+//! performs. Profiles can be built directly from a [`Network`] or from a zoo
+//! [`ModelId`], in which case the traffic is scaled to the paper's Table 1
+//! footprints so that the *memory intensity* of the full-size networks — the
+//! property the system results depend on — is preserved even though our
+//! trained networks are scaled down (see `DESIGN.md`).
+
+use eden_dnn::zoo::ModelId;
+use eden_dnn::{Dataset, Network};
+use eden_tensor::Precision;
+use serde::{Deserialize, Serialize};
+
+/// Per-layer DRAM traffic and compute of one inference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerTraffic {
+    /// Layer name.
+    pub name: String,
+    /// Weight bytes loaded from DRAM.
+    pub weight_bytes: u64,
+    /// Input-feature-map bytes loaded from DRAM.
+    pub ifm_bytes: u64,
+    /// Output-feature-map bytes written to DRAM.
+    pub ofm_bytes: u64,
+    /// Multiply-accumulate operations.
+    pub macs: u64,
+}
+
+impl LayerTraffic {
+    /// Total DRAM bytes moved by this layer.
+    pub fn total_bytes(&self) -> u64 {
+        self.weight_bytes + self.ifm_bytes + self.ofm_bytes
+    }
+}
+
+/// The DRAM traffic and compute profile of one DNN inference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Name of the DNN.
+    pub model_name: String,
+    /// Numeric precision of weights and feature maps.
+    pub precision: Precision,
+    /// Per-layer traffic, in execution order.
+    pub layers: Vec<LayerTraffic>,
+    /// Fraction of DRAM accesses that are irregular (pointer-chasing-like
+    /// indexing that prefetchers cannot cover). The paper attributes YOLO's
+    /// latency sensitivity to exactly such accesses (non-maximum suppression
+    /// and confidence thresholding, Section 7.1).
+    pub irregular_access_fraction: f64,
+}
+
+impl WorkloadProfile {
+    /// Builds a profile directly from a network.
+    pub fn from_network(
+        net: &Network,
+        precision: Precision,
+        irregular_access_fraction: f64,
+    ) -> Self {
+        let bytes_per_value = precision.bits() as u64;
+        let mut layers = Vec::with_capacity(net.depth());
+        let mut cur_shape = net.input_shape().to_vec();
+        for layer in net.layers() {
+            let out_shape = layer.output_shape(&cur_shape);
+            let ifm_elems: usize = cur_shape.iter().product();
+            let ofm_elems: usize = out_shape.iter().product();
+            layers.push(LayerTraffic {
+                name: layer.name().to_string(),
+                weight_bytes: layer.param_count() as u64 * bytes_per_value / 8,
+                ifm_bytes: ifm_elems as u64 * bytes_per_value / 8,
+                ofm_bytes: ofm_elems as u64 * bytes_per_value / 8,
+                macs: layer.macs(&cur_shape),
+            });
+            cur_shape = out_shape;
+        }
+        Self {
+            model_name: net.name().to_string(),
+            precision,
+            layers,
+            irregular_access_fraction: irregular_access_fraction.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Builds the profile of a paper model at a precision: the scaled-down
+    /// zoo network provides the per-layer *structure*, and total traffic is
+    /// scaled to the paper's Table 1 "IFM+Weight size" so the memory
+    /// intensity of the full-size network is preserved.
+    pub fn for_model(id: ModelId, precision: Precision) -> Self {
+        let dataset_spec = id.dataset(0).spec();
+        let net = id.build(&dataset_spec, 0);
+        let mut profile =
+            Self::from_network(&net, precision, Self::irregularity_for(id));
+        profile.model_name = id.spec().display_name.to_string();
+
+        // Scale to the paper footprint: Table 1 reports FP32 sizes in MB.
+        let paper_bytes_fp32 = (id.spec().paper.ifm_weight_size_mb as f64) * 1024.0 * 1024.0;
+        let paper_bytes = paper_bytes_fp32 * precision.bits() as f64 / 32.0;
+        let ours = profile.total_dram_bytes().max(1) as f64;
+        let scale = paper_bytes / ours;
+        for layer in &mut profile.layers {
+            layer.weight_bytes = (layer.weight_bytes as f64 * scale) as u64;
+            layer.ifm_bytes = (layer.ifm_bytes as f64 * scale) as u64;
+            layer.ofm_bytes = (layer.ofm_bytes as f64 * scale) as u64;
+            layer.macs = (layer.macs as f64 * scale) as u64;
+        }
+        profile
+    }
+
+    /// Irregular-access fraction per model family. The YOLO networks perform
+    /// arbitrary indexing (NMS, IoU/confidence thresholding) that defeats
+    /// prefetchers; the image classifiers stream their data predictably.
+    fn irregularity_for(id: ModelId) -> f64 {
+        match id {
+            ModelId::Yolo => 0.30,
+            ModelId::YoloTiny => 0.26,
+            ModelId::Vgg16 | ModelId::AlexNet | ModelId::DenseNet => 0.08,
+            ModelId::MobileNet | ModelId::LeNet => 0.06,
+            ModelId::ResNet | ModelId::SqueezeNet => 0.02,
+        }
+    }
+
+    /// Total DRAM bytes moved per inference.
+    pub fn total_dram_bytes(&self) -> u64 {
+        self.layers.iter().map(|l| l.total_bytes()).sum()
+    }
+
+    /// Total weight bytes per inference.
+    pub fn weight_bytes(&self) -> u64 {
+        self.layers.iter().map(|l| l.weight_bytes).sum()
+    }
+
+    /// Total feature-map bytes (IFM + OFM) per inference.
+    pub fn feature_map_bytes(&self) -> u64 {
+        self.layers.iter().map(|l| l.ifm_bytes + l.ofm_bytes).sum()
+    }
+
+    /// Total multiply-accumulate operations per inference.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs).sum()
+    }
+
+    /// Arithmetic intensity: MACs per DRAM byte.
+    pub fn macs_per_byte(&self) -> f64 {
+        self.total_macs() as f64 / self.total_dram_bytes().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eden_dnn::Dataset;
+
+    #[test]
+    fn profiles_exist_for_every_zoo_model() {
+        for id in ModelId::all() {
+            let p = WorkloadProfile::for_model(id, Precision::Int8);
+            assert!(!p.layers.is_empty(), "{id}");
+            assert!(p.total_dram_bytes() > 0, "{id}");
+            assert!(p.total_macs() > 0, "{id}");
+        }
+    }
+
+    #[test]
+    fn paper_scaling_matches_table1_footprint() {
+        let p = WorkloadProfile::for_model(ModelId::Vgg16, Precision::Fp32);
+        let expected = 218.0 * 1024.0 * 1024.0;
+        let actual = p.total_dram_bytes() as f64;
+        assert!(
+            (actual - expected).abs() / expected < 0.01,
+            "VGG traffic {actual} should match Table 1's 218 MB"
+        );
+    }
+
+    #[test]
+    fn int8_traffic_is_quarter_of_fp32() {
+        let fp32 = WorkloadProfile::for_model(ModelId::ResNet, Precision::Fp32).total_dram_bytes();
+        let int8 = WorkloadProfile::for_model(ModelId::ResNet, Precision::Int8).total_dram_bytes();
+        let ratio = fp32 as f64 / int8 as f64;
+        assert!((ratio - 4.0).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn yolo_is_marked_irregular_resnet_is_not() {
+        let yolo = WorkloadProfile::for_model(ModelId::Yolo, Precision::Int8);
+        let resnet = WorkloadProfile::for_model(ModelId::ResNet, Precision::Int8);
+        assert!(yolo.irregular_access_fraction > 3.0 * resnet.irregular_access_fraction);
+    }
+
+    #[test]
+    fn from_network_traffic_matches_network_accounting() {
+        let id = ModelId::LeNet;
+        let spec = id.dataset(0).spec();
+        let net = id.build(&spec, 0);
+        let p = WorkloadProfile::from_network(&net, Precision::Fp32, 0.05);
+        assert_eq!(p.weight_bytes(), net.weight_bytes(Precision::Fp32));
+        // IFM accounting in the profile equals the network's own IFM bytes.
+        let ifm: u64 = p.layers.iter().map(|l| l.ifm_bytes).sum();
+        assert_eq!(ifm, net.ifm_bytes(Precision::Fp32));
+        assert_eq!(p.total_macs(), net.total_macs());
+    }
+
+    #[test]
+    fn arithmetic_intensity_is_finite_and_positive() {
+        for id in [ModelId::Vgg16, ModelId::SqueezeNet, ModelId::Yolo] {
+            let p = WorkloadProfile::for_model(id, Precision::Int8);
+            assert!(p.macs_per_byte() > 0.0);
+            assert!(p.macs_per_byte().is_finite());
+        }
+    }
+}

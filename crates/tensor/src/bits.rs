@@ -1,0 +1,146 @@
+//! Bit-level helpers for stored value representations.
+//!
+//! Approximate DRAM corrupts the *stored* bits of a value, so the EDEN
+//! reproduction needs to flip bits of the exact representation a value would
+//! have in memory: IEEE-754 for `f32`, sign-extended two's complement for the
+//! integer precisions.
+
+/// Flips bit `bit` (0 = LSB) of an `f32` and returns the resulting value.
+///
+/// # Panics
+///
+/// Panics if `bit >= 32`.
+pub fn flip_bit_f32(value: f32, bit: u32) -> f32 {
+    assert!(bit < 32, "f32 has 32 bits, got bit index {bit}");
+    f32::from_bits(value.to_bits() ^ (1 << bit))
+}
+
+/// Flips bit `bit` (0 = LSB) of a two's complement integer of `width` bits
+/// stored in an `i32`, and returns the new (sign-extended) integer value.
+///
+/// # Panics
+///
+/// Panics if `bit >= width` or `width` is 0 or greater than 32.
+pub fn flip_bit_int(value: i32, bit: u32, width: u32) -> i32 {
+    assert!(width > 0 && width <= 32, "invalid integer width {width}");
+    assert!(bit < width, "bit {bit} out of range for width {width}");
+    let mask = if width == 32 {
+        u32::MAX
+    } else {
+        (1u32 << width) - 1
+    };
+    let stored = (value as u32) & mask;
+    let flipped = stored ^ (1 << bit);
+    sign_extend(flipped, width)
+}
+
+/// Sign-extends the low `width` bits of `stored` to an `i32`.
+pub fn sign_extend(stored: u32, width: u32) -> i32 {
+    if width == 32 {
+        return stored as i32;
+    }
+    let sign_bit = 1u32 << (width - 1);
+    if stored & sign_bit != 0 {
+        (stored | !((1u32 << width) - 1)) as i32
+    } else {
+        stored as i32
+    }
+}
+
+/// Extracts bit `bit` of the low `width` bits of a stored pattern.
+pub fn get_bit(stored: u32, bit: u32) -> bool {
+    (stored >> bit) & 1 == 1
+}
+
+/// Number of differing bits between two `width`-bit patterns.
+pub fn hamming_distance(a: u32, b: u32, width: u32) -> u32 {
+    let mask = if width == 32 {
+        u32::MAX
+    } else {
+        (1u32 << width) - 1
+    };
+    ((a ^ b) & mask).count_ones()
+}
+
+/// Number of set bits in the low `width` bits.
+pub fn popcount(stored: u32, width: u32) -> u32 {
+    let mask = if width == 32 {
+        u32::MAX
+    } else {
+        (1u32 << width) - 1
+    };
+    (stored & mask).count_ones()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_f32_sign_bit_negates() {
+        let v = flip_bit_f32(1.5, 31);
+        assert_eq!(v, -1.5);
+    }
+
+    #[test]
+    fn flip_f32_exponent_bit_explodes() {
+        // Flipping the top exponent bit of a small number produces an
+        // implausibly large value — the accuracy-collapse mechanism the paper
+        // describes in Section 3.2.
+        let v = flip_bit_f32(1.0, 30);
+        assert!(v.abs() > 1e30);
+    }
+
+    #[test]
+    fn flip_f32_twice_restores() {
+        for bit in 0..32 {
+            let v = 0.37f32;
+            assert_eq!(flip_bit_f32(flip_bit_f32(v, bit), bit), v);
+        }
+    }
+
+    #[test]
+    fn int_flip_msb_changes_sign() {
+        assert_eq!(flip_bit_int(1, 7, 8), 1 - 128);
+        assert_eq!(flip_bit_int(-1, 7, 8), 127);
+    }
+
+    #[test]
+    fn int_flip_lsb() {
+        assert_eq!(flip_bit_int(4, 0, 8), 5);
+        assert_eq!(flip_bit_int(5, 0, 8), 4);
+    }
+
+    #[test]
+    fn int_flip_twice_restores() {
+        for width in [4u32, 8, 16] {
+            let lo = -(1i32 << (width - 1));
+            let hi = (1i32 << (width - 1)) - 1;
+            for v in [lo, -1, 0, 1, hi] {
+                for bit in 0..width {
+                    assert_eq!(flip_bit_int(flip_bit_int(v, bit, width), bit, width), v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sign_extend_negative() {
+        assert_eq!(sign_extend(0b1111, 4), -1);
+        assert_eq!(sign_extend(0b1000, 4), -8);
+        assert_eq!(sign_extend(0b0111, 4), 7);
+    }
+
+    #[test]
+    fn hamming_and_popcount() {
+        assert_eq!(hamming_distance(0b1010, 0b0110, 4), 2);
+        assert_eq!(popcount(0xFF, 8), 8);
+        assert_eq!(popcount(0xFF, 4), 4);
+    }
+
+    #[test]
+    fn get_bit_reads_pattern() {
+        assert!(get_bit(0b100, 2));
+        assert!(!get_bit(0b100, 1));
+    }
+}

@@ -1,0 +1,421 @@
+//! Neural-network operators (forward and backward).
+//!
+//! All operators work on the dense [`Tensor`] type. Convolution tensors use
+//! the `[channels, height, width]` (CHW) layout for single samples and
+//! `[batch, channels, height, width]` (NCHW) for batches where noted.
+
+use crate::tensor::Tensor;
+
+/// Matrix multiplication `a (m×k) * b (k×n) -> (m×n)`.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions do not agree or inputs are not rank-2.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(a.shape().len(), 2, "matmul lhs must be rank 2");
+    assert_eq!(b.shape().len(), 2, "matmul rhs must be rank 2");
+    assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+    let ad = a.data();
+    let bd = b.data();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let av = ad[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Transposes a rank-2 tensor.
+pub fn transpose(a: &Tensor) -> Tensor {
+    let (m, n) = (a.shape()[0], a.shape()[1]);
+    let mut out = vec![0.0f32; m * n];
+    let d = a.data();
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = d[i * n + j];
+        }
+    }
+    Tensor::from_vec(out, &[n, m])
+}
+
+/// Parameters of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dParams {
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding in both spatial dimensions.
+    pub padding: usize,
+}
+
+impl Conv2dParams {
+    /// Convenience constructor.
+    pub fn new(kernel: usize, stride: usize, padding: usize) -> Self {
+        Self {
+            kernel,
+            stride,
+            padding,
+        }
+    }
+
+    /// Output spatial size for an input spatial size.
+    pub fn out_size(&self, in_size: usize) -> usize {
+        (in_size + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+}
+
+/// 2-D convolution forward pass for a single sample.
+///
+/// * `input` — `[in_c, h, w]`
+/// * `weight` — `[out_c, in_c, k, k]`
+/// * `bias` — `[out_c]`
+///
+/// Returns `[out_c, oh, ow]`.
+pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, p: Conv2dParams) -> Tensor {
+    let (in_c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+    let (out_c, w_in_c, k) = (weight.shape()[0], weight.shape()[1], weight.shape()[2]);
+    assert_eq!(in_c, w_in_c, "conv2d channel mismatch");
+    assert_eq!(weight.shape()[3], k, "conv2d kernel must be square");
+    assert_eq!(bias.len(), out_c, "conv2d bias size mismatch");
+    let (oh, ow) = (p.out_size(h), p.out_size(w));
+    let id = input.data();
+    let wd = weight.data();
+    let bd = bias.data();
+    let mut out = vec![0.0f32; out_c * oh * ow];
+
+    for oc in 0..out_c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = bd[oc];
+                for ic in 0..in_c {
+                    for ky in 0..k {
+                        let iy = (oy * p.stride + ky) as isize - p.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * p.stride + kx) as isize - p.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let iv = id[ic * h * w + iy as usize * w + ix as usize];
+                            let wv = wd[oc * in_c * k * k + ic * k * k + ky * k + kx];
+                            acc += iv * wv;
+                        }
+                    }
+                }
+                out[oc * oh * ow + oy * ow + ox] = acc;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[out_c, oh, ow])
+}
+
+/// Gradients produced by [`conv2d_backward`].
+#[derive(Debug, Clone)]
+pub struct Conv2dGrads {
+    /// Gradient with respect to the input, `[in_c, h, w]`.
+    pub d_input: Tensor,
+    /// Gradient with respect to the weights, `[out_c, in_c, k, k]`.
+    pub d_weight: Tensor,
+    /// Gradient with respect to the bias, `[out_c]`.
+    pub d_bias: Tensor,
+}
+
+/// 2-D convolution backward pass for a single sample.
+///
+/// `d_out` has shape `[out_c, oh, ow]` and matches the forward output.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    d_out: &Tensor,
+    p: Conv2dParams,
+) -> Conv2dGrads {
+    let (in_c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+    let (out_c, _, k) = (weight.shape()[0], weight.shape()[1], weight.shape()[2]);
+    let (oh, ow) = (p.out_size(h), p.out_size(w));
+    assert_eq!(d_out.shape(), &[out_c, oh, ow], "conv2d_backward d_out shape");
+
+    let id = input.data();
+    let wd = weight.data();
+    let dd = d_out.data();
+    let mut d_in = vec![0.0f32; in_c * h * w];
+    let mut d_w = vec![0.0f32; weight.len()];
+    let mut d_b = vec![0.0f32; out_c];
+
+    for oc in 0..out_c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let g = dd[oc * oh * ow + oy * ow + ox];
+                if g == 0.0 {
+                    continue;
+                }
+                d_b[oc] += g;
+                for ic in 0..in_c {
+                    for ky in 0..k {
+                        let iy = (oy * p.stride + ky) as isize - p.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * p.stride + kx) as isize - p.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let ii = ic * h * w + iy as usize * w + ix as usize;
+                            let wi = oc * in_c * k * k + ic * k * k + ky * k + kx;
+                            d_in[ii] += g * wd[wi];
+                            d_w[wi] += g * id[ii];
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    Conv2dGrads {
+        d_input: Tensor::from_vec(d_in, &[in_c, h, w]),
+        d_weight: Tensor::from_vec(d_w, weight.shape()),
+        d_bias: Tensor::from_vec(d_b, &[out_c]),
+    }
+}
+
+/// 2×2 (or general) max pooling forward pass for a single `[c, h, w]` sample.
+///
+/// Returns the pooled output and the flat argmax indices used by the backward
+/// pass.
+pub fn maxpool2d(input: &Tensor, size: usize, stride: usize) -> (Tensor, Vec<usize>) {
+    let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+    let oh = (h - size) / stride + 1;
+    let ow = (w - size) / stride + 1;
+    let id = input.data();
+    let mut out = vec![f32::NEG_INFINITY; c * oh * ow];
+    let mut arg = vec![0usize; c * oh * ow];
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let oi = ch * oh * ow + oy * ow + ox;
+                for ky in 0..size {
+                    for kx in 0..size {
+                        let iy = oy * stride + ky;
+                        let ix = ox * stride + kx;
+                        let ii = ch * h * w + iy * w + ix;
+                        if id[ii] > out[oi] {
+                            out[oi] = id[ii];
+                            arg[oi] = ii;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (Tensor::from_vec(out, &[c, oh, ow]), arg)
+}
+
+/// Max pooling backward pass: routes gradients to the argmax positions.
+pub fn maxpool2d_backward(input_shape: &[usize], d_out: &Tensor, argmax: &[usize]) -> Tensor {
+    let mut d_in = vec![0.0f32; input_shape.iter().product()];
+    for (g, &src) in d_out.data().iter().zip(argmax) {
+        d_in[src] += g;
+    }
+    Tensor::from_vec(d_in, input_shape)
+}
+
+/// Global average pooling: `[c, h, w] -> [c]`.
+pub fn global_avg_pool(input: &Tensor) -> Tensor {
+    let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+    let id = input.data();
+    let mut out = vec![0.0f32; c];
+    for ch in 0..c {
+        let s: f32 = id[ch * h * w..(ch + 1) * h * w].iter().sum();
+        out[ch] = s / (h * w) as f32;
+    }
+    Tensor::from_vec(out, &[c])
+}
+
+/// Backward pass of [`global_avg_pool`].
+pub fn global_avg_pool_backward(input_shape: &[usize], d_out: &Tensor) -> Tensor {
+    let (c, h, w) = (input_shape[0], input_shape[1], input_shape[2]);
+    let scale = 1.0 / (h * w) as f32;
+    let mut d_in = vec![0.0f32; c * h * w];
+    for ch in 0..c {
+        let g = d_out.data()[ch] * scale;
+        for v in &mut d_in[ch * h * w..(ch + 1) * h * w] {
+            *v = g;
+        }
+    }
+    Tensor::from_vec(d_in, input_shape)
+}
+
+/// ReLU activation.
+pub fn relu(x: &Tensor) -> Tensor {
+    x.map(|v| v.max(0.0))
+}
+
+/// ReLU backward: passes gradient where the forward input was positive.
+pub fn relu_backward(input: &Tensor, d_out: &Tensor) -> Tensor {
+    input.zip(d_out, |x, g| if x > 0.0 { g } else { 0.0 })
+}
+
+/// Numerically-stable softmax over a rank-1 tensor.
+pub fn softmax(x: &Tensor) -> Tensor {
+    let m = x.max();
+    let exps: Vec<f32> = x.data().iter().map(|&v| (v - m).exp()).collect();
+    let s: f32 = exps.iter().sum();
+    Tensor::from_vec(exps.into_iter().map(|e| e / s).collect(), x.shape())
+}
+
+/// Cross-entropy loss of softmax `probs` against a one-hot `label` index.
+///
+/// Returns `(loss, d_logits)` where `d_logits` is the gradient with respect to
+/// the pre-softmax logits (the usual `probs - onehot` shortcut).
+pub fn softmax_cross_entropy(logits: &Tensor, label: usize) -> (f32, Tensor) {
+    let probs = softmax(logits);
+    let eps = 1e-9f32;
+    let loss = -(probs.data()[label] + eps).ln();
+    let mut d = probs.data().to_vec();
+    d[label] -= 1.0;
+    (loss, Tensor::from_vec(d, logits.shape()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-4
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let i = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        assert_eq!(matmul(&a, &i), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(transpose(&transpose(&a)), a);
+        assert_eq!(transpose(&a).shape(), &[3, 2]);
+    }
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        // 1x1 kernel with weight 1.0 reproduces the input.
+        let input = Tensor::from_vec((0..9).map(|x| x as f32).collect(), &[1, 3, 3]);
+        let weight = Tensor::from_vec(vec![1.0], &[1, 1, 1, 1]);
+        let bias = Tensor::zeros(&[1]);
+        let out = conv2d(&input, &weight, &bias, Conv2dParams::new(1, 1, 0));
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn conv2d_known_sum_kernel() {
+        // 3x3 all-ones kernel with padding 1 at the center equals the sum of
+        // the full input.
+        let input = Tensor::from_vec(vec![1.0; 9], &[1, 3, 3]);
+        let weight = Tensor::from_vec(vec![1.0; 9], &[1, 1, 3, 3]);
+        let bias = Tensor::zeros(&[1]);
+        let out = conv2d(&input, &weight, &bias, Conv2dParams::new(3, 1, 1));
+        assert_eq!(out.shape(), &[1, 3, 3]);
+        assert!(approx(out.get(&[0, 1, 1]), 9.0));
+        assert!(approx(out.get(&[0, 0, 0]), 4.0)); // corner sees 2x2 window
+    }
+
+    #[test]
+    fn conv2d_backward_matches_numerical_gradient() {
+        // Finite-difference check of d_weight on a tiny conv.
+        let input = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.3, 1.5, -0.7, 0.2, 0.9, -1.1], &[1, 3, 3]);
+        let mut weight = Tensor::from_vec(vec![0.1, -0.2, 0.3, 0.4], &[1, 1, 2, 2]);
+        let bias = Tensor::zeros(&[1]);
+        let p = Conv2dParams::new(2, 1, 0);
+
+        // Loss = sum of outputs.
+        let out = conv2d(&input, &weight, &bias, p);
+        let d_out = Tensor::full(out.shape(), 1.0);
+        let grads = conv2d_backward(&input, &weight, &d_out, p);
+
+        let eps = 1e-3;
+        for wi in 0..weight.len() {
+            let orig = weight.data()[wi];
+            weight.data_mut()[wi] = orig + eps;
+            let lp = conv2d(&input, &weight, &bias, p).sum();
+            weight.data_mut()[wi] = orig - eps;
+            let lm = conv2d(&input, &weight, &bias, p).sum();
+            weight.data_mut()[wi] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - grads.d_weight.data()[wi]).abs() < 1e-2,
+                "weight grad mismatch at {wi}: numerical {num} vs analytic {}",
+                grads.d_weight.data()[wi]
+            );
+        }
+    }
+
+    #[test]
+    fn maxpool_forward_and_backward() {
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]);
+        let (out, arg) = maxpool2d(&input, 2, 2);
+        assert_eq!(out.data(), &[4.0]);
+        let d_out = Tensor::from_vec(vec![5.0], &[1, 1, 1]);
+        let d_in = maxpool2d_backward(&[1, 2, 2], &d_out, &arg);
+        assert_eq!(d_in.data(), &[0.0, 0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_mean_and_gradient() {
+        let input = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[1, 2, 2]);
+        let out = global_avg_pool(&input);
+        assert_eq!(out.data(), &[4.0]);
+        let d = global_avg_pool_backward(&[1, 2, 2], &Tensor::from_vec(vec![4.0], &[1]));
+        assert_eq!(d.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn relu_and_backward() {
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]);
+        assert_eq!(relu(&x).data(), &[0.0, 0.0, 2.0]);
+        let g = Tensor::from_vec(vec![1.0, 1.0, 1.0], &[3]);
+        assert_eq!(relu_backward(&x, &g).data(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let x = Tensor::from_vec(vec![1000.0, 1000.0, 1000.0], &[3]);
+        let p = softmax(&x);
+        assert!(approx(p.sum(), 1.0));
+        assert!(approx(p.data()[0], 1.0 / 3.0));
+    }
+
+    #[test]
+    fn cross_entropy_gradient_shape() {
+        let logits = Tensor::from_vec(vec![0.1, 0.9, -0.3], &[3]);
+        let (loss, d) = softmax_cross_entropy(&logits, 1);
+        assert!(loss > 0.0);
+        assert_eq!(d.shape(), &[3]);
+        // Gradient sums to ~0 for softmax cross-entropy.
+        assert!(d.sum().abs() < 1e-5);
+    }
+}

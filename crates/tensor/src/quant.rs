@@ -1,0 +1,392 @@
+//! Symmetric linear quantization with bit-exact stored representations.
+//!
+//! The paper quantizes every DNN to int4, int8, int16 and FP32 using the
+//! "popular symmetric linear DNN quantization scheme" (Section 6.1). For EDEN
+//! the essential property is that the *stored bits* of each value are the ones
+//! a DRAM device would corrupt, so [`QuantTensor`] keeps the exact storage
+//! pattern of every element and exposes bit-flip operations over it.
+
+use crate::bits;
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Numeric precision of a stored tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// 4-bit signed integer.
+    Int4,
+    /// 8-bit signed integer.
+    Int8,
+    /// 16-bit signed integer.
+    Int16,
+    /// IEEE-754 single-precision floating point.
+    Fp32,
+}
+
+impl Precision {
+    /// Number of stored bits per value.
+    pub fn bits(self) -> u32 {
+        match self {
+            Precision::Int4 => 4,
+            Precision::Int8 => 8,
+            Precision::Int16 => 16,
+            Precision::Fp32 => 32,
+        }
+    }
+
+    /// Whether this is an integer (quantized) precision.
+    pub fn is_integer(self) -> bool {
+        !matches!(self, Precision::Fp32)
+    }
+
+    /// Largest representable quantized magnitude (`2^(b-1) - 1`) for integer
+    /// precisions; `None` for FP32.
+    pub fn q_max(self) -> Option<i32> {
+        match self {
+            Precision::Fp32 => None,
+            p => Some((1i32 << (p.bits() - 1)) - 1),
+        }
+    }
+
+    /// Smallest representable quantized value (`-2^(b-1)`) for integer
+    /// precisions; `None` for FP32.
+    pub fn q_min(self) -> Option<i32> {
+        match self {
+            Precision::Fp32 => None,
+            p => Some(-(1i32 << (p.bits() - 1))),
+        }
+    }
+
+    /// All precisions evaluated in the paper, smallest first.
+    pub fn all() -> [Precision; 4] {
+        [
+            Precision::Int4,
+            Precision::Int8,
+            Precision::Int16,
+            Precision::Fp32,
+        ]
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Precision::Int4 => "int4",
+            Precision::Int8 => "int8",
+            Precision::Int16 => "int16",
+            Precision::Fp32 => "FP32",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A tensor stored in its exact in-memory bit representation.
+///
+/// For integer precisions each element holds the two's complement pattern in
+/// the low `bits()` bits; for FP32 it holds the IEEE-754 bit pattern. The
+/// associated `scale` converts quantized integers back to real values
+/// (`value = q * scale`); it is `1.0` for FP32.
+///
+/// # Example
+///
+/// ```
+/// use eden_tensor::{Tensor, quant::{Precision, QuantTensor}};
+/// let t = Tensor::from_vec(vec![1.0, -2.0, 0.5, 0.0], &[4]);
+/// let mut q = QuantTensor::quantize(&t, Precision::Int8);
+/// q.flip_bit(0, 7); // corrupt the MSB of the first value
+/// let corrupted = q.dequantize();
+/// assert!(corrupted.data()[0] < 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantTensor {
+    shape: Vec<usize>,
+    precision: Precision,
+    scale: f32,
+    stored: Vec<u32>,
+}
+
+impl QuantTensor {
+    /// Quantizes an `f32` tensor into the given precision using symmetric
+    /// linear quantization (`scale = abs_max / q_max`).
+    pub fn quantize(t: &Tensor, precision: Precision) -> Self {
+        match precision {
+            Precision::Fp32 => Self {
+                shape: t.shape().to_vec(),
+                precision,
+                scale: 1.0,
+                stored: t.data().iter().map(|v| v.to_bits()).collect(),
+            },
+            p => {
+                let q_max = p.q_max().expect("integer precision") as f32;
+                let q_min = p.q_min().expect("integer precision") as f32;
+                let abs_max = t.abs_max();
+                let scale = if abs_max == 0.0 { 1.0 } else { abs_max / q_max };
+                let mask = if p.bits() == 32 {
+                    u32::MAX
+                } else {
+                    (1u32 << p.bits()) - 1
+                };
+                let stored = t
+                    .data()
+                    .iter()
+                    .map(|&v| {
+                        let q = (v / scale).round().clamp(q_min, q_max) as i32;
+                        (q as u32) & mask
+                    })
+                    .collect();
+                Self {
+                    shape: t.shape().to_vec(),
+                    precision: p,
+                    scale,
+                    stored,
+                }
+            }
+        }
+    }
+
+    /// Reconstructs the `f32` tensor from the stored representation.
+    pub fn dequantize(&self) -> Tensor {
+        let data: Vec<f32> = (0..self.stored.len()).map(|i| self.value(i)).collect();
+        Tensor::from_vec(data, &self.shape)
+    }
+
+    /// The dequantized value of element `i`.
+    pub fn value(&self, i: usize) -> f32 {
+        match self.precision {
+            Precision::Fp32 => f32::from_bits(self.stored[i]),
+            p => bits::sign_extend(self.stored[i], p.bits()) as f32 * self.scale,
+        }
+    }
+
+    /// Overwrites element `i` with a real value, re-quantizing it.
+    pub fn set_value(&mut self, i: usize, v: f32) {
+        match self.precision {
+            Precision::Fp32 => self.stored[i] = v.to_bits(),
+            p => {
+                let q_max = p.q_max().expect("integer") as f32;
+                let q_min = p.q_min().expect("integer") as f32;
+                let q = (v / self.scale).round().clamp(q_min, q_max) as i32;
+                let mask = (1u32 << p.bits()) - 1;
+                self.stored[i] = (q as u32) & mask;
+            }
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.stored.len()
+    }
+
+    /// Whether the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.stored.is_empty()
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The numeric precision of the stored values.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// The dequantization scale (`1.0` for FP32).
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Raw stored bit pattern of element `i` (low `bits()` bits significant).
+    pub fn stored_bits(&self, i: usize) -> u32 {
+        self.stored[i]
+    }
+
+    /// Raw stored patterns for all elements.
+    pub fn stored(&self) -> &[u32] {
+        &self.stored
+    }
+
+    /// Bits per stored value.
+    pub fn bits_per_value(&self) -> u32 {
+        self.precision.bits()
+    }
+
+    /// Total number of stored bits in the tensor.
+    pub fn total_bits(&self) -> u64 {
+        self.len() as u64 * self.bits_per_value() as u64
+    }
+
+    /// Total number of stored bytes (rounded up per value for int4: two int4
+    /// values per byte, so exact).
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bits() / 8
+    }
+
+    /// Flips bit `bit` (0 = LSB) of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `bit` is out of range.
+    pub fn flip_bit(&mut self, i: usize, bit: u32) {
+        assert!(bit < self.bits_per_value(), "bit index out of range");
+        self.stored[i] ^= 1 << bit;
+    }
+
+    /// Reads bit `bit` of element `i`.
+    pub fn get_bit(&self, i: usize, bit: u32) -> bool {
+        bits::get_bit(self.stored[i], bit)
+    }
+
+    /// Sets bit `bit` of element `i` to `value`.
+    pub fn set_bit(&mut self, i: usize, bit: u32, value: bool) {
+        assert!(bit < self.bits_per_value(), "bit index out of range");
+        if value {
+            self.stored[i] |= 1 << bit;
+        } else {
+            self.stored[i] &= !(1 << bit);
+        }
+    }
+
+    /// Number of bit positions that differ from another tensor with the same
+    /// shape and precision. Used to measure observed bit error rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes or precisions differ.
+    pub fn bit_differences(&self, other: &QuantTensor) -> u64 {
+        assert_eq!(self.shape, other.shape, "shape mismatch");
+        assert_eq!(self.precision, other.precision, "precision mismatch");
+        let w = self.bits_per_value();
+        self.stored
+            .iter()
+            .zip(&other.stored)
+            .map(|(&a, &b)| bits::hamming_distance(a, b, w) as u64)
+            .sum()
+    }
+
+    /// Root-mean-square quantization error against a reference tensor.
+    pub fn rms_error(&self, reference: &Tensor) -> f32 {
+        let deq = self.dequantize();
+        let diff = deq.sub(reference);
+        (diff.sq_norm() / diff.len() as f32).sqrt()
+    }
+}
+
+impl fmt::Display for QuantTensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "QuantTensor({} values, {}, scale {:.6})",
+            self.len(),
+            self.precision,
+            self.scale
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp32_round_trips_exactly() {
+        let t = Tensor::from_vec(vec![0.1, -2.7, 1e-8, 3.5e7], &[4]);
+        let q = QuantTensor::quantize(&t, Precision::Fp32);
+        assert_eq!(q.dequantize(), t);
+        assert_eq!(q.total_bytes(), 16);
+    }
+
+    #[test]
+    fn int8_quantization_error_is_bounded() {
+        let t = Tensor::from_vec((-50..50).map(|x| x as f32 / 10.0).collect(), &[100]);
+        let q = QuantTensor::quantize(&t, Precision::Int8);
+        // Max error is half of one quantization step.
+        let step = q.scale();
+        for (orig, deq) in t.data().iter().zip(q.dequantize().data()) {
+            assert!((orig - deq).abs() <= step / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn int4_is_coarser_than_int16() {
+        let t = Tensor::from_vec((0..64).map(|x| (x as f32 * 0.13).sin()).collect(), &[64]);
+        let e4 = QuantTensor::quantize(&t, Precision::Int4).rms_error(&t);
+        let e16 = QuantTensor::quantize(&t, Precision::Int16).rms_error(&t);
+        assert!(e4 > e16);
+    }
+
+    #[test]
+    fn zero_tensor_quantizes_safely() {
+        let t = Tensor::zeros(&[8]);
+        let q = QuantTensor::quantize(&t, Precision::Int8);
+        assert_eq!(q.dequantize(), t);
+        assert_eq!(q.scale(), 1.0);
+    }
+
+    #[test]
+    fn flip_bit_changes_and_restores_value() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        for p in Precision::all() {
+            let mut q = QuantTensor::quantize(&t, p);
+            let before = q.value(1);
+            q.flip_bit(1, 0);
+            q.flip_bit(1, 0);
+            assert_eq!(q.value(1), before, "double flip must restore ({p})");
+        }
+    }
+
+    #[test]
+    fn msb_flip_on_int8_changes_sign_region() {
+        let t = Tensor::from_vec(vec![1.0, 0.5, -0.25, 0.0], &[4]);
+        let mut q = QuantTensor::quantize(&t, Precision::Int8);
+        let before = q.value(0);
+        q.flip_bit(0, 7);
+        assert!(q.value(0) < before, "MSB flip of a positive value goes negative");
+    }
+
+    #[test]
+    fn exponent_flip_on_fp32_creates_implausible_value() {
+        let t = Tensor::from_vec(vec![0.75], &[1]);
+        let mut q = QuantTensor::quantize(&t, Precision::Fp32);
+        q.flip_bit(0, 30);
+        assert!(q.value(0).abs() > 1e30);
+    }
+
+    #[test]
+    fn bit_differences_counts_flips() {
+        let t = Tensor::from_vec(vec![1.0; 16], &[16]);
+        let a = QuantTensor::quantize(&t, Precision::Int8);
+        let mut b = a.clone();
+        b.flip_bit(0, 1);
+        b.flip_bit(5, 7);
+        b.flip_bit(5, 3);
+        assert_eq!(a.bit_differences(&b), 3);
+    }
+
+    #[test]
+    fn total_bits_accounts_for_precision() {
+        let t = Tensor::zeros(&[10]);
+        assert_eq!(QuantTensor::quantize(&t, Precision::Int4).total_bits(), 40);
+        assert_eq!(QuantTensor::quantize(&t, Precision::Fp32).total_bits(), 320);
+    }
+
+    #[test]
+    fn set_value_requantizes() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 4.0], &[3]);
+        let mut q = QuantTensor::quantize(&t, Precision::Int8);
+        q.set_value(0, 0.0);
+        assert_eq!(q.value(0), 0.0);
+    }
+
+    #[test]
+    fn set_and_get_bit_round_trip() {
+        let t = Tensor::from_vec(vec![0.0; 4], &[4]);
+        let mut q = QuantTensor::quantize(&t, Precision::Int16);
+        q.set_bit(2, 5, true);
+        assert!(q.get_bit(2, 5));
+        q.set_bit(2, 5, false);
+        assert!(!q.get_bit(2, 5));
+    }
+}

@@ -1,0 +1,154 @@
+//! Shape descriptions for dense tensors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A tensor shape: the extent of each dimension, outermost first.
+///
+/// Shapes are stored row-major; [`Shape::strides`] returns the element strides
+/// matching that layout.
+///
+/// # Example
+///
+/// ```
+/// use eden_tensor::Shape;
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "shape dimensions must be non-zero: {dims:?}"
+        );
+        Self {
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// The dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions (rank).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Whether the shape contains no elements (never true for valid shapes).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major element strides.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Flat index of a multi-dimensional coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` has the wrong rank or is out of bounds.
+    pub fn flat_index(&self, idx: &[usize]) -> usize {
+        assert_eq!(idx.len(), self.dims.len(), "index rank mismatch");
+        let mut flat = 0;
+        for ((&i, &d), s) in idx.iter().zip(&self.dims).zip(self.strides()) {
+            assert!(i < d, "index {i} out of bounds for dimension of size {d}");
+            flat += i * s;
+        }
+        flat
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(&dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.len(), 24);
+        assert_eq!(s.rank(), 3);
+    }
+
+    #[test]
+    fn flat_index_round_trip() {
+        let s = Shape::new(&[3, 5]);
+        assert_eq!(s.flat_index(&[0, 0]), 0);
+        assert_eq!(s.flat_index(&[2, 4]), 14);
+        assert_eq!(s.flat_index(&[1, 2]), 7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dim_rejected() {
+        Shape::new(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_index_rejected() {
+        let s = Shape::new(&[2, 2]);
+        s.flat_index(&[2, 0]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Shape::new(&[1, 28, 28]).to_string(), "[1x28x28]");
+    }
+
+    #[test]
+    fn scalar_like_rank_one() {
+        let s = Shape::new(&[7]);
+        assert_eq!(s.strides(), vec![1]);
+        assert_eq!(s.len(), 7);
+    }
+}

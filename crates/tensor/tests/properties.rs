@@ -1,0 +1,108 @@
+//! Property-based tests over the tensor substrate invariants.
+
+use eden_tensor::bits;
+use eden_tensor::ops;
+use eden_tensor::{Precision, QuantTensor, Tensor};
+use proptest::prelude::*;
+
+fn small_vec() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0, 1..64)
+}
+
+proptest! {
+    #[test]
+    fn quantize_dequantize_error_bounded_by_step(data in small_vec()) {
+        let n = data.len();
+        let t = Tensor::from_vec(data, &[n]);
+        for p in [Precision::Int8, Precision::Int16] {
+            let q = QuantTensor::quantize(&t, p);
+            let step = q.scale();
+            for (a, b) in t.data().iter().zip(q.dequantize().data()) {
+                prop_assert!((a - b).abs() <= step / 2.0 + 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn fp32_quantization_is_lossless(data in small_vec()) {
+        let n = data.len();
+        let t = Tensor::from_vec(data, &[n]);
+        let q = QuantTensor::quantize(&t, Precision::Fp32);
+        prop_assert_eq!(q.dequantize(), t);
+    }
+
+    #[test]
+    fn double_bit_flip_is_identity(data in small_vec(), idx in 0usize..64, bit in 0u32..32) {
+        let n = data.len();
+        let t = Tensor::from_vec(data, &[n]);
+        for p in Precision::all() {
+            let mut q = QuantTensor::quantize(&t, p);
+            let i = idx % n;
+            let b = bit % p.bits();
+            let before = q.stored_bits(i);
+            q.flip_bit(i, b);
+            q.flip_bit(i, b);
+            prop_assert_eq!(q.stored_bits(i), before);
+        }
+    }
+
+    #[test]
+    fn bit_differences_matches_flip_count(data in small_vec(), flips in prop::collection::vec((0usize..64, 0u32..8), 0..10)) {
+        let n = data.len();
+        let t = Tensor::from_vec(data, &[n]);
+        let base = QuantTensor::quantize(&t, Precision::Int8);
+        let mut corrupted = base.clone();
+        let mut unique = std::collections::HashSet::new();
+        for (i, b) in flips {
+            unique.insert((i % n, b));
+        }
+        for &(i, b) in &unique {
+            corrupted.flip_bit(i, b);
+        }
+        prop_assert_eq!(base.bit_differences(&corrupted), unique.len() as u64);
+    }
+
+    #[test]
+    fn sign_extend_round_trips_through_mask(v in -128i32..128, width in 8u32..=16) {
+        let mask = (1u32 << width) - 1;
+        let stored = (v as u32) & mask;
+        prop_assert_eq!(bits::sign_extend(stored, width), v);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(a in prop::collection::vec(-2.0f32..2.0, 4), b in prop::collection::vec(-2.0f32..2.0, 4), c in prop::collection::vec(-2.0f32..2.0, 4)) {
+        let ta = Tensor::from_vec(a, &[2, 2]);
+        let tb = Tensor::from_vec(b, &[2, 2]);
+        let tc = Tensor::from_vec(c, &[2, 2]);
+        let lhs = ops::matmul(&ta, &tb.add(&tc));
+        let rhs = ops::matmul(&ta, &tb).add(&ops::matmul(&ta, &tc));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn softmax_is_a_probability_distribution(data in prop::collection::vec(-10.0f32..10.0, 2..16)) {
+        let n = data.len();
+        let t = Tensor::from_vec(data, &[n]);
+        let p = ops::softmax(&t);
+        prop_assert!((p.sum() - 1.0).abs() < 1e-4);
+        prop_assert!(p.data().iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn relu_is_idempotent(data in small_vec()) {
+        let n = data.len();
+        let t = Tensor::from_vec(data, &[n]);
+        let once = ops::relu(&t);
+        let twice = ops::relu(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn transpose_is_involutive(rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000) {
+        let mut rng = eden_tensor::init::seeded_rng(seed);
+        let t = eden_tensor::init::uniform(&[rows, cols], -1.0, 1.0, &mut rng);
+        prop_assert_eq!(ops::transpose(&ops::transpose(&t)), t);
+    }
+}

@@ -1,0 +1,97 @@
+//! Fine-grained DNN→DRAM mapping: characterize the error tolerance of every
+//! weight tensor and IFM of a ResNet-style network, characterize the BER of
+//! each DRAM bank at several voltage levels, and run Algorithm 1 to place
+//! each data type in the most aggressive partition it tolerates (the flow of
+//! Figures 11 and 12).
+//!
+//! Run with: `cargo run --release --example fine_grained_mapping`
+
+use eden::core::bounding::{BoundingLogic, CorrectionPolicy};
+use eden::core::characterize::{fine_characterize, FineConfig};
+use eden::core::mapping::fine_map;
+use eden::dnn::train::{TrainConfig, Trainer};
+use eden::dnn::zoo::ModelId;
+use eden::dnn::{DataKind, Dataset};
+use eden::dram::characterize::{CharacterizeConfig, DramErrorProfile};
+use eden::dram::geometry::{partitions, PartitionGranularity};
+use eden::dram::{ApproxDramDevice, ErrorModel, OperatingPoint, Vendor};
+use eden::tensor::Precision;
+
+fn main() {
+    // Train the ResNet stand-in.
+    let model = ModelId::ResNet;
+    let dataset = model.dataset(3);
+    let mut net = model.build(&dataset.spec(), 3);
+    println!("training {model} ...");
+    Trainer::new(TrainConfig {
+        epochs: 5,
+        ..TrainConfig::default()
+    })
+    .train(&mut net, &dataset);
+
+    // Fine-grained DNN characterization (Figure 11).
+    let template = ErrorModel::uniform(0.01, 0.5, 11);
+    let bounding =
+        BoundingLogic::calibrated(&net, &dataset.train()[..16], 1.5, CorrectionPolicy::Zero);
+    println!("characterizing per-data-type error tolerance ...");
+    let fine = fine_characterize(
+        &net,
+        &dataset,
+        Precision::Int8,
+        &template,
+        Some(bounding),
+        &FineConfig {
+            eval_samples: 48,
+            bootstrap_ber: 1e-3,
+            max_rounds: 3,
+            ..FineConfig::default()
+        },
+    );
+    println!("{:<28} {:>8} {:>12}", "data type", "elements", "max BER");
+    for (info, ber) in &fine.tolerances {
+        println!("{:<28} {:>8} {:>12.2e}", info.site.to_string(), info.elements, ber);
+    }
+
+    // DRAM characterization of four banks at four voltage levels (Figure 12
+    // uses four partitions with different VDD values).
+    let device = ApproxDramDevice::new(Vendor::A, 21);
+    let parts = partitions(device.geometry(), PartitionGranularity::Bank);
+    let ops = vec![
+        OperatingPoint::nominal(),
+        OperatingPoint::with_vdd_reduction(0.10),
+        OperatingPoint::with_vdd_reduction(0.25),
+        OperatingPoint::with_vdd_reduction(0.35),
+    ];
+    println!("\ncharacterizing 4 DRAM bank partitions at 4 voltage levels ...");
+    let profile = DramErrorProfile::characterize(
+        &device,
+        &parts[..4],
+        &ops,
+        &CharacterizeConfig {
+            rows_per_pattern: 1,
+            bitlines_per_row: 1024,
+            reads_per_row: 3,
+            seed: 5,
+        },
+    );
+
+    // Algorithm 1.
+    let mapping = fine_map(&fine, &profile, Precision::Int8);
+    println!("\nfine-grained mapping (Algorithm 1):");
+    for a in &mapping.assignments {
+        let op = &profile.operating_points[a.op_index];
+        println!(
+            "  {:<26} ({:>5} {}) → partition {} @ {}",
+            a.data.site.to_string(),
+            a.data.elements,
+            if a.data.site.kind == DataKind::Weight { "weights" } else { "ifm" },
+            a.partition_index,
+            op
+        );
+    }
+    println!(
+        "\nmapped {:.1}% of DNN bytes to reduced-voltage partitions ({} unmapped data types)",
+        100.0 * mapping.mapped_fraction(Precision::Int8),
+        mapping.unmapped.len()
+    );
+}

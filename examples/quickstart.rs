@@ -1,0 +1,70 @@
+//! Quickstart: train a small DNN, run it on approximate DRAM, and see how
+//! EDEN's bounding logic and curricular retraining keep its accuracy up.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use eden::core::bounding::{BoundingLogic, CorrectionPolicy};
+use eden::core::curricular::{CurricularConfig, CurricularTrainer};
+use eden::core::faults::ApproximateMemory;
+use eden::core::inference;
+use eden::dnn::train::{TrainConfig, Trainer};
+use eden::dnn::{data::SyntheticVision, zoo, Dataset};
+use eden::dram::ErrorModel;
+use eden::tensor::Precision;
+
+fn main() {
+    // 1. Train a LeNet baseline on reliable memory.
+    let dataset = SyntheticVision::small(42);
+    let mut net = zoo::lenet(&dataset.spec(), 1);
+    let report = Trainer::new(TrainConfig::default()).train(&mut net, &dataset);
+    println!(
+        "baseline: train accuracy {:.3}, test accuracy {:.3}",
+        report.final_train_accuracy, report.final_test_accuracy
+    );
+
+    // 2. Evaluate it on approximate DRAM at increasing bit error rates.
+    let template = ErrorModel::uniform(0.01, 0.5, 7);
+    let bounding =
+        BoundingLogic::calibrated(&net, &dataset.train()[..16], 1.5, CorrectionPolicy::Zero);
+    println!("\nBER sweep of the *baseline* DNN (int8, with bounding):");
+    for &ber in &[1e-4, 1e-3, 5e-3, 2e-2, 5e-2] {
+        let mut memory = ApproximateMemory::from_model(template.with_ber(ber), 3)
+            .with_bounding(bounding);
+        let acc = inference::evaluate_with_faults(
+            &net,
+            &dataset.test()[..96],
+            Precision::Int8,
+            &mut memory,
+        );
+        println!("  BER {ber:>8.1e} → accuracy {acc:.3}");
+    }
+
+    // 3. Boost the DNN with curricular retraining and re-evaluate.
+    let mut boosted = net.clone();
+    let trainer = CurricularTrainer::new(CurricularConfig {
+        epochs: 6,
+        step_epochs: 2,
+        target_ber: 2e-2,
+        ..CurricularConfig::default()
+    });
+    let retrain = trainer.retrain(&mut boosted, &dataset, &template);
+    println!(
+        "\nafter curricular retraining: reliable accuracy {:.3}, accuracy at BER 2e-2 {:.3}",
+        retrain.final_reliable_accuracy, retrain.final_approximate_accuracy
+    );
+
+    println!("\nBER sweep of the *boosted* DNN:");
+    let boosted_bounding =
+        BoundingLogic::calibrated(&boosted, &dataset.train()[..16], 1.5, CorrectionPolicy::Zero);
+    for &ber in &[1e-4, 1e-3, 5e-3, 2e-2, 5e-2] {
+        let mut memory = ApproximateMemory::from_model(template.with_ber(ber), 3)
+            .with_bounding(boosted_bounding);
+        let acc = inference::evaluate_with_faults(
+            &boosted,
+            &dataset.test()[..96],
+            Precision::Int8,
+            &mut memory,
+        );
+        println!("  BER {ber:>8.1e} → accuracy {acc:.3}");
+    }
+}

@@ -1,0 +1,170 @@
+//! Cross-crate integration tests: the full EDEN flow from training through
+//! device characterization, boosting, mapping and system-level accounting.
+
+use eden::core::bounding::{BoundingLogic, CorrectionPolicy};
+use eden::core::characterize::{coarse_characterize, CoarseConfig};
+use eden::core::curricular::{CurricularConfig, CurricularTrainer};
+use eden::core::faults::ApproximateMemory;
+use eden::core::inference;
+use eden::core::mapping::coarse_map;
+use eden::dnn::train::{TrainConfig, Trainer};
+use eden::dnn::{data::SyntheticVision, zoo, Dataset, Network};
+use eden::dram::characterize::{characterize_bank, CharacterizeConfig};
+use eden::dram::fit::select_model;
+use eden::dram::inject::Injector;
+use eden::dram::{ApproxDramDevice, ErrorModel, OperatingPoint, Vendor};
+use eden::sysim::{CpuSim, WorkloadProfile};
+use eden::tensor::Precision;
+
+fn trained_lenet(seed: u64) -> (Network, SyntheticVision) {
+    let dataset = SyntheticVision::tiny(seed);
+    let mut net = zoo::lenet(&dataset.spec(), seed);
+    Trainer::new(TrainConfig {
+        epochs: 4,
+        ..TrainConfig::default()
+    })
+    .train(&mut net, &dataset);
+    (net, dataset)
+}
+
+#[test]
+fn device_fitted_error_model_predicts_device_accuracy() {
+    // The Figure 7 validation loop: accuracy under the fitted error model
+    // should match accuracy under the simulated "real" device.
+    let (net, dataset) = trained_lenet(0);
+    let device = ApproxDramDevice::new(Vendor::A, 17);
+    let op = OperatingPoint::with_vdd_reduction(0.25);
+    let samples = &dataset.test()[..40];
+
+    let observations = characterize_bank(
+        &device,
+        0,
+        &op,
+        &CharacterizeConfig {
+            rows_per_pattern: 1,
+            bitlines_per_row: 1024,
+            reads_per_row: 3,
+            seed: 2,
+        },
+    );
+    let fitted = select_model(&observations, 5).model;
+
+    let bounding =
+        BoundingLogic::calibrated(&net, &dataset.train()[..16], 1.5, CorrectionPolicy::Zero);
+    let partition = eden::dram::geometry::partitions(
+        device.geometry(),
+        eden::dram::geometry::PartitionGranularity::Bank,
+    )[0];
+
+    let mut device_memory =
+        ApproximateMemory::from_injector(Injector::from_device(device, partition, op), 3)
+            .with_bounding(bounding);
+    let device_acc =
+        inference::evaluate_with_faults(&net, samples, Precision::Int8, &mut device_memory);
+
+    let mut model_memory = ApproximateMemory::from_model(fitted, 3).with_bounding(bounding);
+    let model_acc =
+        inference::evaluate_with_faults(&net, samples, Precision::Int8, &mut model_memory);
+
+    assert!(
+        (device_acc - model_acc).abs() <= 0.15,
+        "fitted model accuracy ({model_acc}) should track device accuracy ({device_acc})"
+    );
+}
+
+#[test]
+fn boosting_then_mapping_yields_reduced_parameters_and_valid_accuracy() {
+    let (mut net, dataset) = trained_lenet(1);
+    let template = ErrorModel::uniform(0.01, 0.5, 3);
+
+    // Boost.
+    CurricularTrainer::new(CurricularConfig {
+        epochs: 3,
+        step_epochs: 1,
+        target_ber: 5e-3,
+        ..CurricularConfig::default()
+    })
+    .retrain(&mut net, &dataset, &template);
+
+    // Characterize.
+    let bounding =
+        BoundingLogic::calibrated(&net, &dataset.train()[..16], 1.5, CorrectionPolicy::Zero);
+    let coarse = coarse_characterize(
+        &net,
+        &dataset,
+        Precision::Int8,
+        &template,
+        Some(bounding),
+        &CoarseConfig {
+            eval_samples: 32,
+            iterations: 5,
+            accuracy_drop: 0.02,
+            ..CoarseConfig::default()
+        },
+    );
+    assert!(coarse.max_tolerable_ber > 0.0);
+
+    // Map to vendor A and verify the mapping's BER budget is honoured.
+    let mapping = coarse_map(coarse.max_tolerable_ber, &Vendor::A.profile());
+    let vendor = Vendor::A.profile();
+    assert!(vendor.ber_voltage(mapping.vdd_reduction) <= coarse.max_tolerable_ber + 1e-12);
+    assert!(vendor.ber_trcd(mapping.trcd_reduction_ns) <= coarse.max_tolerable_ber + 1e-12);
+
+    // Accuracy at the mapped operating point's BER stays within budget.
+    let op_ber = vendor.ber(&OperatingPoint::with_vdd_reduction(mapping.vdd_reduction));
+    let mut memory =
+        ApproximateMemory::from_model(template.with_ber(op_ber), 9).with_bounding(bounding);
+    let acc = inference::evaluate_with_faults(
+        &net,
+        &dataset.test()[..48],
+        Precision::Int8,
+        &mut memory,
+    );
+    assert!(
+        acc >= coarse.accuracy_floor - 0.1,
+        "accuracy {acc} at the mapped point fell far below the floor {}",
+        coarse.accuracy_floor
+    );
+}
+
+#[test]
+fn system_level_gains_follow_the_mapping() {
+    // Connect the DNN-side mapping to the system simulators: a larger
+    // tolerable BER means a more aggressive operating point, which means
+    // more DRAM energy savings on the CPU model.
+    let vendor = Vendor::A.profile();
+    let small = coarse_map(0.005, &vendor);
+    let large = coarse_map(0.05, &vendor);
+
+    let cpu = CpuSim::table4();
+    let workload = WorkloadProfile::for_model(zoo::ModelId::Vgg16, Precision::Int8);
+    let nominal = cpu.run(&workload, &OperatingPoint::nominal());
+    let small_saving = cpu
+        .run(&workload, &OperatingPoint::with_vdd_reduction(small.vdd_reduction))
+        .energy_reduction_vs(&nominal);
+    let large_saving = cpu
+        .run(&workload, &OperatingPoint::with_vdd_reduction(large.vdd_reduction))
+        .energy_reduction_vs(&nominal);
+    assert!(large_saving > small_saving);
+    assert!(large_saving > 0.2 && large_saving < 0.5);
+}
+
+#[test]
+fn quantized_zoo_models_run_under_injection_for_all_precisions() {
+    // Smoke-test the full precision × error-model matrix on one small model.
+    let dataset = SyntheticVision::tiny(5);
+    let net = zoo::lenet(&dataset.spec(), 5);
+    let samples = &dataset.test()[..8];
+    for precision in Precision::all() {
+        for model in [
+            ErrorModel::uniform(0.01, 0.3, 1),
+            ErrorModel::bitline(0.01, 0.3, 0.8, 1),
+            ErrorModel::wordline(0.01, 0.3, 0.8, 1),
+            ErrorModel::data_dependent(0.01, 0.4, 0.2, 1),
+        ] {
+            let mut memory = ApproximateMemory::from_model(model, 2);
+            let acc = inference::evaluate_with_faults(&net, samples, precision, &mut memory);
+            assert!((0.0..=1.0).contains(&acc));
+        }
+    }
+}
