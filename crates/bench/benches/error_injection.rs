@@ -8,13 +8,19 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn bench_injection(c: &mut Criterion) {
-    let t = Tensor::from_vec((0..65_536).map(|i| (i as f32 * 0.01).sin()).collect(), &[65_536]);
+    let t = Tensor::from_vec(
+        (0..65_536).map(|i| (i as f32 * 0.01).sin()).collect(),
+        &[65_536],
+    );
     let stored = QuantTensor::quantize(&t, Precision::Int8);
     let models = [
         ("model0_uniform", ErrorModel::uniform(0.01, 0.5, 1)),
         ("model1_bitline", ErrorModel::bitline(0.01, 0.5, 0.8, 1)),
         ("model2_wordline", ErrorModel::wordline(0.01, 0.5, 0.8, 1)),
-        ("model3_data_dependent", ErrorModel::data_dependent(0.01, 0.7, 0.3, 1)),
+        (
+            "model3_data_dependent",
+            ErrorModel::data_dependent(0.01, 0.7, 0.3, 1),
+        ),
     ];
     let mut group = c.benchmark_group("error_injection_64k_int8");
     group.sample_size(20);

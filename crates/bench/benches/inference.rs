@@ -23,9 +23,8 @@ fn bench_inference(c: &mut Criterion) {
     });
     group.bench_function("approximate_ber_1e-2", |b| {
         b.iter(|| {
-            let mut memory =
-                ApproximateMemory::from_model(ErrorModel::uniform(0.02, 0.5, 3), 5)
-                    .with_bounding(bounding);
+            let mut memory = ApproximateMemory::from_model(ErrorModel::uniform(0.02, 0.5, 3), 5)
+                .with_bounding(bounding);
             inference::evaluate_with_faults(&net, samples, Precision::Int8, &mut memory)
         })
     });

@@ -20,22 +20,34 @@ fn main() {
     for vendor in Vendor::all() {
         let device = ApproxDramDevice::new(vendor, 100 + vendor as u64);
         println!("\n{vendor} — supply voltage sweep (nominal 1.35 V)");
-        println!("{:>8} {:>12} {:>12} {:>12} {:>12}", "VDD", "0xFF", "0xCC", "0xAA", "0x00");
+        println!(
+            "{:>8} {:>12} {:>12} {:>12} {:>12}",
+            "VDD", "0xFF", "0xCC", "0xAA", "0x00"
+        );
         for &dv in &[0.0f32, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40] {
             let op = OperatingPoint::with_vdd_reduction(dv);
             print!("{:>7.2}V", op.vdd);
             for &pattern in &DATA_PATTERNS {
-                print!(" {:>12.3e}", measured_pattern_ber(&device, pattern, &op, &cfg));
+                print!(
+                    " {:>12.3e}",
+                    measured_pattern_ber(&device, pattern, &op, &cfg)
+                );
             }
             println!();
         }
         println!("\n{vendor} — tRCD sweep (nominal 12.5 ns)");
-        println!("{:>8} {:>12} {:>12} {:>12} {:>12}", "tRCD", "0xFF", "0xCC", "0xAA", "0x00");
+        println!(
+            "{:>8} {:>12} {:>12} {:>12} {:>12}",
+            "tRCD", "0xFF", "0xCC", "0xAA", "0x00"
+        );
         for &dt in &[0.0f32, 2.5, 4.0, 5.0, 6.0, 7.5, 9.0, 10.0] {
             let op = OperatingPoint::with_trcd_reduction(dt);
             print!("{:>6.1}ns", op.timing.trcd_ns);
             for &pattern in &DATA_PATTERNS {
-                print!(" {:>12.3e}", measured_pattern_ber(&device, pattern, &op, &cfg));
+                print!(
+                    " {:>12.3e}",
+                    measured_pattern_ber(&device, pattern, &op, &cfg)
+                );
             }
             println!();
         }

@@ -36,7 +36,10 @@ fn main() {
         let device = ApproxDramDevice::new(vendor, 50 + vendor as u64);
         let partition = partitions(device.geometry(), PartitionGranularity::Bank)[0];
         println!("\n{vendor} — voltage sweep");
-        println!("{:>8} {:>14} {:>16}", "VDD", "device acc", "Error Model 0 acc");
+        println!(
+            "{:>8} {:>14} {:>16}",
+            "VDD", "device acc", "Error Model 0 acc"
+        );
         for &dv in &[0.10f32, 0.20, 0.25, 0.30, 0.35] {
             let op = OperatingPoint::with_vdd_reduction(dv);
             let obs = characterize_bank(&device, 0, &op, &char_cfg);
@@ -48,15 +51,17 @@ fn main() {
             let dev_acc =
                 inference::evaluate_with_faults(&net, samples, Precision::Int8, &mut dev_mem);
 
-            let mut model_mem =
-                ApproximateMemory::from_model(model, 1).with_bounding(bounding);
+            let mut model_mem = ApproximateMemory::from_model(model, 1).with_bounding(bounding);
             let model_acc =
                 inference::evaluate_with_faults(&net, samples, Precision::Int8, &mut model_mem);
 
             println!("{:>7.2}V {:>13.3} {:>16.3}", op.vdd, dev_acc, model_acc);
         }
         println!("\n{vendor} — tRCD sweep");
-        println!("{:>8} {:>14} {:>16}", "tRCD", "device acc", "Error Model 0 acc");
+        println!(
+            "{:>8} {:>14} {:>16}",
+            "tRCD", "device acc", "Error Model 0 acc"
+        );
         for &dt in &[2.0f32, 4.0, 5.5, 7.0, 9.0] {
             let op = OperatingPoint::with_trcd_reduction(dt);
             let obs = characterize_bank(&device, 0, &op, &char_cfg);
@@ -66,11 +71,13 @@ fn main() {
                     .with_bounding(bounding);
             let dev_acc =
                 inference::evaluate_with_faults(&net, samples, Precision::Int8, &mut dev_mem);
-            let mut model_mem =
-                ApproximateMemory::from_model(model, 1).with_bounding(bounding);
+            let mut model_mem = ApproximateMemory::from_model(model, 1).with_bounding(bounding);
             let model_acc =
                 inference::evaluate_with_faults(&net, samples, Precision::Int8, &mut model_mem);
-            println!("{:>6.1}ns {:>13.3} {:>16.3}", op.timing.trcd_ns, dev_acc, model_acc);
+            println!(
+                "{:>6.1}ns {:>13.3} {:>16.3}",
+                op.timing.trcd_ns, dev_acc, model_acc
+            );
         }
     }
     println!("\npaper shape: the Error Model 0 curve tracks the real-device curve closely.");

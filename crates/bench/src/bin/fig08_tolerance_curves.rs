@@ -60,7 +60,12 @@ fn main() {
 
     if detail {
         println!("\nSection 6.3 detail — DNN size effect (accuracy at BER 1e-2, int8):");
-        for id in [ModelId::Vgg16, ModelId::ResNet, ModelId::SqueezeNet, ModelId::LeNet] {
+        for id in [
+            ModelId::Vgg16,
+            ModelId::ResNet,
+            ModelId::SqueezeNet,
+            ModelId::LeNet,
+        ] {
             let (m, d) = report::train_model(id, 5, 4);
             let b = BoundingLogic::calibrated(&m, &d.train()[..16], 1.5, CorrectionPolicy::Zero);
             let curve = accuracy_vs_ber(
@@ -75,7 +80,9 @@ fn main() {
             println!("  {:<14} {:>6.3}", id.spec().display_name, curve[0].1);
         }
 
-        println!("\nSection 6.3 detail — FP32 accuracy collapse without bounding (BER 1e-4..1e-2):");
+        println!(
+            "\nSection 6.3 detail — FP32 accuracy collapse without bounding (BER 1e-4..1e-2):"
+        );
         let no_bounding = accuracy_vs_ber(
             &net,
             samples,
@@ -94,7 +101,10 @@ fn main() {
             Some(bounding),
             11,
         );
-        println!("  {:<12} {:>12} {:>12}", "BER", "no bounding", "with bounding");
+        println!(
+            "  {:<12} {:>12} {:>12}",
+            "BER", "no bounding", "with bounding"
+        );
         for ((ber, a), (_, b)) in no_bounding.iter().zip(&with_bounding) {
             println!("  {:<12.0e} {:>12.3} {:>12.3}", ber, a, b);
         }

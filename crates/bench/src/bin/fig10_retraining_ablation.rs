@@ -13,7 +13,11 @@ use eden_tensor::Precision;
 
 const BERS: [f64; 5] = [1e-4, 1e-3, 5e-3, 2e-2, 1e-1];
 
-fn curve(net: &Network, dataset: &eden_dnn::data::SyntheticVision, eval_model: &ErrorModel) -> Vec<(f64, f32)> {
+fn curve(
+    net: &Network,
+    dataset: &eden_dnn::data::SyntheticVision,
+    eval_model: &ErrorModel,
+) -> Vec<(f64, f32)> {
     let bounding =
         BoundingLogic::calibrated(net, &dataset.train()[..16], 1.5, CorrectionPolicy::Zero);
     accuracy_vs_ber(
@@ -79,17 +83,35 @@ fn main() {
     print_curves(
         "left: fit quality (evaluated against the good-fit model's errors)",
         &[
-            ("baseline (no retraining)", curve(&baseline, &dataset, &eval_model)),
-            ("poor-fit retraining", curve(&poor_net, &dataset, &eval_model)),
-            ("good-fit retraining", curve(&good_net, &dataset, &eval_model)),
+            (
+                "baseline (no retraining)",
+                curve(&baseline, &dataset, &eval_model),
+            ),
+            (
+                "poor-fit retraining",
+                curve(&poor_net, &dataset, &eval_model),
+            ),
+            (
+                "good-fit retraining",
+                curve(&good_net, &dataset, &eval_model),
+            ),
         ],
     );
     print_curves(
         "right: schedule (both retrained with the good-fit model)",
         &[
-            ("baseline (no retraining)", curve(&baseline, &dataset, &eval_model)),
-            ("non-curricular retraining", curve(&noncurricular_net, &dataset, &eval_model)),
-            ("curricular retraining", curve(&good_net, &dataset, &eval_model)),
+            (
+                "baseline (no retraining)",
+                curve(&baseline, &dataset, &eval_model),
+            ),
+            (
+                "non-curricular retraining",
+                curve(&noncurricular_net, &dataset, &eval_model),
+            ),
+            (
+                "curricular retraining",
+                curve(&good_net, &dataset, &eval_model),
+            ),
         ],
     );
     println!("\npaper shape: good-fit curricular retraining shifts the accuracy knee to a BER");

@@ -32,7 +32,10 @@ fn main() {
             ..CoarseConfig::default()
         },
     );
-    println!("coarse-grained tolerable BER (bootstrap): {:.2e}\n", coarse.max_tolerable_ber);
+    println!(
+        "coarse-grained tolerable BER (bootstrap): {:.2e}\n",
+        coarse.max_tolerable_ber
+    );
 
     let fine = fine_characterize(
         &net,
@@ -57,7 +60,11 @@ fn main() {
         println!(
             "{:<28} {:<8} {:>9} {:>12.2e} {:>7.1}x",
             info.site.to_string(),
-            if info.site.kind == DataKind::Weight { "weight" } else { "IFM" },
+            if info.site.kind == DataKind::Weight {
+                "weight"
+            } else {
+                "IFM"
+            },
             info.elements,
             ber,
             ber / coarse.max_tolerable_ber.max(1e-12)

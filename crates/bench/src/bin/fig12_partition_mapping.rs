@@ -68,7 +68,10 @@ fn main() {
         }
     }
     println!("\nassignments:");
-    println!("{:<28} {:>12} {:>10} {:>14}", "data type", "tol. BER", "partition", "partition VDD");
+    println!(
+        "{:<28} {:>12} {:>10} {:>14}",
+        "data type", "tol. BER", "partition", "partition VDD"
+    );
     for a in &mapping.assignments {
         println!(
             "{:<28} {:>12.2e} {:>10} {:>13.2}V",

@@ -9,7 +9,10 @@ use eden_sysim::{CpuSim, WorkloadProfile};
 use eden_tensor::Precision;
 
 fn main() {
-    report::header("Figure 13", "CPU DRAM energy savings per DNN (FP32 and int8)");
+    report::header(
+        "Figure 13",
+        "CPU DRAM energy savings per DNN (FP32 and int8)",
+    );
     let cpu = CpuSim::table4();
     println!("{:<14} {:>10} {:>10}", "model", "FP32", "int8");
     let mut ratios = Vec::new();

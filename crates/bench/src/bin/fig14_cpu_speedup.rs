@@ -9,7 +9,10 @@ use eden_sysim::{CpuSim, WorkloadProfile};
 use eden_tensor::Precision;
 
 fn main() {
-    report::header("Figure 14", "CPU speedup: EDEN (reduced tRCD) vs ideal tRCD = 0");
+    report::header(
+        "Figure 14",
+        "CPU speedup: EDEN (reduced tRCD) vs ideal tRCD = 0",
+    );
     let cpu = CpuSim::table4();
     println!(
         "{:<14} {:>12} {:>12} {:>12} {:>12}",

@@ -29,7 +29,9 @@ fn main() {
         let mut ratios = Vec::new();
         for id in workloads {
             let spec = id.spec();
-            let Some((_, dvdd, dtrcd)) = spec.paper.coarse_int8 else { continue };
+            let Some((_, dvdd, dtrcd)) = spec.paper.coarse_int8 else {
+                continue;
+            };
             let workload = WorkloadProfile::for_model(id, Precision::Int8);
             let nominal = sim.run(&workload, &OperatingPoint::nominal());
             let reduced = sim.run(&workload, &OperatingPoint::with_vdd_reduction(dvdd));
@@ -52,5 +54,7 @@ fn main() {
         );
     }
     println!("\npaper: 31% (Eyeriss/DDR4), 32% (TPU/DDR4), 21% (LPDDR3) DRAM energy savings;");
-    println!("no speedup from tRCD reduction because the accelerators' accesses are fully prefetchable.");
+    println!(
+        "no speedup from tRCD reduction because the accelerators' accesses are fully prefetchable."
+    );
 }

@@ -9,7 +9,10 @@ use eden_sysim::{GpuSim, WorkloadProfile};
 use eden_tensor::Precision;
 
 fn main() {
-    report::header("Section 7.2 (GPU)", "GPU DRAM energy savings and speedup (YOLO family)");
+    report::header(
+        "Section 7.2 (GPU)",
+        "GPU DRAM energy savings and speedup (YOLO family)",
+    );
     let gpu = GpuSim::table5();
     println!(
         "{:<14} {:<6} {:>12} {:>12} {:>12}",
@@ -23,7 +26,9 @@ fn main() {
             (Precision::Fp32, spec.paper.coarse_fp32),
             (Precision::Int8, spec.paper.coarse_int8),
         ] {
-            let Some((_, dvdd, dtrcd)) = coarse else { continue };
+            let Some((_, dvdd, dtrcd)) = coarse else {
+                continue;
+            };
             let workload = WorkloadProfile::for_model(id, precision);
             let nominal = gpu.run(&workload, &OperatingPoint::nominal());
             let energy = gpu.run(&workload, &OperatingPoint::with_vdd_reduction(dvdd));

@@ -28,6 +28,10 @@ fn main() {
             net.param_count()
         );
     }
-    println!("\nour stand-ins preserve architecture family and relative ordering, not absolute size");
-    println!("(system-level experiments scale traffic back to the paper footprints; see DESIGN.md).");
+    println!(
+        "\nour stand-ins preserve architecture family and relative ordering, not absolute size"
+    );
+    println!(
+        "(system-level experiments scale traffic back to the paper footprints; see DESIGN.md)."
+    );
 }

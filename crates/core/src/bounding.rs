@@ -42,7 +42,10 @@ impl BoundingLogic {
     ///
     /// Panics if `lower > upper`.
     pub fn new(lower: f32, upper: f32, policy: CorrectionPolicy) -> Self {
-        assert!(lower <= upper, "invalid bounding thresholds [{lower}, {upper}]");
+        assert!(
+            lower <= upper,
+            "invalid bounding thresholds [{lower}, {upper}]"
+        );
         Self {
             lower,
             upper,

@@ -250,7 +250,7 @@ pub fn fine_characterize(
     }
 }
 
-fn eval_slice<'a>(dataset: &'a dyn Dataset, n: usize) -> &'a [(Tensor, usize)] {
+fn eval_slice(dataset: &dyn Dataset, n: usize) -> &[(Tensor, usize)] {
     let test = dataset.test();
     &test[..n.min(test.len())]
 }

@@ -237,13 +237,30 @@ mod tests {
         let target_ber = 6e-3;
         let samples = &dataset.test()[..48];
 
-        // Accuracy of the *baseline* DNN at the target BER.
+        // Single-seed accuracy under injection is noisy (one unlucky flip set
+        // can cost several samples out of 48), so compare means over a few
+        // injection seeds.
         let bounding =
             BoundingLogic::calibrated(&net, &dataset.train()[..16], 1.5, CorrectionPolicy::Zero);
-        let mut memory = ApproximateMemory::from_model(template.with_ber(target_ber), 9)
-            .with_bounding(bounding);
-        let baseline_acc =
-            crate::inference::evaluate_with_faults(&net, samples, Precision::Int8, &mut memory);
+        let mean_acc = |candidate: &Network| {
+            let seeds = [9u64, 10, 11, 12];
+            seeds
+                .iter()
+                .map(|&s| {
+                    let mut memory =
+                        ApproximateMemory::from_model(template.with_ber(target_ber), s)
+                            .with_bounding(bounding);
+                    crate::inference::evaluate_with_faults(
+                        candidate,
+                        samples,
+                        Precision::Int8,
+                        &mut memory,
+                    )
+                })
+                .sum::<f32>()
+                / seeds.len() as f32
+        };
+        let baseline_acc = mean_acc(&net);
 
         // Boost and re-evaluate.
         let mut boosted = net.clone();
@@ -255,13 +272,12 @@ mod tests {
             ..CurricularConfig::default()
         });
         let report = trainer.retrain(&mut boosted, &dataset, &template);
+        let boosted_acc = mean_acc(&boosted);
 
         assert_eq!(report.epochs.len(), 4);
         assert!(
-            report.final_approximate_accuracy >= baseline_acc - 0.05,
-            "boosted accuracy {} should not be below baseline-under-errors {}",
-            report.final_approximate_accuracy,
-            baseline_acc
+            boosted_acc >= baseline_acc - 0.05,
+            "boosted accuracy {boosted_acc} should not be below baseline-under-errors {baseline_acc}"
         );
         // The boosted DNN must still work on reliable memory.
         let reliable = eden_dnn::metrics::accuracy(&boosted, dataset.test());

@@ -133,11 +133,7 @@ impl FaultHook for ApproximateMemory {
             .or(self.default_injector.as_ref())
             .cloned();
         if let Some(injector) = injector {
-            let placed = match injector {
-                Injector::Model { model, .. } => Injector::from_model(model, layout),
-                other => other,
-            };
-            self.stats.bit_flips += placed.corrupt(tensor, &mut self.rng);
+            self.stats.bit_flips += injector.corrupt_placed(tensor, &layout, &mut self.rng);
         }
         if let Some(bounding) = &self.bounding {
             self.stats.corrections += bounding.correct(tensor) as u64;
@@ -245,12 +241,21 @@ mod tests {
     #[test]
     fn bounding_corrects_fp32_explosions() {
         let model = ErrorModel::uniform(0.01, 0.8, 11);
-        let mut mem = ApproximateMemory::from_model(model, 12)
-            .with_bounding(BoundingLogic::new(-16.0, 16.0, CorrectionPolicy::Zero));
-        let t = Tensor::from_vec((0..2048).map(|i| (i as f32 * 0.01).sin()).collect(), &[2048]);
+        let mut mem = ApproximateMemory::from_model(model, 12).with_bounding(BoundingLogic::new(
+            -16.0,
+            16.0,
+            CorrectionPolicy::Zero,
+        ));
+        let t = Tensor::from_vec(
+            (0..2048).map(|i| (i as f32 * 0.01).sin()).collect(),
+            &[2048],
+        );
         let mut q = QuantTensor::quantize(&t, Precision::Fp32);
         mem.corrupt(&site(0, DataKind::Weight), &mut q);
         let max = q.dequantize().abs_max();
-        assert!(max <= 16.0, "bounding must cap corrupted magnitudes, got {max}");
+        assert!(
+            max <= 16.0,
+            "bounding must cap corrupted magnitudes, got {max}"
+        );
     }
 }

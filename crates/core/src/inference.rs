@@ -86,7 +86,10 @@ pub fn accuracy_vs_ber(
             if let Some(b) = bounding {
                 memory = memory.with_bounding(b);
             }
-            (ber, evaluate_with_faults(net, samples, precision, &mut memory))
+            (
+                ber,
+                evaluate_with_faults(net, samples, precision, &mut memory),
+            )
         })
         .collect()
 }
@@ -143,7 +146,10 @@ mod tests {
         );
         let baseline = evaluate_reliable(&net, samples, Precision::Int8);
         let chance = 1.0 / dataset.spec().num_classes as f32;
-        assert!(curve[0].1 >= baseline - 0.1, "tiny BER should not hurt accuracy");
+        assert!(
+            curve[0].1 >= baseline - 0.1,
+            "tiny BER should not hurt accuracy"
+        );
         assert!(
             curve[1].1 <= baseline - 0.15 || curve[1].1 <= chance + 0.2,
             "40% BER should destroy accuracy (got {} vs baseline {baseline})",

@@ -97,7 +97,11 @@ impl FineMapping {
     /// Fraction of mapped bytes placed in partitions running below nominal
     /// parameters.
     pub fn mapped_fraction(&self, precision: Precision) -> f64 {
-        let mapped: u64 = self.assignments.iter().map(|a| a.data.bytes(precision)).sum();
+        let mapped: u64 = self
+            .assignments
+            .iter()
+            .map(|a| a.data.bytes(precision))
+            .sum();
         let unmapped: u64 = self.unmapped.iter().map(|d| d.bytes(precision)).sum();
         if mapped + unmapped == 0 {
             return 0.0;
@@ -127,7 +131,11 @@ pub fn fine_map(
     let mut sorted: Vec<(DataTypeInfo, f64)> = characterization.tolerances.clone();
     sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
 
-    let mut remaining_bytes: Vec<u64> = profile.partitions.iter().map(|p| p.capacity_bytes).collect();
+    let mut remaining_bytes: Vec<u64> = profile
+        .partitions
+        .iter()
+        .map(|p| p.capacity_bytes)
+        .collect();
     let mut partition_ops: Vec<Option<usize>> = vec![None; profile.partition_count()];
     let mut assignments = Vec::new();
     let mut unmapped = Vec::new();
@@ -206,12 +214,24 @@ mod tests {
         let vendor = Vendor::A.profile();
         // 0.5% BER → −0.10 V / −1.0 ns (SqueezeNet row of Table 3).
         let squeeze = coarse_map(0.005, &vendor);
-        assert!((squeeze.vdd_reduction - 0.10).abs() < 0.051, "{:?}", squeeze);
-        assert!((squeeze.trcd_reduction_ns - 1.0).abs() < 0.51, "{:?}", squeeze);
+        assert!(
+            (squeeze.vdd_reduction - 0.10).abs() < 0.051,
+            "{:?}",
+            squeeze
+        );
+        assert!(
+            (squeeze.trcd_reduction_ns - 1.0).abs() < 0.51,
+            "{:?}",
+            squeeze
+        );
         // 4% BER → about −0.30 V / −5.5 ns (ResNet row).
         let resnet = coarse_map(0.04, &vendor);
         assert!((resnet.vdd_reduction - 0.30).abs() < 0.051, "{:?}", resnet);
-        assert!((resnet.trcd_reduction_ns - 5.5).abs() < 0.51, "{:?}", resnet);
+        assert!(
+            (resnet.trcd_reduction_ns - 5.5).abs() < 0.51,
+            "{:?}",
+            resnet
+        );
         // 5% BER → about −0.35 V / −6.0 ns (VGG/YOLO rows).
         let vgg = coarse_map(0.05, &vendor);
         assert!((vgg.vdd_reduction - 0.35).abs() < 0.051, "{:?}", vgg);
@@ -284,7 +304,11 @@ mod tests {
 
     #[test]
     fn fine_mapping_places_every_data_type() {
-        let mapping = fine_map(&synthetic_characterization(), &device_profile(), Precision::Int8);
+        let mapping = fine_map(
+            &synthetic_characterization(),
+            &device_profile(),
+            Precision::Int8,
+        );
         assert_eq!(mapping.assignments.len(), 3);
         assert!(mapping.unmapped.is_empty());
         assert!(mapping.mapped_fraction(Precision::Int8) > 0.999);

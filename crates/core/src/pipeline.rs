@@ -65,7 +65,7 @@ impl Default for EdenConfig {
 }
 
 /// The outcome of running EDEN for one DNN on one device.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct EdenOutcome {
     /// Error model selected for the target device.
     pub error_model: ErrorModel,
@@ -110,17 +110,17 @@ impl EdenPipeline {
 
         // Step 0: characterize the device and select the best-fitting error
         // model (Section 4).
-        let observations = characterize_bank(
-            device,
-            0,
-            &cfg.profiling_point,
-            &cfg.dram_characterization,
-        );
+        let observations =
+            characterize_bank(device, 0, &cfg.profiling_point, &cfg.dram_characterization);
         let error_model = select_model(&observations, cfg.seed).model;
 
         // Baseline tolerance before boosting.
-        let bounding =
-            BoundingLogic::calibrated(net, &dataset.train()[..16.min(dataset.train().len())], 1.5, CorrectionPolicy::Zero);
+        let bounding = BoundingLogic::calibrated(
+            net,
+            &dataset.train()[..16.min(dataset.train().len())],
+            1.5,
+            CorrectionPolicy::Zero,
+        );
         let coarse_cfg = CoarseConfig {
             accuracy_drop: cfg.accuracy_drop,
             seed: cfg.seed,
@@ -147,8 +147,12 @@ impl EdenPipeline {
                 ..cfg.retraining
             };
             CurricularTrainer::new(retrain_cfg).retrain(net, dataset, &error_model);
-            let bounding =
-            BoundingLogic::calibrated(net, &dataset.train()[..16.min(dataset.train().len())], 1.5, CorrectionPolicy::Zero);
+            let bounding = BoundingLogic::calibrated(
+                net,
+                &dataset.train()[..16.min(dataset.train().len())],
+                1.5,
+                CorrectionPolicy::Zero,
+            );
             let characterized = coarse_characterize(
                 net,
                 dataset,

@@ -105,7 +105,10 @@ mod tests {
         let mut q = QuantTensor::quantize(&t, Precision::Int8);
         let mut hook = |_site: &DataSite, tensor: &mut QuantTensor| tensor.flip_bit(0, 0);
         hook.corrupt(&DataSite::new(1, "fc", DataKind::Ifm), &mut q);
-        assert_eq!(q.bit_differences(&QuantTensor::quantize(&t, Precision::Int8)), 1);
+        assert_eq!(
+            q.bit_differences(&QuantTensor::quantize(&t, Precision::Int8)),
+            1
+        );
     }
 
     #[test]

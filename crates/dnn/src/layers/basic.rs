@@ -36,7 +36,10 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, d_out: &Tensor) -> Tensor {
-        let input = self.cache_input.as_ref().expect("backward before forward_train");
+        let input = self
+            .cache_input
+            .as_ref()
+            .expect("backward before forward_train");
         ops::relu_backward(input, d_out)
     }
 
@@ -136,7 +139,10 @@ impl Layer for GlobalAvgPool {
     }
 
     fn backward(&mut self, d_out: &Tensor) -> Tensor {
-        let shape = self.cache_shape.as_ref().expect("backward before forward_train");
+        let shape = self
+            .cache_shape
+            .as_ref()
+            .expect("backward before forward_train");
         ops::global_avg_pool_backward(shape, d_out)
     }
 
@@ -181,7 +187,10 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, d_out: &Tensor) -> Tensor {
-        let shape = self.cache_shape.as_ref().expect("backward before forward_train");
+        let shape = self
+            .cache_shape
+            .as_ref()
+            .expect("backward before forward_train");
         d_out.reshape(shape)
     }
 

@@ -52,10 +52,26 @@ impl Residual {
             None
         };
         Self {
-            conv1: Conv2d::new(format!("{name}.conv1"), in_channels, out_channels, 3, stride, 1, rng),
+            conv1: Conv2d::new(
+                format!("{name}.conv1"),
+                in_channels,
+                out_channels,
+                3,
+                stride,
+                1,
+                rng,
+            ),
             norm1: ChannelNorm::new(format!("{name}.norm1"), out_channels),
             relu1: Relu::new(format!("{name}.relu1")),
-            conv2: Conv2d::new(format!("{name}.conv2"), out_channels, out_channels, 3, 1, 1, rng),
+            conv2: Conv2d::new(
+                format!("{name}.conv2"),
+                out_channels,
+                out_channels,
+                3,
+                1,
+                1,
+                rng,
+            ),
             norm2: ChannelNorm::new(format!("{name}.norm2"), out_channels),
             projection,
             cache_pre_activation: None,
@@ -185,11 +201,35 @@ impl Fire {
     ) -> Self {
         let name = name.into();
         Self {
-            squeeze: Conv2d::new(format!("{name}.squeeze"), in_channels, squeeze_channels, 1, 1, 0, rng),
+            squeeze: Conv2d::new(
+                format!("{name}.squeeze"),
+                in_channels,
+                squeeze_channels,
+                1,
+                1,
+                0,
+                rng,
+            ),
             relu_s: Relu::new(format!("{name}.relu_s")),
-            expand1: Conv2d::new(format!("{name}.expand1"), squeeze_channels, expand_channels, 1, 1, 0, rng),
+            expand1: Conv2d::new(
+                format!("{name}.expand1"),
+                squeeze_channels,
+                expand_channels,
+                1,
+                1,
+                0,
+                rng,
+            ),
             relu_e1: Relu::new(format!("{name}.relu_e1")),
-            expand3: Conv2d::new(format!("{name}.expand3"), squeeze_channels, expand_channels, 3, 1, 1, rng),
+            expand3: Conv2d::new(
+                format!("{name}.expand3"),
+                squeeze_channels,
+                expand_channels,
+                3,
+                1,
+                1,
+                rng,
+            ),
             relu_e3: Relu::new(format!("{name}.relu_e3")),
             expand_channels,
             name,
@@ -210,7 +250,9 @@ impl Layer for Fire {
     }
 
     fn forward_train(&mut self, input: &Tensor) -> Tensor {
-        let s = self.relu_s.forward_train(&self.squeeze.forward_train(input));
+        let s = self
+            .relu_s
+            .forward_train(&self.squeeze.forward_train(input));
         let e1 = self.relu_e1.forward_train(&self.expand1.forward_train(&s));
         let e3 = self.relu_e3.forward_train(&self.expand3.forward_train(&s));
         concat_channels(&[e1, e3])
@@ -242,9 +284,7 @@ impl Layer for Fire {
 
     fn macs(&self, input_shape: &[usize]) -> u64 {
         let squeezed = self.squeeze.output_shape(input_shape);
-        self.squeeze.macs(input_shape)
-            + self.expand1.macs(&squeezed)
-            + self.expand3.macs(&squeezed)
+        self.squeeze.macs(input_shape) + self.expand1.macs(&squeezed) + self.expand3.macs(&squeezed)
     }
 }
 
@@ -276,7 +316,15 @@ impl DepthwiseSeparable {
             depthwise: DepthwiseConv2d::new(format!("{name}.dw"), in_channels, 3, stride, 1, rng),
             norm1: ChannelNorm::new(format!("{name}.norm1"), in_channels),
             relu1: Relu::new(format!("{name}.relu1")),
-            pointwise: Conv2d::new(format!("{name}.pw"), in_channels, out_channels, 1, 1, 0, rng),
+            pointwise: Conv2d::new(
+                format!("{name}.pw"),
+                in_channels,
+                out_channels,
+                1,
+                1,
+                0,
+                rng,
+            ),
             norm2: ChannelNorm::new(format!("{name}.norm2"), out_channels),
             relu2: Relu::new(format!("{name}.relu2")),
             name,
@@ -355,7 +403,12 @@ pub struct DenseBlock {
 impl DenseBlock {
     /// Creates a densely-connected block; the output has
     /// `in_channels + growth` channels.
-    pub fn new(name: impl Into<String>, in_channels: usize, growth: usize, rng: &mut StdRng) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        in_channels: usize,
+        growth: usize,
+        rng: &mut StdRng,
+    ) -> Self {
         let name = name.into();
         Self {
             conv: Conv2d::new(format!("{name}.conv"), in_channels, growth, 3, 1, 1, rng),

@@ -78,7 +78,10 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, d_out: &Tensor) -> Tensor {
-        let input = self.cache_input.as_ref().expect("backward before forward_train");
+        let input = self
+            .cache_input
+            .as_ref()
+            .expect("backward before forward_train");
         let grads = ops::conv2d_backward(input, &self.weight, d_out, self.params);
         self.grad_weight.axpy(1.0, &grads.d_weight);
         self.grad_bias.axpy(1.0, &grads.d_bias);
@@ -196,7 +199,10 @@ impl Layer for DepthwiseConv2d {
     }
 
     fn backward(&mut self, d_out: &Tensor) -> Tensor {
-        let input = self.cache_input.clone().expect("backward before forward_train");
+        let input = self
+            .cache_input
+            .clone()
+            .expect("backward before forward_train");
         let (h, w) = (input.shape()[1], input.shape()[2]);
         let k = self.params.kernel;
         let mut d_in = Vec::with_capacity(self.channels);
@@ -276,7 +282,11 @@ pub fn split_channels(t: &Tensor, channel_counts: &[usize]) -> Vec<Tensor> {
         out.push(Tensor::from_vec(data, &[c, h, w]));
         offset += c;
     }
-    assert_eq!(offset, t.shape()[0], "split channel counts do not cover tensor");
+    assert_eq!(
+        offset,
+        t.shape()[0],
+        "split channel counts do not cover tensor"
+    );
     out
 }
 
@@ -290,7 +300,10 @@ mod tests {
         let mut rng = seeded_rng(0);
         let l = Conv2d::new("c", 3, 8, 3, 1, 1, &mut rng);
         let x = Tensor::zeros(&[3, 16, 16]);
-        assert_eq!(l.forward(&x).shape(), l.output_shape(&[3, 16, 16]).as_slice());
+        assert_eq!(
+            l.forward(&x).shape(),
+            l.output_shape(&[3, 16, 16]).as_slice()
+        );
         assert_eq!(l.forward(&x).shape(), &[8, 16, 16]);
     }
 

@@ -19,7 +19,12 @@ pub struct Dense {
 
 impl Dense {
     /// Creates a dense layer with He-uniform initialized weights.
-    pub fn new(name: impl Into<String>, in_features: usize, out_features: usize, rng: &mut StdRng) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        in_features: usize,
+        out_features: usize,
+        rng: &mut StdRng,
+    ) -> Self {
         Self {
             name: name.into(),
             weight: init::he_uniform(&[out_features, in_features], in_features, rng),
@@ -64,7 +69,10 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, d_out: &Tensor) -> Tensor {
-        let input = self.cache_input.as_ref().expect("backward before forward_train");
+        let input = self
+            .cache_input
+            .as_ref()
+            .expect("backward before forward_train");
         let n_in = self.in_features();
         let n_out = self.out_features();
         // d_weight[o, i] += d_out[o] * input[i]
@@ -86,8 +94,9 @@ impl Layer for Dense {
             if go == 0.0 {
                 continue;
             }
-            for i in 0..n_in {
-                d_in[i] += go * self.weight.data()[o * n_in + i];
+            let row = &self.weight.data()[o * n_in..(o + 1) * n_in];
+            for (di, &w) in d_in.iter_mut().zip(row) {
+                *di += go * w;
             }
         }
         Tensor::from_vec(d_in, &[n_in])

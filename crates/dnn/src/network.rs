@@ -160,7 +160,10 @@ impl Network {
 
     /// The output logits dimension (class count), derived from shapes.
     pub fn output_classes(&self) -> usize {
-        self.data_flow_shapes().last().map(|s| s.iter().product()).unwrap_or(0)
+        self.data_flow_shapes()
+            .last()
+            .map(|s| s.iter().product())
+            .unwrap_or(0)
     }
 
     /// The shape of every layer's output (last entry is the network output).

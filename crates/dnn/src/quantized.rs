@@ -92,7 +92,10 @@ mod tests {
         let base = metrics::test_accuracy(&net, &d);
         let a16 = metrics::test_accuracy(&quantize_network(&net, Precision::Int16), &d);
         let a4 = metrics::test_accuracy(&quantize_network(&net, Precision::Int4), &d);
-        assert!(a16 >= base - 0.1, "int16 accuracy {a16} dropped far below {base}");
+        assert!(
+            a16 >= base - 0.1,
+            "int16 accuracy {a16} dropped far below {base}"
+        );
         // int4 is allowed to be worse (Table 2 shows collapse for some nets),
         // but it must still be a valid accuracy.
         assert!((0.0..=1.0).contains(&a4));

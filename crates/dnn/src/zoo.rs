@@ -416,7 +416,12 @@ pub fn yolo_tiny_mini(spec: &DatasetSpec, seed: u64) -> Network {
         .push(Conv2d::new("conv3", 24, 24, 3, 1, 1, &mut rng))
         .push(Relu::new("relu3"))
         .push(Flatten::new("flatten"))
-        .push(Dense::new("fc", 24 * (h / 4) * (w / 4), spec.num_classes, &mut rng));
+        .push(Dense::new(
+            "fc",
+            24 * (h / 4) * (w / 4),
+            spec.num_classes,
+            &mut rng,
+        ));
     net
 }
 

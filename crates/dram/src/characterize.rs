@@ -95,7 +95,9 @@ impl CharacterizationResult {
             .cells
             .iter()
             .filter(|c| c.stored_one == stored_one)
-            .fold((0u64, 0u64), |(f, r), c| (f + c.flips as u64, r + c.reads as u64));
+            .fold((0u64, 0u64), |(f, r), c| {
+                (f + c.flips as u64, r + c.reads as u64)
+            });
         if reads == 0 {
             0.0
         } else {
@@ -160,8 +162,14 @@ pub fn characterize_rows(
                 for _ in 0..cfg.reads_per_row {
                     for (bitline, flip_count) in flips.iter_mut().enumerate() {
                         let stored_one = (row_pattern >> (bitline % 8)) & 1 == 1;
-                        if device.read_bit_flips(bank, row, bitline as u64, stored_one, op, &mut rng)
-                        {
+                        if device.read_bit_flips(
+                            bank,
+                            row,
+                            bitline as u64,
+                            stored_one,
+                            op,
+                            &mut rng,
+                        ) {
                             *flip_count += 1;
                         }
                     }
@@ -309,7 +317,10 @@ mod tests {
         let cfg = small_cfg();
         let ones = measured_pattern_ber(&dev, 0xFF, &op, &cfg);
         let zeros = measured_pattern_ber(&dev, 0x00, &op, &cfg);
-        assert!(ones > zeros, "voltage scaling: 0xFF ({ones}) should exceed 0x00 ({zeros})");
+        assert!(
+            ones > zeros,
+            "voltage scaling: 0xFF ({ones}) should exceed 0x00 ({zeros})"
+        );
     }
 
     #[test]

@@ -137,17 +137,35 @@ impl ApproxDramDevice {
         op: &OperatingPoint,
         rng: &mut StdRng,
     ) -> u64 {
+        self.read_tensor_at(tensor, partition, 0, op, rng)
+    }
+
+    /// Like [`ApproxDramDevice::read_tensor`], but with the tensor placed
+    /// `row_offset` rows into the partition, so different data types can
+    /// occupy their own rows of the same partition, as a real allocator
+    /// would place them. Rows wrap modulo the partition size (mirroring
+    /// [`crate::geometry::bit_address`]), so placements whose combined
+    /// footprint exceeds the partition alias earlier rows.
+    pub fn read_tensor_at(
+        &self,
+        tensor: &mut QuantTensor,
+        partition: &Partition,
+        row_offset: u64,
+        op: &OperatingPoint,
+        rng: &mut StdRng,
+    ) -> u64 {
         if op.is_nominal() {
             return 0;
         }
         let bits = tensor.bits_per_value() as u64;
         let row_bits = self.geometry.row_bits() as u64;
+        let partition_rows = (partition.subarrays * self.geometry.rows_per_subarray) as u64;
         let base_row = (partition.first_subarray * self.geometry.rows_per_subarray) as u64;
         let mut flips = 0;
         for i in 0..tensor.len() {
             for b in 0..bits {
                 let offset = i as u64 * bits + b;
-                let row = base_row + offset / row_bits;
+                let row = base_row + (row_offset + offset / row_bits) % partition_rows;
                 let bitline = offset % row_bits;
                 let stored_one = tensor.get_bit(i, b as u32);
                 if self.read_bit_flips(partition.bank as u64, row, bitline, stored_one, op, rng) {
@@ -189,7 +207,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn stored(n: usize) -> QuantTensor {
-        let t = Tensor::from_vec((0..n).map(|i| ((i * 7919) % 255) as f32 - 127.0).collect(), &[n]);
+        let t = Tensor::from_vec(
+            (0..n).map(|i| ((i * 7919) % 255) as f32 - 127.0).collect(),
+            &[n],
+        );
         QuantTensor::quantize(&t, Precision::Int8)
     }
 
@@ -203,7 +224,12 @@ mod tests {
         let clean = stored(4096);
         let mut t = clean.clone();
         let mut rng = StdRng::seed_from_u64(0);
-        let flips = dev.read_tensor(&mut t, &first_partition(), &OperatingPoint::nominal(), &mut rng);
+        let flips = dev.read_tensor(
+            &mut t,
+            &first_partition(),
+            &OperatingPoint::nominal(),
+            &mut rng,
+        );
         assert_eq!(flips, 0);
         assert_eq!(t, clean);
     }
@@ -254,7 +280,10 @@ mod tests {
                 }
             }
         }
-        assert!(nested, "cells weak at a mild point must stay weak at an aggressive one");
+        assert!(
+            nested,
+            "cells weak at a mild point must stay weak at an aggressive one"
+        );
     }
 
     #[test]
@@ -293,7 +322,10 @@ mod tests {
             ones += dev.read_pattern_row(0, row, 0xFF, &op, &mut rng).len();
             zeros += dev.read_pattern_row(0, row, 0x00, &op, &mut rng).len();
         }
-        assert!(ones > zeros, "0xFF flips ({ones}) should exceed 0x00 flips ({zeros})");
+        assert!(
+            ones > zeros,
+            "0xFF flips ({ones}) should exceed 0x00 flips ({zeros})"
+        );
     }
 
     #[test]

@@ -169,7 +169,9 @@ mod tests {
     #[test]
     fn nominal_energy_is_positive_and_additive() {
         let e = DramEnergyModel::nominal(DramKind::Ddr4).energy(&counts());
-        assert!(e.activation_nj > 0.0 && e.read_nj > 0.0 && e.write_nj > 0.0 && e.background_nj > 0.0);
+        assert!(
+            e.activation_nj > 0.0 && e.read_nj > 0.0 && e.write_nj > 0.0 && e.background_nj > 0.0
+        );
         assert!(
             (e.total_nj() - (e.activation_nj + e.read_nj + e.write_nj + e.background_nj)).abs()
                 < 1e-9
@@ -208,8 +210,12 @@ mod tests {
     #[test]
     fn lpddr3_consumes_less_than_ddr4() {
         let c = counts();
-        let ddr4 = DramEnergyModel::nominal(DramKind::Ddr4).energy(&c).total_nj();
-        let lp = DramEnergyModel::nominal(DramKind::Lpddr3).energy(&c).total_nj();
+        let ddr4 = DramEnergyModel::nominal(DramKind::Ddr4)
+            .energy(&c)
+            .total_nj();
+        let lp = DramEnergyModel::nominal(DramKind::Lpddr3)
+            .energy(&c)
+            .total_nj();
         assert!(lp < ddr4);
     }
 
@@ -224,7 +230,10 @@ mod tests {
             .with_scalable_fraction(0.0)
             .savings_vs_nominal(&c);
         assert!(none.abs() < 1e-9);
-        assert!(all > 0.4, "fully scalable savings should approach 1-(v/vn)^2, got {all}");
+        assert!(
+            all > 0.4,
+            "fully scalable savings should approach 1-(v/vn)^2, got {all}"
+        );
     }
 
     #[test]

@@ -401,7 +401,10 @@ mod tests {
         let mut rng_b = StdRng::seed_from_u64(2);
         m.inject(&mut a, &Layout::default(), &mut rng_a);
         m.inject(&mut b, &Layout::default(), &mut rng_b);
-        assert_eq!(a, b, "deterministic weak cells with F=1 must flip identically");
+        assert_eq!(
+            a, b,
+            "deterministic weak cells with F=1 must flip identically"
+        );
     }
 
     #[test]
@@ -467,8 +470,12 @@ mod tests {
     #[test]
     fn data_dependent_model_prefers_configured_direction() {
         // All-ones data with F_V1 >> F_V0 flips many bits; all-zeros data few.
-        let ones = QuantTensor::quantize(&Tensor::from_vec(vec![-1.0; 4096], &[4096]), Precision::Int8);
-        let zeros = QuantTensor::quantize(&Tensor::from_vec(vec![0.0; 4096], &[4096]), Precision::Int8);
+        let ones = QuantTensor::quantize(
+            &Tensor::from_vec(vec![-1.0; 4096], &[4096]),
+            Precision::Int8,
+        );
+        let zeros =
+            QuantTensor::quantize(&Tensor::from_vec(vec![0.0; 4096], &[4096]), Precision::Int8);
         let m = ErrorModel::data_dependent(0.05, 0.9, 0.01, 6);
         let flips = |clean: &QuantTensor| {
             let mut c = clean.clone();
@@ -483,6 +490,8 @@ mod tests {
     fn display_mentions_paper_numbering() {
         assert_eq!(ErrorModelKind::Uniform.to_string(), "Error Model 0");
         assert_eq!(ErrorModelKind::DataDependent.to_string(), "Error Model 3");
-        assert!(ErrorModel::uniform(0.01, 0.5, 0).to_string().contains("Error Model 0"));
+        assert!(ErrorModel::uniform(0.01, 0.5, 0)
+            .to_string()
+            .contains("Error Model 0"));
     }
 }

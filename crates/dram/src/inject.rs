@@ -70,6 +70,31 @@ impl Injector {
             } => device.read_tensor(tensor, partition, op, rng),
         }
     }
+
+    /// Corrupts a stored tensor placed according to `layout` (overriding the
+    /// injector's own default placement). For a model injector the layout is
+    /// used directly; for a device injector the layout's base row offsets the
+    /// tensor within the device partition. This is what lets an allocator
+    /// give each DNN data type its own DRAM rows under either error source.
+    /// Placements are disjoint as long as the combined footprint fits the
+    /// partition; past its capacity, rows wrap (see
+    /// [`ApproxDramDevice::read_tensor_at`]) and later sites alias earlier
+    /// ones, exactly as physical re-use of the partition would.
+    pub fn corrupt_placed(
+        &self,
+        tensor: &mut QuantTensor,
+        layout: &Layout,
+        rng: &mut StdRng,
+    ) -> u64 {
+        match self {
+            Injector::Model { model, .. } => model.inject(tensor, layout, rng),
+            Injector::Device {
+                device,
+                partition,
+                op,
+            } => device.read_tensor_at(tensor, partition, layout.base_row as u64, op, rng),
+        }
+    }
 }
 
 /// Allocates consecutive, non-overlapping row ranges for DNN data types.

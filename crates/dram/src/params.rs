@@ -150,11 +150,7 @@ impl Default for OperatingPoint {
 
 impl fmt::Display for OperatingPoint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "VDD={:.2}V tRCD={:.1}ns",
-            self.vdd, self.timing.trcd_ns
-        )
+        write!(f, "VDD={:.2}V tRCD={:.1}ns", self.vdd, self.timing.trcd_ns)
     }
 }
 

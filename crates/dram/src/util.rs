@@ -54,7 +54,10 @@ mod tests {
         }
         // Each decile should hold roughly 1000 samples.
         for b in buckets {
-            assert!((700..1300).contains(&b), "bucket count {b} far from uniform");
+            assert!(
+                (700..1300).contains(&b),
+                "bucket count {b} far from uniform"
+            );
         }
     }
 

@@ -132,7 +132,10 @@ impl VendorProfile {
 
     /// BER contributed by tRCD reduction alone, averaged over data values.
     pub fn ber_trcd(&self, trcd_reduction_ns: f32) -> f64 {
-        interpolate(TRCD_CURVE, trcd_reduction_ns / self.vendor.reduction_scale())
+        interpolate(
+            TRCD_CURVE,
+            trcd_reduction_ns / self.vendor.reduction_scale(),
+        )
     }
 
     /// Total average BER at an operating point (both mechanisms combined).
@@ -270,7 +273,10 @@ mod tests {
         let op = OperatingPoint::with_vdd_reduction(0.3);
         let avg = 0.5 * p.ber_for_stored(&op, true) + 0.5 * p.ber_for_stored(&op, false);
         let overall = p.ber(&op);
-        assert!((avg - overall).abs() / overall < 0.05, "avg {avg} vs overall {overall}");
+        assert!(
+            (avg - overall).abs() / overall < 0.05,
+            "avg {avg} vs overall {overall}"
+        );
     }
 
     #[test]

@@ -185,7 +185,10 @@ mod tests {
 
     #[test]
     fn trcd_reduction_gives_no_accelerator_speedup() {
-        for cfg in [AcceleratorConfig::eyeriss_ddr4(), AcceleratorConfig::tpu_ddr4()] {
+        for cfg in [
+            AcceleratorConfig::eyeriss_ddr4(),
+            AcceleratorConfig::tpu_ddr4(),
+        ] {
             let sim = AcceleratorSim::new(cfg);
             for w in workloads() {
                 let nominal = sim.run(&w, &OperatingPoint::nominal());
@@ -201,7 +204,10 @@ mod tests {
 
     #[test]
     fn ddr4_voltage_savings_match_paper_ballpark() {
-        for cfg in [AcceleratorConfig::eyeriss_ddr4(), AcceleratorConfig::tpu_ddr4()] {
+        for cfg in [
+            AcceleratorConfig::eyeriss_ddr4(),
+            AcceleratorConfig::tpu_ddr4(),
+        ] {
             let sim = AcceleratorSim::new(cfg);
             for w in workloads() {
                 let nominal = sim.run(&w, &OperatingPoint::nominal());

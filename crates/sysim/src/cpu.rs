@@ -129,8 +129,8 @@ impl CpuSim {
 
         // Row-buffer behaviour: irregular accesses hit open rows less often.
         let irregular = workload.irregular_access_fraction;
-        let row_hit = cfg.regular_row_hit_rate * (1.0 - irregular)
-            + cfg.irregular_row_hit_rate * irregular;
+        let row_hit =
+            cfg.regular_row_hit_rate * (1.0 - irregular) + cfg.irregular_row_hit_rate * irregular;
         let activations = ((reads + writes) as f64 * (1.0 - row_hit)).ceil() as u64;
 
         // Time components.
@@ -148,10 +148,8 @@ impl CpuSim {
             writes,
             elapsed_ns: time_ns,
         };
-        let energy_model = DramEnergyModel::at_operating_point(
-            DramKind::Ddr4,
-            &voltage_only(vdd_reduction),
-        );
+        let energy_model =
+            DramEnergyModel::at_operating_point(DramKind::Ddr4, &voltage_only(vdd_reduction));
         SystemResult {
             time_ns,
             compute_ns,

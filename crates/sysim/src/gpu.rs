@@ -184,7 +184,10 @@ mod tests {
             .run(&p, &op)
             .energy_reduction_vs(&cpu.run(&p, &OperatingPoint::nominal()));
         assert!(gpu_saving > cpu_saving);
-        assert!(gpu_saving > 0.30 && gpu_saving < 0.50, "gpu saving {gpu_saving}");
+        assert!(
+            gpu_saving > 0.30 && gpu_saving < 0.50,
+            "gpu saving {gpu_saving}"
+        );
     }
 
     #[test]
@@ -196,7 +199,7 @@ mod tests {
         let ideal = gpu.run_ideal_latency(&tiny);
         let s = reduced.speedup_over(&nominal);
         let ideal_s = ideal.speedup_over(&nominal);
-        assert!(s >= 1.0 && s < 1.12, "GPU YOLO-Tiny speedup {s}");
+        assert!((1.0..1.12).contains(&s), "GPU YOLO-Tiny speedup {s}");
         assert!(ideal_s >= s);
     }
 

@@ -89,8 +89,7 @@ impl WorkloadProfile {
     pub fn for_model(id: ModelId, precision: Precision) -> Self {
         let dataset_spec = id.dataset(0).spec();
         let net = id.build(&dataset_spec, 0);
-        let mut profile =
-            Self::from_network(&net, precision, Self::irregularity_for(id));
+        let mut profile = Self::from_network(&net, precision, Self::irregularity_for(id));
         profile.model_name = id.spec().display_name.to_string();
 
         // Scale to the paper footprint: Table 1 reports FP32 sizes in MB.

@@ -146,7 +146,11 @@ pub fn conv2d_backward(
     let (in_c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
     let (out_c, _, k) = (weight.shape()[0], weight.shape()[1], weight.shape()[2]);
     let (oh, ow) = (p.out_size(h), p.out_size(w));
-    assert_eq!(d_out.shape(), &[out_c, oh, ow], "conv2d_backward d_out shape");
+    assert_eq!(
+        d_out.shape(),
+        &[out_c, oh, ow],
+        "conv2d_backward d_out shape"
+    );
 
     let id = input.data();
     let wd = weight.data();
@@ -347,7 +351,10 @@ mod tests {
     #[test]
     fn conv2d_backward_matches_numerical_gradient() {
         // Finite-difference check of d_weight on a tiny conv.
-        let input = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.3, 1.5, -0.7, 0.2, 0.9, -1.1], &[1, 3, 3]);
+        let input = Tensor::from_vec(
+            vec![0.5, -1.0, 2.0, 0.3, 1.5, -0.7, 0.2, 0.9, -1.1],
+            &[1, 3, 3],
+        );
         let mut weight = Tensor::from_vec(vec![0.1, -0.2, 0.3, 0.4], &[1, 1, 2, 2]);
         let bias = Tensor::zeros(&[1]);
         let p = Conv2dParams::new(2, 1, 0);

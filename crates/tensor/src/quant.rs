@@ -343,7 +343,10 @@ mod tests {
         let mut q = QuantTensor::quantize(&t, Precision::Int8);
         let before = q.value(0);
         q.flip_bit(0, 7);
-        assert!(q.value(0) < before, "MSB flip of a positive value goes negative");
+        assert!(
+            q.value(0) < before,
+            "MSB flip of a positive value goes negative"
+        );
     }
 
     #[test]

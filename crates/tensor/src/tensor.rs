@@ -284,7 +284,12 @@ impl fmt::Display for Tensor {
             .take(8)
             .map(|x| format!("{x:.4}"))
             .collect();
-        write!(f, "[{}{}]", preview.join(", "), if self.len() > 8 { ", …" } else { "" })
+        write!(
+            f,
+            "[{}{}]",
+            preview.join(", "),
+            if self.len() > 8 { ", …" } else { "" }
+        )
     }
 }
 

@@ -2,14 +2,73 @@
 
 use eden_tensor::bits;
 use eden_tensor::ops;
-use eden_tensor::{Precision, QuantTensor, Tensor};
+use eden_tensor::{Precision, QuantTensor, Shape, Tensor};
 use proptest::prelude::*;
 
 fn small_vec() -> impl Strategy<Value = Vec<f32>> {
     prop::collection::vec(-100.0f32..100.0, 1..64)
 }
 
+/// A shrink-friendly strategy over [`Shape`]: generated shapes have rank
+/// 1–4 with extents 1–8, and counterexamples shrink by dropping trailing
+/// dimensions and pulling extents towards 1, so a failing case minimizes to
+/// something close to `[1]`.
+#[derive(Clone, Debug)]
+struct ShapeStrategy;
+
+impl proptest::strategy::Strategy for ShapeStrategy {
+    type Value = Shape;
+
+    fn generate(&self, rng: &mut rand::rngs::StdRng) -> Shape {
+        use rand::Rng;
+        let rank = rng.gen_range(1usize..=4);
+        let dims: Vec<usize> = (0..rank).map(|_| rng.gen_range(1usize..=8)).collect();
+        Shape::new(&dims)
+    }
+
+    fn shrink(&self, value: &Shape) -> Vec<Shape> {
+        let dims = value.dims();
+        let mut out = Vec::new();
+        // Drop trailing dimensions (rank reduction first: the most aggressive
+        // simplification).
+        if dims.len() > 1 {
+            out.push(Shape::new(&dims[..dims.len() - 1]));
+            out.push(Shape::new(&dims[1..]));
+        }
+        // Pull each extent towards 1.
+        for (i, &d) in dims.iter().enumerate() {
+            if d > 1 {
+                for cand in [1, d / 2, d - 1] {
+                    if cand >= 1 && cand != d {
+                        let mut v = dims.to_vec();
+                        v[i] = cand;
+                        let s = Shape::new(&v);
+                        if !out.contains(&s) {
+                            out.push(s);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A tensor filled with seeded uniform data in a generated shape, built
+/// inside the test body from a `(Shape, seed)` tuple rather than via
+/// `prop_map` — tuple strategies shrink componentwise, so counterexamples
+/// still minimize through [`ShapeStrategy`]'s shrinker.
+fn tensor_for(shape: &Shape, seed: u64) -> Tensor {
+    let mut rng = eden_tensor::init::seeded_rng(seed);
+    eden_tensor::init::uniform(shape.dims(), -50.0, 50.0, &mut rng)
+}
+
 proptest! {
+    // The quantization round-trip invariants below guard the bit-exact
+    // storage layer everything else builds on, so run them at double the
+    // default case count.
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
     #[test]
     fn quantize_dequantize_error_bounded_by_step(data in small_vec()) {
         let n = data.len();
@@ -104,5 +163,69 @@ proptest! {
         let mut rng = eden_tensor::init::seeded_rng(seed);
         let t = eden_tensor::init::uniform(&[rows, cols], -1.0, 1.0, &mut rng);
         prop_assert_eq!(ops::transpose(&ops::transpose(&t)), t);
+    }
+
+    #[test]
+    fn shape_len_is_product_and_last_index_is_dense(shape in ShapeStrategy) {
+        let expected: usize = shape.dims().iter().product();
+        prop_assert_eq!(shape.len(), expected);
+        prop_assert!(!shape.is_empty());
+        // The flat index of the last coordinate must land on len - 1: strides
+        // tile the whole buffer with no gaps or overlap.
+        let last: Vec<usize> = shape.dims().iter().map(|&d| d - 1).collect();
+        prop_assert_eq!(shape.flat_index(&last), shape.len() - 1);
+        // The outermost stride times the outermost extent covers everything.
+        prop_assert_eq!(shape.strides()[0] * shape.dims()[0], shape.len());
+    }
+
+    #[test]
+    fn shape_flat_indices_are_a_bijection(shape in ShapeStrategy) {
+        // Enumerate every coordinate and check flat indices hit 0..len once.
+        let mut seen = vec![false; shape.len()];
+        let mut idx = vec![0usize; shape.rank()];
+        loop {
+            let flat = shape.flat_index(&idx);
+            prop_assert!(!seen[flat], "flat index {} visited twice", flat);
+            seen[flat] = true;
+            // Odometer increment.
+            let mut d = shape.rank();
+            loop {
+                if d == 0 {
+                    break;
+                }
+                d -= 1;
+                idx[d] += 1;
+                if idx[d] < shape.dims()[d] {
+                    break;
+                }
+                idx[d] = 0;
+                if d == 0 {
+                    d = usize::MAX;
+                    break;
+                }
+            }
+            if d == usize::MAX {
+                break;
+            }
+        }
+        prop_assert!(seen.into_iter().all(|v| v));
+    }
+
+    #[test]
+    fn quantization_round_trips_for_every_shape(shape in ShapeStrategy, seed in 0u64..1000) {
+        let t = tensor_for(&shape, seed);
+        for p in [Precision::Int4, Precision::Int8, Precision::Int16, Precision::Fp32] {
+            let q = QuantTensor::quantize(&t, p);
+            let back = q.dequantize();
+            prop_assert_eq!(back.shape(), t.shape());
+            prop_assert_eq!(back.len(), t.len());
+            let step = q.scale();
+            for (a, b) in t.data().iter().zip(back.data()) {
+                prop_assert!(
+                    (a - b).abs() <= step / 2.0 + 1e-4,
+                    "precision {:?}: {} vs {} (step {})", p, a, b, step
+                );
+            }
+        }
     }
 }

@@ -42,9 +42,7 @@ fn main() {
     println!("selected error model: {}", outcome.error_model);
     println!(
         "tolerable BER: baseline {:.2e} → boosted {:.2e} ({:.1}x boost)",
-        outcome.baseline_tolerable_ber,
-        outcome.boosted.max_tolerable_ber,
-        outcome.boost_factor
+        outcome.baseline_tolerable_ber, outcome.boosted.max_tolerable_ber, outcome.boost_factor
     );
     println!(
         "coarse mapping: ΔVDD = -{:.2} V, ΔtRCD = -{:.1} ns",

@@ -49,7 +49,12 @@ fn main() {
     );
     println!("{:<28} {:>8} {:>12}", "data type", "elements", "max BER");
     for (info, ber) in &fine.tolerances {
-        println!("{:<28} {:>8} {:>12.2e}", info.site.to_string(), info.elements, ber);
+        println!(
+            "{:<28} {:>8} {:>12.2e}",
+            info.site.to_string(),
+            info.elements,
+            ber
+        );
     }
 
     // DRAM characterization of four banks at four voltage levels (Figure 12
@@ -84,7 +89,11 @@ fn main() {
             "  {:<26} ({:>5} {}) → partition {} @ {}",
             a.data.site.to_string(),
             a.data.elements,
-            if a.data.site.kind == DataKind::Weight { "weights" } else { "ifm" },
+            if a.data.site.kind == DataKind::Weight {
+                "weights"
+            } else {
+                "ifm"
+            },
             a.partition_index,
             op
         );

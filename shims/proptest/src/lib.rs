@@ -1,0 +1,124 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest used by this workspace's property tests:
+//!
+//! * [`Strategy`] — value generation plus greedy shrinking;
+//! * range strategies over the primitive numeric types, tuple strategies,
+//!   [`collection::vec`], [`Just`], [`strategy::Map`] (via
+//!   [`Strategy::prop_map`]) and [`arbitrary::any`];
+//! * the [`proptest!`] macro (including `#![proptest_config(..)]`), and the
+//!   `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` macros;
+//! * a runner that, on failure, shrinks to a locally minimal counterexample
+//!   and reports it together with the failing case's seed.
+//!
+//! Generation is deterministic per test name and case index, so failures
+//! reproduce across runs. Case count defaults to 256 and can be overridden
+//! with the `PROPTEST_CASES` environment variable or
+//! `ProptestConfig::with_cases`.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary {
+    use super::strategy::{RangeStrategy, Strategy};
+
+    /// Types with a canonical whole-domain strategy (subset of
+    /// `proptest::arbitrary::Arbitrary`).
+    pub trait Arbitrary: Sized + Clone + std::fmt::Debug + 'static {
+        type Strategy: Strategy<Value = Self>;
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                type Strategy = RangeStrategy<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    RangeStrategy::new(<$t>::MIN, <$t>::MAX, true)
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        type Strategy = super::strategy::BoolStrategy;
+        fn arbitrary() -> Self::Strategy {
+            super::strategy::BoolStrategy
+        }
+    }
+
+    impl Arbitrary for f32 {
+        type Strategy = RangeStrategy<f32>;
+        fn arbitrary() -> Self::Strategy {
+            RangeStrategy::new(-1.0e6, 1.0e6, false)
+        }
+    }
+
+    impl Arbitrary for f64 {
+        type Strategy = RangeStrategy<f64>;
+        fn arbitrary() -> Self::Strategy {
+            RangeStrategy::new(-1.0e6, 1.0e6, false)
+        }
+    }
+
+    /// `proptest::arbitrary::any`.
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+}
+
+pub mod collection {
+    use super::strategy::{Strategy, VecStrategy};
+
+    /// Size specification for [`vec`]: an exact length or a half-open range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        pub min: usize,
+        /// Exclusive upper bound.
+        pub max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(
+                r.start < r.end,
+                "empty size range for prop::collection::vec"
+            );
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end() + 1,
+            }
+        }
+    }
+
+    /// `proptest::collection::vec` — a vector whose length is drawn from
+    /// `size` and whose elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy::new(element, size.into())
+    }
+}
+
+/// The public prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}

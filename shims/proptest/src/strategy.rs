@@ -1,0 +1,368 @@
+//! Strategies: value generation plus greedy shrinking.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A source of test values with optional shrinking.
+///
+/// Unlike upstream proptest (which shrinks through a `ValueTree`), this shim
+/// shrinks directly on values: [`Strategy::shrink`] proposes a batch of
+/// strictly "simpler" candidates and the runner greedily walks them while the
+/// test keeps failing.
+pub trait Strategy {
+    type Value: Clone + std::fmt::Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Propose simpler variants of `value`. An empty vector ends shrinking.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
+    /// Map generated values through `f`. Mapped strategies do not shrink
+    /// (the mapping is not invertible); prefer a bespoke [`Strategy`] impl
+    /// where shrinking matters.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        T: Clone + std::fmt::Debug,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { source: self, f }
+    }
+
+    /// Keep only values satisfying `pred` (rejection sampling, bounded).
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            source: self,
+            pred,
+            whence,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
+}
+
+/// Always yields a fixed value (`proptest::strategy::Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    T: Clone + std::fmt::Debug,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    source: S,
+    pred: F,
+    whence: &'static str,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..1024 {
+            let v = self.source.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter '{}' rejected 1024 consecutive candidates",
+            self.whence
+        );
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        self.source
+            .shrink(value)
+            .into_iter()
+            .filter(|v| (self.pred)(v))
+            .collect()
+    }
+}
+
+/// Uniform strategy over `[lo, hi]` for a primitive numeric type.
+#[derive(Clone, Copy, Debug)]
+pub struct RangeStrategy<T> {
+    lo: T,
+    hi: T,
+    /// Inclusive upper bound (`..=`) vs exclusive (`..`).
+    inclusive: bool,
+}
+
+impl<T: Copy> RangeStrategy<T> {
+    pub fn new(lo: T, hi: T, inclusive: bool) -> Self {
+        RangeStrategy { lo, hi, inclusive }
+    }
+}
+
+/// The value in the range with the smallest magnitude — the shrink target.
+macro_rules! signed_origin {
+    ($lo:expr, $hi:expr, $zero:expr) => {
+        if $lo <= $zero && $zero <= $hi {
+            $zero
+        } else if $lo > $zero {
+            $lo
+        } else {
+            $hi
+        }
+    };
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for RangeStrategy<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                if self.inclusive {
+                    rng.gen_range(self.lo..=self.hi)
+                } else {
+                    rng.gen_range(self.lo..self.hi)
+                }
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let v = *value;
+                let hi_in = if self.inclusive { self.hi } else { self.hi - 1 };
+                let origin: $t = signed_origin!(self.lo, hi_in, 0 as $t);
+                if v == origin {
+                    return Vec::new();
+                }
+                // Most-aggressive-first ladder: the origin, then values
+                // approaching `v` geometrically (v - d/2, v - d/4, ..., v-1).
+                // The runner's greedy walk over this ladder bisects onto the
+                // exact failure boundary in O(log² d) probes.
+                let d = (v as i128) - (origin as i128);
+                let mut out = vec![origin];
+                let mut step = d / 2;
+                while step.abs() >= 1 {
+                    let cand = ((v as i128) - step) as $t;
+                    if cand != origin && cand != v && !out.contains(&cand) {
+                        out.push(cand);
+                    }
+                    step /= 2;
+                }
+                out
+            }
+        }
+
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                RangeStrategy::new(self.start, self.end, false).generate(rng)
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                RangeStrategy::new(self.start, self.end, false).shrink(value)
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                RangeStrategy::new(*self.start(), *self.end(), true).generate(rng)
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                RangeStrategy::new(*self.start(), *self.end(), true).shrink(value)
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for RangeStrategy<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.lo..self.hi)
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let v = *value;
+                let origin: $t = signed_origin!(self.lo, self.hi, 0.0);
+                let dist = v - origin;
+                if dist.abs() < 1e-6 {
+                    return Vec::new();
+                }
+                // Same ladder shape as the integer strategies: origin first,
+                // then geometrically approaching `v`.
+                let mut out = vec![origin];
+                let mut step = dist / 2.0;
+                while step.abs() >= 1e-6 && step.abs() >= f32::EPSILON as $t * v.abs() {
+                    out.push(v - step);
+                    step /= 2.0;
+                    if out.len() >= 12 {
+                        break;
+                    }
+                }
+                out
+            }
+        }
+
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                RangeStrategy::new(self.start, self.end, false).generate(rng)
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                RangeStrategy::new(self.start, self.end, false).shrink(value)
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+/// Uniform over `{false, true}`; `true` shrinks to `false`.
+#[derive(Clone, Copy, Debug)]
+pub struct BoolStrategy;
+
+impl Strategy for BoolStrategy {
+    type Value = bool;
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rng.gen::<bool>()
+    }
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($S:ident . $idx:tt),+ );)*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = cand;
+                        out.push(v);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5);
+}
+
+/// See [`crate::collection::vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: crate::collection::SizeRange,
+}
+
+impl<S: Strategy> VecStrategy<S> {
+    pub fn new(element: S, size: crate::collection::SizeRange) -> Self {
+        VecStrategy { element, size }
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = if self.size.max - self.size.min <= 1 {
+            self.size.min
+        } else {
+            rng.gen_range(self.size.min..self.size.max)
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        let len = value.len();
+
+        // 1. Structural shrinks: drop the back half, then single elements.
+        if len > self.size.min {
+            let half = (len / 2).max(self.size.min);
+            if half < len {
+                out.push(value[..half].to_vec());
+            }
+            for i in (0..len).rev() {
+                let mut v = value.clone();
+                v.remove(i);
+                out.push(v);
+                if out.len() >= 16 {
+                    break;
+                }
+            }
+        }
+
+        // 2. Element-wise shrinks, one position at a time.
+        for (i, elem) in value.iter().enumerate() {
+            for cand in self.element.shrink(elem) {
+                let mut v = value.clone();
+                v[i] = cand;
+                out.push(v);
+            }
+            if out.len() >= 64 {
+                break;
+            }
+        }
+        out
+    }
+}

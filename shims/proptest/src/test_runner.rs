@@ -1,0 +1,263 @@
+//! The case runner: deterministic generation, panic capture, greedy shrinking.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::strategy::Strategy;
+
+/// Runner configuration (subset of `proptest::test_runner::Config`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Upper bound on shrinking steps after a failure.
+    pub max_shrink_iters: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig {
+            cases,
+            max_shrink_iters: 4096,
+        }
+    }
+}
+
+thread_local! {
+    static PROBING: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Install (once, process-wide) a panic hook that stays silent while this
+/// thread is probing candidates during shrinking, so a single failure does
+/// not spew hundreds of expected panics to stderr.
+fn install_quiet_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !PROBING.with(|p| p.get()) {
+                default(info);
+            }
+        }));
+    });
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Execute one property: `cases` deterministic cases, then greedy shrinking
+/// on the first failure. Panics (test failure) with the minimal
+/// counterexample found.
+pub fn run<S, F>(name: &str, config: &ProptestConfig, strategy: S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value),
+{
+    install_quiet_hook();
+    let base_seed = fnv1a(name);
+
+    let probe = |value: S::Value| -> Result<(), String> {
+        PROBING.with(|p| p.set(true));
+        let outcome = catch_unwind(AssertUnwindSafe(|| test(value)));
+        PROBING.with(|p| p.set(false));
+        outcome.map_err(|e| panic_message(&*e))
+    };
+
+    for case in 0..config.cases {
+        let mut rng =
+            StdRng::seed_from_u64(base_seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let value = strategy.generate(&mut rng);
+        let Err(first_message) = probe(value.clone()) else {
+            continue;
+        };
+
+        // Greedy shrink: repeatedly take the first simpler candidate that
+        // still fails, until no candidate fails or the budget runs out.
+        let mut minimal = value;
+        let mut message = first_message;
+        let mut budget = config.max_shrink_iters;
+        'outer: while budget > 0 {
+            for cand in strategy.shrink(&minimal) {
+                budget -= 1;
+                if let Err(m) = probe(cand.clone()) {
+                    minimal = cand;
+                    message = m;
+                    continue 'outer;
+                }
+                if budget == 0 {
+                    break;
+                }
+            }
+            break;
+        }
+
+        panic!(
+            "proptest '{name}' failed at case {case}/{cases} (seed {seed:#x}).\n\
+             minimal failing input: {minimal:?}\n\
+             assertion: {message}",
+            cases = config.cases,
+            seed = base_seed,
+        );
+    }
+}
+
+/// `prop_assert!` — like `assert!` but attributed to the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            panic!($($fmt)*);
+        }
+    };
+}
+
+/// `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `left != right`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+}
+
+/// The `proptest!` block macro: wraps each `fn name(arg in strategy, ..)`
+/// into a `#[test]` driven by [`run`].
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { (<$crate::test_runner::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __strategy = ($($strat,)+);
+            let __config = $cfg;
+            $crate::test_runner::run(
+                stringify!($name),
+                &__config,
+                __strategy,
+                |($($arg,)+)| $body,
+            );
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn passing_property_holds(a in 0u32..100, b in 0u32..100) {
+            prop_assert!(a + b <= 198);
+        }
+
+        #[test]
+        fn vectors_respect_size_bounds(v in prop::collection::vec(0i32..10, 1..8)) {
+            prop_assert!((1..8).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| (0..10).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimal_case() {
+        let result = std::panic::catch_unwind(|| {
+            crate::test_runner::run(
+                "shrink_probe",
+                &ProptestConfig::with_cases(64),
+                (0u32..1000,),
+                |(x,)| {
+                    assert!(x < 500, "too big");
+                },
+            );
+        });
+        let msg = super::panic_message(&*result.expect_err("property must fail"));
+        // Greedy halving from any failing x >= 500 must land exactly on 500.
+        assert!(msg.contains("minimal failing input: (500,)"), "got: {msg}");
+    }
+
+    #[test]
+    fn vec_shrinking_removes_irrelevant_elements() {
+        let result = std::panic::catch_unwind(|| {
+            crate::test_runner::run(
+                "vec_shrink_probe",
+                &ProptestConfig::with_cases(64),
+                (crate::collection::vec(0i32..100, 0..20),),
+                |(v,)| {
+                    assert!(!v.iter().any(|&x| x >= 50), "contains big element");
+                },
+            );
+        });
+        let msg = super::panic_message(&*result.expect_err("property must fail"));
+        // The minimal counterexample is a single-element vector [50].
+        assert!(msg.contains("minimal failing input: ([50],)"), "got: {msg}");
+    }
+}

@@ -1,0 +1,26 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The EDEN crates only *mark* types as serializable (no serializer is wired
+//! up anywhere in the workspace), so this shim provides `Serialize` /
+//! `Deserialize` as marker traits with blanket implementations, plus no-op
+//! derive macros so `#[derive(Serialize, Deserialize)]` keeps compiling.
+//! When network access is available, dropping in real serde is a
+//! manifest-only change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub mod de {
+    pub use super::DeserializeOwned;
+}

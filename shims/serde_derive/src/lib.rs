@@ -1,0 +1,16 @@
+//! No-op `Serialize` / `Deserialize` derive macros for the offline serde shim.
+//!
+//! The shim's traits carry blanket implementations, so the derives only need
+//! to exist (and accept `#[serde(...)]` attributes) — they emit no code.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

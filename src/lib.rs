@@ -14,9 +14,9 @@
 //! * [`core`] — the EDEN framework: curricular retraining, error-tolerance
 //!   characterization, DNN→DRAM mapping, and the end-to-end pipeline.
 //!
-//! See `README.md` for a tour, `examples/` for runnable scenarios, and
-//! `EXPERIMENTS.md` for the paper-vs-measured record of every table and
-//! figure.
+//! See `README.md` for a tour and the workspace crate map, `examples/` for
+//! runnable scenarios, and `crates/bench/src/bin/` for the binaries that
+//! regenerate the paper's tables and figures.
 //!
 //! # Quickstart
 //!

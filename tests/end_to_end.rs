@@ -30,10 +30,15 @@ fn trained_lenet(seed: u64) -> (Network, SyntheticVision) {
 #[test]
 fn device_fitted_error_model_predicts_device_accuracy() {
     // The Figure 7 validation loop: accuracy under the fitted error model
-    // should match accuracy under the simulated "real" device.
+    // should match accuracy under the simulated "real" device. The paper
+    // validates this at operating points EDEN would actually use (small
+    // accuracy drop), and reports expected accuracy — so the comparison uses
+    // a mildly-aggressive operating point, a characterization with enough
+    // rows/reads for stable parameter estimates, and means over a few
+    // injection seeds.
     let (net, dataset) = trained_lenet(0);
     let device = ApproxDramDevice::new(Vendor::A, 17);
-    let op = OperatingPoint::with_vdd_reduction(0.25);
+    let op = OperatingPoint::with_vdd_reduction(0.15);
     let samples = &dataset.test()[..40];
 
     let observations = characterize_bank(
@@ -41,13 +46,23 @@ fn device_fitted_error_model_predicts_device_accuracy() {
         0,
         &op,
         &CharacterizeConfig {
-            rows_per_pattern: 1,
+            rows_per_pattern: 4,
             bitlines_per_row: 1024,
-            reads_per_row: 3,
+            reads_per_row: 8,
             seed: 2,
         },
     );
     let fitted = select_model(&observations, 5).model;
+    // The simulated device flips stored ones more often than stored zeros
+    // under voltage scaling; a well-powered characterization must pick that
+    // up rather than average it away.
+    assert!(
+        (fitted.expected_ber() - observations.observed_ber()).abs() / observations.observed_ber()
+            < 0.1,
+        "fitted BER {} should match observed BER {}",
+        fitted.expected_ber(),
+        observations.observed_ber()
+    );
 
     let bounding =
         BoundingLogic::calibrated(&net, &dataset.train()[..16], 1.5, CorrectionPolicy::Zero);
@@ -56,19 +71,38 @@ fn device_fitted_error_model_predicts_device_accuracy() {
         eden::dram::geometry::PartitionGranularity::Bank,
     )[0];
 
-    let mut device_memory =
-        ApproximateMemory::from_injector(Injector::from_device(device, partition, op), 3)
-            .with_bounding(bounding);
-    let device_acc =
-        inference::evaluate_with_faults(&net, samples, Precision::Int8, &mut device_memory);
+    let mean_acc = |memory_for_seed: &mut dyn FnMut(u64) -> ApproximateMemory| {
+        let seeds = [3u64, 4, 5];
+        seeds
+            .iter()
+            .map(|&s| {
+                let mut memory = memory_for_seed(s);
+                inference::evaluate_with_faults(&net, samples, Precision::Int8, &mut memory)
+            })
+            .sum::<f32>()
+            / seeds.len() as f32
+    };
 
-    let mut model_memory = ApproximateMemory::from_model(fitted, 3).with_bounding(bounding);
+    let device_acc = mean_acc(&mut |s| {
+        ApproximateMemory::from_injector(Injector::from_device(device, partition, op), s)
+            .with_bounding(bounding)
+    });
     let model_acc =
-        inference::evaluate_with_faults(&net, samples, Precision::Int8, &mut model_memory);
+        mean_acc(&mut |s| ApproximateMemory::from_model(fitted, s).with_bounding(bounding));
 
     assert!(
         (device_acc - model_acc).abs() <= 0.15,
         "fitted model accuracy ({model_acc}) should track device accuracy ({device_acc})"
+    );
+    // This operating point must actually be usable — both paths well above
+    // chance (1/8) and close to the reliable baseline.
+    assert!(
+        device_acc > 0.7,
+        "device accuracy {device_acc} unexpectedly low"
+    );
+    assert!(
+        model_acc > 0.7,
+        "model accuracy {model_acc} unexpectedly low"
     );
 }
 
@@ -114,12 +148,8 @@ fn boosting_then_mapping_yields_reduced_parameters_and_valid_accuracy() {
     let op_ber = vendor.ber(&OperatingPoint::with_vdd_reduction(mapping.vdd_reduction));
     let mut memory =
         ApproximateMemory::from_model(template.with_ber(op_ber), 9).with_bounding(bounding);
-    let acc = inference::evaluate_with_faults(
-        &net,
-        &dataset.test()[..48],
-        Precision::Int8,
-        &mut memory,
-    );
+    let acc =
+        inference::evaluate_with_faults(&net, &dataset.test()[..48], Precision::Int8, &mut memory);
     assert!(
         acc >= coarse.accuracy_floor - 0.1,
         "accuracy {acc} at the mapped point fell far below the floor {}",
@@ -140,10 +170,16 @@ fn system_level_gains_follow_the_mapping() {
     let workload = WorkloadProfile::for_model(zoo::ModelId::Vgg16, Precision::Int8);
     let nominal = cpu.run(&workload, &OperatingPoint::nominal());
     let small_saving = cpu
-        .run(&workload, &OperatingPoint::with_vdd_reduction(small.vdd_reduction))
+        .run(
+            &workload,
+            &OperatingPoint::with_vdd_reduction(small.vdd_reduction),
+        )
         .energy_reduction_vs(&nominal);
     let large_saving = cpu
-        .run(&workload, &OperatingPoint::with_vdd_reduction(large.vdd_reduction))
+        .run(
+            &workload,
+            &OperatingPoint::with_vdd_reduction(large.vdd_reduction),
+        )
         .energy_reduction_vs(&nominal);
     assert!(large_saving > small_saving);
     assert!(large_saving > 0.2 && large_saving < 0.5);
