@@ -1,14 +1,54 @@
 //! Criterion bench: inference on reliable vs approximate DRAM (the overhead
 //! of software error injection and bounding correction, cf. the 80–90x
 //! speedup the paper gets over SoftMC by simulating).
+//!
+//! This bench backs the CI performance-regression gate: run with
+//! `EDEN_BENCH_JSON=BENCH_inference.json cargo bench --bench inference` to
+//! (re)generate the machine-readable baseline, and compare two baselines with
+//! the `bench_gate` binary. The `calibration/spin` entry measures a fixed
+//! scalar workload so the gate can normalize away absolute machine speed.
+//!
+//! The harness pins the `eden-par` pool to a **fixed thread count** (1 by
+//! default, override with `EDEN_BENCH_THREADS`): the calibration workload is
+//! single-core, so baselines are only comparable across machines when the
+//! measured workloads are too. Parallel *scaling* is validated separately
+//! (`tests/thread_invariance.rs` for correctness, the fig binaries'
+//! `--threads` flag for wall-clock).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use eden_core::bounding::{BoundingLogic, CorrectionPolicy};
 use eden_core::faults::ApproximateMemory;
 use eden_core::inference;
 use eden_dnn::{data::SyntheticVision, zoo, Dataset};
 use eden_dram::ErrorModel;
 use eden_tensor::Precision;
+
+/// A fixed, optimizer-resistant scalar workload whose runtime tracks the
+/// host's single-core speed. The gate divides every measurement by this to
+/// compare baselines taken on different machines.
+fn bench_calibration(c: &mut Criterion) {
+    // Pin the pool before any parallel code touches it (this group runs
+    // first; see the module docs for why the count must be fixed).
+    let threads = std::env::var("EDEN_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(1);
+    if !eden_par::configure_threads(threads) {
+        eprintln!("EDEN_BENCH_THREADS ignored: pool already started");
+    }
+    let mut group = c.benchmark_group("calibration");
+    group.sample_size(15);
+    group.bench_function("spin", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..2_000_000u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
 
 fn bench_inference(c: &mut Criterion) {
     let dataset = SyntheticVision::tiny(0);
@@ -31,5 +71,38 @@ fn bench_inference(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_inference);
+/// The Figure 8 hot path: a (scaled-down) accuracy-vs-BER tolerance sweep,
+/// batch- and point-parallel on the `eden-par` pool. This is the workload the
+/// tentpole parallelization targets, so the gate watches it directly.
+fn bench_tolerance_sweep(c: &mut Criterion) {
+    let dataset = SyntheticVision::tiny(0);
+    let net = zoo::lenet(&dataset.spec(), 1);
+    let samples = &dataset.test()[..32];
+    let bounding =
+        BoundingLogic::calibrated(&net, &dataset.train()[..8], 1.5, CorrectionPolicy::Zero);
+    let template = ErrorModel::uniform(0.02, 0.5, 3);
+    let mut group = c.benchmark_group("fig08_sweep");
+    group.sample_size(10);
+    group.bench_function("lenet_4points_32samples", |b| {
+        b.iter(|| {
+            inference::accuracy_vs_ber(
+                &net,
+                samples,
+                Precision::Int8,
+                &template,
+                &[1e-4, 1e-3, 1e-2, 5e-2],
+                Some(bounding),
+                11,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_calibration,
+    bench_inference,
+    bench_tolerance_sweep
+);
 criterion_main!(benches);

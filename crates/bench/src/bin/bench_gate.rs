@@ -1,0 +1,191 @@
+//! CI performance-regression gate over the JSON-lines emitted by the
+//! criterion shim (`EDEN_BENCH_JSON`).
+//!
+//! ```text
+//! bench_gate <baseline.json> <current.json> [--tolerance 0.20]
+//! ```
+//!
+//! Every benchmark present in the baseline must be present in the current
+//! run and must not be slower than `baseline × calibration × (1 + tolerance)`
+//! on its **minimum** per-iteration time — the minimum is far more robust
+//! than the mean against co-tenant noise on shared CI runners (the shim does
+//! no outlier rejection). `calibration` is the ratio of the two runs'
+//! `calibration/spin` entries (a fixed scalar workload), which cancels
+//! absolute machine-speed differences between the runner that recorded the
+//! baseline and the runner executing the gate; it defaults to 1 when either
+//! file lacks the entry.
+//!
+//! Exit status: 0 when every benchmark passes, 1 on any regression or
+//! missing benchmark, 2 on usage/parse errors. The tolerance can also be set
+//! via the `BENCH_GATE_TOLERANCE` environment variable (the flag wins).
+
+use std::process::ExitCode;
+
+#[derive(Debug, Clone, PartialEq)]
+struct Entry {
+    group: String,
+    id: String,
+    min_ns: f64,
+}
+
+impl Entry {
+    fn key(&self) -> String {
+        format!("{}/{}", self.group, self.id)
+    }
+}
+
+/// Extracts the value of a `"field":` from a single JSON-lines record.
+/// Only handles the flat records the criterion shim writes.
+fn field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let tag = format!("\"{name}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+fn parse(path: &str) -> Result<Vec<Entry>, String> {
+    let content = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut out = Vec::new();
+    for (ln, line) in content.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let entry = (|| {
+            Some(Entry {
+                group: field(line, "group")?.to_string(),
+                id: field(line, "id")?.to_string(),
+                min_ns: field(line, "min_ns")?.parse::<f64>().ok()?,
+            })
+        })()
+        .ok_or_else(|| format!("{path}:{}: malformed bench record: {line}", ln + 1))?;
+        out.push(entry);
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: no benchmark records"));
+    }
+    Ok(out)
+}
+
+fn find<'a>(entries: &'a [Entry], key: &str) -> Option<&'a Entry> {
+    entries.iter().find(|e| e.key() == key)
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut tolerance: Option<f64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--tolerance" {
+            let v = it.next().ok_or("--tolerance needs a value")?;
+            tolerance = Some(
+                v.parse::<f64>()
+                    .map_err(|e| format!("bad tolerance: {e}"))?,
+            );
+        } else {
+            paths.push(arg.clone());
+        }
+    }
+    if paths.len() != 2 {
+        return Err("usage: bench_gate <baseline.json> <current.json> [--tolerance 0.20]".into());
+    }
+    let tolerance = tolerance
+        .or_else(|| {
+            std::env::var("BENCH_GATE_TOLERANCE")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0.20);
+
+    let baseline = parse(&paths[0])?;
+    let current = parse(&paths[1])?;
+
+    const CAL: &str = "calibration/spin";
+    let scale = match (find(&baseline, CAL), find(&current, CAL)) {
+        (Some(b), Some(c)) if b.min_ns > 0.0 => c.min_ns / b.min_ns,
+        _ => 1.0,
+    };
+    println!(
+        "bench gate: tolerance {:.0}%, machine-speed scale {scale:.3}",
+        tolerance * 100.0
+    );
+    println!(
+        "{:<45} {:>12} {:>12} {:>9}  verdict",
+        "benchmark", "base min ns", "cur min ns", "ratio"
+    );
+
+    let mut ok = true;
+    for base in &baseline {
+        let key = base.key();
+        if key == CAL {
+            continue;
+        }
+        match find(&current, &key) {
+            None => {
+                println!(
+                    "{key:<45} {:>12.0} {:>12} {:>9}  MISSING",
+                    base.min_ns, "-", "-"
+                );
+                ok = false;
+            }
+            Some(cur) => {
+                let budget = base.min_ns * scale;
+                let ratio = cur.min_ns / budget.max(1.0);
+                let pass = ratio <= 1.0 + tolerance;
+                println!(
+                    "{key:<45} {:>12.0} {:>12.0} {:>8.2}x  {}",
+                    base.min_ns,
+                    cur.min_ns,
+                    ratio,
+                    if pass { "ok" } else { "REGRESSION" }
+                );
+                ok &= pass;
+            }
+        }
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => {
+            println!("bench gate: PASS");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            println!("bench gate: FAIL (regression or missing benchmark)");
+            ExitCode::from(1)
+        }
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_extraction_handles_strings_and_numbers() {
+        let line = "{\"group\":\"g\",\"id\":\"x/y\",\"mean_ns\":123,\"samples\":5}";
+        assert_eq!(field(line, "group"), Some("g"));
+        assert_eq!(field(line, "id"), Some("x/y"));
+        assert_eq!(field(line, "mean_ns"), Some("123"));
+        assert_eq!(field(line, "min_ns"), None);
+        assert_eq!(field(line, "missing"), None);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("bench_gate_test_{}.json", std::process::id()));
+        std::fs::write(&path, "not json\n").unwrap();
+        let err = parse(path.to_str().unwrap()).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.contains("malformed"));
+    }
+}

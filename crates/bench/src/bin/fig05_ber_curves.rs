@@ -6,6 +6,7 @@ use eden_dram::characterize::{measured_pattern_ber, CharacterizeConfig, DATA_PAT
 use eden_dram::{ApproxDramDevice, OperatingPoint, Vendor};
 
 fn main() {
+    report::init_threads();
     report::header(
         "Figure 5",
         "bit error rate vs reduced VDD and reduced tRCD, per data pattern and vendor",

@@ -17,6 +17,7 @@ use eden_dram::{ApproxDramDevice, ErrorModelKind, OperatingPoint, Vendor};
 use eden_tensor::Precision;
 
 fn main() {
+    report::init_threads();
     report::header(
         "Figure 7",
         "LeNet accuracy: simulated real device (SoftMC stand-in) vs fitted Error Model 0",

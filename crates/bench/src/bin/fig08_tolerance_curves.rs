@@ -22,6 +22,7 @@ fn template(kind: ErrorModelKind, seed: u64) -> ErrorModel {
 }
 
 fn main() {
+    report::init_threads();
     let detail = std::env::args().any(|a| a == "--detail");
     report::header(
         "Figure 8",

@@ -32,6 +32,7 @@ fn device_accuracy(
 }
 
 fn main() {
+    report::init_threads();
     report::header(
         "Figure 9",
         "LeNet on the approximate device: baseline vs boosted (curricular retraining)",

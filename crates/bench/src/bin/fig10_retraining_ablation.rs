@@ -48,6 +48,7 @@ fn print_curves(label: &str, curves: &[(&str, Vec<(f64, f32)>)]) {
 }
 
 fn main() {
+    report::init_threads();
     report::header(
         "Figure 10",
         "retraining ablations: error-model fit quality and curricular schedule",

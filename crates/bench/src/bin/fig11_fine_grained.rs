@@ -11,6 +11,7 @@ use eden_dram::ErrorModel;
 use eden_tensor::Precision;
 
 fn main() {
+    report::init_threads();
     report::header(
         "Figure 11",
         "per-IFM / per-weight tolerable BER of ResNet (fine-grained characterization)",

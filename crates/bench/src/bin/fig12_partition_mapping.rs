@@ -13,6 +13,7 @@ use eden_dram::{ApproxDramDevice, ErrorModel, OperatingPoint, Vendor};
 use eden_tensor::Precision;
 
 fn main() {
+    report::init_threads();
     report::header(
         "Figure 12",
         "mapping ResNet data types onto 4 DRAM partitions with different VDD",

@@ -9,6 +9,7 @@ use eden_sysim::{CpuSim, WorkloadProfile};
 use eden_tensor::Precision;
 
 fn main() {
+    report::init_threads();
     report::header(
         "Figure 13",
         "CPU DRAM energy savings per DNN (FP32 and int8)",

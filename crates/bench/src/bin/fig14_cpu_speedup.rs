@@ -9,6 +9,7 @@ use eden_sysim::{CpuSim, WorkloadProfile};
 use eden_tensor::Precision;
 
 fn main() {
+    report::init_threads();
     report::header(
         "Figure 14",
         "CPU speedup: EDEN (reduced tRCD) vs ideal tRCD = 0",

@@ -9,6 +9,7 @@ use eden_sysim::{AcceleratorConfig, AcceleratorSim, WorkloadProfile};
 use eden_tensor::Precision;
 
 fn main() {
+    report::init_threads();
     report::header(
         "Section 7.2 (accelerators)",
         "Eyeriss / TPU DRAM energy savings (DDR4 and LPDDR3) and tRCD speedup",

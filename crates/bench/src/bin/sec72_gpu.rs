@@ -9,6 +9,7 @@ use eden_sysim::{GpuSim, WorkloadProfile};
 use eden_tensor::Precision;
 
 fn main() {
+    report::init_threads();
     report::header(
         "Section 7.2 (GPU)",
         "GPU DRAM energy savings and speedup (YOLO family)",

@@ -7,6 +7,7 @@ use eden_dnn::{quantized, Dataset};
 use eden_tensor::Precision;
 
 fn main() {
+    report::init_threads();
     report::header("Table 1", "DNN models used in the evaluation");
     println!(
         "{:<14} {:<12} {:>10} {:>14} | {:>12} {:>16} {:>9}",

@@ -7,6 +7,7 @@ use eden_dnn::{metrics, quantized, Dataset};
 use eden_tensor::Precision;
 
 fn main() {
+    report::init_threads();
     report::header(
         "Table 2",
         "baseline accuracy per numeric precision on reliable DRAM",

@@ -13,6 +13,7 @@ use eden_dram::{ErrorModel, Vendor};
 use eden_tensor::Precision;
 
 fn main() {
+    report::init_threads();
     report::header(
         "Table 3",
         "max tolerable BER and ΔVDD/ΔtRCD per DNN (coarse-grained), <1% accuracy drop",

@@ -5,6 +5,36 @@ use eden_dnn::train::{TrainConfig, Trainer};
 use eden_dnn::zoo::ModelId;
 use eden_dnn::{Dataset, Network};
 
+/// Applies the `--threads N` CLI flag (falling back to the `EDEN_THREADS`
+/// environment variable, then to the machine parallelism) to the global
+/// `eden-par` pool, and returns the effective worker count.
+///
+/// Every experiment binary calls this first thing in `main`, before any
+/// parallel work, so the requested size always takes effect. Thread count
+/// never changes results — only wall-clock time (see the README's
+/// threading-model section).
+pub fn init_threads() -> usize {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        let n = if let Some(v) = arg.strip_prefix("--threads=") {
+            v.parse::<usize>().ok()
+        } else if arg == "--threads" {
+            args.next().and_then(|v| v.parse::<usize>().ok())
+        } else {
+            None
+        };
+        if let Some(n) = n {
+            if !eden_par::configure_threads(n) {
+                eprintln!("--threads {n} ignored: thread pool already started");
+            }
+            break;
+        }
+    }
+    let effective = eden_par::current_num_threads();
+    eprintln!("eden-par: {effective} worker thread(s)");
+    effective
+}
+
 /// Trains the scaled-down zoo model `id` on its synthetic dataset and returns
 /// the trained network together with the dataset.
 pub fn train_model(id: ModelId, epochs: usize, seed: u64) -> (Network, SyntheticVision) {
@@ -38,6 +68,11 @@ mod tests {
     #[test]
     fn pct_formats_fractions() {
         assert_eq!(pct(0.215), "21.5%");
+    }
+
+    #[test]
+    fn init_threads_reports_a_positive_pool_size() {
+        assert!(init_threads() >= 1);
     }
 
     #[test]

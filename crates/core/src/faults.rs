@@ -7,16 +7,30 @@
 //! same flow as Figure 6 of the paper. Different data types can be backed by
 //! different error rates (fine-grained mapping) and are placed at different
 //! DRAM addresses.
+//!
+//! # Randomness and parallelism
+//!
+//! Instead of threading one shared RNG through every load, each load draws
+//! its failures from an independent stream derived from
+//! `(memory seed, load index)`. The flip set of a load is therefore a pure
+//! function of the memory's seed and the load's position in this memory's
+//! deterministic load sequence — never of wall-clock interleaving. The
+//! batch-parallel inference engine exploits this through
+//! [`ApproximateMemory::fork`]: each sample of a batch gets a child memory
+//! whose seed is derived from the parent seed and the *sample index*, making
+//! results bit-identical for any thread count.
 
 use crate::bounding::BoundingLogic;
-use eden_dnn::{DataSite, FaultHook};
+use eden_dnn::{DataSite, FaultHook, Network};
 use eden_dram::error_model::Layout;
 use eden_dram::inject::{AddressAllocator, Injector};
+use eden_dram::util::stream;
 use eden_dram::ErrorModel;
-use eden_tensor::QuantTensor;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use eden_tensor::{Precision, QuantTensor};
 use std::collections::HashMap;
+
+/// Salt separating fork-lane seeds from the parent's own load streams.
+const FORK_SALT: u64 = 0xF0_4B_1A_9E_5A_17_ED_01;
 
 /// Statistics accumulated while serving loads from approximate memory.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -30,13 +44,17 @@ pub struct MemoryStats {
 }
 
 /// Approximate DRAM backing the DNN's weights and feature maps.
+#[derive(Clone)]
 pub struct ApproximateMemory {
     default_injector: Option<Injector>,
     site_injectors: HashMap<DataSite, Injector>,
     site_layouts: HashMap<DataSite, Layout>,
     allocator: AddressAllocator,
     bounding: Option<BoundingLogic>,
-    rng: StdRng,
+    /// Master seed; every load's RNG stream is derived from it.
+    seed: u64,
+    /// Index of the next load in this memory's deterministic load sequence.
+    next_load: u64,
     stats: MemoryStats,
 }
 
@@ -44,15 +62,7 @@ impl ApproximateMemory {
     /// Memory in which every data type is backed by the same error model
     /// (coarse-grained operation).
     pub fn from_model(model: ErrorModel, seed: u64) -> Self {
-        Self {
-            default_injector: Some(Injector::from_model(model, Layout::default())),
-            site_injectors: HashMap::new(),
-            site_layouts: HashMap::new(),
-            allocator: AddressAllocator::new(2048 * 8),
-            bounding: None,
-            rng: StdRng::seed_from_u64(seed),
-            stats: MemoryStats::default(),
-        }
+        Self::from_injector(Injector::from_model(model, Layout::default()), seed)
     }
 
     /// Memory backed by an arbitrary injector (e.g. the simulated device).
@@ -63,7 +73,8 @@ impl ApproximateMemory {
             site_layouts: HashMap::new(),
             allocator: AddressAllocator::new(2048 * 8),
             bounding: None,
-            rng: StdRng::seed_from_u64(seed),
+            seed,
+            next_load: 0,
             stats: MemoryStats::default(),
         }
     }
@@ -76,7 +87,8 @@ impl ApproximateMemory {
             site_layouts: HashMap::new(),
             allocator: AddressAllocator::new(2048 * 8),
             bounding: None,
-            rng: StdRng::seed_from_u64(seed),
+            seed,
+            next_load: 0,
             stats: MemoryStats::default(),
         }
     }
@@ -113,6 +125,50 @@ impl ApproximateMemory {
         self.bounding.as_ref()
     }
 
+    /// Creates an independent child memory for one lane of parallel work
+    /// (e.g. one sample of a batch).
+    ///
+    /// The child shares this memory's injectors, DRAM placements and bounding
+    /// logic but derives its RNG streams from `(parent seed, lane)`, so its
+    /// flip sets depend only on the lane index and its own load order — two
+    /// forks of the same lane replay identically, and forks of different
+    /// lanes never interact. Call [`ApproximateMemory::preallocate`] first if
+    /// the forks must agree on site addresses that the parent has not served
+    /// yet; fork-local lazy allocations are not written back.
+    ///
+    /// Fork statistics start at zero; merge them back with
+    /// [`ApproximateMemory::merge_stats`].
+    pub fn fork(&self, lane: u64) -> ApproximateMemory {
+        let mut child = self.clone();
+        child.seed = stream(self.seed ^ FORK_SALT, lane);
+        child.next_load = 0;
+        child.stats = MemoryStats::default();
+        child
+    }
+
+    /// Accumulates statistics from a fork (or any other source) into this
+    /// memory. Counter addition is commutative, so the merge order of
+    /// parallel forks does not affect the totals.
+    pub fn merge_stats(&mut self, stats: MemoryStats) {
+        self.stats.loads += stats.loads;
+        self.stats.bit_flips += stats.bit_flips;
+        self.stats.corrections += stats.corrections;
+    }
+
+    /// Assigns DRAM placements to every data site of `net` (weights and
+    /// IFMs, in network order) that does not have one yet.
+    ///
+    /// Lazy allocation is deterministic for a *single* memory serving loads
+    /// in sequence, but forks must agree on addresses without communicating;
+    /// pre-allocating from the network structure pins every site's placement
+    /// before the forks are taken.
+    pub fn preallocate(&mut self, net: &Network, precision: Precision) {
+        for info in net.data_sites() {
+            let bits = info.elements as u64 * precision.bits() as u64;
+            self.layout_for(&info.site, bits);
+        }
+    }
+
     fn layout_for(&mut self, site: &DataSite, total_bits: u64) -> Layout {
         if let Some(layout) = self.site_layouts.get(site) {
             return *layout;
@@ -125,6 +181,8 @@ impl ApproximateMemory {
 
 impl FaultHook for ApproximateMemory {
     fn corrupt(&mut self, site: &DataSite, tensor: &mut QuantTensor) {
+        let load_stream = stream(self.seed, self.next_load);
+        self.next_load += 1;
         self.stats.loads += 1;
         let layout = self.layout_for(site, tensor.total_bits());
         let injector = self
@@ -133,7 +191,7 @@ impl FaultHook for ApproximateMemory {
             .or(self.default_injector.as_ref())
             .cloned();
         if let Some(injector) = injector {
-            self.stats.bit_flips += injector.corrupt_placed(tensor, &layout, &mut self.rng);
+            self.stats.bit_flips += injector.corrupt_placed_seeded(tensor, &layout, load_stream);
         }
         if let Some(bounding) = &self.bounding {
             self.stats.corrections += bounding.correct(tensor) as u64;
@@ -236,6 +294,43 @@ mod tests {
         let mut unprotected = clean.clone();
         mem.corrupt(&site(4, DataKind::Weight), &mut unprotected);
         assert_ne!(unprotected, clean);
+    }
+
+    #[test]
+    fn same_lane_forks_replay_identically_and_lanes_differ() {
+        let base = ApproximateMemory::from_model(ErrorModel::uniform(0.02, 0.5, 1), 9);
+        let clean = stored(4096);
+        let run = |mut mem: ApproximateMemory| {
+            let mut t = clean.clone();
+            mem.corrupt(&site(0, DataKind::Ifm), &mut t);
+            t
+        };
+        assert_eq!(run(base.fork(3)), run(base.fork(3)));
+        assert_ne!(run(base.fork(3)), run(base.fork(4)));
+        // Forking must not perturb the parent's own stream: the parent
+        // corrupts identically whether or not forks were taken.
+        let mut a = base.clone();
+        let mut b = base.clone();
+        let _ = b.fork(0);
+        let mut ta = clean.clone();
+        let mut tb = clean.clone();
+        a.corrupt(&site(1, DataKind::Weight), &mut ta);
+        b.corrupt(&site(1, DataKind::Weight), &mut tb);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn merge_stats_accumulates_fork_counters() {
+        let mut mem = ApproximateMemory::from_model(ErrorModel::uniform(0.02, 0.5, 2), 3);
+        let mut fork = mem.fork(0);
+        let mut t = stored(4096);
+        fork.corrupt(&site(0, DataKind::Ifm), &mut t);
+        let flips = fork.stats().bit_flips;
+        assert!(flips > 0);
+        mem.merge_stats(fork.stats());
+        mem.merge_stats(fork.stats());
+        assert_eq!(mem.stats().loads, 2);
+        assert_eq!(mem.stats().bit_flips, 2 * flips);
     }
 
     #[test]

@@ -5,10 +5,26 @@
 //! of that pass); IFMs are corrupted every time they move between layers. The
 //! only modification to the inference algorithm itself is the
 //! implausible-value correction carried by [`ApproximateMemory`].
+//!
+//! # Parallel batch execution
+//!
+//! [`evaluate_with_faults`] runs samples batch-parallel on the current
+//! `eden-par` pool, and [`accuracy_vs_ber`] additionally fans the independent
+//! BER operating points out over it — this is what makes the paper's
+//! Figure 5/7/8 sweeps tractable. Results are bit-identical for any thread
+//! count: each sample's IFM corruption comes from an [`ApproximateMemory`]
+//! fork keyed by the sample's *global index*, each BER point builds its own
+//! memory from the caller's seed, and per-sample correctness flags land in
+//! index-ordered slots. See the README's threading-model section.
 
 use crate::faults::ApproximateMemory;
 use eden_dnn::{FaultHook, Network};
 use eden_tensor::{Precision, Tensor};
+
+/// Samples per weight refetch: the corrupted weight copy is re-loaded from
+/// approximate DRAM once per this many samples, modelling periodic
+/// re-fetching (the same constant the seed implementation chunked by).
+const WEIGHT_REFETCH_PERIOD: usize = 16;
 
 /// Returns a copy of `net` whose weights have been loaded through
 /// approximate memory (quantized to `precision`, corrupted, corrected,
@@ -38,6 +54,13 @@ pub fn forward_with_faults(
 /// Classification accuracy over `samples` when the network runs on
 /// approximate memory. Weights are re-loaded (and re-corrupted) once per
 /// sample batch of 16 to model periodic re-fetching from DRAM.
+///
+/// Samples run batch-parallel on the current `eden-par` pool. The weight
+/// refetches consume `memory`'s own load streams in sequence (exactly as a
+/// sequential evaluation would), while each sample's IFM loads come from
+/// `memory.fork(sample index)` — so the returned accuracy and the
+/// accumulated [`ApproximateMemory::stats`] are bit-identical for any thread
+/// count.
 pub fn evaluate_with_faults(
     net: &Network,
     samples: &[(Tensor, usize)],
@@ -47,14 +70,39 @@ pub fn evaluate_with_faults(
     if samples.is_empty() {
         return 0.0;
     }
+    // Pin every site's DRAM placement before forking so all forks agree on
+    // addresses without having to communicate.
+    memory.preallocate(net, precision);
+
+    // Process the batch in bounded windows so at most 16 corrupted weight
+    // copies are resident at once (a window is wide enough to keep every
+    // worker busy); the weight refetches inside each window draw
+    // sequentially from the parent memory's stream, in sample order, exactly
+    // as a fully sequential evaluation would.
+    const WINDOW: usize = 16 * WEIGHT_REFETCH_PERIOD;
     let mut correct = 0usize;
-    for chunk in samples.chunks(16) {
-        let corrupted = corrupted_network(net, precision, memory);
-        for (x, label) in chunk {
-            let logits = corrupted.forward_with_ifm_hook(x, precision, memory);
-            if logits.argmax() == *label {
+    for (w, window) in samples.chunks(WINDOW).enumerate() {
+        let corrupted: Vec<Network> = window
+            .chunks(WEIGHT_REFETCH_PERIOD)
+            .map(|_| corrupted_network(net, precision, memory))
+            .collect();
+
+        let base = w * WINDOW;
+        let shared: &ApproximateMemory = memory;
+        let outcomes = eden_par::par_map(window, |i, (x, label)| {
+            // Lane key is the sample's *global* index: invariant under both
+            // the window size and the thread count.
+            let mut lane = shared.fork((base + i) as u64);
+            let net = &corrupted[i / WEIGHT_REFETCH_PERIOD];
+            let logits = net.forward_with_ifm_hook(x, precision, &mut lane);
+            (logits.argmax() == *label, lane.stats())
+        });
+
+        for (ok, stats) in outcomes {
+            if ok {
                 correct += 1;
             }
+            memory.merge_stats(stats);
         }
     }
     correct as f32 / samples.len() as f32
@@ -70,6 +118,10 @@ pub fn evaluate_reliable(net: &Network, samples: &[(Tensor, usize)], precision: 
 /// Evaluates accuracy at a sequence of bit error rates using a template
 /// error model (the BER sweep that produces the paper's error-tolerance
 /// curves, Figure 8).
+///
+/// The BER points are mutually independent — each builds its own
+/// [`ApproximateMemory`] from `seed` — so they fan out over the `eden-par`
+/// pool, nesting with the batch parallelism inside [`evaluate_with_faults`].
 pub fn accuracy_vs_ber(
     net: &Network,
     samples: &[(Tensor, usize)],
@@ -79,19 +131,17 @@ pub fn accuracy_vs_ber(
     bounding: Option<crate::bounding::BoundingLogic>,
     seed: u64,
 ) -> Vec<(f64, f32)> {
-    bers.iter()
-        .map(|&ber| {
-            let model = template.with_ber(ber);
-            let mut memory = ApproximateMemory::from_model(model, seed);
-            if let Some(b) = bounding {
-                memory = memory.with_bounding(b);
-            }
-            (
-                ber,
-                evaluate_with_faults(net, samples, precision, &mut memory),
-            )
-        })
-        .collect()
+    eden_par::par_map(bers, |_, &ber| {
+        let model = template.with_ber(ber);
+        let mut memory = ApproximateMemory::from_model(model, seed);
+        if let Some(b) = bounding {
+            memory = memory.with_bounding(b);
+        }
+        (
+            ber,
+            evaluate_with_faults(net, samples, precision, &mut memory),
+        )
+    })
 }
 
 /// Convenience wrapper: a [`FaultHook`] that applies no corruption, for

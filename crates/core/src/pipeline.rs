@@ -109,17 +109,25 @@ impl EdenPipeline {
         let cfg = &self.config;
 
         // Step 0: characterize the device and select the best-fitting error
-        // model (Section 4).
-        let observations =
-            characterize_bank(device, 0, &cfg.profiling_point, &cfg.dram_characterization);
-        let error_model = select_model(&observations, cfg.seed).model;
-
-        // Baseline tolerance before boosting.
-        let bounding = BoundingLogic::calibrated(
-            net,
-            &dataset.train()[..16.min(dataset.train().len())],
-            1.5,
-            CorrectionPolicy::Zero,
+        // model (Section 4). Device profiling and bounding-threshold
+        // calibration are independent, so they run concurrently; every
+        // evaluation below additionally fans its sample batch out over the
+        // `eden-par` pool (see `inference::evaluate_with_faults`), and all of
+        // it is bit-identical for any thread count.
+        let (error_model, bounding) = eden_par::join(
+            || {
+                let observations =
+                    characterize_bank(device, 0, &cfg.profiling_point, &cfg.dram_characterization);
+                select_model(&observations, cfg.seed).model
+            },
+            || {
+                BoundingLogic::calibrated(
+                    net,
+                    &dataset.train()[..16.min(dataset.train().len())],
+                    1.5,
+                    CorrectionPolicy::Zero,
+                )
+            },
         );
         let coarse_cfg = CoarseConfig {
             accuracy_drop: cfg.accuracy_drop,

@@ -34,7 +34,9 @@ impl DatasetSpec {
 }
 
 /// A labelled-image dataset with a train and a test split.
-pub trait Dataset {
+/// A labelled dataset. `Send + Sync` so evaluation and characterization can
+/// share one dataset across the worker threads of the parallel engine.
+pub trait Dataset: Send + Sync {
     /// Shape and label-space description.
     fn spec(&self) -> DatasetSpec;
     /// Training split.

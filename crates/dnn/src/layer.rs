@@ -23,7 +23,11 @@ pub struct ParamEntry<'a> {
 ///   intermediates needed by [`Layer::backward`], and
 /// * a **backward pass** that accumulates parameter gradients and returns the
 ///   gradient with respect to the layer input.
-pub trait Layer: LayerClone + Send {
+///
+/// Layers are `Send + Sync`: the batch-parallel inference engine shares one
+/// `&Network` across worker threads, each running independent pure forward
+/// passes.
+pub trait Layer: LayerClone + Send + Sync {
     /// Human-readable layer name (unique within a network, e.g. `"conv1"`).
     fn name(&self) -> &str;
 

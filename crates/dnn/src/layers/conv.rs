@@ -1,11 +1,16 @@
 //! Standard and depthwise 2-D convolution layers.
+//!
+//! Both layers lower their convolutions to `im2col` + the cache-blocked GEMM
+//! kernel in `eden_tensor::ops` (forward *and* backward), sharing the matmul
+//! hot path with the dense layers. The lowering is bit-identical to a direct
+//! loop nest — see [`eden_tensor::ops::conv2d`].
 
 use crate::layer::{Layer, ParamEntry};
 use eden_tensor::ops::{self, Conv2dParams};
 use eden_tensor::{init, Tensor};
 use rand::rngs::StdRng;
 
-/// A standard 2-D convolution layer.
+/// A standard 2-D convolution layer, evaluated as one GEMM per sample.
 ///
 /// Weights have shape `[out_channels, in_channels, kernel, kernel]`.
 #[derive(Debug, Clone)]

@@ -1,4 +1,8 @@
 //! Fully-connected (dense) layers.
+//!
+//! The forward pass is one call into the cache-blocked GEMM kernel in
+//! `eden_tensor::ops` — the same kernel that backs the convolution layers
+//! after their im2col lowering.
 
 use crate::layer::{Layer, ParamEntry};
 use eden_tensor::{init, ops, Tensor};

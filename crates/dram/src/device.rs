@@ -9,13 +9,14 @@
 //! Chang et al. and Lee et al. report, which the paper's Error Models 1 and 2
 //! capture). See `DESIGN.md` for the substitution rationale.
 
+use crate::error_model::INJECT_CHUNK_VALUES;
 use crate::geometry::{DramGeometry, Partition};
 use crate::params::OperatingPoint;
-use crate::util::unit_for;
+use crate::util::{stream, unit_for};
 use crate::vendor::{Vendor, VendorProfile};
 use eden_tensor::QuantTensor;
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Fraction of bitlines that are distinctly weaker than average.
@@ -154,27 +155,63 @@ impl ApproxDramDevice {
         op: &OperatingPoint,
         rng: &mut StdRng,
     ) -> u64 {
+        let stream_seed = rng.gen::<u64>();
+        self.read_tensor_at_seeded(tensor, partition, row_offset, op, stream_seed)
+    }
+
+    /// Like [`ApproxDramDevice::read_tensor_at`], but drawing per-access
+    /// failures from independent per-chunk RNG streams derived from
+    /// `stream_seed` (chunks of [`INJECT_CHUNK_VALUES`] values, corrupted in
+    /// parallel on the current `eden-par` pool). The result is bit-identical
+    /// for any thread count — weak cells are a pure function of the device
+    /// seed and the address, and per-access failure draws are a pure function
+    /// of the stream seed and the value's position.
+    pub fn read_tensor_at_seeded(
+        &self,
+        tensor: &mut QuantTensor,
+        partition: &Partition,
+        row_offset: u64,
+        op: &OperatingPoint,
+        stream_seed: u64,
+    ) -> u64 {
         if op.is_nominal() {
             return 0;
         }
-        let bits = tensor.bits_per_value() as u64;
+        let bits = tensor.bits_per_value();
         let row_bits = self.geometry.row_bits() as u64;
         let partition_rows = (partition.subarrays * self.geometry.rows_per_subarray) as u64;
         let base_row = (partition.first_subarray * self.geometry.rows_per_subarray) as u64;
-        let mut flips = 0;
-        for i in 0..tensor.len() {
-            for b in 0..bits {
-                let offset = i as u64 * bits + b;
-                let row = base_row + (row_offset + offset / row_bits) % partition_rows;
-                let bitline = offset % row_bits;
-                let stored_one = tensor.get_bit(i, b as u32);
-                if self.read_bit_flips(partition.bank as u64, row, bitline, stored_one, op, rng) {
-                    tensor.flip_bit(i, b as u32);
-                    flips += 1;
+        let flips = eden_par::par_map_chunks_mut(
+            tensor.stored_mut(),
+            INJECT_CHUNK_VALUES,
+            |chunk_idx, chunk| {
+                let mut rng = StdRng::seed_from_u64(stream(stream_seed, chunk_idx as u64));
+                let first_value = chunk_idx * INJECT_CHUNK_VALUES;
+                let mut chunk_flips = 0u64;
+                for (j, word) in chunk.iter_mut().enumerate() {
+                    let i = first_value + j;
+                    for b in 0..bits {
+                        let offset = i as u64 * bits as u64 + b as u64;
+                        let row = base_row + (row_offset + offset / row_bits) % partition_rows;
+                        let bitline = offset % row_bits;
+                        let stored_one = (*word >> b) & 1 == 1;
+                        if self.read_bit_flips(
+                            partition.bank as u64,
+                            row,
+                            bitline,
+                            stored_one,
+                            op,
+                            &mut rng,
+                        ) {
+                            *word ^= 1 << b;
+                            chunk_flips += 1;
+                        }
+                    }
                 }
-            }
-        }
-        flips
+                chunk_flips
+            },
+        );
+        flips.iter().sum()
     }
 
     /// Reads a full row previously written with a repeating byte `pattern`,

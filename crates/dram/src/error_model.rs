@@ -14,12 +14,22 @@
 //! model seed and the cell address) and stochastic in whether a weak cell
 //! fails on a particular access, mirroring how real weak cells behave.
 
-use crate::util::unit_for;
+use crate::util::{stream, unit_for};
 use eden_tensor::QuantTensor;
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Tensor values per independently-seeded injection chunk.
+///
+/// Injection splits every tensor into fixed chunks of this many values; each
+/// chunk draws its per-access failures from its own RNG stream derived from
+/// `(stream seed, chunk index)`. Because the chunk geometry and seeds never
+/// depend on the thread count, corrupting the chunks in parallel is
+/// bit-identical to corrupting them sequentially — EDEN's error models are
+/// per-cell independent, so injection order must not matter.
+pub const INJECT_CHUNK_VALUES: usize = 4096;
 
 /// How data maps onto DRAM rows, used to give injected errors spatial
 /// structure (which bitline / wordline a bit lands on).
@@ -289,24 +299,67 @@ impl ErrorModel {
     /// Injects bit errors into a stored tensor laid out according to
     /// `layout`, drawing per-access failures from `rng`.
     ///
-    /// Returns the number of bits flipped.
+    /// Returns the number of bits flipped. This is a convenience wrapper that
+    /// draws one stream seed from `rng` and delegates to
+    /// [`ErrorModel::inject_seeded`].
     pub fn inject(&self, tensor: &mut QuantTensor, layout: &Layout, rng: &mut StdRng) -> u64 {
+        let stream_seed = rng.gen::<u64>();
+        self.inject_seeded(tensor, layout, stream_seed)
+    }
+
+    /// Injects bit errors into a stored tensor, drawing per-access failures
+    /// from independent per-chunk RNG streams derived from `stream_seed`
+    /// (see [`INJECT_CHUNK_VALUES`]). Chunks are corrupted in parallel on the
+    /// current `eden-par` pool; the result is bit-identical for any thread
+    /// count, including 1.
+    ///
+    /// Returns the number of bits flipped.
+    pub fn inject_seeded(
+        &self,
+        tensor: &mut QuantTensor,
+        layout: &Layout,
+        stream_seed: u64,
+    ) -> u64 {
         if self.weak_fraction == 0.0 {
             return 0;
         }
-        let bits = tensor.bits_per_value() as u64;
+        let bits = tensor.bits_per_value();
+        let layout = *layout;
+        let flips = eden_par::par_map_chunks_mut(
+            tensor.stored_mut(),
+            INJECT_CHUNK_VALUES,
+            |chunk_idx, chunk| {
+                let mut rng = StdRng::seed_from_u64(stream(stream_seed, chunk_idx as u64));
+                let first_value = chunk_idx * INJECT_CHUNK_VALUES;
+                self.inject_chunk(chunk, bits, first_value, &layout, &mut rng)
+            },
+        );
+        flips.iter().sum()
+    }
+
+    /// Corrupts one chunk of raw stored words (values
+    /// `first_value..first_value + chunk.len()` of the tensor).
+    fn inject_chunk(
+        &self,
+        chunk: &mut [u32],
+        bits: u32,
+        first_value: usize,
+        layout: &Layout,
+        rng: &mut StdRng,
+    ) -> u64 {
         let mut flipped = 0u64;
-        for i in 0..tensor.len() {
+        for (j, word) in chunk.iter_mut().enumerate() {
+            let i = first_value + j;
             for b in 0..bits {
-                let offset = i as u64 * bits + b;
+                let offset = i as u64 * bits as u64 + b as u64;
                 let (row, bitline) = layout.locate(offset);
                 if !self.is_weak(row, bitline) {
                     continue;
                 }
-                let stored_one = tensor.get_bit(i, b as u32);
+                let stored_one = (*word >> b) & 1 == 1;
                 let f = self.weak_flip_prob(row, bitline, stored_one);
                 if rng.gen::<f64>() < f {
-                    tensor.flip_bit(i, b as u32);
+                    *word ^= 1 << b;
                     flipped += 1;
                 }
             }
@@ -351,12 +404,12 @@ mod tests {
             ErrorModel::wordline(0.02, 0.5, 0.8, 3),
             ErrorModel::data_dependent(0.02, 0.7, 0.3, 3),
         ] {
-            let clean = stored(20_000, Precision::Int8);
+            // A narrow row layout and a large tensor give the
+            // spatially-correlated models enough distinct bitlines *and* rows
+            // (~1000 of each) for their line-level variation to average out.
+            let clean = stored(64_000, Precision::Int8);
             let mut corrupted = clean.clone();
             let mut rng = StdRng::seed_from_u64(11);
-            // A narrow row layout gives the spatially-correlated models enough
-            // distinct bitlines *and* rows for their line-level variation to
-            // average out over this tensor size.
             kind_model.inject(&mut corrupted, &Layout::new(512, 0), &mut rng);
             let observed = clean.bit_differences(&corrupted) as f64 / clean.total_bits() as f64;
             let expected = kind_model.expected_ber();

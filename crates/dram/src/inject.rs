@@ -71,6 +71,37 @@ impl Injector {
         }
     }
 
+    /// Corrupts a stored tensor placed according to `layout`, drawing all
+    /// per-access failures from RNG streams derived from `stream_seed`.
+    ///
+    /// Unlike [`Injector::corrupt_placed`] this never consumes from a shared
+    /// RNG, so concurrent corruptions of different tensors cannot perturb
+    /// each other: the flip set is a pure function of
+    /// `(injector, layout, stored bits, stream_seed)` and is bit-identical
+    /// for any thread count. The injection itself runs chunk-parallel on the
+    /// current `eden-par` pool.
+    pub fn corrupt_placed_seeded(
+        &self,
+        tensor: &mut QuantTensor,
+        layout: &Layout,
+        stream_seed: u64,
+    ) -> u64 {
+        match self {
+            Injector::Model { model, .. } => model.inject_seeded(tensor, layout, stream_seed),
+            Injector::Device {
+                device,
+                partition,
+                op,
+            } => device.read_tensor_at_seeded(
+                tensor,
+                partition,
+                layout.base_row as u64,
+                op,
+                stream_seed,
+            ),
+        }
+    }
+
     /// Corrupts a stored tensor placed according to `layout` (overriding the
     /// injector's own default placement). For a model injector the layout is
     /// used directly; for a device injector the layout's base row offsets the
@@ -165,6 +196,37 @@ mod tests {
         let flips = inj.corrupt(&mut t, &mut rng);
         assert!(flips > 0);
         assert!((inj.expected_ber() - dev.expected_ber(&op)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seeded_corruption_is_thread_count_invariant() {
+        // The same stream seed must produce the same flip set whether the
+        // chunks run on 1, 2 or 8 workers — and regardless of the chunk
+        // execution order those pools produce.
+        let clean = stored(3 * 4096 + 17); // straddles chunk boundaries
+        for inj in [
+            Injector::from_model(ErrorModel::uniform(0.01, 0.5, 7), Layout::default()),
+            Injector::from_device(
+                ApproxDramDevice::new(Vendor::B, 4),
+                partitions(&DramGeometry::ddr4_module(), PartitionGranularity::Bank)[0],
+                OperatingPoint::with_vdd_reduction(0.30),
+            ),
+        ] {
+            let layout = Layout::new(1024, 3);
+            let reference: Vec<(QuantTensor, u64)> = [1usize, 2, 8]
+                .iter()
+                .map(|&threads| {
+                    eden_par::ThreadPool::new(threads).install(|| {
+                        let mut t = clean.clone();
+                        let flips = inj.corrupt_placed_seeded(&mut t, &layout, 99);
+                        (t, flips)
+                    })
+                })
+                .collect();
+            assert!(reference[0].1 > 0, "injector must flip something");
+            assert_eq!(reference[0], reference[1], "1 vs 2 threads");
+            assert_eq!(reference[0], reference[2], "1 vs 8 threads");
+        }
     }
 
     #[test]

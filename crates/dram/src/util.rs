@@ -33,6 +33,17 @@ pub fn unit_for(seed: u64, a: u64, b: u64, c: u64) -> f64 {
     hash_to_unit(hash_cell(seed, a, b, c))
 }
 
+/// Derives an independent RNG stream seed from a master seed and a stream
+/// index.
+///
+/// This is the backbone of thread-count-invariant fault injection: every
+/// parallelizable unit of work (a tensor load, a sample in a batch, a chunk
+/// of a tensor) gets `stream(master, index)` as its own seed, so its random
+/// draws depend only on *which* unit it is, never on when or where it runs.
+pub fn stream(seed: u64, index: u64) -> u64 {
+    splitmix64(splitmix64(seed ^ 0x5EED_51DE_CAFE_F00D) ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -6,7 +6,55 @@
 
 use crate::tensor::Tensor;
 
-/// Matrix multiplication `a (m×k) * b (k×n) -> (m×n)`.
+/// Row count of the A-panel processed per GEMM block.
+const GEMM_MC: usize = 64;
+/// Depth (shared dimension) processed per GEMM block. A `GEMM_MC × GEMM_KC`
+/// panel of A is ~64 KB, comfortably inside L2 alongside the streamed B rows.
+const GEMM_KC: usize = 256;
+
+/// Cache-blocked dense matrix multiply-accumulate over raw slices:
+/// `out (m×n) += a (m×k) · b (k×n)`, all row-major.
+///
+/// This is the shared kernel behind [`matmul`], [`conv2d`] (via
+/// [`im2col`]) and the dense layers. Blocking reorders *which* output rows
+/// are touched when, but every output element still accumulates its `k`
+/// contributions in ascending-`p` order, so results are independent of the
+/// block sizes and bit-identical to a naive triple loop — with one caveat:
+/// terms whose **lhs** entry is exactly `0.0` are skipped (a sparsity win
+/// for pruned weights). For finite rhs values a skipped `0.0 * b` term is
+/// exact; only `0.0 × (NaN/±Inf)` products, which a naive nest would
+/// propagate as NaN, differ.
+///
+/// # Panics
+///
+/// Panics if a slice is shorter than its `m`/`k`/`n` geometry requires.
+pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert!(a.len() >= m * k, "gemm: lhs slice too short");
+    assert!(b.len() >= k * n, "gemm: rhs slice too short");
+    assert!(out.len() >= m * n, "gemm: out slice too short");
+    for kk in (0..k).step_by(GEMM_KC) {
+        let k_end = (kk + GEMM_KC).min(k);
+        for ii in (0..m).step_by(GEMM_MC) {
+            let i_end = (ii + GEMM_MC).min(m);
+            for i in ii..i_end {
+                let arow = &a[i * k..i * k + k];
+                let orow = &mut out[i * n..i * n + n];
+                for p in kk..k_end {
+                    let av = arow[p];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[p * n..p * n + n];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Matrix multiplication `a (m×k) * b (k×n) -> (m×n)`, backed by [`gemm`].
 ///
 /// # Panics
 ///
@@ -17,35 +65,25 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(a.shape().len(), 2, "matmul lhs must be rank 2");
     assert_eq!(b.shape().len(), 2, "matmul rhs must be rank 2");
     assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
-    let ad = a.data();
-    let bd = b.data();
     let mut out = vec![0.0f32; m * n];
+    gemm(m, k, n, a.data(), b.data(), &mut out);
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Transposes an `m×n` row-major slice into `out` (`n×m`).
+fn transpose_into(m: usize, n: usize, src: &[f32], out: &mut [f32]) {
     for i in 0..m {
-        for p in 0..k {
-            let av = ad[i * k + p];
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &bd[p * n..(p + 1) * n];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
+        for j in 0..n {
+            out[j * m + i] = src[i * n + j];
         }
     }
-    Tensor::from_vec(out, &[m, n])
 }
 
 /// Transposes a rank-2 tensor.
 pub fn transpose(a: &Tensor) -> Tensor {
     let (m, n) = (a.shape()[0], a.shape()[1]);
     let mut out = vec![0.0f32; m * n];
-    let d = a.data();
-    for i in 0..m {
-        for j in 0..n {
-            out[j * m + i] = d[i * n + j];
-        }
-    }
+    transpose_into(m, n, a.data(), &mut out);
     Tensor::from_vec(out, &[n, m])
 }
 
@@ -76,50 +114,114 @@ impl Conv2dParams {
     }
 }
 
-/// 2-D convolution forward pass for a single sample.
+/// Unrolls a `[in_c, h, w]` input into the im2col patch matrix
+/// `[in_c·k·k, oh·ow]`: row `(ic·k + ky)·k + kx`, column `oy·ow + ox` holds
+/// the input pixel the kernel tap `(ic, ky, kx)` sees at output position
+/// `(oy, ox)` (zero where the tap falls into the padding).
+///
+/// With this layout a convolution is one GEMM: `W [out_c × in_c·k²] · cols`.
+pub fn im2col(input: &Tensor, p: Conv2dParams) -> Tensor {
+    let (in_c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+    let (oh, ow) = (p.out_size(h), p.out_size(w));
+    let k = p.kernel;
+    let id = input.data();
+    let mut cols = vec![0.0f32; in_c * k * k * oh * ow];
+    for ic in 0..in_c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ic * k + ky) * k + kx;
+                let dst = &mut cols[row * oh * ow..(row + 1) * oh * ow];
+                for oy in 0..oh {
+                    let iy = (oy * p.stride + ky) as isize - p.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let src_row =
+                        &id[ic * h * w + iy as usize * w..ic * h * w + (iy as usize + 1) * w];
+                    for ox in 0..ow {
+                        let ix = (ox * p.stride + kx) as isize - p.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        dst[oy * ow + ox] = src_row[ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(cols, &[in_c * k * k, oh * ow])
+}
+
+/// Folds an im2col-shaped gradient `[in_c·k·k, oh·ow]` back onto the input
+/// grid `[in_c, h, w]`, accumulating where receptive fields overlap
+/// (the adjoint of [`im2col`]).
+pub fn col2im(cols: &Tensor, in_c: usize, h: usize, w: usize, p: Conv2dParams) -> Tensor {
+    let (oh, ow) = (p.out_size(h), p.out_size(w));
+    let k = p.kernel;
+    let cd = cols.data();
+    assert_eq!(cols.shape(), &[in_c * k * k, oh * ow], "col2im shape");
+    let mut out = vec![0.0f32; in_c * h * w];
+    for ic in 0..in_c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ic * k + ky) * k + kx;
+                let src = &cd[row * oh * ow..(row + 1) * oh * ow];
+                for oy in 0..oh {
+                    let iy = (oy * p.stride + ky) as isize - p.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * p.stride + kx) as isize - p.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        out[ic * h * w + iy as usize * w + ix as usize] += src[oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[in_c, h, w])
+}
+
+/// 2-D convolution forward pass for a single sample, computed as
+/// [`im2col`] + one cache-blocked [`gemm`].
 ///
 /// * `input` — `[in_c, h, w]`
 /// * `weight` — `[out_c, in_c, k, k]`
 /// * `bias` — `[out_c]`
 ///
-/// Returns `[out_c, oh, ow]`.
+/// Returns `[out_c, oh, ow]`. Each output accumulates its terms in the same
+/// `(ic, ky, kx)`-ascending order (bias first) as a direct loop nest would,
+/// so the GEMM path matches a naive implementation bit for bit on finite
+/// activations (exactly-zero weights skip their terms — see [`gemm`] for the
+/// NaN/Inf edge).
 pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, p: Conv2dParams) -> Tensor {
     let (in_c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
     let (out_c, w_in_c, k) = (weight.shape()[0], weight.shape()[1], weight.shape()[2]);
     assert_eq!(in_c, w_in_c, "conv2d channel mismatch");
     assert_eq!(weight.shape()[3], k, "conv2d kernel must be square");
     assert_eq!(bias.len(), out_c, "conv2d bias size mismatch");
+    assert_eq!(k, p.kernel, "conv2d weight kernel disagrees with params");
     let (oh, ow) = (p.out_size(h), p.out_size(w));
-    let id = input.data();
-    let wd = weight.data();
     let bd = bias.data();
-    let mut out = vec![0.0f32; out_c * oh * ow];
 
+    let cols = im2col(input, p);
+    // Seed every output row with its bias so the bias participates first in
+    // each accumulation chain, exactly like `acc = bias; acc += ...`.
+    let mut out = vec![0.0f32; out_c * oh * ow];
     for oc in 0..out_c {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let mut acc = bd[oc];
-                for ic in 0..in_c {
-                    for ky in 0..k {
-                        let iy = (oy * p.stride + ky) as isize - p.padding as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        for kx in 0..k {
-                            let ix = (ox * p.stride + kx) as isize - p.padding as isize;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            let iv = id[ic * h * w + iy as usize * w + ix as usize];
-                            let wv = wd[oc * in_c * k * k + ic * k * k + ky * k + kx];
-                            acc += iv * wv;
-                        }
-                    }
-                }
-                out[oc * oh * ow + oy * ow + ox] = acc;
-            }
-        }
+        out[oc * oh * ow..(oc + 1) * oh * ow].fill(bd[oc]);
     }
+    gemm(
+        out_c,
+        in_c * k * k,
+        oh * ow,
+        weight.data(),
+        cols.data(),
+        &mut out,
+    );
     Tensor::from_vec(out, &[out_c, oh, ow])
 }
 
@@ -134,7 +236,11 @@ pub struct Conv2dGrads {
     pub d_bias: Tensor,
 }
 
-/// 2-D convolution backward pass for a single sample.
+/// 2-D convolution backward pass for a single sample, expressed as two GEMMs
+/// over the same [`im2col`] patch matrix the forward pass uses:
+///
+/// * `d_weight = d_out (out_c × oh·ow) · colsᵀ`
+/// * `d_input = col2im(weightᵀ · d_out)`
 ///
 /// `d_out` has shape `[out_c, oh, ow]` and matches the forward output.
 pub fn conv2d_backward(
@@ -151,46 +257,32 @@ pub fn conv2d_backward(
         &[out_c, oh, ow],
         "conv2d_backward d_out shape"
     );
-
-    let id = input.data();
-    let wd = weight.data();
+    let ck = in_c * k * k;
+    let ohw = oh * ow;
     let dd = d_out.data();
-    let mut d_in = vec![0.0f32; in_c * h * w];
-    let mut d_w = vec![0.0f32; weight.len()];
-    let mut d_b = vec![0.0f32; out_c];
 
-    for oc in 0..out_c {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let g = dd[oc * oh * ow + oy * ow + ox];
-                if g == 0.0 {
-                    continue;
-                }
-                d_b[oc] += g;
-                for ic in 0..in_c {
-                    for ky in 0..k {
-                        let iy = (oy * p.stride + ky) as isize - p.padding as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        for kx in 0..k {
-                            let ix = (ox * p.stride + kx) as isize - p.padding as isize;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            let ii = ic * h * w + iy as usize * w + ix as usize;
-                            let wi = oc * in_c * k * k + ic * k * k + ky * k + kx;
-                            d_in[ii] += g * wd[wi];
-                            d_w[wi] += g * id[ii];
-                        }
-                    }
-                }
-            }
-        }
-    }
+    let cols = im2col(input, p);
+
+    // d_bias: total gradient per output channel.
+    let d_b: Vec<f32> = (0..out_c)
+        .map(|oc| dd[oc * ohw..(oc + 1) * ohw].iter().sum())
+        .collect();
+
+    // d_weight = d_out · colsᵀ.
+    let mut cols_t = vec![0.0f32; ohw * ck];
+    transpose_into(ck, ohw, cols.data(), &mut cols_t);
+    let mut d_w = vec![0.0f32; out_c * ck];
+    gemm(out_c, ohw, ck, dd, &cols_t, &mut d_w);
+
+    // d_input = col2im(weightᵀ · d_out).
+    let mut w_t = vec![0.0f32; ck * out_c];
+    transpose_into(out_c, ck, weight.data(), &mut w_t);
+    let mut d_cols = vec![0.0f32; ck * ohw];
+    gemm(ck, out_c, ohw, &w_t, dd, &mut d_cols);
+    let d_in = col2im(&Tensor::from_vec(d_cols, &[ck, ohw]), in_c, h, w, p);
 
     Conv2dGrads {
-        d_input: Tensor::from_vec(d_in, &[in_c, h, w]),
+        d_input: d_in,
         d_weight: Tensor::from_vec(d_w, weight.shape()),
         d_bias: Tensor::from_vec(d_b, &[out_c]),
     }
@@ -346,6 +438,120 @@ mod tests {
         assert_eq!(out.shape(), &[1, 3, 3]);
         assert!(approx(out.get(&[0, 1, 1]), 9.0));
         assert!(approx(out.get(&[0, 0, 0]), 4.0)); // corner sees 2x2 window
+    }
+
+    /// Reference naive conv used to validate the im2col + GEMM path.
+    fn conv2d_naive(input: &Tensor, weight: &Tensor, bias: &Tensor, p: Conv2dParams) -> Tensor {
+        let (in_c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        let (out_c, k) = (weight.shape()[0], weight.shape()[2]);
+        let (oh, ow) = (p.out_size(h), p.out_size(w));
+        let mut out = vec![0.0f32; out_c * oh * ow];
+        for oc in 0..out_c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bias.data()[oc];
+                    for ic in 0..in_c {
+                        for ky in 0..k {
+                            let iy = (oy * p.stride + ky) as isize - p.padding as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = (ox * p.stride + kx) as isize - p.padding as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                acc += input.data()[ic * h * w + iy as usize * w + ix as usize]
+                                    * weight.data()[oc * in_c * k * k + ic * k * k + ky * k + kx];
+                            }
+                        }
+                    }
+                    out[oc * oh * ow + oy * ow + ox] = acc;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[out_c, oh, ow])
+    }
+
+    fn pseudo(n: usize, phase: f32) -> Vec<f32> {
+        (0..n).map(|i| (i as f32 * phase).sin()).collect()
+    }
+
+    #[test]
+    fn gemm_matches_naive_triple_loop_across_block_boundaries() {
+        // Sizes straddling the MC/KC blocking thresholds.
+        for (m, k, n) in [
+            (1, 1, 1),
+            (3, 5, 4),
+            (65, 257, 7),
+            (64, 256, 2),
+            (70, 513, 3),
+        ] {
+            let a = pseudo(m * k, 0.31);
+            let b = pseudo(k * n, 0.17);
+            let mut blocked = vec![0.0f32; m * n];
+            gemm(m, k, n, &a, &b, &mut blocked);
+            let mut naive = vec![0.0f32; m * n];
+            for i in 0..m {
+                for p in 0..k {
+                    for j in 0..n {
+                        naive[i * n + j] += a[i * k + p] * b[p * n + j];
+                    }
+                }
+            }
+            // Bit-identical, not just approximately equal: accumulation order
+            // per output element is the same in both loops.
+            assert_eq!(blocked, naive, "gemm mismatch at ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn gemm_accumulates_into_out() {
+        let mut out = vec![1.0f32; 4];
+        gemm(
+            2,
+            2,
+            2,
+            &[1.0, 0.0, 0.0, 1.0],
+            &[5.0, 6.0, 7.0, 8.0],
+            &mut out,
+        );
+        assert_eq!(out, vec![6.0, 7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn conv2d_gemm_matches_naive_reference() {
+        for (in_c, out_c, h, w, k, stride, padding) in [
+            (3, 8, 9, 9, 3, 1, 1),
+            (2, 4, 8, 8, 3, 2, 1),
+            (1, 2, 5, 7, 1, 1, 0),
+            (4, 3, 6, 6, 5, 1, 2),
+        ] {
+            let p = Conv2dParams::new(k, stride, padding);
+            let input = Tensor::from_vec(pseudo(in_c * h * w, 0.23), &[in_c, h, w]);
+            let weight = Tensor::from_vec(pseudo(out_c * in_c * k * k, 0.41), &[out_c, in_c, k, k]);
+            let bias = Tensor::from_vec(pseudo(out_c, 0.77), &[out_c]);
+            assert_eq!(
+                conv2d(&input, &weight, &bias, p),
+                conv2d_naive(&input, &weight, &bias, p),
+                "conv mismatch at in_c={in_c} out_c={out_c} k={k} s={stride} p={padding}"
+            );
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_are_adjoint() {
+        // <im2col(x), y> == <x, col2im(y)> for all x, y — the defining
+        // property the backward pass relies on.
+        let p = Conv2dParams::new(3, 2, 1);
+        let (c, h, w) = (2, 6, 5);
+        let x = Tensor::from_vec(pseudo(c * h * w, 0.13), &[c, h, w]);
+        let cols = im2col(&x, p);
+        let y = Tensor::from_vec(pseudo(cols.len(), 0.37), cols.shape());
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let folded = col2im(&y, c, h, w, p);
+        let rhs: f32 = x.data().iter().zip(folded.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "adjoint mismatch: {lhs} vs {rhs}");
     }
 
     #[test]

@@ -208,6 +208,16 @@ impl QuantTensor {
         &self.stored
     }
 
+    /// Mutable raw stored patterns for all elements. Only the low `bits()`
+    /// bits of each word are significant; writers must keep the rest zero
+    /// (as [`QuantTensor::flip_bit`] does by construction).
+    ///
+    /// This exists so fault injectors can split a tensor into disjoint chunks
+    /// and corrupt them in parallel.
+    pub fn stored_mut(&mut self) -> &mut [u32] {
+        &mut self.stored
+    }
+
     /// Bits per stored value.
     pub fn bits_per_value(&self) -> u32 {
         self.precision.bits()

@@ -10,8 +10,24 @@
 //! No statistical analysis, outlier rejection, or HTML reports — numbers are
 //! indicative. The value of keeping the harnesses compiling is that switching
 //! to real criterion later is a manifest-only change.
+//!
+//! # Machine-readable output
+//!
+//! When the `EDEN_BENCH_JSON` environment variable names a file, every
+//! benchmark additionally appends one JSON object per line:
+//!
+//! ```json
+//! {"group":"g","id":"id","mean_ns":123,"min_ns":100,"max_ns":150,"samples":15}
+//! ```
+//!
+//! The file is JSON-lines (append-safe across the multiple bench binaries of
+//! a `cargo bench` run); the `bench_gate` binary in `eden-bench` consumes it
+//! to enforce the CI performance-regression gate. Pass an **absolute** path:
+//! cargo runs bench binaries with the package directory (not the workspace
+//! root) as their working directory.
 
 use std::fmt::Display;
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// Prevent the optimizer from deleting a benchmarked computation.
@@ -158,7 +174,40 @@ impl Bencher {
             "  {group}/{id}: [{min:?} {mean:?} {max:?}] ({n} samples)",
             n = self.samples.len()
         );
+        if let Ok(path) = std::env::var("EDEN_BENCH_JSON") {
+            if !path.is_empty() {
+                if let Err(e) =
+                    append_json_line(&path, group, id, *min, mean, *max, self.samples.len())
+                {
+                    eprintln!("  (EDEN_BENCH_JSON: failed to write {path}: {e})");
+                }
+            }
+        }
     }
+}
+
+/// Appends one JSON-lines record for a finished benchmark. Group and id come
+/// from benchmark source code, so they are embedded verbatim (no escaping).
+fn append_json_line(
+    path: &str,
+    group: &str,
+    id: &str,
+    min: Duration,
+    mean: Duration,
+    max: Duration,
+    samples: usize,
+) -> std::io::Result<()> {
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(
+        file,
+        "{{\"group\":\"{group}\",\"id\":\"{id}\",\"mean_ns\":{},\"min_ns\":{},\"max_ns\":{},\"samples\":{samples}}}",
+        mean.as_nanos(),
+        min.as_nanos(),
+        max.as_nanos(),
+    )
 }
 
 /// `criterion_group!(name, target1, target2, ...)`.
@@ -207,5 +256,39 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
         assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+    }
+
+    #[test]
+    fn json_lines_are_appended_and_parseable() {
+        let path = std::env::temp_dir().join(format!("eden_bench_{}.json", std::process::id()));
+        let path_str = path.to_str().unwrap();
+        append_json_line(
+            path_str,
+            "g",
+            "id",
+            Duration::from_nanos(100),
+            Duration::from_nanos(123),
+            Duration::from_nanos(150),
+            15,
+        )
+        .unwrap();
+        append_json_line(
+            path_str,
+            "g2",
+            "id2",
+            Duration::from_nanos(1),
+            Duration::from_nanos(2),
+            Duration::from_nanos(3),
+            1,
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"group\":\"g\",\"id\":\"id\",\"mean_ns\":123,\"min_ns\":100,\"max_ns\":150,\"samples\":15}"
+        );
     }
 }

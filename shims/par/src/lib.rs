@@ -1,0 +1,590 @@
+//! Offline stand-in for the slice of `rayon` this workspace needs.
+//!
+//! The build environment has no access to crates.io, so this crate implements
+//! a small work-stealing thread pool plus the rayon-shaped entry points the
+//! EDEN crates use: [`scope`], [`join`], [`par_map`] and
+//! [`par_map_chunks_mut`]. The API mirrors rayon closely enough that moving
+//! to the real crate later is a mechanical change.
+//!
+//! # Pool selection
+//!
+//! Every entry point runs on the *current* pool, resolved in order:
+//!
+//! 1. the pool owning the current worker thread (nested parallelism),
+//! 2. a pool installed on this thread via [`ThreadPool::install`],
+//! 3. the lazily-created global pool.
+//!
+//! The global pool is sized from the `EDEN_THREADS` environment variable if
+//! set (clamped to at least 1), otherwise from
+//! [`std::thread::available_parallelism`]. Binaries can override the size
+//! *before first use* with [`configure_threads`] (e.g. from a `--threads`
+//! CLI flag).
+//!
+//! # Determinism contract
+//!
+//! The pool makes **no ordering guarantees**: tasks run whenever a worker
+//! picks them up. Callers that need bit-identical results for any thread
+//! count (everything in this workspace does — see the repository README's
+//! threading-model section) must make each task's output a pure function of
+//! its *index*, never of execution order: write results into per-index slots
+//! ([`par_map`] does this) and derive any randomness from per-index seeds.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A unit of work queued on the pool. The `'static` bound is a lie told by
+/// [`Scope::spawn`] (see the safety comment there); jobs never outlive the
+/// scope that spawned them because the scope blocks until its counter drains.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    /// Externally-submitted jobs (from threads that are not pool workers).
+    injector: Mutex<VecDeque<Job>>,
+    /// Per-worker local deques. A worker pushes and pops its own queue at the
+    /// front and steals from the *back* of other workers' queues.
+    locals: Vec<Mutex<VecDeque<Job>>>,
+    /// Wakes idle workers when work arrives.
+    wakeup: Condvar,
+    /// Paired with `wakeup`; guards nothing but the sleep itself.
+    sleep_lock: Mutex<()>,
+    /// Number of threads parked (or about to park) on `wakeup`. Lets the
+    /// task-push/-completion hot path skip the sleep lock entirely while
+    /// everyone is busy.
+    sleepers: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Grab one job: own queue first, then the injector, then steal.
+    fn find_job(&self, worker: Option<usize>) -> Option<Job> {
+        if let Some(w) = worker {
+            if let Some(job) = self.locals[w].lock().unwrap().pop_front() {
+                return Some(job);
+            }
+        }
+        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            return Some(job);
+        }
+        let n = self.locals.len();
+        let start = worker.map(|w| w + 1).unwrap_or(0);
+        for k in 0..n {
+            let victim = (start + k) % n;
+            if Some(victim) == worker {
+                continue;
+            }
+            if let Some(job) = self.locals[victim].lock().unwrap().pop_back() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Whether any queue currently holds a job.
+    fn has_work(&self) -> bool {
+        !self.injector.lock().unwrap().is_empty()
+            || self.locals.iter().any(|q| !q.lock().unwrap().is_empty())
+    }
+
+    fn push(&self, job: Job, worker: Option<usize>) {
+        match worker {
+            Some(w) => self.locals[w].lock().unwrap().push_front(job),
+            None => self.injector.lock().unwrap().push_back(job),
+        }
+        self.notify();
+    }
+
+    /// Wakes every parked thread; a no-op while nobody sleeps, so the
+    /// push/completion hot path stays lock-free when all workers are busy.
+    ///
+    /// Lost-wakeup freedom: sleepers increment `sleepers` *before* checking
+    /// their wait condition (both under `sleep_lock`), and this method reads
+    /// `sleepers` *after* the state change it publishes (job pushed, counter
+    /// decremented, shutdown set) — all `SeqCst`. So either this read sees
+    /// the sleeper (and the locked notify reaches it), or the sleeper's
+    /// later condition check sees the published state and never parks.
+    fn notify(&self) {
+        if self.sleepers.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let _guard = self.sleep_lock.lock().unwrap();
+        self.wakeup.notify_all();
+    }
+
+    /// Parks the current thread on `wakeup` unless `should_wake` already
+    /// holds. Implements the sleeper-count protocol described on
+    /// [`Shared::notify`].
+    fn park_unless(&self, should_wake: impl Fn() -> bool) {
+        let guard = self.sleep_lock.lock().unwrap();
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        if should_wake() {
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        let guard = self.wakeup.wait(guard).unwrap();
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        drop(guard);
+    }
+}
+
+/// A fixed-size work-stealing thread pool.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+thread_local! {
+    /// `(pool, worker index)` of the worker thread we are on, if any.
+    static WORKER: std::cell::RefCell<Option<(Arc<Shared>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+    /// Pool installed on this (non-worker) thread via `ThreadPool::install`.
+    static INSTALLED: std::cell::RefCell<Vec<Arc<Shared>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+impl ThreadPool {
+    /// Creates a pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> ThreadPool {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            locals: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            wakeup: Condvar::new(),
+            sleep_lock: Mutex::new(()),
+            sleepers: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..threads)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("eden-par-{w}"))
+                    .spawn(move || worker_loop(shared, w))
+                    .expect("failed to spawn eden-par worker")
+            })
+            .collect();
+        ThreadPool { shared, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.shared.locals.len()
+    }
+
+    /// Runs `f` on the calling thread with this pool installed as the current
+    /// pool: [`scope`], [`join`] and the `par_*` helpers inside `f` execute
+    /// their tasks on this pool's workers.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        INSTALLED.with(|st| st.borrow_mut().push(Arc::clone(&self.shared)));
+        struct Pop;
+        impl Drop for Pop {
+            fn drop(&mut self) {
+                INSTALLED.with(|st| {
+                    st.borrow_mut().pop();
+                });
+            }
+        }
+        let _pop = Pop;
+        f()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.notify();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, index: usize) {
+    WORKER.with(|w| *w.borrow_mut() = Some((Arc::clone(&shared), index)));
+    loop {
+        if let Some(job) = shared.find_job(Some(index)) {
+            job();
+            continue;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Park until new work (or shutdown) arrives; see `Shared::notify`
+        // for why the unbounded wait cannot miss a wakeup.
+        shared.park_unless(|| shared.has_work() || shared.shutdown.load(Ordering::SeqCst));
+    }
+}
+
+/// Requested global pool size, consulted once at lazy initialization.
+static REQUESTED_THREADS: AtomicUsize = AtomicUsize::new(0);
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// Default worker count: `EDEN_THREADS` if set, else the machine parallelism.
+fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("EDEN_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn global() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| {
+        let requested = REQUESTED_THREADS.load(Ordering::SeqCst);
+        let n = if requested > 0 {
+            requested
+        } else {
+            default_threads()
+        };
+        ThreadPool::new(n)
+    })
+}
+
+/// Requests `threads` workers for the global pool. Takes effect only if the
+/// global pool has not been created yet; returns whether it did. Binaries
+/// call this from `main` before any parallel work (the `--threads` flag).
+pub fn configure_threads(threads: usize) -> bool {
+    REQUESTED_THREADS.store(threads.max(1), Ordering::SeqCst);
+    GLOBAL.get().is_none()
+}
+
+/// Resolves the pool the current thread should submit to.
+fn current_shared() -> Arc<Shared> {
+    if let Some(shared) = WORKER.with(|w| w.borrow().as_ref().map(|(s, _)| Arc::clone(s))) {
+        return shared;
+    }
+    if let Some(shared) = INSTALLED.with(|st| st.borrow().last().cloned()) {
+        return shared;
+    }
+    Arc::clone(&global().shared)
+}
+
+/// Worker index of the current thread *on the given pool*, if any.
+fn worker_index_on(shared: &Arc<Shared>) -> Option<usize> {
+    WORKER.with(|w| {
+        w.borrow()
+            .as_ref()
+            .filter(|(s, _)| Arc::ptr_eq(s, shared))
+            .map(|(_, i)| *i)
+    })
+}
+
+/// Number of threads in the current pool.
+pub fn current_num_threads() -> usize {
+    current_shared().locals.len()
+}
+
+/// A scope in which tasks borrowing the enclosing stack frame can be spawned.
+/// All spawned tasks complete before [`scope`] returns.
+pub struct Scope<'scope> {
+    shared: Arc<Shared>,
+    pending: Arc<AtomicUsize>,
+    panic: Arc<Mutex<Option<Box<dyn std::any::Any + Send>>>>,
+    _marker: std::marker::PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns `f` onto the pool. `f` may borrow from the enclosing frame.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let pending = Arc::clone(&self.pending);
+        let panic = Arc::clone(&self.panic);
+        let notify = Arc::clone(&self.shared);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            if let Err(p) = catch_unwind(AssertUnwindSafe(f)) {
+                let mut slot = panic.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(p);
+                }
+            }
+            pending.fetch_sub(1, Ordering::SeqCst);
+            // Wake any thread parked in a scope drain waiting for this task.
+            notify.notify();
+        });
+        // SAFETY: `scope` drains `pending` to zero before control can leave
+        // the scope frame — on the normal path *and* on unwind, via
+        // `DrainGuard`'s destructor — so the job (and everything it borrows
+        // with lifetime 'scope) outlives its execution. This is the standard
+        // scoped-task lifetime erasure, identical in spirit to
+        // `std::thread::scope`.
+        let job: Job = unsafe { std::mem::transmute(job) };
+        self.shared.push(job, worker_index_on(&self.shared));
+    }
+}
+
+/// Blocks until a scope's task counter drains to zero, executing pool work
+/// on the blocked thread in the meantime. Lives in a `Drop` impl so the
+/// drain also happens when the scope closure unwinds — returning early with
+/// tasks still borrowing the unwound frame would be use-after-free.
+struct DrainGuard<'a> {
+    shared: &'a Arc<Shared>,
+    pending: &'a AtomicUsize,
+    worker: Option<usize>,
+}
+
+impl Drop for DrainGuard<'_> {
+    fn drop(&mut self) {
+        // Tasks never unwind out of `job()` (Scope::spawn wraps every body
+        // in catch_unwind), so helping here is safe even mid-unwind.
+        while self.pending.load(Ordering::SeqCst) != 0 {
+            if let Some(job) = self.shared.find_job(self.worker) {
+                job();
+                continue;
+            }
+            // Nothing stealable: park until a task completion or new work
+            // wakes us (see `Shared::notify` for the lost-wakeup argument).
+            self.shared
+                .park_unless(|| self.pending.load(Ordering::SeqCst) == 0 || self.shared.has_work());
+        }
+    }
+}
+
+/// Creates a scope on the current pool, runs `f`, and blocks until every
+/// task spawned inside it has completed — even if `f` itself panics. While
+/// blocked, the calling thread executes pending pool work itself, so nested
+/// scopes cannot deadlock.
+///
+/// Panics from spawned tasks are propagated (the first one wins) after all
+/// tasks of the scope have drained; if `f` panics, its panic wins and task
+/// panics are discarded.
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    let shared = current_shared();
+    let s = Scope {
+        shared: Arc::clone(&shared),
+        pending: Arc::new(AtomicUsize::new(0)),
+        panic: Arc::new(Mutex::new(None)),
+        _marker: std::marker::PhantomData,
+    };
+    let guard = DrainGuard {
+        shared: &shared,
+        pending: &s.pending,
+        worker: worker_index_on(&shared),
+    };
+    let result = f(&s);
+    drop(guard);
+    if let Some(p) = s.panic.lock().unwrap().take() {
+        resume_unwind(p);
+    }
+    result
+}
+
+/// Runs `a` on the calling thread and `b` on the pool, returning both
+/// results. Mirrors `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB + Send,
+    RB: Send,
+{
+    let mut rb = None;
+    let ra = scope(|s| {
+        s.spawn(|| rb = Some(b()));
+        a()
+    });
+    (ra, rb.expect("join task did not complete"))
+}
+
+/// Work items per spawned task for the slice helpers: enough tasks per
+/// worker for stealing to balance load, without drowning in task overhead.
+fn grain(len: usize, threads: usize) -> usize {
+    len.div_ceil(threads.saturating_mul(4).max(1)).max(1)
+}
+
+/// Applies `f(index, &item)` to every item in parallel and collects the
+/// results **in index order** (execution order never affects the output).
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunk = grain(n, current_num_threads());
+    // Single task (always the case on a 1-thread pool): run inline, skipping
+    // scope and queue traffic entirely. Identical output — results are a
+    // pure function of the index either way.
+    if chunk >= n {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    scope(|s| {
+        for (c, (slots, input)) in out.chunks_mut(chunk).zip(items.chunks(chunk)).enumerate() {
+            let f = &f;
+            let base = c * chunk;
+            s.spawn(move || {
+                for (j, (slot, item)) in slots.iter_mut().zip(input).enumerate() {
+                    *slot = Some(f(base + j, item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("par_map slot not filled"))
+        .collect()
+}
+
+/// Splits `data` into chunks of `chunk_size` and applies
+/// `f(chunk_index, chunk)` to each in parallel, collecting the per-chunk
+/// results in chunk order. The fixed chunk geometry (independent of the
+/// thread count) is what lets callers attach a deterministic seed to each
+/// chunk.
+pub fn par_map_chunks_mut<T, R, F>(data: &mut [T], chunk_size: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    let n = data.len().div_ceil(chunk_size);
+    if n == 0 {
+        return Vec::new();
+    }
+    // One chunk: run inline. The chunk geometry (hence the output) only
+    // depends on `chunk_size`, so this is indistinguishable from the
+    // spawning path.
+    if n == 1 {
+        return vec![f(0, data)];
+    }
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    scope(|s| {
+        for ((c, chunk), slot) in data.chunks_mut(chunk_size).enumerate().zip(out.iter_mut()) {
+            let f = &f;
+            s.spawn(move || *slot = Some(f(c, chunk)));
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("par_map_chunks_mut slot not filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn par_map_preserves_index_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = par_map(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn results_are_identical_for_any_thread_count() {
+        let items: Vec<u64> = (0..513).collect();
+        let run = |threads: usize| {
+            ThreadPool::new(threads).install(|| par_map(&items, |i, &x| x.wrapping_mul(i as u64)))
+        };
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(8));
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        let pool = ThreadPool::new(2);
+        let total: usize = pool.install(|| {
+            let outer: Vec<usize> = par_map(&[10usize, 20, 30], |_, &n| {
+                let inner: Vec<usize> = par_map(&(0..n).collect::<Vec<_>>(), |_, &x| x);
+                inner.iter().sum()
+            });
+            outer.iter().sum()
+        });
+        assert_eq!(total, 45 + 190 + 435);
+    }
+
+    #[test]
+    fn par_map_chunks_mut_covers_every_element() {
+        let mut data = vec![0u32; 100];
+        let counts = par_map_chunks_mut(&mut data, 7, |c, chunk| {
+            for v in chunk.iter_mut() {
+                *v = c as u32 + 1;
+            }
+            chunk.len()
+        });
+        assert_eq!(counts.iter().sum::<usize>(), 100);
+        assert!(data.iter().all(|&v| v > 0));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[99], 15); // chunk 14, 1-based
+    }
+
+    #[test]
+    fn scope_borrows_the_enclosing_frame() {
+        let mut results = [0usize; 16];
+        scope(|s| {
+            for (i, slot) in results.iter_mut().enumerate() {
+                s.spawn(move || *slot = i * i);
+            }
+        });
+        assert_eq!(results[15], 225);
+    }
+
+    #[test]
+    fn scope_propagates_panics() {
+        let caught = std::panic::catch_unwind(|| {
+            scope(|s| {
+                s.spawn(|| panic!("boom"));
+            })
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn scope_drains_spawned_tasks_when_the_closure_panics() {
+        // If the scope closure unwinds, spawned tasks still borrow the
+        // enclosing frame — scope must finish them before the unwind
+        // continues past that frame.
+        let flags: Vec<AtomicBool> = (0..64).map(|_| AtomicBool::new(false)).collect();
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            scope(|s| {
+                for flag in &flags {
+                    s.spawn(|| {
+                        std::thread::sleep(Duration::from_micros(50));
+                        flag.store(true, Ordering::SeqCst);
+                    });
+                }
+                panic!("closure dies with tasks in flight");
+            })
+        }));
+        assert!(caught.is_err());
+        // Every task observed a live frame and completed.
+        assert!(flags.iter().all(|f| f.load(Ordering::SeqCst)));
+    }
+
+    #[test]
+    fn install_overrides_the_pool() {
+        let pool = ThreadPool::new(3);
+        assert_eq!(pool.install(current_num_threads), 3);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(par_map(&empty, |_, &x| x).is_empty());
+        let mut data: Vec<u8> = Vec::new();
+        assert!(par_map_chunks_mut(&mut data, 4, |_, _| 0).is_empty());
+    }
+}

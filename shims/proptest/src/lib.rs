@@ -2,10 +2,10 @@
 //!
 //! Implements the subset of proptest used by this workspace's property tests:
 //!
-//! * [`Strategy`] — value generation plus greedy shrinking;
+//! * [`strategy::Strategy`] — value generation plus greedy shrinking;
 //! * range strategies over the primitive numeric types, tuple strategies,
-//!   [`collection::vec`], [`Just`], [`strategy::Map`] (via
-//!   [`Strategy::prop_map`]) and [`arbitrary::any`];
+//!   [`collection::vec`], [`strategy::Just`], [`strategy::Map`] (via
+//!   [`strategy::Strategy::prop_map`]) and [`arbitrary::any`];
 //! * the [`proptest!`] macro (including `#![proptest_config(..)]`), and the
 //!   `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` macros;
 //! * a runner that, on failure, shrinks to a locally minimal counterexample
@@ -71,7 +71,7 @@ pub mod arbitrary {
 pub mod collection {
     use super::strategy::{Strategy, VecStrategy};
 
-    /// Size specification for [`vec`]: an exact length or a half-open range.
+    /// Size specification for [`vec()`]: an exact length or a half-open range.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         pub min: usize,

@@ -1,0 +1,166 @@
+//! Thread-count invariance: every parallel code path derives its randomness
+//! from per-work-item streams, so running on 1, 2 or 8 worker threads — in
+//! whatever interleaving those pools produce — must yield bit-identical
+//! results for a fixed seed. This is the contract that lets CI validate
+//! numerics on any runner while production saturates every core.
+
+use eden::core::characterize::CoarseConfig;
+use eden::core::curricular::CurricularConfig;
+use eden::core::faults::ApproximateMemory;
+use eden::core::inference;
+use eden::core::{EdenConfig, EdenPipeline};
+use eden::dnn::train::{TrainConfig, Trainer};
+use eden::dnn::{data::SyntheticVision, zoo, Dataset, Network};
+use eden::dram::characterize::CharacterizeConfig;
+use eden::dram::error_model::Layout;
+use eden::dram::inject::Injector;
+use eden::dram::{ApproxDramDevice, ErrorModel, Vendor};
+use eden::tensor::{Precision, QuantTensor, Tensor};
+use eden_par::ThreadPool;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn trained_lenet(seed: u64) -> (Network, SyntheticVision) {
+    let dataset = SyntheticVision::tiny(seed);
+    let mut net = zoo::lenet(&dataset.spec(), seed);
+    Trainer::new(TrainConfig {
+        epochs: 3,
+        ..TrainConfig::default()
+    })
+    .train(&mut net, &dataset);
+    (net, dataset)
+}
+
+/// Runs `f` once per thread count and asserts all results are identical.
+fn assert_invariant<R: PartialEq + std::fmt::Debug>(f: impl Fn() -> R) {
+    let results: Vec<(usize, R)> = THREAD_COUNTS
+        .iter()
+        .map(|&threads| (threads, ThreadPool::new(threads).install(&f)))
+        .collect();
+    for (threads, result) in &results[1..] {
+        assert_eq!(
+            &results[0].1, result,
+            "result differs between {} and {threads} threads",
+            results[0].0
+        );
+    }
+}
+
+#[test]
+fn injector_corrupt_placed_is_thread_count_invariant() {
+    let values = Tensor::from_vec(
+        (0..20_000).map(|i| (i as f32 * 0.11).sin()).collect(),
+        &[20_000],
+    );
+    let clean = QuantTensor::quantize(&values, Precision::Int8);
+    let layout = Layout::new(2048, 7);
+
+    let model = Injector::from_model(ErrorModel::bitline(0.02, 0.5, 0.8, 5), Layout::default());
+    assert_invariant(|| {
+        let mut t = clean.clone();
+        let flips = model.corrupt_placed_seeded(&mut t, &layout, 42);
+        (t, flips)
+    });
+
+    let device = Injector::from_device(
+        ApproxDramDevice::new(Vendor::C, 11),
+        eden::dram::geometry::partitions(
+            &eden::dram::geometry::DramGeometry::ddr4_module(),
+            eden::dram::geometry::PartitionGranularity::Bank,
+        )[0],
+        eden::dram::OperatingPoint::with_vdd_reduction(0.25),
+    );
+    assert_invariant(|| {
+        let mut t = clean.clone();
+        let flips = device.corrupt_placed_seeded(&mut t, &layout, 43);
+        (t, flips)
+    });
+}
+
+#[test]
+fn batch_evaluation_is_thread_count_invariant() {
+    let (net, dataset) = trained_lenet(31);
+    let samples = &dataset.test()[..40];
+    assert_invariant(|| {
+        let mut memory = ApproximateMemory::from_model(ErrorModel::uniform(0.02, 0.5, 3), 17);
+        let acc = inference::evaluate_with_faults(&net, samples, Precision::Int8, &mut memory);
+        // Accuracy bits AND the injection statistics must match exactly.
+        (acc.to_bits(), memory.stats())
+    });
+}
+
+#[test]
+fn ber_sweep_is_thread_count_invariant() {
+    let (net, dataset) = trained_lenet(32);
+    let samples = &dataset.test()[..24];
+    let template = ErrorModel::uniform(0.02, 0.5, 4);
+    assert_invariant(|| {
+        let curve = inference::accuracy_vs_ber(
+            &net,
+            samples,
+            Precision::Int8,
+            &template,
+            &[1e-4, 1e-3, 1e-2, 5e-2],
+            None,
+            23,
+        );
+        curve
+            .into_iter()
+            .map(|(ber, acc)| (ber.to_bits(), acc.to_bits()))
+            .collect::<Vec<_>>()
+    });
+}
+
+#[test]
+fn eden_pipeline_is_thread_count_invariant() {
+    let (net, dataset) = trained_lenet(33);
+    let device = ApproxDramDevice::new(Vendor::A, 9);
+    let config = EdenConfig {
+        retraining: CurricularConfig {
+            epochs: 2,
+            step_epochs: 1,
+            ..CurricularConfig::default()
+        },
+        characterization: CoarseConfig {
+            eval_samples: 24,
+            iterations: 4,
+            ..CoarseConfig::default()
+        },
+        dram_characterization: CharacterizeConfig {
+            rows_per_pattern: 1,
+            bitlines_per_row: 256,
+            reads_per_row: 2,
+            seed: 7,
+        },
+        iterations: 1,
+        accuracy_drop: 0.03,
+        seed: 7,
+        ..EdenConfig::default()
+    };
+
+    let reference: Vec<_> = THREAD_COUNTS
+        .iter()
+        .map(|&threads| {
+            ThreadPool::new(threads).install(|| {
+                let mut boosted = net.clone();
+                let outcome = EdenPipeline::new(config).run(&mut boosted, &dataset, &device);
+                let logits: Vec<Tensor> = dataset
+                    .test()
+                    .iter()
+                    .map(|(x, _)| boosted.forward(x))
+                    .collect();
+                (outcome, logits)
+            })
+        })
+        .collect();
+    assert_eq!(reference[0].0, reference[1].0, "outcome: 1 vs 2 threads");
+    assert_eq!(reference[0].0, reference[2].0, "outcome: 1 vs 8 threads");
+    assert_eq!(
+        reference[0].1, reference[1].1,
+        "boosted net: 1 vs 2 threads"
+    );
+    assert_eq!(
+        reference[0].1, reference[2].1,
+        "boosted net: 1 vs 8 threads"
+    );
+}
