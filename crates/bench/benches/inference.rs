@@ -18,7 +18,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use eden_core::bounding::{BoundingLogic, CorrectionPolicy};
 use eden_core::faults::ApproximateMemory;
-use eden_core::inference;
+use eden_core::inference::{self, InferenceBackend};
 use eden_dnn::{data::SyntheticVision, zoo, Dataset};
 use eden_dram::ErrorModel;
 use eden_tensor::Precision;
@@ -71,6 +71,59 @@ fn bench_inference(c: &mut Criterion) {
     group.finish();
 }
 
+/// The quantized execution engines head to head on a Table 1-scale model:
+/// the same VGG evaluation (8 samples, BER 1e-3 — a realistic Table 3
+/// operating point) run once through the simulated-f32 path and once through
+/// the native integer path, serving from a pre-characterized memory as the
+/// tolerance sweeps do. This is the benchmark behind the "native int8 is
+/// ≥2× the simulated path at 1 thread" acceptance bar, and the regression
+/// gate watches both engines so neither hot path can silently regress.
+fn bench_quantized_backends(c: &mut Criterion) {
+    let dataset = SyntheticVision::small(0);
+    let net = zoo::vgg_mini(&dataset.spec(), 1);
+    let samples = &dataset.test()[..8];
+    let template = ErrorModel::uniform(0.02, 0.5, 3);
+    let mut group = c.benchmark_group("quantized_backend");
+    group.sample_size(15);
+    for (id, precision, backend) in [
+        (
+            "vgg_simulated_f32_int8",
+            Precision::Int8,
+            InferenceBackend::SimulatedF32,
+        ),
+        (
+            "vgg_native_int_int8",
+            Precision::Int8,
+            InferenceBackend::NativeInt,
+        ),
+        (
+            "vgg_native_int_int4",
+            Precision::Int4,
+            InferenceBackend::NativeInt,
+        ),
+    ] {
+        // DRAM placement and weak-cell characterization happen once per
+        // operating point in the real sweeps; hoist them so the bench
+        // measures steady-state serving, then clone per iteration so every
+        // iteration replays identical load streams.
+        let mut base = ApproximateMemory::from_model(template.with_ber(1e-3), 5);
+        base.preallocate(&net, precision);
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let mut memory = base.clone();
+                inference::evaluate_with_faults_backend(
+                    &net,
+                    black_box(samples),
+                    precision,
+                    &mut memory,
+                    backend,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
 /// The Figure 8 hot path: a (scaled-down) accuracy-vs-BER tolerance sweep,
 /// batch- and point-parallel on the `eden-par` pool. This is the workload the
 /// tentpole parallelization targets, so the gate watches it directly.
@@ -103,6 +156,7 @@ criterion_group!(
     benches,
     bench_calibration,
     bench_inference,
+    bench_quantized_backends,
     bench_tolerance_sweep
 );
 criterion_main!(benches);

@@ -2,11 +2,14 @@
 //! models and each numeric precision (int4/int8/int16/FP32).
 //!
 //! Pass `--detail` to also print the Section 6.3 observations (DNN-size
-//! effect and accuracy collapse without bounding).
+//! effect and accuracy collapse without bounding), and
+//! `--backend simulated|native` to pick the inference engine (the native
+//! integer engine reproduces the same curves faster for the integer
+//! precisions; FP32 always runs on the simulated path).
 
 use eden_bench::report;
 use eden_core::bounding::{BoundingLogic, CorrectionPolicy};
-use eden_core::inference::accuracy_vs_ber;
+use eden_core::inference::accuracy_vs_ber_backend;
 use eden_dnn::zoo::ModelId;
 use eden_dnn::Dataset;
 use eden_dram::{ErrorModel, ErrorModelKind};
@@ -23,6 +26,7 @@ fn template(kind: ErrorModelKind, seed: u64) -> ErrorModel {
 
 fn main() {
     report::init_threads();
+    let backend = report::parse_backend();
     let detail = std::env::args().any(|a| a == "--detail");
     report::header(
         "Figure 8",
@@ -42,7 +46,7 @@ fn main() {
         }
         println!();
         for precision in Precision::all() {
-            let curve = accuracy_vs_ber(
+            let curve = accuracy_vs_ber_backend(
                 &net,
                 samples,
                 precision,
@@ -50,6 +54,7 @@ fn main() {
                 &bers,
                 Some(bounding),
                 11,
+                backend,
             );
             print!("{:<8}", precision.to_string());
             for (_, acc) in curve {
@@ -69,7 +74,7 @@ fn main() {
         ] {
             let (m, d) = report::train_model(id, 5, 4);
             let b = BoundingLogic::calibrated(&m, &d.train()[..16], 1.5, CorrectionPolicy::Zero);
-            let curve = accuracy_vs_ber(
+            let curve = accuracy_vs_ber_backend(
                 &m,
                 &d.test()[..48],
                 Precision::Int8,
@@ -77,6 +82,7 @@ fn main() {
                 &[1e-2],
                 Some(b),
                 13,
+                backend,
             );
             println!("  {:<14} {:>6.3}", id.spec().display_name, curve[0].1);
         }
@@ -84,7 +90,7 @@ fn main() {
         println!(
             "\nSection 6.3 detail — FP32 accuracy collapse without bounding (BER 1e-4..1e-2):"
         );
-        let no_bounding = accuracy_vs_ber(
+        let no_bounding = accuracy_vs_ber_backend(
             &net,
             samples,
             Precision::Fp32,
@@ -92,8 +98,9 @@ fn main() {
             &[1e-4, 1e-3, 1e-2],
             None,
             11,
+            backend,
         );
-        let with_bounding = accuracy_vs_ber(
+        let with_bounding = accuracy_vs_ber_backend(
             &net,
             samples,
             Precision::Fp32,
@@ -101,6 +108,7 @@ fn main() {
             &[1e-4, 1e-3, 1e-2],
             Some(bounding),
             11,
+            backend,
         );
         println!(
             "  {:<12} {:>12} {:>12}",

@@ -14,6 +14,7 @@ use eden_tensor::Precision;
 
 fn main() {
     report::init_threads();
+    let backend = report::parse_backend();
     report::header(
         "Table 3",
         "max tolerable BER and ΔVDD/ΔtRCD per DNN (coarse-grained), <1% accuracy drop",
@@ -65,6 +66,9 @@ fn main() {
                     eval_samples: 48,
                     iterations: 6,
                     accuracy_drop: 0.01,
+                    // FP32 rows always take the simulated path; integer rows
+                    // honor --backend.
+                    backend,
                     ..CoarseConfig::default()
                 },
             );

@@ -1,5 +1,6 @@
 //! Small shared helpers for the experiment binaries.
 
+use eden_core::inference::InferenceBackend;
 use eden_dnn::data::SyntheticVision;
 use eden_dnn::train::{TrainConfig, Trainer};
 use eden_dnn::zoo::ModelId;
@@ -33,6 +34,39 @@ pub fn init_threads() -> usize {
     let effective = eden_par::current_num_threads();
     eprintln!("eden-par: {effective} worker thread(s)");
     effective
+}
+
+/// Applies the `--backend simulated|native` CLI flag (falling back to the
+/// `EDEN_BACKEND` environment variable, then to the simulated-f32 default)
+/// and returns the selected inference backend.
+///
+/// The native backend executes quantized models on the integer kernels
+/// (faster, integer precisions only); the simulated backend is the seed
+/// behavior. Both model the same approximate DRAM — see the README's
+/// inference-backends section.
+pub fn parse_backend() -> InferenceBackend {
+    let mut args = std::env::args();
+    let mut choice: Option<String> = None;
+    while let Some(arg) = args.next() {
+        if let Some(v) = arg.strip_prefix("--backend=") {
+            choice = Some(v.to_string());
+            break;
+        }
+        if arg == "--backend" {
+            choice = args.next();
+            break;
+        }
+    }
+    let choice = choice.or_else(|| std::env::var("EDEN_BACKEND").ok());
+    let backend = match choice {
+        Some(v) => v.parse::<InferenceBackend>().unwrap_or_else(|e| {
+            eprintln!("{e}; using the default backend");
+            InferenceBackend::default()
+        }),
+        None => InferenceBackend::default(),
+    };
+    eprintln!("inference backend: {backend}");
+    backend
 }
 
 /// Trains the scaled-down zoo model `id` on its synthetic dataset and returns
@@ -73,6 +107,11 @@ mod tests {
     #[test]
     fn init_threads_reports_a_positive_pool_size() {
         assert!(init_threads() >= 1);
+    }
+
+    #[test]
+    fn parse_backend_defaults_to_simulated() {
+        assert_eq!(parse_backend(), InferenceBackend::SimulatedF32);
     }
 
     #[test]

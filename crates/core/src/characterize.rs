@@ -10,7 +10,7 @@
 
 use crate::bounding::BoundingLogic;
 use crate::faults::ApproximateMemory;
-use crate::inference;
+use crate::inference::{self, InferenceBackend};
 use eden_dnn::network::DataTypeInfo;
 use eden_dnn::{DataSite, Dataset, Network};
 use eden_dram::error_model::Layout;
@@ -35,6 +35,8 @@ pub struct CoarseConfig {
     pub iterations: usize,
     /// Injection seed.
     pub seed: u64,
+    /// Execution backend used for every accuracy evaluation.
+    pub backend: InferenceBackend,
 }
 
 impl Default for CoarseConfig {
@@ -46,6 +48,7 @@ impl Default for CoarseConfig {
             ber_max: 0.3,
             iterations: 8,
             seed: 0,
+            backend: InferenceBackend::default(),
         }
     }
 }
@@ -73,7 +76,7 @@ pub fn coarse_characterize(
     cfg: &CoarseConfig,
 ) -> CoarseCharacterization {
     let samples = eval_slice(dataset, cfg.eval_samples);
-    let baseline = inference::evaluate_reliable(net, samples, precision);
+    let baseline = inference::evaluate_reliable_backend(net, samples, precision, cfg.backend);
     let floor = baseline - cfg.accuracy_drop;
 
     let accuracy_at = |ber: f64| -> f32 {
@@ -81,7 +84,7 @@ pub fn coarse_characterize(
         if let Some(b) = bounding {
             memory = memory.with_bounding(b);
         }
-        inference::evaluate_with_faults(net, samples, precision, &mut memory)
+        inference::evaluate_with_faults_backend(net, samples, precision, &mut memory, cfg.backend)
     };
 
     let mut probes = Vec::new();
@@ -153,6 +156,8 @@ pub struct FineConfig {
     pub max_rounds: usize,
     /// Injection seed.
     pub seed: u64,
+    /// Execution backend used for every accuracy evaluation.
+    pub backend: InferenceBackend,
 }
 
 impl Default for FineConfig {
@@ -164,6 +169,7 @@ impl Default for FineConfig {
             step_factor: 1.5,
             max_rounds: 4,
             seed: 0,
+            backend: InferenceBackend::default(),
         }
     }
 }
@@ -205,7 +211,7 @@ pub fn fine_characterize(
     cfg: &FineConfig,
 ) -> FineCharacterization {
     let samples = eval_slice(dataset, cfg.eval_samples);
-    let baseline = inference::evaluate_reliable(net, samples, precision);
+    let baseline = inference::evaluate_reliable_backend(net, samples, precision, cfg.backend);
     let floor = baseline - cfg.accuracy_drop;
     let sites = net.data_sites();
 
@@ -223,7 +229,7 @@ pub fn fine_characterize(
         if let Some(b) = bounding {
             memory = memory.with_bounding(b);
         }
-        inference::evaluate_with_faults(net, samples, precision, &mut memory)
+        inference::evaluate_with_faults_backend(net, samples, precision, &mut memory, cfg.backend)
     };
 
     for round in 0..cfg.max_rounds {

@@ -19,15 +19,26 @@
 //! [`ApproximateMemory::fork`]: each sample of a batch gets a child memory
 //! whose seed is derived from the parent seed and the *sample index*, making
 //! results bit-identical for any thread count.
+//!
+//! # Execution backends
+//!
+//! The memory model is backend-neutral: both inference backends
+//! ([`crate::inference::InferenceBackend`]) corrupt the same [`QuantTensor`]
+//! stored bits through the same [`FaultHook`] entry point and consume load
+//! streams in the same order. Weight sites are served from cached clean bit
+//! images ([`Network::weight_images`]) — each refetch corrupts a *copy* of
+//! the stored bits, so the per-refetch cost is proportional to the stored
+//! data, never to the network object graph.
 
 use crate::bounding::BoundingLogic;
-use eden_dnn::{DataSite, FaultHook, Network};
-use eden_dram::error_model::Layout;
+use eden_dnn::{DataKind, DataSite, FaultHook, Network};
+use eden_dram::error_model::{Layout, WeakCellMap};
 use eden_dram::inject::{AddressAllocator, Injector};
 use eden_dram::util::stream;
 use eden_dram::ErrorModel;
 use eden_tensor::{Precision, QuantTensor};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Salt separating fork-lane seeds from the parent's own load streams.
 const FORK_SALT: u64 = 0xF0_4B_1A_9E_5A_17_ED_01;
@@ -49,6 +60,12 @@ pub struct ApproximateMemory {
     default_injector: Option<Injector>,
     site_injectors: HashMap<DataSite, Injector>,
     site_layouts: HashMap<DataSite, Layout>,
+    /// Precomputed weak-cell maps per site, one entry per tensor geometry
+    /// `(element count, bits per value)` — a layer's weight and bias tensors
+    /// share a site but have different lengths, and one memory may serve
+    /// loads at several precisions. `Arc` so per-sample forks share the maps
+    /// instead of recomputing them.
+    weak_maps: HashMap<DataSite, Vec<(usize, u32, Arc<WeakCellMap>)>>,
     allocator: AddressAllocator,
     bounding: Option<BoundingLogic>,
     /// Master seed; every load's RNG stream is derived from it.
@@ -71,6 +88,7 @@ impl ApproximateMemory {
             default_injector: Some(injector),
             site_injectors: HashMap::new(),
             site_layouts: HashMap::new(),
+            weak_maps: HashMap::new(),
             allocator: AddressAllocator::new(2048 * 8),
             bounding: None,
             seed,
@@ -85,6 +103,7 @@ impl ApproximateMemory {
             default_injector: None,
             site_injectors: HashMap::new(),
             site_layouts: HashMap::new(),
+            weak_maps: HashMap::new(),
             allocator: AddressAllocator::new(2048 * 8),
             bounding: None,
             seed,
@@ -102,11 +121,17 @@ impl ApproximateMemory {
     /// Backs one specific data type with its own error source (fine-grained
     /// mapping: different partitions have different BERs).
     pub fn assign_site(&mut self, site: DataSite, injector: Injector) {
+        // Any maps computed under the previous error source are stale.
+        self.weak_maps.remove(&site);
         self.site_injectors.insert(site, injector);
     }
 
     /// Replaces the default error source for all unassigned sites.
     pub fn set_default(&mut self, injector: Option<Injector>) {
+        // Keep only maps pinned by per-site overrides; default-backed maps
+        // are stale under the new error source.
+        let overridden: Vec<DataSite> = self.site_injectors.keys().cloned().collect();
+        self.weak_maps.retain(|s, _| overridden.contains(s));
         self.default_injector = injector;
     }
 
@@ -156,17 +181,66 @@ impl ApproximateMemory {
     }
 
     /// Assigns DRAM placements to every data site of `net` (weights and
-    /// IFMs, in network order) that does not have one yet.
+    /// IFMs, in network order) that does not have one yet, and precomputes
+    /// each placement's weak-cell map.
     ///
     /// Lazy allocation is deterministic for a *single* memory serving loads
     /// in sequence, but forks must agree on addresses without communicating;
     /// pre-allocating from the network structure pins every site's placement
-    /// before the forks are taken.
+    /// before the forks are taken. The weak-cell maps shift the O(total
+    /// bits) weak-cell scan from every load to this one call: forks share
+    /// the precomputed maps, so per-sample IFM corruption touches only the
+    /// weak cells.
     pub fn preallocate(&mut self, net: &Network, precision: Precision) {
         for info in net.data_sites() {
             let bits = info.elements as u64 * precision.bits() as u64;
             self.layout_for(&info.site, bits);
+            if info.site.kind == DataKind::Ifm {
+                self.weak_map_for(&info.site, info.elements, precision.bits());
+            }
         }
+        // Weight sites serve one load per *parameter tensor* (a layer's
+        // weight and bias share the site), so map each geometry separately.
+        for (i, layer) in net.layers().iter().enumerate() {
+            if layer.param_count() == 0 {
+                continue;
+            }
+            let site = DataSite::new(i, layer.name(), DataKind::Weight);
+            layer.visit_params_ref(&mut |_, t| {
+                self.weak_map_for(&site, t.len(), precision.bits());
+            });
+        }
+    }
+
+    /// The cached weak-cell map of a `(site, tensor length)` placement,
+    /// computing and caching it if absent (`None` for reliable memory and
+    /// device-backed sites).
+    fn weak_map_for(
+        &mut self,
+        site: &DataSite,
+        values: usize,
+        bits: u32,
+    ) -> Option<Arc<WeakCellMap>> {
+        // Borrowed-key lookup first: cloning the `DataSite` (and its name
+        // string) on every load would dominate the hit path.
+        if let Some(map) = self.weak_maps.get(site).and_then(|geos| {
+            geos.iter()
+                .find(|(v, b, _)| *v == values && *b == bits)
+                .map(|(_, _, m)| m.clone())
+        }) {
+            return Some(map);
+        }
+        let layout = self.layout_for(site, values as u64 * bits as u64);
+        let injector = self
+            .site_injectors
+            .get(site)
+            .or(self.default_injector.as_ref())?;
+        let map = Arc::new(injector.weak_map(values, bits, &layout)?);
+        self.weak_maps
+            .entry(site.clone())
+            .or_default()
+            .push((values, bits, map.clone()));
+        Some(map)
     }
 
     fn layout_for(&mut self, site: &DataSite, total_bits: u64) -> Layout {
@@ -185,13 +259,14 @@ impl FaultHook for ApproximateMemory {
         self.next_load += 1;
         self.stats.loads += 1;
         let layout = self.layout_for(site, tensor.total_bits());
+        let map = self.weak_map_for(site, tensor.len(), tensor.bits_per_value());
         let injector = self
             .site_injectors
             .get(site)
-            .or(self.default_injector.as_ref())
-            .cloned();
+            .or(self.default_injector.as_ref());
         if let Some(injector) = injector {
-            self.stats.bit_flips += injector.corrupt_placed_seeded(tensor, &layout, load_stream);
+            self.stats.bit_flips +=
+                injector.corrupt_placed_seeded_mapped(tensor, &layout, load_stream, map.as_deref());
         }
         if let Some(bounding) = &self.bounding {
             self.stats.corrections += bounding.correct(tensor) as u64;
@@ -317,6 +392,32 @@ mod tests {
         a.corrupt(&site(1, DataKind::Weight), &mut ta);
         b.corrupt(&site(1, DataKind::Weight), &mut tb);
         assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn one_memory_serves_loads_at_several_precisions() {
+        // The weak-map cache is keyed by (site, length, bits): the same
+        // memory corrupting the same site at different precisions (or the
+        // same precision with different tensor lengths, as a layer's weight
+        // and bias do) must not mix up maps — and each mapped corruption
+        // must equal the unmapped full scan.
+        let model = ErrorModel::uniform(0.05, 0.5, 4);
+        let s = site(0, DataKind::Weight);
+        let values = Tensor::from_vec((0..512).map(|i| (i as f32 * 0.3).sin()).collect(), &[512]);
+        for precision in [Precision::Int8, Precision::Int4, Precision::Int16] {
+            let mut mem = ApproximateMemory::from_model(model, 9);
+            // Prime the cache at a different precision and length first.
+            let mut primer = QuantTensor::quantize(&values, Precision::Int8);
+            mem.corrupt(&s, &mut primer);
+            let mut small = QuantTensor::quantize(
+                &Tensor::from_vec(values.data()[..100].to_vec(), &[100]),
+                precision,
+            );
+            mem.corrupt(&s, &mut small);
+            let mut full = QuantTensor::quantize(&values, precision);
+            mem.corrupt(&s, &mut full);
+            assert!(mem.stats().loads == 3, "{precision}");
+        }
     }
 
     #[test]

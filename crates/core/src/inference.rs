@@ -18,17 +18,69 @@
 //! index-ordered slots. See the README's threading-model section.
 
 use crate::faults::ApproximateMemory;
+use eden_dnn::network::WeightImage;
+use eden_dnn::qexec::{self, NativeWeights, QuantScratch};
 use eden_dnn::{FaultHook, Network};
 use eden_tensor::{Precision, Tensor};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
 
 /// Samples per weight refetch: the corrupted weight copy is re-loaded from
 /// approximate DRAM once per this many samples, modelling periodic
 /// re-fetching (the same constant the seed implementation chunked by).
 const WEIGHT_REFETCH_PERIOD: usize = 16;
 
+/// How the DNN executes on top of the corrupted stored bits.
+///
+/// Both backends model the *same* approximate DRAM: weights and IFMs are
+/// quantized to the stored representation and corrupted at the same
+/// [`eden_dnn::DataSite`]s in the same load order. They differ only in the
+/// arithmetic that consumes the corrupted bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum InferenceBackend {
+    /// Simulated quantization (the seed behavior, bit-for-bit): every
+    /// corrupted tensor is dequantized back to f32 and the float layers run
+    /// on the dequantized values.
+    #[default]
+    SimulatedF32,
+    /// Native integer execution: dense/conv layers consume the sign-extended
+    /// quantized integers directly via exact i32/i64-accumulating GEMM
+    /// kernels (see [`eden_dnn::qexec`]), skipping the f32 round-trip. Falls
+    /// back to the simulated path for FP32, which has no integer
+    /// representation.
+    NativeInt,
+}
+
+impl fmt::Display for InferenceBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InferenceBackend::SimulatedF32 => f.write_str("simulated-f32"),
+            InferenceBackend::NativeInt => f.write_str("native-int"),
+        }
+    }
+}
+
+impl FromStr for InferenceBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "simulated" | "simulated-f32" | "f32" => Ok(InferenceBackend::SimulatedF32),
+            "native" | "native-int" | "int" => Ok(InferenceBackend::NativeInt),
+            other => Err(format!(
+                "unknown inference backend {other:?} (expected \"simulated\" or \"native\")"
+            )),
+        }
+    }
+}
+
 /// Returns a copy of `net` whose weights have been loaded through
 /// approximate memory (quantized to `precision`, corrupted, corrected,
 /// dequantized).
+///
+/// This is the one-shot API; the batch evaluator amortizes the clone and the
+/// quantization across refetches via [`Network::weight_images`].
 pub fn corrupted_network(
     net: &Network,
     precision: Precision,
@@ -47,8 +99,46 @@ pub fn forward_with_faults(
     precision: Precision,
     memory: &mut ApproximateMemory,
 ) -> Tensor {
-    let corrupted = corrupted_network(net, precision, memory);
-    corrupted.forward_with_ifm_hook(input, precision, memory)
+    forward_with_faults_backend(
+        net,
+        input,
+        precision,
+        memory,
+        InferenceBackend::SimulatedF32,
+    )
+}
+
+/// [`forward_with_faults`] on an explicit execution backend.
+pub fn forward_with_faults_backend(
+    net: &Network,
+    input: &Tensor,
+    precision: Precision,
+    memory: &mut ApproximateMemory,
+    backend: InferenceBackend,
+) -> Tensor {
+    match effective_backend(backend, precision) {
+        InferenceBackend::SimulatedF32 => {
+            let corrupted = corrupted_network(net, precision, memory);
+            corrupted.forward_with_ifm_hook(input, precision, memory)
+        }
+        InferenceBackend::NativeInt => {
+            let images = net.weight_images(precision);
+            let mut weights = NativeWeights::prepare(net);
+            weights.refresh(&images, memory);
+            let mut scratch = QuantScratch::new();
+            qexec::forward_native(net, &weights, input, precision, memory, &mut scratch)
+        }
+    }
+}
+
+/// FP32 has no quantized integer representation, so the native backend
+/// executes it on the simulated path.
+fn effective_backend(backend: InferenceBackend, precision: Precision) -> InferenceBackend {
+    if precision.is_integer() {
+        backend
+    } else {
+        InferenceBackend::SimulatedF32
+    }
 }
 
 /// Classification accuracy over `samples` when the network runs on
@@ -61,39 +151,110 @@ pub fn forward_with_faults(
 /// `memory.fork(sample index)` — so the returned accuracy and the
 /// accumulated [`ApproximateMemory::stats`] are bit-identical for any thread
 /// count.
+///
+/// An **empty** sample slice has no defined accuracy: the function returns
+/// [`f32::NAN`] as an explicit sentinel (distinguishable from a genuinely
+/// collapsed model's `0.0`); sweep consumers should treat NaN as "nothing
+/// evaluated", not as an accuracy.
 pub fn evaluate_with_faults(
     net: &Network,
     samples: &[(Tensor, usize)],
     precision: Precision,
     memory: &mut ApproximateMemory,
 ) -> f32 {
+    evaluate_with_faults_backend(
+        net,
+        samples,
+        precision,
+        memory,
+        InferenceBackend::SimulatedF32,
+    )
+}
+
+/// [`evaluate_with_faults`] on an explicit execution backend.
+///
+/// With [`InferenceBackend::SimulatedF32`] this is bit-for-bit the seed
+/// behavior. With [`InferenceBackend::NativeInt`] the same corrupted stored
+/// bits feed the exact integer kernels instead of being dequantized, which
+/// is substantially faster for the integer precisions and — integer
+/// accumulation being associative — equally thread-count invariant.
+///
+/// Both backends corrupt a copy of each weight site's cached clean bit image
+/// per refetch ([`Network::weight_images`]) rather than cloning and
+/// re-quantizing the network, so the per-refetch cost is proportional to the
+/// stored bits, not to the network object graph.
+pub fn evaluate_with_faults_backend(
+    net: &Network,
+    samples: &[(Tensor, usize)],
+    precision: Precision,
+    memory: &mut ApproximateMemory,
+    backend: InferenceBackend,
+) -> f32 {
     if samples.is_empty() {
-        return 0.0;
+        return f32::NAN;
     }
     // Pin every site's DRAM placement before forking so all forks agree on
     // addresses without having to communicate.
     memory.preallocate(net, precision);
+    // The clean quantized bit image of every weight site, captured once per
+    // evaluation; each refetch corrupts a copy of the stored bits.
+    let images = net.weight_images(precision);
 
-    // Process the batch in bounded windows so at most 16 corrupted weight
-    // copies are resident at once (a window is wide enough to keep every
-    // worker busy); the weight refetches inside each window draw
-    // sequentially from the parent memory's stream, in sample order, exactly
-    // as a fully sequential evaluation would.
-    const WINDOW: usize = 16 * WEIGHT_REFETCH_PERIOD;
+    let correct = match effective_backend(backend, precision) {
+        InferenceBackend::SimulatedF32 => {
+            evaluate_simulated(net, samples, precision, memory, &images)
+        }
+        InferenceBackend::NativeInt => evaluate_native(net, samples, precision, memory, &images),
+    };
+    correct as f32 / samples.len() as f32
+}
+
+thread_local! {
+    /// Reusable native-executor scratch buffers, one set per worker thread.
+    static SCRATCH: std::cell::RefCell<QuantScratch> =
+        std::cell::RefCell::new(QuantScratch::new());
+}
+
+/// Number of refetch slots a window needs.
+fn refetch_slots(window_len: usize) -> usize {
+    window_len.div_ceil(WEIGHT_REFETCH_PERIOD)
+}
+
+/// Samples per window: at most 16 corrupted weight copies are resident at
+/// once, wide enough to keep every worker busy.
+const WINDOW: usize = 16 * WEIGHT_REFETCH_PERIOD;
+
+fn evaluate_simulated(
+    net: &Network,
+    samples: &[(Tensor, usize)],
+    precision: Precision,
+    memory: &mut ApproximateMemory,
+    images: &[WeightImage],
+) -> usize {
+    // Reusable pool of corrupted network instances: cloned lazily (at most
+    // once per refetch slot, i.e. ≤ 16 times total) and re-loaded in place
+    // from the bit images on every refetch — the weight refetches inside
+    // each window draw sequentially from the parent memory's stream, in
+    // sample order, exactly as a fully sequential evaluation would.
+    let mut pool: Vec<Network> = Vec::new();
     let mut correct = 0usize;
     for (w, window) in samples.chunks(WINDOW).enumerate() {
-        let corrupted: Vec<Network> = window
-            .chunks(WEIGHT_REFETCH_PERIOD)
-            .map(|_| corrupted_network(net, precision, memory))
-            .collect();
+        let slots = refetch_slots(window.len());
+        while pool.len() < slots {
+            pool.push(net.clone());
+        }
+        for slot in pool.iter_mut().take(slots) {
+            slot.load_corrupted_weights(images, memory);
+        }
 
         let base = w * WINDOW;
         let shared: &ApproximateMemory = memory;
+        let pool_ref: &[Network] = &pool;
         let outcomes = eden_par::par_map(window, |i, (x, label)| {
             // Lane key is the sample's *global* index: invariant under both
             // the window size and the thread count.
             let mut lane = shared.fork((base + i) as u64);
-            let net = &corrupted[i / WEIGHT_REFETCH_PERIOD];
+            let net = &pool_ref[i / WEIGHT_REFETCH_PERIOD];
             let logits = net.forward_with_ifm_hook(x, precision, &mut lane);
             (logits.argmax() == *label, lane.stats())
         });
@@ -105,14 +266,70 @@ pub fn evaluate_with_faults(
             memory.merge_stats(stats);
         }
     }
-    correct as f32 / samples.len() as f32
+    correct
+}
+
+fn evaluate_native(
+    net: &Network,
+    samples: &[(Tensor, usize)],
+    precision: Precision,
+    memory: &mut ApproximateMemory,
+    images: &[WeightImage],
+) -> usize {
+    // Same window/refetch structure as the simulated path (and the same load
+    // stream consumption), but the refetched state is the integer parameter
+    // set instead of an f32 network copy.
+    let mut pool: Vec<NativeWeights> = Vec::new();
+    let mut correct = 0usize;
+    for (w, window) in samples.chunks(WINDOW).enumerate() {
+        let slots = refetch_slots(window.len());
+        while pool.len() < slots {
+            pool.push(NativeWeights::prepare(net));
+        }
+        for slot in pool.iter_mut().take(slots) {
+            slot.refresh(images, memory);
+        }
+
+        let base = w * WINDOW;
+        let shared: &ApproximateMemory = memory;
+        let pool_ref: &[NativeWeights] = &pool;
+        let outcomes = eden_par::par_map(window, |i, (x, label)| {
+            let mut lane = shared.fork((base + i) as u64);
+            let weights = &pool_ref[i / WEIGHT_REFETCH_PERIOD];
+            // Per-worker scratch: buffer contents never influence results,
+            // so reuse across samples is thread-count invariant.
+            let logits = SCRATCH.with(|s| {
+                qexec::forward_native(net, weights, x, precision, &mut lane, &mut s.borrow_mut())
+            });
+            (logits.argmax() == *label, lane.stats())
+        });
+
+        for (ok, stats) in outcomes {
+            if ok {
+                correct += 1;
+            }
+            memory.merge_stats(stats);
+        }
+    }
+    correct
 }
 
 /// Accuracy of the same network on reliable memory (the baseline the
-/// user-specified accuracy target refers to).
+/// user-specified accuracy target refers to). Returns the [`f32::NAN`]
+/// sentinel for an empty sample slice, like [`evaluate_with_faults`].
 pub fn evaluate_reliable(net: &Network, samples: &[(Tensor, usize)], precision: Precision) -> f32 {
+    evaluate_reliable_backend(net, samples, precision, InferenceBackend::SimulatedF32)
+}
+
+/// [`evaluate_reliable`] on an explicit execution backend.
+pub fn evaluate_reliable_backend(
+    net: &Network,
+    samples: &[(Tensor, usize)],
+    precision: Precision,
+    backend: InferenceBackend,
+) -> f32 {
     let mut memory = ApproximateMemory::reliable(0);
-    evaluate_with_faults(net, samples, precision, &mut memory)
+    evaluate_with_faults_backend(net, samples, precision, &mut memory, backend)
 }
 
 /// Evaluates accuracy at a sequence of bit error rates using a template
@@ -122,6 +339,9 @@ pub fn evaluate_reliable(net: &Network, samples: &[(Tensor, usize)], precision: 
 /// The BER points are mutually independent — each builds its own
 /// [`ApproximateMemory`] from `seed` — so they fan out over the `eden-par`
 /// pool, nesting with the batch parallelism inside [`evaluate_with_faults`].
+///
+/// An empty `samples` slice yields [`f32::NAN`] at every point (the
+/// [`evaluate_with_faults`] sentinel) rather than a fake `0.0` curve.
 pub fn accuracy_vs_ber(
     net: &Network,
     samples: &[(Tensor, usize)],
@@ -131,6 +351,30 @@ pub fn accuracy_vs_ber(
     bounding: Option<crate::bounding::BoundingLogic>,
     seed: u64,
 ) -> Vec<(f64, f32)> {
+    accuracy_vs_ber_backend(
+        net,
+        samples,
+        precision,
+        template,
+        bers,
+        bounding,
+        seed,
+        InferenceBackend::SimulatedF32,
+    )
+}
+
+/// [`accuracy_vs_ber`] on an explicit execution backend.
+#[allow(clippy::too_many_arguments)]
+pub fn accuracy_vs_ber_backend(
+    net: &Network,
+    samples: &[(Tensor, usize)],
+    precision: Precision,
+    template: &eden_dram::ErrorModel,
+    bers: &[f64],
+    bounding: Option<crate::bounding::BoundingLogic>,
+    seed: u64,
+    backend: InferenceBackend,
+) -> Vec<(f64, f32)> {
     eden_par::par_map(bers, |_, &ber| {
         let model = template.with_ber(ber);
         let mut memory = ApproximateMemory::from_model(model, seed);
@@ -139,7 +383,7 @@ pub fn accuracy_vs_ber(
         }
         (
             ber,
-            evaluate_with_faults(net, samples, precision, &mut memory),
+            evaluate_with_faults_backend(net, samples, precision, &mut memory, backend),
         )
     })
 }
@@ -233,6 +477,97 @@ mod tests {
         assert!(
             with >= baseline - 0.25,
             "with bounding, 1e-3 BER should retain most accuracy ({with} vs {baseline})"
+        );
+    }
+
+    #[test]
+    fn empty_sample_slice_returns_the_nan_sentinel() {
+        let (net, _) = trained_lenet(4);
+        let mut memory = ApproximateMemory::reliable(0);
+        let acc = evaluate_with_faults(&net, &[], Precision::Int8, &mut memory);
+        assert!(
+            acc.is_nan(),
+            "empty slice must be distinguishable, got {acc}"
+        );
+        assert!(evaluate_reliable(&net, &[], Precision::Int8).is_nan());
+        // The BER sweep propagates the sentinel per point instead of
+        // reporting a fake collapsed-accuracy curve.
+        let template = ErrorModel::uniform(0.01, 0.5, 1);
+        let curve = accuracy_vs_ber(
+            &net,
+            &[],
+            Precision::Int8,
+            &template,
+            &[1e-4, 1e-2],
+            None,
+            3,
+        );
+        assert_eq!(curve.len(), 2);
+        assert!(curve.iter().all(|(_, acc)| acc.is_nan()));
+    }
+
+    #[test]
+    fn native_backend_matches_simulated_accuracy_on_reliable_memory() {
+        let (net, dataset) = trained_lenet(5);
+        let samples = &dataset.test()[..32];
+        for precision in [Precision::Int4, Precision::Int8, Precision::Int16] {
+            let sim =
+                evaluate_reliable_backend(&net, samples, precision, InferenceBackend::SimulatedF32);
+            let native =
+                evaluate_reliable_backend(&net, samples, precision, InferenceBackend::NativeInt);
+            // Integer accumulation is the more exact of the two paths; on a
+            // trained classifier the per-sample argmax agrees.
+            assert_eq!(sim, native, "{precision}");
+        }
+    }
+
+    #[test]
+    fn native_backend_on_fp32_falls_back_to_simulated() {
+        let (net, dataset) = trained_lenet(6);
+        let samples = &dataset.test()[..16];
+        let mut a = ApproximateMemory::from_model(ErrorModel::uniform(0.01, 0.5, 2), 7);
+        let mut b = a.clone();
+        let sim = evaluate_with_faults_backend(
+            &net,
+            samples,
+            Precision::Fp32,
+            &mut a,
+            InferenceBackend::SimulatedF32,
+        );
+        let native = evaluate_with_faults_backend(
+            &net,
+            samples,
+            Precision::Fp32,
+            &mut b,
+            InferenceBackend::NativeInt,
+        );
+        assert_eq!(sim.to_bits(), native.to_bits());
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn native_backend_degrades_under_high_ber_like_simulated() {
+        let (net, dataset) = trained_lenet(7);
+        let samples = &dataset.test()[..32];
+        let template = ErrorModel::uniform(0.01, 0.5, 3);
+        let curve = accuracy_vs_ber_backend(
+            &net,
+            samples,
+            Precision::Int8,
+            &template,
+            &[1e-5, 0.4],
+            None,
+            9,
+            InferenceBackend::NativeInt,
+        );
+        let baseline =
+            evaluate_reliable_backend(&net, samples, Precision::Int8, InferenceBackend::NativeInt);
+        let chance = 1.0 / dataset.spec().num_classes as f32;
+        assert!(curve[0].1 >= baseline - 0.1, "tiny BER should not hurt");
+        assert!(
+            curve[1].1 <= baseline - 0.15 || curve[1].1 <= chance + 0.2,
+            "40% BER should destroy accuracy (got {})",
+            curve[1].1
         );
     }
 

@@ -36,30 +36,42 @@ pub struct CoarseMapping {
     pub operating_point: OperatingPoint,
 }
 
+/// Scans the full reduction sweep `[step, limit)` and returns the **largest**
+/// reduction whose BER stays within `tolerable` — deliberately *not* stopping
+/// at the first failing step: measured (or interpolated) vendor curves can
+/// dip back under the budget after a local bump, and an early `break` would
+/// under-report the achievable reduction for such non-monotonic curves.
+fn largest_passing_reduction(
+    step: f32,
+    limit: f32,
+    tolerable: f64,
+    ber_at: impl Fn(f32) -> f64,
+) -> f32 {
+    let mut best = 0.0f32;
+    let mut d = step;
+    while d < limit {
+        if ber_at(d) <= tolerable {
+            best = d;
+        }
+        d += step;
+    }
+    best
+}
+
 /// Finds the most aggressive ΔVDD and ΔtRCD a DNN tolerates on a vendor's
 /// DRAM (Table 3). Each reduction is chosen independently, as in the paper's
-/// energy (voltage) and performance (latency) evaluations.
+/// energy (voltage) and performance (latency) evaluations; each sweep scans
+/// its full range so non-monotonic dips in the vendor curve cannot hide a
+/// deeper passing operating point.
 pub fn coarse_map(max_tolerable_ber: f64, vendor: &VendorProfile) -> CoarseMapping {
-    let mut vdd_reduction = 0.0f32;
-    let mut dv = VDD_STEP;
-    while dv < NOMINAL_VDD - 0.5 {
-        if vendor.ber_voltage(dv) <= max_tolerable_ber {
-            vdd_reduction = dv;
-        } else {
-            break;
-        }
-        dv += VDD_STEP;
-    }
-    let mut trcd_reduction = 0.0f32;
-    let mut dt = TRCD_STEP;
-    while dt < NOMINAL_TRCD_NS - 1.0 {
-        if vendor.ber_trcd(dt) <= max_tolerable_ber {
-            trcd_reduction = dt;
-        } else {
-            break;
-        }
-        dt += TRCD_STEP;
-    }
+    let vdd_reduction =
+        largest_passing_reduction(VDD_STEP, NOMINAL_VDD - 0.5, max_tolerable_ber, |dv| {
+            vendor.ber_voltage(dv)
+        });
+    let trcd_reduction =
+        largest_passing_reduction(TRCD_STEP, NOMINAL_TRCD_NS - 1.0, max_tolerable_ber, |dt| {
+            vendor.ber_trcd(dt)
+        });
     CoarseMapping {
         max_tolerable_ber,
         vdd_reduction,
@@ -248,6 +260,29 @@ mod tests {
             assert!(cur.trcd_reduction_ns >= prev.trcd_reduction_ns);
             prev = cur;
         }
+    }
+
+    #[test]
+    fn dipped_curve_recovers_the_deeper_passing_reduction() {
+        // A synthetic measured curve with a local bump at 0.10 V that dips
+        // back under the budget at 0.15 V before failing for good: the sweep
+        // must report 0.15, not stop at 0.05 (the pre-fix behavior).
+        let dipped = |dv: f32| -> f64 {
+            match (dv * 100.0).round() as i32 {
+                5 => 1e-6,
+                10 => 2e-2, // bump above the 5e-3 budget
+                15 => 4e-3, // dips back under
+                _ => 8e-2,  // fails for good beyond
+            }
+        };
+        let best = largest_passing_reduction(0.05, 0.60, 5e-3, dipped);
+        assert!((best - 0.15).abs() < 1e-6, "got {best}");
+        // A tolerance below every point maps to no reduction at all.
+        assert_eq!(largest_passing_reduction(0.05, 0.60, 1e-9, dipped), 0.0);
+        // Monotone curves are unaffected: the largest passing step wins.
+        let monotone = |dv: f32| (dv as f64) * 0.1;
+        let best = largest_passing_reduction(0.05, 0.60, 0.021, monotone);
+        assert!((best - 0.20).abs() < 1e-6, "got {best}");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use crate::bounding::{BoundingLogic, CorrectionPolicy};
 use crate::characterize::{coarse_characterize, CoarseCharacterization, CoarseConfig};
 use crate::curricular::{CurricularConfig, CurricularTrainer};
+use crate::inference::InferenceBackend;
 use crate::mapping::{coarse_map, CoarseMapping};
 use eden_dnn::{Dataset, Network};
 use eden_dram::characterize::{characterize_bank, CharacterizeConfig};
@@ -26,6 +27,10 @@ pub struct EdenConfig {
     pub accuracy_drop: f32,
     /// Numeric precision of the deployed DNN.
     pub precision: Precision,
+    /// Execution backend for every characterization evaluation (curricular
+    /// retraining always trains in f32: backpropagation needs the float
+    /// graph).
+    pub backend: InferenceBackend,
     /// Operating point at which the target device is characterized for
     /// error-model fitting.
     pub profiling_point: OperatingPoint,
@@ -49,6 +54,7 @@ impl Default for EdenConfig {
         Self {
             accuracy_drop: 0.01,
             precision: Precision::Int8,
+            backend: InferenceBackend::default(),
             profiling_point: OperatingPoint::with_vdd_reduction(0.30),
             retraining: CurricularConfig::default(),
             characterization: CoarseConfig::default(),
@@ -132,6 +138,7 @@ impl EdenPipeline {
         let coarse_cfg = CoarseConfig {
             accuracy_drop: cfg.accuracy_drop,
             seed: cfg.seed,
+            backend: cfg.backend,
             ..cfg.characterization
         };
         let baseline = coarse_characterize(

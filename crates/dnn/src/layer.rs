@@ -1,6 +1,7 @@
 //! The [`Layer`] trait implemented by all network building blocks.
 
-use eden_tensor::Tensor;
+use crate::qexec::{QuantLayerParams, QuantScratch};
+use eden_tensor::{QuantTensor, Tensor};
 
 /// A named, mutable view of a layer parameter and its accumulated gradient.
 pub struct ParamEntry<'a> {
@@ -71,6 +72,40 @@ pub trait Layer: LayerClone + Send + Sync {
         let mut n = 0;
         self.visit_params_ref(&mut |_, t| n += t.len());
         n
+    }
+
+    /// Whether this layer implements [`Layer::quant_forward`]. Layers that
+    /// return `true` must have exactly a `weight` and a `bias` parameter (in
+    /// visit order) and must return `Some` from `quant_forward`.
+    fn supports_quant_forward(&self) -> bool {
+        false
+    }
+
+    /// Native quantized forward pass: consumes the (corrupted) quantized
+    /// input activations and the layer's corrupted quantized parameters, and
+    /// produces the f32 layer output via exact integer accumulation — without
+    /// dequantizing the inputs. Layers without a native implementation return
+    /// `None`, and the executor falls back to `dequantize` + [`Layer::forward`].
+    fn quant_forward(
+        &self,
+        input: &QuantTensor,
+        params: &QuantLayerParams,
+        scratch: &mut QuantScratch,
+    ) -> Option<Tensor> {
+        let _ = (input, params, scratch);
+        None
+    }
+
+    /// Quantized-domain forward for parameterless layers whose f32 forward
+    /// **commutes exactly with dequantization** — order-preserving maps
+    /// (ReLU, max pooling: dequantization is monotone, so integer and float
+    /// comparisons select the same values) and pure reshapes (flatten).
+    /// Consumes the corrupted quantized input and produces the f32 output
+    /// directly, bit-identical to `self.forward(&input.dequantize())` in a
+    /// single pass. Layers without such an implementation return `None`.
+    fn quant_forward_activation(&self, input: &QuantTensor) -> Option<Tensor> {
+        let _ = input;
+        None
     }
 
     /// Approximate number of multiply-accumulate operations needed to

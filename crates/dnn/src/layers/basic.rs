@@ -2,7 +2,7 @@
 
 use crate::layer::{Layer, ParamEntry};
 use eden_tensor::ops;
-use eden_tensor::Tensor;
+use eden_tensor::{QuantTensor, Tensor};
 
 /// Rectified linear unit activation.
 #[derive(Debug, Clone)]
@@ -49,6 +49,27 @@ impl Layer for Relu {
 
     fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
         input_shape.to_vec()
+    }
+
+    /// `relu(q·s) = max(q, 0)·s` exactly (the scale is positive), so the
+    /// native path applies ReLU in the integer domain and dequantizes the
+    /// survivors in the same pass.
+    fn quant_forward_activation(&self, input: &QuantTensor) -> Option<Tensor> {
+        let scale = input.scale();
+        let bits = input.bits_per_value();
+        let data: Vec<f32> = input
+            .stored()
+            .iter()
+            .map(|&s| {
+                let q = eden_tensor::bits::sign_extend(s, bits);
+                if q > 0 {
+                    q as f32 * scale
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        Some(Tensor::from_vec(data, input.shape()))
     }
 }
 
@@ -104,6 +125,46 @@ impl Layer for MaxPool2d {
             (h - self.size) / self.stride + 1,
             (w - self.size) / self.stride + 1,
         ]
+    }
+
+    /// Dequantization is strictly monotone on the quantized integers, so
+    /// selecting window maxima by integer comparison (first strict maximum
+    /// wins, like [`ops::maxpool2d`]) picks values that dequantize to
+    /// exactly the f32-path output — without materializing the f32 input or
+    /// the training-path argmax buffer.
+    fn quant_forward_activation(&self, input: &QuantTensor) -> Option<Tensor> {
+        let shape = input.shape();
+        let (c, h, w) = (shape[0], shape[1], shape[2]);
+        let (oh, ow) = (
+            (h - self.size) / self.stride + 1,
+            (w - self.size) / self.stride + 1,
+        );
+        let scale = input.scale();
+        let bits = input.bits_per_value();
+        let stored = input.stored();
+        let mut out = vec![0.0f32; c * oh * ow];
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = i32::MIN;
+                    for ky in 0..self.size {
+                        let iy = oy * self.stride + ky;
+                        for kx in 0..self.size {
+                            let ix = ox * self.stride + kx;
+                            let q = eden_tensor::bits::sign_extend(
+                                stored[ch * h * w + iy * w + ix],
+                                bits,
+                            );
+                            if q > best {
+                                best = q;
+                            }
+                        }
+                    }
+                    out[ch * oh * ow + oy * ow + ox] = best as f32 * scale;
+                }
+            }
+        }
+        Some(Tensor::from_vec(out, &[c, oh, ow]))
     }
 }
 
@@ -201,6 +262,15 @@ impl Layer for Flatten {
     fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
         vec![input_shape.iter().product()]
     }
+
+    /// Flattening is a pure reshape: dequantize straight into the rank-1
+    /// output.
+    fn quant_forward_activation(&self, input: &QuantTensor) -> Option<Tensor> {
+        let mut data = vec![0.0f32; input.len()];
+        input.dequantize_into(&mut data);
+        let n = data.len();
+        Some(Tensor::from_vec(data, &[n]))
+    }
 }
 
 #[cfg(test)]
@@ -241,6 +311,44 @@ mod tests {
         assert_eq!(l.output_shape(&[16, 4, 4]), vec![16]);
         let x = Tensor::full(&[2, 2, 2], 3.0);
         assert_eq!(l.forward(&x).data(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn quantized_activations_match_dequantize_then_forward_exactly() {
+        // The quantized-domain implementations must be bit-identical to
+        // dequantize + f32 forward for every integer precision, including
+        // negative values, ties inside pooling windows, and zeros.
+        use eden_tensor::Precision;
+        let data: Vec<f32> = (0..2 * 6 * 6)
+            .map(|i| ((i as f32 * 0.7).sin() * 3.0 * ((i % 5) as f32 - 2.0)).round() * 0.25)
+            .collect();
+        let t = Tensor::from_vec(data, &[2, 6, 6]);
+        let layers: Vec<Box<dyn Layer>> = vec![
+            Box::new(Relu::new("relu")),
+            Box::new(MaxPool2d::new("pool", 2, 2)),
+            Box::new(MaxPool2d::new("pool3", 3, 1)),
+            Box::new(Flatten::new("flatten")),
+        ];
+        for p in [Precision::Int4, Precision::Int8, Precision::Int16] {
+            let q = QuantTensor::quantize(&t, p);
+            for layer in &layers {
+                let reference = layer.forward(&q.dequantize());
+                let native = layer
+                    .quant_forward_activation(&q)
+                    .expect("activation layers implement the quantized path");
+                assert_eq!(native, reference, "{} at {p}", layer.name());
+            }
+        }
+    }
+
+    #[test]
+    fn global_avg_pool_has_no_quantized_path() {
+        // Averaging does not commute with dequantization rounding, so the
+        // layer must fall back to the f32 path rather than approximate it.
+        let q = QuantTensor::quantize(&Tensor::zeros(&[2, 2, 2]), eden_tensor::Precision::Int8);
+        assert!(GlobalAvgPool::new("gap")
+            .quant_forward_activation(&q)
+            .is_none());
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! loop nest — see [`eden_tensor::ops::conv2d`].
 
 use crate::layer::{Layer, ParamEntry};
+use crate::qexec::{self, QuantLayerParams, QuantScratch};
 use eden_tensor::ops::{self, Conv2dParams};
-use eden_tensor::{init, Tensor};
+use eden_tensor::{init, QuantTensor, Tensor};
 use rand::rngs::StdRng;
 
 /// A standard 2-D convolution layer, evaluated as one GEMM per sample.
@@ -122,6 +123,61 @@ impl Layer for Conv2d {
     fn macs(&self, input_shape: &[usize]) -> u64 {
         let out = self.output_shape(input_shape);
         (out[1] * out[2]) as u64 * self.weight.len() as u64
+    }
+
+    fn supports_quant_forward(&self) -> bool {
+        true
+    }
+
+    /// Integer im2col + integer GEMM with exact accumulation, then one fused
+    /// `bias + acc · s_w·s_x` epilogue — the quantized mirror of
+    /// [`eden_tensor::ops::conv2d`].
+    fn quant_forward(
+        &self,
+        input: &QuantTensor,
+        params: &QuantLayerParams,
+        scratch: &mut QuantScratch,
+    ) -> Option<Tensor> {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 3, "conv quant_forward input must be [c, h, w]");
+        let (in_c, h, w) = (shape[0], shape[1], shape[2]);
+        assert_eq!(
+            in_c, self.in_channels,
+            "conv quant_forward channel mismatch"
+        );
+        let p = self.params;
+        let (oh, ow) = (p.out_size(h), p.out_size(w));
+        let ck = in_c * p.kernel * p.kernel;
+        if qexec::use_i16_kernels_for(input.precision(), ck) {
+            // Sign-extension is fused into the patch gather: the stored bits
+            // feed the kernel without an intermediate integer buffer.
+            ops::im2col_i16_t_stored(
+                input.stored(),
+                input.bits_per_value(),
+                in_c,
+                h,
+                w,
+                p,
+                &mut scratch.cols16,
+            );
+        } else {
+            input.q_values_into(&mut scratch.qx);
+            ops::im2col_i32(&scratch.qx, in_c, h, w, p, &mut scratch.cols);
+        }
+        let scale = params.weight_scale * input.scale();
+        let mut y = vec![0.0f32; self.out_channels * oh * ow];
+        qexec::quant_gemm_bias_into(
+            self.out_channels,
+            ck,
+            oh * ow,
+            params,
+            scratch,
+            input.precision(),
+            scale,
+            &params.bias,
+            &mut y,
+        );
+        Some(Tensor::from_vec(y, &[self.out_channels, oh, ow]))
     }
 }
 

@@ -5,7 +5,8 @@
 //! after their im2col lowering.
 
 use crate::layer::{Layer, ParamEntry};
-use eden_tensor::{init, ops, Tensor};
+use crate::qexec::{self, QuantLayerParams, QuantScratch};
+use eden_tensor::{init, ops, QuantTensor, Tensor};
 use rand::rngs::StdRng;
 
 /// A fully-connected layer computing `y = W x + b`.
@@ -126,6 +127,36 @@ impl Layer for Dense {
 
     fn output_shape(&self, _input_shape: &[usize]) -> Vec<usize> {
         vec![self.out_features()]
+    }
+
+    fn supports_quant_forward(&self) -> bool {
+        true
+    }
+
+    /// `y = (Σ qW·qx) · s_w·s_x + bias`, with the sum in exact integer
+    /// arithmetic — one matvec kernel call plus a fused scale/bias epilogue.
+    fn quant_forward(
+        &self,
+        input: &QuantTensor,
+        params: &QuantLayerParams,
+        scratch: &mut QuantScratch,
+    ) -> Option<Tensor> {
+        let (m, k) = (self.out_features(), self.in_features());
+        assert_eq!(input.len(), k, "dense quant_forward input length");
+        if qexec::use_i16_kernels_for(input.precision(), k) {
+            input.q_values_i16_into(&mut scratch.qx16);
+        } else {
+            input.q_values_into(&mut scratch.qx);
+        }
+        let scale = params.weight_scale * input.scale();
+        let mut y = vec![0.0f32; m];
+        qexec::quant_matvec_into(m, k, params, scratch, input.precision(), scale, &mut y);
+        // Bias added after the product, mirroring the f32 path's
+        // `matmul` + `axpy` ordering.
+        for (o, &b) in y.iter_mut().zip(&params.bias) {
+            *o += b;
+        }
+        Some(Tensor::from_vec(y, &[m]))
     }
 }
 

@@ -32,6 +32,7 @@ pub mod metrics;
 pub mod network;
 pub mod optimizer;
 pub mod pruning;
+pub mod qexec;
 pub mod quantized;
 pub mod train;
 pub mod zoo;

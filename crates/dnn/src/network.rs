@@ -18,10 +18,30 @@ pub struct DataTypeInfo {
 }
 
 impl DataTypeInfo {
-    /// Size in bytes at a given precision.
+    /// Size in bytes at a given precision, rounded **up** to whole bytes: an
+    /// int4 tensor with an odd element count still occupies its final
+    /// half-filled byte, and DRAM capacity checks must reserve it.
     pub fn bytes(&self, precision: Precision) -> u64 {
-        (self.elements as u64 * precision.bits() as u64) / 8
+        (self.elements as u64 * precision.bits() as u64).div_ceil(8)
     }
+}
+
+/// The clean quantized bit image of one layer parameter, captured once per
+/// evaluation (see [`Network::weight_images`]) so each weight refetch
+/// corrupts a copy of the stored bits instead of cloning and re-quantizing
+/// the whole network.
+#[derive(Debug, Clone)]
+pub struct WeightImage {
+    /// The weight data site the parameter belongs to (one per layer — a
+    /// layer's weight and bias share the site, as in
+    /// [`Network::corrupt_weights`]).
+    pub site: DataSite,
+    /// Index of the owning layer.
+    pub layer_index: usize,
+    /// Parameter name within the layer (e.g. `"weight"`, `"bias"`).
+    pub param_name: String,
+    /// The clean quantized stored representation.
+    pub clean: QuantTensor,
 }
 
 /// A feed-forward network: an ordered sequence of layers applied to a single
@@ -129,6 +149,14 @@ impl Network {
         }
     }
 
+    /// Visits every parameter with the index of its owning layer (same order
+    /// as [`Network::visit_params`]).
+    pub fn visit_params_layers(&mut self, f: &mut dyn FnMut(usize, ParamEntry<'_>)) {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            layer.visit_params(&mut |p| f(i, p));
+        }
+    }
+
     /// Collects all accumulated gradients in visit order.
     pub fn collect_grads(&mut self) -> Vec<Tensor> {
         let mut out = Vec::new();
@@ -212,20 +240,30 @@ impl Network {
         total
     }
 
-    /// Total bytes of all weights at a precision.
+    /// Total bytes of all weights at a precision, rounding each parameter
+    /// tensor **up** to whole bytes (tensors are stored at byte granularity,
+    /// so an int4 tensor with an odd element count pads its last byte —
+    /// truncating `bits/8` under-reported Table 1 footprints and DRAM
+    /// capacity requirements for such models).
     pub fn weight_bytes(&self, precision: Precision) -> u64 {
-        (self.param_count() as u64 * precision.bits() as u64) / 8
+        let bits = precision.bits() as u64;
+        let mut total = 0u64;
+        self.visit_params_ref(&mut |_, t| total += (t.len() as u64 * bits).div_ceil(8));
+        total
     }
 
-    /// Total bytes of all IFMs (per inference of one sample) at a precision.
+    /// Total bytes of all IFMs (per inference of one sample) at a precision,
+    /// rounding each IFM tensor up to whole bytes like
+    /// [`Network::weight_bytes`].
     pub fn ifm_bytes(&self, precision: Precision) -> u64 {
+        let bits = precision.bits() as u64;
         let mut total = 0u64;
         let mut cur: Vec<usize> = self.input_shape.clone();
         for layer in &self.layers {
-            total += cur.iter().product::<usize>() as u64;
+            total += (cur.iter().product::<usize>() as u64 * bits).div_ceil(8);
             cur = layer.output_shape(&cur);
         }
-        total * precision.bits() as u64 / 8
+        total
     }
 
     /// Corrupts all layer weights in place by round-tripping them through the
@@ -240,6 +278,53 @@ impl Network {
                 *p.value = q.dequantize();
             });
         }
+    }
+
+    /// Captures the clean quantized bit image of every layer parameter, in
+    /// the exact order [`Network::corrupt_weights`] visits them.
+    ///
+    /// Computed once per evaluation, the images let each weight refetch
+    /// corrupt a *copy* of the stored bits
+    /// ([`Network::load_corrupted_weights`]) instead of re-cloning and
+    /// re-quantizing the network — quantization is deterministic, so the
+    /// corrupted results are bit-identical to the clone-based path.
+    pub fn weight_images(&self, precision: Precision) -> Vec<WeightImage> {
+        let mut out = Vec::new();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let site = DataSite::new(i, layer.name(), DataKind::Weight);
+            layer.visit_params_ref(&mut |name, t| {
+                out.push(WeightImage {
+                    site: site.clone(),
+                    layer_index: i,
+                    param_name: name.to_string(),
+                    clean: QuantTensor::quantize(t, precision),
+                });
+            });
+        }
+        out
+    }
+
+    /// Overwrites this network's parameters with freshly corrupted copies of
+    /// the cached clean bit images: per parameter, clone the stored bits,
+    /// apply `hook`, dequantize into the existing parameter buffer. Consumes
+    /// `hook` load streams in exactly the same order (and with exactly the
+    /// same tensors) as [`Network::corrupt_weights`] on a clean copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` does not match this network's parameter structure.
+    pub fn load_corrupted_weights(&mut self, images: &[WeightImage], hook: &mut dyn FaultHook) {
+        let mut cursor = 0usize;
+        self.visit_params_layers(&mut |layer_index, p| {
+            let img = images.get(cursor).expect("missing weight image");
+            cursor += 1;
+            debug_assert_eq!(img.layer_index, layer_index, "weight image order");
+            debug_assert_eq!(img.param_name, p.name, "weight image order");
+            let mut q = img.clean.clone();
+            hook.corrupt(&img.site, &mut q);
+            q.dequantize_into(p.value.data_mut());
+        });
+        assert_eq!(cursor, images.len(), "unconsumed weight images");
     }
 
     /// Pure forward pass in which every layer's IFM is round-tripped through
@@ -358,6 +443,46 @@ mod tests {
             4 * net.weight_bytes(Precision::Int8)
         );
         assert!(net.ifm_bytes(Precision::Int8) > 0);
+    }
+
+    #[test]
+    fn int4_footprints_round_up_odd_tensors() {
+        // Dense(3→1): weight has 3 elements (12 bits → 2 bytes), bias has 1
+        // (4 bits → 1 byte). Truncating division reported 2 bytes total.
+        let mut rng = seeded_rng(0);
+        let mut net = Network::new("odd", &[3]);
+        net.push(Dense::new("fc", 3, 1, &mut rng));
+        assert_eq!(net.weight_bytes(Precision::Int4), 3);
+        // IFM of the only layer: 3 int4 elements → 2 bytes.
+        assert_eq!(net.ifm_bytes(Precision::Int4), 2);
+        // DataTypeInfo::bytes rounds up the same way.
+        let sites = net.data_sites();
+        assert_eq!(sites[0].bytes(Precision::Int4), 2); // 3-element IFM
+        assert_eq!(sites[1].bytes(Precision::Int4), 2); // 4 params
+    }
+
+    #[test]
+    fn load_corrupted_weights_matches_clone_based_corruption() {
+        let net = tiny_net(8);
+        // A content-independent hook that flips bit 0 of every value.
+        let mut flip_all = |_: &DataSite, q: &mut QuantTensor| {
+            for i in 0..q.len() {
+                q.flip_bit(i, 0);
+            }
+        };
+        let mut cloned = net.clone();
+        cloned.corrupt_weights(Precision::Int8, &mut flip_all);
+
+        let images = net.weight_images(Precision::Int8);
+        let mut refreshed = net.clone();
+        refreshed.load_corrupted_weights(&images, &mut flip_all);
+
+        let x = Tensor::full(&[1, 8, 8], 0.3);
+        assert_eq!(cloned.forward(&x), refreshed.forward(&x));
+        // Refreshing again from the same clean images replays identically
+        // (no cumulative corruption).
+        refreshed.load_corrupted_weights(&images, &mut flip_all);
+        assert_eq!(cloned.forward(&x), refreshed.forward(&x));
     }
 
     #[test]

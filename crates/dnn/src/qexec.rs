@@ -1,0 +1,541 @@
+//! Native quantized execution (the `NativeInt` inference backend).
+//!
+//! The simulated-quantization path dequantizes every corrupted tensor back to
+//! f32 and runs the float layers. This module instead executes dense and
+//! convolutional layers directly on the **sign-extended quantized integers**:
+//! the corrupted stored bits feed integer GEMM kernels
+//! ([`eden_tensor::ops::gemm_i32`] / [`eden_tensor::ops::gemm_i64`]) with
+//! exact i32/i64 accumulation, and a single fused epilogue applies the
+//! per-tensor scale product and the bias. Layers without a native
+//! implementation (normalization, composite blocks) fall back to their f32
+//! forward on a weight-refreshed clone of the network, so any architecture
+//! runs under either backend.
+//!
+//! Integer accumulation is exact and associative, so the native path is
+//! bit-identical for any thread count by construction. Against the simulated
+//! f32 path it agrees to within f32 rounding of the per-layer accumulation
+//! chains (the integer path is the *more* accurate of the two); the
+//! workspace-level `backend_parity` property test pins that bound across
+//! precisions, shapes and thread counts.
+
+use crate::layer::Layer;
+use crate::network::{Network, WeightImage};
+use crate::{DataKind, DataSite, FaultHook};
+use eden_tensor::{ops, Precision, QuantTensor, Tensor};
+
+/// Corrupted quantized parameters of one native layer, rebuilt on every
+/// weight refetch from the cached clean bit images.
+#[derive(Debug, Clone, Default)]
+pub struct QuantLayerParams {
+    /// Sign-extended corrupted quantized weight values (visit order) — the
+    /// i32 operand form used by the i64-accumulating int16 kernels.
+    pub qweight: Vec<i32>,
+    /// The same weights narrowed to i16 (int4/int8 only): operands for the
+    /// widening-multiply dot kernels ([`eden_tensor::ops::gemm_dot_i16`]).
+    pub qweight16: Vec<i16>,
+    /// Dequantization scale of the (corrupted) weight tensor.
+    pub weight_scale: f32,
+    /// Dequantized corrupted bias values.
+    pub bias: Vec<f32>,
+}
+
+/// Reusable per-worker scratch buffers of the native executor. One instance
+/// serves every layer of every sample a worker processes; no buffer is
+/// reallocated once it has reached its high-water size.
+#[derive(Debug, Clone, Default)]
+pub struct QuantScratch {
+    /// Sign-extended input activations of the current layer (i32 form).
+    pub qx: Vec<i32>,
+    /// Sign-extended input activations narrowed to i16 (int4/int8 path).
+    pub qx16: Vec<i16>,
+    /// Integer im2col patch matrix (i32 form, `[ck, ohw]`).
+    pub cols: Vec<i32>,
+    /// Transposed i16 im2col patch matrix (`[ohw, ck]`, int4/int8 path).
+    pub cols16: Vec<i16>,
+    /// i32 accumulators (int4/int8).
+    pub acc_i32: Vec<i32>,
+    /// i64 accumulators (int16).
+    pub acc_i64: Vec<i64>,
+}
+
+impl QuantScratch {
+    /// Creates empty scratch buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Whether a precision's operands fit the widening-i16 dot kernels with i32
+/// accumulation (int4/int8; int16 sums need i64 and take the i32-operand
+/// kernels instead).
+pub fn use_i16_kernels(precision: Precision) -> bool {
+    precision.is_integer() && precision.bits() <= 8
+}
+
+/// Whether a `(precision, reduction depth)` pair takes the i16 dot kernels:
+/// the operands must fit i16 **and** the i32 accumulator must provably hold
+/// the `k`-term sums. Layers use this to prepare the matching operand form;
+/// the kernel dispatch below uses the same predicate, so the two can never
+/// disagree.
+pub fn use_i16_kernels_for(precision: Precision, k: usize) -> bool {
+    use_i16_kernels(precision) && !needs_wide_accumulator(precision, k)
+}
+
+/// Whether integer accumulation over `k` products of `precision` operands
+/// needs an i64 accumulator. int4/int8 sums fit i32 for any practical depth;
+/// a single int16 product already reaches 2³⁰.
+pub fn needs_wide_accumulator(precision: Precision, k: usize) -> bool {
+    match precision.q_min() {
+        // FP32 never reaches the integer kernels.
+        None => true,
+        Some(q_min) => {
+            let q = (q_min as i64).abs();
+            (k as i64).saturating_mul(q * q) >= i32::MAX as i64
+        }
+    }
+}
+
+/// The per-layer corrupted-weight state of one refetch under the native
+/// backend: integer parameters for native layers, plus (only when the
+/// network contains parameterized layers without a native implementation) a
+/// fallback f32 network whose weights are refreshed alongside.
+#[derive(Clone)]
+pub struct NativeWeights {
+    native: Vec<Option<QuantLayerParams>>,
+    fallback: Option<Network>,
+}
+
+impl NativeWeights {
+    /// Allocates the native-weight structure for `net`: one integer parameter
+    /// slot per layer that supports native execution, and a fallback network
+    /// clone only if some parameterized layer does not.
+    pub fn prepare(net: &Network) -> Self {
+        let mut native = Vec::with_capacity(net.depth());
+        let mut needs_fallback = false;
+        for layer in net.layers() {
+            if layer.param_count() == 0 {
+                native.push(None);
+                continue;
+            }
+            if layer.supports_quant_forward() && has_weight_bias_params(layer.as_ref()) {
+                native.push(Some(QuantLayerParams::default()));
+            } else {
+                native.push(None);
+                needs_fallback = true;
+            }
+        }
+        Self {
+            native,
+            fallback: needs_fallback.then(|| net.clone()),
+        }
+    }
+
+    /// The integer parameters of layer `i`, if it executes natively.
+    pub fn native_params(&self, i: usize) -> Option<&QuantLayerParams> {
+        self.native.get(i).and_then(|p| p.as_ref())
+    }
+
+    /// Whether a fallback f32 network is maintained.
+    pub fn has_fallback(&self) -> bool {
+        self.fallback.is_some()
+    }
+
+    /// Re-loads every weight site from approximate memory: corrupts a copy of
+    /// each cached clean bit image (consuming `hook` load streams in the same
+    /// order as [`Network::load_corrupted_weights`]) and rebuilds the integer
+    /// parameters — plus the fallback network's f32 weights where needed.
+    pub fn refresh(&mut self, images: &[WeightImage], hook: &mut dyn FaultHook) {
+        // Corrupt in image order so both backends consume identical load
+        // streams; stash the corrupted tensors destined for the fallback net.
+        let mut for_fallback = std::collections::VecDeque::new();
+        for img in images {
+            let mut q = img.clean.clone();
+            hook.corrupt(&img.site, &mut q);
+            match self
+                .native
+                .get_mut(img.layer_index)
+                .and_then(|p| p.as_mut())
+            {
+                Some(params) => {
+                    if img.param_name == "weight" {
+                        q.q_values_into(&mut params.qweight);
+                        params.weight_scale = q.scale();
+                        if use_i16_kernels(q.precision()) {
+                            params.qweight16.clear();
+                            params
+                                .qweight16
+                                .extend(params.qweight.iter().map(|&v| v as i16));
+                        }
+                    } else {
+                        params.bias.clear();
+                        params.bias.resize(q.len(), 0.0);
+                        q.dequantize_into(&mut params.bias);
+                    }
+                }
+                None => for_fallback.push_back((img.layer_index, q)),
+            }
+        }
+        let native = &self.native;
+        if let Some(fb) = &mut self.fallback {
+            fb.visit_params_layers(&mut |layer_index, p| {
+                // Natively executed layers keep their integer params; the
+                // fallback net only refreshes the layers that run as f32.
+                if native.get(layer_index).is_some_and(|n| n.is_some()) {
+                    return;
+                }
+                let (expected, q) = for_fallback
+                    .pop_front()
+                    .expect("fallback weight image missing");
+                assert_eq!(expected, layer_index, "weight image order mismatch");
+                q.dequantize_into(p.value.data_mut());
+            });
+            assert!(for_fallback.is_empty(), "unconsumed fallback weight image");
+        } else {
+            assert!(
+                for_fallback.is_empty(),
+                "corrupted weights for a non-native layer but no fallback network"
+            );
+        }
+    }
+
+    fn fallback_layer(&self, i: usize) -> &dyn Layer {
+        self.fallback
+            .as_ref()
+            .expect("parameterized non-native layer requires a fallback network")
+            .layers()[i]
+            .as_ref()
+    }
+}
+
+/// Whether the layer's parameters are exactly `weight` then `bias` (the
+/// structure the generic [`QuantLayerParams`] builder understands).
+fn has_weight_bias_params(layer: &dyn Layer) -> bool {
+    let mut names = Vec::new();
+    layer.visit_params_ref(&mut |name, _| names.push(name.to_string()));
+    names == ["weight", "bias"]
+}
+
+/// One forward pass under the native integer backend: every layer's IFM is
+/// quantized, corrupted by `hook` at the same [`DataSite`]s (and therefore
+/// with the same load-stream sequence) as the simulated path, and then
+/// executed natively where the layer supports it — without ever dequantizing
+/// the activations for dense/conv layers.
+///
+/// # Panics
+///
+/// Panics if `precision` is not an integer precision (FP32 has no quantized
+/// representation to execute on), or if `weights` was prepared for a
+/// different architecture.
+pub fn forward_native(
+    net: &Network,
+    weights: &NativeWeights,
+    input: &Tensor,
+    precision: Precision,
+    hook: &mut dyn FaultHook,
+    scratch: &mut QuantScratch,
+) -> Tensor {
+    assert!(
+        precision.is_integer(),
+        "the native backend requires an integer precision, got {precision}"
+    );
+    assert_eq!(
+        weights.native.len(),
+        net.depth(),
+        "weights/network mismatch"
+    );
+    let mut x = input.clone();
+    // One stored-bits buffer serves every layer boundary of the sample.
+    let mut qt: Option<QuantTensor> = None;
+    for (i, layer) in net.layers().iter().enumerate() {
+        let site = DataSite::new(i, layer.name(), DataKind::Ifm);
+        let q = match &mut qt {
+            Some(q) => {
+                q.requantize_from(&x, precision);
+                q
+            }
+            None => qt.insert(QuantTensor::quantize(&x, precision)),
+        };
+        hook.corrupt(&site, q);
+        x = match weights.native_params(i) {
+            Some(params) => layer
+                .quant_forward(q, params, scratch)
+                .expect("layer advertised native quantized support"),
+            None => match layer.quant_forward_activation(q) {
+                // Parameterless layers that commute with dequantization
+                // (ReLU, max pool, flatten) run in the quantized domain.
+                Some(out) => out,
+                None => {
+                    let l: &dyn Layer = if layer.param_count() > 0 {
+                        weights.fallback_layer(i)
+                    } else {
+                        layer.as_ref()
+                    };
+                    l.forward(&q.dequantize())
+                }
+            },
+        };
+    }
+    x
+}
+
+/// Integer matrix–vector product dispatching on accumulator width, with the
+/// fused `y[o] = acc · scale (+ bias later)` epilogue left to the caller.
+/// Used by [`crate::layers::Dense::quant_forward`].
+pub fn quant_matvec_into(
+    m: usize,
+    k: usize,
+    params: &QuantLayerParams,
+    scratch: &mut QuantScratch,
+    precision: Precision,
+    scale: f32,
+    out: &mut [f32],
+) {
+    if use_i16_kernels_for(precision, k) {
+        scratch.acc_i32.clear();
+        scratch.acc_i32.resize(m, 0);
+        ops::matvec_i16(m, k, &params.qweight16, &scratch.qx16, &mut scratch.acc_i32);
+        for (o, &acc) in out.iter_mut().zip(&scratch.acc_i32) {
+            *o = acc as f32 * scale;
+        }
+    } else if needs_wide_accumulator(precision, k) {
+        scratch.acc_i64.clear();
+        scratch.acc_i64.resize(m, 0);
+        ops::matvec_i64(m, k, &params.qweight, &scratch.qx, &mut scratch.acc_i64);
+        for (o, &acc) in out.iter_mut().zip(&scratch.acc_i64) {
+            *o = acc as f32 * scale;
+        }
+    } else {
+        scratch.acc_i32.clear();
+        scratch.acc_i32.resize(m, 0);
+        ops::matvec_i32(m, k, &params.qweight, &scratch.qx, &mut scratch.acc_i32);
+        for (o, &acc) in out.iter_mut().zip(&scratch.acc_i32) {
+            *o = acc as f32 * scale;
+        }
+    }
+}
+
+/// Integer GEMM over the im2col patch matrix in `scratch.cols`, dispatching
+/// on accumulator width; writes `bias[row] + acc · scale` into `out`
+/// (row-major `m×n`). Used by [`crate::layers::Conv2d::quant_forward`].
+#[allow(clippy::too_many_arguments)]
+pub fn quant_gemm_bias_into(
+    m: usize,
+    k: usize,
+    n: usize,
+    params: &QuantLayerParams,
+    scratch: &mut QuantScratch,
+    precision: Precision,
+    scale: f32,
+    bias: &[f32],
+    out: &mut [f32],
+) {
+    if use_i16_kernels(precision) {
+        scratch.acc_i32.clear();
+        scratch.acc_i32.resize(m * n, 0);
+        ops::gemm_dot_i16(
+            m,
+            k,
+            n,
+            &params.qweight16,
+            &scratch.cols16,
+            &mut scratch.acc_i32,
+        );
+        epilogue_i32(m, n, &scratch.acc_i32, scale, bias, out);
+    } else if needs_wide_accumulator(precision, k) {
+        scratch.acc_i64.clear();
+        scratch.acc_i64.resize(m * n, 0);
+        ops::gemm_i64(
+            m,
+            k,
+            n,
+            &params.qweight,
+            &scratch.cols,
+            &mut scratch.acc_i64,
+        );
+        for row in 0..m {
+            let b = bias[row];
+            for (o, &acc) in out[row * n..(row + 1) * n]
+                .iter_mut()
+                .zip(&scratch.acc_i64[row * n..(row + 1) * n])
+            {
+                *o = b + acc as f32 * scale;
+            }
+        }
+    } else {
+        scratch.acc_i32.clear();
+        scratch.acc_i32.resize(m * n, 0);
+        ops::gemm_i32(
+            m,
+            k,
+            n,
+            &params.qweight,
+            &scratch.cols,
+            &mut scratch.acc_i32,
+        );
+        epilogue_i32(m, n, &scratch.acc_i32, scale, bias, out);
+    }
+}
+
+/// Fused `out[row·n + j] = bias[row] + acc[row·n + j] · scale` epilogue.
+fn epilogue_i32(m: usize, n: usize, acc: &[i32], scale: f32, bias: &[f32], out: &mut [f32]) {
+    for row in 0..m {
+        let b = bias[row];
+        for (o, &a) in out[row * n..(row + 1) * n]
+            .iter_mut()
+            .zip(&acc[row * n..(row + 1) * n])
+        {
+            *o = b + a as f32 * scale;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Conv2d, Dense, Flatten, MaxPool2d, Relu};
+    use crate::NoFaults;
+    use eden_tensor::init::{seeded_rng, uniform};
+
+    fn tiny_net(seed: u64) -> Network {
+        let mut rng = seeded_rng(seed);
+        let mut net = Network::new("tiny", &[2, 7, 7]);
+        net.push(Conv2d::new("conv1", 2, 3, 3, 1, 1, &mut rng))
+            .push(Relu::new("relu1"))
+            .push(MaxPool2d::new("pool1", 2, 2))
+            .push(Flatten::new("flatten"))
+            .push(Dense::new("fc", 3 * 3 * 3, 5, &mut rng));
+        net
+    }
+
+    fn native_forward(net: &Network, x: &Tensor, precision: Precision) -> Tensor {
+        let images = net.weight_images(precision);
+        let mut weights = NativeWeights::prepare(net);
+        weights.refresh(&images, &mut NoFaults);
+        let mut scratch = QuantScratch::new();
+        forward_native(net, &weights, x, precision, &mut NoFaults, &mut scratch)
+    }
+
+    /// The simulated-f32 reference: weights round-tripped through the stored
+    /// representation (as a weight refetch does), IFMs quantized per layer.
+    fn simulated_forward(net: &Network, x: &Tensor, precision: Precision) -> Tensor {
+        let mut c = net.clone();
+        c.corrupt_weights(precision, &mut NoFaults);
+        c.forward_with_ifm_hook(x, precision, &mut NoFaults)
+    }
+
+    #[test]
+    fn native_forward_tracks_simulated_path_closely() {
+        let net = tiny_net(3);
+        let mut rng = seeded_rng(7);
+        let x = uniform(&[2, 7, 7], -1.0, 1.0, &mut rng);
+        for p in [Precision::Int4, Precision::Int8, Precision::Int16] {
+            let simulated = simulated_forward(&net, &x, p);
+            let native = native_forward(&net, &x, p);
+            assert_eq!(native.shape(), simulated.shape());
+            for (a, b) in native.data().iter().zip(simulated.data()) {
+                assert!(
+                    (a - b).abs() <= 1e-3 * (1.0 + b.abs()),
+                    "{p}: native {a} vs simulated {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn native_forward_is_deterministic() {
+        let net = tiny_net(4);
+        let mut rng = seeded_rng(9);
+        let x = uniform(&[2, 7, 7], -1.0, 1.0, &mut rng);
+        let a = native_forward(&net, &x, Precision::Int8);
+        let b = native_forward(&net, &x, Precision::Int8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lenet_style_net_needs_no_fallback() {
+        let weights = NativeWeights::prepare(&tiny_net(0));
+        assert!(!weights.has_fallback());
+    }
+
+    #[test]
+    fn norm_layer_forces_fallback_network() {
+        let mut rng = seeded_rng(1);
+        let mut net = Network::new("norm", &[2, 4, 4]);
+        net.push(crate::layers::ChannelNorm::new("cn", 2))
+            .push(Flatten::new("flatten"))
+            .push(Dense::new("fc", 32, 3, &mut rng));
+        let weights = NativeWeights::prepare(&net);
+        assert!(weights.has_fallback());
+        // The fallback path still produces outputs close to the f32 path.
+        let x = uniform(&[2, 4, 4], -1.0, 1.0, &mut rng);
+        let simulated = simulated_forward(&net, &x, Precision::Int8);
+        let native = native_forward(&net, &x, Precision::Int8);
+        for (a, b) in native.data().iter().zip(simulated.data()) {
+            assert!((a - b).abs() <= 1e-3 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn wide_accumulator_selection_is_conservative() {
+        assert!(!needs_wide_accumulator(Precision::Int8, 1 << 16));
+        assert!(needs_wide_accumulator(Precision::Int8, 1 << 18));
+        assert!(needs_wide_accumulator(Precision::Int16, 2));
+        assert!(!needs_wide_accumulator(Precision::Int4, 1 << 20));
+        // The combined predicate rejects the i16 kernels exactly when the
+        // i32 accumulator could overflow, even for i16-sized operands.
+        assert!(use_i16_kernels_for(Precision::Int8, 1 << 16));
+        assert!(!use_i16_kernels_for(Precision::Int8, 1 << 18));
+        assert!(!use_i16_kernels_for(Precision::Int16, 8));
+    }
+
+    #[test]
+    fn deep_int8_reductions_take_the_overflow_proof_path() {
+        // k = 2^18 int8 worst-case products sum to ~2^32, overflowing an i32
+        // accumulator — the dispatch must route such depths to the i64
+        // kernels even though the operands fit i16.
+        let k = 1 << 18;
+        let m = 2;
+        let mut rng = seeded_rng(0);
+        let mut layer = Dense::new("deep", k, m, &mut rng);
+        let big = Tensor::full(&[k], 1.0);
+        layer.visit_params(&mut |p| {
+            if p.name == "weight" {
+                *p.value = Tensor::full(&[m, k], 1.0);
+            }
+        });
+        let qx = QuantTensor::quantize(&big, Precision::Int8);
+        let images = {
+            let mut net = Network::new("deep", &[k]);
+            net.push(layer.clone());
+            net.weight_images(Precision::Int8)
+        };
+        let mut params = QuantLayerParams::default();
+        for img in &images {
+            let q = img.clean.clone();
+            if img.param_name == "weight" {
+                q.q_values_into(&mut params.qweight);
+                params.weight_scale = q.scale();
+                params.qweight16.clear();
+                params
+                    .qweight16
+                    .extend(params.qweight.iter().map(|&v| v as i16));
+            } else {
+                params.bias = vec![0.0; q.len()];
+            }
+        }
+        let mut scratch = QuantScratch::new();
+        let y = layer
+            .quant_forward(&qx, &params, &mut scratch)
+            .expect("dense is native");
+        // All-ones tensors quantize to q = 127 with scale 1/127, so the true
+        // sum is k·127² · (1/127)² = k exactly; an overflowed i32
+        // accumulator would wrap to a wildly different value.
+        let expected = k as f32;
+        for &v in y.data() {
+            assert!(
+                (v - expected).abs() <= expected * 1e-3,
+                "deep reduction overflowed: got {v}, expected ~{expected}"
+            );
+        }
+    }
+}

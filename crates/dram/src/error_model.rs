@@ -112,6 +112,33 @@ impl fmt::Display for ErrorModelKind {
 /// by the spatially-correlated models.
 const HOT_LINE_FRACTION: f64 = 0.08;
 
+/// One weak cell within an injection chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct WeakCell {
+    /// Value index relative to the chunk start.
+    local_value: u32,
+    /// Bit within the value (0 = LSB).
+    bit: u8,
+}
+
+/// Precomputed weak-cell positions of one tensor placement (see
+/// [`ErrorModel::weak_map`]): ascending bit positions grouped per
+/// [`INJECT_CHUNK_VALUES`] chunk, so [`ErrorModel::inject_seeded_mapped`]
+/// consumes each chunk's RNG stream exactly like the full scan.
+#[derive(Debug, Clone, Default)]
+pub struct WeakCellMap {
+    chunks: Vec<Vec<WeakCell>>,
+    values: usize,
+    bits: u32,
+}
+
+impl WeakCellMap {
+    /// Total number of weak cells in the placement.
+    pub fn weak_cells(&self) -> usize {
+        self.chunks.iter().map(|c| c.len()).sum()
+    }
+}
+
 /// A parameterized, seedable DRAM error model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ErrorModel {
@@ -307,6 +334,90 @@ impl ErrorModel {
         self.inject_seeded(tensor, layout, stream_seed)
     }
 
+    /// Enumerates the weak cells of a `values × bits` tensor placed at
+    /// `layout`: ascending bit positions, grouped by injection chunk so the
+    /// per-chunk RNG streams of [`ErrorModel::inject_seeded`] are consumed
+    /// in exactly the same order.
+    ///
+    /// Weak-cell membership depends only on the cell *address* (all four
+    /// models derive it from the model seed and the row/bitline — never from
+    /// the stored data), so the map can be computed once per placement and
+    /// reused across every load of that site. That turns the per-load
+    /// injection cost from O(total bits) hash evaluations into O(weak cells)
+    /// RNG draws — a ~`1/P` speedup at the BERs the paper operates at.
+    pub fn weak_map(&self, values: usize, bits: u32, layout: &Layout) -> WeakCellMap {
+        let mut chunks = Vec::with_capacity(values.div_ceil(INJECT_CHUNK_VALUES));
+        if self.weak_fraction > 0.0 {
+            for chunk_start in (0..values).step_by(INJECT_CHUNK_VALUES) {
+                let chunk_end = (chunk_start + INJECT_CHUNK_VALUES).min(values);
+                let mut weak = Vec::new();
+                for i in chunk_start..chunk_end {
+                    for b in 0..bits {
+                        let offset = i as u64 * bits as u64 + b as u64;
+                        let (row, bitline) = layout.locate(offset);
+                        if self.is_weak(row, bitline) {
+                            weak.push(WeakCell {
+                                local_value: (i - chunk_start) as u32,
+                                bit: b as u8,
+                            });
+                        }
+                    }
+                }
+                chunks.push(weak);
+            }
+        }
+        WeakCellMap {
+            chunks,
+            values,
+            bits,
+        }
+    }
+
+    /// [`ErrorModel::inject_seeded`] over a precomputed [`WeakCellMap`] —
+    /// bit-identical flips (the map enumerates exactly the cells the full
+    /// scan would visit, in the same order, and the per-access RNG draws are
+    /// consumed identically), at O(weak cells) instead of O(total bits) per
+    /// load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map was computed for a different tensor geometry.
+    pub fn inject_seeded_mapped(
+        &self,
+        tensor: &mut QuantTensor,
+        stream_seed: u64,
+        map: &WeakCellMap,
+    ) -> u64 {
+        if self.weak_fraction == 0.0 {
+            return 0;
+        }
+        assert_eq!(map.values, tensor.len(), "weak map geometry (values)");
+        assert_eq!(
+            map.bits,
+            tensor.bits_per_value(),
+            "weak map geometry (bits)"
+        );
+        let flips = eden_par::par_map_chunks_mut(
+            tensor.stored_mut(),
+            INJECT_CHUNK_VALUES,
+            |chunk_idx, chunk| {
+                let mut rng = StdRng::seed_from_u64(stream(stream_seed, chunk_idx as u64));
+                let mut flipped = 0u64;
+                for cell in &map.chunks[chunk_idx] {
+                    let word = &mut chunk[cell.local_value as usize];
+                    let stored_one = (*word >> cell.bit) & 1 == 1;
+                    let f = self.weak_flip_prob(0, 0, stored_one);
+                    if rng.gen::<f64>() < f {
+                        *word ^= 1 << cell.bit;
+                        flipped += 1;
+                    }
+                }
+                flipped
+            },
+        );
+        flips.iter().sum()
+    }
+
     /// Injects bit errors into a stored tensor, drawing per-access failures
     /// from independent per-chunk RNG streams derived from `stream_seed`
     /// (see [`INJECT_CHUNK_VALUES`]). Chunks are corrupted in parallel on the
@@ -394,6 +505,46 @@ mod tests {
     fn stored(n: usize, precision: Precision) -> QuantTensor {
         let t = Tensor::from_vec((0..n).map(|i| (i as f32 * 0.37).sin()).collect(), &[n]);
         QuantTensor::quantize(&t, precision)
+    }
+
+    #[test]
+    fn mapped_injection_is_bit_identical_to_the_full_scan() {
+        // The weak-map fast path must reproduce the full O(total bits) scan
+        // exactly — same flips, same count — for every model kind, layout
+        // and precision, including multi-chunk tensors.
+        for model in [
+            ErrorModel::uniform(0.02, 0.5, 3),
+            ErrorModel::bitline(0.02, 0.5, 0.8, 3),
+            ErrorModel::wordline(0.02, 0.5, 0.8, 3),
+            ErrorModel::data_dependent(0.02, 0.7, 0.3, 3),
+            ErrorModel::uniform(0.02, 0.5, 3).with_ber(1e-3),
+            ErrorModel::uniform(0.0, 0.5, 3),
+        ] {
+            for (n, precision, layout) in [
+                (10_000, Precision::Int8, Layout::new(512, 3)),
+                (5_000, Precision::Int16, Layout::default()),
+                (131, Precision::Int4, Layout::new(2048, 0)),
+            ] {
+                let clean = stored(n, precision);
+                let mut scanned = clean.clone();
+                let scan_flips = model.inject_seeded(&mut scanned, &layout, 77);
+                let map = model.weak_map(n, precision.bits(), &layout);
+                let mut mapped = clean.clone();
+                let map_flips = model.inject_seeded_mapped(&mut mapped, 77, &map);
+                assert_eq!(scan_flips, map_flips, "{model} flip count at n={n}");
+                assert_eq!(scanned, mapped, "{model} flip pattern at n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn weak_map_counts_scale_with_weak_fraction() {
+        let layout = Layout::default();
+        let dense = ErrorModel::uniform(0.05, 0.5, 1).weak_map(10_000, 8, &layout);
+        let sparse = ErrorModel::uniform(0.001, 0.5, 1).weak_map(10_000, 8, &layout);
+        assert!(dense.weak_cells() > 10 * sparse.weak_cells());
+        let none = ErrorModel::uniform(0.0, 0.5, 1).weak_map(10_000, 8, &layout);
+        assert_eq!(none.weak_cells(), 0);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! module.
 
 use crate::device::ApproxDramDevice;
-use crate::error_model::{ErrorModel, Layout};
+use crate::error_model::{ErrorModel, Layout, WeakCellMap};
 use crate::geometry::Partition;
 use crate::params::OperatingPoint;
 use eden_tensor::QuantTensor;
@@ -81,6 +81,46 @@ impl Injector {
     /// for any thread count. The injection itself runs chunk-parallel on the
     /// current `eden-par` pool.
     pub fn corrupt_placed_seeded(
+        &self,
+        tensor: &mut QuantTensor,
+        layout: &Layout,
+        stream_seed: u64,
+    ) -> u64 {
+        self.corrupt_placed_seeded_mapped(tensor, layout, stream_seed, None)
+    }
+
+    /// [`Injector::corrupt_placed_seeded`] with an optional precomputed
+    /// [`WeakCellMap`] for the placement. With a map, a model-backed injector
+    /// skips the per-bit weak-cell scan and touches only the weak cells —
+    /// bit-identical flips at a fraction of the cost (see
+    /// [`ErrorModel::inject_seeded_mapped`]). Without one (or for a
+    /// device-backed injector, whose failures are resampled per read) it
+    /// falls back to the full scan.
+    pub fn corrupt_placed_seeded_mapped(
+        &self,
+        tensor: &mut QuantTensor,
+        layout: &Layout,
+        stream_seed: u64,
+        map: Option<&WeakCellMap>,
+    ) -> u64 {
+        match (self, map) {
+            (Injector::Model { model, .. }, Some(map)) => {
+                model.inject_seeded_mapped(tensor, stream_seed, map)
+            }
+            _ => self.corrupt_placed_seeded_scan(tensor, layout, stream_seed),
+        }
+    }
+
+    /// Precomputes the weak-cell map of a `values × bits` placement for a
+    /// model-backed injector (`None` for device-backed injectors).
+    pub fn weak_map(&self, values: usize, bits: u32, layout: &Layout) -> Option<WeakCellMap> {
+        match self {
+            Injector::Model { model, .. } => Some(model.weak_map(values, bits, layout)),
+            Injector::Device { .. } => None,
+        }
+    }
+
+    fn corrupt_placed_seeded_scan(
         &self,
         tensor: &mut QuantTensor,
         layout: &Layout,

@@ -54,6 +54,266 @@ pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32])
     }
 }
 
+/// Shared body of the integer GEMM kernels: same cache blocking as [`gemm`],
+/// accumulating `out (m×n) += a (m×k) · b (k×n)` over sign-extended quantized
+/// operands. Integer addition is associative, so (unlike the f32 kernel) the
+/// result is independent of accumulation order by construction; the inner
+/// loop is branchless, which lets it vectorize better than the
+/// sparsity-skipping f32 nest.
+fn gemm_int_impl<T>(m: usize, k: usize, n: usize, a: &[i32], b: &[i32], out: &mut [T])
+where
+    T: Copy + From<i32> + std::ops::AddAssign + std::ops::Mul<Output = T>,
+{
+    assert!(a.len() >= m * k, "integer gemm: lhs slice too short");
+    assert!(b.len() >= k * n, "integer gemm: rhs slice too short");
+    assert!(out.len() >= m * n, "integer gemm: out slice too short");
+    for kk in (0..k).step_by(GEMM_KC) {
+        let k_end = (kk + GEMM_KC).min(k);
+        for ii in (0..m).step_by(GEMM_MC) {
+            let i_end = (ii + GEMM_MC).min(m);
+            for i in ii..i_end {
+                let arow = &a[i * k..i * k + k];
+                let orow = &mut out[i * n..i * n + n];
+                for p in kk..k_end {
+                    let av = T::from(arow[p]);
+                    let brow = &b[p * n..p * n + n];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * T::from(bv);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Integer GEMM with **i32 accumulation**: `out (m×n) += a (m×k) · b (k×n)`.
+///
+/// This is the native quantized-inference kernel for int4/int8 operands. The
+/// caller guarantees no overflow: with `|a|, |b| ≤ Q` every accumulator stays
+/// within `k · Q²`, so int8 (`Q = 128`) is safe for any `k ≤ 2¹⁷` and int4
+/// for any practical `k`. Use [`gemm_i64`] for int16 operands, whose products
+/// alone reach 2³⁰.
+pub fn gemm_i32(m: usize, k: usize, n: usize, a: &[i32], b: &[i32], out: &mut [i32]) {
+    gemm_int_impl::<i32>(m, k, n, a, b, out);
+}
+
+/// Integer GEMM with **i64 accumulation** — the overflow-proof variant used
+/// for int16 operands (and any shape where `k · Q²` could exceed `i32`).
+pub fn gemm_i64(m: usize, k: usize, n: usize, a: &[i32], b: &[i32], out: &mut [i64]) {
+    gemm_int_impl::<i64>(m, k, n, a, b, out);
+}
+
+/// Shared body of the integer matrix–vector kernels:
+/// `out (m) += a (m×k) · x (k)`.
+///
+/// A dense layer applied to one sample is a GEMM with `n = 1`; a dedicated
+/// kernel avoids the blocked GEMM's per-column overhead on that degenerate
+/// shape.
+fn matvec_int_impl<T>(m: usize, k: usize, a: &[i32], x: &[i32], out: &mut [T])
+where
+    T: Copy + From<i32> + std::ops::AddAssign + std::ops::Mul<Output = T>,
+{
+    assert!(a.len() >= m * k, "integer matvec: matrix slice too short");
+    assert!(x.len() >= k, "integer matvec: vector slice too short");
+    assert!(out.len() >= m, "integer matvec: out slice too short");
+    for (o, arow) in out.iter_mut().zip(a.chunks_exact(k)) {
+        let mut acc = *o;
+        for (&av, &xv) in arow.iter().zip(x) {
+            acc += T::from(av) * T::from(xv);
+        }
+        *o = acc;
+    }
+}
+
+/// Integer matrix–vector product with i32 accumulation (int4/int8 operands;
+/// see [`gemm_i32`] for the overflow contract).
+pub fn matvec_i32(m: usize, k: usize, a: &[i32], x: &[i32], out: &mut [i32]) {
+    matvec_int_impl::<i32>(m, k, a, x, out);
+}
+
+/// Integer matrix–vector product with i64 accumulation (int16 operands).
+pub fn matvec_i64(m: usize, k: usize, a: &[i32], x: &[i32], out: &mut [i64]) {
+    matvec_int_impl::<i64>(m, k, a, x, out);
+}
+
+/// Widening i16 dot product with i32 accumulation.
+///
+/// On x86-64 this uses `pmaddwd` (`_mm_madd_epi16`, part of baseline SSE2 —
+/// unconditionally available on the architecture): 8 widening multiplies and
+/// 4 pairwise adds per instruction, roughly twice the multiply–accumulate
+/// throughput of the 4-wide f32 kernels. This is the core of the int4/int8
+/// native-inference speedup. Integer addition is associative, so the
+/// vectorized lane order produces exactly the scalar result.
+///
+/// Overflow contract (inherited by callers): pairwise products must fit i32
+/// after pairing and lane sums must fit i32 — satisfied by int4/int8
+/// operands (`|q| ≤ 128`, pair ≤ 2¹⁵) at any depth `k ≤ 2¹⁷`.
+#[inline]
+fn dot_i16(a: &[i16], b: &[i16]) -> i32 {
+    let n = a.len().min(b.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::arch::x86_64::*;
+        // SAFETY: SSE2 is part of the x86-64 baseline, and all loads are
+        // unaligned (`loadu`) within the bounds checked by `n`.
+        unsafe {
+            // Two independent accumulators hide the multiply-add latency.
+            let mut acc0 = _mm_setzero_si128();
+            let mut acc1 = _mm_setzero_si128();
+            let pairs = n / 16;
+            for i in 0..pairs {
+                let p = i * 16;
+                let va0 = _mm_loadu_si128(a.as_ptr().add(p) as *const __m128i);
+                let vb0 = _mm_loadu_si128(b.as_ptr().add(p) as *const __m128i);
+                acc0 = _mm_add_epi32(acc0, _mm_madd_epi16(va0, vb0));
+                let va1 = _mm_loadu_si128(a.as_ptr().add(p + 8) as *const __m128i);
+                let vb1 = _mm_loadu_si128(b.as_ptr().add(p + 8) as *const __m128i);
+                acc1 = _mm_add_epi32(acc1, _mm_madd_epi16(va1, vb1));
+            }
+            let mut done = pairs * 16;
+            if done + 8 <= n {
+                let va = _mm_loadu_si128(a.as_ptr().add(done) as *const __m128i);
+                let vb = _mm_loadu_si128(b.as_ptr().add(done) as *const __m128i);
+                acc0 = _mm_add_epi32(acc0, _mm_madd_epi16(va, vb));
+                done += 8;
+            }
+            let acc = _mm_add_epi32(acc0, acc1);
+            let hi = _mm_unpackhi_epi64(acc, acc);
+            let sum2 = _mm_add_epi32(acc, hi);
+            let swapped = _mm_shuffle_epi32(sum2, 0b01);
+            let mut sum = _mm_cvtsi128_si32(_mm_add_epi32(sum2, swapped));
+            for i in done..n {
+                sum += *a.get_unchecked(i) as i32 * *b.get_unchecked(i) as i32;
+            }
+            sum
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let mut acc = 0i32;
+        for (&x, &y) in a[..n].iter().zip(&b[..n]) {
+            acc += x as i32 * y as i32;
+        }
+        acc
+    }
+}
+
+/// Four simultaneous i16 dot products over a 2×2 operand block
+/// (`a0·b0, a0·b1, a1·b0, a1·b1`): each loaded vector feeds two multiply–
+/// adds, halving the load traffic per MAC compared to four separate
+/// [`dot_i16`] calls. Same exactness and overflow contract.
+#[inline]
+fn dot4_i16(a0: &[i16], a1: &[i16], b0: &[i16], b1: &[i16]) -> (i32, i32, i32, i32) {
+    let n = a0.len().min(a1.len()).min(b0.len()).min(b1.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::arch::x86_64::*;
+        // SAFETY: SSE2 is part of the x86-64 baseline; all loads are
+        // unaligned and bounded by `n`.
+        unsafe {
+            let mut c00 = _mm_setzero_si128();
+            let mut c01 = _mm_setzero_si128();
+            let mut c10 = _mm_setzero_si128();
+            let mut c11 = _mm_setzero_si128();
+            let chunks = n / 8;
+            for i in 0..chunks {
+                let p = i * 8;
+                let va0 = _mm_loadu_si128(a0.as_ptr().add(p) as *const __m128i);
+                let va1 = _mm_loadu_si128(a1.as_ptr().add(p) as *const __m128i);
+                let vb0 = _mm_loadu_si128(b0.as_ptr().add(p) as *const __m128i);
+                let vb1 = _mm_loadu_si128(b1.as_ptr().add(p) as *const __m128i);
+                c00 = _mm_add_epi32(c00, _mm_madd_epi16(va0, vb0));
+                c01 = _mm_add_epi32(c01, _mm_madd_epi16(va0, vb1));
+                c10 = _mm_add_epi32(c10, _mm_madd_epi16(va1, vb0));
+                c11 = _mm_add_epi32(c11, _mm_madd_epi16(va1, vb1));
+            }
+            #[inline]
+            unsafe fn hsum(v: __m128i) -> i32 {
+                use std::arch::x86_64::*;
+                let hi = _mm_unpackhi_epi64(v, v);
+                let s = _mm_add_epi32(v, hi);
+                let sw = _mm_shuffle_epi32(s, 0b01);
+                _mm_cvtsi128_si32(_mm_add_epi32(s, sw))
+            }
+            let (mut s00, mut s01) = (hsum(c00), hsum(c01));
+            let (mut s10, mut s11) = (hsum(c10), hsum(c11));
+            for i in chunks * 8..n {
+                let (x0, x1) = (*a0.get_unchecked(i) as i32, *a1.get_unchecked(i) as i32);
+                let (y0, y1) = (*b0.get_unchecked(i) as i32, *b1.get_unchecked(i) as i32);
+                s00 += x0 * y0;
+                s01 += x0 * y1;
+                s10 += x1 * y0;
+                s11 += x1 * y1;
+            }
+            (s00, s01, s10, s11)
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        (
+            dot_i16(&a0[..n], &b0[..n]),
+            dot_i16(&a0[..n], &b1[..n]),
+            dot_i16(&a1[..n], &b0[..n]),
+            dot_i16(&a1[..n], &b1[..n]),
+        )
+    }
+}
+
+/// Dot-structured integer GEMM over i16 operands with i32 accumulation:
+/// `out[i·n + j] += Σ_p a[i·k + p] · bt[j·k + p]` — note `bt` is the rhs in
+/// **transposed** (`n×k`, row-major) layout, so every output element is one
+/// contiguous `dot_i16`-style reduction over both operands. The kernel
+/// walks 2×2 output blocks (`dot4_i16`) so every loaded operand vector is
+/// used twice.
+///
+/// Overflow contract as [`gemm_i32`]: safe for int4/int8 operands at any
+/// practical depth; int16 operands must use [`gemm_i64`].
+pub fn gemm_dot_i16(m: usize, k: usize, n: usize, a: &[i16], bt: &[i16], out: &mut [i32]) {
+    assert!(a.len() >= m * k, "gemm_dot_i16: lhs slice too short");
+    assert!(bt.len() >= n * k, "gemm_dot_i16: rhs slice too short");
+    assert!(out.len() >= m * n, "gemm_dot_i16: out slice too short");
+    let mut i = 0;
+    while i + 2 <= m {
+        let a0 = &a[i * k..(i + 1) * k];
+        let a1 = &a[(i + 1) * k..(i + 2) * k];
+        let mut j = 0;
+        while j + 2 <= n {
+            let b0 = &bt[j * k..(j + 1) * k];
+            let b1 = &bt[(j + 1) * k..(j + 2) * k];
+            let (s00, s01, s10, s11) = dot4_i16(a0, a1, b0, b1);
+            out[i * n + j] += s00;
+            out[i * n + j + 1] += s01;
+            out[(i + 1) * n + j] += s10;
+            out[(i + 1) * n + j + 1] += s11;
+            j += 2;
+        }
+        if j < n {
+            let b0 = &bt[j * k..(j + 1) * k];
+            out[i * n + j] += dot_i16(a0, b0);
+            out[(i + 1) * n + j] += dot_i16(a1, b0);
+        }
+        i += 2;
+    }
+    if i < m {
+        let a0 = &a[i * k..(i + 1) * k];
+        for (o, brow) in out[i * n..i * n + n].iter_mut().zip(bt.chunks_exact(k)) {
+            *o += dot_i16(a0, brow);
+        }
+    }
+}
+
+/// Integer matrix–vector product over i16 operands with i32 accumulation
+/// (`out[i] += Σ_p a[i·k + p] · x[p]`) — the dense-layer variant of
+/// [`gemm_dot_i16`].
+pub fn matvec_i16(m: usize, k: usize, a: &[i16], x: &[i16], out: &mut [i32]) {
+    assert!(a.len() >= m * k, "matvec_i16: matrix slice too short");
+    assert!(x.len() >= k, "matvec_i16: vector slice too short");
+    assert!(out.len() >= m, "matvec_i16: out slice too short");
+    for (o, arow) in out.iter_mut().zip(a.chunks_exact(k)).take(m) {
+        *o += dot_i16(arow, &x[..k]);
+    }
+}
+
 /// Matrix multiplication `a (m×k) * b (k×n) -> (m×n)`, backed by [`gemm`].
 ///
 /// # Panics
@@ -150,6 +410,129 @@ pub fn im2col(input: &Tensor, p: Conv2dParams) -> Tensor {
         }
     }
     Tensor::from_vec(cols, &[in_c * k * k, oh * ow])
+}
+
+/// Integer variant of [`im2col`] over a raw sign-extended `[in_c, h, w]`
+/// slice, writing the `[in_c·k·k, oh·ow]` patch matrix into `cols` (cleared
+/// and resized — callers reuse the buffer across layers and samples). Padding
+/// taps are zero, matching the f32 lowering exactly.
+pub fn im2col_i32(
+    input: &[i32],
+    in_c: usize,
+    h: usize,
+    w: usize,
+    p: Conv2dParams,
+    cols: &mut Vec<i32>,
+) {
+    assert!(input.len() >= in_c * h * w, "im2col_i32: input too short");
+    let (oh, ow) = (p.out_size(h), p.out_size(w));
+    let k = p.kernel;
+    cols.clear();
+    cols.resize(in_c * k * k * oh * ow, 0);
+    for ic in 0..in_c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ic * k + ky) * k + kx;
+                let dst = &mut cols[row * oh * ow..(row + 1) * oh * ow];
+                for oy in 0..oh {
+                    let iy = (oy * p.stride + ky) as isize - p.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let src_row =
+                        &input[ic * h * w + iy as usize * w..ic * h * w + (iy as usize + 1) * w];
+                    for ox in 0..ow {
+                        let ix = (ox * p.stride + kx) as isize - p.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        dst[oy * ow + ox] = src_row[ix as usize];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Transposed integer im2col over a raw sign-extended `[in_c, h, w]` slice:
+/// writes the **patch-major** `[oh·ow, in_c·k·k]` matrix into `cols`
+/// (cleared and resized), i.e. the transpose of [`im2col_i32`]'s layout.
+/// Row `oy·ow + ox` holds the full receptive-field patch of output position
+/// `(oy, ox)` contiguously, which is exactly the rhs layout
+/// [`gemm_dot_i16`] wants.
+pub fn im2col_i16_t(
+    input: &[i16],
+    in_c: usize,
+    h: usize,
+    w: usize,
+    p: Conv2dParams,
+    cols: &mut Vec<i16>,
+) {
+    im2col_i16_t_with(|i| input[i], input.len(), in_c, h, w, p, cols);
+}
+
+/// [`im2col_i16_t`] reading directly from the raw stored words of a
+/// quantized tensor, sign-extending on the fly — fuses the sign-extend pass
+/// into the patch gather so the native conv path never materializes the
+/// activation integers.
+pub fn im2col_i16_t_stored(
+    stored: &[u32],
+    bits: u32,
+    in_c: usize,
+    h: usize,
+    w: usize,
+    p: Conv2dParams,
+    cols: &mut Vec<i16>,
+) {
+    im2col_i16_t_with(
+        |i| crate::bits::sign_extend(stored[i], bits) as i16,
+        stored.len(),
+        in_c,
+        h,
+        w,
+        p,
+        cols,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn im2col_i16_t_with(
+    read: impl Fn(usize) -> i16,
+    len: usize,
+    in_c: usize,
+    h: usize,
+    w: usize,
+    p: Conv2dParams,
+    cols: &mut Vec<i16>,
+) {
+    assert!(len >= in_c * h * w, "im2col_i16_t: input too short");
+    let (oh, ow) = (p.out_size(h), p.out_size(w));
+    let k = p.kernel;
+    let ck = in_c * k * k;
+    cols.clear();
+    cols.resize(oh * ow * ck, 0);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let dst = &mut cols[(oy * ow + ox) * ck..(oy * ow + ox + 1) * ck];
+            for ic in 0..in_c {
+                for ky in 0..k {
+                    let iy = (oy * p.stride + ky) as isize - p.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let src_base = ic * h * w + iy as usize * w;
+                    let drow = &mut dst[(ic * k + ky) * k..(ic * k + ky + 1) * k];
+                    for (kx, d) in drow.iter_mut().enumerate() {
+                        let ix = (ox * p.stride + kx) as isize - p.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        *d = read(src_base + ix as usize);
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Folds an im2col-shaped gradient `[in_c·k·k, oh·ow]` back onto the input
@@ -517,6 +900,140 @@ mod tests {
             &mut out,
         );
         assert_eq!(out, vec![6.0, 7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn integer_gemm_matches_naive_reference() {
+        for (m, k, n) in [(1, 1, 1), (3, 5, 4), (65, 257, 7), (70, 513, 3)] {
+            let a: Vec<i32> = (0..m * k)
+                .map(|i| ((i * 37 + 11) % 255) as i32 - 127)
+                .collect();
+            let b: Vec<i32> = (0..k * n)
+                .map(|i| ((i * 53 + 7) % 255) as i32 - 127)
+                .collect();
+            let mut out32 = vec![0i32; m * n];
+            gemm_i32(m, k, n, &a, &b, &mut out32);
+            let mut out64 = vec![0i64; m * n];
+            gemm_i64(m, k, n, &a, &b, &mut out64);
+            let mut naive = vec![0i64; m * n];
+            for i in 0..m {
+                for p in 0..k {
+                    for j in 0..n {
+                        naive[i * n + j] += (a[i * k + p] * b[p * n + j]) as i64;
+                    }
+                }
+            }
+            assert_eq!(out64, naive, "gemm_i64 mismatch at ({m},{k},{n})");
+            let as64: Vec<i64> = out32.iter().map(|&v| v as i64).collect();
+            assert_eq!(as64, naive, "gemm_i32 mismatch at ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn integer_matvec_matches_gemm_column() {
+        let (m, k) = (33, 129);
+        let a: Vec<i32> = (0..m * k).map(|i| ((i * 29) % 255) as i32 - 127).collect();
+        let x: Vec<i32> = (0..k).map(|i| ((i * 41) % 255) as i32 - 127).collect();
+        let mut mv = vec![0i32; m];
+        matvec_i32(m, k, &a, &x, &mut mv);
+        let mut gm = vec![0i32; m];
+        gemm_i32(m, k, 1, &a, &x, &mut gm);
+        assert_eq!(mv, gm);
+        let mut mv64 = vec![0i64; m];
+        matvec_i64(m, k, &a, &x, &mut mv64);
+        assert_eq!(mv64, mv.iter().map(|&v| v as i64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dot_structured_i16_gemm_matches_i32_gemm() {
+        for (m, k, n) in [(1, 1, 1), (3, 5, 4), (6, 75, 64), (16, 54, 16), (7, 129, 3)] {
+            let a: Vec<i32> = (0..m * k)
+                .map(|i| ((i * 37 + 11) % 255) as i32 - 127)
+                .collect();
+            let b: Vec<i32> = (0..k * n)
+                .map(|i| ((i * 53 + 7) % 255) as i32 - 127)
+                .collect();
+            let a16: Vec<i16> = a.iter().map(|&v| v as i16).collect();
+            // Transpose b (k×n) into bt (n×k).
+            let mut bt = vec![0i16; n * k];
+            for p in 0..k {
+                for j in 0..n {
+                    bt[j * k + p] = b[p * n + j] as i16;
+                }
+            }
+            let mut reference = vec![0i32; m * n];
+            gemm_i32(m, k, n, &a, &b, &mut reference);
+            let mut dot = vec![0i32; m * n];
+            gemm_dot_i16(m, k, n, &a16, &bt, &mut dot);
+            assert_eq!(dot, reference, "gemm_dot_i16 mismatch at ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn i16_matvec_matches_i32_matvec() {
+        let (m, k) = (33, 129);
+        let a: Vec<i32> = (0..m * k).map(|i| ((i * 29) % 255) as i32 - 127).collect();
+        let x: Vec<i32> = (0..k).map(|i| ((i * 41) % 255) as i32 - 127).collect();
+        let a16: Vec<i16> = a.iter().map(|&v| v as i16).collect();
+        let x16: Vec<i16> = x.iter().map(|&v| v as i16).collect();
+        let mut reference = vec![0i32; m];
+        matvec_i32(m, k, &a, &x, &mut reference);
+        let mut dot = vec![0i32; m];
+        matvec_i16(m, k, &a16, &x16, &mut dot);
+        assert_eq!(dot, reference);
+    }
+
+    #[test]
+    fn transposed_i16_im2col_is_the_transpose_of_im2col_i32() {
+        for (in_c, h, w, k, stride, padding) in [(3, 9, 9, 3, 1, 1), (2, 8, 7, 3, 2, 1)] {
+            let p = Conv2dParams::new(k, stride, padding);
+            let ints: Vec<i32> = (0..in_c * h * w).map(|i| (i % 255) as i32 - 127).collect();
+            let i16s: Vec<i16> = ints.iter().map(|&v| v as i16).collect();
+            let mut straight = Vec::new();
+            im2col_i32(&ints, in_c, h, w, p, &mut straight);
+            let mut transposed = vec![7i16; 2]; // junk: must be cleared
+            im2col_i16_t(&i16s, in_c, h, w, p, &mut transposed);
+            let (oh, ow) = (p.out_size(h), p.out_size(w));
+            let (ck, ohw) = (in_c * k * k, oh * ow);
+            assert_eq!(transposed.len(), straight.len());
+            for row in 0..ck {
+                for col in 0..ohw {
+                    assert_eq!(
+                        transposed[col * ck + row] as i32,
+                        straight[row * ohw + col],
+                        "mismatch at ({row},{col}) k={k} s={stride} p={padding}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn integer_gemm_accumulates_into_out() {
+        let mut out = vec![1i32; 4];
+        gemm_i32(2, 2, 2, &[1, 0, 0, 1], &[5, 6, 7, 8], &mut out);
+        assert_eq!(out, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn im2col_i32_matches_f32_im2col_on_integer_data() {
+        for (in_c, h, w, k, stride, padding) in
+            [(3, 9, 9, 3, 1, 1), (2, 8, 7, 3, 2, 1), (1, 5, 7, 1, 1, 0)]
+        {
+            let p = Conv2dParams::new(k, stride, padding);
+            let ints: Vec<i32> = (0..in_c * h * w).map(|i| (i % 255) as i32 - 127).collect();
+            let floats: Vec<f32> = ints.iter().map(|&v| v as f32).collect();
+            let reference = im2col(&Tensor::from_vec(floats, &[in_c, h, w]), p);
+            let mut cols = vec![99i32; 3]; // junk: must be cleared
+            im2col_i32(&ints, in_c, h, w, p, &mut cols);
+            assert_eq!(cols.len(), reference.len());
+            for (a, &b) in cols.iter().zip(reference.data()) {
+                assert_eq!(
+                    *a as f32, b,
+                    "im2col mismatch at k={k} s={stride} p={padding}"
+                );
+            }
+        }
     }
 
     #[test]

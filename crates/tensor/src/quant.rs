@@ -106,49 +106,142 @@ pub struct QuantTensor {
     stored: Vec<u32>,
 }
 
+/// Round-half-away-from-zero to an integer, bit-identical to
+/// `x.round() as i32` for every finite `|x| < 2²³` (and mapping NaN to 0,
+/// like a saturating cast of NaN).
+///
+/// `f32::round` lowers to a `roundf` libm call on baseline x86-64 (the
+/// nearest-integer instructions need SSE4.1), which made rounding the single
+/// most expensive step of tensor quantization. This form uses only
+/// truncation and compares, so the quantize loop vectorizes on any target.
+/// The fractional part `x - trunc(x)` is exact for `|x| < 2²³` (both
+/// operands are multiples of `ulp(x)` and the difference is representable),
+/// so the half-way comparison is exact too.
+#[inline]
+fn round_half_away(x: f32) -> i32 {
+    let t = x as i32; // truncates toward zero; NaN -> 0
+    let frac = x - t as f32;
+    t + (frac >= 0.5) as i32 - (frac <= -0.5) as i32
+}
+
 impl QuantTensor {
     /// Quantizes an `f32` tensor into the given precision using symmetric
     /// linear quantization (`scale = abs_max / q_max`).
+    ///
+    /// Integer values are produced by clamp-then-round: clamping before the
+    /// round is equivalent to the classic round-then-clamp (both saturate
+    /// past the representable range, and values within half a step of the
+    /// boundary round onto it either way) and keeps the truncation inside
+    /// `round_half_away`'s exact `|x| < 2²³` regime even for degenerate
+    /// scales.
     pub fn quantize(t: &Tensor, precision: Precision) -> Self {
+        let mut out = Self {
+            shape: Vec::new(),
+            precision,
+            scale: 1.0,
+            stored: Vec::new(),
+        };
+        out.requantize_from(t, precision);
+        out
+    }
+
+    /// Re-quantizes `t` into this tensor in place, reusing the stored-bits
+    /// buffer — the allocation-free form of [`QuantTensor::quantize`] used by
+    /// the native executor at every layer boundary. Produces exactly the
+    /// state `QuantTensor::quantize(t, precision)` would.
+    pub fn requantize_from(&mut self, t: &Tensor, precision: Precision) {
+        self.shape.clear();
+        self.shape.extend_from_slice(t.shape());
+        self.precision = precision;
+        self.stored.clear();
         match precision {
-            Precision::Fp32 => Self {
-                shape: t.shape().to_vec(),
-                precision,
-                scale: 1.0,
-                stored: t.data().iter().map(|v| v.to_bits()).collect(),
-            },
+            Precision::Fp32 => {
+                self.scale = 1.0;
+                self.stored.extend(t.data().iter().map(|v| v.to_bits()));
+            }
             p => {
-                let q_max = p.q_max().expect("integer precision") as f32;
-                let q_min = p.q_min().expect("integer precision") as f32;
+                let q_max = p.q_max().expect("integer precision");
+                let q_min = p.q_min().expect("integer precision");
                 let abs_max = t.abs_max();
-                let scale = if abs_max == 0.0 { 1.0 } else { abs_max / q_max };
+                let scale = if abs_max == 0.0 {
+                    1.0
+                } else {
+                    abs_max / q_max as f32
+                };
+                self.scale = scale;
                 let mask = if p.bits() == 32 {
                     u32::MAX
                 } else {
                     (1u32 << p.bits()) - 1
                 };
-                let stored = t
-                    .data()
-                    .iter()
-                    .map(|&v| {
-                        let q = (v / scale).round().clamp(q_min, q_max) as i32;
-                        (q as u32) & mask
-                    })
-                    .collect();
-                Self {
-                    shape: t.shape().to_vec(),
-                    precision: p,
-                    scale,
-                    stored,
-                }
+                let (q_min_f, q_max_f) = (q_min as f32, q_max as f32);
+                self.stored.extend(t.data().iter().map(|&v| {
+                    let q = round_half_away((v / scale).clamp(q_min_f, q_max_f));
+                    (q as u32) & mask
+                }));
             }
         }
     }
 
     /// Reconstructs the `f32` tensor from the stored representation.
     pub fn dequantize(&self) -> Tensor {
-        let data: Vec<f32> = (0..self.stored.len()).map(|i| self.value(i)).collect();
+        let mut data = vec![0.0f32; self.stored.len()];
+        self.dequantize_into(&mut data);
         Tensor::from_vec(data, &self.shape)
+    }
+
+    /// Writes the dequantized values into an existing slice without
+    /// allocating — the weight-refetch hot path dequantizes corrupted bit
+    /// images directly into a network's parameter tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the element count.
+    pub fn dequantize_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.stored.len(), "dequantize_into length");
+        match self.precision {
+            Precision::Fp32 => {
+                for (o, &s) in out.iter_mut().zip(&self.stored) {
+                    *o = f32::from_bits(s);
+                }
+            }
+            p => {
+                let bits = p.bits();
+                for (o, &s) in out.iter_mut().zip(&self.stored) {
+                    *o = bits::sign_extend(s, bits) as f32 * self.scale;
+                }
+            }
+        }
+    }
+
+    /// The sign-extended quantized integer of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for FP32 tensors, which have no quantized integer
+    /// representation.
+    pub fn q_value(&self, i: usize) -> i32 {
+        assert!(
+            self.precision.is_integer(),
+            "q_value is only defined for integer precisions"
+        );
+        bits::sign_extend(self.stored[i], self.precision.bits())
+    }
+
+    /// Sign-extends every stored value into `out` (cleared and refilled), the
+    /// allocation-free input path of the native integer kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics for FP32 tensors.
+    pub fn q_values_into(&self, out: &mut Vec<i32>) {
+        assert!(
+            self.precision.is_integer(),
+            "q_values_into is only defined for integer precisions"
+        );
+        let bits = self.precision.bits();
+        out.clear();
+        out.extend(self.stored.iter().map(|&s| bits::sign_extend(s, bits)));
     }
 
     /// The dequantized value of element `i`.
@@ -171,6 +264,27 @@ impl QuantTensor {
                 self.stored[i] = (q as u32) & mask;
             }
         }
+    }
+
+    /// Sign-extends every stored value into an i16 buffer (cleared and
+    /// refilled) — the operand form of the widening-multiply integer kernels.
+    /// Every integer precision (4/8/16 bits) fits i16 exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics for FP32 tensors.
+    pub fn q_values_i16_into(&self, out: &mut Vec<i16>) {
+        assert!(
+            self.precision.is_integer(),
+            "q_values_i16_into is only defined for integer precisions"
+        );
+        let bits = self.precision.bits();
+        out.clear();
+        out.extend(
+            self.stored
+                .iter()
+                .map(|&s| bits::sign_extend(s, bits) as i16),
+        );
     }
 
     /// Number of elements.
@@ -228,10 +342,11 @@ impl QuantTensor {
         self.len() as u64 * self.bits_per_value() as u64
     }
 
-    /// Total number of stored bytes (rounded up per value for int4: two int4
-    /// values per byte, so exact).
+    /// Total number of stored bytes, rounded **up** to whole bytes: an int4
+    /// tensor with an odd element count occupies a final half-filled byte
+    /// that DRAM capacity accounting must still reserve.
     pub fn total_bytes(&self) -> u64 {
-        self.total_bits() / 8
+        self.total_bits().div_ceil(8)
     }
 
     /// Flips bit `bit` (0 = LSB) of element `i`.
@@ -383,6 +498,85 @@ mod tests {
         let t = Tensor::zeros(&[10]);
         assert_eq!(QuantTensor::quantize(&t, Precision::Int4).total_bits(), 40);
         assert_eq!(QuantTensor::quantize(&t, Precision::Fp32).total_bits(), 320);
+    }
+
+    #[test]
+    fn branchless_rounding_matches_f32_round_reference() {
+        // The vectorizable quantize loop must be bit-identical to the
+        // original `(v/scale).round().clamp(..) as i32` formulation,
+        // including exact half-way points and boundary values.
+        let mut values = vec![
+            0.0f32,
+            -0.0,
+            0.5,
+            -0.5,
+            1.5,
+            -1.5,
+            2.5,
+            -2.5,
+            0.49999997,
+            -0.49999997,
+            127.5,
+            -127.5,
+            126.5,
+            -128.5,
+            32767.5,
+            -32768.5,
+            1e-30,
+            -1e-30,
+        ];
+        for i in 0..10_000 {
+            let v = ((i as f32 * 0.7312) - 3650.0) * 1.37e-2;
+            values.push(v);
+            values.push(v + 0.5);
+        }
+        for p in [Precision::Int4, Precision::Int8, Precision::Int16] {
+            let q_max = p.q_max().unwrap() as f32;
+            let q_min = p.q_min().unwrap() as f32;
+            for &x in &values {
+                let reference = x.round().clamp(q_min, q_max) as i32;
+                let fast = round_half_away(x.clamp(q_min, q_max));
+                assert_eq!(fast, reference, "{p} at x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn total_bytes_rounds_up_for_odd_int4_lengths() {
+        // 3 int4 values = 12 bits: the trailing nibble still occupies a byte.
+        let t = Tensor::zeros(&[3]);
+        assert_eq!(QuantTensor::quantize(&t, Precision::Int4).total_bytes(), 2);
+        // 5 int4 values = 20 bits -> 3 bytes; even counts stay exact.
+        let t5 = Tensor::zeros(&[5]);
+        assert_eq!(QuantTensor::quantize(&t5, Precision::Int4).total_bytes(), 3);
+        let t4 = Tensor::zeros(&[4]);
+        assert_eq!(QuantTensor::quantize(&t4, Precision::Int4).total_bytes(), 2);
+    }
+
+    #[test]
+    fn q_values_match_dequantized_values() {
+        let t = Tensor::from_vec(vec![1.0, -2.0, 0.5, 0.0, 3.25], &[5]);
+        for p in [Precision::Int4, Precision::Int8, Precision::Int16] {
+            let q = QuantTensor::quantize(&t, p);
+            let mut qs = Vec::new();
+            q.q_values_into(&mut qs);
+            assert_eq!(qs.len(), q.len());
+            for (i, &qi) in qs.iter().enumerate() {
+                assert_eq!(qi, q.q_value(i));
+                assert_eq!(qi as f32 * q.scale(), q.value(i), "{p} element {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn dequantize_into_matches_dequantize() {
+        let t = Tensor::from_vec(vec![0.1, -2.7, 1e-3, 3.5], &[4]);
+        for p in Precision::all() {
+            let q = QuantTensor::quantize(&t, p);
+            let mut out = vec![0.0f32; 4];
+            q.dequantize_into(&mut out);
+            assert_eq!(out, q.dequantize().data(), "{p}");
+        }
     }
 
     #[test]

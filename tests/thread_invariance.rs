@@ -90,6 +90,28 @@ fn batch_evaluation_is_thread_count_invariant() {
 }
 
 #[test]
+fn native_backend_evaluation_is_thread_count_invariant() {
+    // The native integer engine accumulates exactly, so its batch accuracy
+    // AND injection statistics must be bit-identical for any worker count —
+    // same contract as the simulated path, pinned per precision.
+    let (net, dataset) = trained_lenet(35);
+    let samples = &dataset.test()[..40];
+    for precision in [Precision::Int4, Precision::Int8, Precision::Int16] {
+        assert_invariant(|| {
+            let mut memory = ApproximateMemory::from_model(ErrorModel::uniform(0.02, 0.5, 3), 19);
+            let acc = inference::evaluate_with_faults_backend(
+                &net,
+                samples,
+                precision,
+                &mut memory,
+                inference::InferenceBackend::NativeInt,
+            );
+            (acc.to_bits(), memory.stats())
+        });
+    }
+}
+
+#[test]
 fn ber_sweep_is_thread_count_invariant() {
     let (net, dataset) = trained_lenet(32);
     let samples = &dataset.test()[..24];
