@@ -17,6 +17,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use eden_core::bounding::{BoundingLogic, CorrectionPolicy};
+use eden_core::characterize::{coarse_characterize, fine_characterize, CoarseConfig, FineConfig};
 use eden_core::faults::ApproximateMemory;
 use eden_core::inference::{self, InferenceBackend};
 use eden_dnn::{data::SyntheticVision, zoo, Dataset};
@@ -152,11 +153,62 @@ fn bench_tolerance_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+/// The characterization hot paths (Table 3 / Figure 11): a coarse binary
+/// search and a fine-grained per-site sweep on the committed mini network.
+/// Both are probe loops — dozens of repeated accuracy evaluations against
+/// the same network — so they are the workloads the `EvalSession` reuse
+/// layer accelerates, and the gate watches them directly.
+fn bench_characterization(c: &mut Criterion) {
+    let dataset = SyntheticVision::tiny(0);
+    let net = zoo::lenet(&dataset.spec(), 1);
+    let bounding =
+        BoundingLogic::calibrated(&net, &dataset.train()[..8], 1.5, CorrectionPolicy::Zero);
+    let template = ErrorModel::uniform(0.02, 0.5, 3);
+    let mut group = c.benchmark_group("characterization");
+    group.sample_size(10);
+    group.bench_function("coarse_lenet", |b| {
+        b.iter(|| {
+            coarse_characterize(
+                &net,
+                &dataset,
+                Precision::Int8,
+                black_box(&template),
+                Some(bounding),
+                &CoarseConfig {
+                    eval_samples: 32,
+                    iterations: 4,
+                    accuracy_drop: 0.02,
+                    ..CoarseConfig::default()
+                },
+            )
+        })
+    });
+    group.bench_function("fine_lenet", |b| {
+        b.iter(|| {
+            fine_characterize(
+                &net,
+                &dataset,
+                Precision::Int8,
+                black_box(&template),
+                Some(bounding),
+                &FineConfig {
+                    eval_samples: 24,
+                    max_rounds: 2,
+                    bootstrap_ber: 5e-4,
+                    ..FineConfig::default()
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_calibration,
     bench_inference,
     bench_quantized_backends,
-    bench_tolerance_sweep
+    bench_tolerance_sweep,
+    bench_characterization
 );
 criterion_main!(benches);

@@ -10,6 +10,7 @@
 use eden_bench::report;
 use eden_core::bounding::{BoundingLogic, CorrectionPolicy};
 use eden_core::inference::accuracy_vs_ber_backend;
+use eden_core::session::EvalSession;
 use eden_dnn::zoo::ModelId;
 use eden_dnn::Dataset;
 use eden_dram::{ErrorModel, ErrorModelKind};
@@ -38,6 +39,13 @@ fn main() {
     let bounding =
         BoundingLogic::calibrated(&net, &dataset.train()[..16], 1.5, CorrectionPolicy::Zero);
 
+    // One session per precision, reused across all four error-model kinds:
+    // the weight bit images and corrupted-weight state depend only on the
+    // precision, so the 4 kinds × |precisions| sweeps share them.
+    let mut sessions: Vec<EvalSession> = Precision::all()
+        .iter()
+        .map(|&p| EvalSession::new(&net, p, backend))
+        .collect();
     for kind in ErrorModelKind::all() {
         println!("\n{kind}");
         print!("{:<8}", "prec");
@@ -45,18 +53,10 @@ fn main() {
             print!(" {:>9.0e}", b);
         }
         println!();
-        for precision in Precision::all() {
-            let curve = accuracy_vs_ber_backend(
-                &net,
-                samples,
-                precision,
-                &template(kind, 5),
-                &bers,
-                Some(bounding),
-                11,
-                backend,
-            );
-            print!("{:<8}", precision.to_string());
+        for session in sessions.iter_mut() {
+            let curve =
+                session.accuracy_vs_ber(samples, &template(kind, 5), &bers, Some(bounding), 11);
+            print!("{:<8}", session.precision().to_string());
             for (_, acc) in curve {
                 print!(" {:>9.3}", acc);
             }

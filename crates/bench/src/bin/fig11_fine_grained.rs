@@ -4,7 +4,10 @@
 
 use eden_bench::report;
 use eden_core::bounding::{BoundingLogic, CorrectionPolicy};
-use eden_core::characterize::{coarse_characterize, fine_characterize, CoarseConfig, FineConfig};
+use eden_core::characterize::{
+    coarse_characterize_session, fine_characterize_session, CoarseConfig, FineConfig,
+};
+use eden_core::session::EvalSession;
 use eden_dnn::zoo::ModelId;
 use eden_dnn::{DataKind, Dataset};
 use eden_dram::ErrorModel;
@@ -12,6 +15,7 @@ use eden_tensor::Precision;
 
 fn main() {
     report::init_threads();
+    let backend = report::parse_backend();
     report::header(
         "Figure 11",
         "per-IFM / per-weight tolerable BER of ResNet (fine-grained characterization)",
@@ -21,10 +25,13 @@ fn main() {
     let bounding =
         BoundingLogic::calibrated(&net, &dataset.train()[..16], 1.5, CorrectionPolicy::Zero);
 
-    let coarse = coarse_characterize(
-        &net,
+    // One session serves the coarse bootstrap *and* the fine-grained sweep:
+    // the weight images, corrupted-weight pools, reliable baseline and
+    // weak-cell maps carry over between the two characterizations.
+    let mut session = EvalSession::new(&net, Precision::Int8, backend);
+    let coarse = coarse_characterize_session(
+        &mut session,
         &dataset,
-        Precision::Int8,
         &template,
         Some(bounding),
         &CoarseConfig {
@@ -38,10 +45,9 @@ fn main() {
         coarse.max_tolerable_ber
     );
 
-    let fine = fine_characterize(
-        &net,
+    let fine = fine_characterize_session(
+        &mut session,
         &dataset,
-        Precision::Int8,
         &template,
         Some(bounding),
         &FineConfig {

@@ -3,9 +3,8 @@
 
 use eden_bench::report;
 use eden_dnn::zoo::ModelId;
-use eden_dram::OperatingPoint;
 use eden_sysim::result::geometric_mean;
-use eden_sysim::{CpuSim, WorkloadProfile};
+use eden_sysim::{CpuSim, SystemSim, WorkloadProfile};
 use eden_tensor::Precision;
 
 fn main() {
@@ -14,7 +13,7 @@ fn main() {
         "Figure 13",
         "CPU DRAM energy savings per DNN (FP32 and int8)",
     );
-    let cpu = CpuSim::table4();
+    let cpu: &dyn SystemSim = &CpuSim::table4();
     println!("{:<14} {:>10} {:>10}", "model", "FP32", "int8");
     let mut ratios = Vec::new();
     for id in ModelId::system_eval() {
@@ -29,9 +28,7 @@ fn main() {
                 continue;
             };
             let workload = WorkloadProfile::for_model(id, precision);
-            let nominal = cpu.run(&workload, &OperatingPoint::nominal());
-            let reduced = cpu.run(&workload, &OperatingPoint::with_vdd_reduction(dvdd));
-            let saving = reduced.energy_reduction_vs(&nominal);
+            let saving = cpu.energy_saving(&workload, dvdd);
             ratios.push(1.0 - saving);
             print!(" {:>9.1}%", 100.0 * saving);
         }

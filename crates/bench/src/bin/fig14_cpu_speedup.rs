@@ -5,7 +5,7 @@ use eden_bench::report;
 use eden_dnn::zoo::ModelId;
 use eden_dram::OperatingPoint;
 use eden_sysim::result::geometric_mean;
-use eden_sysim::{CpuSim, WorkloadProfile};
+use eden_sysim::{CpuSim, SystemSim, WorkloadProfile};
 use eden_tensor::Precision;
 
 fn main() {
@@ -14,7 +14,7 @@ fn main() {
         "Figure 14",
         "CPU speedup: EDEN (reduced tRCD) vs ideal tRCD = 0",
     );
-    let cpu = CpuSim::table4();
+    let cpu: &dyn SystemSim = &CpuSim::table4();
     println!(
         "{:<14} {:>12} {:>12} {:>12} {:>12}",
         "model", "FP32 EDEN", "FP32 ideal", "int8 EDEN", "int8 ideal"

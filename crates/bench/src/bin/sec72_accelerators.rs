@@ -5,7 +5,7 @@ use eden_bench::report;
 use eden_dnn::zoo::ModelId;
 use eden_dram::OperatingPoint;
 use eden_sysim::result::geometric_mean;
-use eden_sysim::{AcceleratorConfig, AcceleratorSim, WorkloadProfile};
+use eden_sysim::{accelerator_sims, WorkloadProfile};
 use eden_tensor::Precision;
 
 fn main() {
@@ -15,18 +15,14 @@ fn main() {
         "Eyeriss / TPU DRAM energy savings (DDR4 and LPDDR3) and tRCD speedup",
     );
     let workloads = [ModelId::AlexNet, ModelId::YoloTiny];
-    let configs = [
-        AcceleratorConfig::eyeriss_ddr4(),
-        AcceleratorConfig::tpu_ddr4(),
-        AcceleratorConfig::eyeriss_lpddr3(),
-        AcceleratorConfig::tpu_lpddr3(),
-    ];
+    // The shared Table 6 trait-object list: the experiment loop below only
+    // touches the `SystemSim` interface.
+    let sims = accelerator_sims();
     println!(
         "{:<16} {:<12} {:>12} {:>14}",
         "accelerator", "workload", "energy save", "tRCD speedup"
     );
-    for config in configs {
-        let sim = AcceleratorSim::new(config);
+    for sim in &sims {
         let mut ratios = Vec::new();
         for id in workloads {
             let spec = id.spec();
@@ -41,7 +37,7 @@ fn main() {
             ratios.push(1.0 - saving);
             println!(
                 "{:<16} {:<12} {:>11.1}% {:>13.3}x",
-                config.name,
+                sim.name(),
                 spec.display_name,
                 100.0 * saving,
                 faster.speedup_over(&nominal)
@@ -49,7 +45,7 @@ fn main() {
         }
         println!(
             "{:<16} {:<12} {:>11.1}% (geometric mean)",
-            config.name,
+            sim.name(),
             "—",
             100.0 * (1.0 - geometric_mean(&ratios))
         );

@@ -5,7 +5,7 @@ use eden_bench::report;
 use eden_dnn::zoo::ModelId;
 use eden_dram::OperatingPoint;
 use eden_sysim::result::geometric_mean;
-use eden_sysim::{GpuSim, WorkloadProfile};
+use eden_sysim::{GpuSim, SystemSim, WorkloadProfile};
 use eden_tensor::Precision;
 
 fn main() {
@@ -14,7 +14,7 @@ fn main() {
         "Section 7.2 (GPU)",
         "GPU DRAM energy savings and speedup (YOLO family)",
     );
-    let gpu = GpuSim::table5();
+    let gpu: &dyn SystemSim = &GpuSim::table5();
     println!(
         "{:<14} {:<6} {:>12} {:>12} {:>12}",
         "model", "prec", "energy save", "EDEN speedup", "ideal tRCD=0"

@@ -4,9 +4,10 @@
 
 use eden_bench::report;
 use eden_core::bounding::{BoundingLogic, CorrectionPolicy};
-use eden_core::characterize::{coarse_characterize, CoarseConfig};
+use eden_core::characterize::{coarse_characterize_session, CoarseConfig};
 use eden_core::curricular::{CurricularConfig, CurricularTrainer};
 use eden_core::mapping::coarse_map;
+use eden_core::session::EvalSession;
 use eden_dnn::zoo::ModelId;
 use eden_dnn::Dataset;
 use eden_dram::{ErrorModel, Vendor};
@@ -56,18 +57,19 @@ fn main() {
                 1.5,
                 CorrectionPolicy::Zero,
             );
-            let coarse = coarse_characterize(
-                &net,
+            // One session per (model, precision): the binary search's probes
+            // share weight images, pools and weak-cell maps. FP32 rows always
+            // take the simulated path; integer rows honor --backend.
+            let mut session = EvalSession::new(&net, precision, backend);
+            let coarse = coarse_characterize_session(
+                &mut session,
                 &dataset,
-                precision,
                 &template,
                 Some(bounding),
                 &CoarseConfig {
                     eval_samples: 48,
                     iterations: 6,
                     accuracy_drop: 0.01,
-                    // FP32 rows always take the simulated path; integer rows
-                    // honor --backend.
                     backend,
                     ..CoarseConfig::default()
                 },

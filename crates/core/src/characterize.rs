@@ -10,11 +10,11 @@
 
 use crate::bounding::BoundingLogic;
 use crate::faults::ApproximateMemory;
-use crate::inference::{self, InferenceBackend};
+use crate::inference::InferenceBackend;
+use crate::session::EvalSession;
 use eden_dnn::network::DataTypeInfo;
 use eden_dnn::{DataSite, Dataset, Network};
-use eden_dram::error_model::Layout;
-use eden_dram::inject::Injector;
+use eden_dram::util::stream;
 use eden_dram::ErrorModel;
 use eden_tensor::{Precision, Tensor};
 use serde::{Deserialize, Serialize};
@@ -67,6 +67,14 @@ pub struct CoarseCharacterization {
 }
 
 /// Finds the maximum BER the whole DNN tolerates (coarse-grained, Table 3).
+///
+/// Convenience wrapper that builds a throwaway [`EvalSession`] from
+/// `(net, precision, cfg.backend)` and delegates to
+/// [`coarse_characterize_session`]. Callers running several
+/// characterizations of the same network (e.g. a coarse bootstrap followed
+/// by a fine-grained sweep, as Figure 11 does) should construct one session
+/// and call the `_session` variants directly to share the cached weight
+/// images, pools and weak-cell maps.
 pub fn coarse_characterize(
     net: &Network,
     dataset: &dyn Dataset,
@@ -75,16 +83,31 @@ pub fn coarse_characterize(
     bounding: Option<BoundingLogic>,
     cfg: &CoarseConfig,
 ) -> CoarseCharacterization {
+    let mut session = EvalSession::new(net, precision, cfg.backend);
+    coarse_characterize_session(&mut session, dataset, template, bounding, cfg)
+}
+
+/// [`coarse_characterize`] on a caller-provided [`EvalSession`].
+///
+/// The session's network, precision and backend are authoritative;
+/// `cfg.backend` is only read by the non-session wrapper.
+pub fn coarse_characterize_session(
+    session: &mut EvalSession<'_>,
+    dataset: &dyn Dataset,
+    template: &ErrorModel,
+    bounding: Option<BoundingLogic>,
+    cfg: &CoarseConfig,
+) -> CoarseCharacterization {
     let samples = eval_slice(dataset, cfg.eval_samples);
-    let baseline = inference::evaluate_reliable_backend(net, samples, precision, cfg.backend);
+    let baseline = session.evaluate_reliable(samples);
     let floor = baseline - cfg.accuracy_drop;
 
-    let accuracy_at = |ber: f64| -> f32 {
+    let memory_at = |ber: f64| -> ApproximateMemory {
         let mut memory = ApproximateMemory::from_model(template.with_ber(ber), cfg.seed);
         if let Some(b) = bounding {
             memory = memory.with_bounding(b);
         }
-        inference::evaluate_with_faults_backend(net, samples, precision, &mut memory, cfg.backend)
+        memory
     };
 
     let mut probes = Vec::new();
@@ -93,8 +116,8 @@ pub fn coarse_characterize(
     // deliberately speculative: when the min-BER probe fails, the max-BER
     // result is discarded, trading one wasted evaluation on that rare path
     // for halved latency on the common one.
-    let (acc_min, acc_max) =
-        eden_par::join(|| accuracy_at(cfg.ber_min), || accuracy_at(cfg.ber_max));
+    let (mut memory_min, mut memory_max) = (memory_at(cfg.ber_min), memory_at(cfg.ber_max));
+    let (acc_min, acc_max) = session.evaluate_pair(samples, &mut memory_min, &mut memory_max);
     probes.push((cfg.ber_min, acc_min));
     if acc_min < floor {
         return CoarseCharacterization {
@@ -115,13 +138,13 @@ pub fn coarse_characterize(
     }
 
     // Logarithmic-scale binary search (error-tolerance curves decrease
-    // monotonically with BER).
+    // monotonically with BER); sequential probes reuse the session pools.
     let mut lo = cfg.ber_min.ln();
     let mut hi = cfg.ber_max.ln();
     for _ in 0..cfg.iterations {
         let mid = 0.5 * (lo + hi);
         let ber = mid.exp();
-        let acc = accuracy_at(ber);
+        let acc = session.evaluate_with_faults(samples, &mut memory_at(ber));
         probes.push((ber, acc));
         if acc >= floor {
             lo = mid;
@@ -200,8 +223,23 @@ impl FineCharacterization {
     }
 }
 
+/// Mixes `(master seed, sweep round, site index)` into one probe seed with
+/// chained splitmix64 stages.
+///
+/// The previous mixing, `seed ^ (round << 8) ^ i`, reserved only 8 bits for
+/// the site index: on networks with ≥ 256 data sites the index bled into the
+/// round bits and probe seeds collided across rounds (e.g. `(round 0,
+/// site 256)` equalled `(round 1, site 0)`), silently correlating the
+/// injected error patterns of distinct probes.
+fn probe_seed(seed: u64, round: u64, site: u64) -> u64 {
+    stream(stream(seed, round), site)
+}
+
 /// Characterizes the tolerable BER of every weight tensor and IFM
 /// individually (Section 3.3, "Fine-Grained Characterization").
+///
+/// Convenience wrapper over [`fine_characterize_session`]; see
+/// [`coarse_characterize`] for when to hold a session instead.
 pub fn fine_characterize(
     net: &Network,
     dataset: &dyn Dataset,
@@ -210,27 +248,32 @@ pub fn fine_characterize(
     bounding: Option<BoundingLogic>,
     cfg: &FineConfig,
 ) -> FineCharacterization {
+    let mut session = EvalSession::new(net, precision, cfg.backend);
+    fine_characterize_session(&mut session, dataset, template, bounding, cfg)
+}
+
+/// [`fine_characterize`] on a caller-provided [`EvalSession`].
+///
+/// This is the `sites × rounds` probe loop of Figure 11, and the workload
+/// the session layer pays off most on: between consecutive probes only a
+/// *single* site's BER changes, so the session's keyed injector and
+/// weak-cell-map caches rebuild exactly one placement per probe instead of
+/// all of them. The session's precision and backend are authoritative;
+/// `cfg.backend` is only read by the non-session wrapper.
+pub fn fine_characterize_session(
+    session: &mut EvalSession<'_>,
+    dataset: &dyn Dataset,
+    template: &ErrorModel,
+    bounding: Option<BoundingLogic>,
+    cfg: &FineConfig,
+) -> FineCharacterization {
     let samples = eval_slice(dataset, cfg.eval_samples);
-    let baseline = inference::evaluate_reliable_backend(net, samples, precision, cfg.backend);
+    let baseline = session.evaluate_reliable(samples);
     let floor = baseline - cfg.accuracy_drop;
-    let sites = net.data_sites();
+    let sites = session.net().data_sites();
 
     let mut tolerances: Vec<f64> = vec![cfg.bootstrap_ber; sites.len()];
     let mut active: Vec<bool> = vec![true; sites.len()];
-
-    let evaluate = |tolerances: &[f64], seed: u64| -> f32 {
-        let mut memory = ApproximateMemory::reliable(seed);
-        for (info, &ber) in sites.iter().zip(tolerances) {
-            memory.assign_site(
-                info.site.clone(),
-                Injector::from_model(template.with_ber(ber), Layout::default()),
-            );
-        }
-        if let Some(b) = bounding {
-            memory = memory.with_bounding(b);
-        }
-        inference::evaluate_with_faults_backend(net, samples, precision, &mut memory, cfg.backend)
-    };
 
     for round in 0..cfg.max_rounds {
         if !active.iter().any(|&a| a) {
@@ -242,7 +285,15 @@ pub fn fine_characterize(
             }
             let mut candidate = tolerances.clone();
             candidate[i] *= cfg.step_factor;
-            let acc = evaluate(&candidate, cfg.seed ^ (round as u64) << 8 ^ i as u64);
+            let mut memory =
+                ApproximateMemory::reliable(probe_seed(cfg.seed, round as u64, i as u64));
+            for (info, &ber) in sites.iter().zip(&candidate) {
+                memory.assign_site(info.site.clone(), session.injector_for(template, ber));
+            }
+            if let Some(b) = bounding {
+                memory = memory.with_bounding(b);
+            }
+            let acc = session.evaluate_with_faults(samples, &mut memory);
             if acc >= floor {
                 tolerances = candidate;
             } else {
@@ -390,6 +441,76 @@ mod tests {
             .iter()
             .any(|(info, _)| info.site.kind == DataKind::Ifm));
         assert!(fine.max_tolerance() >= cfg.bootstrap_ber);
+    }
+
+    #[test]
+    fn probe_seeds_do_not_collide_across_rounds() {
+        // Regression test for the old `seed ^ (round << 8) ^ i` mixing: with
+        // ≥ 256 data sites the site index overflowed into the round bits and
+        // `(round 0, site 256)` collided with `(round 1, site 0)`. The
+        // splitmix-based mix must keep every (round, site) pair distinct.
+        let old_mix = |seed: u64, round: u64, i: u64| seed ^ (round << 8) ^ i;
+        assert_eq!(old_mix(7, 0, 256), old_mix(7, 1, 0), "old mixing collided");
+        assert_ne!(probe_seed(7, 0, 256), probe_seed(7, 1, 0));
+
+        let mut seen = std::collections::HashSet::new();
+        for round in 0..4u64 {
+            for site in 0..1024u64 {
+                assert!(
+                    seen.insert(probe_seed(42, round, site)),
+                    "probe seed collision at round {round}, site {site}"
+                );
+            }
+        }
+        // Different master seeds decorrelate the whole schedule.
+        assert_ne!(probe_seed(1, 0, 0), probe_seed(2, 0, 0));
+    }
+
+    #[test]
+    fn session_variant_matches_the_one_shot_wrappers() {
+        // The wrappers construct a throwaway session, so wrapper == session
+        // pins that *reusing* one session across the probe loop (and across
+        // coarse + fine) is bit-identical to per-call construction.
+        let (net, dataset) = trained(5);
+        let template = ErrorModel::uniform(0.01, 0.5, 6);
+        let bounding =
+            BoundingLogic::calibrated(&net, &dataset.train()[..16], 1.5, CorrectionPolicy::Zero);
+        let coarse_cfg = quick_coarse();
+        let fine_cfg = FineConfig {
+            eval_samples: 24,
+            max_rounds: 2,
+            bootstrap_ber: 5e-4,
+            ..FineConfig::default()
+        };
+        let coarse_oneshot = coarse_characterize(
+            &net,
+            &dataset,
+            Precision::Int8,
+            &template,
+            Some(bounding),
+            &coarse_cfg,
+        );
+        let fine_oneshot = fine_characterize(
+            &net,
+            &dataset,
+            Precision::Int8,
+            &template,
+            Some(bounding),
+            &fine_cfg,
+        );
+
+        let mut session = EvalSession::new(&net, Precision::Int8, InferenceBackend::SimulatedF32);
+        let coarse_session = coarse_characterize_session(
+            &mut session,
+            &dataset,
+            &template,
+            Some(bounding),
+            &coarse_cfg,
+        );
+        let fine_session =
+            fine_characterize_session(&mut session, &dataset, &template, Some(bounding), &fine_cfg);
+        assert_eq!(coarse_oneshot, coarse_session);
+        assert_eq!(fine_oneshot, fine_session);
     }
 
     #[test]

@@ -10,6 +10,8 @@
 
 use crate::bounding::{BoundingLogic, CorrectionPolicy};
 use crate::faults::ApproximateMemory;
+use crate::inference::InferenceBackend;
+use crate::session::EvalSession;
 use eden_dnn::data::Dataset;
 use eden_dnn::loss;
 use eden_dnn::metrics;
@@ -36,6 +38,12 @@ pub struct CurricularConfig {
     pub curricular: bool,
     /// Numeric precision of the stored data during retraining.
     pub precision: Precision,
+    /// Execution backend for the report's accuracy evaluations (training
+    /// itself always runs the simulated-f32 forward: backpropagation needs
+    /// the float graph). Callers running NativeInt everywhere else should
+    /// set it here too, so `final_approximate_accuracy` measures the engine
+    /// that will serve the deployed DNN.
+    pub backend: InferenceBackend,
     /// Mini-batch size.
     pub batch_size: usize,
     /// SGD learning rate (lower than baseline training: this is fine-tuning).
@@ -54,6 +62,7 @@ impl Default for CurricularConfig {
             target_ber: 1e-2,
             curricular: true,
             precision: Precision::Int8,
+            backend: InferenceBackend::SimulatedF32,
             batch_size: 16,
             learning_rate: 0.01,
             momentum: 0.9,
@@ -120,36 +129,55 @@ impl CurricularTrainer {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut epochs = Vec::with_capacity(cfg.epochs);
 
+        // One persistent corrupted copy serves every batch of the run: each
+        // batch re-loads its parameters in place from the master network's
+        // current bit images instead of deep-cloning the network object
+        // graph per batch (bit-identical — see `train_epoch`).
+        let mut corrupted = net.clone();
         for epoch in 0..cfg.epochs {
             let ber = self.ber_for_epoch(epoch);
             let epoch_model = error_model.with_ber(ber);
             let mut memory = ApproximateMemory::from_model(epoch_model, cfg.seed ^ epoch as u64)
                 .with_bounding(bounding);
-            let loss = self.train_epoch(net, dataset, &mut optimizer, &mut memory, &mut rng);
+            let loss = self.train_epoch(
+                net,
+                &mut corrupted,
+                dataset,
+                &mut optimizer,
+                &mut memory,
+                &mut rng,
+            );
             epochs.push((ber, loss));
         }
 
         let target_model = error_model.with_ber(cfg.target_ber);
         let mut eval_memory =
             ApproximateMemory::from_model(target_model, cfg.seed ^ 0xEEEE).with_bounding(bounding);
+        let mut session = EvalSession::new(net, cfg.precision, cfg.backend);
         RetrainReport {
             epochs,
             final_reliable_accuracy: metrics::accuracy(net, dataset.test()),
-            final_approximate_accuracy: crate::inference::evaluate_with_faults(
-                net,
-                dataset.test(),
-                cfg.precision,
-                &mut eval_memory,
-            ),
+            final_approximate_accuracy: session
+                .evaluate_with_faults(dataset.test(), &mut eval_memory),
         }
     }
 
     /// One epoch of retraining: the forward pass runs on approximate DRAM
     /// (weights and IFMs corrupted and bound-corrected), the backward pass
     /// and weight update run on reliable DRAM.
+    ///
+    /// `corrupted` is the run's persistent approximate-DRAM copy of `net`:
+    /// per batch, the master's parameters are quantized to fresh bit images
+    /// and loaded into it through `memory`
+    /// ([`Network::load_corrupted_weights`]), which consumes the same load
+    /// streams and produces the same parameter values as corrupting a fresh
+    /// clone would — the images must be recaptured every batch because the
+    /// optimizer just updated the master weights.
+    #[allow(clippy::too_many_arguments)]
     fn train_epoch(
         &self,
         net: &mut Network,
+        corrupted: &mut Network,
         dataset: &dyn Dataset,
         optimizer: &mut Sgd,
         memory: &mut ApproximateMemory,
@@ -162,8 +190,8 @@ impl CurricularTrainer {
         let mut batches = 0usize;
         for chunk in order.chunks(cfg.batch_size) {
             // Weights are fetched from approximate DRAM once per batch.
-            let mut corrupted = net.clone();
-            corrupted.corrupt_weights(cfg.precision, memory);
+            let images = net.weight_images(cfg.precision);
+            corrupted.load_corrupted_weights(&images, memory);
             corrupted.zero_grads();
             let mut batch_loss = 0.0;
             for &i in chunk {
@@ -283,6 +311,87 @@ mod tests {
         let reliable = eden_dnn::metrics::accuracy(&boosted, dataset.test());
         let chance = 1.0 / dataset.spec().num_classes as f32;
         assert!(reliable > chance + 0.15);
+    }
+
+    #[test]
+    fn persistent_corrupted_copy_matches_clone_based_epochs() {
+        // Reference implementation of the pre-session algorithm: a fresh
+        // `net.clone()` corrupted per batch. The production path re-loads a
+        // persistent copy from per-batch bit images and must match it bit
+        // for bit — same losses, same final weights.
+        fn retrain_clone_based(
+            trainer: &CurricularTrainer,
+            net: &mut Network,
+            dataset: &dyn Dataset,
+            error_model: &ErrorModel,
+        ) -> Vec<(f64, f32)> {
+            let cfg = trainer.config();
+            let bounding = BoundingLogic::calibrated(
+                net,
+                &dataset.train()[..16.min(dataset.train().len())],
+                1.5,
+                CorrectionPolicy::Zero,
+            );
+            let mut optimizer = Sgd::new(cfg.learning_rate, cfg.momentum, 1e-4);
+            let mut rng = StdRng::seed_from_u64(cfg.seed);
+            let mut epochs = Vec::new();
+            for epoch in 0..cfg.epochs {
+                let ber = trainer.ber_for_epoch(epoch);
+                let mut memory = ApproximateMemory::from_model(
+                    error_model.with_ber(ber),
+                    cfg.seed ^ epoch as u64,
+                )
+                .with_bounding(bounding);
+                let mut order: Vec<usize> = (0..dataset.train().len()).collect();
+                order.shuffle(&mut rng);
+                let mut total_loss = 0.0;
+                let mut batches = 0usize;
+                for chunk in order.chunks(cfg.batch_size) {
+                    let mut corrupted = net.clone();
+                    corrupted.corrupt_weights(cfg.precision, &mut memory);
+                    corrupted.zero_grads();
+                    let mut batch_loss = 0.0;
+                    for &i in chunk {
+                        let (x, label) = &dataset.train()[i];
+                        let logits =
+                            corrupted.forward_train_with_ifm_hook(x, cfg.precision, &mut memory);
+                        let (l, d_logits) = loss::cross_entropy(&logits, *label);
+                        batch_loss += l;
+                        corrupted.backward(&d_logits.scale(1.0 / chunk.len() as f32));
+                    }
+                    let grads = corrupted.collect_grads();
+                    net.set_grads(&grads);
+                    optimizer.step(net);
+                    net.zero_grads();
+                    total_loss += batch_loss / chunk.len() as f32;
+                    batches += 1;
+                }
+                epochs.push((ber, total_loss / batches.max(1) as f32));
+            }
+            epochs
+        }
+
+        let (net, dataset) = baseline(2);
+        let template = ErrorModel::uniform(0.01, 0.5, 4);
+        let trainer = CurricularTrainer::new(CurricularConfig {
+            epochs: 2,
+            target_ber: 5e-3,
+            seed: 3,
+            ..CurricularConfig::default()
+        });
+
+        let mut production = net.clone();
+        let report = trainer.retrain(&mut production, &dataset, &template);
+        let mut reference = net.clone();
+        let epochs = retrain_clone_based(&trainer, &mut reference, &dataset, &template);
+
+        assert_eq!(report.epochs, epochs, "per-epoch losses must be identical");
+        let x = &dataset.test()[0].0;
+        assert_eq!(
+            production.forward(x),
+            reference.forward(x),
+            "final weights must be bit-identical"
+        );
     }
 
     #[test]

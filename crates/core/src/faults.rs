@@ -38,10 +38,84 @@ use eden_dram::util::stream;
 use eden_dram::ErrorModel;
 use eden_tensor::{Precision, QuantTensor};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Salt separating fork-lane seeds from the parent's own load streams.
 const FORK_SALT: u64 = 0xF0_4B_1A_9E_5A_17_ED_01;
+
+/// Cache key of one precomputed weak-cell map: the error model's full
+/// parameter fingerprint plus the exact placement and tensor geometry the map
+/// was computed for. A map is a pure function of this key, so sharing cached
+/// entries across memories can never change results.
+type WeakMapKey = (u64, Layout, usize, u32);
+
+/// A shared, thread-safe cache of precomputed [`WeakCellMap`]s, keyed by
+/// `(error model fingerprint, placement, tensor geometry)`.
+///
+/// Every [`ApproximateMemory`] keeps its own per-site map cache, but that
+/// cache dies with the memory — and characterization sweeps build a *fresh*
+/// memory per probe, recomputing the O(total bits) weak-cell scans dozens of
+/// times for placements whose error model never changed between probes.
+/// Attaching one `WeakMapCache` (via
+/// [`ApproximateMemory::attach_weak_map_cache`]) to every probe's memory
+/// makes those scans run once per distinct `(model, placement, geometry)`
+/// and be shared from then on. [`crate::session::EvalSession`] owns one such
+/// cache and attaches it to every memory it evaluates with.
+///
+/// The cache is bounded: a fine-grained sweep inserts one map per *rejected*
+/// candidate BER that is never looked up again, so an unbounded cache would
+/// grow monotonically for the owning session's lifetime. Once
+/// [`WeakMapCache::MAX_ENTRIES`] is reached the cache is flushed — the hot
+/// maps (the currently-accepted tolerances) are recomputed once and
+/// re-cached, and results are unaffected either way.
+#[derive(Debug, Default)]
+pub struct WeakMapCache {
+    maps: Mutex<HashMap<WeakMapKey, Arc<WeakCellMap>>>,
+}
+
+impl WeakMapCache {
+    /// Entry cap; generous enough that a Figure 11-scale sweep (hundreds of
+    /// distinct `(model, placement)` pairs alive at once) never flushes
+    /// mid-round, small enough to bound a long session's resident maps.
+    pub const MAX_ENTRIES: usize = 4096;
+
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached maps.
+    pub fn len(&self) -> usize {
+        self.maps.lock().unwrap().len()
+    }
+
+    /// Whether the cache holds no maps.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The cached map for `key`, computing it with `compute` on a miss.
+    ///
+    /// `compute` runs outside the cache lock (a weak-cell scan can be long,
+    /// and concurrent probes must not serialize on it); if two threads race
+    /// on the same key, the first inserted map wins and both observe it —
+    /// the maps are identical by construction, so the race is benign.
+    fn get_or_compute(
+        &self,
+        key: WeakMapKey,
+        compute: impl FnOnce() -> Option<WeakCellMap>,
+    ) -> Option<Arc<WeakCellMap>> {
+        if let Some(map) = self.maps.lock().unwrap().get(&key) {
+            return Some(map.clone());
+        }
+        let map = Arc::new(compute()?);
+        let mut maps = self.maps.lock().unwrap();
+        if maps.len() >= Self::MAX_ENTRIES {
+            maps.clear();
+        }
+        Some(maps.entry(key).or_insert(map).clone())
+    }
+}
 
 /// Statistics accumulated while serving loads from approximate memory.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -54,9 +128,16 @@ pub struct MemoryStats {
     pub corrections: u64,
 }
 
-/// Approximate DRAM backing the DNN's weights and feature maps.
+/// DRAM placement and error-source state shared (copy-on-write) by a memory
+/// and all of its forks.
+///
+/// The batch evaluator takes one fork per *sample*; with this state behind
+/// an `Arc`, a fork is a constant-time clone instead of a deep copy of
+/// several `DataSite`-keyed maps. A fork that lazily allocates a *new*
+/// placement after forking diverges via `Arc::make_mut` — exactly the
+/// pre-existing semantics that fork-local allocations are not written back.
 #[derive(Clone)]
-pub struct ApproximateMemory {
+struct PlacementState {
     default_injector: Option<Injector>,
     site_injectors: HashMap<DataSite, Injector>,
     site_layouts: HashMap<DataSite, Layout>,
@@ -67,6 +148,33 @@ pub struct ApproximateMemory {
     /// instead of recomputing them.
     weak_maps: HashMap<DataSite, Vec<(usize, u32, Arc<WeakCellMap>)>>,
     allocator: AddressAllocator,
+}
+
+impl PlacementState {
+    fn new(default_injector: Option<Injector>) -> Self {
+        Self {
+            default_injector,
+            site_injectors: HashMap::new(),
+            site_layouts: HashMap::new(),
+            weak_maps: HashMap::new(),
+            allocator: AddressAllocator::new(2048 * 8),
+        }
+    }
+
+    fn injector_for(&self, site: &DataSite) -> Option<&Injector> {
+        self.site_injectors
+            .get(site)
+            .or(self.default_injector.as_ref())
+    }
+}
+
+/// Approximate DRAM backing the DNN's weights and feature maps.
+#[derive(Clone)]
+pub struct ApproximateMemory {
+    placement: Arc<PlacementState>,
+    /// Optional cross-memory map cache (see [`WeakMapCache`]); consulted on a
+    /// local miss before falling back to a fresh weak-cell scan.
+    shared_maps: Option<Arc<WeakMapCache>>,
     bounding: Option<BoundingLogic>,
     /// Master seed; every load's RNG stream is derived from it.
     seed: u64,
@@ -85,11 +193,8 @@ impl ApproximateMemory {
     /// Memory backed by an arbitrary injector (e.g. the simulated device).
     pub fn from_injector(injector: Injector, seed: u64) -> Self {
         Self {
-            default_injector: Some(injector),
-            site_injectors: HashMap::new(),
-            site_layouts: HashMap::new(),
-            weak_maps: HashMap::new(),
-            allocator: AddressAllocator::new(2048 * 8),
+            placement: Arc::new(PlacementState::new(Some(injector))),
+            shared_maps: None,
             bounding: None,
             seed,
             next_load: 0,
@@ -100,16 +205,22 @@ impl ApproximateMemory {
     /// Reliable memory: no errors are ever injected.
     pub fn reliable(seed: u64) -> Self {
         Self {
-            default_injector: None,
-            site_injectors: HashMap::new(),
-            site_layouts: HashMap::new(),
-            weak_maps: HashMap::new(),
-            allocator: AddressAllocator::new(2048 * 8),
+            placement: Arc::new(PlacementState::new(None)),
+            shared_maps: None,
             bounding: None,
             seed,
             next_load: 0,
             stats: MemoryStats::default(),
         }
+    }
+
+    /// Attaches a shared weak-map cache: local misses consult (and populate)
+    /// `cache` before falling back to a fresh weak-cell scan. Maps are pure
+    /// functions of `(error model, placement, geometry)`, so attaching a
+    /// cache never changes injection results — only how often the O(total
+    /// bits) scans run. Forks and clones share the attachment.
+    pub fn attach_weak_map_cache(&mut self, cache: Arc<WeakMapCache>) {
+        self.shared_maps = Some(cache);
     }
 
     /// Enables implausible-value correction on every load.
@@ -121,18 +232,20 @@ impl ApproximateMemory {
     /// Backs one specific data type with its own error source (fine-grained
     /// mapping: different partitions have different BERs).
     pub fn assign_site(&mut self, site: DataSite, injector: Injector) {
+        let state = Arc::make_mut(&mut self.placement);
         // Any maps computed under the previous error source are stale.
-        self.weak_maps.remove(&site);
-        self.site_injectors.insert(site, injector);
+        state.weak_maps.remove(&site);
+        state.site_injectors.insert(site, injector);
     }
 
     /// Replaces the default error source for all unassigned sites.
     pub fn set_default(&mut self, injector: Option<Injector>) {
+        let state = Arc::make_mut(&mut self.placement);
         // Keep only maps pinned by per-site overrides; default-backed maps
         // are stale under the new error source.
-        let overridden: Vec<DataSite> = self.site_injectors.keys().cloned().collect();
-        self.weak_maps.retain(|s, _| overridden.contains(s));
-        self.default_injector = injector;
+        let overridden: Vec<DataSite> = state.site_injectors.keys().cloned().collect();
+        state.weak_maps.retain(|s, _| overridden.contains(s));
+        state.default_injector = injector;
     }
 
     /// Statistics accumulated so far.
@@ -163,6 +276,11 @@ impl ApproximateMemory {
     ///
     /// Fork statistics start at zero; merge them back with
     /// [`ApproximateMemory::merge_stats`].
+    ///
+    /// Forking is O(1): the placement state (injectors, layouts, weak-cell
+    /// maps) is shared copy-on-write, so the per-sample forks of a batch
+    /// evaluation cost an `Arc` clone each rather than a deep copy of the
+    /// site maps.
     pub fn fork(&self, lane: u64) -> ApproximateMemory {
         let mut child = self.clone();
         child.seed = stream(self.seed ^ FORK_SALT, lane);
@@ -223,7 +341,7 @@ impl ApproximateMemory {
     ) -> Option<Arc<WeakCellMap>> {
         // Borrowed-key lookup first: cloning the `DataSite` (and its name
         // string) on every load would dominate the hit path.
-        if let Some(map) = self.weak_maps.get(site).and_then(|geos| {
+        if let Some(map) = self.placement.weak_maps.get(site).and_then(|geos| {
             geos.iter()
                 .find(|(v, b, _)| *v == values && *b == bits)
                 .map(|(_, _, m)| m.clone())
@@ -231,12 +349,22 @@ impl ApproximateMemory {
             return Some(map);
         }
         let layout = self.layout_for(site, values as u64 * bits as u64);
-        let injector = self
-            .site_injectors
-            .get(site)
-            .or(self.default_injector.as_ref())?;
-        let map = Arc::new(injector.weak_map(values, bits, &layout)?);
-        self.weak_maps
+        let map = {
+            let injector = self.placement.injector_for(site)?;
+            // Model-backed placements go through the shared cache when one is
+            // attached (the map depends only on the model, not the site name,
+            // so probes sweeping per-site error rates share every unchanged
+            // map).
+            match (&self.shared_maps, injector) {
+                (Some(shared), Injector::Model { model, .. }) => shared
+                    .get_or_compute((model.fingerprint(), layout, values, bits), || {
+                        injector.weak_map(values, bits, &layout)
+                    })?,
+                _ => Arc::new(injector.weak_map(values, bits, &layout)?),
+            }
+        };
+        Arc::make_mut(&mut self.placement)
+            .weak_maps
             .entry(site.clone())
             .or_default()
             .push((values, bits, map.clone()));
@@ -244,11 +372,12 @@ impl ApproximateMemory {
     }
 
     fn layout_for(&mut self, site: &DataSite, total_bits: u64) -> Layout {
-        if let Some(layout) = self.site_layouts.get(site) {
+        if let Some(layout) = self.placement.site_layouts.get(site) {
             return *layout;
         }
-        let layout = self.allocator.allocate(total_bits);
-        self.site_layouts.insert(site.clone(), layout);
+        let state = Arc::make_mut(&mut self.placement);
+        let layout = state.allocator.allocate(total_bits);
+        state.site_layouts.insert(site.clone(), layout);
         layout
     }
 }
@@ -260,11 +389,7 @@ impl FaultHook for ApproximateMemory {
         self.stats.loads += 1;
         let layout = self.layout_for(site, tensor.total_bits());
         let map = self.weak_map_for(site, tensor.len(), tensor.bits_per_value());
-        let injector = self
-            .site_injectors
-            .get(site)
-            .or(self.default_injector.as_ref());
-        if let Some(injector) = injector {
+        if let Some(injector) = self.placement.injector_for(site) {
             self.stats.bit_flips +=
                 injector.corrupt_placed_seeded_mapped(tensor, &layout, load_stream, map.as_deref());
         }
@@ -279,11 +404,12 @@ impl std::fmt::Debug for ApproximateMemory {
         write!(
             f,
             "ApproximateMemory(default: {}, {} site overrides, stats: {:?})",
-            self.default_injector
+            self.placement
+                .default_injector
                 .as_ref()
                 .map(|i| format!("BER {:.2e}", i.expected_ber()))
                 .unwrap_or_else(|| "reliable".to_string()),
-            self.site_injectors.len(),
+            self.placement.site_injectors.len(),
             self.stats
         )
     }
@@ -305,6 +431,20 @@ mod tests {
             &Tensor::from_vec((0..n).map(|i| (i as f32 * 0.11).sin()).collect(), &[n]),
             Precision::Int8,
         )
+    }
+
+    #[test]
+    fn weak_map_cache_is_bounded() {
+        let cache = WeakMapCache::new();
+        let model = ErrorModel::uniform(0.02, 0.5, 1);
+        // Distinct fingerprints simulate a long sweep of rejected candidate
+        // BERs; the cache must flush at the cap instead of growing forever.
+        for i in 0..(WeakMapCache::MAX_ENTRIES + 10) as u64 {
+            let key = (i, Layout::default(), 64, 8);
+            cache.get_or_compute(key, || Some(model.weak_map(64, 8, &Layout::default())));
+        }
+        assert!(cache.len() <= WeakMapCache::MAX_ENTRIES);
+        assert!(!cache.is_empty());
     }
 
     #[test]

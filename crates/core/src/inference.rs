@@ -6,6 +6,17 @@
 //! only modification to the inference algorithm itself is the
 //! implausible-value correction carried by [`ApproximateMemory`].
 //!
+//! # One-shot wrappers over the session layer
+//!
+//! Every function here is a thin wrapper that constructs a throwaway
+//! [`EvalSession`] and delegates — the session layer
+//! ([`crate::session`]) owns the actual evaluation engine. Call these for a
+//! single evaluation; for probe loops (characterization sweeps, tolerance
+//! curves, retraining), construct one [`EvalSession`] and reuse it, which
+//! amortizes the weight bit images, corrupted-weight pools and weak-cell
+//! maps that the one-shot wrappers rebuild per call. Results are
+//! bit-for-bit identical either way.
+//!
 //! # Parallel batch execution
 //!
 //! [`evaluate_with_faults`] runs samples batch-parallel on the current
@@ -18,18 +29,12 @@
 //! index-ordered slots. See the README's threading-model section.
 
 use crate::faults::ApproximateMemory;
-use eden_dnn::network::WeightImage;
-use eden_dnn::qexec::{self, NativeWeights, QuantScratch};
+use crate::session::EvalSession;
 use eden_dnn::{FaultHook, Network};
 use eden_tensor::{Precision, Tensor};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
-
-/// Samples per weight refetch: the corrupted weight copy is re-loaded from
-/// approximate DRAM once per this many samples, modelling periodic
-/// re-fetching (the same constant the seed implementation chunked by).
-const WEIGHT_REFETCH_PERIOD: usize = 16;
 
 /// How the DNN executes on top of the corrupted stored bits.
 ///
@@ -116,24 +121,15 @@ pub fn forward_with_faults_backend(
     memory: &mut ApproximateMemory,
     backend: InferenceBackend,
 ) -> Tensor {
-    match effective_backend(backend, precision) {
-        InferenceBackend::SimulatedF32 => {
-            let corrupted = corrupted_network(net, precision, memory);
-            corrupted.forward_with_ifm_hook(input, precision, memory)
-        }
-        InferenceBackend::NativeInt => {
-            let images = net.weight_images(precision);
-            let mut weights = NativeWeights::prepare(net);
-            weights.refresh(&images, memory);
-            let mut scratch = QuantScratch::new();
-            qexec::forward_native(net, &weights, input, precision, memory, &mut scratch)
-        }
-    }
+    EvalSession::new(net, precision, backend).forward_with_faults(input, memory)
 }
 
 /// FP32 has no quantized integer representation, so the native backend
 /// executes it on the simulated path.
-fn effective_backend(backend: InferenceBackend, precision: Precision) -> InferenceBackend {
+pub(crate) fn effective_backend(
+    backend: InferenceBackend,
+    precision: Precision,
+) -> InferenceBackend {
     if precision.is_integer() {
         backend
     } else {
@@ -182,7 +178,9 @@ pub fn evaluate_with_faults(
 /// Both backends corrupt a copy of each weight site's cached clean bit image
 /// per refetch ([`Network::weight_images`]) rather than cloning and
 /// re-quantizing the network, so the per-refetch cost is proportional to the
-/// stored bits, not to the network object graph.
+/// stored bits, not to the network object graph. A probe loop should hold an
+/// [`EvalSession`] instead of calling this repeatedly (see the
+/// [module docs](self)).
 pub fn evaluate_with_faults_backend(
     net: &Network,
     samples: &[(Tensor, usize)],
@@ -190,128 +188,7 @@ pub fn evaluate_with_faults_backend(
     memory: &mut ApproximateMemory,
     backend: InferenceBackend,
 ) -> f32 {
-    if samples.is_empty() {
-        return f32::NAN;
-    }
-    // Pin every site's DRAM placement before forking so all forks agree on
-    // addresses without having to communicate.
-    memory.preallocate(net, precision);
-    // The clean quantized bit image of every weight site, captured once per
-    // evaluation; each refetch corrupts a copy of the stored bits.
-    let images = net.weight_images(precision);
-
-    let correct = match effective_backend(backend, precision) {
-        InferenceBackend::SimulatedF32 => {
-            evaluate_simulated(net, samples, precision, memory, &images)
-        }
-        InferenceBackend::NativeInt => evaluate_native(net, samples, precision, memory, &images),
-    };
-    correct as f32 / samples.len() as f32
-}
-
-thread_local! {
-    /// Reusable native-executor scratch buffers, one set per worker thread.
-    static SCRATCH: std::cell::RefCell<QuantScratch> =
-        std::cell::RefCell::new(QuantScratch::new());
-}
-
-/// Number of refetch slots a window needs.
-fn refetch_slots(window_len: usize) -> usize {
-    window_len.div_ceil(WEIGHT_REFETCH_PERIOD)
-}
-
-/// Samples per window: at most 16 corrupted weight copies are resident at
-/// once, wide enough to keep every worker busy.
-const WINDOW: usize = 16 * WEIGHT_REFETCH_PERIOD;
-
-fn evaluate_simulated(
-    net: &Network,
-    samples: &[(Tensor, usize)],
-    precision: Precision,
-    memory: &mut ApproximateMemory,
-    images: &[WeightImage],
-) -> usize {
-    // Reusable pool of corrupted network instances: cloned lazily (at most
-    // once per refetch slot, i.e. ≤ 16 times total) and re-loaded in place
-    // from the bit images on every refetch — the weight refetches inside
-    // each window draw sequentially from the parent memory's stream, in
-    // sample order, exactly as a fully sequential evaluation would.
-    let mut pool: Vec<Network> = Vec::new();
-    let mut correct = 0usize;
-    for (w, window) in samples.chunks(WINDOW).enumerate() {
-        let slots = refetch_slots(window.len());
-        while pool.len() < slots {
-            pool.push(net.clone());
-        }
-        for slot in pool.iter_mut().take(slots) {
-            slot.load_corrupted_weights(images, memory);
-        }
-
-        let base = w * WINDOW;
-        let shared: &ApproximateMemory = memory;
-        let pool_ref: &[Network] = &pool;
-        let outcomes = eden_par::par_map(window, |i, (x, label)| {
-            // Lane key is the sample's *global* index: invariant under both
-            // the window size and the thread count.
-            let mut lane = shared.fork((base + i) as u64);
-            let net = &pool_ref[i / WEIGHT_REFETCH_PERIOD];
-            let logits = net.forward_with_ifm_hook(x, precision, &mut lane);
-            (logits.argmax() == *label, lane.stats())
-        });
-
-        for (ok, stats) in outcomes {
-            if ok {
-                correct += 1;
-            }
-            memory.merge_stats(stats);
-        }
-    }
-    correct
-}
-
-fn evaluate_native(
-    net: &Network,
-    samples: &[(Tensor, usize)],
-    precision: Precision,
-    memory: &mut ApproximateMemory,
-    images: &[WeightImage],
-) -> usize {
-    // Same window/refetch structure as the simulated path (and the same load
-    // stream consumption), but the refetched state is the integer parameter
-    // set instead of an f32 network copy.
-    let mut pool: Vec<NativeWeights> = Vec::new();
-    let mut correct = 0usize;
-    for (w, window) in samples.chunks(WINDOW).enumerate() {
-        let slots = refetch_slots(window.len());
-        while pool.len() < slots {
-            pool.push(NativeWeights::prepare(net));
-        }
-        for slot in pool.iter_mut().take(slots) {
-            slot.refresh(images, memory);
-        }
-
-        let base = w * WINDOW;
-        let shared: &ApproximateMemory = memory;
-        let pool_ref: &[NativeWeights] = &pool;
-        let outcomes = eden_par::par_map(window, |i, (x, label)| {
-            let mut lane = shared.fork((base + i) as u64);
-            let weights = &pool_ref[i / WEIGHT_REFETCH_PERIOD];
-            // Per-worker scratch: buffer contents never influence results,
-            // so reuse across samples is thread-count invariant.
-            let logits = SCRATCH.with(|s| {
-                qexec::forward_native(net, weights, x, precision, &mut lane, &mut s.borrow_mut())
-            });
-            (logits.argmax() == *label, lane.stats())
-        });
-
-        for (ok, stats) in outcomes {
-            if ok {
-                correct += 1;
-            }
-            memory.merge_stats(stats);
-        }
-    }
-    correct
+    EvalSession::new(net, precision, backend).evaluate_with_faults(samples, memory)
 }
 
 /// Accuracy of the same network on reliable memory (the baseline the
@@ -328,8 +205,7 @@ pub fn evaluate_reliable_backend(
     precision: Precision,
     backend: InferenceBackend,
 ) -> f32 {
-    let mut memory = ApproximateMemory::reliable(0);
-    evaluate_with_faults_backend(net, samples, precision, &mut memory, backend)
+    EvalSession::new(net, precision, backend).evaluate_reliable(samples)
 }
 
 /// Evaluates accuracy at a sequence of bit error rates using a template
@@ -375,17 +251,8 @@ pub fn accuracy_vs_ber_backend(
     seed: u64,
     backend: InferenceBackend,
 ) -> Vec<(f64, f32)> {
-    eden_par::par_map(bers, |_, &ber| {
-        let model = template.with_ber(ber);
-        let mut memory = ApproximateMemory::from_model(model, seed);
-        if let Some(b) = bounding {
-            memory = memory.with_bounding(b);
-        }
-        (
-            ber,
-            evaluate_with_faults_backend(net, samples, precision, &mut memory, backend),
-        )
-    })
+    EvalSession::new(net, precision, backend)
+        .accuracy_vs_ber(samples, template, bers, bounding, seed)
 }
 
 /// Convenience wrapper: a [`FaultHook`] that applies no corruption, for

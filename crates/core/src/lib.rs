@@ -16,8 +16,10 @@
 //!    Section 3.4.
 //!
 //! [`faults`] provides the approximate-memory fault hook that backs both
-//! retraining and inference ([`inference`]), and [`pipeline`] chains the
-//! three steps into the iterative loop of Figure 4.
+//! retraining and inference ([`inference`]), [`session`] provides the
+//! reusable evaluation-session layer that the characterization, retraining
+//! and mapping probe loops share, and [`pipeline`] chains the three steps
+//! into the iterative loop of Figure 4.
 //!
 //! # Example
 //!
@@ -48,10 +50,12 @@ pub mod faults;
 pub mod inference;
 pub mod mapping;
 pub mod pipeline;
+pub mod session;
 
 pub use bounding::{BoundingLogic, CorrectionPolicy};
 pub use characterize::{CoarseCharacterization, FineCharacterization};
 pub use curricular::{CurricularConfig, CurricularTrainer};
-pub use faults::ApproximateMemory;
+pub use faults::{ApproximateMemory, WeakMapCache};
 pub use mapping::{CoarseMapping, FineMapping};
 pub use pipeline::{EdenConfig, EdenOutcome, EdenPipeline};
+pub use session::EvalSession;

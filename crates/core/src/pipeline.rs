@@ -8,10 +8,11 @@
 //! boost/characterize/map cycle until the tolerable BER stops improving.
 
 use crate::bounding::{BoundingLogic, CorrectionPolicy};
-use crate::characterize::{coarse_characterize, CoarseCharacterization, CoarseConfig};
+use crate::characterize::{coarse_characterize_session, CoarseCharacterization, CoarseConfig};
 use crate::curricular::{CurricularConfig, CurricularTrainer};
 use crate::inference::InferenceBackend;
 use crate::mapping::{coarse_map, CoarseMapping};
+use crate::session::EvalSession;
 use eden_dnn::{Dataset, Network};
 use eden_dram::characterize::{characterize_bank, CharacterizeConfig};
 use eden_dram::fit::select_model;
@@ -27,9 +28,9 @@ pub struct EdenConfig {
     pub accuracy_drop: f32,
     /// Numeric precision of the deployed DNN.
     pub precision: Precision,
-    /// Execution backend for every characterization evaluation (curricular
-    /// retraining always trains in f32: backpropagation needs the float
-    /// graph).
+    /// Execution backend for every characterization and report evaluation
+    /// (curricular retraining always *trains* in f32 — backpropagation needs
+    /// the float graph — but its accuracy reports honor this backend).
     pub backend: InferenceBackend,
     /// Operating point at which the target device is characterized for
     /// error-model fitting.
@@ -141,14 +142,21 @@ impl EdenPipeline {
             backend: cfg.backend,
             ..cfg.characterization
         };
-        let baseline = coarse_characterize(
-            net,
-            dataset,
-            cfg.precision,
-            &error_model,
-            Some(bounding),
-            &coarse_cfg,
-        );
+        // Each characterization holds its own evaluation session: the probes
+        // of one binary search share weight images, corrupted-weight pools
+        // and weak-cell maps, while retraining between characterizations
+        // mutates the network and therefore invalidates any longer-lived
+        // session.
+        let baseline = {
+            let mut session = EvalSession::new(net, cfg.precision, cfg.backend);
+            coarse_characterize_session(
+                &mut session,
+                dataset,
+                &error_model,
+                Some(bounding),
+                &coarse_cfg,
+            )
+        };
 
         // Iterate boost → characterize until the tolerable BER stops
         // improving (Section 3.3).
@@ -158,6 +166,7 @@ impl EdenPipeline {
             let retrain_cfg = CurricularConfig {
                 target_ber,
                 precision: cfg.precision,
+                backend: cfg.backend,
                 seed: cfg.seed ^ (iteration as u64 + 1),
                 ..cfg.retraining
             };
@@ -168,10 +177,10 @@ impl EdenPipeline {
                 1.5,
                 CorrectionPolicy::Zero,
             );
-            let characterized = coarse_characterize(
-                net,
+            let mut session = EvalSession::new(net, cfg.precision, cfg.backend);
+            let characterized = coarse_characterize_session(
+                &mut session,
                 dataset,
-                cfg.precision,
                 &error_model,
                 Some(bounding),
                 &coarse_cfg,

@@ -1,0 +1,625 @@
+//! Reusable evaluation sessions: the probe-loop backbone of EDEN.
+//!
+//! Every stage of the EDEN pipeline is dominated by *repeated* accuracy
+//! evaluations of one network at one precision: the coarse binary search
+//! (Table 3) probes a dozen BER operating points, the fine-grained sweep
+//! (Figure 11) runs `sites × rounds` probes, the BER tolerance curves
+//! (Figure 8) fan dozens of points out, and curricular retraining evaluates
+//! after every boost iteration. The one-shot functions in
+//! [`crate::inference`] are correct but rebuild everything per call: the
+//! clean quantized weight bit images, the corrupted-weight pools, and —
+//! through a fresh [`ApproximateMemory`] per probe — every placement's
+//! O(total bits) weak-cell scan.
+//!
+//! [`EvalSession`] is the session layer those loops share. Constructed once
+//! from `(network, precision, backend)`, it owns:
+//!
+//! * the clean quantized **weight bit images** ([`Network::weight_images`]),
+//!   captured once instead of once per probe;
+//! * the reusable **corrupted-weight pools** (simulated-f32 network copies
+//!   and [`NativeWeights`] integer state), re-loaded in place per refetch;
+//! * the **per-worker scratch arena** of the native integer executor;
+//! * the cached **reliable baseline** per evaluated sample set;
+//! * a keyed cache of **per-placement injectors and weak-cell maps**
+//!   ([`WeakMapCache`]) shared by every memory the session evaluates with,
+//!   so a probe that changes one site's BER recomputes one map, not all of
+//!   them.
+//!
+//! Results are **bit-for-bit identical** to the one-shot API (which is
+//! itself implemented as a thin wrapper constructing a throwaway session):
+//! everything the session reuses is either a pure function of unchanged
+//! inputs (images, weak maps, layouts) or state that each probe fully
+//! re-initializes (pools, scratch). The workspace `session_equivalence`
+//! suite pins this across backends, precisions and thread counts.
+//!
+//! # Example
+//!
+//! ```
+//! use eden_core::faults::ApproximateMemory;
+//! use eden_core::inference::InferenceBackend;
+//! use eden_core::session::EvalSession;
+//! use eden_dnn::{data::SyntheticVision, zoo, Dataset};
+//! use eden_dram::ErrorModel;
+//! use eden_tensor::Precision;
+//!
+//! let dataset = SyntheticVision::tiny(0);
+//! let net = zoo::lenet(&dataset.spec(), 1);
+//! let mut session = EvalSession::new(&net, Precision::Int8, InferenceBackend::SimulatedF32);
+//! let template = ErrorModel::uniform(0.001, 0.5, 7);
+//! // Probe two operating points; the second reuses the session's images,
+//! // pools and weak-cell maps.
+//! for ber in [1e-4, 1e-3] {
+//!     let mut memory = ApproximateMemory::from_model(template.with_ber(ber), 3);
+//!     let accuracy = session.evaluate_with_faults(&dataset.test()[..8], &mut memory);
+//!     assert!((0.0..=1.0).contains(&accuracy));
+//! }
+//! ```
+
+use crate::bounding::BoundingLogic;
+use crate::faults::{ApproximateMemory, WeakMapCache};
+use crate::inference::{effective_backend, InferenceBackend};
+use eden_dnn::network::WeightImage;
+use eden_dnn::qexec::{self, NativeWeights, QuantScratch, ScratchArena};
+use eden_dnn::{DataKind, DataSite, FaultHook, Network};
+use eden_dram::error_model::Layout;
+use eden_dram::inject::Injector;
+use eden_dram::util::stream;
+use eden_dram::ErrorModel;
+use eden_tensor::{Precision, QuantTensor, Tensor};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Samples per weight refetch: the corrupted weight copy is re-loaded from
+/// approximate DRAM once per this many samples, modelling periodic
+/// re-fetching (the same constant the seed implementation chunked by).
+pub const WEIGHT_REFETCH_PERIOD: usize = 16;
+
+/// Samples per window: at most 16 corrupted weight copies are resident at
+/// once, wide enough to keep every worker busy.
+const WINDOW: usize = 16 * WEIGHT_REFETCH_PERIOD;
+
+/// Number of refetch slots a window needs.
+fn refetch_slots(window_len: usize) -> usize {
+    window_len.div_ceil(WEIGHT_REFETCH_PERIOD)
+}
+
+/// Reusable buffers of one simulated-f32 forward pass: the stored-bits
+/// image crossing every layer boundary and the dequantized activation
+/// buffer. [`QuantTensor::quantize`] is defined as `requantize_from` on a
+/// fresh buffer, so reusing one across layers (and samples) is
+/// bit-identical to allocating per layer.
+#[derive(Default)]
+struct SimScratch {
+    stored: Option<QuantTensor>,
+    dequantized: Vec<f32>,
+}
+
+/// The shareable, probe-invariant part of a session: everything that depends
+/// only on `(network, precision, backend)` and can therefore back any number
+/// of concurrent probes (the BER sweep fans probes out over the `eden-par`
+/// pool with one borrowed `SessionCore`).
+struct SessionCore<'a> {
+    net: &'a Network,
+    precision: Precision,
+    backend: InferenceBackend,
+    /// Clean quantized bit images of every weight parameter, in
+    /// [`Network::corrupt_weights`] visit order — captured once per session.
+    images: Vec<WeightImage>,
+    /// One IFM [`DataSite`] per layer, precomputed so the per-layer loads of
+    /// every sample skip the site's name allocation.
+    ifm_sites: Vec<DataSite>,
+    /// Weak-cell maps and placements shared by every memory this session
+    /// evaluates with.
+    weak_maps: Arc<WeakMapCache>,
+    /// Native-executor scratch buffers, checked out per worker pass.
+    scratch: ScratchArena<QuantScratch>,
+    /// Simulated-path scratch buffers, checked out per worker pass.
+    sim_scratch: ScratchArena<SimScratch>,
+}
+
+/// Reusable corrupted-weight state: lazily grown to the refetch-slot count
+/// and re-loaded in place from the session's bit images on every refetch, so
+/// sequential probes never re-clone the network object graph.
+#[derive(Default)]
+struct ProbePools {
+    simulated: Vec<Network>,
+    native: Vec<NativeWeights>,
+}
+
+/// A reusable evaluation session for one `(network, precision, backend)`
+/// triple. See the [module docs](self) for what it owns and why.
+///
+/// The session borrows the network immutably: construct a fresh session
+/// after mutating weights (e.g. between boost iterations of the pipeline).
+/// Cached baselines assume the evaluated sample sets are immutable for the
+/// session's lifetime — they are keyed by sample *content*, so a mutated
+/// set is never confused with its previous contents, merely re-evaluated.
+pub struct EvalSession<'a> {
+    core: SessionCore<'a>,
+    pools: ProbePools,
+    /// Reliable-baseline accuracy per sample-set content key.
+    baselines: HashMap<u64, f32>,
+    /// Injectors keyed by `(error-model fingerprint, BER bits)`.
+    injectors: HashMap<(u64, u64), Injector>,
+}
+
+impl<'a> EvalSession<'a> {
+    /// Creates a session, capturing the clean quantized weight bit images of
+    /// `net` at `precision`.
+    pub fn new(net: &'a Network, precision: Precision, backend: InferenceBackend) -> Self {
+        Self {
+            core: SessionCore {
+                net,
+                precision,
+                backend,
+                images: net.weight_images(precision),
+                ifm_sites: net
+                    .layers()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, layer)| DataSite::new(i, layer.name(), DataKind::Ifm))
+                    .collect(),
+                weak_maps: Arc::new(WeakMapCache::new()),
+                scratch: ScratchArena::new(),
+                sim_scratch: ScratchArena::new(),
+            },
+            pools: ProbePools::default(),
+            baselines: HashMap::new(),
+            injectors: HashMap::new(),
+        }
+    }
+
+    /// The network under evaluation.
+    pub fn net(&self) -> &'a Network {
+        self.core.net
+    }
+
+    /// The stored-data precision of the session.
+    pub fn precision(&self) -> Precision {
+        self.core.precision
+    }
+
+    /// The execution backend of the session.
+    pub fn backend(&self) -> InferenceBackend {
+        self.core.backend
+    }
+
+    /// The session's shared weak-map cache. Attach it to memories evaluated
+    /// outside the session (it is attached automatically to every memory
+    /// passed through the session's own methods).
+    pub fn weak_map_cache(&self) -> Arc<WeakMapCache> {
+        self.core.weak_maps.clone()
+    }
+
+    /// Classification accuracy over `samples` served from `memory` —
+    /// bit-identical to [`crate::inference::evaluate_with_faults_backend`],
+    /// with the session amortizing images, pools and weak-cell maps across
+    /// calls. Returns the [`f32::NAN`] sentinel for an empty sample slice.
+    pub fn evaluate_with_faults(
+        &mut self,
+        samples: &[(Tensor, usize)],
+        memory: &mut ApproximateMemory,
+    ) -> f32 {
+        self.core.evaluate(samples, memory, &mut self.pools)
+    }
+
+    /// Runs two independent probes concurrently on the `eden-par` pool (the
+    /// coarse search's speculative boundary probes). Each probe gets its own
+    /// transient pools, exactly like two one-shot calls would.
+    pub fn evaluate_pair(
+        &mut self,
+        samples: &[(Tensor, usize)],
+        memory_a: &mut ApproximateMemory,
+        memory_b: &mut ApproximateMemory,
+    ) -> (f32, f32) {
+        let core = &self.core;
+        eden_par::join(
+            || core.evaluate(samples, memory_a, &mut ProbePools::default()),
+            || core.evaluate(samples, memory_b, &mut ProbePools::default()),
+        )
+    }
+
+    /// Accuracy of the network on reliable memory, cached per sample-set
+    /// content so repeated characterizations of the same validation slice
+    /// evaluate it once. Returns [`f32::NAN`] for an empty slice.
+    pub fn evaluate_reliable(&mut self, samples: &[(Tensor, usize)]) -> f32 {
+        let key = samples_key(samples);
+        if let Some(&accuracy) = self.baselines.get(&key) {
+            return accuracy;
+        }
+        let mut memory = ApproximateMemory::reliable(0);
+        let accuracy = self.evaluate_with_faults(samples, &mut memory);
+        self.baselines.insert(key, accuracy);
+        accuracy
+    }
+
+    /// Accuracy at a sequence of bit error rates (the Figure 8 sweep) —
+    /// bit-identical to [`crate::inference::accuracy_vs_ber_backend`]. The
+    /// points fan out over the `eden-par` pool and share the session's
+    /// images and weak-map cache.
+    pub fn accuracy_vs_ber(
+        &mut self,
+        samples: &[(Tensor, usize)],
+        template: &ErrorModel,
+        bers: &[f64],
+        bounding: Option<BoundingLogic>,
+        seed: u64,
+    ) -> Vec<(f64, f32)> {
+        let core = &self.core;
+        eden_par::par_map(bers, |_, &ber| {
+            let model = template.with_ber(ber);
+            let mut memory = ApproximateMemory::from_model(model, seed);
+            if let Some(b) = bounding {
+                memory = memory.with_bounding(b);
+            }
+            (
+                ber,
+                core.evaluate(samples, &mut memory, &mut ProbePools::default()),
+            )
+        })
+    }
+
+    /// One forward pass with weights and IFMs served from `memory` —
+    /// bit-identical to [`crate::inference::forward_with_faults_backend`].
+    pub fn forward_with_faults(
+        &mut self,
+        input: &Tensor,
+        memory: &mut ApproximateMemory,
+    ) -> Tensor {
+        let core = &self.core;
+        let pools = &mut self.pools;
+        memory.attach_weak_map_cache(core.weak_maps.clone());
+        match effective_backend(core.backend, core.precision) {
+            InferenceBackend::SimulatedF32 => {
+                if pools.simulated.is_empty() {
+                    pools.simulated.push(core.net.clone());
+                }
+                let slot = &mut pools.simulated[0];
+                slot.load_corrupted_weights(&core.images, memory);
+                core.sim_scratch
+                    .with(|scratch| core.forward_simulated(slot, input, memory, scratch))
+            }
+            InferenceBackend::NativeInt => {
+                if pools.native.is_empty() {
+                    pools.native.push(NativeWeights::prepare(core.net));
+                }
+                let weights = &mut pools.native[0];
+                weights.refresh(&core.images, memory);
+                core.scratch.with(|scratch| {
+                    qexec::forward_native(core.net, weights, input, core.precision, memory, scratch)
+                })
+            }
+        }
+    }
+
+    /// The model-backed injector for `template.with_ber(ber)` at the default
+    /// layout, cached by `(template, BER)` so per-site tolerance sweeps
+    /// rebuild one injector per distinct operating point instead of one per
+    /// site per probe.
+    pub fn injector_for(&mut self, template: &ErrorModel, ber: f64) -> Injector {
+        self.injectors
+            .entry((template.fingerprint(), ber.to_bits()))
+            .or_insert_with(|| Injector::from_model(template.with_ber(ber), Layout::default()))
+            .clone()
+    }
+}
+
+/// Content hash of a sample set: length, labels and every input's f32 bit
+/// pattern. Two slices with identical contents share a baseline entry; any
+/// content change produces a different key.
+fn samples_key(samples: &[(Tensor, usize)]) -> u64 {
+    let mut h = stream(0xBA5E_11E5, samples.len() as u64);
+    for (x, label) in samples {
+        h = stream(h, *label as u64);
+        h = stream(h, x.data().len() as u64);
+        for v in x.data() {
+            h = h
+                .rotate_left(9)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(v.to_bits() as u64);
+        }
+        h = stream(h, 0x5A17);
+    }
+    h
+}
+
+impl SessionCore<'_> {
+    /// The batch evaluator behind [`EvalSession::evaluate_with_faults`]:
+    /// identical window/refetch structure (and load-stream consumption) to
+    /// the seed implementation, with the per-call state drawn from the
+    /// session instead of rebuilt.
+    fn evaluate(
+        &self,
+        samples: &[(Tensor, usize)],
+        memory: &mut ApproximateMemory,
+        pools: &mut ProbePools,
+    ) -> f32 {
+        if samples.is_empty() {
+            return f32::NAN;
+        }
+        memory.attach_weak_map_cache(self.weak_maps.clone());
+        // Pin every site's DRAM placement before forking so all forks agree
+        // on addresses without having to communicate.
+        memory.preallocate(self.net, self.precision);
+        let correct = match effective_backend(self.backend, self.precision) {
+            InferenceBackend::SimulatedF32 => {
+                self.evaluate_simulated(samples, memory, &mut pools.simulated)
+            }
+            InferenceBackend::NativeInt => self.evaluate_native(samples, memory, &mut pools.native),
+        };
+        correct as f32 / samples.len() as f32
+    }
+
+    fn evaluate_simulated(
+        &self,
+        samples: &[(Tensor, usize)],
+        memory: &mut ApproximateMemory,
+        pool: &mut Vec<Network>,
+    ) -> usize {
+        // Reusable pool of corrupted network instances: cloned lazily (at
+        // most once per refetch slot, i.e. ≤ 16 times per session) and
+        // re-loaded in place from the bit images on every refetch — the
+        // weight refetches inside each window draw sequentially from the
+        // parent memory's stream, in sample order, exactly as a fully
+        // sequential evaluation would.
+        let mut correct = 0usize;
+        for (w, window) in samples.chunks(WINDOW).enumerate() {
+            let slots = refetch_slots(window.len());
+            while pool.len() < slots {
+                pool.push(self.net.clone());
+            }
+            for slot in pool.iter_mut().take(slots) {
+                slot.load_corrupted_weights(&self.images, memory);
+            }
+
+            let base = w * WINDOW;
+            let shared: &ApproximateMemory = memory;
+            let pool_ref: &[Network] = pool;
+            let outcomes = eden_par::par_map(window, |i, (x, label)| {
+                // Lane key is the sample's *global* index: invariant under
+                // both the window size and the thread count.
+                let mut lane = shared.fork((base + i) as u64);
+                let net = &pool_ref[i / WEIGHT_REFETCH_PERIOD];
+                let logits = self
+                    .sim_scratch
+                    .with(|scratch| self.forward_simulated(net, x, &mut lane, scratch));
+                (logits.argmax() == *label, lane.stats())
+            });
+
+            for (ok, stats) in outcomes {
+                if ok {
+                    correct += 1;
+                }
+                memory.merge_stats(stats);
+            }
+        }
+        correct
+    }
+
+    /// One simulated-f32 forward pass over a corrupted pool network —
+    /// bit-identical to [`Network::forward_with_ifm_hook`], with the stored
+    /// bits and dequantized activations living in reused scratch buffers
+    /// and the IFM sites drawn from the session's precomputed list instead
+    /// of being re-allocated per layer.
+    fn forward_simulated(
+        &self,
+        corrupted: &Network,
+        input: &Tensor,
+        lane: &mut ApproximateMemory,
+        scratch: &mut SimScratch,
+    ) -> Tensor {
+        let mut x = input.clone();
+        for (i, layer) in corrupted.layers().iter().enumerate() {
+            let q = match &mut scratch.stored {
+                Some(q) => {
+                    q.requantize_from(&x, self.precision);
+                    q
+                }
+                None => scratch
+                    .stored
+                    .insert(QuantTensor::quantize(&x, self.precision)),
+            };
+            lane.corrupt(&self.ifm_sites[i], q);
+            scratch.dequantized.clear();
+            scratch.dequantized.resize(q.len(), 0.0);
+            q.dequantize_into(&mut scratch.dequantized);
+            let dequantized = Tensor::from_vec(std::mem::take(&mut scratch.dequantized), q.shape());
+            x = layer.forward(&dequantized);
+            scratch.dequantized = dequantized.into_vec();
+        }
+        x
+    }
+
+    fn evaluate_native(
+        &self,
+        samples: &[(Tensor, usize)],
+        memory: &mut ApproximateMemory,
+        pool: &mut Vec<NativeWeights>,
+    ) -> usize {
+        // Same window/refetch structure as the simulated path (and the same
+        // load-stream consumption), but the refetched state is the integer
+        // parameter set instead of an f32 network copy.
+        let mut correct = 0usize;
+        for (w, window) in samples.chunks(WINDOW).enumerate() {
+            let slots = refetch_slots(window.len());
+            while pool.len() < slots {
+                pool.push(NativeWeights::prepare(self.net));
+            }
+            for slot in pool.iter_mut().take(slots) {
+                slot.refresh(&self.images, memory);
+            }
+
+            let base = w * WINDOW;
+            let shared: &ApproximateMemory = memory;
+            let pool_ref: &[NativeWeights] = pool;
+            let outcomes = eden_par::par_map(window, |i, (x, label)| {
+                let mut lane = shared.fork((base + i) as u64);
+                let weights = &pool_ref[i / WEIGHT_REFETCH_PERIOD];
+                // Checked-out scratch: buffer contents never influence
+                // results, so reuse across samples is thread-count invariant.
+                let logits = self.scratch.with(|scratch| {
+                    qexec::forward_native(self.net, weights, x, self.precision, &mut lane, scratch)
+                });
+                (logits.argmax() == *label, lane.stats())
+            });
+
+            for (ok, stats) in outcomes {
+                if ok {
+                    correct += 1;
+                }
+                memory.merge_stats(stats);
+            }
+        }
+        correct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inference;
+    use eden_dnn::data::SyntheticVision;
+    use eden_dnn::train::{TrainConfig, Trainer};
+    use eden_dnn::{zoo, Dataset};
+
+    fn trained_lenet(seed: u64) -> (Network, SyntheticVision) {
+        let dataset = SyntheticVision::tiny(seed);
+        let mut net = zoo::lenet(&dataset.spec(), seed);
+        Trainer::new(TrainConfig {
+            epochs: 3,
+            ..TrainConfig::default()
+        })
+        .train(&mut net, &dataset);
+        (net, dataset)
+    }
+
+    #[test]
+    fn session_reuse_matches_one_shot_calls_bit_for_bit() {
+        let (net, dataset) = trained_lenet(0);
+        let samples = &dataset.test()[..24];
+        let template = ErrorModel::uniform(0.02, 0.5, 3);
+        for backend in [InferenceBackend::SimulatedF32, InferenceBackend::NativeInt] {
+            let mut session = EvalSession::new(&net, Precision::Int8, backend);
+            // A probe sequence revisiting earlier operating points, as the
+            // characterization loops do.
+            for ber in [1e-3, 1e-2, 1e-3, 5e-2] {
+                let model = template.with_ber(ber);
+                let mut session_memory = ApproximateMemory::from_model(model, 7);
+                let mut oneshot_memory = ApproximateMemory::from_model(model, 7);
+                let via_session = session.evaluate_with_faults(samples, &mut session_memory);
+                let via_oneshot = inference::evaluate_with_faults_backend(
+                    &net,
+                    samples,
+                    Precision::Int8,
+                    &mut oneshot_memory,
+                    backend,
+                );
+                assert_eq!(via_session.to_bits(), via_oneshot.to_bits(), "{backend}");
+                assert_eq!(session_memory.stats(), oneshot_memory.stats(), "{backend}");
+            }
+        }
+    }
+
+    #[test]
+    fn reliable_baseline_is_cached_per_sample_content() {
+        let (net, dataset) = trained_lenet(1);
+        let mut session = EvalSession::new(&net, Precision::Int8, InferenceBackend::default());
+        let a = session.evaluate_reliable(&dataset.test()[..16]);
+        assert_eq!(session.baselines.len(), 1);
+        // Same contents (even through a different slice expression) hit the
+        // cache; a different set gets its own entry.
+        let b = session.evaluate_reliable(&dataset.test()[0..16]);
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_eq!(session.baselines.len(), 1);
+        let c = session.evaluate_reliable(&dataset.test()[..8]);
+        assert_eq!(session.baselines.len(), 2);
+        assert_eq!(
+            c.to_bits(),
+            inference::evaluate_reliable(&net, &dataset.test()[..8], Precision::Int8).to_bits()
+        );
+    }
+
+    #[test]
+    fn session_sweep_matches_one_shot_sweep() {
+        let (net, dataset) = trained_lenet(2);
+        let samples = &dataset.test()[..16];
+        let template = ErrorModel::uniform(0.02, 0.5, 5);
+        let bers = [1e-4, 1e-3, 1e-2];
+        let mut session = EvalSession::new(&net, Precision::Int8, InferenceBackend::NativeInt);
+        let via_session = session.accuracy_vs_ber(samples, &template, &bers, None, 11);
+        let via_oneshot = inference::accuracy_vs_ber_backend(
+            &net,
+            samples,
+            Precision::Int8,
+            &template,
+            &bers,
+            None,
+            11,
+            InferenceBackend::NativeInt,
+        );
+        assert_eq!(via_session, via_oneshot);
+    }
+
+    #[test]
+    fn evaluate_pair_matches_sequential_probes() {
+        let (net, dataset) = trained_lenet(3);
+        let samples = &dataset.test()[..16];
+        let template = ErrorModel::uniform(0.02, 0.5, 2);
+        let mut session = EvalSession::new(&net, Precision::Int8, InferenceBackend::default());
+        let make = |ber: f64| ApproximateMemory::from_model(template.with_ber(ber), 9);
+        let (mut a, mut b) = (make(1e-4), make(1e-2));
+        let (pair_lo, pair_hi) = session.evaluate_pair(samples, &mut a, &mut b);
+        let (mut a2, mut b2) = (make(1e-4), make(1e-2));
+        let seq_lo = session.evaluate_with_faults(samples, &mut a2);
+        let seq_hi = session.evaluate_with_faults(samples, &mut b2);
+        assert_eq!(pair_lo.to_bits(), seq_lo.to_bits());
+        assert_eq!(pair_hi.to_bits(), seq_hi.to_bits());
+        assert_eq!(a.stats(), a2.stats());
+        assert_eq!(b.stats(), b2.stats());
+    }
+
+    #[test]
+    fn injector_cache_is_keyed_by_model_and_ber() {
+        let (net, _) = trained_lenet(4);
+        let mut session = EvalSession::new(&net, Precision::Int8, InferenceBackend::default());
+        let template = ErrorModel::uniform(0.02, 0.5, 3);
+        let a = session.injector_for(&template, 1e-3);
+        let _b = session.injector_for(&template, 1e-2);
+        let a_again = session.injector_for(&template, 1e-3);
+        assert_eq!(session.injectors.len(), 2);
+        assert!((a.expected_ber() - a_again.expected_ber()).abs() < 1e-15);
+        // A different template under the same BER is a distinct entry.
+        let other = ErrorModel::bitline(0.02, 0.5, 0.8, 3);
+        session.injector_for(&other, 1e-3);
+        assert_eq!(session.injectors.len(), 3);
+    }
+
+    #[test]
+    fn empty_sample_slice_returns_the_nan_sentinel() {
+        let (net, _) = trained_lenet(5);
+        let mut session = EvalSession::new(&net, Precision::Int8, InferenceBackend::default());
+        let mut memory = ApproximateMemory::reliable(0);
+        assert!(session.evaluate_with_faults(&[], &mut memory).is_nan());
+        assert!(session.evaluate_reliable(&[]).is_nan());
+    }
+
+    #[test]
+    fn weak_map_cache_fills_once_and_is_shared_across_probes() {
+        let (net, dataset) = trained_lenet(6);
+        let samples = &dataset.test()[..8];
+        let template = ErrorModel::uniform(0.02, 0.5, 3);
+        let mut session = EvalSession::new(&net, Precision::Int8, InferenceBackend::default());
+        let mut memory = ApproximateMemory::from_model(template.with_ber(1e-3), 1);
+        session.evaluate_with_faults(samples, &mut memory);
+        let filled = session.core.weak_maps.len();
+        assert!(filled > 0, "model-backed probes must populate the cache");
+        // A second probe at the same operating point adds nothing; a new BER
+        // adds exactly the maps of the new model.
+        let mut memory2 = ApproximateMemory::from_model(template.with_ber(1e-3), 2);
+        session.evaluate_with_faults(samples, &mut memory2);
+        assert_eq!(session.core.weak_maps.len(), filled);
+        let mut memory3 = ApproximateMemory::from_model(template.with_ber(1e-2), 2);
+        session.evaluate_with_faults(samples, &mut memory3);
+        assert_eq!(session.core.weak_maps.len(), 2 * filled);
+    }
+}

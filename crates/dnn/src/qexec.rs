@@ -65,6 +65,55 @@ impl QuantScratch {
     }
 }
 
+/// A pool of scratch buffers (by default [`QuantScratch`]) shared by the
+/// workers of a parallel evaluation.
+///
+/// Workers check a buffer out for the duration of one forward pass and
+/// return it afterwards, so the arena holds at most as many buffers as the
+/// peak number of concurrent passes — each grown once to its high-water
+/// size and reused from then on. Scratch contents never influence results
+/// (every consumer fully overwrites the regions it reads), so *which*
+/// buffer a worker gets is irrelevant and checkout order cannot affect
+/// numerics.
+///
+/// An owning evaluation session drops its arena — and every buffer — with
+/// the session, unlike thread-local scratch, which would pin the high-water
+/// allocation of the largest network ever evaluated for the thread's
+/// lifetime.
+#[derive(Debug)]
+pub struct ScratchArena<T = QuantScratch> {
+    slots: std::sync::Mutex<Vec<T>>,
+}
+
+impl<T> Default for ScratchArena<T> {
+    fn default() -> Self {
+        Self {
+            slots: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl<T: Default> ScratchArena<T> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f` with a scratch buffer checked out of the arena, allocating a
+    /// fresh one when all buffers are in use.
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let mut scratch = self.slots.lock().unwrap().pop().unwrap_or_default();
+        let result = f(&mut scratch);
+        self.slots.lock().unwrap().push(scratch);
+        result
+    }
+
+    /// Number of buffers currently resident (checked-in) in the arena.
+    pub fn resident(&self) -> usize {
+        self.slots.lock().unwrap().len()
+    }
+}
+
 /// Whether a precision's operands fit the widening-i16 dot kernels with i32
 /// accumulation (int4/int8; int16 sums need i64 and take the i32-operand
 /// kernels instead).
@@ -449,6 +498,16 @@ mod tests {
         let a = native_forward(&net, &x, Precision::Int8);
         let b = native_forward(&net, &x, Precision::Int8);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scratch_arena_reuses_buffers() {
+        let arena: ScratchArena = ScratchArena::new();
+        arena.with(|s| s.qx.resize(128, 0));
+        assert_eq!(arena.resident(), 1);
+        // The returned buffer comes back out with its capacity intact.
+        arena.with(|s| assert!(s.qx.capacity() >= 128));
+        assert_eq!(arena.resident(), 1);
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub const INJECT_CHUNK_VALUES: usize = 4096;
 
 /// How data maps onto DRAM rows, used to give injected errors spatial
 /// structure (which bitline / wordline a bit lands on).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Layout {
     /// Bits per DRAM row (default: a 2 KB row).
     pub row_bits: usize,
@@ -214,6 +214,28 @@ impl ErrorModel {
     /// The model seed (identifies the weak-cell map).
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// A stable 64-bit fingerprint of the model's complete parameter set.
+    ///
+    /// Two models with the same fingerprint have (up to hash collisions over
+    /// a 64-bit space) identical weak-cell maps and failure probabilities,
+    /// which lets evaluation-session caches key precomputed
+    /// [`WeakCellMap`]s by `(model, placement, geometry)` and share them
+    /// across probes of a characterization sweep.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = stream(0x5E55_10F1, self.kind.index() as u64);
+        for field in [
+            self.seed,
+            self.weak_fraction.to_bits(),
+            self.flip_prob.to_bits(),
+            self.spread.to_bits(),
+            self.flip_prob_one.to_bits(),
+            self.flip_prob_zero.to_bits(),
+        ] {
+            h = stream(h, field);
+        }
+        h
     }
 
     /// The weak-cell fraction `P`.
@@ -535,6 +557,30 @@ mod tests {
                 assert_eq!(scanned, mapped, "{model} flip pattern at n={n}");
             }
         }
+    }
+
+    #[test]
+    fn fingerprints_identify_model_parameters() {
+        let a = ErrorModel::uniform(0.02, 0.5, 3);
+        assert_eq!(
+            a.fingerprint(),
+            ErrorModel::uniform(0.02, 0.5, 3).fingerprint()
+        );
+        // Any parameter change — rescaled BER, different seed, different
+        // kind — must change the fingerprint.
+        assert_ne!(a.fingerprint(), a.with_ber(1e-3).fingerprint());
+        assert_ne!(
+            a.fingerprint(),
+            ErrorModel::uniform(0.02, 0.5, 4).fingerprint()
+        );
+        assert_ne!(
+            a.fingerprint(),
+            ErrorModel::bitline(0.02, 0.5, 0.0, 3).fingerprint()
+        );
+        assert_ne!(
+            a.fingerprint(),
+            ErrorModel::data_dependent(0.02, 0.5, 0.5, 3).fingerprint()
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! energies of the DRAM traffic.
 
 use crate::result::SystemResult;
+use crate::sim::{voltage_only, SystemSim};
 use crate::workload::WorkloadProfile;
 use eden_dram::energy::{AccessCounts, DramEnergyModel, DramKind};
 use eden_dram::OperatingPoint;
@@ -152,13 +153,9 @@ impl AcceleratorSim {
             writes,
             elapsed_ns: time_ns,
         };
-        let vdd_op = if op.vdd_reduction() <= 0.0 {
-            OperatingPoint::nominal()
-        } else {
-            OperatingPoint::with_vdd_reduction(op.vdd_reduction())
-        };
-        let energy_model = DramEnergyModel::at_operating_point(cfg.dram_kind, &vdd_op)
-            .with_scalable_fraction(cfg.vdd_scalable_fraction);
+        let energy_model =
+            DramEnergyModel::at_operating_point(cfg.dram_kind, &voltage_only(op.vdd_reduction()))
+                .with_scalable_fraction(cfg.vdd_scalable_fraction);
         SystemResult {
             time_ns,
             compute_ns,
@@ -167,6 +164,27 @@ impl AcceleratorSim {
             dram_counts: counts,
             dram_energy: energy_model.energy(&counts),
         }
+    }
+}
+
+impl SystemSim for AcceleratorSim {
+    fn name(&self) -> &str {
+        self.config.name
+    }
+
+    fn macs_per_ns(&self) -> f64 {
+        self.config.macs_per_ns()
+    }
+
+    fn run(&self, workload: &WorkloadProfile, op: &OperatingPoint) -> SystemResult {
+        AcceleratorSim::run(self, workload, op)
+    }
+
+    /// The systolic dataflow already hides every activation latency behind
+    /// double-buffered DMA, so the ideal-`tRCD` run *is* the nominal run —
+    /// the paper's "no speedup from tRCD on accelerators" observation.
+    fn run_ideal_latency(&self, workload: &WorkloadProfile) -> SystemResult {
+        AcceleratorSim::run(self, workload, &OperatingPoint::nominal())
     }
 }
 

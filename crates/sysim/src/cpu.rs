@@ -13,6 +13,7 @@
 //!   `VDD²` through [`DramEnergyModel`].
 
 use crate::result::SystemResult;
+use crate::sim::{filtered_traffic, voltage_only, SystemSim};
 use crate::workload::WorkloadProfile;
 use eden_dram::energy::{AccessCounts, DramEnergyModel, DramKind};
 use eden_dram::params::TimingParams;
@@ -119,24 +120,20 @@ impl CpuSim {
     ) -> SystemResult {
         let cfg = &self.config;
 
-        // DRAM traffic after cache filtering.
-        let weight_bytes = workload.weight_bytes() as f64;
-        let fm_bytes = workload.feature_map_bytes() as f64;
-        let read_bytes = weight_bytes + fm_bytes * 0.5 * (1.0 - cfg.feature_map_cache_hit_rate);
-        let write_bytes = fm_bytes * 0.5 * (1.0 - cfg.feature_map_cache_hit_rate);
-        let reads = (read_bytes / 64.0).ceil() as u64;
-        let writes = (write_bytes / 64.0).ceil() as u64;
+        // DRAM traffic after cache filtering (shared with the GPU model).
+        let traffic = filtered_traffic(workload, cfg.feature_map_cache_hit_rate);
 
         // Row-buffer behaviour: irregular accesses hit open rows less often.
         let irregular = workload.irregular_access_fraction;
         let row_hit =
             cfg.regular_row_hit_rate * (1.0 - irregular) + cfg.irregular_row_hit_rate * irregular;
-        let activations = ((reads + writes) as f64 * (1.0 - row_hit)).ceil() as u64;
+        let activations = ((traffic.reads + traffic.writes) as f64 * (1.0 - row_hit)).ceil() as u64;
 
         // Time components.
         let compute_ns = workload.total_macs() as f64 / cfg.macs_per_ns();
-        let bandwidth_ns = (read_bytes + write_bytes) / cfg.dram_bandwidth_bytes_per_ns;
-        let exposed_misses = reads as f64 * irregular * cfg.irregular_miss_weight;
+        let bandwidth_ns =
+            (traffic.read_bytes + traffic.write_bytes) / cfg.dram_bandwidth_bytes_per_ns;
+        let exposed_misses = traffic.reads as f64 * irregular * cfg.irregular_miss_weight;
         let miss_latency =
             (timing.trp_ns + timing.trcd_ns + timing.cl_ns) as f64 - cfg.hidden_latency_ns;
         let exposed_latency_ns = exposed_misses * miss_latency.max(0.0);
@@ -144,8 +141,8 @@ impl CpuSim {
 
         let counts = AccessCounts {
             activations,
-            reads,
-            writes,
+            reads: traffic.reads,
+            writes: traffic.writes,
             elapsed_ns: time_ns,
         };
         let energy_model =
@@ -161,13 +158,21 @@ impl CpuSim {
     }
 }
 
-/// Builds an operating point carrying only a voltage reduction (used for
-/// energy accounting; timing is handled separately).
-fn voltage_only(vdd_reduction: f32) -> OperatingPoint {
-    if vdd_reduction <= 0.0 {
-        OperatingPoint::nominal()
-    } else {
-        OperatingPoint::with_vdd_reduction(vdd_reduction)
+impl SystemSim for CpuSim {
+    fn name(&self) -> &str {
+        "CPU (Table 4)"
+    }
+
+    fn macs_per_ns(&self) -> f64 {
+        self.config.macs_per_ns()
+    }
+
+    fn run(&self, workload: &WorkloadProfile, op: &OperatingPoint) -> SystemResult {
+        CpuSim::run(self, workload, op)
+    }
+
+    fn run_ideal_latency(&self, workload: &WorkloadProfile) -> SystemResult {
+        CpuSim::run_ideal_latency(self, workload)
     }
 }
 

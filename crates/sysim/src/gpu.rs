@@ -8,6 +8,7 @@
 //! larger relative DRAM energy savings (37% on average).
 
 use crate::result::SystemResult;
+use crate::sim::{filtered_traffic, voltage_only, SystemSim};
 use crate::workload::WorkloadProfile;
 use eden_dram::energy::{AccessCounts, DramEnergyModel, DramKind};
 use eden_dram::params::TimingParams;
@@ -112,18 +113,16 @@ impl GpuSim {
         vdd_reduction: f32,
     ) -> SystemResult {
         let cfg = &self.config;
-        let weight_bytes = workload.weight_bytes() as f64;
-        let fm_bytes = workload.feature_map_bytes() as f64;
-        let read_bytes = weight_bytes + fm_bytes * 0.5 * (1.0 - cfg.feature_map_cache_hit_rate);
-        let write_bytes = fm_bytes * 0.5 * (1.0 - cfg.feature_map_cache_hit_rate);
-        let reads = (read_bytes / 64.0).ceil() as u64;
-        let writes = (write_bytes / 64.0).ceil() as u64;
-        let activations = ((reads + writes) as f64 * (1.0 - cfg.row_hit_rate)).ceil() as u64;
+        // Same cache-filtered traffic model as the CPU (shared helper).
+        let traffic = filtered_traffic(workload, cfg.feature_map_cache_hit_rate);
+        let activations =
+            ((traffic.reads + traffic.writes) as f64 * (1.0 - cfg.row_hit_rate)).ceil() as u64;
 
         let compute_ns = workload.total_macs() as f64 / cfg.macs_per_ns();
-        let bandwidth_ns = (read_bytes + write_bytes) / cfg.dram_bandwidth_bytes_per_ns;
+        let bandwidth_ns =
+            (traffic.read_bytes + traffic.write_bytes) / cfg.dram_bandwidth_bytes_per_ns;
         let exposed_misses =
-            reads as f64 * workload.irregular_access_fraction * cfg.irregular_miss_weight;
+            traffic.reads as f64 * workload.irregular_access_fraction * cfg.irregular_miss_weight;
         let miss_latency =
             (timing.trp_ns + timing.trcd_ns + timing.cl_ns) as f64 - cfg.hidden_latency_ns;
         let exposed_latency_ns = exposed_misses * miss_latency.max(0.0) / cfg.miss_parallelism;
@@ -133,17 +132,13 @@ impl GpuSim {
 
         let counts = AccessCounts {
             activations,
-            reads,
-            writes,
+            reads: traffic.reads,
+            writes: traffic.writes,
             elapsed_ns: time_ns,
         };
-        let op = if vdd_reduction <= 0.0 {
-            OperatingPoint::nominal()
-        } else {
-            OperatingPoint::with_vdd_reduction(vdd_reduction)
-        };
-        let energy_model = DramEnergyModel::at_operating_point(DramKind::Ddr4, &op)
-            .with_scalable_fraction(cfg.vdd_scalable_fraction);
+        let energy_model =
+            DramEnergyModel::at_operating_point(DramKind::Ddr4, &voltage_only(vdd_reduction))
+                .with_scalable_fraction(cfg.vdd_scalable_fraction);
         SystemResult {
             time_ns,
             compute_ns,
@@ -152,6 +147,24 @@ impl GpuSim {
             dram_counts: counts,
             dram_energy: energy_model.energy(&counts),
         }
+    }
+}
+
+impl SystemSim for GpuSim {
+    fn name(&self) -> &str {
+        "GPU Titan X (Table 5)"
+    }
+
+    fn macs_per_ns(&self) -> f64 {
+        self.config.macs_per_ns()
+    }
+
+    fn run(&self, workload: &WorkloadProfile, op: &OperatingPoint) -> SystemResult {
+        GpuSim::run(self, workload, op)
+    }
+
+    fn run_ideal_latency(&self, workload: &WorkloadProfile) -> SystemResult {
+        GpuSim::run_ideal_latency(self, workload)
     }
 }
 

@@ -33,10 +33,12 @@ pub mod accelerator;
 pub mod cpu;
 pub mod gpu;
 pub mod result;
+pub mod sim;
 pub mod workload;
 
 pub use accelerator::{AcceleratorConfig, AcceleratorSim};
 pub use cpu::{CpuConfig, CpuSim};
 pub use gpu::{GpuConfig, GpuSim};
 pub use result::SystemResult;
+pub use sim::{accelerator_sims, standard_sims, SystemSim};
 pub use workload::WorkloadProfile;

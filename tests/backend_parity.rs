@@ -336,5 +336,19 @@ proptest! {
             (sim - native).abs() <= 2.0 / 24.0 + 1e-6,
             "batch accuracy diverged: simulated {} vs native {}", sim, native
         );
+
+        // A reused session must reproduce each backend's one-shot result bit
+        // for bit — on the second call it serves from warm pools and the
+        // cached baseline, which is exactly the reuse path to pin.
+        for (backend, oneshot) in [
+            (InferenceBackend::SimulatedF32, sim),
+            (InferenceBackend::NativeInt, native),
+        ] {
+            let mut session = eden::core::session::EvalSession::new(&net, precision, backend);
+            let first = session.evaluate_reliable(&samples);
+            let second = session.evaluate_reliable(&samples);
+            prop_assert_eq!(first.to_bits(), oneshot.to_bits(), "{} session != one-shot", precision);
+            prop_assert_eq!(second.to_bits(), oneshot.to_bits(), "{} warm session != one-shot", precision);
+        }
     }
 }

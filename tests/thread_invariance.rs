@@ -112,6 +112,38 @@ fn native_backend_evaluation_is_thread_count_invariant() {
 }
 
 #[test]
+fn session_probe_sequence_is_thread_count_invariant() {
+    // A reused EvalSession — warm pools, cached baseline, shared weak-map
+    // cache — must stay bit-identical across worker counts for a whole
+    // probe sequence, exactly like the one-shot API it wraps.
+    use eden::core::session::EvalSession;
+    let (net, dataset) = trained_lenet(36);
+    let samples = &dataset.test()[..32];
+    let template = ErrorModel::uniform(0.02, 0.5, 6);
+    for backend in [
+        inference::InferenceBackend::SimulatedF32,
+        inference::InferenceBackend::NativeInt,
+    ] {
+        assert_invariant(|| {
+            let mut session = EvalSession::new(&net, Precision::Int8, backend);
+            let mut outcomes = Vec::new();
+            for ber in [1e-3, 1e-2, 1e-3] {
+                let mut memory = ApproximateMemory::from_model(template.with_ber(ber), 21);
+                let acc = session.evaluate_with_faults(samples, &mut memory);
+                outcomes.push((acc.to_bits(), memory.stats()));
+            }
+            let reliable = session.evaluate_reliable(samples).to_bits();
+            let sweep: Vec<(u64, u32)> = session
+                .accuracy_vs_ber(samples, &template, &[1e-4, 1e-2], None, 23)
+                .into_iter()
+                .map(|(b, a)| (b.to_bits(), a.to_bits()))
+                .collect();
+            (outcomes, reliable, sweep)
+        });
+    }
+}
+
+#[test]
 fn ber_sweep_is_thread_count_invariant() {
     let (net, dataset) = trained_lenet(32);
     let samples = &dataset.test()[..24];
