@@ -17,9 +17,12 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use eden_core::bounding::{BoundingLogic, CorrectionPolicy};
-use eden_core::characterize::{coarse_characterize, fine_characterize, CoarseConfig, FineConfig};
+use eden_core::characterize::{
+    coarse_characterize, fine_characterize, fine_characterize_session, CoarseConfig, FineConfig,
+};
 use eden_core::faults::ApproximateMemory;
 use eden_core::inference::{self, InferenceBackend};
+use eden_core::session::{EvalSession, RefetchMode};
 use eden_dnn::{data::SyntheticVision, zoo, Dataset};
 use eden_dram::ErrorModel;
 use eden_tensor::Precision;
@@ -203,12 +206,69 @@ fn bench_characterization(c: &mut Criterion) {
     group.finish();
 }
 
+/// The sparse corruption-overlay refetch path head to head with the
+/// image-reload reference, on the two workloads the overlay tentpole
+/// targets: a fig08-style tolerance sweep through a reused session and the
+/// fine-grained characterization probe loop, both on the committed mini
+/// net. `fine_characterize` / `fig08_sweep` run the production
+/// [`RefetchMode::Overlay`] path (O(flips) per weight refetch);
+/// `fine_characterize_reload` keeps the O(weights) reference path under the
+/// gate so neither implementation can silently regress.
+fn bench_overlay(c: &mut Criterion) {
+    let dataset = SyntheticVision::tiny(0);
+    let net = zoo::lenet(&dataset.spec(), 1);
+    let samples = &dataset.test()[..32];
+    let bounding =
+        BoundingLogic::calibrated(&net, &dataset.train()[..8], 1.5, CorrectionPolicy::Zero);
+    let template = ErrorModel::uniform(0.02, 0.5, 3);
+    let fine_cfg = FineConfig {
+        eval_samples: 24,
+        max_rounds: 2,
+        bootstrap_ber: 5e-4,
+        ..FineConfig::default()
+    };
+    let mut group = c.benchmark_group("overlay");
+    group.sample_size(10);
+    group.bench_function("fig08_sweep", |b| {
+        let mut session = EvalSession::new(&net, Precision::Int8, InferenceBackend::default());
+        b.iter(|| {
+            session.accuracy_vs_ber(
+                black_box(samples),
+                &template,
+                &[1e-4, 1e-3, 1e-2, 5e-2],
+                Some(bounding),
+                11,
+            )
+        })
+    });
+    for (id, mode) in [
+        ("fine_characterize", RefetchMode::Overlay),
+        ("fine_characterize_reload", RefetchMode::ImageReload),
+    ] {
+        group.bench_function(id, |b| {
+            let mut session = EvalSession::new(&net, Precision::Int8, InferenceBackend::default())
+                .with_refetch_mode(mode);
+            b.iter(|| {
+                fine_characterize_session(
+                    &mut session,
+                    &dataset,
+                    black_box(&template),
+                    Some(bounding),
+                    &fine_cfg,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_calibration,
     bench_inference,
     bench_quantized_backends,
     bench_tolerance_sweep,
-    bench_characterization
+    bench_characterization,
+    bench_overlay
 );
 criterion_main!(benches);

@@ -15,6 +15,11 @@
 //! baseline and the runner executing the gate; it defaults to 1 when either
 //! file lacks the entry.
 //!
+//! The per-entry table — normalized ratio and verdict for every benchmark —
+//! is printed on PASS as well as FAIL, so a green run still shows where the
+//! time went; entries only present in the current run are listed as `NEW`
+//! (informational, never a failure).
+//!
 //! Exit status: 0 when every benchmark passes, 1 on any regression or
 //! missing benchmark, 2 on usage/parse errors. The tolerance can also be set
 //! via the `BENCH_GATE_TOLERANCE` environment variable (the flag wins).
@@ -143,6 +148,15 @@ fn run() -> Result<bool, String> {
                 );
                 ok &= pass;
             }
+        }
+    }
+    // Entries the baseline does not know yet: report them (with no budget to
+    // compare against) so a freshly added benchmark is visible in the log
+    // instead of silently unguarded until the next baseline regeneration.
+    for cur in &current {
+        let key = cur.key();
+        if key != CAL && find(&baseline, &key).is_none() {
+            println!("{key:<45} {:>12} {:>12.0} {:>9}  NEW", "-", cur.min_ns, "-");
         }
     }
     Ok(ok)

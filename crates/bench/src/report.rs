@@ -1,6 +1,7 @@
 //! Small shared helpers for the experiment binaries.
 
 use eden_core::inference::InferenceBackend;
+use eden_core::session::RefetchMode;
 use eden_dnn::data::SyntheticVision;
 use eden_dnn::train::{TrainConfig, Trainer};
 use eden_dnn::zoo::ModelId;
@@ -69,6 +70,40 @@ pub fn parse_backend() -> InferenceBackend {
     backend
 }
 
+/// Applies the `--refetch overlay|reload` CLI flag (falling back to the
+/// `EDEN_REFETCH` environment variable, then to the sparse-overlay default)
+/// and returns the selected weight-refetch mode.
+///
+/// `overlay` serves weight refetches as sparse corruption overlays (O(flips)
+/// per refetch, the production path); `reload` is the full image-reload
+/// reference implementation the overlay path is pinned against. Results are
+/// bit-identical either way — the flag exists for A/B timing and for
+/// driving the reference path end to end.
+pub fn parse_refetch() -> RefetchMode {
+    let mut args = std::env::args();
+    let mut choice: Option<String> = None;
+    while let Some(arg) = args.next() {
+        if let Some(v) = arg.strip_prefix("--refetch=") {
+            choice = Some(v.to_string());
+            break;
+        }
+        if arg == "--refetch" {
+            choice = args.next();
+            break;
+        }
+    }
+    let choice = choice.or_else(|| std::env::var("EDEN_REFETCH").ok());
+    let mode = match choice {
+        Some(v) => v.parse::<RefetchMode>().unwrap_or_else(|e| {
+            eprintln!("{e}; using the default refetch mode");
+            RefetchMode::default()
+        }),
+        None => RefetchMode::default(),
+    };
+    eprintln!("weight refetch mode: {mode}");
+    mode
+}
+
 /// Trains the scaled-down zoo model `id` on its synthetic dataset and returns
 /// the trained network together with the dataset.
 pub fn train_model(id: ModelId, epochs: usize, seed: u64) -> (Network, SyntheticVision) {
@@ -112,6 +147,11 @@ mod tests {
     #[test]
     fn parse_backend_defaults_to_simulated() {
         assert_eq!(parse_backend(), InferenceBackend::SimulatedF32);
+    }
+
+    #[test]
+    fn parse_refetch_defaults_to_overlay() {
+        assert_eq!(parse_refetch(), RefetchMode::Overlay);
     }
 
     #[test]

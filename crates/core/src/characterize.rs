@@ -14,7 +14,7 @@ use crate::inference::InferenceBackend;
 use crate::session::EvalSession;
 use eden_dnn::network::DataTypeInfo;
 use eden_dnn::{DataSite, Dataset, Network};
-use eden_dram::util::stream;
+use eden_dram::util::seed_mix;
 use eden_dram::ErrorModel;
 use eden_tensor::{Precision, Tensor};
 use serde::{Deserialize, Serialize};
@@ -223,16 +223,19 @@ impl FineCharacterization {
     }
 }
 
-/// Mixes `(master seed, sweep round, site index)` into one probe seed with
-/// chained splitmix64 stages.
+/// Mixes `(master seed, sweep round, site index)` into one probe seed via
+/// the workspace's unified [`seed_mix`] helper (chained splitmix64 stages,
+/// one per component).
 ///
-/// The previous mixing, `seed ^ (round << 8) ^ i`, reserved only 8 bits for
+/// The original mixing, `seed ^ (round << 8) ^ i`, reserved only 8 bits for
 /// the site index: on networks with ≥ 256 data sites the index bled into the
 /// round bits and probe seeds collided across rounds (e.g. `(round 0,
 /// site 256)` equalled `(round 1, site 0)`), silently correlating the
-/// injected error patterns of distinct probes.
+/// injected error patterns of distinct probes. `seed_mix` gives every
+/// component a full mixing stage; the cross-module collision regression
+/// test lives next to it in `eden_dram::util`.
 fn probe_seed(seed: u64, round: u64, site: u64) -> u64 {
-    stream(stream(seed, round), site)
+    seed_mix(seed, &[round, site])
 }
 
 /// Characterizes the tolerable BER of every weight tensor and IFM

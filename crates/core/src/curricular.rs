@@ -130,9 +130,10 @@ impl CurricularTrainer {
         let mut epochs = Vec::with_capacity(cfg.epochs);
 
         // One persistent corrupted copy serves every batch of the run: each
-        // batch re-loads its parameters in place from the master network's
-        // current bit images instead of deep-cloning the network object
-        // graph per batch (bit-identical — see `train_epoch`).
+        // batch resets its parameters in place from the master network's
+        // current bit images and patches the batch's sparse corruption
+        // overlay on top, instead of deep-cloning the network object graph
+        // per batch (bit-identical — see `train_epoch`).
         let mut corrupted = net.clone();
         for epoch in 0..cfg.epochs {
             let ber = self.ber_for_epoch(epoch);
@@ -168,11 +169,15 @@ impl CurricularTrainer {
     ///
     /// `corrupted` is the run's persistent approximate-DRAM copy of `net`:
     /// per batch, the master's parameters are quantized to fresh bit images
-    /// and loaded into it through `memory`
-    /// ([`Network::load_corrupted_weights`]), which consumes the same load
-    /// streams and produces the same parameter values as corrupting a fresh
-    /// clone would — the images must be recaptured every batch because the
-    /// optimizer just updated the master weights.
+    /// (they must be recaptured every batch because the optimizer just
+    /// updated the master weights), loaded clean, and patched with the
+    /// batch's sparse fault draw
+    /// ([`ApproximateMemory::corrupt_overlay`] / [`Network::apply_overlay`]).
+    /// This consumes the same load streams and produces the same parameter
+    /// values as corrupting a fresh clone — or a full
+    /// [`Network::load_corrupted_weights`] image reload — would; the
+    /// clone-based reference implementation in the test suite pins this bit
+    /// for bit.
     #[allow(clippy::too_many_arguments)]
     fn train_epoch(
         &self,
@@ -189,9 +194,16 @@ impl CurricularTrainer {
         let mut total_loss = 0.0;
         let mut batches = 0usize;
         for chunk in order.chunks(cfg.batch_size) {
-            // Weights are fetched from approximate DRAM once per batch.
+            // Weights are fetched from approximate DRAM once per batch: the
+            // corrupted copy is reset to the batch's clean images and the
+            // draw's overlay (flips + bounding corrections) patched on top.
             let images = net.weight_images(cfg.precision);
-            corrupted.load_corrupted_weights(&images, memory);
+            let overlays: Vec<_> = images
+                .iter()
+                .map(|img| memory.corrupt_overlay(&img.site, &img.clean, None))
+                .collect();
+            corrupted.load_clean_weights(&images);
+            corrupted.apply_overlay(&images, &overlays);
             corrupted.zero_grads();
             let mut batch_loss = 0.0;
             for &i in chunk {

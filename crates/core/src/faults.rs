@@ -25,18 +25,35 @@
 //! The memory model is backend-neutral: both inference backends
 //! ([`crate::inference::InferenceBackend`]) corrupt the same [`QuantTensor`]
 //! stored bits through the same [`FaultHook`] entry point and consume load
-//! streams in the same order. Weight sites are served from cached clean bit
-//! images ([`Network::weight_images`]) — each refetch corrupts a *copy* of
-//! the stored bits, so the per-refetch cost is proportional to the stored
-//! data, never to the network object graph.
+//! streams in the same order.
+//!
+//! # Weight loads: sparse overlays vs image reloads
+//!
+//! Weight sites are served from cached clean bit images
+//! ([`Network::weight_images`]), in one of two equivalent forms:
+//!
+//! * **Sparse overlays** ([`ApproximateMemory::corrupt_overlay`], the
+//!   production path): the load is answered with a [`CorruptionOverlay`] —
+//!   the `(word, xor mask)` deltas of the draw's flips, with any bounding
+//!   corrections folded in sparsely — which the evaluator patches into (and
+//!   later reverts from) a persistent corrupted copy. Per refetch this
+//!   costs O(flips), not O(total weights).
+//! * **Image reloads** ([`FaultHook::corrupt`] via
+//!   [`Network::load_corrupted_weights`], the reference path): each refetch
+//!   corrupts a fresh *copy* of the stored bits and rewrites every
+//!   parameter word.
+//!
+//! Both forms consume the same load streams and produce bit-identical
+//! results and statistics; the workspace `overlay_equivalence` suite pins
+//! them against each other.
 
 use crate::bounding::BoundingLogic;
 use eden_dnn::{DataKind, DataSite, FaultHook, Network};
 use eden_dram::error_model::{Layout, WeakCellMap};
 use eden_dram::inject::{AddressAllocator, Injector};
-use eden_dram::util::stream;
+use eden_dram::util::{seed_mix, stream};
 use eden_dram::ErrorModel;
-use eden_tensor::{Precision, QuantTensor};
+use eden_tensor::{CorruptionOverlay, Precision, QuantTensor};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -283,7 +300,7 @@ impl ApproximateMemory {
     /// site maps.
     pub fn fork(&self, lane: u64) -> ApproximateMemory {
         let mut child = self.clone();
-        child.seed = stream(self.seed ^ FORK_SALT, lane);
+        child.seed = seed_mix(self.seed ^ FORK_SALT, &[lane]);
         child.next_load = 0;
         child.stats = MemoryStats::default();
         child
@@ -371,6 +388,58 @@ impl ApproximateMemory {
         Some(map)
     }
 
+    /// Serves one load of `site` as a sparse [`CorruptionOverlay`] over its
+    /// clean stored image instead of mutating a tensor — the O(flips)
+    /// counterpart of the [`FaultHook::corrupt`] entry point, consuming the
+    /// same load stream, updating the same statistics, and (with bounding
+    /// enabled) folding the corrections the full scan would make into the
+    /// overlay's masks.
+    ///
+    /// `clean_corrections` are the [`BoundingLogic::clean_corrections`] of
+    /// `clean` under this memory's bounding logic; pass a precomputed slice
+    /// on hot paths (they depend only on the clean image and the thresholds,
+    /// so a session computes them once per image). When `None` and bounding
+    /// is enabled they are derived on the fly.
+    ///
+    /// Applying the returned overlay to `clean` is bit-identical to calling
+    /// `corrupt` on a copy of it at the same point of the load sequence.
+    pub fn corrupt_overlay(
+        &mut self,
+        site: &DataSite,
+        clean: &QuantTensor,
+        clean_corrections: Option<&[(u32, u32)]>,
+    ) -> CorruptionOverlay {
+        let load_stream = stream(self.seed, self.next_load);
+        self.next_load += 1;
+        self.stats.loads += 1;
+        let layout = self.layout_for(site, clean.total_bits());
+        let map = self.weak_map_for(site, clean.len(), clean.bits_per_value());
+        let mut overlay = match self.placement.injector_for(site) {
+            Some(injector) => {
+                injector.overlay_placed_seeded(clean, &layout, load_stream, map.as_deref())
+            }
+            None => CorruptionOverlay::empty(clean.len(), clean.bits_per_value()),
+        };
+        self.stats.bit_flips += overlay.bit_flips();
+        if let Some(bounding) = &self.bounding {
+            // Same elision as the mutating hook: a fully-plausible integer
+            // grid can never produce a correction, so the fold is skipped.
+            if !bounding.covers_grid(clean) {
+                let computed;
+                let corrections = match clean_corrections {
+                    Some(c) => c,
+                    None => {
+                        computed = bounding.clean_corrections(clean);
+                        &computed
+                    }
+                };
+                overlay = bounding.fold_overlay(clean, overlay, corrections);
+                self.stats.corrections += overlay.corrections();
+            }
+        }
+        overlay
+    }
+
     fn layout_for(&mut self, site: &DataSite, total_bits: u64) -> Layout {
         if let Some(layout) = self.placement.site_layouts.get(site) {
             return *layout;
@@ -394,7 +463,14 @@ impl FaultHook for ApproximateMemory {
                 injector.corrupt_placed_seeded_mapped(tensor, &layout, load_stream, map.as_deref());
         }
         if let Some(bounding) = &self.bounding {
-            self.stats.corrections += bounding.correct(tensor) as u64;
+            // Integer tensors whose whole quantization grid is plausible can
+            // never hold a correctable value (every corrupted word is still
+            // on the grid), so the O(values) scan is skipped outright — the
+            // common case for calibrated thresholds, and what keeps the
+            // per-sample IFM loads O(weak cells) end to end.
+            if !bounding.covers_grid(tensor) {
+                self.stats.corrections += bounding.correct(tensor) as u64;
+            }
         }
     }
 }
@@ -558,6 +634,66 @@ mod tests {
             mem.corrupt(&s, &mut full);
             assert!(mem.stats().loads == 3, "{precision}");
         }
+    }
+
+    #[test]
+    fn corrupt_overlay_matches_hook_corruption() {
+        // The overlay form of a load must equal the mutating form at every
+        // position of the load sequence — same bits, same statistics — with
+        // and without bounding, for model-backed and reliable memory.
+        let model = ErrorModel::data_dependent(0.03, 0.8, 0.2, 5);
+        let bounding = BoundingLogic::new(-0.6, 0.6, CorrectionPolicy::Zero);
+        let clean = stored(6000);
+        for with_bounding in [false, true] {
+            let make = || {
+                let mem = ApproximateMemory::from_model(model, 11);
+                if with_bounding {
+                    mem.with_bounding(bounding)
+                } else {
+                    mem
+                }
+            };
+            let mut via_hook = make();
+            let mut via_overlay = make();
+            for (i, kind) in [DataKind::Weight, DataKind::Ifm, DataKind::Weight]
+                .into_iter()
+                .enumerate()
+            {
+                let s = site(i % 2, kind);
+                let mut corrupted = clean.clone();
+                via_hook.corrupt(&s, &mut corrupted);
+                let overlay = via_overlay.corrupt_overlay(&s, &clean, None);
+                let mut patched = clean.clone();
+                overlay.apply(&mut patched);
+                assert_eq!(patched, corrupted, "load {i}, bounding={with_bounding}");
+                assert_eq!(
+                    via_hook.stats(),
+                    via_overlay.stats(),
+                    "load {i}, bounding={with_bounding}"
+                );
+            }
+            assert!(via_hook.stats().bit_flips > 0);
+            if with_bounding {
+                assert!(via_hook.stats().corrections > 0);
+            }
+        }
+        // Reliable memory with bounding: the overlay still carries the
+        // clean-image corrections the scan would make.
+        let outliers = {
+            let mut v: Vec<f32> = (0..256).map(|i| (i as f32 * 0.1).sin() * 0.3).collect();
+            v[7] = 100.0;
+            QuantTensor::quantize(&Tensor::from_vec(v, &[256]), Precision::Fp32)
+        };
+        let mut reliable = ApproximateMemory::reliable(0).with_bounding(bounding);
+        let overlay = reliable.corrupt_overlay(&site(0, DataKind::Weight), &outliers, None);
+        assert_eq!(overlay.bit_flips(), 0);
+        assert_eq!(overlay.corrections(), 1);
+        assert_eq!(reliable.stats().corrections, 1);
+        let mut patched = outliers.clone();
+        overlay.apply(&mut patched);
+        let mut scanned = outliers.clone();
+        reliable.corrupt(&site(0, DataKind::Weight), &mut scanned);
+        assert_eq!(patched, scanned);
     }
 
     #[test]

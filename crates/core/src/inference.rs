@@ -175,12 +175,13 @@ pub fn evaluate_with_faults(
 /// is substantially faster for the integer precisions and — integer
 /// accumulation being associative — equally thread-count invariant.
 ///
-/// Both backends corrupt a copy of each weight site's cached clean bit image
-/// per refetch ([`Network::weight_images`]) rather than cloning and
-/// re-quantizing the network, so the per-refetch cost is proportional to the
-/// stored bits, not to the network object graph. A probe loop should hold an
-/// [`EvalSession`] instead of calling this repeatedly (see the
-/// [module docs](self)).
+/// Both backends serve weight refetches as sparse corruption overlays over
+/// the cached clean bit images ([`Network::weight_images`],
+/// [`crate::session::RefetchMode`]): the persistent corrupted copies are
+/// patched with only the words each fault draw touches, so the per-refetch
+/// cost is O(flips) rather than proportional to the network size. A probe
+/// loop should hold an [`EvalSession`] instead of calling this repeatedly
+/// (see the [module docs](self)).
 pub fn evaluate_with_faults_backend(
     net: &Network,
     samples: &[(Tensor, usize)],

@@ -17,13 +17,29 @@
 //! * the clean quantized **weight bit images** ([`Network::weight_images`]),
 //!   captured once instead of once per probe;
 //! * the reusable **corrupted-weight pools** (simulated-f32 network copies
-//!   and [`NativeWeights`] integer state), re-loaded in place per refetch;
+//!   and [`NativeWeights`] integer state), patched in place per refetch;
 //! * the **per-worker scratch arena** of the native integer executor;
 //! * the cached **reliable baseline** per evaluated sample set;
 //! * a keyed cache of **per-placement injectors and weak-cell maps**
 //!   ([`WeakMapCache`]) shared by every memory the session evaluates with,
 //!   so a probe that changes one site's BER recomputes one map, not all of
-//!   them.
+//!   them;
+//! * per-image **clean-image bounding corrections**, computed once per
+//!   threshold set for the overlay refetch path.
+//!
+//! # Sparse overlay refetches
+//!
+//! By default ([`RefetchMode::Overlay`]) every weight refetch is served as a
+//! set of sparse [`CorruptionOverlay`]s ([`ApproximateMemory::corrupt_overlay`]):
+//! the pool's corrupted copies are held at the dequantized-clean baseline
+//! and only the words a fault draw touches are patched — and reverted
+//! before the next draw (`apply ∘ revert` is the identity). At the BERs the
+//! paper operates at this makes the per-refetch weight cost O(flips)
+//! instead of O(total weights), which is the dominant cost of the
+//! characterization and tolerance-curve probe loops.
+//! [`RefetchMode::ImageReload`] keeps the full image-reload path as the
+//! reference implementation; the workspace `overlay_equivalence` suite pins
+//! the two against each other bit for bit.
 //!
 //! Results are **bit-for-bit identical** to the one-shot API (which is
 //! itself implemented as a thin wrapper constructing a throwaway session):
@@ -55,7 +71,7 @@
 //! }
 //! ```
 
-use crate::bounding::BoundingLogic;
+use crate::bounding::{BoundingLogic, CorrectionPolicy};
 use crate::faults::{ApproximateMemory, WeakMapCache};
 use crate::inference::{effective_backend, InferenceBackend};
 use eden_dnn::network::WeightImage;
@@ -65,9 +81,11 @@ use eden_dram::error_model::Layout;
 use eden_dram::inject::Injector;
 use eden_dram::util::stream;
 use eden_dram::ErrorModel;
-use eden_tensor::{Precision, QuantTensor, Tensor};
+use eden_tensor::{CorruptionOverlay, Precision, QuantTensor, Tensor};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::{Arc, Mutex};
 
 /// Samples per weight refetch: the corrupted weight copy is re-loaded from
 /// approximate DRAM once per this many samples, modelling periodic
@@ -81,6 +99,45 @@ const WINDOW: usize = 16 * WEIGHT_REFETCH_PERIOD;
 /// Number of refetch slots a window needs.
 fn refetch_slots(window_len: usize) -> usize {
     window_len.div_ceil(WEIGHT_REFETCH_PERIOD)
+}
+
+/// How the session re-loads its corrupted weight state from approximate
+/// memory on each refetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefetchMode {
+    /// Sparse corruption overlays (the production path): the persistent
+    /// corrupted copies are held at the dequantized-clean baseline and
+    /// patched/reverted per draw via [`CorruptionOverlay`]s — O(flips) per
+    /// refetch instead of O(total weights).
+    #[default]
+    Overlay,
+    /// Full image reloads (the reference implementation the overlay path is
+    /// pinned against, bit for bit): every refetch corrupts a copy of each
+    /// clean bit image and rewrites every parameter word.
+    ImageReload,
+}
+
+impl fmt::Display for RefetchMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RefetchMode::Overlay => f.write_str("overlay"),
+            RefetchMode::ImageReload => f.write_str("reload"),
+        }
+    }
+}
+
+impl FromStr for RefetchMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "overlay" => Ok(RefetchMode::Overlay),
+            "reload" | "image-reload" => Ok(RefetchMode::ImageReload),
+            other => Err(format!(
+                "unknown refetch mode {other:?} (expected \"overlay\" or \"reload\")"
+            )),
+        }
+    }
 }
 
 /// Reusable buffers of one simulated-f32 forward pass: the stored-bits
@@ -102,6 +159,7 @@ struct SessionCore<'a> {
     net: &'a Network,
     precision: Precision,
     backend: InferenceBackend,
+    refetch: RefetchMode,
     /// Clean quantized bit images of every weight parameter, in
     /// [`Network::corrupt_weights`] visit order — captured once per session.
     images: Vec<WeightImage>,
@@ -111,19 +169,120 @@ struct SessionCore<'a> {
     /// Weak-cell maps and placements shared by every memory this session
     /// evaluates with.
     weak_maps: Arc<WeakMapCache>,
+    /// Per-image clean-image bounding corrections, keyed by the exact
+    /// threshold bits — computed once per `(images, bounding)` pair so the
+    /// overlay refetch path folds corrections in O(corrections) per load
+    /// instead of re-scanning every weight value
+    /// ([`BoundingLogic::clean_corrections`]).
+    clean_corrections: Mutex<HashMap<BoundingKey, Arc<CleanCorrections>>>,
     /// Native-executor scratch buffers, checked out per worker pass.
     scratch: ScratchArena<QuantScratch>,
     /// Simulated-path scratch buffers, checked out per worker pass.
     sim_scratch: ScratchArena<SimScratch>,
 }
 
+/// Exact-value cache key of one [`BoundingLogic`]: every field as bits, so
+/// two logics share clean corrections iff they correct identically.
+type BoundingKey = (u32, u32, CorrectionPolicy, u32);
+
+/// The clean-image bounding corrections of every weight image, in image
+/// order ([`BoundingLogic::clean_corrections`] per image).
+type CleanCorrections = Vec<Vec<(u32, u32)>>;
+
+fn bounding_key(b: &BoundingLogic) -> BoundingKey {
+    (
+        b.lower.to_bits(),
+        b.upper.to_bits(),
+        b.policy,
+        b.latency_cycles,
+    )
+}
+
+/// Weight state of one corrupted-copy slot with respect to the session's
+/// clean images.
+enum SlotState {
+    /// Parameters hold an image-reload result, or the master network's raw
+    /// values (a freshly cloned slot) — anything the overlay path must reset
+    /// with a full clean load before patching.
+    Unknown,
+    /// Parameters hold `clean` patched by these overlays; reverting them
+    /// restores the clean baseline in O(flips).
+    Overlaid(Vec<CorruptionOverlay>),
+}
+
+/// One reusable corrupted-weight slot: the weight state plus how it was last
+/// written.
+struct Slot<T> {
+    inner: T,
+    state: SlotState,
+}
+
+impl<T> Slot<T> {
+    fn new(inner: T) -> Self {
+        Self {
+            inner,
+            state: SlotState::Unknown,
+        }
+    }
+}
+
+/// A corrupted-weight state the session can refetch either sparsely (clean
+/// baseline + overlay patches) or by full image reload — implemented by the
+/// simulated-f32 [`Network`] copies and the [`NativeWeights`] integer state,
+/// so both backends share one refetch state machine
+/// ([`SessionCore::refetch_slot`]).
+trait RefetchTarget {
+    fn load_clean(&mut self, images: &[WeightImage]);
+    fn load_reference(&mut self, images: &[WeightImage], memory: &mut ApproximateMemory);
+    fn apply_overlay(&mut self, images: &[WeightImage], overlays: &[CorruptionOverlay]);
+    fn revert_overlay(&mut self, images: &[WeightImage], overlays: &[CorruptionOverlay]);
+}
+
+impl RefetchTarget for Network {
+    fn load_clean(&mut self, images: &[WeightImage]) {
+        self.load_clean_weights(images);
+    }
+
+    fn load_reference(&mut self, images: &[WeightImage], memory: &mut ApproximateMemory) {
+        self.load_corrupted_weights(images, memory);
+    }
+
+    fn apply_overlay(&mut self, images: &[WeightImage], overlays: &[CorruptionOverlay]) {
+        Network::apply_overlay(self, images, overlays);
+    }
+
+    fn revert_overlay(&mut self, images: &[WeightImage], overlays: &[CorruptionOverlay]) {
+        Network::revert_overlay(self, images, overlays);
+    }
+}
+
+impl RefetchTarget for NativeWeights {
+    fn load_clean(&mut self, images: &[WeightImage]) {
+        self.refresh_clean(images);
+    }
+
+    fn load_reference(&mut self, images: &[WeightImage], memory: &mut ApproximateMemory) {
+        self.refresh(images, memory);
+    }
+
+    fn apply_overlay(&mut self, images: &[WeightImage], overlays: &[CorruptionOverlay]) {
+        NativeWeights::apply_overlay(self, images, overlays);
+    }
+
+    fn revert_overlay(&mut self, images: &[WeightImage], overlays: &[CorruptionOverlay]) {
+        NativeWeights::revert_overlay(self, images, overlays);
+    }
+}
+
 /// Reusable corrupted-weight state: lazily grown to the refetch-slot count
-/// and re-loaded in place from the session's bit images on every refetch, so
-/// sequential probes never re-clone the network object graph.
+/// and re-written in place per refetch — patched sparsely under
+/// [`RefetchMode::Overlay`], fully re-loaded from the session's bit images
+/// under [`RefetchMode::ImageReload`] — so sequential probes never re-clone
+/// the network object graph.
 #[derive(Default)]
 struct ProbePools {
-    simulated: Vec<Network>,
-    native: Vec<NativeWeights>,
+    simulated: Vec<Slot<Network>>,
+    native: Vec<Slot<NativeWeights>>,
 }
 
 /// A reusable evaluation session for one `(network, precision, backend)`
@@ -145,13 +304,16 @@ pub struct EvalSession<'a> {
 
 impl<'a> EvalSession<'a> {
     /// Creates a session, capturing the clean quantized weight bit images of
-    /// `net` at `precision`.
+    /// `net` at `precision`. Weight refetches default to the sparse
+    /// [`RefetchMode::Overlay`] path; see
+    /// [`EvalSession::with_refetch_mode`].
     pub fn new(net: &'a Network, precision: Precision, backend: InferenceBackend) -> Self {
         Self {
             core: SessionCore {
                 net,
                 precision,
                 backend,
+                refetch: RefetchMode::default(),
                 images: net.weight_images(precision),
                 ifm_sites: net
                     .layers()
@@ -160,6 +322,7 @@ impl<'a> EvalSession<'a> {
                     .map(|(i, layer)| DataSite::new(i, layer.name(), DataKind::Ifm))
                     .collect(),
                 weak_maps: Arc::new(WeakMapCache::new()),
+                clean_corrections: Mutex::new(HashMap::new()),
                 scratch: ScratchArena::new(),
                 sim_scratch: ScratchArena::new(),
             },
@@ -167,6 +330,20 @@ impl<'a> EvalSession<'a> {
             baselines: HashMap::new(),
             injectors: HashMap::new(),
         }
+    }
+
+    /// Selects how weight refetches are served (sparse overlays by default;
+    /// [`RefetchMode::ImageReload`] is the reference implementation the
+    /// overlay path is pinned against). Results are bit-identical either
+    /// way; only the per-refetch cost differs.
+    pub fn with_refetch_mode(mut self, mode: RefetchMode) -> Self {
+        self.core.refetch = mode;
+        self
+    }
+
+    /// The session's weight-refetch mode.
+    pub fn refetch_mode(&self) -> RefetchMode {
+        self.core.refetch
     }
 
     /// The network under evaluation.
@@ -272,21 +449,32 @@ impl<'a> EvalSession<'a> {
         match effective_backend(core.backend, core.precision) {
             InferenceBackend::SimulatedF32 => {
                 if pools.simulated.is_empty() {
-                    pools.simulated.push(core.net.clone());
+                    pools.simulated.push(Slot::new(core.net.clone()));
                 }
                 let slot = &mut pools.simulated[0];
-                slot.load_corrupted_weights(&core.images, memory);
+                slot.inner.load_corrupted_weights(&core.images, memory);
+                slot.state = SlotState::Unknown;
                 core.sim_scratch
-                    .with(|scratch| core.forward_simulated(slot, input, memory, scratch))
+                    .with(|scratch| core.forward_simulated(&slot.inner, input, memory, scratch))
             }
             InferenceBackend::NativeInt => {
                 if pools.native.is_empty() {
-                    pools.native.push(NativeWeights::prepare(core.net));
+                    pools
+                        .native
+                        .push(Slot::new(NativeWeights::prepare(core.net)));
                 }
-                let weights = &mut pools.native[0];
-                weights.refresh(&core.images, memory);
+                let slot = &mut pools.native[0];
+                slot.inner.refresh(&core.images, memory);
+                slot.state = SlotState::Unknown;
                 core.scratch.with(|scratch| {
-                    qexec::forward_native(core.net, weights, input, core.precision, memory, scratch)
+                    qexec::forward_native(
+                        core.net,
+                        &slot.inner,
+                        input,
+                        core.precision,
+                        memory,
+                        scratch,
+                    )
                 })
             }
         }
@@ -350,36 +538,120 @@ impl SessionCore<'_> {
         correct as f32 / samples.len() as f32
     }
 
+    /// The clean-image bounding corrections for `memory`'s bounding logic
+    /// (None without bounding, or in reload mode, which corrects inside the
+    /// full scan anyway), computed once per distinct threshold set and
+    /// shared from then on.
+    fn clean_corrections(&self, memory: &ApproximateMemory) -> Option<Arc<CleanCorrections>> {
+        if self.refetch != RefetchMode::Overlay {
+            return None;
+        }
+        let bounding = *memory.bounding()?;
+        let mut cache = self.clean_corrections.lock().unwrap();
+        Some(
+            cache
+                .entry(bounding_key(&bounding))
+                .or_insert_with(|| {
+                    Arc::new(
+                        self.images
+                            .iter()
+                            .map(|img| {
+                                // A fully-plausible integer grid has no
+                                // corrections by construction, and
+                                // `corrupt_overlay` never consults the slice
+                                // for such images — skip the O(values) scan.
+                                if bounding.covers_grid(&img.clean) {
+                                    Vec::new()
+                                } else {
+                                    bounding.clean_corrections(&img.clean)
+                                }
+                            })
+                            .collect(),
+                    )
+                })
+                .clone(),
+        )
+    }
+
+    /// One weight refetch of a pool slot: under [`RefetchMode::Overlay`],
+    /// revert the previous draw (or establish the clean baseline), draw the
+    /// new overlays from `memory` and patch them in — O(flips); under
+    /// [`RefetchMode::ImageReload`], a full reference reload. Shared by both
+    /// execution backends so the state-transition protocol cannot diverge.
+    fn refetch_slot<T: RefetchTarget>(
+        &self,
+        slot: &mut Slot<T>,
+        memory: &mut ApproximateMemory,
+        corrections: Option<&CleanCorrections>,
+    ) {
+        match self.refetch {
+            RefetchMode::Overlay => {
+                let overlays = self.refetch_overlays(memory, corrections.map(Vec::as_slice));
+                match std::mem::replace(&mut slot.state, SlotState::Unknown) {
+                    SlotState::Overlaid(old) => slot.inner.revert_overlay(&self.images, &old),
+                    SlotState::Unknown => slot.inner.load_clean(&self.images),
+                }
+                slot.inner.apply_overlay(&self.images, &overlays);
+                slot.state = SlotState::Overlaid(overlays);
+            }
+            RefetchMode::ImageReload => {
+                slot.inner.load_reference(&self.images, memory);
+                slot.state = SlotState::Unknown;
+            }
+        }
+    }
+
+    /// Serves one weight refetch as overlays: one
+    /// [`ApproximateMemory::corrupt_overlay`] per weight image, in image
+    /// order — consuming exactly the load streams (and accumulating exactly
+    /// the statistics) that [`Network::load_corrupted_weights`] would.
+    fn refetch_overlays(
+        &self,
+        memory: &mut ApproximateMemory,
+        corrections: Option<&[Vec<(u32, u32)>]>,
+    ) -> Vec<CorruptionOverlay> {
+        self.images
+            .iter()
+            .enumerate()
+            .map(|(i, img)| {
+                memory.corrupt_overlay(&img.site, &img.clean, corrections.map(|c| c[i].as_slice()))
+            })
+            .collect()
+    }
+
     fn evaluate_simulated(
         &self,
         samples: &[(Tensor, usize)],
         memory: &mut ApproximateMemory,
-        pool: &mut Vec<Network>,
+        pool: &mut Vec<Slot<Network>>,
     ) -> usize {
         // Reusable pool of corrupted network instances: cloned lazily (at
         // most once per refetch slot, i.e. ≤ 16 times per session) and
-        // re-loaded in place from the bit images on every refetch — the
-        // weight refetches inside each window draw sequentially from the
-        // parent memory's stream, in sample order, exactly as a fully
-        // sequential evaluation would.
+        // re-written in place on every refetch — the weight refetches inside
+        // each window draw sequentially from the parent memory's stream, in
+        // sample order, exactly as a fully sequential evaluation would.
+        // Under the overlay mode each refetch patches/reverts only the words
+        // its fault draw touches (O(flips)); under the reload reference mode
+        // it re-loads every parameter from the bit images.
+        let corrections = self.clean_corrections(memory);
         let mut correct = 0usize;
         for (w, window) in samples.chunks(WINDOW).enumerate() {
             let slots = refetch_slots(window.len());
             while pool.len() < slots {
-                pool.push(self.net.clone());
+                pool.push(Slot::new(self.net.clone()));
             }
             for slot in pool.iter_mut().take(slots) {
-                slot.load_corrupted_weights(&self.images, memory);
+                self.refetch_slot(slot, memory, corrections.as_deref());
             }
 
             let base = w * WINDOW;
             let shared: &ApproximateMemory = memory;
-            let pool_ref: &[Network] = pool;
+            let pool_ref: &[Slot<Network>] = pool;
             let outcomes = eden_par::par_map(window, |i, (x, label)| {
                 // Lane key is the sample's *global* index: invariant under
                 // both the window size and the thread count.
                 let mut lane = shared.fork((base + i) as u64);
-                let net = &pool_ref[i / WEIGHT_REFETCH_PERIOD];
+                let net = &pool_ref[i / WEIGHT_REFETCH_PERIOD].inner;
                 let logits = self
                     .sim_scratch
                     .with(|scratch| self.forward_simulated(net, x, &mut lane, scratch));
@@ -434,27 +706,28 @@ impl SessionCore<'_> {
         &self,
         samples: &[(Tensor, usize)],
         memory: &mut ApproximateMemory,
-        pool: &mut Vec<NativeWeights>,
+        pool: &mut Vec<Slot<NativeWeights>>,
     ) -> usize {
         // Same window/refetch structure as the simulated path (and the same
         // load-stream consumption), but the refetched state is the integer
         // parameter set instead of an f32 network copy.
+        let corrections = self.clean_corrections(memory);
         let mut correct = 0usize;
         for (w, window) in samples.chunks(WINDOW).enumerate() {
             let slots = refetch_slots(window.len());
             while pool.len() < slots {
-                pool.push(NativeWeights::prepare(self.net));
+                pool.push(Slot::new(NativeWeights::prepare(self.net)));
             }
             for slot in pool.iter_mut().take(slots) {
-                slot.refresh(&self.images, memory);
+                self.refetch_slot(slot, memory, corrections.as_deref());
             }
 
             let base = w * WINDOW;
             let shared: &ApproximateMemory = memory;
-            let pool_ref: &[NativeWeights] = pool;
+            let pool_ref: &[Slot<NativeWeights>] = pool;
             let outcomes = eden_par::par_map(window, |i, (x, label)| {
                 let mut lane = shared.fork((base + i) as u64);
-                let weights = &pool_ref[i / WEIGHT_REFETCH_PERIOD];
+                let weights = &pool_ref[i / WEIGHT_REFETCH_PERIOD].inner;
                 // Checked-out scratch: buffer contents never influence
                 // results, so reuse across samples is thread-count invariant.
                 let logits = self.scratch.with(|scratch| {
@@ -516,6 +789,38 @@ mod tests {
                 );
                 assert_eq!(via_session.to_bits(), via_oneshot.to_bits(), "{backend}");
                 assert_eq!(session_memory.stats(), oneshot_memory.stats(), "{backend}");
+            }
+        }
+    }
+
+    #[test]
+    fn overlay_refetch_matches_image_reload_refetch() {
+        // The production overlay mode against the reference reload mode:
+        // same accuracies, same statistics, across backends, with bounding
+        // (so the sparse correction fold is exercised) and across a probe
+        // sequence that reuses the persistent pools (revert + re-apply).
+        let (net, dataset) = trained_lenet(7);
+        let samples = &dataset.test()[..24];
+        let template = ErrorModel::uniform(0.02, 0.5, 3);
+        let bounding =
+            crate::bounding::BoundingLogic::new(-6.0, 6.0, crate::bounding::CorrectionPolicy::Zero);
+        for backend in [InferenceBackend::SimulatedF32, InferenceBackend::NativeInt] {
+            let mut overlay_session = EvalSession::new(&net, Precision::Int8, backend);
+            assert_eq!(overlay_session.refetch_mode(), RefetchMode::Overlay);
+            let mut reload_session = EvalSession::new(&net, Precision::Int8, backend)
+                .with_refetch_mode(RefetchMode::ImageReload);
+            for ber in [1e-3, 1e-2, 1e-3, 5e-2] {
+                let model = template.with_ber(ber);
+                let make = || ApproximateMemory::from_model(model, 7).with_bounding(bounding);
+                let (mut a, mut b) = (make(), make());
+                let via_overlay = overlay_session.evaluate_with_faults(samples, &mut a);
+                let via_reload = reload_session.evaluate_with_faults(samples, &mut b);
+                assert_eq!(
+                    via_overlay.to_bits(),
+                    via_reload.to_bits(),
+                    "{backend} {ber}"
+                );
+                assert_eq!(a.stats(), b.stats(), "{backend} {ber}");
             }
         }
     }

@@ -1,8 +1,27 @@
 //! Sequential networks of layers.
+//!
+//! # Serving weights from approximate DRAM
+//!
+//! Weight corruption has two production forms, both driven by the cached
+//! clean bit images of [`Network::weight_images`]:
+//!
+//! * **Image reload** ([`Network::load_corrupted_weights`]): per refetch,
+//!   clone each clean image, corrupt it through a [`FaultHook`], dequantize
+//!   into the parameter buffers — O(total weights) per refetch. This is the
+//!   reference implementation the sparse path is pinned against.
+//! * **Sparse overlays** ([`Network::apply_overlay`] /
+//!   [`Network::revert_overlay`]): hold the parameters at the dequantized
+//!   clean baseline ([`Network::load_clean_weights`]) and patch only the
+//!   words a [`CorruptionOverlay`] touches — O(flips) per refetch, and
+//!   `apply ∘ revert` restores the baseline exactly, so one persistent
+//!   corrupted copy serves any number of fault draws without full reloads.
+//!
+//! Both forms produce bit-identical parameters for the same fault draw; the
+//! workspace `overlay_equivalence` suite pins this.
 
 use crate::hooks::{DataKind, DataSite, FaultHook};
 use crate::layer::{Layer, ParamEntry};
-use eden_tensor::{Precision, QuantTensor, Tensor};
+use eden_tensor::{CorruptionOverlay, Precision, QuantTensor, Tensor};
 use serde::{Deserialize, Serialize};
 
 /// Description of one DNN data type (a layer's weights or IFM) and its size.
@@ -327,6 +346,76 @@ impl Network {
         assert_eq!(cursor, images.len(), "unconsumed weight images");
     }
 
+    /// Overwrites this network's parameters with the **dequantized clean**
+    /// bit images — the baseline state of the sparse-overlay refetch path.
+    /// Equivalent to [`Network::load_corrupted_weights`] with a no-op hook,
+    /// without consuming any load streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` does not match this network's parameter structure.
+    pub fn load_clean_weights(&mut self, images: &[WeightImage]) {
+        let mut cursor = 0usize;
+        self.visit_params_layers(&mut |layer_index, p| {
+            let img = images.get(cursor).expect("missing weight image");
+            cursor += 1;
+            debug_assert_eq!(img.layer_index, layer_index, "weight image order");
+            debug_assert_eq!(img.param_name, p.name, "weight image order");
+            img.clean.dequantize_into(p.value.data_mut());
+        });
+        assert_eq!(cursor, images.len(), "unconsumed weight images");
+    }
+
+    /// Patches this network's parameters with one [`CorruptionOverlay`] per
+    /// weight image: only the words each overlay touches are re-dequantized
+    /// (from `clean bits ^ mask`), so the cost is O(flips) instead of
+    /// O(total weights).
+    ///
+    /// The parameters must currently hold the dequantized clean images —
+    /// either via [`Network::load_clean_weights`] or after
+    /// [`Network::revert_overlay`] of the previously applied overlays. The
+    /// result is then bit-identical to [`Network::load_corrupted_weights`]
+    /// with a hook producing the same corruption.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images`/`overlays` do not match the parameter structure.
+    pub fn apply_overlay(&mut self, images: &[WeightImage], overlays: &[CorruptionOverlay]) {
+        self.patch_overlay(images, overlays, true);
+    }
+
+    /// Undoes [`Network::apply_overlay`]: restores every touched word to its
+    /// dequantized clean value, leaving the parameters back at the
+    /// [`Network::load_clean_weights`] baseline in O(flips).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images`/`overlays` do not match the parameter structure.
+    pub fn revert_overlay(&mut self, images: &[WeightImage], overlays: &[CorruptionOverlay]) {
+        self.patch_overlay(images, overlays, false);
+    }
+
+    fn patch_overlay(
+        &mut self,
+        images: &[WeightImage],
+        overlays: &[CorruptionOverlay],
+        apply: bool,
+    ) {
+        assert_eq!(images.len(), overlays.len(), "one overlay per image");
+        let mut cursor = 0usize;
+        self.visit_params_layers(&mut |layer_index, p| {
+            let (img, overlay) = (&images[cursor], &overlays[cursor]);
+            cursor += 1;
+            debug_assert_eq!(img.layer_index, layer_index, "weight image order");
+            debug_assert_eq!(img.param_name, p.name, "weight image order");
+            let data = p.value.data_mut();
+            for (i, word) in overlay.patched_words(&img.clean, apply) {
+                data[i] = img.clean.word_value(word);
+            }
+        });
+        assert_eq!(cursor, images.len(), "unconsumed weight images");
+    }
+
     /// Pure forward pass in which every layer's IFM is round-tripped through
     /// the stored representation at `precision` and corrupted by `hook`
     /// before use — modelling IFMs that are stored to and loaded from
@@ -483,6 +572,55 @@ mod tests {
         // (no cumulative corruption).
         refreshed.load_corrupted_weights(&images, &mut flip_all);
         assert_eq!(cloned.forward(&x), refreshed.forward(&x));
+    }
+
+    #[test]
+    fn overlay_patching_matches_image_reload() {
+        // The sparse refetch path: a persistent copy held at the clean
+        // baseline, patched per draw, must track load_corrupted_weights bit
+        // for bit — and revert must restore the exact baseline.
+        let net = tiny_net(9);
+        let images = net.weight_images(Precision::Int8);
+        // Per-image overlays flipping a few scattered bits.
+        let overlays: Vec<CorruptionOverlay> = images
+            .iter()
+            .map(|img| {
+                let deltas: Vec<(u32, u32)> = (0..img.clean.len() as u32)
+                    .step_by(5)
+                    .map(|w| (w, 1 + (w % 7)))
+                    .collect();
+                let flips = deltas.iter().map(|&(_, m)| m.count_ones() as u64).sum();
+                CorruptionOverlay::new(img.clean.len(), 8, deltas, flips, 0)
+            })
+            .collect();
+
+        // Reference: full image reload through a hook applying the same
+        // deltas.
+        let mut cursor = 0usize;
+        let mut reference = net.clone();
+        reference.load_corrupted_weights(&images, &mut |_: &DataSite, q: &mut QuantTensor| {
+            overlays[cursor].apply(q);
+            cursor += 1;
+        });
+
+        let mut patched = net.clone();
+        patched.load_clean_weights(&images);
+        let baseline: Vec<Tensor> = {
+            let mut out = Vec::new();
+            patched.visit_params_ref(&mut |_, t| out.push(t.clone()));
+            out
+        };
+        patched.apply_overlay(&images, &overlays);
+        let x = Tensor::full(&[1, 8, 8], 0.3);
+        assert_eq!(reference.forward(&x), patched.forward(&x));
+
+        // Revert restores the clean baseline exactly; re-applying replays.
+        patched.revert_overlay(&images, &overlays);
+        let mut reverted = Vec::new();
+        patched.visit_params_ref(&mut |_, t| reverted.push(t.clone()));
+        assert_eq!(baseline, reverted);
+        patched.apply_overlay(&images, &overlays);
+        assert_eq!(reference.forward(&x), patched.forward(&x));
     }
 
     #[test]

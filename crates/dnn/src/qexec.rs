@@ -21,7 +21,7 @@
 use crate::layer::Layer;
 use crate::network::{Network, WeightImage};
 use crate::{DataKind, DataSite, FaultHook};
-use eden_tensor::{ops, Precision, QuantTensor, Tensor};
+use eden_tensor::{ops, CorruptionOverlay, Precision, QuantTensor, Tensor};
 
 /// Corrupted quantized parameters of one native layer, rebuilt on every
 /// weight refetch from the cached clean bit images.
@@ -243,6 +243,139 @@ impl NativeWeights {
             assert!(
                 for_fallback.is_empty(),
                 "corrupted weights for a non-native layer but no fallback network"
+            );
+        }
+    }
+
+    /// Re-loads every weight site with its **clean** bit image — the
+    /// baseline state of the sparse-overlay refetch path. Produces exactly
+    /// the state [`NativeWeights::refresh`] with a no-op hook would, without
+    /// consuming load streams or cloning any bit image (the clean images are
+    /// read in place).
+    pub fn refresh_clean(&mut self, images: &[WeightImage]) {
+        let mut for_fallback = std::collections::VecDeque::new();
+        for img in images {
+            let params = match self
+                .native
+                .get_mut(img.layer_index)
+                .and_then(|p| p.as_mut())
+            {
+                Some(params) => params,
+                None => {
+                    for_fallback.push_back(img);
+                    continue;
+                }
+            };
+            if img.param_name == "weight" {
+                img.clean.q_values_into(&mut params.qweight);
+                params.weight_scale = img.clean.scale();
+                if use_i16_kernels(img.clean.precision()) {
+                    params.qweight16.clear();
+                    params
+                        .qweight16
+                        .extend(params.qweight.iter().map(|&v| v as i16));
+                }
+            } else {
+                params.bias.clear();
+                params.bias.resize(img.clean.len(), 0.0);
+                img.clean.dequantize_into(&mut params.bias);
+            }
+        }
+        let native = &self.native;
+        if let Some(fb) = &mut self.fallback {
+            fb.visit_params_layers(&mut |layer_index, p| {
+                if native.get(layer_index).is_some_and(|n| n.is_some()) {
+                    return;
+                }
+                let img = for_fallback.pop_front().expect("fallback image missing");
+                assert_eq!(img.layer_index, layer_index, "weight image order mismatch");
+                img.clean.dequantize_into(p.value.data_mut());
+            });
+            assert!(for_fallback.is_empty(), "unconsumed fallback weight image");
+        } else {
+            assert!(
+                for_fallback.is_empty(),
+                "clean image for a non-native layer but no fallback network"
+            );
+        }
+    }
+
+    /// Patches the integer parameter state with one [`CorruptionOverlay`]
+    /// per weight image, touching only the overlaid words — the native
+    /// analogue of [`crate::Network::apply_overlay`]. The state must
+    /// currently be the clean baseline ([`NativeWeights::refresh_clean`] or
+    /// after [`NativeWeights::revert_overlay`]); the result is bit-identical
+    /// to [`NativeWeights::refresh`] under a hook producing the same
+    /// corruption, at O(flips) instead of O(total weights).
+    pub fn apply_overlay(&mut self, images: &[WeightImage], overlays: &[CorruptionOverlay]) {
+        self.patch_overlay(images, overlays, true);
+    }
+
+    /// Undoes [`NativeWeights::apply_overlay`], restoring every touched word
+    /// to its clean value in O(flips).
+    pub fn revert_overlay(&mut self, images: &[WeightImage], overlays: &[CorruptionOverlay]) {
+        self.patch_overlay(images, overlays, false);
+    }
+
+    fn patch_overlay(
+        &mut self,
+        images: &[WeightImage],
+        overlays: &[CorruptionOverlay],
+        apply: bool,
+    ) {
+        assert_eq!(images.len(), overlays.len(), "one overlay per image");
+        // Same routing as `refresh`: native layers are patched in place,
+        // images of fallback layers queue up for the fallback network walk.
+        let mut for_fallback = std::collections::VecDeque::new();
+        for (img, overlay) in images.iter().zip(overlays) {
+            let params = match self
+                .native
+                .get_mut(img.layer_index)
+                .and_then(|p| p.as_mut())
+            {
+                Some(params) => params,
+                None => {
+                    for_fallback.push_back((img, overlay));
+                    continue;
+                }
+            };
+            if img.param_name == "weight" {
+                let narrow = use_i16_kernels(img.clean.precision());
+                for (i, word) in overlay.patched_words(&img.clean, apply) {
+                    let q = img.clean.word_q_value(word);
+                    params.qweight[i] = q;
+                    if narrow {
+                        params.qweight16[i] = q as i16;
+                    }
+                }
+                // The scale is a property of the clean quantization and is
+                // untouched by bit corruption, so it never needs re-patching.
+            } else {
+                for (i, word) in overlay.patched_words(&img.clean, apply) {
+                    params.bias[i] = img.clean.word_value(word);
+                }
+            }
+        }
+        let native = &self.native;
+        if let Some(fb) = &mut self.fallback {
+            fb.visit_params_layers(&mut |layer_index, p| {
+                if native.get(layer_index).is_some_and(|n| n.is_some()) {
+                    return;
+                }
+                let (img, overlay) = for_fallback
+                    .pop_front()
+                    .expect("fallback weight image missing");
+                assert_eq!(img.layer_index, layer_index, "weight image order mismatch");
+                let data = p.value.data_mut();
+                for (i, word) in overlay.patched_words(&img.clean, apply) {
+                    data[i] = img.clean.word_value(word);
+                }
+            });
+            assert!(for_fallback.is_empty(), "unconsumed fallback weight image");
+        } else {
+            assert!(
+                for_fallback.is_empty(),
+                "overlay for a non-native layer but no fallback network"
             );
         }
     }
@@ -531,6 +664,65 @@ mod tests {
         let native = native_forward(&net, &x, Precision::Int8);
         for (a, b) in native.data().iter().zip(simulated.data()) {
             assert!((a - b).abs() <= 1e-3 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn native_overlay_patching_matches_refresh() {
+        // Both a fully-native net and one with a fallback layer: applying
+        // overlays to clean native state must equal a full refresh through a
+        // hook producing the same corruption, and revert must restore clean.
+        let mut rng = seeded_rng(2);
+        let mut norm_net = Network::new("norm", &[2, 4, 4]);
+        norm_net
+            .push(crate::layers::ChannelNorm::new("cn", 2))
+            .push(Flatten::new("flatten"))
+            .push(Dense::new("fc", 32, 3, &mut rng));
+        for (net, input_shape) in [(tiny_net(5), vec![2usize, 7, 7]), (norm_net, vec![2, 4, 4])] {
+            for precision in [Precision::Int4, Precision::Int8, Precision::Int16] {
+                let images = net.weight_images(precision);
+                let mask_limit = (1u32 << precision.bits()) - 1;
+                let overlays: Vec<CorruptionOverlay> = images
+                    .iter()
+                    .map(|img| {
+                        let deltas: Vec<(u32, u32)> = (0..img.clean.len() as u32)
+                            .step_by(3)
+                            .map(|w| (w, (w.wrapping_mul(37) & mask_limit).max(1)))
+                            .collect();
+                        let flips = deltas.iter().map(|&(_, m)| m.count_ones() as u64).sum();
+                        CorruptionOverlay::new(img.clean.len(), precision.bits(), deltas, flips, 0)
+                    })
+                    .collect();
+
+                let mut cursor = 0usize;
+                let mut reference = NativeWeights::prepare(&net);
+                reference.refresh(&images, &mut |_: &DataSite, q: &mut QuantTensor| {
+                    overlays[cursor].apply(q);
+                    cursor += 1;
+                });
+
+                let mut patched = NativeWeights::prepare(&net);
+                patched.refresh_clean(&images);
+                patched.apply_overlay(&images, &overlays);
+
+                let x = uniform(&input_shape, -1.0, 1.0, &mut rng);
+                let mut scratch = QuantScratch::new();
+                let via_reference =
+                    forward_native(&net, &reference, &x, precision, &mut NoFaults, &mut scratch);
+                let via_patch =
+                    forward_native(&net, &patched, &x, precision, &mut NoFaults, &mut scratch);
+                assert_eq!(via_reference, via_patch, "{precision}");
+
+                // Revert restores the clean state bit for bit.
+                patched.revert_overlay(&images, &overlays);
+                let mut clean = NativeWeights::prepare(&net);
+                clean.refresh_clean(&images);
+                let via_reverted =
+                    forward_native(&net, &patched, &x, precision, &mut NoFaults, &mut scratch);
+                let via_clean =
+                    forward_native(&net, &clean, &x, precision, &mut NoFaults, &mut scratch);
+                assert_eq!(via_reverted, via_clean, "{precision}");
+            }
         }
     }
 

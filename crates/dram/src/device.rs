@@ -12,9 +12,9 @@
 use crate::error_model::INJECT_CHUNK_VALUES;
 use crate::geometry::{DramGeometry, Partition};
 use crate::params::OperatingPoint;
-use crate::util::{stream, unit_for};
+use crate::util::{seed_mix, unit_for};
 use crate::vendor::{Vendor, VendorProfile};
-use eden_tensor::QuantTensor;
+use eden_tensor::{CorruptionOverlay, QuantTensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -185,7 +185,7 @@ impl ApproxDramDevice {
             tensor.stored_mut(),
             INJECT_CHUNK_VALUES,
             |chunk_idx, chunk| {
-                let mut rng = StdRng::seed_from_u64(stream(stream_seed, chunk_idx as u64));
+                let mut rng = StdRng::seed_from_u64(seed_mix(stream_seed, &[chunk_idx as u64]));
                 let first_value = chunk_idx * INJECT_CHUNK_VALUES;
                 let mut chunk_flips = 0u64;
                 for (j, word) in chunk.iter_mut().enumerate() {
@@ -212,6 +212,33 @@ impl ApproxDramDevice {
             },
         );
         flips.iter().sum()
+    }
+
+    /// The sparse-overlay form of [`ApproxDramDevice::read_tensor_at_seeded`]:
+    /// computes the [`CorruptionOverlay`] the read would produce on `clean`
+    /// instead of mutating it. Device failures are resampled per read and
+    /// direction-dependent on the live stored bits, so there is no
+    /// precomputable weak map to consume — the overlay is derived by
+    /// corrupting a copy and diffing, which is O(total bits) like every
+    /// device read, but lets consumers apply/revert in O(flips) against
+    /// their persistent clean state.
+    pub fn read_overlay_at_seeded(
+        &self,
+        clean: &QuantTensor,
+        partition: &Partition,
+        row_offset: u64,
+        op: &OperatingPoint,
+        stream_seed: u64,
+    ) -> CorruptionOverlay {
+        if op.is_nominal() {
+            return CorruptionOverlay::empty(clean.len(), clean.bits_per_value());
+        }
+        let mut corrupted = clean.clone();
+        let flips =
+            self.read_tensor_at_seeded(&mut corrupted, partition, row_offset, op, stream_seed);
+        let overlay = CorruptionOverlay::from_diff(clean, &corrupted);
+        debug_assert_eq!(overlay.bit_flips(), flips);
+        overlay
     }
 
     /// Reads a full row previously written with a repeating byte `pattern`,

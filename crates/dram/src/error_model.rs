@@ -14,8 +14,8 @@
 //! model seed and the cell address) and stochastic in whether a weak cell
 //! fails on a particular access, mirroring how real weak cells behave.
 
-use crate::util::{stream, unit_for};
-use eden_tensor::QuantTensor;
+use crate::util::{seed_mix, stream, unit_for};
+use eden_tensor::{CorruptionOverlay, QuantTensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -130,12 +130,23 @@ pub struct WeakCellMap {
     chunks: Vec<Vec<WeakCell>>,
     values: usize,
     bits: u32,
+    /// Cached total cell count, so the empty-map fast path of the injection
+    /// entry points is O(1) instead of a per-load sum over chunks.
+    total: usize,
 }
 
 impl WeakCellMap {
     /// Total number of weak cells in the placement.
     pub fn weak_cells(&self) -> usize {
-        self.chunks.iter().map(|c| c.len()).sum()
+        self.total
+    }
+
+    /// Whether the placement has no weak cells at all (e.g. a model rescaled
+    /// to BER 0, or a placement that happens to dodge every weak line).
+    /// Injection over an empty map is a no-op, and the entry points
+    /// early-return without constructing any RNG stream.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
     }
 }
 
@@ -388,10 +399,12 @@ impl ErrorModel {
                 chunks.push(weak);
             }
         }
+        let total = chunks.iter().map(|c| c.len()).sum();
         WeakCellMap {
             chunks,
             values,
             bits,
+            total,
         }
     }
 
@@ -410,20 +423,22 @@ impl ErrorModel {
         stream_seed: u64,
         map: &WeakCellMap,
     ) -> u64 {
-        if self.weak_fraction == 0.0 {
-            return 0;
-        }
         assert_eq!(map.values, tensor.len(), "weak map geometry (values)");
         assert_eq!(
             map.bits,
             tensor.bits_per_value(),
             "weak map geometry (bits)"
         );
+        // Fast path: no weak cells means no flips and no RNG draws — skip
+        // the chunk fan-out and per-chunk stream construction entirely.
+        if self.weak_fraction == 0.0 || map.is_empty() {
+            return 0;
+        }
         let flips = eden_par::par_map_chunks_mut(
             tensor.stored_mut(),
             INJECT_CHUNK_VALUES,
             |chunk_idx, chunk| {
-                let mut rng = StdRng::seed_from_u64(stream(stream_seed, chunk_idx as u64));
+                let mut rng = StdRng::seed_from_u64(seed_mix(stream_seed, &[chunk_idx as u64]));
                 let mut flipped = 0u64;
                 for cell in &map.chunks[chunk_idx] {
                     let word = &mut chunk[cell.local_value as usize];
@@ -438,6 +453,96 @@ impl ErrorModel {
             },
         );
         flips.iter().sum()
+    }
+
+    /// The sparse-overlay form of [`ErrorModel::inject_seeded_mapped`]:
+    /// instead of mutating the tensor, computes the
+    /// [`CorruptionOverlay`] the injection *would* produce on `clean` — the
+    /// per-word `(word index, xor mask)` deltas of exactly the flips the
+    /// mapped injection makes, with identical per-chunk RNG stream
+    /// consumption (one draw per weak cell, in map order, including the
+    /// data-dependent model's evaluation of partially-corrupted words).
+    ///
+    /// Applying the returned overlay to `clean` is bit-identical to calling
+    /// `inject_seeded_mapped` on it, at O(weak cells) to produce and
+    /// O(flips) to apply/revert — the contract the evaluation-session layer
+    /// builds its patch-and-restore weight pools on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map was computed for a different tensor geometry.
+    pub fn overlay_seeded_mapped(
+        &self,
+        clean: &QuantTensor,
+        stream_seed: u64,
+        map: &WeakCellMap,
+    ) -> CorruptionOverlay {
+        assert_eq!(map.values, clean.len(), "weak map geometry (values)");
+        assert_eq!(map.bits, clean.bits_per_value(), "weak map geometry (bits)");
+        if self.weak_fraction == 0.0 || map.is_empty() {
+            return CorruptionOverlay::empty(clean.len(), clean.bits_per_value());
+        }
+        let stored = clean.stored();
+        let per_chunk = eden_par::par_map(&map.chunks, |chunk_idx, cells| {
+            let mut rng = StdRng::seed_from_u64(seed_mix(stream_seed, &[chunk_idx as u64]));
+            let base = chunk_idx * INJECT_CHUNK_VALUES;
+            let mut deltas: Vec<(u32, u32)> = Vec::new();
+            let mut flips = 0u64;
+            // Track the live (partially corrupted) bits of the word under
+            // the cursor: the data-dependent model reads the *current* bit
+            // value, which earlier flips of the same word may have changed —
+            // exactly as the in-place injection does.
+            let mut cur: Option<(u32, u32, u32)> = None; // (word, live bits, mask)
+            for cell in cells.iter() {
+                let g = (base + cell.local_value as usize) as u32;
+                let (mut word, mut mask) = match cur {
+                    Some((w, live, m)) if w == g => (live, m),
+                    other => {
+                        if let Some((w, _, m)) = other {
+                            if m != 0 {
+                                deltas.push((w, m));
+                            }
+                        }
+                        (stored[g as usize], 0)
+                    }
+                };
+                let stored_one = (word >> cell.bit) & 1 == 1;
+                let f = self.weak_flip_prob(0, 0, stored_one);
+                if rng.gen::<f64>() < f {
+                    word ^= 1 << cell.bit;
+                    mask ^= 1 << cell.bit;
+                    flips += 1;
+                }
+                cur = Some((g, word, mask));
+            }
+            if let Some((w, _, m)) = cur {
+                if m != 0 {
+                    deltas.push((w, m));
+                }
+            }
+            (deltas, flips)
+        });
+        let mut deltas = Vec::new();
+        let mut flips = 0u64;
+        for (chunk_deltas, chunk_flips) in per_chunk {
+            deltas.extend(chunk_deltas);
+            flips += chunk_flips;
+        }
+        CorruptionOverlay::new(clean.len(), clean.bits_per_value(), deltas, flips, 0)
+    }
+
+    /// [`ErrorModel::overlay_seeded_mapped`] without a precomputed map: scans
+    /// the placement for weak cells first (O(total bits), like
+    /// [`ErrorModel::inject_seeded`]) and then derives the overlay. Callers
+    /// on a hot path should precompute the [`WeakCellMap`] instead.
+    pub fn overlay_seeded(
+        &self,
+        clean: &QuantTensor,
+        layout: &Layout,
+        stream_seed: u64,
+    ) -> CorruptionOverlay {
+        let map = self.weak_map(clean.len(), clean.bits_per_value(), layout);
+        self.overlay_seeded_mapped(clean, stream_seed, &map)
     }
 
     /// Injects bit errors into a stored tensor, drawing per-access failures
@@ -462,7 +567,7 @@ impl ErrorModel {
             tensor.stored_mut(),
             INJECT_CHUNK_VALUES,
             |chunk_idx, chunk| {
-                let mut rng = StdRng::seed_from_u64(stream(stream_seed, chunk_idx as u64));
+                let mut rng = StdRng::seed_from_u64(seed_mix(stream_seed, &[chunk_idx as u64]));
                 let first_value = chunk_idx * INJECT_CHUNK_VALUES;
                 self.inject_chunk(chunk, bits, first_value, &layout, &mut rng)
             },
@@ -557,6 +662,69 @@ mod tests {
                 assert_eq!(scanned, mapped, "{model} flip pattern at n={n}");
             }
         }
+    }
+
+    #[test]
+    fn overlay_is_bit_identical_to_mapped_injection() {
+        // Applying the overlay to the clean image must reproduce the mapped
+        // in-place injection exactly — same flips, same count — for every
+        // model kind (including the data-dependent one, whose flip
+        // probabilities read partially-corrupted words), layout and
+        // precision, including multi-chunk tensors.
+        for model in [
+            ErrorModel::uniform(0.02, 0.5, 3),
+            ErrorModel::bitline(0.02, 0.5, 0.8, 3),
+            ErrorModel::wordline(0.02, 0.5, 0.8, 3),
+            ErrorModel::data_dependent(0.02, 0.7, 0.3, 3),
+            ErrorModel::data_dependent(0.3, 0.9, 0.1, 5),
+            ErrorModel::uniform(0.02, 0.5, 3).with_ber(1e-3),
+            ErrorModel::uniform(0.0, 0.5, 3),
+        ] {
+            for (n, precision, layout) in [
+                (10_000, Precision::Int8, Layout::new(512, 3)),
+                (5_000, Precision::Int16, Layout::default()),
+                (131, Precision::Int4, Layout::new(2048, 0)),
+                (2_000, Precision::Fp32, Layout::new(1024, 7)),
+            ] {
+                let clean = stored(n, precision);
+                let map = model.weak_map(n, precision.bits(), &layout);
+                let mut injected = clean.clone();
+                let inject_flips = model.inject_seeded_mapped(&mut injected, 77, &map);
+                let overlay = model.overlay_seeded_mapped(&clean, 77, &map);
+                assert_eq!(overlay.bit_flips(), inject_flips, "{model} flips at n={n}");
+                let mut patched = clean.clone();
+                overlay.apply(&mut patched);
+                assert_eq!(patched, injected, "{model} flip pattern at n={n}");
+                // Revert restores the clean image exactly.
+                overlay.revert(&mut patched);
+                assert_eq!(patched, clean, "{model} revert at n={n}");
+                // The map-less overlay agrees with the mapped one.
+                assert_eq!(
+                    model.overlay_seeded(&clean, &layout, 77),
+                    overlay,
+                    "{model} scan overlay at n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_weak_map_injection_is_a_stat_free_no_op() {
+        // The fast path: a map with no weak cells must leave the tensor
+        // untouched and report zero flips, for both the in-place and the
+        // overlay form.
+        let model = ErrorModel::uniform(0.05, 0.5, 1).with_ber(0.0);
+        let layout = Layout::default();
+        let map = model.weak_map(10_000, 8, &layout);
+        assert!(map.is_empty());
+        assert_eq!(map.weak_cells(), 0);
+        let clean = stored(10_000, Precision::Int8);
+        let mut t = clean.clone();
+        assert_eq!(model.inject_seeded_mapped(&mut t, 9, &map), 0);
+        assert_eq!(t, clean);
+        let overlay = model.overlay_seeded_mapped(&clean, 9, &map);
+        assert!(overlay.is_empty());
+        assert_eq!(overlay.bit_flips(), 0);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::device::ApproxDramDevice;
 use crate::error_model::{ErrorModel, Layout, WeakCellMap};
 use crate::geometry::Partition;
 use crate::params::OperatingPoint;
-use eden_tensor::QuantTensor;
+use eden_tensor::{CorruptionOverlay, QuantTensor};
 use rand::rngs::StdRng;
 
 /// Where injected errors come from.
@@ -103,11 +103,66 @@ impl Injector {
         stream_seed: u64,
         map: Option<&WeakCellMap>,
     ) -> u64 {
+        // Fast path: an error-free source (a model rescaled to BER 0, a
+        // device at its nominal operating point) can never flip a bit — skip
+        // RNG stream construction and leave the tensor untouched. An expected
+        // BER of 0 implies a weak-cell probability of 0 under every source,
+        // so no draw could succeed anyway; skipping the draws is exact
+        // because every load derives its streams from `stream_seed` alone.
+        // (Every seeded entry point funnels through here, so the production
+        // hook path benefits too; an empty weak map additionally
+        // early-returns inside `inject_seeded_mapped`.)
+        if self.expected_ber() == 0.0 {
+            return 0;
+        }
         match (self, map) {
             (Injector::Model { model, .. }, Some(map)) => {
                 model.inject_seeded_mapped(tensor, stream_seed, map)
             }
             _ => self.corrupt_placed_seeded_scan(tensor, layout, stream_seed),
+        }
+    }
+
+    /// The sparse-overlay form of [`Injector::corrupt_placed_seeded_mapped`]:
+    /// computes the [`CorruptionOverlay`] the corruption would produce on
+    /// `clean` instead of mutating it, with identical RNG stream consumption
+    /// (applying the overlay to `clean` is bit-identical to corrupting it).
+    ///
+    /// A model-backed injector with a precomputed map produces the overlay
+    /// in O(weak cells) ([`ErrorModel::overlay_seeded_mapped`]); without a
+    /// map it scans the placement first. A device-backed injector has no
+    /// precomputable weak map (its failures are resampled per read under
+    /// data-dependent direction preferences), so its overlay is derived by
+    /// diffing a corrupted copy — O(total bits) to *produce*, like every
+    /// device read, but still O(flips) for consumers to apply and revert.
+    pub fn overlay_placed_seeded(
+        &self,
+        clean: &QuantTensor,
+        layout: &Layout,
+        stream_seed: u64,
+        map: Option<&WeakCellMap>,
+    ) -> CorruptionOverlay {
+        match (self, map) {
+            (Injector::Model { model, .. }, Some(map)) => {
+                model.overlay_seeded_mapped(clean, stream_seed, map)
+            }
+            (Injector::Model { model, .. }, None) => {
+                model.overlay_seeded(clean, layout, stream_seed)
+            }
+            (
+                Injector::Device {
+                    device,
+                    partition,
+                    op,
+                },
+                _,
+            ) => device.read_overlay_at_seeded(
+                clean,
+                partition,
+                layout.base_row as u64,
+                op,
+                stream_seed,
+            ),
         }
     }
 
@@ -266,6 +321,68 @@ mod tests {
             assert!(reference[0].1 > 0, "injector must flip something");
             assert_eq!(reference[0], reference[1], "1 vs 2 threads");
             assert_eq!(reference[0], reference[2], "1 vs 8 threads");
+        }
+    }
+
+    #[test]
+    fn injector_overlay_matches_in_place_corruption() {
+        // For both injector kinds (model with/without a precomputed map,
+        // device by diff), the overlay applied to the clean image must equal
+        // the in-place corruption bit for bit.
+        let clean = stored(3 * 4096 + 17);
+        let layout = Layout::new(1024, 3);
+        for inj in [
+            Injector::from_model(ErrorModel::uniform(0.01, 0.5, 7), Layout::default()),
+            Injector::from_model(
+                ErrorModel::data_dependent(0.02, 0.8, 0.1, 2),
+                Layout::default(),
+            ),
+            Injector::from_device(
+                ApproxDramDevice::new(Vendor::B, 4),
+                partitions(&DramGeometry::ddr4_module(), PartitionGranularity::Bank)[0],
+                OperatingPoint::with_vdd_reduction(0.30),
+            ),
+        ] {
+            let map = inj.weak_map(clean.len(), clean.bits_per_value(), &layout);
+            let mut corrupted = clean.clone();
+            let flips = inj.corrupt_placed_seeded_mapped(&mut corrupted, &layout, 99, map.as_ref());
+            assert!(flips > 0, "injector must flip something");
+            let overlay = inj.overlay_placed_seeded(&clean, &layout, 99, map.as_ref());
+            assert_eq!(overlay.bit_flips(), flips);
+            let mut patched = clean.clone();
+            overlay.apply(&mut patched);
+            assert_eq!(patched, corrupted);
+            overlay.revert(&mut patched);
+            assert_eq!(patched, clean);
+        }
+    }
+
+    #[test]
+    fn error_free_injector_skips_corruption_without_stat_churn() {
+        // The `corrupt_placed_seeded` fast path: a zero-BER source returns 0
+        // flips and leaves the tensor untouched (no RNG streams constructed).
+        let clean = stored(5_000);
+        let layout = Layout::new(1024, 0);
+        // A model rescaled to BER 0 takes the injector-level fast path…
+        let zero_ber = Injector::from_model(
+            ErrorModel::uniform(0.05, 0.5, 3).with_ber(0.0),
+            Layout::default(),
+        );
+        assert_eq!(zero_ber.expected_ber(), 0.0);
+        // …while a device at its nominal operating point (whose vendor curve
+        // is merely *negligible*, not exactly zero) relies on the device's
+        // own nominal-read early return. Both must be exact no-ops.
+        let nominal = Injector::from_device(
+            ApproxDramDevice::new(Vendor::A, 1),
+            partitions(&DramGeometry::ddr4_module(), PartitionGranularity::Bank)[0],
+            OperatingPoint::nominal(),
+        );
+        for inj in [zero_ber, nominal] {
+            let mut t = clean.clone();
+            assert_eq!(inj.corrupt_placed_seeded(&mut t, &layout, 42), 0);
+            assert_eq!(t, clean, "error-free injector must not touch the tensor");
+            let overlay = inj.overlay_placed_seeded(&clean, &layout, 42, None);
+            assert!(overlay.is_empty());
         }
     }
 

@@ -45,6 +45,7 @@ pub mod util;
 pub mod vendor;
 
 pub use device::ApproxDramDevice;
+pub use eden_tensor::CorruptionOverlay;
 pub use error_model::{ErrorModel, ErrorModelKind, Layout};
 pub use params::OperatingPoint;
 pub use vendor::Vendor;

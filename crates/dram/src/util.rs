@@ -33,15 +33,40 @@ pub fn unit_for(seed: u64, a: u64, b: u64, c: u64) -> f64 {
     hash_to_unit(hash_cell(seed, a, b, c))
 }
 
-/// Derives an independent RNG stream seed from a master seed and a stream
-/// index.
+/// Mixes a master seed with a sequence of stream components into one derived
+/// seed, one chained splitmix64 stage per component.
 ///
-/// This is the backbone of thread-count-invariant fault injection: every
-/// parallelizable unit of work (a tensor load, a sample in a batch, a chunk
-/// of a tensor) gets `stream(master, index)` as its own seed, so its random
-/// draws depend only on *which* unit it is, never on when or where it runs.
+/// This is the **single** seed-derivation helper of the workspace — the
+/// backbone of thread-count-invariant fault injection. Every parallelizable
+/// or replayable unit of work derives its own seed from the master seed and
+/// the coordinates that identify the unit, so its random draws depend only
+/// on *which* unit it is, never on when or where it runs:
+///
+/// * per-chunk injection streams: `seed_mix(stream_seed, &[chunk_index])`
+///   ([`crate::ErrorModel::inject_seeded`], the simulated device's reads);
+/// * per-sample fork lanes of a batch evaluation:
+///   `seed_mix(salted_seed, &[lane])` (`ApproximateMemory::fork` in the core
+///   crate);
+/// * per-probe seeds of the fine-grained characterization sweep:
+///   `seed_mix(seed, &[round, site])`.
+///
+/// Each component gets a full splitmix64 stage, so components never bleed
+/// into each other the way ad-hoc shift/XOR mixing did (`seed ^ (round <<
+/// 8) ^ site` collided across rounds for ≥ 256 sites); the cross-module
+/// collision regression test below pins this. `seed_mix(seed, &[i])` equals
+/// the historical [`stream`]`(seed, i)` bit for bit, and appending a
+/// component equals nesting: `seed_mix(s, &[a, b]) == stream(stream(s, a),
+/// b)`.
+pub fn seed_mix(seed: u64, components: &[u64]) -> u64 {
+    components.iter().fold(seed, |s, &c| {
+        splitmix64(splitmix64(s ^ 0x5EED_51DE_CAFE_F00D) ^ c.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    })
+}
+
+/// Derives an independent RNG stream seed from a master seed and a single
+/// stream index: shorthand for [`seed_mix`]`(seed, &[index])`.
 pub fn stream(seed: u64, index: u64) -> u64 {
-    splitmix64(splitmix64(seed ^ 0x5EED_51DE_CAFE_F00D) ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    seed_mix(seed, &[index])
 }
 
 #[cfg(test)]
@@ -75,5 +100,41 @@ mod tests {
     #[test]
     fn splitmix_changes_all_zero_input() {
         assert_ne!(splitmix64(0), 0);
+    }
+
+    #[test]
+    fn seed_mix_is_chained_stream_derivation() {
+        // The documented equivalences: one component is `stream`, appending a
+        // component nests, and no component is the identity.
+        assert_eq!(seed_mix(42, &[7]), stream(42, 7));
+        assert_eq!(seed_mix(42, &[7, 9]), stream(stream(42, 7), 9));
+        assert_eq!(seed_mix(42, &[]), 42);
+    }
+
+    #[test]
+    fn seed_mix_streams_do_not_collide_across_modules() {
+        // Cross-module collision regression: the three derivation shapes the
+        // workspace uses — per-chunk streams `[chunk]`, salted fork lanes
+        // `[lane]` over a salted master, and per-probe `[round, site]` pairs
+        // — must produce pairwise-distinct seeds over realistic index ranges
+        // for one master seed. (The fork salt below mirrors the one the core
+        // crate applies before lane mixing.)
+        const FORK_SALT: u64 = 0xF0_4B_1A_9E_5A_17_ED_01;
+        let master = 0xEDE2_5EEDu64;
+        let mut seen = std::collections::HashMap::new();
+        let mut insert = |label: &'static str, a: u64, b: u64, value: u64| {
+            if let Some(prev) = seen.insert(value, (label, a, b)) {
+                panic!("seed collision: {label}({a},{b}) vs {prev:?}");
+            }
+        };
+        for i in 0..2048u64 {
+            insert("chunk", i, 0, seed_mix(master, &[i]));
+            insert("fork", i, 0, seed_mix(master ^ FORK_SALT, &[i]));
+        }
+        for round in 0..8u64 {
+            for site in 0..512u64 {
+                insert("probe", round, site, seed_mix(master, &[round, site]));
+            }
+        }
     }
 }

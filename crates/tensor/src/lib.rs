@@ -29,10 +29,12 @@
 pub mod bits;
 pub mod init;
 pub mod ops;
+pub mod overlay;
 pub mod quant;
 pub mod shape;
 pub mod tensor;
 
+pub use overlay::CorruptionOverlay;
 pub use quant::{Precision, QuantTensor};
 pub use shape::Shape;
 pub use tensor::Tensor;

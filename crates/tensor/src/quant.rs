@@ -246,22 +246,50 @@ impl QuantTensor {
 
     /// The dequantized value of element `i`.
     pub fn value(&self, i: usize) -> f32 {
+        self.word_value(self.stored[i])
+    }
+
+    /// The value a raw stored word would dequantize to under this tensor's
+    /// precision and scale — [`QuantTensor::value`] on a word that need not
+    /// be resident in the tensor. Sparse corruption overlays use this to
+    /// evaluate a flipped word without materializing the corrupted tensor.
+    pub fn word_value(&self, word: u32) -> f32 {
         match self.precision {
-            Precision::Fp32 => f32::from_bits(self.stored[i]),
-            p => bits::sign_extend(self.stored[i], p.bits()) as f32 * self.scale,
+            Precision::Fp32 => f32::from_bits(word),
+            p => bits::sign_extend(word, p.bits()) as f32 * self.scale,
         }
+    }
+
+    /// The sign-extended quantized integer of a raw stored word
+    /// ([`QuantTensor::q_value`] on a non-resident word).
+    ///
+    /// # Panics
+    ///
+    /// Panics for FP32 tensors.
+    pub fn word_q_value(&self, word: u32) -> i32 {
+        assert!(
+            self.precision.is_integer(),
+            "word_q_value is only defined for integer precisions"
+        );
+        bits::sign_extend(word, self.precision.bits())
     }
 
     /// Overwrites element `i` with a real value, re-quantizing it.
     pub fn set_value(&mut self, i: usize, v: f32) {
+        self.stored[i] = self.word_from_value(v);
+    }
+
+    /// The stored word [`QuantTensor::set_value`] would write for `v` —
+    /// re-quantization of one value without touching the tensor.
+    pub fn word_from_value(&self, v: f32) -> u32 {
         match self.precision {
-            Precision::Fp32 => self.stored[i] = v.to_bits(),
+            Precision::Fp32 => v.to_bits(),
             p => {
                 let q_max = p.q_max().expect("integer") as f32;
                 let q_min = p.q_min().expect("integer") as f32;
                 let q = (v / self.scale).round().clamp(q_min, q_max) as i32;
                 let mask = (1u32 << p.bits()) - 1;
-                self.stored[i] = (q as u32) & mask;
+                (q as u32) & mask
             }
         }
     }

@@ -1,0 +1,204 @@
+//! Overlay equivalence: the sparse corruption-overlay refetch path
+//! ([`eden::core::session::RefetchMode::Overlay`], the production default)
+//! pinned bit for bit against the full image-reload reference
+//! ([`RefetchMode::ImageReload`]), plus the `apply ∘ revert = identity`
+//! property the patch-and-restore pools rely on.
+//!
+//! The overlay path reuses persistent corrupted copies across probes —
+//! reverting the previous draw's deltas and applying the next — so the
+//! interesting property is that a whole probe *sequence* (with bounding
+//! corrections folded sparsely into the overlays) never differs from the
+//! reference in a single accuracy bit or injection statistic, across both
+//! execution backends, every precision, and 1/2/8 worker threads.
+
+use eden::core::bounding::{BoundingLogic, CorrectionPolicy};
+use eden::core::faults::{ApproximateMemory, MemoryStats};
+use eden::core::inference::InferenceBackend;
+use eden::core::session::{EvalSession, RefetchMode};
+use eden::dnn::train::{TrainConfig, Trainer};
+use eden::dnn::{data::SyntheticVision, zoo, Dataset, Network};
+use eden::dram::device::ApproxDramDevice;
+use eden::dram::geometry::{partitions, DramGeometry, PartitionGranularity};
+use eden::dram::inject::Injector;
+use eden::dram::{ErrorModel, OperatingPoint, Vendor};
+use eden::tensor::{CorruptionOverlay, Precision, QuantTensor, Tensor};
+use eden_par::ThreadPool;
+use proptest::prelude::*;
+
+fn trained_lenet(seed: u64) -> (Network, SyntheticVision) {
+    let dataset = SyntheticVision::tiny(seed);
+    let mut net = zoo::lenet(&dataset.spec(), seed);
+    Trainer::new(TrainConfig {
+        epochs: 3,
+        ..TrainConfig::default()
+    })
+    .train(&mut net, &dataset);
+    (net, dataset)
+}
+
+/// Runs a probe sequence that revisits operating points (so the persistent
+/// pools go through revert → re-apply cycles) through one session in the
+/// given refetch mode, returning accuracy bits and statistics per probe.
+#[allow(clippy::too_many_arguments)]
+fn probe_sequence(
+    net: &Network,
+    samples: &[(Tensor, usize)],
+    precision: Precision,
+    backend: InferenceBackend,
+    mode: RefetchMode,
+    template: &ErrorModel,
+    bounding: Option<BoundingLogic>,
+    seed: u64,
+) -> Vec<(u32, MemoryStats)> {
+    let mut session = EvalSession::new(net, precision, backend).with_refetch_mode(mode);
+    [1e-3, 1e-2, 1e-3, 5e-2]
+        .iter()
+        .map(|&ber| {
+            let mut memory = ApproximateMemory::from_model(template.with_ber(ber), seed);
+            if let Some(b) = bounding {
+                memory = memory.with_bounding(b);
+            }
+            let acc = session.evaluate_with_faults(samples, &mut memory);
+            (acc.to_bits(), memory.stats())
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn overlay_refetch_is_bit_identical_to_image_reload(
+        seed in 0u64..100,
+        precision_idx in 0usize..4,
+        backend_sel in 0u8..2,
+        threads_idx in 0usize..3,
+        bounding_sel in 0u8..2,
+    ) {
+        let precision =
+            [Precision::Int4, Precision::Int8, Precision::Int16, Precision::Fp32][precision_idx];
+        let backend = if backend_sel == 0 {
+            InferenceBackend::SimulatedF32
+        } else {
+            InferenceBackend::NativeInt
+        };
+        let threads = [1usize, 2, 8][threads_idx];
+        let (net, dataset) = trained_lenet(seed % 4);
+        let samples = &dataset.test()[..20];
+        let template = ErrorModel::uniform(0.02, 0.5, seed ^ 0x0E71);
+        // Bounding exercises the sparse correction fold of the overlay path.
+        let with_bounding = bounding_sel == 1;
+        let bounding =
+            with_bounding.then(|| BoundingLogic::new(-6.0, 6.0, CorrectionPolicy::Zero));
+
+        let pool = ThreadPool::new(threads);
+        let via_overlay = pool.install(|| {
+            probe_sequence(
+                &net, samples, precision, backend, RefetchMode::Overlay,
+                &template, bounding, seed,
+            )
+        });
+        let via_reload = pool.install(|| {
+            probe_sequence(
+                &net, samples, precision, backend, RefetchMode::ImageReload,
+                &template, bounding, seed,
+            )
+        });
+        prop_assert_eq!(
+            via_overlay, via_reload,
+            "{} {} {} threads bounding={}", precision, backend, threads, with_bounding
+        );
+    }
+
+    #[test]
+    fn apply_revert_is_the_identity_on_random_overlays(
+        seed in 0u64..1000,
+        precision_idx in 0usize..4,
+        len in 1usize..600,
+    ) {
+        let precision =
+            [Precision::Int4, Precision::Int8, Precision::Int16, Precision::Fp32][precision_idx];
+        let clean = QuantTensor::quantize(
+            &Tensor::from_vec(
+                (0..len).map(|i| ((i as u64 + seed) as f32 * 0.137).sin()).collect(),
+                &[len],
+            ),
+            precision,
+        );
+        // A pseudo-random sparse overlay within the tensor's geometry.
+        let mask_limit = if precision.bits() == 32 {
+            u32::MAX
+        } else {
+            (1u32 << precision.bits()) - 1
+        };
+        let mut deltas = Vec::new();
+        let mut w = (seed % 5) as u32;
+        while (w as usize) < len {
+            let mask = (eden::dram::util::seed_mix(seed, &[w as u64]) as u32) & mask_limit;
+            if mask != 0 {
+                deltas.push((w, mask));
+            }
+            w += 1 + (w % 11);
+        }
+        let flips = deltas.iter().map(|&(_, m)| m.count_ones() as u64).sum();
+        let overlay =
+            CorruptionOverlay::new(len, precision.bits(), deltas, flips, 0);
+        let mut t = clean.clone();
+        overlay.apply(&mut t);
+        if !overlay.is_empty() {
+            // A non-empty overlay must change the image.
+            prop_assert_ne!(&t, &clean);
+        }
+        overlay.revert(&mut t);
+        // apply∘revert must restore the image exactly.
+        prop_assert_eq!(&t, &clean);
+    }
+}
+
+#[test]
+fn overlay_refetch_matches_reload_under_a_device_backed_memory() {
+    // Device-backed injectors have no precomputable weak map: their overlays
+    // are derived by corrupt-and-diff. The evaluation results must still be
+    // bit-identical to the image-reload reference.
+    let (net, dataset) = trained_lenet(1);
+    let samples = &dataset.test()[..16];
+    let device = ApproxDramDevice::new(Vendor::B, 9);
+    let partition = partitions(&DramGeometry::ddr4_module(), PartitionGranularity::Bank)[0];
+    let injector =
+        Injector::from_device(device, partition, OperatingPoint::with_vdd_reduction(0.3));
+    for backend in [InferenceBackend::SimulatedF32, InferenceBackend::NativeInt] {
+        let mut overlay_session = EvalSession::new(&net, Precision::Int8, backend);
+        let mut reload_session = EvalSession::new(&net, Precision::Int8, backend)
+            .with_refetch_mode(RefetchMode::ImageReload);
+        let mut a = ApproximateMemory::from_injector(injector.clone(), 5);
+        let mut b = ApproximateMemory::from_injector(injector.clone(), 5);
+        let via_overlay = overlay_session.evaluate_with_faults(samples, &mut a);
+        let via_reload = reload_session.evaluate_with_faults(samples, &mut b);
+        assert_eq!(via_overlay.to_bits(), via_reload.to_bits(), "{backend}");
+        assert_eq!(a.stats(), b.stats(), "{backend}");
+        assert!(a.stats().bit_flips > 0);
+    }
+}
+
+#[test]
+fn characterizations_are_identical_under_both_refetch_modes() {
+    // The fine-grained probe loop — the workload the overlay path exists
+    // for — must produce the exact same tolerances either way.
+    use eden::core::characterize::{fine_characterize_session, FineConfig};
+    let (net, dataset) = trained_lenet(2);
+    let template = ErrorModel::uniform(0.01, 0.5, 3);
+    let bounding =
+        BoundingLogic::calibrated(&net, &dataset.train()[..16], 1.5, CorrectionPolicy::Zero);
+    let cfg = FineConfig {
+        eval_samples: 16,
+        max_rounds: 2,
+        bootstrap_ber: 5e-4,
+        ..FineConfig::default()
+    };
+    let run = |mode: RefetchMode| {
+        let mut session = EvalSession::new(&net, Precision::Int8, InferenceBackend::default())
+            .with_refetch_mode(mode);
+        fine_characterize_session(&mut session, &dataset, &template, Some(bounding), &cfg)
+    };
+    assert_eq!(run(RefetchMode::Overlay), run(RefetchMode::ImageReload));
+}
