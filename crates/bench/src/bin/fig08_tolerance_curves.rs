@@ -59,7 +59,7 @@ fn main() {
                 session.accuracy_vs_ber(samples, &template(kind, 5), &bers, Some(bounding), 11);
             print!("{:<8}", session.precision().to_string());
             for (_, acc) in curve {
-                print!(" {:>9.3}", acc);
+                print!(" {:>9}", report::acc(acc));
             }
             println!();
         }
@@ -85,7 +85,11 @@ fn main() {
                 13,
                 backend,
             );
-            println!("  {:<14} {:>6.3}", id.spec().display_name, curve[0].1);
+            println!(
+                "  {:<14} {:>6}",
+                id.spec().display_name,
+                report::acc(curve[0].1)
+            );
         }
 
         println!(

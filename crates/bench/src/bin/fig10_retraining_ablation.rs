@@ -41,7 +41,7 @@ fn print_curves(label: &str, curves: &[(&str, Vec<(f64, f32)>)]) {
     for (name, c) in curves {
         print!("{:<26}", name);
         for (_, acc) in c {
-            print!(" {:>9.3}", acc);
+            print!(" {:>9}", report::acc(*acc));
         }
         println!();
     }

@@ -22,7 +22,7 @@ fn main() {
         for precision in Precision::all() {
             let q = quantized::quantize_network(&net, precision);
             let acc = metrics::accuracy(&q, dataset.test());
-            print!(" {:>7.1}%", 100.0 * acc);
+            print!(" {:>8}", eden_bench::report::pct(acc as f64));
         }
         let paper_fp32 = id.spec().paper.baseline_accuracy[3]
             .map(|a| format!("{:.1}%", 100.0 * a))

@@ -7,6 +7,45 @@ use eden_dnn::train::{TrainConfig, Trainer};
 use eden_dnn::zoo::ModelId;
 use eden_dnn::{Dataset, Network};
 
+/// Extracts the value of a `--flag value` / `--flag=value` pair from an
+/// argument list. `Some(Err(..))` means the flag was present but malformed
+/// (no value followed it).
+fn flag_value(args: &[String], flag: &str) -> Option<Result<String, String>> {
+    let prefix = format!("{flag}=");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(v) = arg.strip_prefix(&prefix) {
+            return Some(Ok(v.to_string()));
+        }
+        if arg == flag {
+            return Some(match it.next() {
+                Some(v) => Ok(v.clone()),
+                None => Err(format!("{flag} requires a value")),
+            });
+        }
+    }
+    None
+}
+
+/// Parses the `--threads` request out of an argument list: `Ok(None)` when
+/// the flag is absent, `Ok(Some(n))` for a valid positive count, `Err` for
+/// anything else. Zero and unparseable values (`--threads abc`,
+/// `--threads=-1`) are hard errors: a load measurement silently running at
+/// the default pool size is exactly the failure mode this must prevent.
+pub fn threads_from_args(args: &[String]) -> Result<Option<usize>, String> {
+    let Some(value) = flag_value(args, "--threads") else {
+        return Ok(None);
+    };
+    let value = value?;
+    match value.parse::<usize>() {
+        Ok(0) => Err("--threads 0 is invalid: the pool needs at least one worker".to_string()),
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(format!(
+            "--threads {value:?} is invalid: expected a positive integer"
+        )),
+    }
+}
+
 /// Applies the `--threads N` CLI flag (falling back to the `EDEN_THREADS`
 /// environment variable, then to the machine parallelism) to the global
 /// `eden-par` pool, and returns the effective worker count.
@@ -14,27 +53,54 @@ use eden_dnn::{Dataset, Network};
 /// Every experiment binary calls this first thing in `main`, before any
 /// parallel work, so the requested size always takes effect. Thread count
 /// never changes results — only wall-clock time (see the README's
-/// threading-model section).
+/// threading-model section). An invalid or zero `--threads` value aborts
+/// the run with a non-zero exit instead of silently measuring at the
+/// default pool size.
 pub fn init_threads() -> usize {
-    let mut args = std::env::args();
-    while let Some(arg) = args.next() {
-        let n = if let Some(v) = arg.strip_prefix("--threads=") {
-            v.parse::<usize>().ok()
-        } else if arg == "--threads" {
-            args.next().and_then(|v| v.parse::<usize>().ok())
-        } else {
-            None
-        };
-        if let Some(n) = n {
+    let args: Vec<String> = std::env::args().collect();
+    match threads_from_args(&args) {
+        Ok(Some(n)) => {
             if !eden_par::configure_threads(n) {
                 eprintln!("--threads {n} ignored: thread pool already started");
             }
-            break;
         }
+        Ok(None) => {}
+        Err(e) => fatal(&e),
     }
     let effective = eden_par::current_num_threads();
     eprintln!("eden-par: {effective} worker thread(s)");
     effective
+}
+
+/// Resolves a `--flag` / environment-variable pair to a parsed value:
+/// CLI takes precedence, then the environment, then the default. Unknown
+/// values return the parser's `Err` — callers either abort ([`fatal`], the
+/// binaries) or surface it as a request-validation error (eden-serve).
+fn choice_from<T: std::str::FromStr<Err = String> + Default>(
+    args: &[String],
+    flag: &str,
+    env_var: &str,
+) -> Result<T, String> {
+    let choice = match flag_value(args, flag) {
+        Some(v) => Some(v?),
+        None => std::env::var(env_var).ok(),
+    };
+    match choice {
+        Some(v) => v.parse::<T>(),
+        None => Ok(T::default()),
+    }
+}
+
+/// [`parse_backend`] on an explicit argument list, returning `Err` instead
+/// of exiting — the form eden-serve request validation reuses.
+pub fn backend_from_args(args: &[String]) -> Result<InferenceBackend, String> {
+    choice_from(args, "--backend", "EDEN_BACKEND")
+}
+
+/// [`parse_refetch`] on an explicit argument list, returning `Err` instead
+/// of exiting.
+pub fn refetch_from_args(args: &[String]) -> Result<RefetchMode, String> {
+    choice_from(args, "--refetch", "EDEN_REFETCH")
 }
 
 /// Applies the `--backend simulated|native` CLI flag (falling back to the
@@ -44,28 +110,12 @@ pub fn init_threads() -> usize {
 /// The native backend executes quantized models on the integer kernels
 /// (faster, integer precisions only); the simulated backend is the seed
 /// behavior. Both model the same approximate DRAM — see the README's
-/// inference-backends section.
+/// inference-backends section. An unknown backend name exits non-zero: a
+/// typo (`--backend ntaive`) must not silently measure the default
+/// configuration for a whole A/B run.
 pub fn parse_backend() -> InferenceBackend {
-    let mut args = std::env::args();
-    let mut choice: Option<String> = None;
-    while let Some(arg) = args.next() {
-        if let Some(v) = arg.strip_prefix("--backend=") {
-            choice = Some(v.to_string());
-            break;
-        }
-        if arg == "--backend" {
-            choice = args.next();
-            break;
-        }
-    }
-    let choice = choice.or_else(|| std::env::var("EDEN_BACKEND").ok());
-    let backend = match choice {
-        Some(v) => v.parse::<InferenceBackend>().unwrap_or_else(|e| {
-            eprintln!("{e}; using the default backend");
-            InferenceBackend::default()
-        }),
-        None => InferenceBackend::default(),
-    };
+    let args: Vec<String> = std::env::args().collect();
+    let backend = backend_from_args(&args).unwrap_or_else(|e| fatal(&e));
     eprintln!("inference backend: {backend}");
     backend
 }
@@ -78,30 +128,19 @@ pub fn parse_backend() -> InferenceBackend {
 /// per refetch, the production path); `reload` is the full image-reload
 /// reference implementation the overlay path is pinned against. Results are
 /// bit-identical either way — the flag exists for A/B timing and for
-/// driving the reference path end to end.
+/// driving the reference path end to end. An unknown mode exits non-zero
+/// rather than silently measuring the default.
 pub fn parse_refetch() -> RefetchMode {
-    let mut args = std::env::args();
-    let mut choice: Option<String> = None;
-    while let Some(arg) = args.next() {
-        if let Some(v) = arg.strip_prefix("--refetch=") {
-            choice = Some(v.to_string());
-            break;
-        }
-        if arg == "--refetch" {
-            choice = args.next();
-            break;
-        }
-    }
-    let choice = choice.or_else(|| std::env::var("EDEN_REFETCH").ok());
-    let mode = match choice {
-        Some(v) => v.parse::<RefetchMode>().unwrap_or_else(|e| {
-            eprintln!("{e}; using the default refetch mode");
-            RefetchMode::default()
-        }),
-        None => RefetchMode::default(),
-    };
+    let args: Vec<String> = std::env::args().collect();
+    let mode = refetch_from_args(&args).unwrap_or_else(|e| fatal(&e));
     eprintln!("weight refetch mode: {mode}");
     mode
+}
+
+/// Prints a CLI error and exits non-zero.
+fn fatal(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
 }
 
 /// Trains the scaled-down zoo model `id` on its synthetic dataset and returns
@@ -125,18 +164,44 @@ pub fn header(experiment: &str, description: &str) {
     println!("==============================================================");
 }
 
-/// Formats a fraction as a percentage with one decimal.
+/// Formats a fraction as a percentage with one decimal. The empty-sample
+/// NaN accuracy sentinel renders as an explicit `n/a` marker — `NaN%` in a
+/// figure or table would read as a formatting bug rather than "no samples".
 pub fn pct(x: f64) -> String {
+    if x.is_nan() {
+        return "n/a".to_string();
+    }
     format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats an accuracy fraction as the 3-decimal cell used by the sweep
+/// printers, with the NaN sentinel rendered as `n/a`.
+pub fn acc(x: f32) -> String {
+    if x.is_nan() {
+        return "n/a".to_string();
+    }
+    format!("{x:.3}")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
     #[test]
     fn pct_formats_fractions() {
         assert_eq!(pct(0.215), "21.5%");
+    }
+
+    #[test]
+    fn nan_sentinel_renders_as_na() {
+        // The empty-sample accuracy sentinel must never leak as "NaN%".
+        assert_eq!(pct(f64::NAN), "n/a");
+        assert_eq!(acc(f32::NAN), "n/a");
+        assert_eq!(acc(0.4375), "0.438");
     }
 
     #[test]
@@ -145,13 +210,59 @@ mod tests {
     }
 
     #[test]
+    fn threads_from_args_accepts_positive_counts() {
+        assert_eq!(threads_from_args(&args(&["bin"])), Ok(None));
+        assert_eq!(
+            threads_from_args(&args(&["bin", "--threads", "4"])),
+            Ok(Some(4))
+        );
+        assert_eq!(
+            threads_from_args(&args(&["bin", "--threads=8"])),
+            Ok(Some(8))
+        );
+    }
+
+    #[test]
+    fn threads_from_args_rejects_invalid_and_zero_values() {
+        // Each of these used to silently fall through to the default pool
+        // size (or pass 0 straight to configure_threads).
+        assert!(threads_from_args(&args(&["bin", "--threads", "abc"])).is_err());
+        assert!(threads_from_args(&args(&["bin", "--threads=-1"])).is_err());
+        assert!(threads_from_args(&args(&["bin", "--threads", "0"])).is_err());
+        assert!(threads_from_args(&args(&["bin", "--threads=0"])).is_err());
+        assert!(threads_from_args(&args(&["bin", "--threads"])).is_err());
+    }
+
+    #[test]
     fn parse_backend_defaults_to_simulated() {
         assert_eq!(parse_backend(), InferenceBackend::SimulatedF32);
     }
 
     #[test]
+    fn backend_from_args_rejects_typos() {
+        assert_eq!(
+            backend_from_args(&args(&["bin", "--backend", "native"])),
+            Ok(InferenceBackend::NativeInt)
+        );
+        // A typo must be a hard error, not a silent run of the default
+        // configuration.
+        assert!(backend_from_args(&args(&["bin", "--backend", "ntaive"])).is_err());
+        assert!(backend_from_args(&args(&["bin", "--backend=ntaive"])).is_err());
+        assert!(backend_from_args(&args(&["bin", "--backend"])).is_err());
+    }
+
+    #[test]
     fn parse_refetch_defaults_to_overlay() {
         assert_eq!(parse_refetch(), RefetchMode::Overlay);
+    }
+
+    #[test]
+    fn refetch_from_args_rejects_typos() {
+        assert_eq!(
+            refetch_from_args(&args(&["bin", "--refetch=reload"])),
+            Ok(RefetchMode::ImageReload)
+        );
+        assert!(refetch_from_args(&args(&["bin", "--refetch", "overlya"])).is_err());
     }
 
     #[test]

@@ -55,6 +55,7 @@ use eden_dram::util::{seed_mix, stream};
 use eden_dram::ErrorModel;
 use eden_tensor::{CorruptionOverlay, Precision, QuantTensor};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, Mutex};
 
 /// Salt separating fork-lane seeds from the parent's own load streams.
@@ -82,17 +83,51 @@ type WeakMapKey = (u64, Layout, usize, u32);
 /// The cache is bounded: a fine-grained sweep inserts one map per *rejected*
 /// candidate BER that is never looked up again, so an unbounded cache would
 /// grow monotonically for the owning session's lifetime. Once
-/// [`WeakMapCache::MAX_ENTRIES`] is reached the cache is flushed — the hot
-/// maps (the currently-accepted tolerances) are recomputed once and
-/// re-cached, and results are unaffected either way.
+/// [`WeakMapCache::MAX_ENTRIES`] is reached the *least-recently-used half*
+/// of the entries is evicted: the hot maps (the currently-accepted
+/// tolerances, re-stamped on every probe) survive, the dead
+/// rejected-candidate entries go — so an overflow mid-sweep never triggers
+/// an O(total bits) recompute storm of the maps every in-flight probe is
+/// about to use again. Results are unaffected either way: an evicted map is
+/// simply recomputed on its next (if any) use.
+///
+/// Hit/miss totals are tracked ([`WeakMapCache::counters`]) so long-running
+/// consumers — the evaluation service in particular — can report cache
+/// effectiveness.
 #[derive(Debug, Default)]
 pub struct WeakMapCache {
-    maps: Mutex<HashMap<WeakMapKey, Arc<WeakCellMap>>>,
+    maps: Mutex<CacheState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// The keyed entries plus the logical access clock that orders them for
+/// LRU eviction (a counter, not wall-clock time, so eviction order is
+/// deterministic for a deterministic access sequence).
+#[derive(Debug, Default)]
+struct CacheState {
+    entries: HashMap<WeakMapKey, CacheEntry>,
+    tick: u64,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    map: Arc<WeakCellMap>,
+    last_used: u64,
+}
+
+/// Cumulative hit/miss totals of a [`WeakMapCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to run the weak-cell scan.
+    pub misses: u64,
 }
 
 impl WeakMapCache {
     /// Entry cap; generous enough that a Figure 11-scale sweep (hundreds of
-    /// distinct `(model, placement)` pairs alive at once) never flushes
+    /// distinct `(model, placement)` pairs alive at once) never evicts
     /// mid-round, small enough to bound a long session's resident maps.
     pub const MAX_ENTRIES: usize = 4096;
 
@@ -103,12 +138,20 @@ impl WeakMapCache {
 
     /// Number of cached maps.
     pub fn len(&self) -> usize {
-        self.maps.lock().unwrap().len()
+        self.maps.lock().unwrap().entries.len()
     }
 
     /// Whether the cache holds no maps.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Cumulative hit/miss totals since the cache was created.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(AtomicOrdering::Relaxed),
+            misses: self.misses.load(AtomicOrdering::Relaxed),
+        }
     }
 
     /// The cached map for `key`, computing it with `compute` on a miss.
@@ -122,15 +165,50 @@ impl WeakMapCache {
         key: WeakMapKey,
         compute: impl FnOnce() -> Option<WeakCellMap>,
     ) -> Option<Arc<WeakCellMap>> {
-        if let Some(map) = self.maps.lock().unwrap().get(&key) {
-            return Some(map.clone());
+        {
+            let mut state = self.maps.lock().unwrap();
+            let tick = state.tick;
+            if let Some(entry) = state.entries.get_mut(&key) {
+                entry.last_used = tick;
+                let map = entry.map.clone();
+                state.tick += 1;
+                self.hits.fetch_add(1, AtomicOrdering::Relaxed);
+                return Some(map);
+            }
         }
+        self.misses.fetch_add(1, AtomicOrdering::Relaxed);
         let map = Arc::new(compute()?);
-        let mut maps = self.maps.lock().unwrap();
-        if maps.len() >= Self::MAX_ENTRIES {
-            maps.clear();
+        let mut state = self.maps.lock().unwrap();
+        if state.entries.len() >= Self::MAX_ENTRIES {
+            state.evict_lru_half();
         }
-        Some(maps.entry(key).or_insert(map).clone())
+        let tick = state.tick;
+        state.tick += 1;
+        let entry = state.entries.entry(key).or_insert(CacheEntry {
+            map,
+            last_used: tick,
+        });
+        entry.last_used = tick;
+        Some(entry.map.clone())
+    }
+}
+
+impl CacheState {
+    /// Evicts the least-recently-used half of the entries, preserving the
+    /// most recently touched ones. Access ticks are unique, so the cut is
+    /// exact and deterministic.
+    fn evict_lru_half(&mut self) {
+        let keep = WeakMapCache::MAX_ENTRIES / 2;
+        let evict = self.entries.len().saturating_sub(keep);
+        if evict == 0 {
+            return;
+        }
+        let mut ticks: Vec<u64> = self.entries.values().map(|e| e.last_used).collect();
+        ticks.sort_unstable();
+        // Everything strictly below the threshold tick goes; `evict` entries
+        // exactly, because ticks are unique.
+        let threshold = ticks[evict];
+        self.entries.retain(|_, e| e.last_used >= threshold);
     }
 }
 
@@ -514,13 +592,55 @@ mod tests {
         let cache = WeakMapCache::new();
         let model = ErrorModel::uniform(0.02, 0.5, 1);
         // Distinct fingerprints simulate a long sweep of rejected candidate
-        // BERs; the cache must flush at the cap instead of growing forever.
+        // BERs; the cache must evict at the cap instead of growing forever.
         for i in 0..(WeakMapCache::MAX_ENTRIES + 10) as u64 {
             let key = (i, Layout::default(), 64, 8);
             cache.get_or_compute(key, || Some(model.weak_map(64, 8, &Layout::default())));
         }
         assert!(cache.len() <= WeakMapCache::MAX_ENTRIES);
         assert!(!cache.is_empty());
+        let counters = cache.counters();
+        assert_eq!(counters.hits, 0);
+        assert_eq!(counters.misses, (WeakMapCache::MAX_ENTRIES + 10) as u64);
+    }
+
+    #[test]
+    fn weak_map_cache_eviction_preserves_hot_entries() {
+        // The regression this pins: the cap used to wipe the *entire* cache,
+        // evicting the hot currently-accepted maps alongside dead
+        // rejected-candidate entries and triggering recompute storms
+        // mid-sweep. Eviction must now preserve recently-used entries: a key
+        // that is touched throughout a flood of one-shot inserts survives
+        // the overflow without ever being recomputed.
+        let cache = WeakMapCache::new();
+        let model = ErrorModel::uniform(0.02, 0.5, 1);
+        let layout = Layout::default();
+        let hot = (u64::MAX, layout, 64, 8);
+        let mut hot_computes = 0usize;
+        cache.get_or_compute(hot, || {
+            hot_computes += 1;
+            Some(model.weak_map(64, 8, &layout))
+        });
+        // Flood well past the cap, re-touching the hot key all along (every
+        // probe of an in-flight sweep re-reads its accepted maps).
+        for i in 0..(2 * WeakMapCache::MAX_ENTRIES) as u64 {
+            let key = (i, layout, 64, 8);
+            cache.get_or_compute(key, || Some(model.weak_map(64, 8, &layout)));
+            if i % 64 == 0 {
+                cache.get_or_compute(hot, || {
+                    hot_computes += 1;
+                    Some(model.weak_map(64, 8, &layout))
+                });
+            }
+        }
+        assert_eq!(
+            hot_computes, 1,
+            "hot key must survive every overflow without recomputation"
+        );
+        assert!(cache.len() <= WeakMapCache::MAX_ENTRIES);
+        // Eviction kept roughly the recent half, not a single survivor.
+        assert!(cache.len() > WeakMapCache::MAX_ENTRIES / 4);
+        assert!(cache.counters().hits > 0);
     }
 
     #[test]

@@ -151,12 +151,32 @@ struct SimScratch {
     dequantized: Vec<f32>,
 }
 
+/// How a session holds its network: borrowed from the caller's frame (the
+/// classic stack-scoped probe loops) or shared ownership of an `Arc` (the
+/// serving layer, where sessions outlive any request frame and reference the
+/// `Arc`-shared model zoo — see [`EvalSession::new_shared`]).
+enum NetRef<'a> {
+    Borrowed(&'a Network),
+    Shared(Arc<Network>),
+}
+
+impl std::ops::Deref for NetRef<'_> {
+    type Target = Network;
+
+    fn deref(&self) -> &Network {
+        match self {
+            NetRef::Borrowed(net) => net,
+            NetRef::Shared(net) => net,
+        }
+    }
+}
+
 /// The shareable, probe-invariant part of a session: everything that depends
 /// only on `(network, precision, backend)` and can therefore back any number
 /// of concurrent probes (the BER sweep fans probes out over the `eden-par`
 /// pool with one borrowed `SessionCore`).
 struct SessionCore<'a> {
-    net: &'a Network,
+    net: NetRef<'a>,
     precision: Precision,
     backend: InferenceBackend,
     refetch: RefetchMode,
@@ -308,12 +328,12 @@ impl<'a> EvalSession<'a> {
     /// [`RefetchMode::Overlay`] path; see
     /// [`EvalSession::with_refetch_mode`].
     pub fn new(net: &'a Network, precision: Precision, backend: InferenceBackend) -> Self {
+        Self::from_net_ref(NetRef::Borrowed(net), precision, backend)
+    }
+
+    fn from_net_ref(net: NetRef<'a>, precision: Precision, backend: InferenceBackend) -> Self {
         Self {
             core: SessionCore {
-                net,
-                precision,
-                backend,
-                refetch: RefetchMode::default(),
                 images: net.weight_images(precision),
                 ifm_sites: net
                     .layers()
@@ -321,6 +341,10 @@ impl<'a> EvalSession<'a> {
                     .enumerate()
                     .map(|(i, layer)| DataSite::new(i, layer.name(), DataKind::Ifm))
                     .collect(),
+                net,
+                precision,
+                backend,
+                refetch: RefetchMode::default(),
                 weak_maps: Arc::new(WeakMapCache::new()),
                 clean_corrections: Mutex::new(HashMap::new()),
                 scratch: ScratchArena::new(),
@@ -347,8 +371,8 @@ impl<'a> EvalSession<'a> {
     }
 
     /// The network under evaluation.
-    pub fn net(&self) -> &'a Network {
-        self.core.net
+    pub fn net(&self) -> &Network {
+        &self.core.net
     }
 
     /// The stored-data precision of the session.
@@ -449,7 +473,7 @@ impl<'a> EvalSession<'a> {
         match effective_backend(core.backend, core.precision) {
             InferenceBackend::SimulatedF32 => {
                 if pools.simulated.is_empty() {
-                    pools.simulated.push(Slot::new(core.net.clone()));
+                    pools.simulated.push(Slot::new((*core.net).clone()));
                 }
                 let slot = &mut pools.simulated[0];
                 slot.inner.load_corrupted_weights(&core.images, memory);
@@ -461,14 +485,14 @@ impl<'a> EvalSession<'a> {
                 if pools.native.is_empty() {
                     pools
                         .native
-                        .push(Slot::new(NativeWeights::prepare(core.net)));
+                        .push(Slot::new(NativeWeights::prepare(&core.net)));
                 }
                 let slot = &mut pools.native[0];
                 slot.inner.refresh(&core.images, memory);
                 slot.state = SlotState::Unknown;
                 core.scratch.with(|scratch| {
                     qexec::forward_native(
-                        core.net,
+                        &core.net,
                         &slot.inner,
                         input,
                         core.precision,
@@ -489,6 +513,53 @@ impl<'a> EvalSession<'a> {
             .entry((template.fingerprint(), ber.to_bits()))
             .or_insert_with(|| Injector::from_model(template.with_ber(ber), Layout::default()))
             .clone()
+    }
+
+    /// Classification accuracy over `samples` served from `memory`, through
+    /// a shared `&self` — the entry point of the serving layer, where many
+    /// concurrent requests hold one session behind an `Arc`.
+    ///
+    /// Each call evaluates with its own transient corrupted-weight pools
+    /// (exactly like a fresh one-shot call would) while still sharing the
+    /// session's expensive probe-invariant state: the clean weight bit
+    /// images, the weak-map cache, the clean-correction tables and the
+    /// scratch arenas. Bit-identical to
+    /// [`EvalSession::evaluate_with_faults`]; only the slot-pool reuse
+    /// across calls is traded for shared access.
+    pub fn evaluate_concurrent(
+        &self,
+        samples: &[(Tensor, usize)],
+        memory: &mut ApproximateMemory,
+    ) -> f32 {
+        self.core
+            .evaluate(samples, memory, &mut ProbePools::default())
+    }
+
+    /// Releases the session's transient probe state — the corrupted-weight
+    /// pools, cached reliable baselines, cached injectors, clean-correction
+    /// tables and checked-in scratch buffers — keeping only the clean bit
+    /// images and the weak-map cache. The serving layer calls this when a
+    /// shard goes cold (session eviction under memory pressure); results
+    /// are unaffected either way, the released state is simply rebuilt on
+    /// demand by the next probe.
+    pub fn release_transient_state(&mut self) {
+        self.pools = ProbePools::default();
+        self.baselines.clear();
+        self.injectors.clear();
+        self.core.clean_corrections.lock().unwrap().clear();
+        self.core.scratch.drain();
+        self.core.sim_scratch.drain();
+    }
+}
+
+impl EvalSession<'static> {
+    /// Creates a session that *owns* a share of its network: the session can
+    /// outlive the constructing frame, which is what lets a long-running
+    /// evaluation service keep sessions hot across requests while the model
+    /// zoo shares one `Arc` per network. Behaves identically to
+    /// [`EvalSession::new`] in every other respect.
+    pub fn new_shared(net: Arc<Network>, precision: Precision, backend: InferenceBackend) -> Self {
+        Self::from_net_ref(NetRef::Shared(net), precision, backend)
     }
 }
 
@@ -528,7 +599,7 @@ impl SessionCore<'_> {
         memory.attach_weak_map_cache(self.weak_maps.clone());
         // Pin every site's DRAM placement before forking so all forks agree
         // on addresses without having to communicate.
-        memory.preallocate(self.net, self.precision);
+        memory.preallocate(&self.net, self.precision);
         let correct = match effective_backend(self.backend, self.precision) {
             InferenceBackend::SimulatedF32 => {
                 self.evaluate_simulated(samples, memory, &mut pools.simulated)
@@ -638,7 +709,7 @@ impl SessionCore<'_> {
         for (w, window) in samples.chunks(WINDOW).enumerate() {
             let slots = refetch_slots(window.len());
             while pool.len() < slots {
-                pool.push(Slot::new(self.net.clone()));
+                pool.push(Slot::new((*self.net).clone()));
             }
             for slot in pool.iter_mut().take(slots) {
                 self.refetch_slot(slot, memory, corrections.as_deref());
@@ -716,7 +787,7 @@ impl SessionCore<'_> {
         for (w, window) in samples.chunks(WINDOW).enumerate() {
             let slots = refetch_slots(window.len());
             while pool.len() < slots {
-                pool.push(Slot::new(NativeWeights::prepare(self.net)));
+                pool.push(Slot::new(NativeWeights::prepare(&self.net)));
             }
             for slot in pool.iter_mut().take(slots) {
                 self.refetch_slot(slot, memory, corrections.as_deref());
@@ -731,7 +802,7 @@ impl SessionCore<'_> {
                 // Checked-out scratch: buffer contents never influence
                 // results, so reuse across samples is thread-count invariant.
                 let logits = self.scratch.with(|scratch| {
-                    qexec::forward_native(self.net, weights, x, self.precision, &mut lane, scratch)
+                    qexec::forward_native(&self.net, weights, x, self.precision, &mut lane, scratch)
                 });
                 (logits.argmax() == *label, lane.stats())
             });
@@ -906,6 +977,53 @@ mod tests {
         let mut memory = ApproximateMemory::reliable(0);
         assert!(session.evaluate_with_faults(&[], &mut memory).is_nan());
         assert!(session.evaluate_reliable(&[]).is_nan());
+    }
+
+    #[test]
+    fn shared_session_is_sync_and_matches_the_borrowed_session_bit_for_bit() {
+        // The serving layer holds `EvalSession<'static>` behind an `Arc` and
+        // evaluates through `&self` from many threads at once; both the
+        // ownership mode and the concurrent entry point must be invisible in
+        // the results.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EvalSession<'static>>();
+
+        let (net, dataset) = trained_lenet(8);
+        let samples = &dataset.test()[..24];
+        let template = ErrorModel::uniform(0.02, 0.5, 3);
+        let net = Arc::new(net);
+        for backend in [InferenceBackend::SimulatedF32, InferenceBackend::NativeInt] {
+            let shared = EvalSession::new_shared(net.clone(), Precision::Int8, backend);
+            let mut borrowed = EvalSession::new(&net, Precision::Int8, backend);
+            for ber in [1e-3, 1e-2] {
+                let model = template.with_ber(ber);
+                let mut memory_a = ApproximateMemory::from_model(model, 7);
+                let mut memory_b = ApproximateMemory::from_model(model, 7);
+                let via_shared = shared.evaluate_concurrent(samples, &mut memory_a);
+                let via_borrowed = borrowed.evaluate_with_faults(samples, &mut memory_b);
+                assert_eq!(via_shared.to_bits(), via_borrowed.to_bits(), "{backend}");
+                assert_eq!(memory_a.stats(), memory_b.stats(), "{backend}");
+            }
+        }
+    }
+
+    #[test]
+    fn release_transient_state_does_not_change_results() {
+        let (net, dataset) = trained_lenet(9);
+        let samples = &dataset.test()[..16];
+        let template = ErrorModel::uniform(0.02, 0.5, 3);
+        let mut session = EvalSession::new(&net, Precision::Int8, InferenceBackend::default());
+        let model = template.with_ber(1e-3);
+        let mut before = ApproximateMemory::from_model(model, 5);
+        let a = session.evaluate_with_faults(samples, &mut before);
+        session.injector_for(&template, 1e-3);
+        session.release_transient_state();
+        assert!(session.pools.simulated.is_empty() && session.pools.native.is_empty());
+        assert!(session.baselines.is_empty() && session.injectors.is_empty());
+        let mut after = ApproximateMemory::from_model(model, 5);
+        let b = session.evaluate_with_faults(samples, &mut after);
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_eq!(before.stats(), after.stats());
     }
 
     #[test]

@@ -112,6 +112,14 @@ impl<T: Default> ScratchArena<T> {
     pub fn resident(&self) -> usize {
         self.slots.lock().unwrap().len()
     }
+
+    /// Drops every checked-in buffer (buffers currently checked out are
+    /// returned to an empty arena and survive). Used by session eviction to
+    /// release scratch memory; contents never influence results, so draining
+    /// is always safe.
+    pub fn drain(&self) {
+        self.slots.lock().unwrap().clear();
+    }
 }
 
 /// Whether a precision's operands fit the widening-i16 dot kernels with i32

@@ -64,6 +64,39 @@ impl ModelId {
     }
 }
 
+impl ModelId {
+    /// Canonical lowercase key of this model — the stable wire name used by
+    /// the evaluation service protocol and CLI flags.
+    pub fn key(self) -> &'static str {
+        match self {
+            ModelId::ResNet => "resnet",
+            ModelId::MobileNet => "mobilenet",
+            ModelId::Vgg16 => "vgg16",
+            ModelId::DenseNet => "densenet",
+            ModelId::SqueezeNet => "squeezenet",
+            ModelId::AlexNet => "alexnet",
+            ModelId::Yolo => "yolo",
+            ModelId::YoloTiny => "yolo-tiny",
+            ModelId::LeNet => "lenet",
+        }
+    }
+}
+
+impl std::str::FromStr for ModelId {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        ModelId::all()
+            .into_iter()
+            .find(|id| id.key() == lower)
+            .ok_or_else(|| {
+                let keys: Vec<&str> = ModelId::all().iter().map(|id| id.key()).collect();
+                format!("unknown model {s:?} (expected one of: {})", keys.join(", "))
+            })
+    }
+}
+
 impl fmt::Display for ModelId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.spec().display_name)
@@ -425,6 +458,87 @@ pub fn yolo_tiny_mini(spec: &DatasetSpec, seed: u64) -> Network {
     net
 }
 
+/// A trained zoo model plus the synthetic dataset it was trained on, shared
+/// behind `Arc`s so any number of evaluation sessions (and the serving
+/// layer's shards) reference one copy of the weights and samples.
+#[derive(Clone)]
+pub struct ZooEntry {
+    /// The trained network.
+    pub net: std::sync::Arc<Network>,
+    /// The dataset the network was trained (and is evaluated) on.
+    pub dataset: std::sync::Arc<SyntheticVision>,
+}
+
+/// A thread-safe, lazily-populated zoo of *trained* models.
+///
+/// Construction is deterministic: every entry is trained with the zoo's
+/// fixed `(epochs, seed)` configuration, so two zoos with the same
+/// configuration — e.g. the one inside a long-running evaluation service and
+/// the one a correctness test builds locally — produce bit-identical
+/// networks. Entries are trained once, on first request; concurrent
+/// requests for the *same* model block until its training finishes, while
+/// different models train independently.
+pub struct ModelZoo {
+    epochs: usize,
+    seed: u64,
+    entries: std::sync::Mutex<
+        std::collections::HashMap<ModelId, std::sync::Arc<std::sync::OnceLock<ZooEntry>>>,
+    >,
+    builds: std::sync::atomic::AtomicU64,
+}
+
+impl ModelZoo {
+    /// Creates an empty zoo; every model requested from it is trained for
+    /// `epochs` epochs from `seed`.
+    pub fn new(epochs: usize, seed: u64) -> Self {
+        Self {
+            epochs,
+            seed,
+            entries: std::sync::Mutex::new(std::collections::HashMap::new()),
+            builds: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// The zoo's training configuration, `(epochs, seed)`.
+    pub fn config(&self) -> (usize, u64) {
+        (self.epochs, self.seed)
+    }
+
+    /// Number of models trained so far (a cache-miss counter: requests that
+    /// found their model already resident do not increment it).
+    pub fn models_built(&self) -> u64 {
+        self.builds.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The trained entry for `id`, training it on first request.
+    pub fn get(&self, id: ModelId) -> ZooEntry {
+        let slot = {
+            let mut entries = self.entries.lock().unwrap();
+            entries.entry(id).or_default().clone()
+        };
+        // Training runs outside the map lock so distinct models never
+        // serialize on each other; `OnceLock` serializes same-model racers.
+        slot.get_or_init(|| {
+            use crate::data::Dataset as _;
+            self.builds
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let dataset = id.dataset(self.seed);
+            let mut net = id.build(&dataset.spec(), self.seed);
+            crate::train::Trainer::new(crate::train::TrainConfig {
+                epochs: self.epochs,
+                seed: self.seed,
+                ..crate::train::TrainConfig::default()
+            })
+            .train(&mut net, &dataset);
+            ZooEntry {
+                net: std::sync::Arc::new(net),
+                dataset: std::sync::Arc::new(dataset),
+            }
+        })
+        .clone()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -511,5 +625,37 @@ mod tests {
         assert_eq!(ModelId::Vgg16.dataset(0).name(), "ilsvrc-syn");
         assert_eq!(ModelId::Yolo.dataset(0).name(), "mscoco-syn");
         assert_eq!(ModelId::ResNet.dataset(0).name(), "cifar10-syn");
+    }
+
+    #[test]
+    fn model_keys_round_trip_through_from_str() {
+        for id in ModelId::all() {
+            assert_eq!(id.key().parse::<ModelId>(), Ok(id), "{id}");
+        }
+        assert_eq!("LeNet".parse::<ModelId>(), Ok(ModelId::LeNet));
+        let err = "lnet".parse::<ModelId>().unwrap_err();
+        assert!(err.contains("unknown model"), "{err}");
+        assert!(err.contains("lenet"), "error must list valid keys: {err}");
+    }
+
+    #[test]
+    fn model_zoo_trains_once_and_shares_entries() {
+        let zoo = ModelZoo::new(1, 7);
+        let a = zoo.get(ModelId::LeNet);
+        let b = zoo.get(ModelId::LeNet);
+        assert!(std::sync::Arc::ptr_eq(&a.net, &b.net));
+        assert!(std::sync::Arc::ptr_eq(&a.dataset, &b.dataset));
+        assert_eq!(zoo.models_built(), 1);
+        // Deterministic: a second zoo with the same configuration trains a
+        // bit-identical network.
+        let other = ModelZoo::new(1, 7).get(ModelId::LeNet);
+        let weights = |net: &Network| {
+            let mut v = Vec::new();
+            for layer in net.layers() {
+                layer.visit_params_ref(&mut |_, t| v.extend(t.data().iter().map(|x| x.to_bits())));
+            }
+            v
+        };
+        assert_eq!(weights(&a.net), weights(&other.net));
     }
 }

@@ -1,0 +1,119 @@
+//! The eden-serve daemon binary.
+//!
+//! ```text
+//! eden-serve --socket /tmp/eden-serve.sock --workers 8 --sessions 8
+//! ```
+//!
+//! Prints `listening on <socket>` once ready; runs until a client sends a
+//! `shutdown` request. Invalid flags exit non-zero — the daemon never falls
+//! back to a default for a value the operator typed wrongly.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use eden_serve::{serve, ServeConfig};
+
+fn fatal(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    let prefix = format!("{flag}=");
+    for (i, arg) in args.iter().enumerate() {
+        if let Some(v) = arg.strip_prefix(&prefix) {
+            return Some(v.to_string());
+        }
+        if arg == flag {
+            match args.get(i + 1) {
+                Some(v) => return Some(v.clone()),
+                None => fatal(&format!("{flag} requires a value")),
+            }
+        }
+    }
+    None
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    flag_value(args, flag).map(|v| match v.parse::<T>() {
+        Ok(value) => value,
+        Err(_) => fatal(&format!("invalid value {v:?} for {flag}")),
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "eden-serve: sharded evaluation service on EvalSession\n\n\
+             options:\n\
+             \x20 --socket PATH       listen socket (default /tmp/eden-serve.sock)\n\
+             \x20 --workers N         evaluation pool threads (default: all cores)\n\
+             \x20 --sessions N        max live session shards before LRU eviction (default 8)\n\
+             \x20 --inflight N        max evaluations in flight (default 2x workers)\n\
+             \x20 --timeout-ms N      per-request deadline cap (default 30000)\n\
+             \x20 --zoo-epochs N      training epochs for zoo models (default 2)\n\
+             \x20 --zoo-seed N        training seed for zoo models (default 3)"
+        );
+        return;
+    }
+    let mut config = ServeConfig::default();
+    if let Some(path) = flag_value(&args, "--socket") {
+        config.socket = PathBuf::from(path);
+    }
+    if let Some(workers) = parse_flag::<usize>(&args, "--workers") {
+        if workers == 0 {
+            fatal("--workers must be at least 1");
+        }
+        config.workers = workers;
+        config.max_inflight = (workers * 2).max(4);
+    }
+    if let Some(sessions) = parse_flag::<usize>(&args, "--sessions") {
+        if sessions == 0 {
+            fatal("--sessions must be at least 1");
+        }
+        config.max_sessions = sessions;
+    }
+    if let Some(inflight) = parse_flag::<usize>(&args, "--inflight") {
+        if inflight == 0 {
+            fatal("--inflight must be at least 1");
+        }
+        config.max_inflight = inflight;
+    }
+    if let Some(ms) = parse_flag::<u64>(&args, "--timeout-ms") {
+        config.request_timeout = Duration::from_millis(ms);
+    }
+    if let Some(epochs) = parse_flag::<usize>(&args, "--zoo-epochs") {
+        config.zoo_epochs = epochs;
+    }
+    if let Some(seed) = parse_flag::<u64>(&args, "--zoo-seed") {
+        config.zoo_seed = seed;
+    }
+    for arg in &args {
+        let known = [
+            "--socket",
+            "--workers",
+            "--sessions",
+            "--inflight",
+            "--timeout-ms",
+            "--zoo-epochs",
+            "--zoo-seed",
+        ];
+        if arg.starts_with("--")
+            && !known
+                .iter()
+                .any(|k| arg == k || arg.starts_with(&format!("{k}=")))
+        {
+            fatal(&format!("unknown flag {arg}"));
+        }
+    }
+
+    let handle = match serve(config) {
+        Ok(handle) => handle,
+        Err(e) => fatal(&format!("failed to start: {e}")),
+    };
+    println!("listening on {}", handle.socket().display());
+    // Run until a client requests shutdown; wait() drains connections.
+    handle.wait();
+    println!("shut down");
+}

@@ -1,0 +1,93 @@
+//! A small blocking client for the eden-serve protocol, used by the
+//! `serve_load` load generator, the integration tests and the CI smoke
+//! test.
+
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Duration;
+
+use crate::json::Json;
+use crate::protocol::{read_json, write_json};
+
+/// One connection to an eden-serve daemon.
+pub struct Client {
+    stream: UnixStream,
+}
+
+impl Client {
+    /// Connects to the daemon at `socket`.
+    pub fn connect(socket: impl AsRef<Path>) -> std::io::Result<Client> {
+        Ok(Client {
+            stream: UnixStream::connect(socket)?,
+        })
+    }
+
+    /// Connects, retrying until the daemon is up or `timeout` elapses
+    /// (startup races in tests and CI).
+    pub fn connect_with_retry(
+        socket: impl AsRef<Path>,
+        timeout: Duration,
+    ) -> std::io::Result<Client> {
+        let socket = socket.as_ref();
+        let start = std::time::Instant::now();
+        loop {
+            match Client::connect(socket) {
+                Ok(client) => return Ok(client),
+                Err(e) if start.elapsed() >= timeout => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+
+    /// Sends one request and reads one response frame.
+    pub fn request(&mut self, request: &Json) -> std::io::Result<Json> {
+        write_json(&mut self.stream, request)?;
+        read_json(&mut self.stream)?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            )
+        })
+    }
+
+    /// Sends a `sweep` request and invokes `on_point` for each streamed
+    /// point frame; returns the terminal frame (`"done": true`).
+    pub fn sweep(
+        &mut self,
+        request: &Json,
+        mut on_point: impl FnMut(&Json),
+    ) -> std::io::Result<Json> {
+        write_json(&mut self.stream, request)?;
+        loop {
+            let frame = read_json(&mut self.stream)?.ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-sweep",
+                )
+            })?;
+            if frame.get("done").and_then(Json::as_bool) == Some(true) {
+                return Ok(frame);
+            }
+            if let Some(point) = frame.get("point") {
+                on_point(point);
+            } else {
+                return Ok(frame);
+            }
+        }
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> std::io::Result<Json> {
+        self.request(&Json::obj([("op", Json::str("ping"))]))
+    }
+
+    /// Fetches the server counters.
+    pub fn stats(&mut self) -> std::io::Result<Json> {
+        self.request(&Json::obj([("op", Json::str("stats"))]))
+    }
+
+    /// Asks the daemon to shut down gracefully.
+    pub fn shutdown(&mut self) -> std::io::Result<Json> {
+        self.request(&Json::obj([("op", Json::str("shutdown"))]))
+    }
+}

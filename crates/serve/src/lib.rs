@@ -1,0 +1,37 @@
+//! eden-serve: a long-running, sharded evaluation service on
+//! [`EvalSession`](eden_core::session::EvalSession).
+//!
+//! EDEN's deployment story is continuous DNN inference on approximate DRAM;
+//! this crate turns the one-shot evaluation stack into a daemon that serves
+//! many concurrent tenants from shared hot state:
+//!
+//! - **Protocol** ([`protocol`]): length-prefixed JSON frames over a Unix
+//!   socket — `eval`, `sweep` (streamed incrementally), `stats`, `ping`,
+//!   `shutdown`. The workspace's serde is an offline marker shim, so the
+//!   JSON itself is the crate's own minimal implementation ([`json`]).
+//! - **Sharding** ([`shard`]): one hot `EvalSession` per
+//!   `(model, precision, backend, error-model template fingerprint)`,
+//!   LRU-evicted at capacity, built from an `Arc`-shared
+//!   [`ModelZoo`](eden_dnn::zoo::ModelZoo) so every shard of a model shares
+//!   one trained network.
+//! - **Serving** ([`server`]): a connection thread per client, evaluations
+//!   batched onto a dedicated `eden-par` pool, a counting admission gate
+//!   with per-request deadlines, graceful drain on shutdown.
+//! - **Client** ([`client`]): the blocking client the load generator, the
+//!   tests and CI use.
+//!
+//! Responses are bit-identical to a standalone `EvalSession` evaluating the
+//! same spec — at any worker count, in any request order — because
+//! everything request-dependent lives in the per-request
+//! `ApproximateMemory` and the session core is probe-invariant.
+
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod shard;
+
+pub use client::Client;
+pub use json::Json;
+pub use server::{serve, ServeConfig, ServerHandle};
+pub use shard::{SessionPool, ShardKey};

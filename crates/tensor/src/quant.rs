@@ -81,6 +81,22 @@ impl fmt::Display for Precision {
     }
 }
 
+impl std::str::FromStr for Precision {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "int4" => Ok(Precision::Int4),
+            "int8" => Ok(Precision::Int8),
+            "int16" => Ok(Precision::Int16),
+            "fp32" | "f32" | "float32" => Ok(Precision::Fp32),
+            other => Err(format!(
+                "unknown precision {other:?} (expected \"int4\", \"int8\", \"int16\" or \"fp32\")"
+            )),
+        }
+    }
+}
+
 /// A tensor stored in its exact in-memory bit representation.
 ///
 /// For integer precisions each element holds the two's complement pattern in
