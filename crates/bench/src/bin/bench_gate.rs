@@ -77,6 +77,46 @@ fn find<'a>(entries: &'a [Entry], key: &str) -> Option<&'a Entry> {
     entries.iter().find(|e| e.key() == key)
 }
 
+/// One comparison row, kept so the table can be rendered twice: to stdout
+/// as it is computed, and to `$GITHUB_STEP_SUMMARY` as markdown afterwards.
+struct Row {
+    key: String,
+    base_ns: Option<f64>,
+    cur_ns: Option<f64>,
+    ratio: Option<f64>,
+    verdict: &'static str,
+}
+
+fn fmt_ns(v: Option<f64>) -> String {
+    v.map_or_else(|| "-".into(), |ns| format!("{ns:.0}"))
+}
+
+/// Renders the per-entry delta table as a GitHub-flavored markdown job
+/// summary. `NEW` entries (present only in the current run) are included so
+/// a freshly added benchmark shows up in the PR's summary pane immediately,
+/// not only after the next baseline regeneration.
+fn markdown_summary(rows: &[Row], tolerance: f64, scale: f64, ok: bool) -> String {
+    let mut md = String::new();
+    md.push_str(&format!(
+        "### Bench gate: {}\n\ntolerance {:.0}%, machine-speed scale {scale:.3}\n\n",
+        if ok { "PASS" } else { "FAIL" },
+        tolerance * 100.0
+    ));
+    md.push_str("| benchmark | base min ns | cur min ns | ratio | verdict |\n");
+    md.push_str("|---|---:|---:|---:|---|\n");
+    for r in rows {
+        md.push_str(&format!(
+            "| `{}` | {} | {} | {} | {} |\n",
+            r.key,
+            fmt_ns(r.base_ns),
+            fmt_ns(r.cur_ns),
+            r.ratio.map_or_else(|| "-".into(), |x| format!("{x:.2}x")),
+            r.verdict
+        ));
+    }
+    md
+}
+
 fn run() -> Result<bool, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
@@ -122,6 +162,7 @@ fn run() -> Result<bool, String> {
     );
 
     let mut ok = true;
+    let mut rows: Vec<Row> = Vec::new();
     for base in &baseline {
         let key = base.key();
         if key == CAL {
@@ -134,6 +175,13 @@ fn run() -> Result<bool, String> {
                     base.min_ns, "-", "-"
                 );
                 ok = false;
+                rows.push(Row {
+                    key,
+                    base_ns: Some(base.min_ns),
+                    cur_ns: None,
+                    ratio: None,
+                    verdict: "MISSING",
+                });
             }
             Some(cur) => {
                 let budget = base.min_ns * scale;
@@ -147,6 +195,13 @@ fn run() -> Result<bool, String> {
                     if pass { "ok" } else { "REGRESSION" }
                 );
                 ok &= pass;
+                rows.push(Row {
+                    key,
+                    base_ns: Some(base.min_ns),
+                    cur_ns: Some(cur.min_ns),
+                    ratio: Some(ratio),
+                    verdict: if pass { "ok" } else { "REGRESSION" },
+                });
             }
         }
     }
@@ -157,6 +212,29 @@ fn run() -> Result<bool, String> {
         let key = cur.key();
         if key != CAL && find(&baseline, &key).is_none() {
             println!("{key:<45} {:>12} {:>12.0} {:>9}  NEW", "-", cur.min_ns, "-");
+            rows.push(Row {
+                key,
+                base_ns: None,
+                cur_ns: Some(cur.min_ns),
+                ratio: None,
+                verdict: "NEW",
+            });
+        }
+    }
+    // On GitHub runners, mirror the table into the job summary pane so the
+    // per-entry deltas are readable without expanding the step log.
+    if let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") {
+        if !path.is_empty() {
+            let md = markdown_summary(&rows, tolerance, scale, ok);
+            // Append: the summary file is shared by every step in the job.
+            let write = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| std::io::Write::write_all(&mut f, md.as_bytes()));
+            if let Err(e) = write {
+                eprintln!("bench_gate: cannot write GITHUB_STEP_SUMMARY ({path}): {e}");
+            }
         }
     }
     Ok(ok)
@@ -191,6 +269,39 @@ mod tests {
         assert_eq!(field(line, "mean_ns"), Some("123"));
         assert_eq!(field(line, "min_ns"), None);
         assert_eq!(field(line, "missing"), None);
+    }
+
+    #[test]
+    fn markdown_summary_renders_every_row_kind() {
+        let rows = vec![
+            Row {
+                key: "g/ok".into(),
+                base_ns: Some(100.0),
+                cur_ns: Some(90.0),
+                ratio: Some(0.9),
+                verdict: "ok",
+            },
+            Row {
+                key: "g/gone".into(),
+                base_ns: Some(50.0),
+                cur_ns: None,
+                ratio: None,
+                verdict: "MISSING",
+            },
+            Row {
+                key: "g/fresh".into(),
+                base_ns: None,
+                cur_ns: Some(70.0),
+                ratio: None,
+                verdict: "NEW",
+            },
+        ];
+        let md = markdown_summary(&rows, 0.20, 1.25, false);
+        assert!(md.starts_with("### Bench gate: FAIL"));
+        assert!(md.contains("tolerance 20%, machine-speed scale 1.250"));
+        assert!(md.contains("| `g/ok` | 100 | 90 | 0.90x | ok |"));
+        assert!(md.contains("| `g/gone` | 50 | - | - | MISSING |"));
+        assert!(md.contains("| `g/fresh` | - | 70 | - | NEW |"));
     }
 
     #[test]

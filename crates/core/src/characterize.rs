@@ -14,6 +14,7 @@ use crate::inference::InferenceBackend;
 use crate::session::EvalSession;
 use eden_dnn::network::DataTypeInfo;
 use eden_dnn::{DataSite, Dataset, Network};
+use eden_dram::inject::Injector;
 use eden_dram::util::seed_mix;
 use eden_dram::ErrorModel;
 use eden_tensor::{Precision, Tensor};
@@ -263,6 +264,16 @@ pub fn fine_characterize(
 /// weak-cell-map caches rebuild exactly one placement per probe instead of
 /// all of them. The session's precision and backend are authoritative;
 /// `cfg.backend` is only read by the non-session wrapper.
+///
+/// Within a round, each still-active site's probe is independent: every
+/// probe steps only its *own* site's BER against the tolerance vector the
+/// round started with (Jacobi-style rounds, where the sequential original
+/// folded each acceptance into later probes of the same round,
+/// Gauss-Seidel-style). That makes the probes data-parallel, and they fan
+/// out across the `eden-par` pool via [`EvalSession::evaluate_concurrent`].
+/// Each probe draws its error pattern from its own `probe_seed(seed, round,
+/// site)` stream and acceptances are folded in ascending site order after
+/// the round's fan-out, so results are bit-identical at any thread count.
 pub fn fine_characterize_session(
     session: &mut EvalSession<'_>,
     dataset: &dyn Dataset,
@@ -279,26 +290,41 @@ pub fn fine_characterize_session(
     let mut active: Vec<bool> = vec![true; sites.len()];
 
     for round in 0..cfg.max_rounds {
-        if !active.iter().any(|&a| a) {
+        let probes: Vec<usize> = (0..sites.len()).filter(|&i| active[i]).collect();
+        if probes.is_empty() {
             break;
         }
-        for i in 0..sites.len() {
-            if !active[i] {
-                continue;
-            }
-            let mut candidate = tolerances.clone();
-            candidate[i] *= cfg.step_factor;
+        // Resolve every injector the round's probes share *before* fanning
+        // out: `injector_for` caches under `&mut self`, while the fan-out
+        // below holds the session by shared reference. Each site's
+        // round-start injector plus the stepped one per probed site —
+        // exactly the set the sequential loop would have resolved.
+        let base: Vec<Injector> = tolerances
+            .iter()
+            .map(|&ber| session.injector_for(template, ber))
+            .collect();
+        let stepped: Vec<Injector> = probes
+            .iter()
+            .map(|&i| session.injector_for(template, tolerances[i] * cfg.step_factor))
+            .collect();
+
+        let shared: &EvalSession<'_> = session;
+        let accs: Vec<f32> = eden_par::par_map(&probes, |p, &i| {
             let mut memory =
                 ApproximateMemory::reliable(probe_seed(cfg.seed, round as u64, i as u64));
-            for (info, &ber) in sites.iter().zip(&candidate) {
-                memory.assign_site(info.site.clone(), session.injector_for(template, ber));
+            for (j, info) in sites.iter().enumerate() {
+                let injector = if j == i { &stepped[p] } else { &base[j] };
+                memory.assign_site(info.site.clone(), injector.clone());
             }
             if let Some(b) = bounding {
                 memory = memory.with_bounding(b);
             }
-            let acc = session.evaluate_with_faults(samples, &mut memory);
+            shared.evaluate_concurrent(samples, &mut memory)
+        });
+
+        for (&i, &acc) in probes.iter().zip(&accs) {
             if acc >= floor {
-                tolerances = candidate;
+                tolerances[i] *= cfg.step_factor;
             } else {
                 // This data type cannot tolerate a higher error rate; drop it
                 // from the sweep list (the paper's procedure).

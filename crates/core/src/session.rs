@@ -199,6 +199,14 @@ struct SessionCore<'a> {
     scratch: ScratchArena<QuantScratch>,
     /// Simulated-path scratch buffers, checked out per worker pass.
     sim_scratch: ScratchArena<SimScratch>,
+    /// Corrupted-weight pools for concurrent probes ([`EvalSession::
+    /// evaluate_concurrent`] and the probe fan-outs built on it), checked
+    /// out per probe. Which pool a probe gets cannot affect numerics — every
+    /// refetch fully determines the weight state from the slot's tracked
+    /// overlay state — so checkout order is free to vary with thread count
+    /// while results stay bit-identical. At one thread this degenerates to
+    /// the same single reused pool the sequential probe loops enjoy.
+    pool_arena: ScratchArena<ProbePools>,
 }
 
 /// Exact-value cache key of one [`BoundingLogic`]: every field as bits, so
@@ -349,6 +357,7 @@ impl<'a> EvalSession<'a> {
                 clean_corrections: Mutex::new(HashMap::new()),
                 scratch: ScratchArena::new(),
                 sim_scratch: ScratchArena::new(),
+                pool_arena: ScratchArena::new(),
             },
             pools: ProbePools::default(),
             baselines: HashMap::new(),
@@ -415,8 +424,14 @@ impl<'a> EvalSession<'a> {
     ) -> (f32, f32) {
         let core = &self.core;
         eden_par::join(
-            || core.evaluate(samples, memory_a, &mut ProbePools::default()),
-            || core.evaluate(samples, memory_b, &mut ProbePools::default()),
+            || {
+                core.pool_arena
+                    .with(|p| core.evaluate(samples, memory_a, p))
+            },
+            || {
+                core.pool_arena
+                    .with(|p| core.evaluate(samples, memory_b, p))
+            },
         )
     }
 
@@ -455,7 +470,8 @@ impl<'a> EvalSession<'a> {
             }
             (
                 ber,
-                core.evaluate(samples, &mut memory, &mut ProbePools::default()),
+                core.pool_arena
+                    .with(|p| core.evaluate(samples, &mut memory, p)),
             )
         })
     }
@@ -519,20 +535,22 @@ impl<'a> EvalSession<'a> {
     /// a shared `&self` — the entry point of the serving layer, where many
     /// concurrent requests hold one session behind an `Arc`.
     ///
-    /// Each call evaluates with its own transient corrupted-weight pools
-    /// (exactly like a fresh one-shot call would) while still sharing the
-    /// session's expensive probe-invariant state: the clean weight bit
-    /// images, the weak-map cache, the clean-correction tables and the
-    /// scratch arenas. Bit-identical to
-    /// [`EvalSession::evaluate_with_faults`]; only the slot-pool reuse
-    /// across calls is traded for shared access.
+    /// Each call evaluates with a corrupted-weight pool checked out of the
+    /// session's pool arena (growing it only while calls actually overlap)
+    /// while sharing the session's expensive probe-invariant state: the
+    /// clean weight bit images, the weak-map cache, the clean-correction
+    /// tables and the scratch arenas. Bit-identical to
+    /// [`EvalSession::evaluate_with_faults`] — which pool a probe draws
+    /// cannot influence results, because every refetch fully determines the
+    /// weight state from the slot's tracked overlay state.
     pub fn evaluate_concurrent(
         &self,
         samples: &[(Tensor, usize)],
         memory: &mut ApproximateMemory,
     ) -> f32 {
         self.core
-            .evaluate(samples, memory, &mut ProbePools::default())
+            .pool_arena
+            .with(|pools| self.core.evaluate(samples, memory, pools))
     }
 
     /// Releases the session's transient probe state — the corrupted-weight
@@ -549,6 +567,7 @@ impl<'a> EvalSession<'a> {
         self.core.clean_corrections.lock().unwrap().clear();
         self.core.scratch.drain();
         self.core.sim_scratch.drain();
+        self.core.pool_arena.drain();
     }
 }
 

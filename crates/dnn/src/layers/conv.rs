@@ -148,17 +148,17 @@ impl Layer for Conv2d {
         let p = self.params;
         let (oh, ow) = (p.out_size(h), p.out_size(w));
         let ck = in_c * p.kernel * p.kernel;
-        if qexec::use_i16_kernels_for(input.precision(), ck) {
+        if qexec::use_i8_kernels_for(input.precision(), ck) {
             // Sign-extension is fused into the patch gather: the stored bits
             // feed the kernel without an intermediate integer buffer.
-            ops::im2col_i16_t_stored(
+            ops::im2col_i8_t_stored(
                 input.stored(),
                 input.bits_per_value(),
                 in_c,
                 h,
                 w,
                 p,
-                &mut scratch.cols16,
+                &mut scratch.cols8,
             );
         } else {
             input.q_values_into(&mut scratch.qx);

@@ -143,8 +143,8 @@ impl Layer for Dense {
     ) -> Option<Tensor> {
         let (m, k) = (self.out_features(), self.in_features());
         assert_eq!(input.len(), k, "dense quant_forward input length");
-        if qexec::use_i16_kernels_for(input.precision(), k) {
-            input.q_values_i16_into(&mut scratch.qx16);
+        if qexec::use_i8_kernels_for(input.precision(), k) {
+            input.q_values_i8_into(&mut scratch.qx8);
         } else {
             input.q_values_into(&mut scratch.qx);
         }

@@ -30,9 +30,12 @@ pub struct QuantLayerParams {
     /// Sign-extended corrupted quantized weight values (visit order) — the
     /// i32 operand form used by the i64-accumulating int16 kernels.
     pub qweight: Vec<i32>,
-    /// The same weights narrowed to i16 (int4/int8 only): operands for the
-    /// widening-multiply dot kernels ([`eden_tensor::ops::gemm_dot_i16`]).
-    pub qweight16: Vec<i16>,
+    /// The same weights narrowed to i8 (int4/int8 only): one-byte operands
+    /// for the widening-multiply dot kernels
+    /// ([`eden_tensor::ops::gemm_dot_i8`]), half the memory traffic of the
+    /// former i16 form. Every corrupted 4/8-bit pattern sign-extends into
+    /// `[-128, 127]` exactly.
+    pub qweight8: Vec<i8>,
     /// Dequantization scale of the (corrupted) weight tensor.
     pub weight_scale: f32,
     /// Dequantized corrupted bias values.
@@ -46,12 +49,12 @@ pub struct QuantLayerParams {
 pub struct QuantScratch {
     /// Sign-extended input activations of the current layer (i32 form).
     pub qx: Vec<i32>,
-    /// Sign-extended input activations narrowed to i16 (int4/int8 path).
-    pub qx16: Vec<i16>,
+    /// Sign-extended input activations narrowed to i8 (int4/int8 path).
+    pub qx8: Vec<i8>,
     /// Integer im2col patch matrix (i32 form, `[ck, ohw]`).
     pub cols: Vec<i32>,
-    /// Transposed i16 im2col patch matrix (`[ohw, ck]`, int4/int8 path).
-    pub cols16: Vec<i16>,
+    /// Transposed i8 im2col patch matrix (`[ohw, ck]`, int4/int8 path).
+    pub cols8: Vec<i8>,
     /// i32 accumulators (int4/int8).
     pub acc_i32: Vec<i32>,
     /// i64 accumulators (int16).
@@ -122,20 +125,20 @@ impl<T: Default> ScratchArena<T> {
     }
 }
 
-/// Whether a precision's operands fit the widening-i16 dot kernels with i32
-/// accumulation (int4/int8; int16 sums need i64 and take the i32-operand
-/// kernels instead).
-pub fn use_i16_kernels(precision: Precision) -> bool {
+/// Whether a precision's operands fit the widening-i8 dot kernels with i32
+/// accumulation (int4/int8; int16 values do not fit one byte and take the
+/// i32-operand kernels instead).
+pub fn use_i8_kernels(precision: Precision) -> bool {
     precision.is_integer() && precision.bits() <= 8
 }
 
-/// Whether a `(precision, reduction depth)` pair takes the i16 dot kernels:
-/// the operands must fit i16 **and** the i32 accumulator must provably hold
+/// Whether a `(precision, reduction depth)` pair takes the i8 dot kernels:
+/// the operands must fit i8 **and** the i32 accumulator must provably hold
 /// the `k`-term sums. Layers use this to prepare the matching operand form;
 /// the kernel dispatch below uses the same predicate, so the two can never
 /// disagree.
-pub fn use_i16_kernels_for(precision: Precision, k: usize) -> bool {
-    use_i16_kernels(precision) && !needs_wide_accumulator(precision, k)
+pub fn use_i8_kernels_for(precision: Precision, k: usize) -> bool {
+    use_i8_kernels(precision) && !needs_wide_accumulator(precision, k)
 }
 
 /// Whether integer accumulation over `k` products of `precision` operands
@@ -217,11 +220,11 @@ impl NativeWeights {
                     if img.param_name == "weight" {
                         q.q_values_into(&mut params.qweight);
                         params.weight_scale = q.scale();
-                        if use_i16_kernels(q.precision()) {
-                            params.qweight16.clear();
+                        if use_i8_kernels(q.precision()) {
+                            params.qweight8.clear();
                             params
-                                .qweight16
-                                .extend(params.qweight.iter().map(|&v| v as i16));
+                                .qweight8
+                                .extend(params.qweight.iter().map(|&v| v as i8));
                         }
                     } else {
                         params.bias.clear();
@@ -277,11 +280,11 @@ impl NativeWeights {
             if img.param_name == "weight" {
                 img.clean.q_values_into(&mut params.qweight);
                 params.weight_scale = img.clean.scale();
-                if use_i16_kernels(img.clean.precision()) {
-                    params.qweight16.clear();
+                if use_i8_kernels(img.clean.precision()) {
+                    params.qweight8.clear();
                     params
-                        .qweight16
-                        .extend(params.qweight.iter().map(|&v| v as i16));
+                        .qweight8
+                        .extend(params.qweight.iter().map(|&v| v as i8));
                 }
             } else {
                 params.bias.clear();
@@ -348,12 +351,12 @@ impl NativeWeights {
                 }
             };
             if img.param_name == "weight" {
-                let narrow = use_i16_kernels(img.clean.precision());
+                let narrow = use_i8_kernels(img.clean.precision());
                 for (i, word) in overlay.patched_words(&img.clean, apply) {
                     let q = img.clean.word_q_value(word);
                     params.qweight[i] = q;
                     if narrow {
-                        params.qweight16[i] = q as i16;
+                        params.qweight8[i] = q as i8;
                     }
                 }
                 // The scale is a property of the clean quantization and is
@@ -409,7 +412,9 @@ fn has_weight_bias_params(layer: &dyn Layer) -> bool {
 /// quantized, corrupted by `hook` at the same [`DataSite`]s (and therefore
 /// with the same load-stream sequence) as the simulated path, and then
 /// executed natively where the layer supports it — without ever dequantizing
-/// the activations for dense/conv layers.
+/// the activations for dense/conv layers. int4/int8 layers run on one-byte
+/// operands through the runtime-dispatched SIMD kernels (see
+/// [`eden_tensor::simd`]); int16 layers take the overflow-proof i64 path.
 ///
 /// # Panics
 ///
@@ -480,10 +485,10 @@ pub fn quant_matvec_into(
     scale: f32,
     out: &mut [f32],
 ) {
-    if use_i16_kernels_for(precision, k) {
+    if use_i8_kernels_for(precision, k) {
         scratch.acc_i32.clear();
         scratch.acc_i32.resize(m, 0);
-        ops::matvec_i16(m, k, &params.qweight16, &scratch.qx16, &mut scratch.acc_i32);
+        ops::matvec_i8(m, k, &params.qweight8, &scratch.qx8, &mut scratch.acc_i32);
         for (o, &acc) in out.iter_mut().zip(&scratch.acc_i32) {
             *o = acc as f32 * scale;
         }
@@ -519,15 +524,15 @@ pub fn quant_gemm_bias_into(
     bias: &[f32],
     out: &mut [f32],
 ) {
-    if use_i16_kernels(precision) {
+    if use_i8_kernels_for(precision, k) {
         scratch.acc_i32.clear();
         scratch.acc_i32.resize(m * n, 0);
-        ops::gemm_dot_i16(
+        ops::gemm_dot_i8(
             m,
             k,
             n,
-            &params.qweight16,
-            &scratch.cols16,
+            &params.qweight8,
+            &scratch.cols8,
             &mut scratch.acc_i32,
         );
         epilogue_i32(m, n, &scratch.acc_i32, scale, bias, out);
@@ -740,11 +745,11 @@ mod tests {
         assert!(needs_wide_accumulator(Precision::Int8, 1 << 18));
         assert!(needs_wide_accumulator(Precision::Int16, 2));
         assert!(!needs_wide_accumulator(Precision::Int4, 1 << 20));
-        // The combined predicate rejects the i16 kernels exactly when the
-        // i32 accumulator could overflow, even for i16-sized operands.
-        assert!(use_i16_kernels_for(Precision::Int8, 1 << 16));
-        assert!(!use_i16_kernels_for(Precision::Int8, 1 << 18));
-        assert!(!use_i16_kernels_for(Precision::Int16, 8));
+        // The combined predicate rejects the i8 kernels exactly when the
+        // i32 accumulator could overflow, even for i8-sized operands.
+        assert!(use_i8_kernels_for(Precision::Int8, 1 << 16));
+        assert!(!use_i8_kernels_for(Precision::Int8, 1 << 18));
+        assert!(!use_i8_kernels_for(Precision::Int16, 8));
     }
 
     #[test]
@@ -774,10 +779,10 @@ mod tests {
             if img.param_name == "weight" {
                 q.q_values_into(&mut params.qweight);
                 params.weight_scale = q.scale();
-                params.qweight16.clear();
+                params.qweight8.clear();
                 params
-                    .qweight16
-                    .extend(params.qweight.iter().map(|&v| v as i16));
+                    .qweight8
+                    .extend(params.qweight.iter().map(|&v| v as i8));
             } else {
                 params.bias = vec![0.0; q.len()];
             }

@@ -14,6 +14,9 @@
 //!   bits a real device would corrupt.
 //! * [`bits`] — bit-level views and flip operations over stored values.
 //! * [`init`] — deterministic weight initializers.
+//! * [`simd`] — runtime-dispatched SIMD kernel tables (SSE2/AVX2/AVX-512)
+//!   behind the hot [`ops`] loops, bit-for-bit equal to their scalar
+//!   reference and overridable via `EDEN_ISA`.
 //!
 //! # Example
 //!
@@ -32,6 +35,7 @@ pub mod ops;
 pub mod overlay;
 pub mod quant;
 pub mod shape;
+pub mod simd;
 pub mod tensor;
 
 pub use overlay::CorruptionOverlay;

@@ -4,6 +4,7 @@
 //! the `[channels, height, width]` (CHW) layout for single samples and
 //! `[batch, channels, height, width]` (NCHW) for batches where noted.
 
+use crate::simd::{self, Kernels};
 use crate::tensor::Tensor;
 
 /// Row count of the A-panel processed per GEMM block.
@@ -32,6 +33,10 @@ pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32])
     assert!(a.len() >= m * k, "gemm: lhs slice too short");
     assert!(b.len() >= k * n, "gemm: rhs slice too short");
     assert!(out.len() >= m * n, "gemm: out slice too short");
+    // The row update `out_row += av * b_row` is element-wise independent, so
+    // the dispatched SIMD form (separate multiply and add, no FMA) preserves
+    // each output element's k-ascending accumulation chain bit for bit.
+    let kr = simd::kernels();
     for kk in (0..k).step_by(GEMM_KC) {
         let k_end = (kk + GEMM_KC).min(k);
         for ii in (0..m).step_by(GEMM_MC) {
@@ -44,10 +49,7 @@ pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32])
                     if av == 0.0 {
                         continue;
                     }
-                    let brow = &b[p * n..p * n + n];
-                    for (o, &bv) in orow.iter_mut().zip(brow) {
-                        *o += av * bv;
-                    }
+                    (kr.axpy_f32)(av, &b[p * n..p * n + n], orow);
                 }
             }
         }
@@ -93,8 +95,40 @@ where
 /// within `k · Q²`, so int8 (`Q = 128`) is safe for any `k ≤ 2¹⁷` and int4
 /// for any practical `k`. Use [`gemm_i64`] for int16 operands, whose products
 /// alone reach 2³⁰.
+///
+/// The row update dispatches to the active SIMD level (see [`crate::simd`]);
+/// integer addition is associative, so every level is bit-identical.
 pub fn gemm_i32(m: usize, k: usize, n: usize, a: &[i32], b: &[i32], out: &mut [i32]) {
-    gemm_int_impl::<i32>(m, k, n, a, b, out);
+    gemm_i32_with(simd::kernels(), m, k, n, a, b, out);
+}
+
+/// [`gemm_i32`] against an explicit kernel table — lets parity tests and
+/// benchmarks pin a specific ISA level instead of the process-wide one.
+pub fn gemm_i32_with(
+    kr: &Kernels,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[i32],
+    b: &[i32],
+    out: &mut [i32],
+) {
+    assert!(a.len() >= m * k, "integer gemm: lhs slice too short");
+    assert!(b.len() >= k * n, "integer gemm: rhs slice too short");
+    assert!(out.len() >= m * n, "integer gemm: out slice too short");
+    for kk in (0..k).step_by(GEMM_KC) {
+        let k_end = (kk + GEMM_KC).min(k);
+        for ii in (0..m).step_by(GEMM_MC) {
+            let i_end = (ii + GEMM_MC).min(m);
+            for i in ii..i_end {
+                let arow = &a[i * k..i * k + k];
+                let orow = &mut out[i * n..i * n + n];
+                for p in kk..k_end {
+                    (kr.axpy_i32)(arow[p], &b[p * n..p * n + n], orow);
+                }
+            }
+        }
+    }
 }
 
 /// Integer GEMM with **i64 accumulation** — the overflow-proof variant used
@@ -128,7 +162,17 @@ where
 /// Integer matrix–vector product with i32 accumulation (int4/int8 operands;
 /// see [`gemm_i32`] for the overflow contract).
 pub fn matvec_i32(m: usize, k: usize, a: &[i32], x: &[i32], out: &mut [i32]) {
-    matvec_int_impl::<i32>(m, k, a, x, out);
+    matvec_i32_with(simd::kernels(), m, k, a, x, out);
+}
+
+/// [`matvec_i32`] against an explicit kernel table.
+pub fn matvec_i32_with(kr: &Kernels, m: usize, k: usize, a: &[i32], x: &[i32], out: &mut [i32]) {
+    assert!(a.len() >= m * k, "integer matvec: matrix slice too short");
+    assert!(x.len() >= k, "integer matvec: vector slice too short");
+    assert!(out.len() >= m, "integer matvec: out slice too short");
+    for (o, arow) in out.iter_mut().zip(a.chunks_exact(k)).take(m) {
+        *o += (kr.dot_i32)(arow, &x[..k]);
+    }
 }
 
 /// Integer matrix–vector product with i64 accumulation (int16 operands).
@@ -136,139 +180,33 @@ pub fn matvec_i64(m: usize, k: usize, a: &[i32], x: &[i32], out: &mut [i64]) {
     matvec_int_impl::<i64>(m, k, a, x, out);
 }
 
-/// Widening i16 dot product with i32 accumulation.
-///
-/// On x86-64 this uses `pmaddwd` (`_mm_madd_epi16`, part of baseline SSE2 —
-/// unconditionally available on the architecture): 8 widening multiplies and
-/// 4 pairwise adds per instruction, roughly twice the multiply–accumulate
-/// throughput of the 4-wide f32 kernels. This is the core of the int4/int8
-/// native-inference speedup. Integer addition is associative, so the
-/// vectorized lane order produces exactly the scalar result.
-///
-/// Overflow contract (inherited by callers): pairwise products must fit i32
-/// after pairing and lane sums must fit i32 — satisfied by int4/int8
-/// operands (`|q| ≤ 128`, pair ≤ 2¹⁵) at any depth `k ≤ 2¹⁷`.
-#[inline]
-fn dot_i16(a: &[i16], b: &[i16]) -> i32 {
-    let n = a.len().min(b.len());
-    #[cfg(target_arch = "x86_64")]
-    {
-        use std::arch::x86_64::*;
-        // SAFETY: SSE2 is part of the x86-64 baseline, and all loads are
-        // unaligned (`loadu`) within the bounds checked by `n`.
-        unsafe {
-            // Two independent accumulators hide the multiply-add latency.
-            let mut acc0 = _mm_setzero_si128();
-            let mut acc1 = _mm_setzero_si128();
-            let pairs = n / 16;
-            for i in 0..pairs {
-                let p = i * 16;
-                let va0 = _mm_loadu_si128(a.as_ptr().add(p) as *const __m128i);
-                let vb0 = _mm_loadu_si128(b.as_ptr().add(p) as *const __m128i);
-                acc0 = _mm_add_epi32(acc0, _mm_madd_epi16(va0, vb0));
-                let va1 = _mm_loadu_si128(a.as_ptr().add(p + 8) as *const __m128i);
-                let vb1 = _mm_loadu_si128(b.as_ptr().add(p + 8) as *const __m128i);
-                acc1 = _mm_add_epi32(acc1, _mm_madd_epi16(va1, vb1));
-            }
-            let mut done = pairs * 16;
-            if done + 8 <= n {
-                let va = _mm_loadu_si128(a.as_ptr().add(done) as *const __m128i);
-                let vb = _mm_loadu_si128(b.as_ptr().add(done) as *const __m128i);
-                acc0 = _mm_add_epi32(acc0, _mm_madd_epi16(va, vb));
-                done += 8;
-            }
-            let acc = _mm_add_epi32(acc0, acc1);
-            let hi = _mm_unpackhi_epi64(acc, acc);
-            let sum2 = _mm_add_epi32(acc, hi);
-            let swapped = _mm_shuffle_epi32(sum2, 0b01);
-            let mut sum = _mm_cvtsi128_si32(_mm_add_epi32(sum2, swapped));
-            for i in done..n {
-                sum += *a.get_unchecked(i) as i32 * *b.get_unchecked(i) as i32;
-            }
-            sum
-        }
-    }
-    #[cfg(not(target_arch = "x86_64"))]
-    {
-        let mut acc = 0i32;
-        for (&x, &y) in a[..n].iter().zip(&b[..n]) {
-            acc += x as i32 * y as i32;
-        }
-        acc
-    }
-}
-
-/// Four simultaneous i16 dot products over a 2×2 operand block
-/// (`a0·b0, a0·b1, a1·b0, a1·b1`): each loaded vector feeds two multiply–
-/// adds, halving the load traffic per MAC compared to four separate
-/// [`dot_i16`] calls. Same exactness and overflow contract.
-#[inline]
-fn dot4_i16(a0: &[i16], a1: &[i16], b0: &[i16], b1: &[i16]) -> (i32, i32, i32, i32) {
-    let n = a0.len().min(a1.len()).min(b0.len()).min(b1.len());
-    #[cfg(target_arch = "x86_64")]
-    {
-        use std::arch::x86_64::*;
-        // SAFETY: SSE2 is part of the x86-64 baseline; all loads are
-        // unaligned and bounded by `n`.
-        unsafe {
-            let mut c00 = _mm_setzero_si128();
-            let mut c01 = _mm_setzero_si128();
-            let mut c10 = _mm_setzero_si128();
-            let mut c11 = _mm_setzero_si128();
-            let chunks = n / 8;
-            for i in 0..chunks {
-                let p = i * 8;
-                let va0 = _mm_loadu_si128(a0.as_ptr().add(p) as *const __m128i);
-                let va1 = _mm_loadu_si128(a1.as_ptr().add(p) as *const __m128i);
-                let vb0 = _mm_loadu_si128(b0.as_ptr().add(p) as *const __m128i);
-                let vb1 = _mm_loadu_si128(b1.as_ptr().add(p) as *const __m128i);
-                c00 = _mm_add_epi32(c00, _mm_madd_epi16(va0, vb0));
-                c01 = _mm_add_epi32(c01, _mm_madd_epi16(va0, vb1));
-                c10 = _mm_add_epi32(c10, _mm_madd_epi16(va1, vb0));
-                c11 = _mm_add_epi32(c11, _mm_madd_epi16(va1, vb1));
-            }
-            #[inline]
-            unsafe fn hsum(v: __m128i) -> i32 {
-                use std::arch::x86_64::*;
-                let hi = _mm_unpackhi_epi64(v, v);
-                let s = _mm_add_epi32(v, hi);
-                let sw = _mm_shuffle_epi32(s, 0b01);
-                _mm_cvtsi128_si32(_mm_add_epi32(s, sw))
-            }
-            let (mut s00, mut s01) = (hsum(c00), hsum(c01));
-            let (mut s10, mut s11) = (hsum(c10), hsum(c11));
-            for i in chunks * 8..n {
-                let (x0, x1) = (*a0.get_unchecked(i) as i32, *a1.get_unchecked(i) as i32);
-                let (y0, y1) = (*b0.get_unchecked(i) as i32, *b1.get_unchecked(i) as i32);
-                s00 += x0 * y0;
-                s01 += x0 * y1;
-                s10 += x1 * y0;
-                s11 += x1 * y1;
-            }
-            (s00, s01, s10, s11)
-        }
-    }
-    #[cfg(not(target_arch = "x86_64"))]
-    {
-        (
-            dot_i16(&a0[..n], &b0[..n]),
-            dot_i16(&a0[..n], &b1[..n]),
-            dot_i16(&a1[..n], &b0[..n]),
-            dot_i16(&a1[..n], &b1[..n]),
-        )
-    }
-}
-
 /// Dot-structured integer GEMM over i16 operands with i32 accumulation:
 /// `out[i·n + j] += Σ_p a[i·k + p] · bt[j·k + p]` — note `bt` is the rhs in
 /// **transposed** (`n×k`, row-major) layout, so every output element is one
-/// contiguous `dot_i16`-style reduction over both operands. The kernel
-/// walks 2×2 output blocks (`dot4_i16`) so every loaded operand vector is
-/// used twice.
+/// contiguous widening-dot reduction over both operands. The kernel walks
+/// 2×2 output blocks ([`crate::simd::Kernels::dot4_i16`]) so every loaded
+/// operand vector is used twice, and dispatches to the widest `pmaddwd`
+/// family the CPU offers (SSE2 `_mm_madd_epi16` → AVX2 `_mm256_madd_epi16`
+/// → AVX-512 `_mm512_madd_epi16`; see [`crate::simd`]). Integer addition is
+/// associative, so every level produces exactly the scalar result.
 ///
 /// Overflow contract as [`gemm_i32`]: safe for int4/int8 operands at any
 /// practical depth; int16 operands must use [`gemm_i64`].
 pub fn gemm_dot_i16(m: usize, k: usize, n: usize, a: &[i16], bt: &[i16], out: &mut [i32]) {
+    gemm_dot_i16_with(simd::kernels(), m, k, n, a, bt, out);
+}
+
+/// [`gemm_dot_i16`] against an explicit kernel table — lets parity tests
+/// and benchmarks pin a specific ISA level instead of the process-wide one.
+pub fn gemm_dot_i16_with(
+    kr: &Kernels,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[i16],
+    bt: &[i16],
+    out: &mut [i32],
+) {
     assert!(a.len() >= m * k, "gemm_dot_i16: lhs slice too short");
     assert!(bt.len() >= n * k, "gemm_dot_i16: rhs slice too short");
     assert!(out.len() >= m * n, "gemm_dot_i16: out slice too short");
@@ -280,7 +218,7 @@ pub fn gemm_dot_i16(m: usize, k: usize, n: usize, a: &[i16], bt: &[i16], out: &m
         while j + 2 <= n {
             let b0 = &bt[j * k..(j + 1) * k];
             let b1 = &bt[(j + 1) * k..(j + 2) * k];
-            let (s00, s01, s10, s11) = dot4_i16(a0, a1, b0, b1);
+            let (s00, s01, s10, s11) = (kr.dot4_i16)(a0, a1, b0, b1);
             out[i * n + j] += s00;
             out[i * n + j + 1] += s01;
             out[(i + 1) * n + j] += s10;
@@ -289,15 +227,15 @@ pub fn gemm_dot_i16(m: usize, k: usize, n: usize, a: &[i16], bt: &[i16], out: &m
         }
         if j < n {
             let b0 = &bt[j * k..(j + 1) * k];
-            out[i * n + j] += dot_i16(a0, b0);
-            out[(i + 1) * n + j] += dot_i16(a1, b0);
+            out[i * n + j] += (kr.dot_i16)(a0, b0);
+            out[(i + 1) * n + j] += (kr.dot_i16)(a1, b0);
         }
         i += 2;
     }
     if i < m {
         let a0 = &a[i * k..(i + 1) * k];
         for (o, brow) in out[i * n..i * n + n].iter_mut().zip(bt.chunks_exact(k)) {
-            *o += dot_i16(a0, brow);
+            *o += (kr.dot_i16)(a0, brow);
         }
     }
 }
@@ -306,11 +244,88 @@ pub fn gemm_dot_i16(m: usize, k: usize, n: usize, a: &[i16], bt: &[i16], out: &m
 /// (`out[i] += Σ_p a[i·k + p] · x[p]`) — the dense-layer variant of
 /// [`gemm_dot_i16`].
 pub fn matvec_i16(m: usize, k: usize, a: &[i16], x: &[i16], out: &mut [i32]) {
+    matvec_i16_with(simd::kernels(), m, k, a, x, out);
+}
+
+/// [`matvec_i16`] against an explicit kernel table.
+pub fn matvec_i16_with(kr: &Kernels, m: usize, k: usize, a: &[i16], x: &[i16], out: &mut [i32]) {
     assert!(a.len() >= m * k, "matvec_i16: matrix slice too short");
     assert!(x.len() >= k, "matvec_i16: vector slice too short");
     assert!(out.len() >= m, "matvec_i16: out slice too short");
     for (o, arow) in out.iter_mut().zip(a.chunks_exact(k)).take(m) {
-        *o += dot_i16(arow, &x[..k]);
+        *o += (kr.dot_i16)(arow, &x[..k]);
+    }
+}
+
+/// Dot-structured integer GEMM over **i8** operands with i32 accumulation —
+/// the int4/int8 production path. Same transposed-rhs layout and 2×2 output
+/// blocking as [`gemm_dot_i16`], but operands stay in one byte per value,
+/// halving memory traffic. The kernels sign-extend on load (`vpmovsxbw`)
+/// and reuse the `pmaddwd` multiply–add, which is exact over the full
+/// corrupted domain `[-128, 127]` — unlike the classic `pmaddubsw`
+/// sign-trick, which wraps at `(-128)·(-128)` (see [`crate::simd`]).
+///
+/// Overflow contract as [`gemm_i32`].
+pub fn gemm_dot_i8(m: usize, k: usize, n: usize, a: &[i8], bt: &[i8], out: &mut [i32]) {
+    gemm_dot_i8_with(simd::kernels(), m, k, n, a, bt, out);
+}
+
+/// [`gemm_dot_i8`] against an explicit kernel table.
+pub fn gemm_dot_i8_with(
+    kr: &Kernels,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[i8],
+    bt: &[i8],
+    out: &mut [i32],
+) {
+    assert!(a.len() >= m * k, "gemm_dot_i8: lhs slice too short");
+    assert!(bt.len() >= n * k, "gemm_dot_i8: rhs slice too short");
+    assert!(out.len() >= m * n, "gemm_dot_i8: out slice too short");
+    let mut i = 0;
+    while i + 2 <= m {
+        let a0 = &a[i * k..(i + 1) * k];
+        let a1 = &a[(i + 1) * k..(i + 2) * k];
+        let mut j = 0;
+        while j + 2 <= n {
+            let b0 = &bt[j * k..(j + 1) * k];
+            let b1 = &bt[(j + 1) * k..(j + 2) * k];
+            let (s00, s01, s10, s11) = (kr.dot4_i8)(a0, a1, b0, b1);
+            out[i * n + j] += s00;
+            out[i * n + j + 1] += s01;
+            out[(i + 1) * n + j] += s10;
+            out[(i + 1) * n + j + 1] += s11;
+            j += 2;
+        }
+        if j < n {
+            let b0 = &bt[j * k..(j + 1) * k];
+            out[i * n + j] += (kr.dot_i8)(a0, b0);
+            out[(i + 1) * n + j] += (kr.dot_i8)(a1, b0);
+        }
+        i += 2;
+    }
+    if i < m {
+        let a0 = &a[i * k..(i + 1) * k];
+        for (o, brow) in out[i * n..i * n + n].iter_mut().zip(bt.chunks_exact(k)) {
+            *o += (kr.dot_i8)(a0, brow);
+        }
+    }
+}
+
+/// Integer matrix–vector product over i8 operands with i32 accumulation —
+/// the dense-layer variant of [`gemm_dot_i8`].
+pub fn matvec_i8(m: usize, k: usize, a: &[i8], x: &[i8], out: &mut [i32]) {
+    matvec_i8_with(simd::kernels(), m, k, a, x, out);
+}
+
+/// [`matvec_i8`] against an explicit kernel table.
+pub fn matvec_i8_with(kr: &Kernels, m: usize, k: usize, a: &[i8], x: &[i8], out: &mut [i32]) {
+    assert!(a.len() >= m * k, "matvec_i8: matrix slice too short");
+    assert!(x.len() >= k, "matvec_i8: vector slice too short");
+    assert!(out.len() >= m, "matvec_i8: out slice too short");
+    for (o, arow) in out.iter_mut().zip(a.chunks_exact(k)).take(m) {
+        *o += (kr.dot_i8)(arow, &x[..k]);
     }
 }
 
@@ -468,7 +483,7 @@ pub fn im2col_i16_t(
     p: Conv2dParams,
     cols: &mut Vec<i16>,
 ) {
-    im2col_i16_t_with(|i| input[i], input.len(), in_c, h, w, p, cols);
+    im2col_t_with(|i| input[i], input.len(), in_c, h, w, p, cols);
 }
 
 /// [`im2col_i16_t`] reading directly from the raw stored words of a
@@ -484,7 +499,7 @@ pub fn im2col_i16_t_stored(
     p: Conv2dParams,
     cols: &mut Vec<i16>,
 ) {
-    im2col_i16_t_with(
+    im2col_t_with(
         |i| crate::bits::sign_extend(stored[i], bits) as i16,
         stored.len(),
         in_c,
@@ -495,22 +510,60 @@ pub fn im2col_i16_t_stored(
     );
 }
 
+/// i8 variant of [`im2col_i16_t`] — the patch matrix in the one-byte operand
+/// form [`gemm_dot_i8`] wants. Only valid for values that fit i8 (int4/int8
+/// precisions).
+pub fn im2col_i8_t(
+    input: &[i8],
+    in_c: usize,
+    h: usize,
+    w: usize,
+    p: Conv2dParams,
+    cols: &mut Vec<i8>,
+) {
+    im2col_t_with(|i| input[i], input.len(), in_c, h, w, p, cols);
+}
+
+/// [`im2col_i8_t`] reading directly from the raw stored words of a quantized
+/// tensor, sign-extending on the fly (cf. [`im2col_i16_t_stored`]). `bits`
+/// must be ≤ 8 so every sign-extended value fits i8.
+pub fn im2col_i8_t_stored(
+    stored: &[u32],
+    bits: u32,
+    in_c: usize,
+    h: usize,
+    w: usize,
+    p: Conv2dParams,
+    cols: &mut Vec<i8>,
+) {
+    assert!(bits <= 8, "im2col_i8_t_stored: {bits}-bit values exceed i8");
+    im2col_t_with(
+        |i| crate::bits::sign_extend(stored[i], bits) as i8,
+        stored.len(),
+        in_c,
+        h,
+        w,
+        p,
+        cols,
+    );
+}
+
 #[allow(clippy::too_many_arguments)]
-fn im2col_i16_t_with(
-    read: impl Fn(usize) -> i16,
+fn im2col_t_with<T: Copy + Default>(
+    read: impl Fn(usize) -> T,
     len: usize,
     in_c: usize,
     h: usize,
     w: usize,
     p: Conv2dParams,
-    cols: &mut Vec<i16>,
+    cols: &mut Vec<T>,
 ) {
-    assert!(len >= in_c * h * w, "im2col_i16_t: input too short");
+    assert!(len >= in_c * h * w, "im2col transposed: input too short");
     let (oh, ow) = (p.out_size(h), p.out_size(w));
     let k = p.kernel;
     let ck = in_c * k * k;
     cols.clear();
-    cols.resize(oh * ow * ck, 0);
+    cols.resize(oh * ow * ck, T::default());
     for oy in 0..oh {
         for ox in 0..ow {
             let dst = &mut cols[(oy * ow + ox) * ck..(oy * ow + ox + 1) * ck];
@@ -966,6 +1019,65 @@ mod tests {
             let mut dot = vec![0i32; m * n];
             gemm_dot_i16(m, k, n, &a16, &bt, &mut dot);
             assert_eq!(dot, reference, "gemm_dot_i16 mismatch at ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn dot_structured_i8_gemm_matches_i32_gemm() {
+        for (m, k, n) in [(1, 1, 1), (3, 5, 4), (6, 75, 64), (16, 54, 16), (7, 129, 3)] {
+            let a: Vec<i32> = (0..m * k)
+                .map(|i| ((i * 37 + 11) % 256) as i32 - 128)
+                .collect();
+            let b: Vec<i32> = (0..k * n)
+                .map(|i| ((i * 53 + 7) % 256) as i32 - 128)
+                .collect();
+            let a8: Vec<i8> = a.iter().map(|&v| v as i8).collect();
+            // Transpose b (k×n) into bt (n×k).
+            let mut bt = vec![0i8; n * k];
+            for p in 0..k {
+                for j in 0..n {
+                    bt[j * k + p] = b[p * n + j] as i8;
+                }
+            }
+            let mut reference = vec![0i32; m * n];
+            gemm_i32(m, k, n, &a, &b, &mut reference);
+            let mut dot = vec![0i32; m * n];
+            gemm_dot_i8(m, k, n, &a8, &bt, &mut dot);
+            assert_eq!(dot, reference, "gemm_dot_i8 mismatch at ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn i8_matvec_matches_i32_matvec() {
+        let (m, k) = (33, 129);
+        // Full corrupted int8 domain including -128.
+        let a: Vec<i32> = (0..m * k).map(|i| ((i * 29) % 256) as i32 - 128).collect();
+        let x: Vec<i32> = (0..k).map(|i| ((i * 41) % 256) as i32 - 128).collect();
+        let a8: Vec<i8> = a.iter().map(|&v| v as i8).collect();
+        let x8: Vec<i8> = x.iter().map(|&v| v as i8).collect();
+        let mut reference = vec![0i32; m];
+        matvec_i32(m, k, &a, &x, &mut reference);
+        let mut dot = vec![0i32; m];
+        matvec_i8(m, k, &a8, &x8, &mut dot);
+        assert_eq!(dot, reference);
+    }
+
+    #[test]
+    fn transposed_i8_im2col_matches_the_i16_form() {
+        for (in_c, h, w, k, stride, padding) in [(3, 9, 9, 3, 1, 1), (2, 8, 7, 3, 2, 1)] {
+            let p = Conv2dParams::new(k, stride, padding);
+            let ints: Vec<i32> = (0..in_c * h * w).map(|i| (i % 256) as i32 - 128).collect();
+            let i16s: Vec<i16> = ints.iter().map(|&v| v as i16).collect();
+            let i8s: Vec<i8> = ints.iter().map(|&v| v as i8).collect();
+            let mut wide = Vec::new();
+            im2col_i16_t(&i16s, in_c, h, w, p, &mut wide);
+            let mut narrow = vec![7i8; 2]; // junk: must be cleared
+            im2col_i8_t(&i8s, in_c, h, w, p, &mut narrow);
+            assert_eq!(narrow.len(), wide.len());
+            assert!(
+                narrow.iter().zip(&wide).all(|(&a, &b)| a as i16 == b),
+                "i8/i16 transposed im2col mismatch at k={k} s={stride} p={padding}"
+            );
         }
     }
 

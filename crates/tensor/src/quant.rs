@@ -331,6 +331,28 @@ impl QuantTensor {
         );
     }
 
+    /// Sign-extends every stored value into an i8 buffer (cleared and
+    /// refilled) — the one-byte operand form of the int4/int8 kernels
+    /// ([`crate::ops::gemm_dot_i8`]). Every 4- or 8-bit pattern, including
+    /// corrupted ones, sign-extends into `[-128, 127]` exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics for FP32 and int16 tensors, whose values do not fit i8.
+    pub fn q_values_i8_into(&self, out: &mut Vec<i8>) {
+        assert!(
+            self.precision.is_integer() && self.precision.bits() <= 8,
+            "q_values_i8_into is only defined for integer precisions up to 8 bits"
+        );
+        let bits = self.precision.bits();
+        out.clear();
+        out.extend(
+            self.stored
+                .iter()
+                .map(|&s| bits::sign_extend(s, bits) as i8),
+        );
+    }
+
     /// Number of elements.
     pub fn len(&self) -> usize {
         self.stored.len()

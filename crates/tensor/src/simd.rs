@@ -1,0 +1,1045 @@
+//! Runtime-dispatched SIMD kernels for the integer and f32 inner loops.
+//!
+//! The hot reductions in [`crate::ops`] (widening integer dot products, the
+//! i32 GEMM update, the f32 GEMM row update) are resolved **once** at first
+//! use into a table of function pointers ([`Kernels`]) chosen by runtime CPU
+//! feature detection (`std::arch::is_x86_feature_detected!`), walking down
+//! [`Isa::Avx512`] → [`Isa::Avx2`] → [`Isa::Sse2`] → [`Isa::Scalar`].
+//!
+//! # Parity guarantee
+//!
+//! The scalar kernels are the source of truth; every wider path is required
+//! to be **bit-for-bit identical** to them:
+//!
+//! * Integer kernels: integer addition is associative, so any lane order
+//!   reproduces the scalar sum exactly (given the callers' no-overflow
+//!   contract, see [`crate::ops::gemm_i32`]).
+//! * f32 kernels: only *element-wise independent* operations are vectorized
+//!   (`out[j] += a * b[j]`, separate multiply and add, **never** FMA), so
+//!   each output element's accumulation chain is untouched — reductions over
+//!   f32 stay scalar.
+//!
+//! The int8 dot products deliberately avoid the classic `pmaddubsw`
+//! sign-trick (`maddubs(|a|, sign(b, a))`): corrupted int8 storage spans the
+//! full `[-128, 127]` domain and `psignb` wraps `-(-128)` back to `-128`,
+//! which would mis-compute `(-128)·(-128)`. Instead the i8 paths use
+//! sign-extending widening loads (`vpmovsxbw`) followed by the same
+//! `pmaddwd` multiply–add as the i16 paths — exact over the full domain
+//! while still halving operand memory traffic versus i16 storage.
+//!
+//! # Override
+//!
+//! Set `EDEN_ISA=scalar|sse2|avx2|avx512` to force a level, primarily for
+//! the CI parity matrix. Requesting a level the CPU does not support (or a
+//! typo) **panics** — a silent fallback would let CI believe it tested a
+//! path it never ran.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::OnceLock;
+
+/// Instruction-set level of a kernel table, ordered from narrowest to
+/// widest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Isa {
+    /// Plain Rust loops — the bit-for-bit reference implementation.
+    Scalar,
+    /// 128-bit `pmaddwd` kernels (x86-64 baseline).
+    Sse2,
+    /// 256-bit AVX2 kernels.
+    Avx2,
+    /// 512-bit kernels; requires both `avx512f` and `avx512bw` (the latter
+    /// for the 512-bit `vpmaddwd`/`vpmovsxbw` forms).
+    Avx512,
+}
+
+impl Isa {
+    /// Every level, narrowest first.
+    pub fn all() -> [Isa; 4] {
+        [Isa::Scalar, Isa::Sse2, Isa::Avx2, Isa::Avx512]
+    }
+
+    /// The widest level this CPU supports, by runtime feature detection.
+    pub fn detect() -> Isa {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512bw")
+            {
+                Isa::Avx512
+            } else if std::arch::is_x86_feature_detected!("avx2") {
+                Isa::Avx2
+            } else {
+                // SSE2 is part of the x86-64 baseline.
+                Isa::Sse2
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Isa::Scalar
+        }
+    }
+
+    /// Whether this CPU can run kernels of this level.
+    pub fn is_supported(self) -> bool {
+        self <= Isa::detect()
+    }
+}
+
+impl fmt::Display for Isa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Isa::Scalar => "scalar",
+            Isa::Sse2 => "sse2",
+            Isa::Avx2 => "avx2",
+            Isa::Avx512 => "avx512",
+        })
+    }
+}
+
+impl FromStr for Isa {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "scalar" => Ok(Isa::Scalar),
+            "sse2" => Ok(Isa::Sse2),
+            "avx2" => Ok(Isa::Avx2),
+            "avx512" => Ok(Isa::Avx512),
+            other => Err(format!(
+                "unknown ISA {other:?} (expected scalar, sse2, avx2 or avx512)"
+            )),
+        }
+    }
+}
+
+/// A 2×2-blocked dot kernel: four simultaneous dot products over two rows
+/// and two columns (`a0·b0, a0·b1, a1·b0, a1·b1`).
+pub type Dot4Fn<T> = fn(&[T], &[T], &[T], &[T]) -> (i32, i32, i32, i32);
+
+/// The dispatch table: one function pointer per hot inner loop. All entries
+/// of one table come from the same ISA level and are bit-for-bit equal to
+/// the [`Isa::Scalar`] table (see the module docs for why that holds).
+#[derive(Clone, Copy)]
+pub struct Kernels {
+    /// The level every entry was resolved at.
+    pub isa: Isa,
+    /// Widening i16×i16 dot product with i32 accumulation.
+    pub dot_i16: fn(&[i16], &[i16]) -> i32,
+    /// Four simultaneous i16 dot products over a 2×2 operand block
+    /// (`a0·b0, a0·b1, a1·b0, a1·b1`) — each loaded vector feeds two
+    /// multiply–adds.
+    pub dot4_i16: Dot4Fn<i16>,
+    /// Widening i8×i8 dot product with i32 accumulation (sign-extend +
+    /// `pmaddwd`; exact for the full `[-128, 127]` corrupted domain).
+    pub dot_i8: fn(&[i8], &[i8]) -> i32,
+    /// 2×2-blocked variant of [`Kernels::dot_i8`].
+    pub dot4_i8: Dot4Fn<i8>,
+    /// i32×i32 dot product with i32 accumulation.
+    pub dot_i32: fn(&[i32], &[i32]) -> i32,
+    /// `out[j] += a · b[j]` over i32 — the i32 GEMM row update.
+    pub axpy_i32: fn(i32, &[i32], &mut [i32]),
+    /// `out[j] += a · b[j]` over f32 (separate multiply and add, never FMA —
+    /// lane-exact versus the scalar loop).
+    pub axpy_f32: fn(f32, &[f32], &mut [f32]),
+}
+
+impl fmt::Debug for Kernels {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Kernels").field("isa", &self.isa).finish()
+    }
+}
+
+/// The kernel table for a specific ISA level, for parity tests and
+/// benchmarks that want to exercise a level other than the active one.
+///
+/// # Panics
+///
+/// Panics if this CPU does not support `isa`.
+pub fn kernels_for(isa: Isa) -> Kernels {
+    assert!(
+        isa.is_supported(),
+        "ISA {isa} is not supported by this CPU (detected {})",
+        Isa::detect()
+    );
+    match isa {
+        Isa::Scalar => Kernels {
+            isa,
+            dot_i16: scalar::dot_i16,
+            dot4_i16: scalar::dot4_i16,
+            dot_i8: scalar::dot_i8,
+            dot4_i8: scalar::dot4_i8,
+            dot_i32: scalar::dot_i32,
+            axpy_i32: scalar::axpy_i32,
+            axpy_f32: scalar::axpy_f32,
+        },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Sse2 => Kernels {
+            isa,
+            dot_i16: sse2::dot_i16,
+            dot4_i16: sse2::dot4_i16,
+            dot_i8: sse2::dot_i8,
+            dot4_i8: sse2::dot4_i8,
+            // SSE2 has no 4-wide i32 multiply (`pmulld` is SSE4.1); the
+            // scalar loops are the honest SSE2-era implementation.
+            dot_i32: scalar::dot_i32,
+            axpy_i32: scalar::axpy_i32,
+            axpy_f32: sse2::axpy_f32,
+        },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => Kernels {
+            isa,
+            dot_i16: avx2::dot_i16,
+            dot4_i16: avx2::dot4_i16,
+            dot_i8: avx2::dot_i8,
+            dot4_i8: avx2::dot4_i8,
+            dot_i32: avx2::dot_i32,
+            axpy_i32: avx2::axpy_i32,
+            axpy_f32: avx2::axpy_f32,
+        },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => Kernels {
+            isa,
+            dot_i16: avx512::dot_i16,
+            dot4_i16: avx512::dot4_i16,
+            dot_i8: avx512::dot_i8,
+            dot4_i8: avx512::dot4_i8,
+            dot_i32: avx512::dot_i32,
+            axpy_i32: avx512::axpy_i32,
+            axpy_f32: avx512::axpy_f32,
+        },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => unreachable!("non-scalar ISA levels never pass is_supported off x86-64"),
+    }
+}
+
+/// The active kernel table, resolved once at first use: the `EDEN_ISA`
+/// override if set, otherwise [`Isa::detect`].
+///
+/// # Panics
+///
+/// Panics (at first use) if `EDEN_ISA` names an unknown or unsupported
+/// level — overrides must never silently fall back.
+pub fn kernels() -> &'static Kernels {
+    static ACTIVE: OnceLock<Kernels> = OnceLock::new();
+    ACTIVE.get_or_init(|| match std::env::var("EDEN_ISA") {
+        Ok(value) => {
+            let isa: Isa = value
+                .parse()
+                .unwrap_or_else(|e| panic!("invalid EDEN_ISA: {e}"));
+            assert!(
+                isa.is_supported(),
+                "EDEN_ISA={isa} requested but this CPU supports at most {}",
+                Isa::detect()
+            );
+            kernels_for(isa)
+        }
+        Err(_) => kernels_for(Isa::detect()),
+    })
+}
+
+/// The ISA level of the active kernel table (honoring `EDEN_ISA`).
+pub fn active_isa() -> Isa {
+    kernels().isa
+}
+
+/// Bit-for-bit reference implementations. Plain loops; the compiler may
+/// auto-vectorize the integer reductions (associative, so still exact) but
+/// never the f32 ones.
+mod scalar {
+    pub fn dot_i16(a: &[i16], b: &[i16]) -> i32 {
+        let n = a.len().min(b.len());
+        let mut acc = 0i32;
+        for i in 0..n {
+            acc += a[i] as i32 * b[i] as i32;
+        }
+        acc
+    }
+
+    pub fn dot4_i16(a0: &[i16], a1: &[i16], b0: &[i16], b1: &[i16]) -> (i32, i32, i32, i32) {
+        let n = a0.len().min(a1.len()).min(b0.len()).min(b1.len());
+        let (mut s00, mut s01, mut s10, mut s11) = (0i32, 0i32, 0i32, 0i32);
+        for i in 0..n {
+            let (x0, x1) = (a0[i] as i32, a1[i] as i32);
+            let (y0, y1) = (b0[i] as i32, b1[i] as i32);
+            s00 += x0 * y0;
+            s01 += x0 * y1;
+            s10 += x1 * y0;
+            s11 += x1 * y1;
+        }
+        (s00, s01, s10, s11)
+    }
+
+    pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+        let n = a.len().min(b.len());
+        let mut acc = 0i32;
+        for i in 0..n {
+            acc += a[i] as i32 * b[i] as i32;
+        }
+        acc
+    }
+
+    pub fn dot4_i8(a0: &[i8], a1: &[i8], b0: &[i8], b1: &[i8]) -> (i32, i32, i32, i32) {
+        let n = a0.len().min(a1.len()).min(b0.len()).min(b1.len());
+        let (mut s00, mut s01, mut s10, mut s11) = (0i32, 0i32, 0i32, 0i32);
+        for i in 0..n {
+            let (x0, x1) = (a0[i] as i32, a1[i] as i32);
+            let (y0, y1) = (b0[i] as i32, b1[i] as i32);
+            s00 += x0 * y0;
+            s01 += x0 * y1;
+            s10 += x1 * y0;
+            s11 += x1 * y1;
+        }
+        (s00, s01, s10, s11)
+    }
+
+    pub fn dot_i32(a: &[i32], b: &[i32]) -> i32 {
+        let n = a.len().min(b.len());
+        let mut acc = 0i32;
+        for i in 0..n {
+            acc += a[i] * b[i];
+        }
+        acc
+    }
+
+    pub fn axpy_i32(a: i32, b: &[i32], out: &mut [i32]) {
+        for (o, &bv) in out.iter_mut().zip(b) {
+            *o += a * bv;
+        }
+    }
+
+    pub fn axpy_f32(a: f32, b: &[f32], out: &mut [f32]) {
+        for (o, &bv) in out.iter_mut().zip(b) {
+            *o += a * bv;
+        }
+    }
+}
+
+/// 128-bit kernels. SSE2 is part of the x86-64 baseline, so these need no
+/// runtime check; they are still routed through the table so `EDEN_ISA`
+/// can select them explicitly.
+#[cfg(target_arch = "x86_64")]
+mod sse2 {
+    use std::arch::x86_64::*;
+
+    /// Exact horizontal sum of the four i32 lanes.
+    #[inline]
+    unsafe fn hsum_epi32(v: __m128i) -> i32 {
+        let hi = _mm_unpackhi_epi64(v, v);
+        let s = _mm_add_epi32(v, hi);
+        let sw = _mm_shuffle_epi32(s, 0b01);
+        _mm_cvtsi128_si32(_mm_add_epi32(s, sw))
+    }
+
+    /// Sign-extends the low 8 i8 lanes of `v` to i16 (the SSE2 spelling of
+    /// `pmovsxbw`: duplicate-unpack then arithmetic shift).
+    #[inline]
+    unsafe fn sx_lo_epi8(v: __m128i) -> __m128i {
+        _mm_srai_epi16(_mm_unpacklo_epi8(v, v), 8)
+    }
+
+    /// Sign-extends the high 8 i8 lanes of `v` to i16.
+    #[inline]
+    unsafe fn sx_hi_epi8(v: __m128i) -> __m128i {
+        _mm_srai_epi16(_mm_unpackhi_epi8(v, v), 8)
+    }
+
+    pub fn dot_i16(a: &[i16], b: &[i16]) -> i32 {
+        let n = a.len().min(b.len());
+        // SAFETY: SSE2 is unconditionally available on x86-64, and all
+        // unaligned loads stay within the bounds checked by `n`.
+        unsafe {
+            // Two independent accumulators hide the multiply-add latency.
+            let mut acc0 = _mm_setzero_si128();
+            let mut acc1 = _mm_setzero_si128();
+            let pairs = n / 16;
+            for i in 0..pairs {
+                let p = i * 16;
+                let va0 = _mm_loadu_si128(a.as_ptr().add(p) as *const __m128i);
+                let vb0 = _mm_loadu_si128(b.as_ptr().add(p) as *const __m128i);
+                acc0 = _mm_add_epi32(acc0, _mm_madd_epi16(va0, vb0));
+                let va1 = _mm_loadu_si128(a.as_ptr().add(p + 8) as *const __m128i);
+                let vb1 = _mm_loadu_si128(b.as_ptr().add(p + 8) as *const __m128i);
+                acc1 = _mm_add_epi32(acc1, _mm_madd_epi16(va1, vb1));
+            }
+            let mut done = pairs * 16;
+            if done + 8 <= n {
+                let va = _mm_loadu_si128(a.as_ptr().add(done) as *const __m128i);
+                let vb = _mm_loadu_si128(b.as_ptr().add(done) as *const __m128i);
+                acc0 = _mm_add_epi32(acc0, _mm_madd_epi16(va, vb));
+                done += 8;
+            }
+            let mut sum = hsum_epi32(_mm_add_epi32(acc0, acc1));
+            for i in done..n {
+                sum += *a.get_unchecked(i) as i32 * *b.get_unchecked(i) as i32;
+            }
+            sum
+        }
+    }
+
+    pub fn dot4_i16(a0: &[i16], a1: &[i16], b0: &[i16], b1: &[i16]) -> (i32, i32, i32, i32) {
+        let n = a0.len().min(a1.len()).min(b0.len()).min(b1.len());
+        // SAFETY: as `dot_i16`.
+        unsafe {
+            let mut c00 = _mm_setzero_si128();
+            let mut c01 = _mm_setzero_si128();
+            let mut c10 = _mm_setzero_si128();
+            let mut c11 = _mm_setzero_si128();
+            let chunks = n / 8;
+            for i in 0..chunks {
+                let p = i * 8;
+                let va0 = _mm_loadu_si128(a0.as_ptr().add(p) as *const __m128i);
+                let va1 = _mm_loadu_si128(a1.as_ptr().add(p) as *const __m128i);
+                let vb0 = _mm_loadu_si128(b0.as_ptr().add(p) as *const __m128i);
+                let vb1 = _mm_loadu_si128(b1.as_ptr().add(p) as *const __m128i);
+                c00 = _mm_add_epi32(c00, _mm_madd_epi16(va0, vb0));
+                c01 = _mm_add_epi32(c01, _mm_madd_epi16(va0, vb1));
+                c10 = _mm_add_epi32(c10, _mm_madd_epi16(va1, vb0));
+                c11 = _mm_add_epi32(c11, _mm_madd_epi16(va1, vb1));
+            }
+            let (mut s00, mut s01) = (hsum_epi32(c00), hsum_epi32(c01));
+            let (mut s10, mut s11) = (hsum_epi32(c10), hsum_epi32(c11));
+            for i in chunks * 8..n {
+                let (x0, x1) = (*a0.get_unchecked(i) as i32, *a1.get_unchecked(i) as i32);
+                let (y0, y1) = (*b0.get_unchecked(i) as i32, *b1.get_unchecked(i) as i32);
+                s00 += x0 * y0;
+                s01 += x0 * y1;
+                s10 += x1 * y0;
+                s11 += x1 * y1;
+            }
+            (s00, s01, s10, s11)
+        }
+    }
+
+    pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+        let n = a.len().min(b.len());
+        // SAFETY: as `dot_i16`.
+        unsafe {
+            let mut acc0 = _mm_setzero_si128();
+            let mut acc1 = _mm_setzero_si128();
+            let chunks = n / 16;
+            for i in 0..chunks {
+                let p = i * 16;
+                let va = _mm_loadu_si128(a.as_ptr().add(p) as *const __m128i);
+                let vb = _mm_loadu_si128(b.as_ptr().add(p) as *const __m128i);
+                acc0 = _mm_add_epi32(acc0, _mm_madd_epi16(sx_lo_epi8(va), sx_lo_epi8(vb)));
+                acc1 = _mm_add_epi32(acc1, _mm_madd_epi16(sx_hi_epi8(va), sx_hi_epi8(vb)));
+            }
+            let mut sum = hsum_epi32(_mm_add_epi32(acc0, acc1));
+            for i in chunks * 16..n {
+                sum += *a.get_unchecked(i) as i32 * *b.get_unchecked(i) as i32;
+            }
+            sum
+        }
+    }
+
+    pub fn dot4_i8(a0: &[i8], a1: &[i8], b0: &[i8], b1: &[i8]) -> (i32, i32, i32, i32) {
+        let n = a0.len().min(a1.len()).min(b0.len()).min(b1.len());
+        // SAFETY: as `dot_i16`.
+        unsafe {
+            let mut c00 = _mm_setzero_si128();
+            let mut c01 = _mm_setzero_si128();
+            let mut c10 = _mm_setzero_si128();
+            let mut c11 = _mm_setzero_si128();
+            let chunks = n / 16;
+            for i in 0..chunks {
+                let p = i * 16;
+                let va0 = _mm_loadu_si128(a0.as_ptr().add(p) as *const __m128i);
+                let va1 = _mm_loadu_si128(a1.as_ptr().add(p) as *const __m128i);
+                let vb0 = _mm_loadu_si128(b0.as_ptr().add(p) as *const __m128i);
+                let vb1 = _mm_loadu_si128(b1.as_ptr().add(p) as *const __m128i);
+                let (a0l, a0h) = (sx_lo_epi8(va0), sx_hi_epi8(va0));
+                let (a1l, a1h) = (sx_lo_epi8(va1), sx_hi_epi8(va1));
+                let (b0l, b0h) = (sx_lo_epi8(vb0), sx_hi_epi8(vb0));
+                let (b1l, b1h) = (sx_lo_epi8(vb1), sx_hi_epi8(vb1));
+                c00 = _mm_add_epi32(c00, _mm_madd_epi16(a0l, b0l));
+                c00 = _mm_add_epi32(c00, _mm_madd_epi16(a0h, b0h));
+                c01 = _mm_add_epi32(c01, _mm_madd_epi16(a0l, b1l));
+                c01 = _mm_add_epi32(c01, _mm_madd_epi16(a0h, b1h));
+                c10 = _mm_add_epi32(c10, _mm_madd_epi16(a1l, b0l));
+                c10 = _mm_add_epi32(c10, _mm_madd_epi16(a1h, b0h));
+                c11 = _mm_add_epi32(c11, _mm_madd_epi16(a1l, b1l));
+                c11 = _mm_add_epi32(c11, _mm_madd_epi16(a1h, b1h));
+            }
+            let (mut s00, mut s01) = (hsum_epi32(c00), hsum_epi32(c01));
+            let (mut s10, mut s11) = (hsum_epi32(c10), hsum_epi32(c11));
+            for i in chunks * 16..n {
+                let (x0, x1) = (*a0.get_unchecked(i) as i32, *a1.get_unchecked(i) as i32);
+                let (y0, y1) = (*b0.get_unchecked(i) as i32, *b1.get_unchecked(i) as i32);
+                s00 += x0 * y0;
+                s01 += x0 * y1;
+                s10 += x1 * y0;
+                s11 += x1 * y1;
+            }
+            (s00, s01, s10, s11)
+        }
+    }
+
+    pub fn axpy_f32(a: f32, b: &[f32], out: &mut [f32]) {
+        let n = b.len().min(out.len());
+        // SAFETY: as `dot_i16`. Separate multiply and add (no FMA), so each
+        // lane computes exactly the scalar `out[j] += a * b[j]`.
+        unsafe {
+            let va = _mm_set1_ps(a);
+            let chunks = n / 4;
+            for i in 0..chunks {
+                let p = i * 4;
+                let vb = _mm_loadu_ps(b.as_ptr().add(p));
+                let vo = _mm_loadu_ps(out.as_ptr().add(p));
+                _mm_storeu_ps(out.as_mut_ptr().add(p), _mm_add_ps(vo, _mm_mul_ps(va, vb)));
+            }
+            for i in chunks * 4..n {
+                *out.get_unchecked_mut(i) += a * *b.get_unchecked(i);
+            }
+        }
+    }
+}
+
+/// 256-bit AVX2 kernels. Only reachable through [`kernels_for`], which
+/// verifies `avx2` support first.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use std::arch::x86_64::*;
+
+    /// Exact horizontal sum of the eight i32 lanes.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum_epi32(v: __m256i) -> i32 {
+        let lo = _mm256_castsi256_si128(v);
+        let hi = _mm256_extracti128_si256(v, 1);
+        let s = _mm_add_epi32(lo, hi);
+        let s2 = _mm_add_epi32(s, _mm_unpackhi_epi64(s, s));
+        _mm_cvtsi128_si32(_mm_add_epi32(s2, _mm_shuffle_epi32(s2, 0b01)))
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn dot_i16_impl(a: &[i16], b: &[i16]) -> i32 {
+        let n = a.len().min(b.len());
+        let mut acc0 = _mm256_setzero_si256();
+        let mut acc1 = _mm256_setzero_si256();
+        let pairs = n / 32;
+        for i in 0..pairs {
+            let p = i * 32;
+            let va0 = _mm256_loadu_si256(a.as_ptr().add(p) as *const __m256i);
+            let vb0 = _mm256_loadu_si256(b.as_ptr().add(p) as *const __m256i);
+            acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(va0, vb0));
+            let va1 = _mm256_loadu_si256(a.as_ptr().add(p + 16) as *const __m256i);
+            let vb1 = _mm256_loadu_si256(b.as_ptr().add(p + 16) as *const __m256i);
+            acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(va1, vb1));
+        }
+        let mut done = pairs * 32;
+        if done + 16 <= n {
+            let va = _mm256_loadu_si256(a.as_ptr().add(done) as *const __m256i);
+            let vb = _mm256_loadu_si256(b.as_ptr().add(done) as *const __m256i);
+            acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(va, vb));
+            done += 16;
+        }
+        let mut sum = hsum_epi32(_mm256_add_epi32(acc0, acc1));
+        for i in done..n {
+            sum += *a.get_unchecked(i) as i32 * *b.get_unchecked(i) as i32;
+        }
+        sum
+    }
+
+    pub fn dot_i16(a: &[i16], b: &[i16]) -> i32 {
+        // SAFETY: this table entry is only constructed after `avx2` was
+        // runtime-detected; loads are unaligned and bounds-checked inside.
+        unsafe { dot_i16_impl(a, b) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn dot4_i16_impl(
+        a0: &[i16],
+        a1: &[i16],
+        b0: &[i16],
+        b1: &[i16],
+    ) -> (i32, i32, i32, i32) {
+        let n = a0.len().min(a1.len()).min(b0.len()).min(b1.len());
+        let mut c00 = _mm256_setzero_si256();
+        let mut c01 = _mm256_setzero_si256();
+        let mut c10 = _mm256_setzero_si256();
+        let mut c11 = _mm256_setzero_si256();
+        let chunks = n / 16;
+        for i in 0..chunks {
+            let p = i * 16;
+            let va0 = _mm256_loadu_si256(a0.as_ptr().add(p) as *const __m256i);
+            let va1 = _mm256_loadu_si256(a1.as_ptr().add(p) as *const __m256i);
+            let vb0 = _mm256_loadu_si256(b0.as_ptr().add(p) as *const __m256i);
+            let vb1 = _mm256_loadu_si256(b1.as_ptr().add(p) as *const __m256i);
+            c00 = _mm256_add_epi32(c00, _mm256_madd_epi16(va0, vb0));
+            c01 = _mm256_add_epi32(c01, _mm256_madd_epi16(va0, vb1));
+            c10 = _mm256_add_epi32(c10, _mm256_madd_epi16(va1, vb0));
+            c11 = _mm256_add_epi32(c11, _mm256_madd_epi16(va1, vb1));
+        }
+        let (mut s00, mut s01) = (hsum_epi32(c00), hsum_epi32(c01));
+        let (mut s10, mut s11) = (hsum_epi32(c10), hsum_epi32(c11));
+        for i in chunks * 16..n {
+            let (x0, x1) = (*a0.get_unchecked(i) as i32, *a1.get_unchecked(i) as i32);
+            let (y0, y1) = (*b0.get_unchecked(i) as i32, *b1.get_unchecked(i) as i32);
+            s00 += x0 * y0;
+            s01 += x0 * y1;
+            s10 += x1 * y0;
+            s11 += x1 * y1;
+        }
+        (s00, s01, s10, s11)
+    }
+
+    pub fn dot4_i16(a0: &[i16], a1: &[i16], b0: &[i16], b1: &[i16]) -> (i32, i32, i32, i32) {
+        // SAFETY: as `dot_i16`.
+        unsafe { dot4_i16_impl(a0, a1, b0, b1) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn dot_i8_impl(a: &[i8], b: &[i8]) -> i32 {
+        let n = a.len().min(b.len());
+        let mut acc0 = _mm256_setzero_si256();
+        let mut acc1 = _mm256_setzero_si256();
+        let pairs = n / 32;
+        for i in 0..pairs {
+            let p = i * 32;
+            // `vpmovsxbw`: 16 sign-extended i8→i16 lanes per load.
+            let va0 = _mm256_cvtepi8_epi16(_mm_loadu_si128(a.as_ptr().add(p) as *const __m128i));
+            let vb0 = _mm256_cvtepi8_epi16(_mm_loadu_si128(b.as_ptr().add(p) as *const __m128i));
+            acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(va0, vb0));
+            let va1 =
+                _mm256_cvtepi8_epi16(_mm_loadu_si128(a.as_ptr().add(p + 16) as *const __m128i));
+            let vb1 =
+                _mm256_cvtepi8_epi16(_mm_loadu_si128(b.as_ptr().add(p + 16) as *const __m128i));
+            acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(va1, vb1));
+        }
+        let mut done = pairs * 32;
+        if done + 16 <= n {
+            let va = _mm256_cvtepi8_epi16(_mm_loadu_si128(a.as_ptr().add(done) as *const __m128i));
+            let vb = _mm256_cvtepi8_epi16(_mm_loadu_si128(b.as_ptr().add(done) as *const __m128i));
+            acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(va, vb));
+            done += 16;
+        }
+        let mut sum = hsum_epi32(_mm256_add_epi32(acc0, acc1));
+        for i in done..n {
+            sum += *a.get_unchecked(i) as i32 * *b.get_unchecked(i) as i32;
+        }
+        sum
+    }
+
+    pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+        // SAFETY: as `dot_i16`.
+        unsafe { dot_i8_impl(a, b) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn dot4_i8_impl(a0: &[i8], a1: &[i8], b0: &[i8], b1: &[i8]) -> (i32, i32, i32, i32) {
+        let n = a0.len().min(a1.len()).min(b0.len()).min(b1.len());
+        let mut c00 = _mm256_setzero_si256();
+        let mut c01 = _mm256_setzero_si256();
+        let mut c10 = _mm256_setzero_si256();
+        let mut c11 = _mm256_setzero_si256();
+        let chunks = n / 16;
+        for i in 0..chunks {
+            let p = i * 16;
+            let va0 = _mm256_cvtepi8_epi16(_mm_loadu_si128(a0.as_ptr().add(p) as *const __m128i));
+            let va1 = _mm256_cvtepi8_epi16(_mm_loadu_si128(a1.as_ptr().add(p) as *const __m128i));
+            let vb0 = _mm256_cvtepi8_epi16(_mm_loadu_si128(b0.as_ptr().add(p) as *const __m128i));
+            let vb1 = _mm256_cvtepi8_epi16(_mm_loadu_si128(b1.as_ptr().add(p) as *const __m128i));
+            c00 = _mm256_add_epi32(c00, _mm256_madd_epi16(va0, vb0));
+            c01 = _mm256_add_epi32(c01, _mm256_madd_epi16(va0, vb1));
+            c10 = _mm256_add_epi32(c10, _mm256_madd_epi16(va1, vb0));
+            c11 = _mm256_add_epi32(c11, _mm256_madd_epi16(va1, vb1));
+        }
+        let (mut s00, mut s01) = (hsum_epi32(c00), hsum_epi32(c01));
+        let (mut s10, mut s11) = (hsum_epi32(c10), hsum_epi32(c11));
+        for i in chunks * 16..n {
+            let (x0, x1) = (*a0.get_unchecked(i) as i32, *a1.get_unchecked(i) as i32);
+            let (y0, y1) = (*b0.get_unchecked(i) as i32, *b1.get_unchecked(i) as i32);
+            s00 += x0 * y0;
+            s01 += x0 * y1;
+            s10 += x1 * y0;
+            s11 += x1 * y1;
+        }
+        (s00, s01, s10, s11)
+    }
+
+    pub fn dot4_i8(a0: &[i8], a1: &[i8], b0: &[i8], b1: &[i8]) -> (i32, i32, i32, i32) {
+        // SAFETY: as `dot_i16`.
+        unsafe { dot4_i8_impl(a0, a1, b0, b1) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn dot_i32_impl(a: &[i32], b: &[i32]) -> i32 {
+        let n = a.len().min(b.len());
+        let mut acc = _mm256_setzero_si256();
+        let chunks = n / 8;
+        for i in 0..chunks {
+            let p = i * 8;
+            let va = _mm256_loadu_si256(a.as_ptr().add(p) as *const __m256i);
+            let vb = _mm256_loadu_si256(b.as_ptr().add(p) as *const __m256i);
+            acc = _mm256_add_epi32(acc, _mm256_mullo_epi32(va, vb));
+        }
+        let mut sum = hsum_epi32(acc);
+        for i in chunks * 8..n {
+            sum += *a.get_unchecked(i) * *b.get_unchecked(i);
+        }
+        sum
+    }
+
+    pub fn dot_i32(a: &[i32], b: &[i32]) -> i32 {
+        // SAFETY: as `dot_i16`.
+        unsafe { dot_i32_impl(a, b) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn axpy_i32_impl(a: i32, b: &[i32], out: &mut [i32]) {
+        let n = b.len().min(out.len());
+        let va = _mm256_set1_epi32(a);
+        let chunks = n / 8;
+        for i in 0..chunks {
+            let p = i * 8;
+            let vb = _mm256_loadu_si256(b.as_ptr().add(p) as *const __m256i);
+            let vo = _mm256_loadu_si256(out.as_ptr().add(p) as *const __m256i);
+            _mm256_storeu_si256(
+                out.as_mut_ptr().add(p) as *mut __m256i,
+                _mm256_add_epi32(vo, _mm256_mullo_epi32(va, vb)),
+            );
+        }
+        for i in chunks * 8..n {
+            *out.get_unchecked_mut(i) += a * *b.get_unchecked(i);
+        }
+    }
+
+    pub fn axpy_i32(a: i32, b: &[i32], out: &mut [i32]) {
+        // SAFETY: as `dot_i16`.
+        unsafe { axpy_i32_impl(a, b, out) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn axpy_f32_impl(a: f32, b: &[f32], out: &mut [f32]) {
+        let n = b.len().min(out.len());
+        let va = _mm256_set1_ps(a);
+        let chunks = n / 8;
+        for i in 0..chunks {
+            let p = i * 8;
+            let vb = _mm256_loadu_ps(b.as_ptr().add(p));
+            let vo = _mm256_loadu_ps(out.as_ptr().add(p));
+            // Separate multiply and add (no FMA) so every lane matches the
+            // scalar `out[j] += a * b[j]` rounding exactly.
+            _mm256_storeu_ps(
+                out.as_mut_ptr().add(p),
+                _mm256_add_ps(vo, _mm256_mul_ps(va, vb)),
+            );
+        }
+        for i in chunks * 8..n {
+            *out.get_unchecked_mut(i) += a * *b.get_unchecked(i);
+        }
+    }
+
+    pub fn axpy_f32(a: f32, b: &[f32], out: &mut [f32]) {
+        // SAFETY: as `dot_i16`.
+        unsafe { axpy_f32_impl(a, b, out) }
+    }
+}
+
+/// 512-bit kernels (`avx512f` + `avx512bw`). Only reachable through
+/// [`kernels_for`], which verifies support first.
+#[cfg(target_arch = "x86_64")]
+mod avx512 {
+    use std::arch::x86_64::*;
+
+    #[target_feature(enable = "avx512f", enable = "avx512bw")]
+    unsafe fn dot_i16_impl(a: &[i16], b: &[i16]) -> i32 {
+        let n = a.len().min(b.len());
+        let mut acc0 = _mm512_setzero_si512();
+        let mut acc1 = _mm512_setzero_si512();
+        let pairs = n / 64;
+        for i in 0..pairs {
+            let p = i * 64;
+            let va0 = _mm512_loadu_si512(a.as_ptr().add(p) as *const __m512i);
+            let vb0 = _mm512_loadu_si512(b.as_ptr().add(p) as *const __m512i);
+            acc0 = _mm512_add_epi32(acc0, _mm512_madd_epi16(va0, vb0));
+            let va1 = _mm512_loadu_si512(a.as_ptr().add(p + 32) as *const __m512i);
+            let vb1 = _mm512_loadu_si512(b.as_ptr().add(p + 32) as *const __m512i);
+            acc1 = _mm512_add_epi32(acc1, _mm512_madd_epi16(va1, vb1));
+        }
+        let mut done = pairs * 64;
+        if done + 32 <= n {
+            let va = _mm512_loadu_si512(a.as_ptr().add(done) as *const __m512i);
+            let vb = _mm512_loadu_si512(b.as_ptr().add(done) as *const __m512i);
+            acc0 = _mm512_add_epi32(acc0, _mm512_madd_epi16(va, vb));
+            done += 32;
+        }
+        let mut sum = _mm512_reduce_add_epi32(_mm512_add_epi32(acc0, acc1));
+        for i in done..n {
+            sum += *a.get_unchecked(i) as i32 * *b.get_unchecked(i) as i32;
+        }
+        sum
+    }
+
+    pub fn dot_i16(a: &[i16], b: &[i16]) -> i32 {
+        // SAFETY: this table entry is only constructed after `avx512f` and
+        // `avx512bw` were runtime-detected; loads are unaligned and
+        // bounds-checked inside.
+        unsafe { dot_i16_impl(a, b) }
+    }
+
+    #[target_feature(enable = "avx512f", enable = "avx512bw")]
+    unsafe fn dot4_i16_impl(
+        a0: &[i16],
+        a1: &[i16],
+        b0: &[i16],
+        b1: &[i16],
+    ) -> (i32, i32, i32, i32) {
+        let n = a0.len().min(a1.len()).min(b0.len()).min(b1.len());
+        let mut c00 = _mm512_setzero_si512();
+        let mut c01 = _mm512_setzero_si512();
+        let mut c10 = _mm512_setzero_si512();
+        let mut c11 = _mm512_setzero_si512();
+        let chunks = n / 32;
+        for i in 0..chunks {
+            let p = i * 32;
+            let va0 = _mm512_loadu_si512(a0.as_ptr().add(p) as *const __m512i);
+            let va1 = _mm512_loadu_si512(a1.as_ptr().add(p) as *const __m512i);
+            let vb0 = _mm512_loadu_si512(b0.as_ptr().add(p) as *const __m512i);
+            let vb1 = _mm512_loadu_si512(b1.as_ptr().add(p) as *const __m512i);
+            c00 = _mm512_add_epi32(c00, _mm512_madd_epi16(va0, vb0));
+            c01 = _mm512_add_epi32(c01, _mm512_madd_epi16(va0, vb1));
+            c10 = _mm512_add_epi32(c10, _mm512_madd_epi16(va1, vb0));
+            c11 = _mm512_add_epi32(c11, _mm512_madd_epi16(va1, vb1));
+        }
+        let (mut s00, mut s01) = (_mm512_reduce_add_epi32(c00), _mm512_reduce_add_epi32(c01));
+        let (mut s10, mut s11) = (_mm512_reduce_add_epi32(c10), _mm512_reduce_add_epi32(c11));
+        for i in chunks * 32..n {
+            let (x0, x1) = (*a0.get_unchecked(i) as i32, *a1.get_unchecked(i) as i32);
+            let (y0, y1) = (*b0.get_unchecked(i) as i32, *b1.get_unchecked(i) as i32);
+            s00 += x0 * y0;
+            s01 += x0 * y1;
+            s10 += x1 * y0;
+            s11 += x1 * y1;
+        }
+        (s00, s01, s10, s11)
+    }
+
+    pub fn dot4_i16(a0: &[i16], a1: &[i16], b0: &[i16], b1: &[i16]) -> (i32, i32, i32, i32) {
+        // SAFETY: as `dot_i16`.
+        unsafe { dot4_i16_impl(a0, a1, b0, b1) }
+    }
+
+    #[target_feature(enable = "avx512f", enable = "avx512bw")]
+    unsafe fn dot_i8_impl(a: &[i8], b: &[i8]) -> i32 {
+        let n = a.len().min(b.len());
+        let mut acc0 = _mm512_setzero_si512();
+        let mut acc1 = _mm512_setzero_si512();
+        let pairs = n / 64;
+        for i in 0..pairs {
+            let p = i * 64;
+            // 512-bit `vpmovsxbw`: 32 sign-extended i8→i16 lanes per load.
+            let va0 = _mm512_cvtepi8_epi16(_mm256_loadu_si256(a.as_ptr().add(p) as *const __m256i));
+            let vb0 = _mm512_cvtepi8_epi16(_mm256_loadu_si256(b.as_ptr().add(p) as *const __m256i));
+            acc0 = _mm512_add_epi32(acc0, _mm512_madd_epi16(va0, vb0));
+            let va1 =
+                _mm512_cvtepi8_epi16(_mm256_loadu_si256(a.as_ptr().add(p + 32) as *const __m256i));
+            let vb1 =
+                _mm512_cvtepi8_epi16(_mm256_loadu_si256(b.as_ptr().add(p + 32) as *const __m256i));
+            acc1 = _mm512_add_epi32(acc1, _mm512_madd_epi16(va1, vb1));
+        }
+        let mut done = pairs * 64;
+        if done + 32 <= n {
+            let va =
+                _mm512_cvtepi8_epi16(_mm256_loadu_si256(a.as_ptr().add(done) as *const __m256i));
+            let vb =
+                _mm512_cvtepi8_epi16(_mm256_loadu_si256(b.as_ptr().add(done) as *const __m256i));
+            acc0 = _mm512_add_epi32(acc0, _mm512_madd_epi16(va, vb));
+            done += 32;
+        }
+        let mut sum = _mm512_reduce_add_epi32(_mm512_add_epi32(acc0, acc1));
+        for i in done..n {
+            sum += *a.get_unchecked(i) as i32 * *b.get_unchecked(i) as i32;
+        }
+        sum
+    }
+
+    pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+        // SAFETY: as `dot_i16`.
+        unsafe { dot_i8_impl(a, b) }
+    }
+
+    #[target_feature(enable = "avx512f", enable = "avx512bw")]
+    unsafe fn dot4_i8_impl(a0: &[i8], a1: &[i8], b0: &[i8], b1: &[i8]) -> (i32, i32, i32, i32) {
+        let n = a0.len().min(a1.len()).min(b0.len()).min(b1.len());
+        let mut c00 = _mm512_setzero_si512();
+        let mut c01 = _mm512_setzero_si512();
+        let mut c10 = _mm512_setzero_si512();
+        let mut c11 = _mm512_setzero_si512();
+        let chunks = n / 32;
+        for i in 0..chunks {
+            let p = i * 32;
+            let va0 =
+                _mm512_cvtepi8_epi16(_mm256_loadu_si256(a0.as_ptr().add(p) as *const __m256i));
+            let va1 =
+                _mm512_cvtepi8_epi16(_mm256_loadu_si256(a1.as_ptr().add(p) as *const __m256i));
+            let vb0 =
+                _mm512_cvtepi8_epi16(_mm256_loadu_si256(b0.as_ptr().add(p) as *const __m256i));
+            let vb1 =
+                _mm512_cvtepi8_epi16(_mm256_loadu_si256(b1.as_ptr().add(p) as *const __m256i));
+            c00 = _mm512_add_epi32(c00, _mm512_madd_epi16(va0, vb0));
+            c01 = _mm512_add_epi32(c01, _mm512_madd_epi16(va0, vb1));
+            c10 = _mm512_add_epi32(c10, _mm512_madd_epi16(va1, vb0));
+            c11 = _mm512_add_epi32(c11, _mm512_madd_epi16(va1, vb1));
+        }
+        let (mut s00, mut s01) = (_mm512_reduce_add_epi32(c00), _mm512_reduce_add_epi32(c01));
+        let (mut s10, mut s11) = (_mm512_reduce_add_epi32(c10), _mm512_reduce_add_epi32(c11));
+        for i in chunks * 32..n {
+            let (x0, x1) = (*a0.get_unchecked(i) as i32, *a1.get_unchecked(i) as i32);
+            let (y0, y1) = (*b0.get_unchecked(i) as i32, *b1.get_unchecked(i) as i32);
+            s00 += x0 * y0;
+            s01 += x0 * y1;
+            s10 += x1 * y0;
+            s11 += x1 * y1;
+        }
+        (s00, s01, s10, s11)
+    }
+
+    pub fn dot4_i8(a0: &[i8], a1: &[i8], b0: &[i8], b1: &[i8]) -> (i32, i32, i32, i32) {
+        // SAFETY: as `dot_i16`.
+        unsafe { dot4_i8_impl(a0, a1, b0, b1) }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    unsafe fn dot_i32_impl(a: &[i32], b: &[i32]) -> i32 {
+        let n = a.len().min(b.len());
+        let mut acc = _mm512_setzero_si512();
+        let chunks = n / 16;
+        for i in 0..chunks {
+            let p = i * 16;
+            let va = _mm512_loadu_si512(a.as_ptr().add(p) as *const __m512i);
+            let vb = _mm512_loadu_si512(b.as_ptr().add(p) as *const __m512i);
+            acc = _mm512_add_epi32(acc, _mm512_mullo_epi32(va, vb));
+        }
+        let mut sum = _mm512_reduce_add_epi32(acc);
+        for i in chunks * 16..n {
+            sum += *a.get_unchecked(i) * *b.get_unchecked(i);
+        }
+        sum
+    }
+
+    pub fn dot_i32(a: &[i32], b: &[i32]) -> i32 {
+        // SAFETY: as `dot_i16` (only `avx512f` needed here).
+        unsafe { dot_i32_impl(a, b) }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    unsafe fn axpy_i32_impl(a: i32, b: &[i32], out: &mut [i32]) {
+        let n = b.len().min(out.len());
+        let va = _mm512_set1_epi32(a);
+        let chunks = n / 16;
+        for i in 0..chunks {
+            let p = i * 16;
+            let vb = _mm512_loadu_si512(b.as_ptr().add(p) as *const __m512i);
+            let vo = _mm512_loadu_si512(out.as_ptr().add(p) as *const __m512i);
+            _mm512_storeu_si512(
+                out.as_mut_ptr().add(p) as *mut __m512i,
+                _mm512_add_epi32(vo, _mm512_mullo_epi32(va, vb)),
+            );
+        }
+        for i in chunks * 16..n {
+            *out.get_unchecked_mut(i) += a * *b.get_unchecked(i);
+        }
+    }
+
+    pub fn axpy_i32(a: i32, b: &[i32], out: &mut [i32]) {
+        // SAFETY: as `dot_i32`.
+        unsafe { axpy_i32_impl(a, b, out) }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    unsafe fn axpy_f32_impl(a: f32, b: &[f32], out: &mut [f32]) {
+        let n = b.len().min(out.len());
+        let va = _mm512_set1_ps(a);
+        let chunks = n / 16;
+        for i in 0..chunks {
+            let p = i * 16;
+            let vb = _mm512_loadu_ps(b.as_ptr().add(p));
+            let vo = _mm512_loadu_ps(out.as_ptr().add(p));
+            // Separate multiply and add (no FMA): lane-exact vs scalar.
+            _mm512_storeu_ps(
+                out.as_mut_ptr().add(p),
+                _mm512_add_ps(vo, _mm512_mul_ps(va, vb)),
+            );
+        }
+        for i in chunks * 16..n {
+            *out.get_unchecked_mut(i) += a * *b.get_unchecked(i);
+        }
+    }
+
+    pub fn axpy_f32(a: f32, b: &[f32], out: &mut [f32]) {
+        // SAFETY: as `dot_i32`.
+        unsafe { axpy_f32_impl(a, b, out) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isa_parse_and_display_round_trip() {
+        for isa in Isa::all() {
+            assert_eq!(isa.to_string().parse::<Isa>().unwrap(), isa);
+        }
+        assert_eq!("AVX2".parse::<Isa>().unwrap(), Isa::Avx2);
+        assert!("avx9000".parse::<Isa>().is_err());
+    }
+
+    #[test]
+    fn isa_levels_are_ordered() {
+        assert!(Isa::Scalar < Isa::Sse2);
+        assert!(Isa::Sse2 < Isa::Avx2);
+        assert!(Isa::Avx2 < Isa::Avx512);
+        assert!(Isa::Scalar.is_supported());
+    }
+
+    /// The CI ISA matrix sets `EDEN_ISA` and relies on the dispatcher either
+    /// honoring it or aborting — a silent fallback would make the matrix
+    /// meaningless. With no override, the active table must match detection.
+    #[test]
+    fn active_isa_honors_eden_isa_override() {
+        match std::env::var("EDEN_ISA") {
+            Ok(v) => assert_eq!(
+                active_isa(),
+                v.parse::<Isa>().expect("EDEN_ISA must name a valid ISA"),
+                "dispatcher fell back from EDEN_ISA={v}"
+            ),
+            Err(_) => assert_eq!(active_isa(), Isa::detect()),
+        }
+    }
+
+    #[test]
+    fn every_supported_table_matches_scalar_on_a_smoke_vector() {
+        let a16: Vec<i16> = (0..131).map(|i| (i * 37 % 255) as i16 - 127).collect();
+        let b16: Vec<i16> = (0..131).map(|i| (i * 53 % 255) as i16 - 127).collect();
+        let a8: Vec<i8> = a16.iter().map(|&v| v as i8).collect();
+        let b8: Vec<i8> = b16.iter().map(|&v| v as i8).collect();
+        let reference = (scalar::dot_i16(&a16, &b16), scalar::dot_i8(&a8, &b8));
+        for isa in Isa::all().into_iter().filter(|i| i.is_supported()) {
+            let k = kernels_for(isa);
+            assert_eq!((k.dot_i16)(&a16, &b16), reference.0, "{isa} dot_i16");
+            assert_eq!((k.dot_i8)(&a8, &b8), reference.1, "{isa} dot_i8");
+        }
+    }
+
+    /// The exactness hole that rules out the `pmaddubsw` sign-trick:
+    /// `(-128)·(-128)` must come out `+16384` on every path.
+    #[test]
+    fn i8_kernels_are_exact_at_negative_saturation() {
+        let a = vec![-128i8; 33];
+        let b = vec![-128i8; 33];
+        let expected = 33 * 16384;
+        for isa in Isa::all().into_iter().filter(|i| i.is_supported()) {
+            let k = kernels_for(isa);
+            assert_eq!((k.dot_i8)(&a, &b), expected, "{isa} dot_i8 at -128×-128");
+            let (s00, s01, s10, s11) = (k.dot4_i8)(&a, &b, &a, &b);
+            assert_eq!(
+                (s00, s01, s10, s11),
+                (expected, expected, expected, expected),
+                "{isa} dot4_i8 at -128×-128"
+            );
+        }
+    }
+}

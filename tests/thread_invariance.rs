@@ -144,6 +144,37 @@ fn session_probe_sequence_is_thread_count_invariant() {
 }
 
 #[test]
+fn fine_characterization_is_thread_count_invariant() {
+    // Fine characterization fans each round's site probes out across the
+    // worker pool (Jacobi rounds). Every probe owns a `probe_seed(seed,
+    // round, site)` stream and acceptances fold in site order after the
+    // fan-out, so the full tolerance table — and the baseline/floor pair —
+    // must be bit-identical at any worker count.
+    use eden::core::characterize::{fine_characterize, FineConfig};
+    let (net, dataset) = trained_lenet(37);
+    let template = ErrorModel::uniform(0.02, 0.5, 5);
+    let cfg = FineConfig {
+        eval_samples: 24,
+        max_rounds: 2,
+        bootstrap_ber: 5e-4,
+        ..FineConfig::default()
+    };
+    assert_invariant(|| {
+        let fine = fine_characterize(&net, &dataset, Precision::Int8, &template, None, &cfg);
+        let tolerances: Vec<(String, u64)> = fine
+            .tolerances
+            .iter()
+            .map(|(info, ber)| (format!("{:?}", info.site), ber.to_bits()))
+            .collect();
+        (
+            fine.baseline_accuracy.to_bits(),
+            fine.accuracy_floor.to_bits(),
+            tolerances,
+        )
+    });
+}
+
+#[test]
 fn ber_sweep_is_thread_count_invariant() {
     let (net, dataset) = trained_lenet(32);
     let samples = &dataset.test()[..24];
