@@ -20,13 +20,18 @@ use std::time::Duration;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use eden_core::bounding::{BoundingLogic, CorrectionPolicy};
 use eden_core::characterize::{
-    coarse_characterize, fine_characterize, fine_characterize_session, CoarseConfig, FineConfig,
+    coarse_characterize, fine_characterize, fine_characterize_session, CoarseConfig,
+    FineCharacterization, FineConfig,
 };
 use eden_core::faults::ApproximateMemory;
 use eden_core::inference::{self, InferenceBackend};
+use eden_core::mapping::{benefit_traffic_score, fine_map, multi_module_map, MultiModuleConfig};
 use eden_core::session::{EvalSession, RefetchMode};
-use eden_dnn::{data::SyntheticVision, zoo, Dataset};
-use eden_dram::ErrorModel;
+use eden_dnn::{data::SyntheticVision, zoo, Dataset, Network};
+use eden_dram::characterize::{CharacterizeConfig, DramErrorProfile};
+use eden_dram::geometry::{DramGeometry, Partition};
+use eden_dram::system::{DramModule, MemorySystem};
+use eden_dram::{ApproxDramDevice, ErrorModel, OperatingPoint, Vendor};
 use eden_tensor::{ops, simd, Precision};
 
 /// A fixed, optimizer-resistant scalar workload whose runtime tracks the
@@ -314,6 +319,123 @@ fn bench_overlay(c: &mut Criterion) {
     group.finish();
 }
 
+/// Synthetic per-site tolerances for the mapping benches (three realistic
+/// magnitudes, cycled), so the searches get a mixed-tolerance site list
+/// without paying for a real fine-characterization run.
+fn synthetic_characterization(net: &Network) -> FineCharacterization {
+    let tolerances = net
+        .data_sites()
+        .into_iter()
+        .enumerate()
+        .map(|(i, info)| (info, [5e-2, 5e-3, 2e-2][i % 3]))
+        .collect();
+    FineCharacterization {
+        baseline_accuracy: 0.9,
+        accuracy_floor: 0.85,
+        tolerances,
+    }
+}
+
+/// The mapping searches (Algorithm 1 / the multi-module generalization):
+/// the single-module `fine_map` assignment and the `multi_module_map`
+/// greedy-seed + local-search planner, both on the committed mini net over
+/// pre-characterized memory. Pure planner workloads — no accuracy
+/// evaluations — so the gate watches the search itself, not the evaluator
+/// underneath it.
+fn bench_mapping(c: &mut Criterion) {
+    let dataset = SyntheticVision::tiny(0);
+    let net = zoo::lenet(&dataset.spec(), 1);
+    let characterization = synthetic_characterization(&net);
+    // Small-rowed custom geometry with partitions sized below the largest
+    // site (as in tests/multi_module.rs): the planner must spill and split,
+    // which is the expensive part of the search.
+    let geometry = DramGeometry {
+        banks: 2,
+        subarrays_per_bank: 2,
+        rows_per_subarray: 512,
+        row_bytes: 64,
+    };
+    let row_bytes = geometry.row_bytes as u64;
+    let rows: Vec<u64> = net
+        .data_sites()
+        .iter()
+        .map(|d| d.bytes(Precision::Int8).div_ceil(row_bytes))
+        .collect();
+    let max_rows = rows.iter().copied().max().unwrap();
+    let total_rows: u64 = rows.iter().sum::<u64>() + rows.len() as u64;
+    let cap_rows = (total_rows.div_ceil(3)).max(2).min(max_rows - 1);
+    let parts: Vec<Partition> = (0..2)
+        .map(|i| Partition {
+            index: i,
+            bank: i,
+            first_subarray: 0,
+            subarrays: 1,
+            capacity_bytes: cap_rows * row_bytes,
+        })
+        .collect();
+    let cfg = CharacterizeConfig {
+        rows_per_pattern: 1,
+        bitlines_per_row: 64,
+        reads_per_row: 1,
+        seed: 9,
+    };
+    let ops_a = vec![
+        OperatingPoint::nominal(),
+        OperatingPoint::with_vdd_reduction(0.15),
+        OperatingPoint::with_vdd_reduction(0.30),
+    ];
+    let ops_b = vec![
+        OperatingPoint::nominal(),
+        OperatingPoint::with_trcd_reduction(3.0),
+        OperatingPoint::with_trcd_reduction(5.5),
+    ];
+    // Characterization is a per-deployment one-off; hoist it so the bench
+    // measures the searches alone.
+    let profile = DramErrorProfile::characterize(
+        &ApproxDramDevice::with_geometry(Vendor::A, geometry, 41),
+        &parts,
+        &ops_a,
+        &cfg,
+    );
+    let system = MemorySystem::new(vec![
+        DramModule::characterize(
+            ApproxDramDevice::with_geometry(Vendor::A, geometry, 41),
+            &parts,
+            &ops_a,
+            &cfg,
+        ),
+        DramModule::characterize(
+            ApproxDramDevice::with_geometry(Vendor::B, geometry, 42),
+            &parts,
+            &ops_b,
+            &cfg,
+        ),
+    ]);
+    let mut group = c.benchmark_group("mapping");
+    group.sample_size(15);
+    group.bench_function("fine_map_lenet", |b| {
+        b.iter(|| {
+            fine_map(
+                black_box(&characterization),
+                black_box(&profile),
+                Precision::Int8,
+            )
+        })
+    });
+    group.bench_function("multi_module_map_lenet_2modules", |b| {
+        b.iter(|| {
+            multi_module_map(
+                black_box(&characterization),
+                black_box(&system),
+                Precision::Int8,
+                &MultiModuleConfig::default(),
+                &benefit_traffic_score,
+            )
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_calibration,
@@ -322,6 +444,7 @@ criterion_group!(
     bench_quantized_backends,
     bench_tolerance_sweep,
     bench_characterization,
-    bench_overlay
+    bench_overlay,
+    bench_mapping
 );
 criterion_main!(benches);

@@ -46,6 +46,18 @@
 //! Both forms consume the same load streams and produce bit-identical
 //! results and statistics; the workspace `overlay_equivalence` suite pins
 //! them against each other.
+//!
+//! # Multi-module span placement
+//!
+//! A site need not live in one partition: [`ApproximateMemory::assign_site_spans`]
+//! places contiguous spans of a site's stored values into different
+//! `(module, partition, operating point)` triples of a
+//! [`eden_dram::MemorySystem`], each span backed by its own [`Injector`] and
+//! [`Layout`]. A load then emits one [`CorruptionOverlay`] per span from the
+//! span's own seed stream and composes them with [`CorruptionOverlay::merge`]
+//! into a single O(flips) overlay — bit-identical (and pinned so by
+//! [`SpanComposition::Independent`], the merge-free reference composition) to
+//! corrupting each span's slice separately, at any thread count.
 
 use crate::bounding::BoundingLogic;
 use eden_dnn::{DataKind, DataSite, FaultHook, Network};
@@ -212,6 +224,41 @@ impl CacheState {
     }
 }
 
+/// One contiguous span of a data site's stored values placed on its own
+/// DRAM partition: corruption for the span is drawn by `injector` against the
+/// span's slice of the clean image and lifted back into whole-image word
+/// coordinates.
+///
+/// Spans cover loads lazily: a load shorter than the site's longest tensor
+/// (a layer's bias sharing its weight site, say) only intersects the leading
+/// spans, and the intersection is clipped to the tensor's length.
+#[derive(Debug, Clone)]
+pub struct PlacedSpan {
+    /// Error source of the span's `(module, partition, operating point)`.
+    pub injector: Injector,
+    /// First value index of the span within the site's stored image.
+    pub start_value: usize,
+    /// Number of stored values the span covers.
+    pub values: usize,
+    /// DRAM placement of the span within its partition.
+    pub layout: Layout,
+}
+
+/// How the per-span overlays of a multi-span site are combined into the one
+/// overlay a load returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpanComposition {
+    /// Compose with [`CorruptionOverlay::merge`] — the O(flips) production
+    /// path.
+    #[default]
+    Merged,
+    /// Reference composition: apply each span's lifted overlay to a scratch
+    /// copy sequentially and diff the result, never calling `merge`. Exists
+    /// to pin the production path bit-identical to evaluating each
+    /// partition's faults separately.
+    Independent,
+}
+
 /// Statistics accumulated while serving loads from approximate memory.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemoryStats {
@@ -235,6 +282,10 @@ pub struct MemoryStats {
 struct PlacementState {
     default_injector: Option<Injector>,
     site_injectors: HashMap<DataSite, Injector>,
+    /// Multi-partition placements; a site present here bypasses
+    /// `site_injectors`/`site_layouts` entirely. `Arc` so per-sample forks
+    /// share the span lists.
+    site_spans: HashMap<DataSite, Arc<Vec<PlacedSpan>>>,
     site_layouts: HashMap<DataSite, Layout>,
     /// Precomputed weak-cell maps per site, one entry per tensor geometry
     /// `(element count, bits per value)` — a layer's weight and bias tensors
@@ -250,6 +301,7 @@ impl PlacementState {
         Self {
             default_injector,
             site_injectors: HashMap::new(),
+            site_spans: HashMap::new(),
             site_layouts: HashMap::new(),
             weak_maps: HashMap::new(),
             allocator: AddressAllocator::new(2048 * 8),
@@ -271,6 +323,8 @@ pub struct ApproximateMemory {
     /// local miss before falling back to a fresh weak-cell scan.
     shared_maps: Option<Arc<WeakMapCache>>,
     bounding: Option<BoundingLogic>,
+    /// How multi-span sites compose their per-span overlays.
+    span_composition: SpanComposition,
     /// Master seed; every load's RNG stream is derived from it.
     seed: u64,
     /// Index of the next load in this memory's deterministic load sequence.
@@ -291,6 +345,7 @@ impl ApproximateMemory {
             placement: Arc::new(PlacementState::new(Some(injector))),
             shared_maps: None,
             bounding: None,
+            span_composition: SpanComposition::default(),
             seed,
             next_load: 0,
             stats: MemoryStats::default(),
@@ -303,6 +358,7 @@ impl ApproximateMemory {
             placement: Arc::new(PlacementState::new(None)),
             shared_maps: None,
             bounding: None,
+            span_composition: SpanComposition::default(),
             seed,
             next_load: 0,
             stats: MemoryStats::default(),
@@ -331,6 +387,47 @@ impl ApproximateMemory {
         // Any maps computed under the previous error source are stale.
         state.weak_maps.remove(&site);
         state.site_injectors.insert(site, injector);
+    }
+
+    /// Places one data site across several DRAM partitions: span `k` of
+    /// `spans` covers stored values `[start_value, start_value + values)` and
+    /// is corrupted by its own injector at its own layout, from the sub-seed
+    /// stream `seed_mix(load stream, k)`. Spans must be non-empty, sorted by
+    /// `start_value`, disjoint, and start at value 0 with no gaps — every
+    /// stored value belongs to exactly one span.
+    ///
+    /// A site placed here bypasses any [`ApproximateMemory::assign_site`]
+    /// override and the default injector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spans` is empty or violates the coverage contract.
+    pub fn assign_site_spans(&mut self, site: DataSite, spans: Vec<PlacedSpan>) {
+        assert!(
+            !spans.is_empty(),
+            "a span placement needs at least one span"
+        );
+        let mut next = 0usize;
+        for span in &spans {
+            assert!(span.values > 0, "empty span at value {}", span.start_value);
+            assert_eq!(
+                span.start_value, next,
+                "spans must tile the value space contiguously from 0"
+            );
+            next += span.values;
+        }
+        let state = Arc::make_mut(&mut self.placement);
+        // Any maps computed under the previous error source are stale (and
+        // the span path draws per-span, not per-site, corruption).
+        state.weak_maps.remove(&site);
+        state.site_spans.insert(site, Arc::new(spans));
+    }
+
+    /// Selects how multi-span sites compose their per-span overlays (the
+    /// production [`SpanComposition::Merged`] by default).
+    pub fn with_span_composition(mut self, composition: SpanComposition) -> Self {
+        self.span_composition = composition;
+        self
     }
 
     /// Replaces the default error source for all unassigned sites.
@@ -406,6 +503,11 @@ impl ApproximateMemory {
     /// weak cells.
     pub fn preallocate(&mut self, net: &Network, precision: Precision) {
         for info in net.data_sites() {
+            // Span-placed sites carry explicit per-span layouts and skip the
+            // weak-map machinery entirely.
+            if self.placement.site_spans.contains_key(&info.site) {
+                continue;
+            }
             let bits = info.elements as u64 * precision.bits() as u64;
             self.layout_for(&info.site, bits);
             if info.site.kind == DataKind::Ifm {
@@ -419,6 +521,9 @@ impl ApproximateMemory {
                 continue;
             }
             let site = DataSite::new(i, layer.name(), DataKind::Weight);
+            if self.placement.site_spans.contains_key(&site) {
+                continue;
+            }
             layer.visit_params_ref(&mut |_, t| {
                 self.weak_map_for(&site, t.len(), precision.bits());
             });
@@ -490,13 +595,18 @@ impl ApproximateMemory {
         let load_stream = stream(self.seed, self.next_load);
         self.next_load += 1;
         self.stats.loads += 1;
-        let layout = self.layout_for(site, clean.total_bits());
-        let map = self.weak_map_for(site, clean.len(), clean.bits_per_value());
-        let mut overlay = match self.placement.injector_for(site) {
-            Some(injector) => {
-                injector.overlay_placed_seeded(clean, &layout, load_stream, map.as_deref())
+        let mut overlay = match self.placement.site_spans.get(site).cloned() {
+            Some(spans) => self.span_overlay(&spans, clean, load_stream),
+            None => {
+                let layout = self.layout_for(site, clean.total_bits());
+                let map = self.weak_map_for(site, clean.len(), clean.bits_per_value());
+                match self.placement.injector_for(site) {
+                    Some(injector) => {
+                        injector.overlay_placed_seeded(clean, &layout, load_stream, map.as_deref())
+                    }
+                    None => CorruptionOverlay::empty(clean.len(), clean.bits_per_value()),
+                }
             }
-            None => CorruptionOverlay::empty(clean.len(), clean.bits_per_value()),
         };
         self.stats.bit_flips += overlay.bit_flips();
         if let Some(bounding) = &self.bounding {
@@ -518,6 +628,66 @@ impl ApproximateMemory {
         overlay
     }
 
+    /// Composes the per-span overlays of one load of a span-placed site into
+    /// a single whole-image overlay (see [`SpanComposition`]).
+    ///
+    /// Span `k` corrupts the clean image's values
+    /// `[start_value, start_value + values) ∩ [0, clean.len())` — spans past
+    /// the end of a short load are skipped, partial intersections clipped —
+    /// from the sub-seed stream `seed_mix(load_stream, k)`. The sub-seed is
+    /// indexed by span *position*, so the draw of a span depends only on the
+    /// memory seed, the load index and the span list — never on thread
+    /// interleaving.
+    fn span_overlay(
+        &self,
+        spans: &[PlacedSpan],
+        clean: &QuantTensor,
+        load_stream: u64,
+    ) -> CorruptionOverlay {
+        let values = clean.len();
+        let bits = clean.bits_per_value();
+        let sub_overlays = spans.iter().enumerate().filter_map(|(k, span)| {
+            let lo = span.start_value.min(values);
+            let hi = (span.start_value + span.values).min(values);
+            if lo >= hi {
+                return None;
+            }
+            let slice = clean.slice_values(lo..hi);
+            let span_seed = seed_mix(load_stream, &[k as u64]);
+            let sub = span
+                .injector
+                .overlay_placed_seeded(&slice, &span.layout, span_seed, None);
+            Some(sub.lifted(lo, values))
+        });
+        match self.span_composition {
+            SpanComposition::Merged => {
+                let mut composed = CorruptionOverlay::empty(values, bits);
+                for sub in sub_overlays {
+                    composed.merge(&sub);
+                }
+                composed
+            }
+            SpanComposition::Independent => {
+                // Apply each span's corruption to a scratch image in turn and
+                // diff — the "evaluate every partition's faults separately"
+                // reference. Spans are disjoint, so the diff's deltas equal
+                // the union of the per-span masks; the flip counters are
+                // summed per span because a diff cannot see a span's
+                // self-cancelling double flips.
+                let mut scratch = clean.clone();
+                let mut flips = 0u64;
+                let mut corrections = 0u64;
+                for sub in sub_overlays {
+                    sub.apply(&mut scratch);
+                    flips += sub.bit_flips();
+                    corrections += sub.corrections();
+                }
+                let diff = CorruptionOverlay::from_diff(clean, &scratch);
+                CorruptionOverlay::new(values, bits, diff.deltas().to_vec(), flips, corrections)
+            }
+        }
+    }
+
     fn layout_for(&mut self, site: &DataSite, total_bits: u64) -> Layout {
         if let Some(layout) = self.placement.site_layouts.get(site) {
             return *layout;
@@ -534,11 +704,24 @@ impl FaultHook for ApproximateMemory {
         let load_stream = stream(self.seed, self.next_load);
         self.next_load += 1;
         self.stats.loads += 1;
-        let layout = self.layout_for(site, tensor.total_bits());
-        let map = self.weak_map_for(site, tensor.len(), tensor.bits_per_value());
-        if let Some(injector) = self.placement.injector_for(site) {
-            self.stats.bit_flips +=
-                injector.corrupt_placed_seeded_mapped(tensor, &layout, load_stream, map.as_deref());
+        if let Some(spans) = self.placement.site_spans.get(site).cloned() {
+            // The tensor's bits are the clean image at load time, so
+            // composing the per-span overlays against them and applying the
+            // result equals corrupting each span's slice in place.
+            let overlay = self.span_overlay(&spans, tensor, load_stream);
+            self.stats.bit_flips += overlay.bit_flips();
+            overlay.apply(tensor);
+        } else {
+            let layout = self.layout_for(site, tensor.total_bits());
+            let map = self.weak_map_for(site, tensor.len(), tensor.bits_per_value());
+            if let Some(injector) = self.placement.injector_for(site) {
+                self.stats.bit_flips += injector.corrupt_placed_seeded_mapped(
+                    tensor,
+                    &layout,
+                    load_stream,
+                    map.as_deref(),
+                );
+            }
         }
         if let Some(bounding) = &self.bounding {
             // Integer tensors whose whole quantization grid is plausible can
@@ -557,13 +740,14 @@ impl std::fmt::Debug for ApproximateMemory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "ApproximateMemory(default: {}, {} site overrides, stats: {:?})",
+            "ApproximateMemory(default: {}, {} site overrides, {} span placements, stats: {:?})",
             self.placement
                 .default_injector
                 .as_ref()
                 .map(|i| format!("BER {:.2e}", i.expected_ber()))
                 .unwrap_or_else(|| "reliable".to_string()),
             self.placement.site_injectors.len(),
+            self.placement.site_spans.len(),
             self.stats
         )
     }
@@ -828,6 +1012,133 @@ mod tests {
         mem.merge_stats(fork.stats());
         assert_eq!(mem.stats().loads, 2);
         assert_eq!(mem.stats().bit_flips, 2 * flips);
+    }
+
+    /// A model-backed span over `[start, start + values)` with its own BER,
+    /// seed and DRAM placement (one row per ~2 KB, offset so spans never
+    /// share weak rows).
+    fn span(start: usize, values: usize, ber: f64, seed: u64) -> PlacedSpan {
+        PlacedSpan {
+            injector: Injector::from_model(ErrorModel::uniform(ber, 0.5, seed), Layout::default()),
+            start_value: start,
+            values,
+            layout: Layout::new(2048 * 8, start / 64),
+        }
+    }
+
+    fn span_memory(composition: SpanComposition) -> (ApproximateMemory, DataSite) {
+        let s = site(0, DataKind::Weight);
+        let mut mem = ApproximateMemory::reliable(17).with_span_composition(composition);
+        mem.assign_site_spans(
+            s.clone(),
+            vec![
+                span(0, 1500, 0.03, 31),
+                span(1500, 2000, 0.0, 32), // error-free middle partition
+                span(3500, 2500, 0.09, 33),
+            ],
+        );
+        (mem, s)
+    }
+
+    #[test]
+    fn span_merge_matches_independent_reference() {
+        // The production merge composition must be bit-identical — bits and
+        // statistics — to the reference that applies every span's corruption
+        // separately, at full and clipped load lengths.
+        for len in [6000, 2000, 900] {
+            let clean = stored(len);
+            let (mut merged, s) = span_memory(SpanComposition::Merged);
+            let (mut independent, _) = span_memory(SpanComposition::Independent);
+            for load in 0..3 {
+                let a = merged.corrupt_overlay(&s, &clean, None);
+                let b = independent.corrupt_overlay(&s, &clean, None);
+                assert_eq!(a.deltas(), b.deltas(), "load {load}, len {len}");
+                assert_eq!(a.bit_flips(), b.bit_flips(), "load {load}, len {len}");
+                assert_eq!(
+                    merged.stats(),
+                    independent.stats(),
+                    "load {load}, len {len}"
+                );
+            }
+            assert!(merged.stats().bit_flips > 0, "len {len}");
+        }
+    }
+
+    #[test]
+    fn span_overlay_load_matches_hook_corruption() {
+        // The O(flips) overlay form of a span-placed load must equal the
+        // mutating hook at every position of the load sequence, with and
+        // without bounding.
+        let bounding = BoundingLogic::new(-0.6, 0.6, CorrectionPolicy::Zero);
+        let clean = stored(6000);
+        for with_bounding in [false, true] {
+            let make = || {
+                let (mem, s) = span_memory(SpanComposition::Merged);
+                let mem = if with_bounding {
+                    mem.with_bounding(bounding)
+                } else {
+                    mem
+                };
+                (mem, s)
+            };
+            let (mut via_hook, s) = make();
+            let (mut via_overlay, _) = make();
+            for load in 0..3 {
+                let mut corrupted = clean.clone();
+                via_hook.corrupt(&s, &mut corrupted);
+                let overlay = via_overlay.corrupt_overlay(&s, &clean, None);
+                let mut patched = clean.clone();
+                overlay.apply(&mut patched);
+                assert_eq!(patched, corrupted, "load {load}, bounding={with_bounding}");
+                assert_eq!(
+                    via_hook.stats(),
+                    via_overlay.stats(),
+                    "load {load}, bounding={with_bounding}"
+                );
+            }
+            assert!(via_hook.stats().bit_flips > 0);
+        }
+    }
+
+    #[test]
+    fn span_forks_replay_identically_and_lanes_differ() {
+        let (base, s) = span_memory(SpanComposition::Merged);
+        let clean = stored(6000);
+        let run = |mut mem: ApproximateMemory| {
+            let overlay = mem.corrupt_overlay(&s, &clean, None);
+            let mut t = clean.clone();
+            overlay.apply(&mut t);
+            t
+        };
+        assert_eq!(run(base.fork(3)), run(base.fork(3)));
+        assert_ne!(run(base.fork(3)), run(base.fork(4)));
+    }
+
+    #[test]
+    fn error_free_span_stays_clean() {
+        // Values covered by the error-free middle span must never change,
+        // while both neighbouring spans corrupt.
+        let (mut mem, s) = span_memory(SpanComposition::Merged);
+        let clean = stored(6000);
+        let overlay = mem.corrupt_overlay(&s, &clean, None);
+        assert!(overlay.bit_flips() > 0);
+        assert!(
+            overlay
+                .deltas()
+                .iter()
+                .all(|&(w, _)| !(1500..3500).contains(&(w as usize))),
+            "flips leaked into the error-free span"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn gapped_spans_rejected() {
+        let mut mem = ApproximateMemory::reliable(0);
+        mem.assign_site_spans(
+            site(0, DataKind::Weight),
+            vec![span(0, 100, 0.01, 1), span(150, 100, 0.01, 2)],
+        );
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub mod session;
 pub use bounding::{BoundingLogic, CorrectionPolicy};
 pub use characterize::{CoarseCharacterization, FineCharacterization};
 pub use curricular::{CurricularConfig, CurricularTrainer};
-pub use faults::{ApproximateMemory, WeakMapCache};
-pub use mapping::{CoarseMapping, FineMapping};
+pub use faults::{ApproximateMemory, PlacedSpan, SpanComposition, WeakMapCache};
+pub use mapping::{CoarseMapping, FineMapping, PlacementPlan};
 pub use pipeline::{EdenConfig, EdenOutcome, EdenPipeline};
 pub use session::EvalSession;

@@ -1,17 +1,31 @@
-//! DNN→DRAM mapping (Section 3.4).
+//! DNN→DRAM mapping (Section 3.4), at three granularities:
 //!
-//! * **Coarse-grained**: pick the single most aggressive voltage and `tRCD`
-//!   reduction whose module-level BER stays below the DNN's maximum
-//!   tolerable BER (the ΔVDD / ΔtRCD columns of Table 3).
-//! * **Fine-grained (Algorithm 1)**: place every DNN data type into the DRAM
-//!   partition with the largest parameter reduction whose BER it tolerates
-//!   and which still has space, tracking per-partition operating points
-//!   (Figure 12).
+//! * **Coarse-grained** ([`coarse_map`]): pick the single most aggressive
+//!   voltage and `tRCD` reduction whose module-level BER stays below the
+//!   DNN's maximum tolerable BER (the ΔVDD / ΔtRCD columns of Table 3).
+//! * **Fine-grained (Algorithm 1)** ([`fine_map`]): place every DNN data
+//!   type into the partition of *one* module with the largest parameter
+//!   reduction whose BER it tolerates and which still has space, tracking
+//!   per-partition operating points (Figure 12).
+//! * **Multi-module** ([`multi_module_map`]): generalize Algorithm 1 across
+//!   a whole [`MemorySystem`] — several modules with their own vendors,
+//!   geometries and candidate operating points. The result is a
+//!   [`PlacementPlan`] whose spans may split one site across partitions
+//!   (capacity spill), seeded greedily and then refined by a deterministic
+//!   parallel local search (site moves and swaps between modules) scored by
+//!   a pluggable per-slot traffic cost — the experiment binaries wire in
+//!   `eden-sysim` energy/latency there. [`PlacementPlan::apply_to`] lowers a
+//!   plan onto an [`ApproximateMemory`] as per-span device injectors, whose
+//!   per-partition overlays the session composes in O(flips).
 
 use crate::characterize::FineCharacterization;
+use crate::faults::{ApproximateMemory, PlacedSpan};
 use eden_dnn::network::DataTypeInfo;
 use eden_dram::characterize::DramErrorProfile;
-use eden_dram::params::{NOMINAL_TRCD_NS, NOMINAL_VDD};
+use eden_dram::error_model::Layout;
+use eden_dram::inject::Injector;
+use eden_dram::params::{MAX_TRCD_REDUCTION_NS, MAX_VDD_REDUCTION, NOMINAL_TRCD_NS, NOMINAL_VDD};
+use eden_dram::system::MemorySystem;
 use eden_dram::vendor::VendorProfile;
 use eden_dram::OperatingPoint;
 use eden_tensor::Precision;
@@ -48,12 +62,20 @@ fn largest_passing_reduction(
     ber_at: impl Fn(f32) -> f64,
 ) -> f32 {
     let mut best = 0.0f32;
-    let mut d = step;
-    while d < limit {
+    // Index the grid with integers: accumulating `d += step` drifts off the
+    // grid after many f32 additions (0.05 is not exactly representable), so a
+    // fine sweep would probe slightly-off reductions and could even gain or
+    // lose a final step near `limit`.
+    let mut i = 1u32;
+    loop {
+        let d = step * i as f32;
+        if d >= limit {
+            break;
+        }
         if ber_at(d) <= tolerable {
             best = d;
         }
-        d += step;
+        i += 1;
     }
     best
 }
@@ -127,7 +149,8 @@ impl FineMapping {
 /// picks the partition/operating point with the highest benefit that still
 /// meets the data type's BER requirement.
 fn benefit(op: &OperatingPoint) -> f64 {
-    (op.vdd_reduction() / 0.35) as f64 + (op.trcd_reduction_ns() / 6.0) as f64
+    (op.vdd_reduction() / MAX_VDD_REDUCTION) as f64
+        + (op.trcd_reduction_ns() / MAX_TRCD_REDUCTION_NS) as f64
 }
 
 /// Fine-grained DNN→DRAM mapping (Algorithm 1 of the paper).
@@ -155,7 +178,7 @@ pub fn fine_map(
     for (data, tolerable_ber) in sorted {
         let size = data.bytes(precision);
         let mut best: Option<(usize, usize, f64)> = None; // (partition, op, benefit)
-        for (p_idx, partition) in profile.partitions.iter().enumerate() {
+        for p_idx in 0..profile.partition_count() {
             if remaining_bytes[p_idx] < size {
                 continue;
             }
@@ -183,7 +206,6 @@ pub fn fine_map(
                     best_op.map(|(o, _)| o)
                 }
             };
-            let _ = partition;
             if let Some(o_idx) = candidate_op {
                 let b = benefit(&profile.operating_points[o_idx]);
                 if best.map(|(_, _, bb)| b > bb).unwrap_or(true) {
@@ -213,13 +235,513 @@ pub fn fine_map(
     }
 }
 
+/// One span of a [`PlacementPlan`]: `values` stored values of a site,
+/// starting at within-site value index `start_value`, resident in partition
+/// `partition` of module `module` at row offset `base_row`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanSpan {
+    /// Index of the module within the memory system.
+    pub module: usize,
+    /// Index of the partition within the module.
+    pub partition: usize,
+    /// Row offset of the span within its partition (rows are allocated
+    /// consecutively per partition, in plan order).
+    pub base_row: usize,
+    /// First value index of the span within the site's stored image.
+    pub start_value: usize,
+    /// Number of stored values the span covers.
+    pub values: usize,
+}
+
+/// The full placement of one data site: its measured tolerance plus the
+/// spans tiling its values across the system's partitions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SitePlacement {
+    /// The data type.
+    pub data: DataTypeInfo,
+    /// Tolerable BER of the data type.
+    pub tolerable_ber: f64,
+    /// Spans covering `[0, data.elements)` in order, without gaps.
+    pub spans: Vec<PlanSpan>,
+}
+
+/// The productionized multi-module fine mapping: every mapped site is
+/// assigned spans over `(module, partition)` slots, and every used slot runs
+/// at one chosen operating point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementPlan {
+    /// Mapped sites, in the search's strict-to-tolerant processing order.
+    pub placements: Vec<SitePlacement>,
+    /// Sites that fit nowhere; they stay in nominal (error-free) memory.
+    pub unmapped: Vec<DataTypeInfo>,
+    /// Chosen operating-point index per module, per partition (`None` =
+    /// partition unused).
+    pub partition_ops: Vec<Vec<Option<usize>>>,
+}
+
+/// Per-slot traffic summary a plan cost model scores: bytes resident in one
+/// `(module, partition)` slot plus the reductions of its operating point.
+/// The experiment binaries translate these into `eden-sysim` mixed
+/// energy/latency; [`benefit_traffic_score`] is the simulator-free default.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotTraffic {
+    /// Bytes of DNN data resident in the slot.
+    pub bytes: u64,
+    /// Voltage reduction of the slot's operating point (volts).
+    pub vdd_reduction: f32,
+    /// `tRCD` reduction of the slot's operating point (nanoseconds).
+    pub trcd_reduction_ns: f32,
+}
+
+/// Scores a traffic distribution without a system simulator: the
+/// bytes-weighted mean of the normalized operating-point benefit. Higher is
+/// better; 0 means everything sits at nominal.
+pub fn benefit_traffic_score(shares: &[SlotTraffic]) -> f64 {
+    let total: u64 = shares.iter().map(|s| s.bytes).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    shares
+        .iter()
+        .map(|s| {
+            let b = (s.vdd_reduction / MAX_VDD_REDUCTION) as f64
+                + (s.trcd_reduction_ns / MAX_TRCD_REDUCTION_NS) as f64;
+            b * s.bytes as f64 / total as f64
+        })
+        .sum()
+}
+
+/// Tuning knobs of [`multi_module_map`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiModuleConfig {
+    /// Local-search rounds after the greedy seed (0 = greedy only). Each
+    /// round scores every single-site move and pairwise swap in parallel and
+    /// applies the best strict improvement; the search stops early once no
+    /// candidate improves the score.
+    pub max_rounds: usize,
+}
+
+impl Default for MultiModuleConfig {
+    fn default() -> Self {
+        Self { max_rounds: 8 }
+    }
+}
+
+impl PlacementPlan {
+    /// Fraction of the DNN's bytes placed in reduced-parameter partitions.
+    pub fn mapped_fraction(&self, precision: Precision) -> f64 {
+        let mapped: u64 = self
+            .placements
+            .iter()
+            .map(|p| p.data.bytes(precision))
+            .sum();
+        let unmapped: u64 = self.unmapped.iter().map(|d| d.bytes(precision)).sum();
+        if mapped + unmapped == 0 {
+            return 0.0;
+        }
+        mapped as f64 / (mapped + unmapped) as f64
+    }
+
+    /// The plan's per-slot traffic, one entry per *used* slot in module-major
+    /// order — the input to a plan cost model.
+    pub fn traffic_shares(&self, system: &MemorySystem, precision: Precision) -> Vec<SlotTraffic> {
+        let mut bytes: Vec<Vec<u64>> = system
+            .modules()
+            .iter()
+            .map(|m| vec![0u64; m.partition_count()])
+            .collect();
+        for placement in &self.placements {
+            for span in &placement.spans {
+                bytes[span.module][span.partition] +=
+                    (span.values as u64 * precision.bits() as u64).div_ceil(8);
+            }
+        }
+        let mut shares = Vec::new();
+        for (m, p) in system.slots() {
+            let Some(op_idx) = self.partition_ops[m][p] else {
+                continue;
+            };
+            let op = system.module(m).operating_points()[op_idx];
+            shares.push(SlotTraffic {
+                bytes: bytes[m][p],
+                vdd_reduction: op.vdd_reduction(),
+                trcd_reduction_ns: op.trcd_reduction_ns(),
+            });
+        }
+        shares
+    }
+
+    /// Lowers the plan onto a memory: every mapped site becomes a span
+    /// placement whose spans read from their module's simulated device at
+    /// their partition's chosen operating point. Unmapped sites are left
+    /// untouched — apply plans to a reliable (default-error-free) memory so
+    /// they stay at nominal parameters, as the plan semantics require.
+    pub fn apply_to(&self, memory: &mut ApproximateMemory, system: &MemorySystem) {
+        for placement in &self.placements {
+            let spans: Vec<PlacedSpan> = placement
+                .spans
+                .iter()
+                .map(|ps| {
+                    let module = system.module(ps.module);
+                    let op_idx = self.partition_ops[ps.module][ps.partition]
+                        .expect("plan span in a partition with no operating point");
+                    PlacedSpan {
+                        injector: Injector::from_device(
+                            *module.device(),
+                            module.partitions()[ps.partition],
+                            module.operating_points()[op_idx],
+                        ),
+                        start_value: ps.start_value,
+                        values: ps.values,
+                        layout: Layout::new(module.device().geometry().row_bits(), ps.base_row),
+                    }
+                })
+                .collect();
+            memory.assign_site_spans(placement.data.site.clone(), spans);
+        }
+    }
+}
+
+/// The fixed slot table of one search: per `(module, partition)`, the row
+/// capacity and row geometry placement math needs.
+struct SlotInfo {
+    module: usize,
+    partition: usize,
+    cap_rows: u64,
+    row_bits: u64,
+}
+
+impl SlotInfo {
+    fn rows_for(&self, values: usize, bits: u32) -> u64 {
+        (values as u64 * bits as u64).div_ceil(self.row_bits).max(1)
+    }
+
+    fn values_fitting(&self, free_rows: u64, bits: u32) -> usize {
+        (free_rows * self.row_bits / bits as u64) as usize
+    }
+}
+
+/// Search state: per sorted-site index, the `(slot, values)` pieces the site
+/// occupies (`None` = unmapped). Everything else — used rows, per-slot
+/// operating points, traffic — is derived.
+#[derive(Clone)]
+struct SearchState {
+    pieces: Vec<Option<Vec<(usize, usize)>>>,
+}
+
+/// Derived view of a feasible state.
+struct DerivedState {
+    /// Chosen operating-point index per slot (`None` = unused).
+    ops: Vec<Option<usize>>,
+}
+
+/// The most beneficial operating point of `slot` whose BER every resident
+/// tolerates (`min_tol`), or `None` if the module offers no such point.
+fn slot_op(system: &MemorySystem, slot: &SlotInfo, min_tol: f64) -> Option<usize> {
+    let module = system.module(slot.module);
+    let mut best: Option<(usize, f64)> = None;
+    for (o_idx, op) in module.operating_points().iter().enumerate() {
+        if module.ber(slot.partition, o_idx) <= min_tol {
+            let b = benefit(op);
+            if best.map(|(_, bb)| b > bb).unwrap_or(true) {
+                best = Some((o_idx, b));
+            }
+        }
+    }
+    best.map(|(o, _)| o)
+}
+
+/// Recomputes capacity usage and per-slot operating points of a state;
+/// `None` if any slot overflows or hosts data no operating point satisfies.
+fn derive_state(
+    state: &SearchState,
+    sorted: &[(DataTypeInfo, f64)],
+    system: &MemorySystem,
+    slots: &[SlotInfo],
+    bits: u32,
+) -> Option<DerivedState> {
+    let mut used_rows = vec![0u64; slots.len()];
+    let mut min_tol = vec![f64::INFINITY; slots.len()];
+    for (i, pieces) in state.pieces.iter().enumerate() {
+        let Some(pieces) = pieces else { continue };
+        for &(s, values) in pieces {
+            used_rows[s] += slots[s].rows_for(values, bits);
+            min_tol[s] = min_tol[s].min(sorted[i].1);
+        }
+    }
+    let mut ops = vec![None; slots.len()];
+    for (s, slot) in slots.iter().enumerate() {
+        if used_rows[s] > slot.cap_rows {
+            return None;
+        }
+        if min_tol[s].is_finite() {
+            ops[s] = Some(slot_op(system, slot, min_tol[s])?);
+        }
+    }
+    Some(DerivedState { ops })
+}
+
+/// Scores a feasible state with the caller's cost model.
+fn score_state(
+    state: &SearchState,
+    derived: &DerivedState,
+    system: &MemorySystem,
+    slots: &[SlotInfo],
+    bits: u32,
+    score: &(dyn Fn(&[SlotTraffic]) -> f64 + Sync),
+) -> f64 {
+    let mut bytes = vec![0u64; slots.len()];
+    for pieces in state.pieces.iter().flatten() {
+        for &(s, values) in pieces {
+            bytes[s] += (values as u64 * bits as u64).div_ceil(8);
+        }
+    }
+    let shares: Vec<SlotTraffic> = slots
+        .iter()
+        .enumerate()
+        .filter_map(|(s, slot)| {
+            let op_idx = derived.ops[s]?;
+            let op = system.module(slot.module).operating_points()[op_idx];
+            Some(SlotTraffic {
+                bytes: bytes[s],
+                vdd_reduction: op.vdd_reduction(),
+                trcd_reduction_ns: op.trcd_reduction_ns(),
+            })
+        })
+        .collect();
+    score(&shares)
+}
+
+/// A local-search candidate: move one site to another slot, or swap the
+/// slots of two sites. Only whole single-piece sites move — split sites are
+/// pinned where capacity forced them.
+#[derive(Clone, Copy)]
+enum Candidate {
+    Move { site: usize, to: usize },
+    Swap { a: usize, b: usize },
+}
+
+/// Multi-module fine-grained mapping: Algorithm 1 generalized across a
+/// [`MemorySystem`], with capacity spill and a deterministic parallel local
+/// search.
+///
+/// The greedy seed processes data types from least to most tolerant (as
+/// [`fine_map`] does) over every `(module, partition)` slot of the system,
+/// splitting a site across several slots when no single partition has room.
+/// `config.max_rounds` rounds of local search then move/swap whole sites
+/// between slots, keeping any strict improvement of `score` (per-slot
+/// operating points are re-derived from the residents' tolerances after
+/// every candidate move, so BER feasibility is a hard constraint
+/// throughout). Candidates are enumerated and applied in a fixed order and
+/// scored via [`eden_par::par_map`], so the result is a pure function of
+/// the inputs — never of thread count.
+pub fn multi_module_map(
+    characterization: &FineCharacterization,
+    system: &MemorySystem,
+    precision: Precision,
+    config: &MultiModuleConfig,
+    score: &(dyn Fn(&[SlotTraffic]) -> f64 + Sync),
+) -> PlacementPlan {
+    let bits = precision.bits();
+    let mut sorted: Vec<(DataTypeInfo, f64)> = characterization.tolerances.clone();
+    sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+
+    let slots: Vec<SlotInfo> = system
+        .slots()
+        .map(|(m, p)| {
+            let module = system.module(m);
+            let row_bits = module.device().geometry().row_bits() as u64;
+            SlotInfo {
+                module: m,
+                partition: p,
+                cap_rows: module.partitions()[p].capacity_bytes * 8 / row_bits,
+                row_bits,
+            }
+        })
+        .collect();
+
+    // --- Greedy seed -----------------------------------------------------
+    let mut state = SearchState {
+        pieces: vec![None; sorted.len()],
+    };
+    let mut used_rows = vec![0u64; slots.len()];
+    let mut min_tol = vec![f64::INFINITY; slots.len()];
+    for (i, &(ref data, tol)) in sorted.iter().enumerate() {
+        // Rank slots by the benefit of the operating point they would run at
+        // with this site (and its stricter predecessors) resident.
+        let mut ranked: Vec<(usize, f64)> = slots
+            .iter()
+            .enumerate()
+            .filter_map(|(s, slot)| {
+                let op = slot_op(system, slot, min_tol[s].min(tol))?;
+                Some((
+                    s,
+                    benefit(&system.module(slot.module).operating_points()[op]),
+                ))
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        // Fill across ranked slots, spilling to the next when one runs out
+        // of rows.
+        let mut remaining = data.elements;
+        let mut pieces: Vec<(usize, usize)> = Vec::new();
+        for &(s, _) in &ranked {
+            if remaining == 0 {
+                break;
+            }
+            let free = slots[s].cap_rows - used_rows[s];
+            let take = remaining.min(slots[s].values_fitting(free, bits));
+            if take == 0 {
+                continue;
+            }
+            pieces.push((s, take));
+            used_rows[s] += slots[s].rows_for(take, bits);
+            remaining -= take;
+        }
+        if remaining > 0 {
+            // Roll the partial fill back; the site stays in nominal memory.
+            for &(s, take) in &pieces {
+                used_rows[s] -= slots[s].rows_for(take, bits);
+            }
+            continue;
+        }
+        for &(s, _) in &pieces {
+            min_tol[s] = min_tol[s].min(tol);
+        }
+        state.pieces[i] = Some(pieces);
+    }
+
+    // --- Local search ----------------------------------------------------
+    let derived =
+        derive_state(&state, &sorted, system, &slots, bits).expect("greedy seed must be feasible");
+    let mut best_score = score_state(&state, &derived, system, &slots, bits, score);
+    for _ in 0..config.max_rounds {
+        let mut candidates: Vec<Candidate> = Vec::new();
+        let single_slot: Vec<Option<usize>> = state
+            .pieces
+            .iter()
+            .map(|p| match p.as_deref() {
+                Some([(s, _)]) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        for (i, &cur) in single_slot.iter().enumerate() {
+            let Some(cur) = cur else { continue };
+            for s in 0..slots.len() {
+                if s != cur {
+                    candidates.push(Candidate::Move { site: i, to: s });
+                }
+            }
+            for (j, &other) in single_slot.iter().enumerate().skip(i + 1) {
+                if other.is_some_and(|o| o != cur) {
+                    candidates.push(Candidate::Swap { a: i, b: j });
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        let scores = eden_par::par_map(&candidates, |_, cand| {
+            let mut trial = state.clone();
+            match *cand {
+                Candidate::Move { site, to } => {
+                    let values = sorted[site].0.elements;
+                    trial.pieces[site] = Some(vec![(to, values)]);
+                }
+                Candidate::Swap { a, b } => {
+                    let (sa, sb) = (single_slot[a].unwrap(), single_slot[b].unwrap());
+                    trial.pieces[a] = Some(vec![(sb, sorted[a].0.elements)]);
+                    trial.pieces[b] = Some(vec![(sa, sorted[b].0.elements)]);
+                }
+            }
+            derive_state(&trial, &sorted, system, &slots, bits)
+                .map(|d| score_state(&trial, &d, system, &slots, bits, score))
+        });
+        // Keep the best strict improvement; ties break towards the earliest
+        // candidate, so the accepted move is order-independent.
+        let mut accepted: Option<(usize, f64)> = None;
+        for (idx, s) in scores.iter().enumerate() {
+            let Some(s) = s else { continue };
+            if *s > best_score + 1e-12 && accepted.map(|(_, bs)| *s > bs).unwrap_or(true) {
+                accepted = Some((idx, *s));
+            }
+        }
+        let Some((idx, new_score)) = accepted else {
+            break;
+        };
+        match candidates[idx] {
+            Candidate::Move { site, to } => {
+                state.pieces[site] = Some(vec![(to, sorted[site].0.elements)]);
+            }
+            Candidate::Swap { a, b } => {
+                let (sa, sb) = (single_slot[a].unwrap(), single_slot[b].unwrap());
+                state.pieces[a] = Some(vec![(sb, sorted[a].0.elements)]);
+                state.pieces[b] = Some(vec![(sa, sorted[b].0.elements)]);
+            }
+        }
+        best_score = new_score;
+    }
+
+    // --- Materialize the plan -------------------------------------------
+    let derived = derive_state(&state, &sorted, system, &slots, bits)
+        .expect("accepted states are feasible by construction");
+    let mut row_cursor = vec![0u64; slots.len()];
+    let mut placements = Vec::new();
+    let mut unmapped = Vec::new();
+    for (i, pieces) in state.pieces.iter().enumerate() {
+        let (data, tol) = &sorted[i];
+        let Some(pieces) = pieces else {
+            unmapped.push(data.clone());
+            continue;
+        };
+        let mut start_value = 0usize;
+        let spans = pieces
+            .iter()
+            .map(|&(s, values)| {
+                let span = PlanSpan {
+                    module: slots[s].module,
+                    partition: slots[s].partition,
+                    base_row: row_cursor[s] as usize,
+                    start_value,
+                    values,
+                };
+                row_cursor[s] += slots[s].rows_for(values, bits);
+                start_value += values;
+                span
+            })
+            .collect();
+        placements.push(SitePlacement {
+            data: data.clone(),
+            tolerable_ber: *tol,
+            spans,
+        });
+    }
+    let mut partition_ops: Vec<Vec<Option<usize>>> = system
+        .modules()
+        .iter()
+        .map(|m| vec![None; m.partition_count()])
+        .collect();
+    for (s, slot) in slots.iter().enumerate() {
+        partition_ops[slot.module][slot.partition] = derived.ops[s];
+    }
+    PlacementPlan {
+        placements,
+        unmapped,
+        partition_ops,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use eden_dnn::{DataKind, DataSite};
     use eden_dram::characterize::CharacterizeConfig;
-    use eden_dram::geometry::{partitions, DramGeometry, PartitionGranularity};
-    use eden_dram::{ApproxDramDevice, Vendor};
+    use eden_dram::geometry::{partitions, DramGeometry, Partition, PartitionGranularity};
+    use eden_dram::{ApproxDramDevice, DramModule, Vendor};
 
     #[test]
     fn coarse_map_reproduces_table3_correspondence() {
@@ -283,6 +805,28 @@ mod tests {
         let monotone = |dv: f32| (dv as f64) * 0.1;
         let best = largest_passing_reduction(0.05, 0.60, 0.021, monotone);
         assert!((best - 0.20).abs() < 1e-6, "got {best}");
+    }
+
+    #[test]
+    fn fine_step_sweep_probes_exact_grid_multiples() {
+        // A fine sweep (1 mV steps) must probe exact grid multiples and
+        // report the deepest one. The former `d += step` accumulation
+        // drifted off the grid after hundreds of f32 additions, probing
+        // slightly-off reductions and returning an accumulated sum instead
+        // of `step * i`.
+        use std::cell::RefCell;
+        let step = 1e-3f32;
+        let probes = RefCell::new(Vec::new());
+        let best = largest_passing_reduction(step, 0.35, 1.0, |d| {
+            probes.borrow_mut().push(d);
+            0.0
+        });
+        let probes = probes.into_inner();
+        assert_eq!(probes.len(), 349);
+        for (i, d) in probes.iter().enumerate() {
+            assert_eq!(d.to_bits(), (step * (i + 1) as f32).to_bits());
+        }
+        assert_eq!(best.to_bits(), (step * 349.0).to_bits());
     }
 
     #[test]
@@ -372,6 +916,159 @@ mod tests {
         for a in &mapping.assignments {
             assert!(profile.ber(a.partition_index, a.op_index) <= a.tolerable_ber);
         }
+    }
+
+    /// `n` artificial partitions of `capacity_bytes` each, one subarray per
+    /// partition so characterization probes distinct base rows.
+    fn small_partitions(n: usize, capacity_bytes: u64) -> Vec<Partition> {
+        (0..n)
+            .map(|i| Partition {
+                index: i,
+                bank: i,
+                first_subarray: 0,
+                subarrays: 1,
+                capacity_bytes,
+            })
+            .collect()
+    }
+
+    /// Two modules (vendors A and B) with two small partitions each: module
+    /// 0 offers voltage reductions, module 1 `tRCD` reductions.
+    fn tiny_system(capacity_bytes: u64) -> MemorySystem {
+        let cfg = CharacterizeConfig {
+            rows_per_pattern: 1,
+            bitlines_per_row: 128,
+            reads_per_row: 1,
+            seed: 7,
+        };
+        let ops_a = vec![
+            OperatingPoint::nominal(),
+            OperatingPoint::with_vdd_reduction(0.10),
+            OperatingPoint::with_vdd_reduction(0.30),
+        ];
+        let ops_b = vec![
+            OperatingPoint::nominal(),
+            OperatingPoint::with_trcd_reduction(2.0),
+            OperatingPoint::with_trcd_reduction(5.0),
+        ];
+        MemorySystem::new(vec![
+            DramModule::characterize(
+                ApproxDramDevice::new(Vendor::A, 21),
+                &small_partitions(2, capacity_bytes),
+                &ops_a,
+                &cfg,
+            ),
+            DramModule::characterize(
+                ApproxDramDevice::new(Vendor::B, 22),
+                &small_partitions(2, capacity_bytes),
+                &ops_b,
+                &cfg,
+            ),
+        ])
+    }
+
+    #[test]
+    fn multi_module_plan_covers_every_site_within_ber_budgets() {
+        let system = tiny_system(8192);
+        let plan = multi_module_map(
+            &synthetic_characterization(),
+            &system,
+            Precision::Int8,
+            &MultiModuleConfig::default(),
+            &benefit_traffic_score,
+        );
+        assert_eq!(plan.placements.len(), 3);
+        assert!(plan.unmapped.is_empty());
+        assert!(plan.mapped_fraction(Precision::Int8) > 0.999);
+        for placement in &plan.placements {
+            // Spans tile the site's values contiguously from 0.
+            let mut next = 0usize;
+            for span in &placement.spans {
+                assert_eq!(span.start_value, next);
+                assert!(span.values > 0);
+                next += span.values;
+                // Every span respects its partition's BER at the chosen op.
+                let op = plan.partition_ops[span.module][span.partition].unwrap();
+                assert!(
+                    system.module(span.module).ber(span.partition, op) <= placement.tolerable_ber
+                );
+            }
+            assert_eq!(next, placement.data.elements);
+        }
+    }
+
+    #[test]
+    fn multi_module_search_is_deterministic() {
+        let system = tiny_system(8192);
+        let plan = |rounds| {
+            multi_module_map(
+                &synthetic_characterization(),
+                &system,
+                Precision::Int8,
+                &MultiModuleConfig { max_rounds: rounds },
+                &benefit_traffic_score,
+            )
+        };
+        assert_eq!(plan(8), plan(8));
+        // The local search never scores worse than the greedy seed.
+        let greedy = plan(0);
+        let searched = plan(8);
+        let score =
+            |p: &PlacementPlan| benefit_traffic_score(&p.traffic_shares(&system, Precision::Int8));
+        assert!(score(&searched) >= score(&greedy) - 1e-12);
+    }
+
+    #[test]
+    fn capacity_pressure_splits_sites_across_partitions() {
+        // Each partition holds 2048 bytes = 2048 Int8 values, so the
+        // 4096-element site cannot live in one partition: the plan must
+        // split it into multiple spans, possibly across modules.
+        let system = tiny_system(2048);
+        let plan = multi_module_map(
+            &synthetic_characterization(),
+            &system,
+            Precision::Int8,
+            &MultiModuleConfig::default(),
+            &benefit_traffic_score,
+        );
+        assert!(plan.unmapped.is_empty());
+        let big = plan
+            .placements
+            .iter()
+            .find(|p| p.data.elements == 4096)
+            .unwrap();
+        assert!(
+            big.spans.len() >= 2,
+            "expected a split, got {:?}",
+            big.spans
+        );
+        let distinct: std::collections::HashSet<(usize, usize)> =
+            big.spans.iter().map(|s| (s.module, s.partition)).collect();
+        assert_eq!(distinct.len(), big.spans.len(), "spans share a partition");
+    }
+
+    #[test]
+    fn oversubscribed_system_leaves_leftovers_unmapped() {
+        // Total capacity 4 × 512 bytes cannot hold 7168 bytes of data: the
+        // most tolerant sites keep their placements (strict data is placed
+        // first and benefits most from protection), the rest spill to
+        // nominal memory.
+        let system = tiny_system(512);
+        let plan = multi_module_map(
+            &synthetic_characterization(),
+            &system,
+            Precision::Int8,
+            &MultiModuleConfig::default(),
+            &benefit_traffic_score,
+        );
+        assert!(!plan.unmapped.is_empty());
+        let placed: usize = plan
+            .placements
+            .iter()
+            .flat_map(|p| p.spans.iter())
+            .map(|s| s.values)
+            .sum();
+        assert!(placed <= 4 * 512, "placed {placed} values in 2048 bytes");
     }
 
     #[test]

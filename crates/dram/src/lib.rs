@@ -41,6 +41,7 @@ pub mod fit;
 pub mod geometry;
 pub mod inject;
 pub mod params;
+pub mod system;
 pub mod util;
 pub mod vendor;
 
@@ -48,4 +49,5 @@ pub use device::ApproxDramDevice;
 pub use eden_tensor::CorruptionOverlay;
 pub use error_model::{ErrorModel, ErrorModelKind, Layout};
 pub use params::OperatingPoint;
+pub use system::{DramModule, MemorySystem};
 pub use vendor::Vendor;

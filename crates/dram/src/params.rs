@@ -20,6 +20,14 @@ pub const NOMINAL_TRAS_NS: f32 = 32.0;
 /// Nominal DDR4 CAS latency (nanoseconds); not adjustable in the memory
 /// controller (Figure 3 caption).
 pub const NOMINAL_CL_NS: f32 = 12.5;
+/// Largest supply-voltage reduction EDEN's sweeps consider (volts): the
+/// deepest ΔVDD of Table 3 / Figure 5. Mapping normalizes operating-point
+/// benefit against this limit.
+pub const MAX_VDD_REDUCTION: f32 = 0.35;
+/// Largest `tRCD` reduction EDEN's sweeps consider (nanoseconds): the deepest
+/// ΔtRCD of Table 3 / Figure 5. Mapping normalizes operating-point benefit
+/// against this limit.
+pub const MAX_TRCD_REDUCTION_NS: f32 = 6.0;
 
 /// DRAM timing parameters in nanoseconds.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -184,6 +192,13 @@ mod tests {
         let reduced = OperatingPoint::with_trcd_reduction(5.0).timing;
         assert!(reduced.row_miss_latency_ns() < nominal.row_miss_latency_ns());
         assert_eq!(reduced.row_hit_latency_ns(), nominal.row_hit_latency_ns());
+    }
+
+    #[test]
+    fn sweep_limit_constants_are_valid_operating_points() {
+        let op = OperatingPoint::with_reductions(MAX_VDD_REDUCTION, MAX_TRCD_REDUCTION_NS);
+        assert!((op.vdd_reduction() - MAX_VDD_REDUCTION).abs() < 1e-6);
+        assert!((op.trcd_reduction_ns() - MAX_TRCD_REDUCTION_NS).abs() < 1e-6);
     }
 
     #[test]

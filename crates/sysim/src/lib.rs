@@ -40,5 +40,5 @@ pub use accelerator::{AcceleratorConfig, AcceleratorSim};
 pub use cpu::{CpuConfig, CpuSim};
 pub use gpu::{GpuConfig, GpuSim};
 pub use result::SystemResult;
-pub use sim::{accelerator_sims, standard_sims, SystemSim};
+pub use sim::{accelerator_sims, standard_sims, SystemSim, TrafficShare};
 pub use workload::WorkloadProfile;

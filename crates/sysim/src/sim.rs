@@ -17,6 +17,22 @@ use crate::result::SystemResult;
 use crate::workload::WorkloadProfile;
 use eden_dram::OperatingPoint;
 
+/// One slice of a workload's DRAM traffic resident on memory running at its
+/// own operating point — the per-`(module, partition)` accounting unit of a
+/// multi-module placement plan ([Figure 12]'s fine-grained mapping
+/// generalized across modules).
+///
+/// [Figure 12]: https://arxiv.org/abs/1905.03853
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficShare {
+    /// Bytes of the workload's DRAM data resident in this share.
+    pub bytes: u64,
+    /// Voltage reduction of the share's operating point (volts).
+    pub vdd_reduction: f32,
+    /// `tRCD` reduction of the share's operating point (nanoseconds).
+    pub trcd_reduction_ns: f32,
+}
+
 /// A system-level simulator: runs one DNN inference against DRAM at a given
 /// operating point and reports time, traffic and energy.
 pub trait SystemSim {
@@ -50,6 +66,53 @@ pub trait SystemSim {
             &OperatingPoint::with_trcd_reduction(trcd_reduction_ns),
         )
         .speedup_over(&nominal)
+    }
+
+    /// Fractional DRAM energy saving of a multi-module placement: each
+    /// [`TrafficShare`]'s bytes are served at its own reduced rail, so the
+    /// saving is the bytes-weighted mean of the per-share savings. Empty or
+    /// zero-byte shares save nothing.
+    fn mixed_energy_saving(&self, workload: &WorkloadProfile, shares: &[TrafficShare]) -> f64 {
+        let total: u64 = shares.iter().map(|s| s.bytes).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        shares
+            .iter()
+            .filter(|s| s.bytes > 0)
+            .map(|s| {
+                let saving = if s.vdd_reduction > 0.0 {
+                    self.energy_saving(workload, s.vdd_reduction)
+                } else {
+                    0.0
+                };
+                saving * s.bytes as f64 / total as f64
+            })
+            .sum()
+    }
+
+    /// Speedup of a multi-module placement: each share's accesses complete at
+    /// its own `tRCD`, so the combined speedup is the bytes-weighted
+    /// *harmonic* mean of the per-share speedups (time adds, rates do not).
+    /// Empty or zero-byte shares leave the speedup at 1.
+    fn mixed_trcd_speedup(&self, workload: &WorkloadProfile, shares: &[TrafficShare]) -> f64 {
+        let total: u64 = shares.iter().map(|s| s.bytes).sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let inverse: f64 = shares
+            .iter()
+            .filter(|s| s.bytes > 0)
+            .map(|s| {
+                let speedup = if s.trcd_reduction_ns > 0.0 {
+                    self.trcd_speedup(workload, s.trcd_reduction_ns)
+                } else {
+                    1.0
+                };
+                (s.bytes as f64 / total as f64) / speedup
+            })
+            .sum();
+        1.0 / inverse
     }
 }
 
@@ -156,6 +219,39 @@ mod tests {
                 sim.name()
             );
         }
+    }
+
+    #[test]
+    fn mixed_costs_interpolate_between_pure_operating_points() {
+        let workload = WorkloadProfile::for_model(ModelId::AlexNet, Precision::Int8);
+        let sim = CpuSim::table4();
+        // A single share holding all bytes degenerates to the pure helpers.
+        let all = [TrafficShare {
+            bytes: 1 << 20,
+            vdd_reduction: 0.30,
+            trcd_reduction_ns: 5.5,
+        }];
+        let pure_saving = sim.energy_saving(&workload, 0.30);
+        let pure_speedup = sim.trcd_speedup(&workload, 5.5);
+        assert!((sim.mixed_energy_saving(&workload, &all) - pure_saving).abs() < 1e-12);
+        assert!((sim.mixed_trcd_speedup(&workload, &all) - pure_speedup).abs() < 1e-12);
+        // A 50/50 split with nominal halves the saving and lands the
+        // harmonic-mean speedup strictly between 1 and the pure speedup.
+        let nominal = TrafficShare {
+            bytes: 1 << 20,
+            vdd_reduction: 0.0,
+            trcd_reduction_ns: 0.0,
+        };
+        let split = [all[0], nominal];
+        let mixed_saving = sim.mixed_energy_saving(&workload, &split);
+        assert!((mixed_saving - pure_saving / 2.0).abs() < 1e-12);
+        let mixed_speedup = sim.mixed_trcd_speedup(&workload, &split);
+        assert!(mixed_speedup > 1.0 && mixed_speedup < pure_speedup);
+        // All-nominal and empty placements are the identity.
+        assert_eq!(sim.mixed_energy_saving(&workload, &[nominal]), 0.0);
+        assert_eq!(sim.mixed_trcd_speedup(&workload, &[nominal]), 1.0);
+        assert_eq!(sim.mixed_energy_saving(&workload, &[]), 0.0);
+        assert_eq!(sim.mixed_trcd_speedup(&workload, &[]), 1.0);
     }
 
     #[test]

@@ -240,6 +240,37 @@ impl CorruptionOverlay {
         self.flips += other.flips;
         self.corrections += other.corrections;
     }
+
+    /// The same deltas re-indexed into a larger image: word `w` of this
+    /// overlay becomes word `offset + w` of an image with `values` elements.
+    /// This is the lift that embeds a per-span overlay — produced against a
+    /// [`crate::quant::QuantTensor::slice_values`] slice of a data type's
+    /// stored words — back into the full image before composition with
+    /// [`CorruptionOverlay::merge`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shifted span does not fit the target geometry.
+    pub fn lifted(&self, offset: usize, values: usize) -> CorruptionOverlay {
+        assert!(
+            offset
+                .checked_add(self.values)
+                .is_some_and(|end| end <= values),
+            "lifted overlay out of bounds: offset {offset} + span {} > {values}",
+            self.values
+        );
+        CorruptionOverlay {
+            values,
+            bits: self.bits,
+            deltas: self
+                .deltas
+                .iter()
+                .map(|&(w, m)| (w + offset as u32, m))
+                .collect(),
+            flips: self.flips,
+            corrections: self.corrections,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -319,6 +350,33 @@ mod tests {
         let mut merged = clean.clone();
         both.apply(&mut merged);
         assert_eq!(seq, merged);
+    }
+
+    #[test]
+    fn lifted_offsets_word_indices_into_the_larger_image() {
+        let o = CorruptionOverlay::new(4, 8, vec![(0, 1), (3, 2)], 2, 1);
+        let l = o.lifted(5, 16);
+        assert_eq!(l.values(), 16);
+        assert_eq!(l.deltas(), &[(5, 1), (8, 2)]);
+        assert_eq!(l.bit_flips(), 2);
+        assert_eq!(l.corrections(), 1);
+        // Lifting a slice's diff equals diffing the slice in place.
+        let clean = stored(32, Precision::Int8);
+        let slice = clean.slice_values(10..20);
+        let mut corrupted_slice = slice.clone();
+        corrupted_slice.flip_bit(2, 3);
+        corrupted_slice.flip_bit(9, 0);
+        let lifted = CorruptionOverlay::from_diff(&slice, &corrupted_slice).lifted(10, 32);
+        let mut patched = clean.clone();
+        lifted.apply(&mut patched);
+        assert_eq!(patched.stored_bits(12), clean.stored_bits(12) ^ 0b1000);
+        assert_eq!(patched.stored_bits(19), clean.stored_bits(19) ^ 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn lifted_rejects_spans_that_do_not_fit() {
+        let _ = CorruptionOverlay::empty(8, 8).lifted(9, 16);
     }
 
     #[test]

@@ -353,6 +353,24 @@ impl QuantTensor {
         );
     }
 
+    /// A copy of the stored words in `range` as a standalone 1-D tensor
+    /// sharing this tensor's precision and scale — the per-span view that
+    /// multi-module placement corrupts independently. Word `i` of the slice
+    /// is word `range.start + i` of the parent, so overlays produced against
+    /// the slice lift back into the parent by offsetting word indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice_values(&self, range: std::ops::Range<usize>) -> QuantTensor {
+        QuantTensor {
+            shape: vec![range.len()],
+            precision: self.precision,
+            scale: self.scale,
+            stored: self.stored[range].to_vec(),
+        }
+    }
+
     /// Number of elements.
     pub fn len(&self) -> usize {
         self.stored.len()

@@ -2,7 +2,7 @@
 
 use eden_tensor::bits;
 use eden_tensor::ops;
-use eden_tensor::{Precision, QuantTensor, Shape, Tensor};
+use eden_tensor::{CorruptionOverlay, Precision, QuantTensor, Shape, Tensor};
 use proptest::prelude::*;
 
 fn small_vec() -> impl Strategy<Value = Vec<f32>> {
@@ -61,6 +61,17 @@ impl proptest::strategy::Strategy for ShapeStrategy {
 fn tensor_for(shape: &Shape, seed: u64) -> Tensor {
     let mut rng = eden_tensor::init::seeded_rng(seed);
     eden_tensor::init::uniform(shape.dims(), -50.0, 50.0, &mut rng)
+}
+
+/// The overlay produced by flipping the given `(element, bit)` pairs on a
+/// copy of `clean` (indices folded into range; duplicate flips cancel, as
+/// real double corruption would).
+fn overlay_from_flips(clean: &QuantTensor, flips: &[(usize, u32)]) -> CorruptionOverlay {
+    let mut corrupted = clean.clone();
+    for &(i, b) in flips {
+        corrupted.flip_bit(i % clean.len(), b % clean.bits_per_value());
+    }
+    CorruptionOverlay::from_diff(clean, &corrupted)
 }
 
 proptest! {
@@ -209,6 +220,58 @@ proptest! {
             }
         }
         prop_assert!(seen.into_iter().all(|v| v));
+    }
+
+    #[test]
+    fn merge_equals_from_diff_of_sequential_corruption(
+        data in small_vec(),
+        flips_a in prop::collection::vec((0usize..64, 0u32..8), 0..12),
+        flips_b in prop::collection::vec((0usize..64, 0u32..8), 0..12),
+    ) {
+        // Merging the overlays of two independent corruptions must describe
+        // exactly the image both corruptions produce sequentially — including
+        // overlapping words, where shared mask bits cancel just as a second
+        // physical flip of the same cell would.
+        let n = data.len();
+        let t = Tensor::from_vec(data, &[n]);
+        let clean = QuantTensor::quantize(&t, Precision::Int8);
+        let a = overlay_from_flips(&clean, &flips_a);
+        let b = overlay_from_flips(&clean, &flips_b);
+        let mut seq = clean.clone();
+        a.apply(&mut seq);
+        b.apply(&mut seq);
+        let reference = CorruptionOverlay::from_diff(&clean, &seq);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        prop_assert_eq!(merged.deltas(), reference.deltas());
+        let mut via_merged = clean.clone();
+        merged.apply(&mut via_merged);
+        prop_assert_eq!(via_merged, seq);
+        // Counters accumulate the per-source statistics, not the net diff.
+        prop_assert_eq!(merged.bit_flips(), a.bit_flips() + b.bit_flips());
+    }
+
+    #[test]
+    fn merge_preserves_ascending_order_and_sums_counters(
+        words_a in prop::collection::vec((0u32..64, 1u32..256), 0..16),
+        words_b in prop::collection::vec((0u32..64, 1u32..256), 0..16),
+        flips_a in 0u64..100, corr_a in 0u64..100,
+        flips_b in 0u64..100, corr_b in 0u64..100,
+    ) {
+        let dedup = |v: &[(u32, u32)]| {
+            let mut m = std::collections::BTreeMap::new();
+            for &(w, mask) in v {
+                m.insert(w % 64, mask & 0xFF);
+            }
+            m.into_iter().filter(|&(_, mask)| mask != 0).collect::<Vec<_>>()
+        };
+        let mut a = CorruptionOverlay::new(64, 8, dedup(&words_a), flips_a, corr_a);
+        let b = CorruptionOverlay::new(64, 8, dedup(&words_b), flips_b, corr_b);
+        a.merge(&b);
+        prop_assert!(a.deltas().windows(2).all(|w| w[0].0 < w[1].0));
+        prop_assert!(a.deltas().iter().all(|&(_, mask)| mask != 0));
+        prop_assert_eq!(a.bit_flips(), flips_a + flips_b);
+        prop_assert_eq!(a.corrections(), corr_a + corr_b);
     }
 
     #[test]
