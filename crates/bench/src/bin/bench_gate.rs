@@ -13,7 +13,12 @@
 //! `calibration/spin` entries (a fixed scalar workload), which cancels
 //! absolute machine-speed differences between the runner that recorded the
 //! baseline and the runner executing the gate; it defaults to 1 when either
-//! file lacks the entry.
+//! file lacks the entry. The scale is computed on the entries' **median**
+//! (`median_ns`, falling back to `min_ns` for baselines recorded before the
+//! shim reported medians): a scale from two single minimums wobbled by more
+//! than an order of magnitude across runs on busy runners, and a bad scale
+//! poisons every per-entry budget at once — the per-entry comparisons stay
+//! on the minimum, where a noise spike can only fail its own entry.
 //!
 //! The per-entry table — normalized ratio and verdict for every benchmark —
 //! is printed on PASS as well as FAIL, so a green run still shows where the
@@ -31,6 +36,16 @@ struct Entry {
     group: String,
     id: String,
     min_ns: f64,
+    /// Absent in baselines recorded before the shim reported medians.
+    median_ns: Option<f64>,
+}
+
+impl Entry {
+    /// The statistic the machine-speed calibration uses: the median when
+    /// recorded, else the minimum.
+    fn calibration_ns(&self) -> f64 {
+        self.median_ns.unwrap_or(self.min_ns)
+    }
 }
 
 impl Entry {
@@ -62,6 +77,7 @@ fn parse(path: &str) -> Result<Vec<Entry>, String> {
                 group: field(line, "group")?.to_string(),
                 id: field(line, "id")?.to_string(),
                 min_ns: field(line, "min_ns")?.parse::<f64>().ok()?,
+                median_ns: field(line, "median_ns").and_then(|v| v.parse::<f64>().ok()),
             })
         })()
         .ok_or_else(|| format!("{path}:{}: malformed bench record: {line}", ln + 1))?;
@@ -148,8 +164,21 @@ fn run() -> Result<bool, String> {
     let current = parse(&paths[1])?;
 
     const CAL: &str = "calibration/spin";
+    // Median-based (see module doc): both sides must report a median for it
+    // to be used, so a median is never compared against a minimum.
     let scale = match (find(&baseline, CAL), find(&current, CAL)) {
-        (Some(b), Some(c)) if b.min_ns > 0.0 => c.min_ns / b.min_ns,
+        (Some(b), Some(c)) => {
+            let (b_ns, c_ns) = if b.median_ns.is_some() && c.median_ns.is_some() {
+                (b.calibration_ns(), c.calibration_ns())
+            } else {
+                (b.min_ns, c.min_ns)
+            };
+            if b_ns > 0.0 {
+                c_ns / b_ns
+            } else {
+                1.0
+            }
+        }
         _ => 1.0,
     };
     println!(
@@ -302,6 +331,27 @@ mod tests {
         assert!(md.contains("| `g/ok` | 100 | 90 | 0.90x | ok |"));
         assert!(md.contains("| `g/gone` | 50 | - | - | MISSING |"));
         assert!(md.contains("| `g/fresh` | - | 70 | - | NEW |"));
+    }
+
+    #[test]
+    fn median_field_is_optional_and_drives_calibration() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("bench_gate_median_{}.json", std::process::id()));
+        std::fs::write(
+            &path,
+            "{\"group\":\"calibration\",\"id\":\"spin\",\"mean_ns\":900,\"median_ns\":500,\"min_ns\":300,\"max_ns\":4000,\"samples\":15}\n\
+             {\"group\":\"old\",\"id\":\"entry\",\"mean_ns\":120,\"min_ns\":100,\"max_ns\":200,\"samples\":5}\n",
+        )
+        .unwrap();
+        let entries = parse(path.to_str().unwrap()).unwrap();
+        std::fs::remove_file(&path).ok();
+        let cal = find(&entries, "calibration/spin").unwrap();
+        assert_eq!(cal.median_ns, Some(500.0));
+        assert_eq!(cal.calibration_ns(), 500.0);
+        // Pre-median records parse fine and calibrate off their minimum.
+        let old = find(&entries, "old/entry").unwrap();
+        assert_eq!(old.median_ns, None);
+        assert_eq!(old.calibration_ns(), 100.0);
     }
 
     #[test]

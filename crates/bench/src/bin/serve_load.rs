@@ -255,6 +255,7 @@ fn main() {
 
     let shards = stats.get("shards").cloned().unwrap_or(Json::Null);
     let weak = stats.get("weak_maps").cloned().unwrap_or(Json::Null);
+    let ckpt = stats.get("checkpoints").cloned().unwrap_or(Json::Null);
     let live = shards.get("live").and_then(Json::as_u64).unwrap_or(0);
     let mut report = String::new();
     report.push_str("eden-serve load test report\n");
@@ -283,6 +284,15 @@ fn main() {
         "weak-map cache hits {}  misses {}\n",
         weak.get("hits").and_then(Json::as_u64).unwrap_or(0),
         weak.get("misses").and_then(Json::as_u64).unwrap_or(0),
+    ));
+    report.push_str(&format!(
+        "checkpoints hits {}  misses {}  evictions {}  resident {} B\n",
+        ckpt.get("hits").and_then(Json::as_u64).unwrap_or(0),
+        ckpt.get("misses").and_then(Json::as_u64).unwrap_or(0),
+        ckpt.get("evictions").and_then(Json::as_u64).unwrap_or(0),
+        ckpt.get("resident_bytes")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
     ));
     report.push_str(&format!("errors {errors}\n"));
     print!("{report}");

@@ -259,21 +259,25 @@ pub fn fine_characterize(
 /// [`fine_characterize`] on a caller-provided [`EvalSession`].
 ///
 /// This is the `sites × rounds` probe loop of Figure 11, and the workload
-/// the session layer pays off most on: between consecutive probes only a
-/// *single* site's BER changes, so the session's keyed injector and
-/// weak-cell-map caches rebuild exactly one placement per probe instead of
-/// all of them. The session's precision and backend are authoritative;
-/// `cfg.backend` is only read by the non-session wrapper.
+/// the session layer pays off most on. Each probe perturbs exactly **one**
+/// site — the stepped site is served at its candidate BER, every other site
+/// from reliable memory — which is the paper's "characterize each data type
+/// individually" procedure and what makes the tolerances independent
+/// per-site measurements rather than functions of the sweep's visiting
+/// order. It is also what the session's incremental re-evaluation feeds on:
+/// a single-site probe's [`ApproximateMemory::first_dirty_layer`] is the
+/// probed site's layer, so the clean prefix of every sample resumes from a
+/// checkpointed boundary activation and only the suffix re-executes —
+/// O(suffix from the probed site) per probe instead of O(layers). The
+/// session's precision and backend are authoritative; `cfg.backend` is only
+/// read by the non-session wrapper.
 ///
-/// Within a round, each still-active site's probe is independent: every
-/// probe steps only its *own* site's BER against the tolerance vector the
-/// round started with (Jacobi-style rounds, where the sequential original
-/// folded each acceptance into later probes of the same round,
-/// Gauss-Seidel-style). That makes the probes data-parallel, and they fan
-/// out across the `eden-par` pool via [`EvalSession::evaluate_concurrent`].
-/// Each probe draws its error pattern from its own `probe_seed(seed, round,
-/// site)` stream and acceptances are folded in ascending site order after
-/// the round's fan-out, so results are bit-identical at any thread count.
+/// Within a round, each still-active site's probe is independent, so the
+/// probes fan out across the `eden-par` pool via
+/// [`EvalSession::evaluate_concurrent`]. Each probe draws its error pattern
+/// from its own `probe_seed(seed, round, site)` stream and acceptances are
+/// folded in ascending site order after the round's fan-out, so results are
+/// bit-identical at any thread count.
 pub fn fine_characterize_session(
     session: &mut EvalSession<'_>,
     dataset: &dyn Dataset,
@@ -294,15 +298,11 @@ pub fn fine_characterize_session(
         if probes.is_empty() {
             break;
         }
-        // Resolve every injector the round's probes share *before* fanning
-        // out: `injector_for` caches under `&mut self`, while the fan-out
-        // below holds the session by shared reference. Each site's
-        // round-start injector plus the stepped one per probed site —
-        // exactly the set the sequential loop would have resolved.
-        let base: Vec<Injector> = tolerances
-            .iter()
-            .map(|&ber| session.injector_for(template, ber))
-            .collect();
+        // Resolve the stepped injectors *before* fanning out: `injector_for`
+        // caches under `&mut self`, while the fan-out below holds the
+        // session by shared reference. Each probe corrupts exactly one site
+        // — the probed one at its stepped BER — so the stepped injectors are
+        // the whole set the round needs.
         let stepped: Vec<Injector> = probes
             .iter()
             .map(|&i| session.injector_for(template, tolerances[i] * cfg.step_factor))
@@ -312,10 +312,7 @@ pub fn fine_characterize_session(
         let accs: Vec<f32> = eden_par::par_map(&probes, |p, &i| {
             let mut memory =
                 ApproximateMemory::reliable(probe_seed(cfg.seed, round as u64, i as u64));
-            for (j, info) in sites.iter().enumerate() {
-                let injector = if j == i { &stepped[p] } else { &base[j] };
-                memory.assign_site(info.site.clone(), injector.clone());
-            }
+            memory.assign_site(sites[i].site.clone(), stepped[p].clone());
             if let Some(b) = bounding {
                 memory = memory.with_bounding(b);
             }

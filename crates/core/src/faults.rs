@@ -597,16 +597,16 @@ impl ApproximateMemory {
         self.stats.loads += 1;
         let mut overlay = match self.placement.site_spans.get(site).cloned() {
             Some(spans) => self.span_overlay(&spans, clean, load_stream),
-            None => {
+            None if self.site_is_dirty(site) => {
                 let layout = self.layout_for(site, clean.total_bits());
                 let map = self.weak_map_for(site, clean.len(), clean.bits_per_value());
-                match self.placement.injector_for(site) {
-                    Some(injector) => {
-                        injector.overlay_placed_seeded(clean, &layout, load_stream, map.as_deref())
-                    }
-                    None => CorruptionOverlay::empty(clean.len(), clean.bits_per_value()),
-                }
+                let injector = self
+                    .placement
+                    .injector_for(site)
+                    .expect("dirty site has an injector");
+                injector.overlay_placed_seeded(clean, &layout, load_stream, map.as_deref())
             }
+            None => CorruptionOverlay::empty(clean.len(), clean.bits_per_value()),
         };
         self.stats.bit_flips += overlay.bit_flips();
         if let Some(bounding) = &self.bounding {
@@ -688,6 +688,79 @@ impl ApproximateMemory {
         }
     }
 
+    /// The first layer whose forward computation this memory's error sources
+    /// could perturb — the "first dirty layer" of incremental re-evaluation.
+    ///
+    /// A data site dirties the layer that loads it: a Weight site its own
+    /// layer, an Ifm site the layer consuming that activation — both are the
+    /// site's `layer_index`. A site is dirty when the injector serving it is
+    /// not provably error-free ([`Injector::is_provably_clean`]); a
+    /// span-placed site is dirty when *any* of its spans is. Returns
+    /// `num_layers` when no site below it is dirty (a fully reliable memory):
+    /// every boundary activation is then clean.
+    ///
+    /// Bounding logic does **not** dirty a prefix: corrections on clean loads
+    /// are a deterministic function of the clean data and the thresholds
+    /// alone, so activations (and correction counts) at clean boundaries are
+    /// identical across probes evaluated under the *same* bounding — which is
+    /// why checkpoint consumers key their stores by bounding configuration
+    /// rather than consulting it here.
+    pub fn first_dirty_layer(&self, num_layers: usize) -> usize {
+        let dirty_default = self
+            .placement
+            .default_injector
+            .as_ref()
+            .is_some_and(|inj| !inj.is_provably_clean());
+        if dirty_default {
+            // Every unassigned site (all layers, in general) is dirty.
+            return 0;
+        }
+        let mut first = num_layers;
+        for (site, injector) in &self.placement.site_injectors {
+            if !injector.is_provably_clean() {
+                first = first.min(site.layer_index);
+            }
+        }
+        for (site, spans) in &self.placement.site_spans {
+            if spans.iter().any(|s| !s.injector.is_provably_clean()) {
+                first = first.min(site.layer_index);
+            }
+        }
+        first
+    }
+
+    /// Advances the load cursor past `loads` loads that are known to be
+    /// error-free, accounting `corrections` bounding corrections they would
+    /// have made — the resume half of incremental re-evaluation.
+    ///
+    /// Each skipped load consumes exactly one stream index (every load does,
+    /// regardless of outcome), flips zero bits (the prefix is provably
+    /// clean), and contributes its recorded clean-data correction count. The
+    /// memory's subsequent draws are therefore bit-identical to having
+    /// served the `loads` prefix loads against clean data.
+    pub fn skip_clean_loads(&mut self, loads: u64, corrections: u64) {
+        self.next_load += loads;
+        self.stats.loads += loads;
+        self.stats.corrections += corrections;
+    }
+
+    /// Whether a load of `site` can flip bits: it resolves to an injector
+    /// that is not provably clean.
+    ///
+    /// Both load paths gate their layout allocation and weak-map lookup on
+    /// this, so a load served by reliable memory (or a provably clean
+    /// injector) is a complete no-op apart from its stream index — in
+    /// particular it must **not** advance the lazy address allocator.
+    /// [`ApproximateMemory::skip_clean_loads`] depends on that: a resumed
+    /// lane that skips its clean prefix must leave the allocator exactly
+    /// where a full pass over the same prefix would have, or the dirty
+    /// sites' layouts (and with them every subsequent draw) would diverge.
+    fn site_is_dirty(&self, site: &DataSite) -> bool {
+        self.placement
+            .injector_for(site)
+            .is_some_and(|inj| !inj.is_provably_clean())
+    }
+
     fn layout_for(&mut self, site: &DataSite, total_bits: u64) -> Layout {
         if let Some(layout) = self.placement.site_layouts.get(site) {
             return *layout;
@@ -711,17 +784,15 @@ impl FaultHook for ApproximateMemory {
             let overlay = self.span_overlay(&spans, tensor, load_stream);
             self.stats.bit_flips += overlay.bit_flips();
             overlay.apply(tensor);
-        } else {
+        } else if self.site_is_dirty(site) {
             let layout = self.layout_for(site, tensor.total_bits());
             let map = self.weak_map_for(site, tensor.len(), tensor.bits_per_value());
-            if let Some(injector) = self.placement.injector_for(site) {
-                self.stats.bit_flips += injector.corrupt_placed_seeded_mapped(
-                    tensor,
-                    &layout,
-                    load_stream,
-                    map.as_deref(),
-                );
-            }
+            let injector = self
+                .placement
+                .injector_for(site)
+                .expect("dirty site has an injector");
+            self.stats.bit_flips +=
+                injector.corrupt_placed_seeded_mapped(tensor, &layout, load_stream, map.as_deref());
         }
         if let Some(bounding) = &self.bounding {
             // Integer tensors whose whole quantization grid is plausible can
@@ -1139,6 +1210,85 @@ mod tests {
             site(0, DataKind::Weight),
             vec![span(0, 100, 0.01, 1), span(150, 100, 0.01, 2)],
         );
+    }
+
+    #[test]
+    fn first_dirty_layer_tracks_the_lowest_dirty_site() {
+        let clean_inj = Injector::from_model(
+            ErrorModel::uniform(0.05, 0.5, 3).with_ber(0.0),
+            Layout::default(),
+        );
+        let dirty_inj = Injector::from_model(ErrorModel::uniform(0.01, 0.5, 3), Layout::default());
+
+        // Reliable memory: nothing is ever dirty.
+        let mut mem = ApproximateMemory::reliable(0);
+        assert_eq!(mem.first_dirty_layer(5), 5);
+
+        // A provably clean per-site override stays clean.
+        mem.assign_site(site(1, DataKind::Weight), clean_inj.clone());
+        assert_eq!(mem.first_dirty_layer(5), 5);
+
+        // Dirty overrides: the minimum layer index wins, for both kinds.
+        mem.assign_site(site(3, DataKind::Ifm), dirty_inj.clone());
+        assert_eq!(mem.first_dirty_layer(5), 3);
+        mem.assign_site(site(2, DataKind::Weight), dirty_inj.clone());
+        assert_eq!(mem.first_dirty_layer(5), 2);
+
+        // A dirty default injector dirties everything.
+        let coarse = ApproximateMemory::from_model(ErrorModel::uniform(0.01, 0.5, 1), 0);
+        assert_eq!(coarse.first_dirty_layer(5), 0);
+        // …but a zero-BER default is provably clean.
+        let mut zeroed = coarse.clone();
+        zeroed.set_default(Some(clean_inj.clone()));
+        assert_eq!(zeroed.first_dirty_layer(5), 5);
+
+        // Span placements: dirty iff any span is dirty.
+        let mut spanned = ApproximateMemory::reliable(1);
+        spanned.assign_site_spans(
+            site(4, DataKind::Weight),
+            vec![span(0, 100, 0.0, 1), span(100, 100, 0.0, 2)],
+        );
+        assert_eq!(spanned.first_dirty_layer(6), 6);
+        spanned.assign_site_spans(
+            site(2, DataKind::Weight),
+            vec![span(0, 100, 0.0, 1), span(100, 100, 0.02, 2)],
+        );
+        assert_eq!(spanned.first_dirty_layer(6), 2);
+    }
+
+    #[test]
+    fn skip_clean_loads_matches_serving_clean_prefix_loads() {
+        // Serving N loads through reliable sites, then a dirty one, must be
+        // bit-identical to skipping the N clean loads and serving only the
+        // dirty one — same draw, same statistics.
+        let dirty_site = site(3, DataKind::Ifm);
+        let make = || {
+            let mut mem = ApproximateMemory::reliable(21);
+            mem.assign_site(
+                dirty_site.clone(),
+                Injector::from_model(ErrorModel::uniform(0.02, 0.5, 5), Layout::default()),
+            );
+            mem
+        };
+        let clean = stored(4096);
+        let mut served = make();
+        for i in 0..3 {
+            let mut t = clean.clone();
+            served.corrupt(&site(i, DataKind::Ifm), &mut t);
+            assert_eq!(t, clean, "prefix load {i} must be clean");
+        }
+        let mut via_serve = clean.clone();
+        served.corrupt(&dirty_site, &mut via_serve);
+
+        let mut skipped = make();
+        skipped.skip_clean_loads(3, 0);
+        let mut via_skip = clean.clone();
+        skipped.corrupt(&dirty_site, &mut via_skip);
+
+        assert_eq!(via_skip, via_serve);
+        assert_eq!(skipped.stats(), served.stats());
+        assert!(skipped.stats().bit_flips > 0);
+        assert_eq!(skipped.stats().loads, 4);
     }
 
     #[test]

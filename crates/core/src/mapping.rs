@@ -20,6 +20,7 @@
 
 use crate::characterize::FineCharacterization;
 use crate::faults::{ApproximateMemory, PlacedSpan};
+use crate::session::EvalSession;
 use eden_dnn::network::DataTypeInfo;
 use eden_dram::characterize::DramErrorProfile;
 use eden_dram::error_model::Layout;
@@ -28,7 +29,7 @@ use eden_dram::params::{MAX_TRCD_REDUCTION_NS, MAX_VDD_REDUCTION, NOMINAL_TRCD_N
 use eden_dram::system::MemorySystem;
 use eden_dram::vendor::VendorProfile;
 use eden_dram::OperatingPoint;
-use eden_tensor::Precision;
+use eden_tensor::{Precision, Tensor};
 use serde::{Deserialize, Serialize};
 
 /// Voltage step used when sweeping candidate reductions (volts).
@@ -399,6 +400,67 @@ impl PlacementPlan {
                 .collect();
             memory.assign_site_spans(placement.data.site.clone(), spans);
         }
+    }
+
+    /// First network layer a lowering of this plan could corrupt — the
+    /// plan-level mirror of [`ApproximateMemory::first_dirty_layer`], equal
+    /// to it on any reliable memory the plan was
+    /// [`apply_to`](PlacementPlan::apply_to)'d, without having to lower the
+    /// plan first.
+    ///
+    /// A placement is dirty iff any of its spans runs at an operating point
+    /// whose device injector is not provably clean. Note that vendor BER
+    /// curves keep a small nonzero error floor even at nominal parameters,
+    /// so device-backed spans are conservatively dirty unless their curve
+    /// reports exactly zero — correctness over resume reach. Unmapped sites
+    /// live in nominal (error-free) memory and never dirty a layer. Returns
+    /// `num_layers` when every span is clean — the whole forward pass is
+    /// checkpoint-resumable.
+    pub fn first_dirty_layer(&self, system: &MemorySystem, num_layers: usize) -> usize {
+        let mut first = num_layers;
+        for placement in &self.placements {
+            if placement.data.site.layer_index >= first {
+                continue;
+            }
+            let dirty = placement.spans.iter().any(|ps| {
+                let module = system.module(ps.module);
+                let op_idx = self.partition_ops[ps.module][ps.partition]
+                    .expect("plan span in a partition with no operating point");
+                !Injector::from_device(
+                    *module.device(),
+                    module.partitions()[ps.partition],
+                    module.operating_points()[op_idx],
+                )
+                .is_provably_clean()
+            });
+            if dirty {
+                first = placement.data.site.layer_index;
+            }
+        }
+        first
+    }
+
+    /// Classification accuracy of the session's network with this plan's
+    /// data served from the system's reduced-parameter partitions: lowers
+    /// the plan onto a reliable memory seeded with `seed` ([`apply_to`](
+    /// `PlacementPlan::apply_to`)) and evaluates through
+    /// [`EvalSession::evaluate_concurrent`].
+    ///
+    /// This is the scoring probe a plan search runs many times per plan
+    /// candidate, and it inherits the session's incremental re-evaluation:
+    /// plans whose dirty placements start deep in the network resume every
+    /// sample from a checkpointed boundary activation and re-execute only
+    /// the suffix, bit-identical to the full forward pass.
+    pub fn accuracy(
+        &self,
+        session: &EvalSession<'_>,
+        system: &MemorySystem,
+        samples: &[(Tensor, usize)],
+        seed: u64,
+    ) -> f32 {
+        let mut memory = ApproximateMemory::reliable(seed);
+        self.apply_to(&mut memory, system);
+        session.evaluate_concurrent(samples, &mut memory)
     }
 }
 
@@ -1045,6 +1107,102 @@ mod tests {
         let distinct: std::collections::HashSet<(usize, usize)> =
             big.spans.iter().map(|s| (s.module, s.partition)).collect();
         assert_eq!(distinct.len(), big.spans.len(), "spans share a partition");
+    }
+
+    #[test]
+    fn plan_first_dirty_layer_matches_the_lowered_memory() {
+        let system = tiny_system(8192);
+        let plan = multi_module_map(
+            &synthetic_characterization(),
+            &system,
+            Precision::Int8,
+            &MultiModuleConfig::default(),
+            &benefit_traffic_score,
+        );
+        // The plan-level prediction must agree with the memory-level query
+        // after lowering, at every depth.
+        let mut memory = ApproximateMemory::reliable(0);
+        plan.apply_to(&mut memory, &system);
+        for depth in [0, 1, 2, 3, 8] {
+            assert_eq!(
+                plan.first_dirty_layer(&system, depth),
+                memory.first_dirty_layer(depth),
+                "plan and lowered memory disagree at depth {depth}"
+            );
+        }
+    }
+
+    #[test]
+    fn nominal_device_spans_are_conservatively_dirty() {
+        // Vendor curves keep a ~1e-9 error floor even at nominal parameters,
+        // so a device-backed span is never *provably* clean: an all-nominal
+        // plan must still report its lowest mapped layer as dirty, and agree
+        // with the lowered memory about it.
+        let system = tiny_system(8192);
+        let mut plan = multi_module_map(
+            &synthetic_characterization(),
+            &system,
+            Precision::Int8,
+            &MultiModuleConfig::default(),
+            &benefit_traffic_score,
+        );
+        for module_ops in &mut plan.partition_ops {
+            for op in module_ops.iter_mut().filter(|op| op.is_some()) {
+                *op = Some(0); // index 0 is nominal in `tiny_system`
+            }
+        }
+        assert_eq!(plan.first_dirty_layer(&system, 8), 0);
+        let mut memory = ApproximateMemory::reliable(0);
+        plan.apply_to(&mut memory, &system);
+        assert_eq!(memory.first_dirty_layer(8), 0);
+    }
+
+    #[test]
+    fn plan_accuracy_matches_manual_lowering_bit_for_bit() {
+        use eden_dnn::data::SyntheticVision;
+        use eden_dnn::train::{TrainConfig, Trainer};
+        use eden_dnn::{zoo, Dataset};
+
+        let dataset = SyntheticVision::tiny(3);
+        let mut net = zoo::lenet(&dataset.spec(), 3);
+        Trainer::new(TrainConfig {
+            epochs: 1,
+            ..TrainConfig::default()
+        })
+        .train(&mut net, &dataset);
+
+        // Characterize the real network's sites so the plan's layer indices
+        // line up with the network the session evaluates.
+        let tolerances: Vec<(DataTypeInfo, f64)> = net
+            .data_sites()
+            .into_iter()
+            .map(|info| (info, 5e-3))
+            .collect();
+        let characterization = FineCharacterization {
+            baseline_accuracy: 0.9,
+            accuracy_floor: 0.89,
+            tolerances,
+        };
+        let system = tiny_system(1 << 20);
+        let plan = multi_module_map(
+            &characterization,
+            &system,
+            Precision::Int8,
+            &MultiModuleConfig::default(),
+            &benefit_traffic_score,
+        );
+
+        let session = crate::session::EvalSession::new(
+            &net,
+            Precision::Int8,
+            crate::inference::InferenceBackend::SimulatedF32,
+        );
+        let samples = &dataset.test()[..8];
+        let via_helper = plan.accuracy(&session, &system, samples, 11);
+        let mut memory = ApproximateMemory::reliable(11);
+        plan.apply_to(&mut memory, &system);
+        let manual = session.evaluate_concurrent(samples, &mut memory);
+        assert_eq!(via_helper.to_bits(), manual.to_bits());
     }
 
     #[test]

@@ -41,6 +41,35 @@
 //! reference implementation; the workspace `overlay_equivalence` suite pins
 //! the two against each other bit for bit.
 //!
+//! # Incremental re-evaluation
+//!
+//! Characterization and mapping probes perturb only a few data sites; every
+//! layer below the first perturbed one computes exactly what the previous
+//! probe computed. The session exploits this with a **clean-activation
+//! checkpoint store** ([`EvalSession::checkpoint_counters`]): during any
+//! evaluation, each sample lane harvests the f32 activations crossing the
+//! layer boundaries that the probed memory provably cannot have touched
+//! (every boundary for small nets, every k-th for large ones), keyed by
+//! `(sample-set content, sample index, boundary, bounding thresholds)`. A
+//! later probe whose [`ApproximateMemory::first_dirty_layer`] is `L` resumes
+//! each lane from the deepest stored boundary `≤ L`: the boundary activation
+//! is restored, the lane's load cursor advances past the clean prefix
+//! ([`ApproximateMemory::skip_clean_loads`], re-accounting the prefix's
+//! deterministic bounding corrections), and only the suffix executes. The
+//! result is **bit-identical** to the full pass — the prefix is skipped, not
+//! approximated: prefix loads are served by provably error-free injectors
+//! (zero flips), and bounding corrections on clean data are a pure function
+//! of the data and the thresholds in the key. Per-probe cost drops from
+//! O(layers) to O(suffix from the probed site).
+//!
+//! The store is byte-budgeted (64 MiB by default,
+//! [`EvalSession::with_checkpoint_budget`]) with LRU-half eviction, drained
+//! by [`EvalSession::release_transient_state`], and can be disabled
+//! ([`EvalSession::with_checkpoints`]) — it is a pure cache, so eviction,
+//! draining and disabling never change results, only recomputation cost.
+//! The workspace `overlay_equivalence` suite pins checkpoints-on against
+//! checkpoints-off bit for bit.
+//!
 //! Results are **bit-for-bit identical** to the one-shot API (which is
 //! itself implemented as a thin wrapper constructing a throwaway session):
 //! everything the session reuses is either a pure function of unchanged
@@ -85,6 +114,7 @@ use eden_tensor::{CorruptionOverlay, Precision, QuantTensor, Tensor};
 use std::collections::HashMap;
 use std::fmt;
 use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, Mutex};
 
 /// Samples per weight refetch: the corrupted weight copy is re-loaded from
@@ -207,6 +237,14 @@ struct SessionCore<'a> {
     /// while results stay bit-identical. At one thread this degenerates to
     /// the same single reused pool the sequential probe loops enjoy.
     pool_arena: ScratchArena<ProbePools>,
+    /// Clean-activation checkpoints backing incremental re-evaluation; see
+    /// the [module docs](self) and [`CheckpointStore`].
+    checkpoints: CheckpointStore,
+    /// Harvest every `checkpoint_stride`-th boundary (1 for small nets).
+    checkpoint_stride: usize,
+    /// Whether evaluations may consult and populate the checkpoint store
+    /// (on by default; results are bit-identical either way).
+    checkpoints_enabled: bool,
 }
 
 /// Exact-value cache key of one [`BoundingLogic`]: every field as bits, so
@@ -224,6 +262,249 @@ fn bounding_key(b: &BoundingLogic) -> BoundingKey {
         b.policy,
         b.latency_cycles,
     )
+}
+
+/// Default byte budget of a session's clean-activation checkpoint store.
+const CHECKPOINT_BUDGET_BYTES: usize = 64 << 20;
+
+/// Per-sample byte target used to pick the checkpoint stride: a net whose
+/// boundary activations together fit this budget checkpoints every boundary;
+/// larger nets checkpoint every k-th boundary.
+const CHECKPOINT_SAMPLE_BUDGET_BYTES: usize = 256 << 10;
+
+/// Key of one clean-activation checkpoint:
+/// `(sample-set content key, sample index, boundary layer, bounding key)`.
+///
+/// The precision and backend are *not* in the key because the store lives on
+/// a [`SessionCore`], which is itself one `(network, precision, backend)`
+/// triple — the per-(sample, precision, backend) scoping the design calls
+/// for. The bounding key is required: bounding corrects clean out-of-range
+/// values too, so the clean activation entering a boundary (and the
+/// correction count the prefix loads accumulate) depends on the exact
+/// thresholds in force; `None` keys the bounding-free evaluations.
+type CheckpointKey = (u64, u32, u32, Option<BoundingKey>);
+
+/// One checkpointed clean boundary activation: the exact f32 bits entering
+/// the boundary layer, plus the bounding corrections the prefix IFM loads
+/// accumulated on the way there (deterministic for clean data, so part of
+/// the checkpoint rather than recomputed).
+struct Checkpoint {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+    corrections: u64,
+}
+
+impl Checkpoint {
+    fn bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.data.len() * std::mem::size_of::<f32>()
+            + self.shape.len() * std::mem::size_of::<usize>()
+    }
+}
+
+/// Cumulative counters of a session's checkpoint store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointCounters {
+    /// Lane evaluations resumed from a checkpointed boundary.
+    pub hits: u64,
+    /// Lane evaluations with a clean prefix but no stored boundary (ran the
+    /// full forward pass and harvested checkpoints along the way).
+    pub misses: u64,
+    /// Checkpoints evicted under the byte budget.
+    pub evictions: u64,
+    /// Bytes currently held by resident checkpoints.
+    pub resident_bytes: u64,
+}
+
+/// The per-session store of clean boundary activations backing incremental
+/// re-evaluation (see the [module docs](self)).
+///
+/// Entries are a pure cache: a lookup either returns the bit-exact
+/// activation a full forward pass would compute at that boundary or nothing,
+/// so eviction (and the store being disabled entirely) can never change
+/// results — only how much of each forward pass is recomputed. Eviction
+/// drops the least-recently-used half of the entries, ordered by a logical
+/// access clock exactly like [`WeakMapCache`].
+struct CheckpointStore {
+    state: Mutex<CheckpointState>,
+    budget: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    /// Mirror of `state.resident_bytes` readable without the lock.
+    resident: AtomicU64,
+}
+
+#[derive(Default)]
+struct CheckpointState {
+    entries: HashMap<CheckpointKey, CheckpointEntry>,
+    tick: u64,
+    resident_bytes: usize,
+}
+
+struct CheckpointEntry {
+    value: Arc<Checkpoint>,
+    last_used: u64,
+}
+
+impl CheckpointStore {
+    fn new(budget: usize) -> Self {
+        Self {
+            state: Mutex::new(CheckpointState::default()),
+            budget,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            resident: AtomicU64::new(0),
+        }
+    }
+
+    /// The checkpoint stored under `key`, refreshing its LRU position.
+    fn get(&self, key: &CheckpointKey) -> Option<Arc<Checkpoint>> {
+        let mut state = self.state.lock().unwrap();
+        let tick = state.tick;
+        state.tick += 1;
+        let entry = state.entries.get_mut(key)?;
+        entry.last_used = tick;
+        Some(entry.value.clone())
+    }
+
+    /// Stores `make()` under `key` unless an entry already exists (the
+    /// existing entry's LRU position is refreshed instead — concurrent lanes
+    /// of one window harvest the same boundaries, and the first insert
+    /// wins). Evicts the LRU half when the byte budget is exceeded.
+    fn insert_with(&self, key: CheckpointKey, make: impl FnOnce() -> Checkpoint) {
+        let mut state = self.state.lock().unwrap();
+        let tick = state.tick;
+        state.tick += 1;
+        if let Some(entry) = state.entries.get_mut(&key) {
+            entry.last_used = tick;
+            return;
+        }
+        let value = Arc::new(make());
+        state.resident_bytes += value.bytes();
+        state.entries.insert(
+            key,
+            CheckpointEntry {
+                value,
+                last_used: tick,
+            },
+        );
+        if state.resident_bytes > self.budget {
+            let evicted = state.evict_lru_half();
+            self.evictions.fetch_add(evicted, AtomicOrdering::Relaxed);
+        }
+        self.resident
+            .store(state.resident_bytes as u64, AtomicOrdering::Relaxed);
+    }
+
+    /// Drops every checkpoint, keeping the cumulative counters.
+    fn clear(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.entries.clear();
+        state.resident_bytes = 0;
+        self.resident.store(0, AtomicOrdering::Relaxed);
+    }
+
+    fn counters(&self) -> CheckpointCounters {
+        CheckpointCounters {
+            hits: self.hits.load(AtomicOrdering::Relaxed),
+            misses: self.misses.load(AtomicOrdering::Relaxed),
+            evictions: self.evictions.load(AtomicOrdering::Relaxed),
+            resident_bytes: self.resident.load(AtomicOrdering::Relaxed),
+        }
+    }
+}
+
+impl CheckpointState {
+    /// Evicts the least-recently-used half of the entries (by unique access
+    /// tick, as [`WeakMapCache`] does) and returns how many were dropped.
+    fn evict_lru_half(&mut self) -> u64 {
+        let keep = self.entries.len() / 2;
+        let evict = self.entries.len() - keep;
+        if evict == 0 {
+            return 0;
+        }
+        let mut ticks: Vec<u64> = self.entries.values().map(|e| e.last_used).collect();
+        ticks.sort_unstable();
+        match ticks.get(evict) {
+            // Keep the `keep` most recently used entries.
+            Some(&threshold) => self.entries.retain(|_, e| e.last_used >= threshold),
+            // `keep == 0` (a single entry over a sub-entry budget): drop all.
+            None => self.entries.clear(),
+        }
+        self.resident_bytes = self.entries.values().map(|e| e.value.bytes()).sum();
+        evict as u64
+    }
+}
+
+/// The checkpoint plumbing of one `evaluate` call: the store plus everything
+/// the per-lane resume/harvest decisions need — the sample-set and bounding
+/// key components, the highest provably-clean boundary of the probed memory,
+/// and the harvest stride.
+struct CheckpointCtx<'c> {
+    store: &'c CheckpointStore,
+    skey: u64,
+    bkey: Option<BoundingKey>,
+    /// Highest boundary whose entering activation is clean under the probed
+    /// memory: `min(first dirty layer, depth - 1)`. 0 disables both resume
+    /// and harvest (corruption reaches layer 0).
+    top: usize,
+    /// Harvest every `stride`-th boundary (1 for small nets).
+    stride: usize,
+}
+
+impl CheckpointCtx<'_> {
+    /// The deepest stored checkpoint usable for `sample`, scanning from the
+    /// highest clean boundary down. One hit or miss is recorded per lane
+    /// with a non-trivial clean prefix, not per boundary probed.
+    fn resume(&self, sample: u32) -> Option<(usize, Arc<Checkpoint>)> {
+        if self.top == 0 {
+            return None;
+        }
+        for boundary in (1..=self.top).rev() {
+            if let Some(ck) = self
+                .store
+                .get(&(self.skey, sample, boundary as u32, self.bkey))
+            {
+                self.store.hits.fetch_add(1, AtomicOrdering::Relaxed);
+                return Some((boundary, ck));
+            }
+        }
+        self.store.misses.fetch_add(1, AtomicOrdering::Relaxed);
+        None
+    }
+
+    /// Offers boundary `boundary`'s entering activation (with the lane's
+    /// cumulative prefix corrections) for storage; kept iff the boundary is
+    /// clean under the probed memory and on the stride grid.
+    fn harvest(&self, sample: u32, boundary: usize, x: &Tensor, corrections: u64) {
+        if boundary == 0 || boundary > self.top || !boundary.is_multiple_of(self.stride) {
+            return;
+        }
+        let key = (self.skey, sample, boundary as u32, self.bkey);
+        self.store.insert_with(key, || Checkpoint {
+            data: x.data().to_vec(),
+            shape: x.shape().to_vec(),
+            corrections,
+        });
+    }
+}
+
+/// The checkpoint stride of `net`: every boundary while the per-sample
+/// checkpoint footprint fits [`CHECKPOINT_SAMPLE_BUDGET_BYTES`], every k-th
+/// boundary beyond it.
+fn checkpoint_stride(net: &Network) -> usize {
+    let shapes = net.data_flow_shapes();
+    if shapes.len() < 2 {
+        return 1;
+    }
+    // shapes[b - 1] is the activation entering boundary b, for b in 1..depth.
+    let per_sample: usize = shapes[..shapes.len() - 1]
+        .iter()
+        .map(|s| s.iter().product::<usize>() * std::mem::size_of::<f32>())
+        .sum();
+    per_sample.div_ceil(CHECKPOINT_SAMPLE_BUDGET_BYTES).max(1)
 }
 
 /// Weight state of one corrupted-copy slot with respect to the session's
@@ -349,6 +630,7 @@ impl<'a> EvalSession<'a> {
                     .enumerate()
                     .map(|(i, layer)| DataSite::new(i, layer.name(), DataKind::Ifm))
                     .collect(),
+                checkpoint_stride: checkpoint_stride(&net),
                 net,
                 precision,
                 backend,
@@ -358,6 +640,8 @@ impl<'a> EvalSession<'a> {
                 scratch: ScratchArena::new(),
                 sim_scratch: ScratchArena::new(),
                 pool_arena: ScratchArena::new(),
+                checkpoints: CheckpointStore::new(CHECKPOINT_BUDGET_BYTES),
+                checkpoints_enabled: true,
             },
             pools: ProbePools::default(),
             baselines: HashMap::new(),
@@ -399,6 +683,37 @@ impl<'a> EvalSession<'a> {
     /// passed through the session's own methods).
     pub fn weak_map_cache(&self) -> Arc<WeakMapCache> {
         self.core.weak_maps.clone()
+    }
+
+    /// Enables or disables the clean-activation checkpoint store (on by
+    /// default). Checkpoints are a pure cache — results are bit-identical
+    /// either way — so disabling exists for cost comparisons and as the
+    /// reference the incremental path is pinned against.
+    pub fn with_checkpoints(mut self, enabled: bool) -> Self {
+        self.core.checkpoints_enabled = enabled;
+        self
+    }
+
+    /// Whether the checkpoint store is consulted by evaluations.
+    pub fn checkpoints_enabled(&self) -> bool {
+        self.core.checkpoints_enabled
+    }
+
+    /// Overrides the checkpoint store's byte budget (default 64 MiB). A
+    /// budget too small for even one window's boundaries just means constant
+    /// eviction — every lane falls back to the full forward pass, results
+    /// unchanged.
+    pub fn with_checkpoint_budget(mut self, bytes: usize) -> Self {
+        self.core.checkpoints = CheckpointStore::new(bytes);
+        self
+    }
+
+    /// Cumulative checkpoint-store counters (hits, misses, evictions,
+    /// resident bytes) — the session-stats accounting of incremental
+    /// re-evaluation, surfaced by the serving layer next to the weak-map
+    /// cache counters.
+    pub fn checkpoint_counters(&self) -> CheckpointCounters {
+        self.core.checkpoints.counters()
     }
 
     /// Classification accuracy over `samples` served from `memory` —
@@ -494,8 +809,9 @@ impl<'a> EvalSession<'a> {
                 let slot = &mut pools.simulated[0];
                 slot.inner.load_corrupted_weights(&core.images, memory);
                 slot.state = SlotState::Unknown;
-                core.sim_scratch
-                    .with(|scratch| core.forward_simulated(&slot.inner, input, memory, scratch))
+                core.sim_scratch.with(|scratch| {
+                    core.forward_simulated(&slot.inner, input, 0, memory, scratch, None)
+                })
             }
             InferenceBackend::NativeInt => {
                 if pools.native.is_empty() {
@@ -555,16 +871,17 @@ impl<'a> EvalSession<'a> {
 
     /// Releases the session's transient probe state — the corrupted-weight
     /// pools, cached reliable baselines, cached injectors, clean-correction
-    /// tables and checked-in scratch buffers — keeping only the clean bit
-    /// images and the weak-map cache. The serving layer calls this when a
-    /// shard goes cold (session eviction under memory pressure); results
-    /// are unaffected either way, the released state is simply rebuilt on
-    /// demand by the next probe.
+    /// tables, clean-activation checkpoints and checked-in scratch buffers —
+    /// keeping only the clean bit images and the weak-map cache. The serving
+    /// layer calls this when a shard goes cold (session eviction under
+    /// memory pressure); results are unaffected either way, the released
+    /// state is simply rebuilt on demand by the next probe.
     pub fn release_transient_state(&mut self) {
         self.pools = ProbePools::default();
         self.baselines.clear();
         self.injectors.clear();
         self.core.clean_corrections.lock().unwrap().clear();
+        self.core.checkpoints.clear();
         self.core.scratch.drain();
         self.core.sim_scratch.drain();
         self.core.pool_arena.drain();
@@ -619,13 +936,42 @@ impl SessionCore<'_> {
         // Pin every site's DRAM placement before forking so all forks agree
         // on addresses without having to communicate.
         memory.preallocate(&self.net, self.precision);
+        let ckpt = self.checkpoint_ctx(samples, memory);
         let correct = match effective_backend(self.backend, self.precision) {
             InferenceBackend::SimulatedF32 => {
-                self.evaluate_simulated(samples, memory, &mut pools.simulated)
+                self.evaluate_simulated(samples, memory, &mut pools.simulated, ckpt.as_ref())
             }
-            InferenceBackend::NativeInt => self.evaluate_native(samples, memory, &mut pools.native),
+            InferenceBackend::NativeInt => {
+                self.evaluate_native(samples, memory, &mut pools.native, ckpt.as_ref())
+            }
         };
         correct as f32 / samples.len() as f32
+    }
+
+    /// The checkpoint context of one `evaluate` call (`None` when the store
+    /// is disabled or the net is too shallow to have an interior boundary):
+    /// keys the store by sample-set content and bounding configuration, and
+    /// caps resume/harvest at the probed memory's first dirty layer.
+    fn checkpoint_ctx(
+        &self,
+        samples: &[(Tensor, usize)],
+        memory: &ApproximateMemory,
+    ) -> Option<CheckpointCtx<'_>> {
+        if !self.checkpoints_enabled {
+            return None;
+        }
+        let depth = self.net.depth();
+        if depth < 2 {
+            return None;
+        }
+        let first_dirty = memory.first_dirty_layer(depth);
+        Some(CheckpointCtx {
+            store: &self.checkpoints,
+            skey: samples_key(samples),
+            bkey: memory.bounding().map(bounding_key),
+            top: first_dirty.min(depth - 1),
+            stride: self.checkpoint_stride,
+        })
     }
 
     /// The clean-image bounding corrections for `memory`'s bounding logic
@@ -714,6 +1060,7 @@ impl SessionCore<'_> {
         samples: &[(Tensor, usize)],
         memory: &mut ApproximateMemory,
         pool: &mut Vec<Slot<Network>>,
+        ckpt: Option<&CheckpointCtx<'_>>,
     ) -> usize {
         // Reusable pool of corrupted network instances: cloned lazily (at
         // most once per refetch slot, i.e. ≤ 16 times per session) and
@@ -742,9 +1089,33 @@ impl SessionCore<'_> {
                 // both the window size and the thread count.
                 let mut lane = shared.fork((base + i) as u64);
                 let net = &pool_ref[i / WEIGHT_REFETCH_PERIOD].inner;
-                let logits = self
-                    .sim_scratch
-                    .with(|scratch| self.forward_simulated(net, x, &mut lane, scratch));
+                let sample = (base + i) as u32;
+                // Resume from the deepest clean checkpoint: set the boundary
+                // activation, advance the lane's load cursor past the clean
+                // prefix, run only the suffix. Bit-identical to the full
+                // pass because the prefix is skipped, not approximated.
+                let resumed = ckpt.and_then(|c| c.resume(sample));
+                let (start, resume_x) = match &resumed {
+                    Some((boundary, ck)) => {
+                        lane.skip_clean_loads(*boundary as u64, ck.corrections);
+                        (
+                            *boundary,
+                            Some(Tensor::from_vec(ck.data.clone(), &ck.shape)),
+                        )
+                    }
+                    None => (0, None),
+                };
+                let input = resume_x.as_ref().unwrap_or(x);
+                let logits = self.sim_scratch.with(|scratch| {
+                    self.forward_simulated(
+                        net,
+                        input,
+                        start,
+                        &mut lane,
+                        scratch,
+                        ckpt.map(|c| (c, sample)),
+                    )
+                });
                 (logits.argmax() == *label, lane.stats())
             });
 
@@ -759,19 +1130,30 @@ impl SessionCore<'_> {
     }
 
     /// One simulated-f32 forward pass over a corrupted pool network —
-    /// bit-identical to [`Network::forward_with_ifm_hook`], with the stored
-    /// bits and dequantized activations living in reused scratch buffers
-    /// and the IFM sites drawn from the session's precomputed list instead
-    /// of being re-allocated per layer.
+    /// bit-identical to [`Network::forward_with_ifm_hook`] (and, from a
+    /// checkpointed `start`, to its resume form
+    /// [`Network::forward_with_ifm_hook_from`]), with the stored bits and
+    /// dequantized activations living in reused scratch buffers and the IFM
+    /// sites drawn from the session's precomputed list instead of being
+    /// re-allocated per layer. With a checkpoint context, clean boundary
+    /// activations above `start` are harvested into the store on the way
+    /// through.
     fn forward_simulated(
         &self,
         corrupted: &Network,
         input: &Tensor,
+        start: usize,
         lane: &mut ApproximateMemory,
         scratch: &mut SimScratch,
+        ckpt: Option<(&CheckpointCtx<'_>, u32)>,
     ) -> Tensor {
         let mut x = input.clone();
-        for (i, layer) in corrupted.layers().iter().enumerate() {
+        for (i, layer) in corrupted.layers().iter().enumerate().skip(start) {
+            if let Some((ctx, sample)) = ckpt {
+                if i > start {
+                    ctx.harvest(sample, i, &x, lane.stats().corrections);
+                }
+            }
             let q = match &mut scratch.stored {
                 Some(q) => {
                     q.requantize_from(&x, self.precision);
@@ -797,6 +1179,7 @@ impl SessionCore<'_> {
         samples: &[(Tensor, usize)],
         memory: &mut ApproximateMemory,
         pool: &mut Vec<Slot<NativeWeights>>,
+        ckpt: Option<&CheckpointCtx<'_>>,
     ) -> usize {
         // Same window/refetch structure as the simulated path (and the same
         // load-stream consumption), but the refetched state is the integer
@@ -818,10 +1201,41 @@ impl SessionCore<'_> {
             let outcomes = eden_par::par_map(window, |i, (x, label)| {
                 let mut lane = shared.fork((base + i) as u64);
                 let weights = &pool_ref[i / WEIGHT_REFETCH_PERIOD].inner;
+                let sample = (base + i) as u32;
+                // Same resume protocol as the simulated path; the boundary
+                // activation is the f32 tensor crossing the layer boundary,
+                // which both backends carry identically.
+                let resumed = ckpt.and_then(|c| c.resume(sample));
+                let (start, resume_x) = match &resumed {
+                    Some((boundary, ck)) => {
+                        lane.skip_clean_loads(*boundary as u64, ck.corrections);
+                        (
+                            *boundary,
+                            Some(Tensor::from_vec(ck.data.clone(), &ck.shape)),
+                        )
+                    }
+                    None => (0, None),
+                };
+                let input = resume_x.as_ref().unwrap_or(x);
                 // Checked-out scratch: buffer contents never influence
                 // results, so reuse across samples is thread-count invariant.
                 let logits = self.scratch.with(|scratch| {
-                    qexec::forward_native(&self.net, weights, x, self.precision, &mut lane, scratch)
+                    qexec::forward_native_observed(
+                        &self.net,
+                        weights,
+                        input,
+                        start,
+                        self.precision,
+                        &mut lane,
+                        scratch,
+                        |boundary, x, lane: &mut ApproximateMemory| {
+                            if let Some(ctx) = ckpt {
+                                if boundary > start {
+                                    ctx.harvest(sample, boundary, x, lane.stats().corrections);
+                                }
+                            }
+                        },
+                    )
                 });
                 (logits.argmax() == *label, lane.stats())
             });
@@ -1063,5 +1477,131 @@ mod tests {
         let mut memory3 = ApproximateMemory::from_model(template.with_ber(1e-2), 2);
         session.evaluate_with_faults(samples, &mut memory3);
         assert_eq!(session.core.weak_maps.len(), 2 * filled);
+    }
+
+    /// A memory whose only error source is a model injector at the given
+    /// site — every other site is provably clean, so the prefix below the
+    /// site's layer is checkpoint-resumable.
+    fn single_site_memory(site: &DataSite, ber: f64, seed: u64) -> ApproximateMemory {
+        let mut memory = ApproximateMemory::reliable(seed);
+        memory.assign_site(
+            site.clone(),
+            Injector::from_model(
+                ErrorModel::uniform(0.02, 0.5, 3).with_ber(ber),
+                Layout::default(),
+            ),
+        );
+        memory
+    }
+
+    /// The deepest IFM site of the network — dirtying it leaves the longest
+    /// clean prefix, so checkpoint resume has the most to skip.
+    fn deepest_ifm(net: &Network) -> DataSite {
+        net.data_sites()
+            .into_iter()
+            .filter(|info| info.site.kind == DataKind::Ifm)
+            .max_by_key(|info| info.site.layer_index)
+            .expect("network has IFM sites")
+            .site
+    }
+
+    #[test]
+    fn checkpointed_resume_matches_full_forward_bit_for_bit() {
+        let (net, dataset) = trained_lenet(10);
+        let samples = &dataset.test()[..16];
+        let site = deepest_ifm(&net);
+        for backend in [InferenceBackend::SimulatedF32, InferenceBackend::NativeInt] {
+            let mut on = EvalSession::new(&net, Precision::Int8, backend);
+            let mut off = EvalSession::new(&net, Precision::Int8, backend).with_checkpoints(false);
+            assert!(on.checkpoints_enabled());
+            assert!(!off.checkpoints_enabled());
+            // A probe sequence over the same samples: from the second probe
+            // on, the resuming session serves every sample's clean prefix
+            // from the checkpoint store while the full session re-executes
+            // it — the results and the memory statistics must not tell.
+            for ber in [1e-3, 1e-2, 5e-2] {
+                let (mut a, mut b) = (
+                    single_site_memory(&site, ber, 21),
+                    single_site_memory(&site, ber, 21),
+                );
+                let resumed = on.evaluate_with_faults(samples, &mut a);
+                let full = off.evaluate_with_faults(samples, &mut b);
+                assert_eq!(resumed.to_bits(), full.to_bits(), "{backend} {ber}");
+                assert_eq!(a.stats(), b.stats(), "{backend} {ber}");
+            }
+            let counters = on.checkpoint_counters();
+            assert!(counters.hits > 0, "{backend}: later probes must resume");
+            assert!(counters.misses > 0, "{backend}: the first probe is cold");
+            assert!(counters.resident_bytes > 0, "{backend}");
+            assert_eq!(off.checkpoint_counters(), CheckpointCounters::default());
+        }
+    }
+
+    #[test]
+    fn checkpointed_resume_is_identical_under_bounding() {
+        // Bounding corrects clean prefix activations too, so resumed lanes
+        // must replay the recorded correction counts; the checkpoint key
+        // separates threshold sets.
+        let (net, dataset) = trained_lenet(11);
+        let samples = &dataset.test()[..16];
+        let site = deepest_ifm(&net);
+        let bounding = BoundingLogic::new(-6.0, 6.0, CorrectionPolicy::Zero);
+        let mut on = EvalSession::new(&net, Precision::Int8, InferenceBackend::NativeInt);
+        let mut off = EvalSession::new(&net, Precision::Int8, InferenceBackend::NativeInt)
+            .with_checkpoints(false);
+        for ber in [1e-2, 1e-2, 5e-2] {
+            let make = |seed| single_site_memory(&site, ber, seed).with_bounding(bounding);
+            let (mut a, mut b) = (make(4), make(4));
+            let resumed = on.evaluate_with_faults(samples, &mut a);
+            let full = off.evaluate_with_faults(samples, &mut b);
+            assert_eq!(resumed.to_bits(), full.to_bits(), "{ber}");
+            assert_eq!(a.stats(), b.stats(), "{ber}");
+        }
+        assert!(on.checkpoint_counters().hits > 0);
+    }
+
+    #[test]
+    fn checkpoint_eviction_under_a_tiny_budget_keeps_results_identical() {
+        // A budget below one boundary activation forces continual eviction:
+        // the cold (miss → full forward) path must stay bit-identical, and
+        // the counters must record the churn instead of hiding it.
+        let (net, dataset) = trained_lenet(12);
+        let samples = &dataset.test()[..16];
+        let site = deepest_ifm(&net);
+        let mut tiny = EvalSession::new(&net, Precision::Int8, InferenceBackend::default())
+            .with_checkpoint_budget(64);
+        let mut off = EvalSession::new(&net, Precision::Int8, InferenceBackend::default())
+            .with_checkpoints(false);
+        for ber in [1e-3, 1e-3, 1e-2] {
+            let (mut a, mut b) = (
+                single_site_memory(&site, ber, 13),
+                single_site_memory(&site, ber, 13),
+            );
+            let evicting = tiny.evaluate_with_faults(samples, &mut a);
+            let full = off.evaluate_with_faults(samples, &mut b);
+            assert_eq!(evicting.to_bits(), full.to_bits(), "{ber}");
+            assert_eq!(a.stats(), b.stats(), "{ber}");
+        }
+        let counters = tiny.checkpoint_counters();
+        assert!(counters.evictions > 0, "a 64-byte budget must evict");
+        assert!(counters.resident_bytes <= 64 * 1024);
+    }
+
+    #[test]
+    fn release_transient_state_drains_checkpoints() {
+        let (net, dataset) = trained_lenet(13);
+        let samples = &dataset.test()[..8];
+        let site = deepest_ifm(&net);
+        let mut session = EvalSession::new(&net, Precision::Int8, InferenceBackend::default());
+        let mut memory = single_site_memory(&site, 1e-3, 2);
+        let before = session.evaluate_with_faults(samples, &mut memory);
+        assert!(session.checkpoint_counters().resident_bytes > 0);
+        session.release_transient_state();
+        assert_eq!(session.checkpoint_counters().resident_bytes, 0);
+        // The store refills on demand and results are unaffected.
+        let mut again = single_site_memory(&site, 1e-3, 2);
+        let after = session.evaluate_with_faults(samples, &mut again);
+        assert_eq!(before.to_bits(), after.to_bits());
+        assert_eq!(memory.stats(), again.stats());
     }
 }

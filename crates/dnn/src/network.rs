@@ -426,8 +426,37 @@ impl Network {
         precision: Precision,
         hook: &mut dyn FaultHook,
     ) -> Tensor {
-        let mut x = input.clone();
-        for (i, layer) in self.layers.iter().enumerate() {
+        self.forward_with_ifm_hook_from(input, 0, precision, hook)
+    }
+
+    /// Resume form of [`Network::forward_with_ifm_hook`]: `x` is the
+    /// activation entering layer `start` (the network input when `start` is
+    /// 0), and only layers `start..` execute — each still storing, loading
+    /// and corrupting its IFM through `hook` exactly as the full pass would.
+    ///
+    /// Given the activation a full pass produces at the `start` boundary and
+    /// a hook whose state matches that point of the load sequence, the
+    /// output is bit-identical to the full pass: the prefix is *skipped*,
+    /// not approximated. This is the executor half of incremental
+    /// re-evaluation from clean-activation checkpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` exceeds the network depth.
+    pub fn forward_with_ifm_hook_from(
+        &self,
+        x: &Tensor,
+        start: usize,
+        precision: Precision,
+        hook: &mut dyn FaultHook,
+    ) -> Tensor {
+        assert!(
+            start <= self.layers.len(),
+            "resume layer {start} exceeds depth {}",
+            self.layers.len()
+        );
+        let mut x = x.clone();
+        for (i, layer) in self.layers.iter().enumerate().skip(start) {
             let site = DataSite::new(i, layer.name(), DataKind::Ifm);
             let mut q = QuantTensor::quantize(&x, precision);
             hook.corrupt(&site, &mut q);

@@ -429,6 +429,64 @@ pub fn forward_native(
     hook: &mut dyn FaultHook,
     scratch: &mut QuantScratch,
 ) -> Tensor {
+    forward_native_from(net, weights, input, 0, precision, hook, scratch)
+}
+
+/// Resume form of [`forward_native`]: `x` is the activation entering layer
+/// `start` (the network input when `start` is 0), and only layers `start..`
+/// execute — each still quantizing, corrupting and natively executing its
+/// IFM exactly as the full pass would. Given the activation a full pass
+/// produces at the `start` boundary and a hook whose state matches that
+/// point of the load sequence, the output is bit-identical to the full
+/// pass: the prefix is skipped, not approximated (the executor half of
+/// incremental re-evaluation from clean-activation checkpoints).
+///
+/// # Panics
+///
+/// As [`forward_native`], plus if `start` exceeds the network depth.
+pub fn forward_native_from(
+    net: &Network,
+    weights: &NativeWeights,
+    x: &Tensor,
+    start: usize,
+    precision: Precision,
+    hook: &mut dyn FaultHook,
+    scratch: &mut QuantScratch,
+) -> Tensor {
+    forward_native_observed(
+        net,
+        weights,
+        x,
+        start,
+        precision,
+        hook,
+        scratch,
+        |_, _, _| {},
+    )
+}
+
+/// [`forward_native_from`] with a boundary observer: before each executed
+/// layer `i` loads its IFM, `observe(i, x, hook)` is called with the exact
+/// f32 activation entering the layer and the hook (still untouched by layer
+/// `i`'s load). This is what lets a caller harvest clean-activation
+/// checkpoints — boundary `i`'s activation together with the hook statistics
+/// accumulated by the first `i` loads — without the executor knowing
+/// anything about checkpoint stores. Observation never changes execution.
+///
+/// # Panics
+///
+/// As [`forward_native_from`].
+#[allow(clippy::too_many_arguments)]
+pub fn forward_native_observed<H: FaultHook + ?Sized>(
+    net: &Network,
+    weights: &NativeWeights,
+    x: &Tensor,
+    start: usize,
+    precision: Precision,
+    hook: &mut H,
+    scratch: &mut QuantScratch,
+    mut observe: impl FnMut(usize, &Tensor, &mut H),
+) -> Tensor {
     assert!(
         precision.is_integer(),
         "the native backend requires an integer precision, got {precision}"
@@ -438,10 +496,16 @@ pub fn forward_native(
         net.depth(),
         "weights/network mismatch"
     );
-    let mut x = input.clone();
+    assert!(
+        start <= net.depth(),
+        "resume layer {start} exceeds depth {}",
+        net.depth()
+    );
+    let mut x = x.clone();
     // One stored-bits buffer serves every layer boundary of the sample.
     let mut qt: Option<QuantTensor> = None;
-    for (i, layer) in net.layers().iter().enumerate() {
+    for (i, layer) in net.layers().iter().enumerate().skip(start) {
+        observe(i, &x, hook);
         let site = DataSite::new(i, layer.name(), DataKind::Ifm);
         let q = match &mut qt {
             Some(q) => {

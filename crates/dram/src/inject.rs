@@ -59,6 +59,20 @@ impl Injector {
         }
     }
 
+    /// Whether this injector can be proven never to flip a bit.
+    ///
+    /// An expected BER of exactly 0 implies a weak-cell probability of 0
+    /// under every error source: a rescaled model draws no weak cells, and a
+    /// device whose vendor curve reports 0 for the operating point marks no
+    /// cell weak (`base_p = 0` ⇒ every spatially-scaled probability is 0).
+    /// Such an injector is an exact no-op on every load — the property the
+    /// incremental-evaluation layer uses to decide that a data site cannot
+    /// dirty the forward pass. The converse does not hold: a *negligible*
+    /// but nonzero BER is treated as dirty.
+    pub fn is_provably_clean(&self) -> bool {
+        self.expected_ber() == 0.0
+    }
+
     /// Corrupts a stored tensor in place; returns the number of flipped bits.
     pub fn corrupt(&self, tensor: &mut QuantTensor, rng: &mut StdRng) -> u64 {
         match self {
@@ -377,7 +391,13 @@ mod tests {
             partitions(&DramGeometry::ddr4_module(), PartitionGranularity::Bank)[0],
             OperatingPoint::nominal(),
         );
+        assert!(
+            !Injector::from_model(ErrorModel::uniform(0.05, 0.5, 3), Layout::default())
+                .is_provably_clean(),
+            "a nonzero-BER model must not be provably clean"
+        );
         for inj in [zero_ber, nominal] {
+            assert_eq!(inj.is_provably_clean(), inj.expected_ber() == 0.0);
             let mut t = clean.clone();
             assert_eq!(inj.corrupt_placed_seeded(&mut t, &layout, 42), 0);
             assert_eq!(t, clean, "error-free injector must not touch the tensor");

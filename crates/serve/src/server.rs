@@ -495,6 +495,7 @@ fn handle_sweep(
 fn stats_response(state: &ServerState) -> Json {
     let pool = state.pool.counters();
     let weak = state.pool.weak_map_counters();
+    let ckpt = state.pool.checkpoint_counters();
     Json::obj([
         ("ok", Json::Bool(true)),
         (
@@ -528,6 +529,15 @@ fn stats_response(state: &ServerState) -> Json {
             Json::obj([
                 ("hits", Json::num(weak.hits as f64)),
                 ("misses", Json::num(weak.misses as f64)),
+            ]),
+        ),
+        (
+            "checkpoints",
+            Json::obj([
+                ("hits", Json::num(ckpt.hits as f64)),
+                ("misses", Json::num(ckpt.misses as f64)),
+                ("evictions", Json::num(ckpt.evictions as f64)),
+                ("resident_bytes", Json::num(ckpt.resident_bytes as f64)),
             ]),
         ),
         (

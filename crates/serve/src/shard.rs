@@ -21,7 +21,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use eden_core::faults::CacheCounters;
 use eden_core::inference::InferenceBackend;
-use eden_core::session::EvalSession;
+use eden_core::session::{CheckpointCounters, EvalSession};
 use eden_dnn::zoo::{ModelId, ModelZoo};
 use eden_dnn::SyntheticVision;
 use eden_tensor::Precision;
@@ -219,6 +219,24 @@ impl SessionPool {
                 let c = shard.session.weak_map_cache().counters();
                 total.hits += c.hits;
                 total.misses += c.misses;
+            }
+        }
+        total
+    }
+
+    /// Clean-activation checkpoint counters summed over the live shards
+    /// (incremental re-evaluation: resumed lanes / cold lanes / evicted
+    /// checkpoints / bytes currently resident across every shard's store).
+    pub fn checkpoint_counters(&self) -> CheckpointCounters {
+        let state = self.state.lock().unwrap();
+        let mut total = CheckpointCounters::default();
+        for entry in state.slots.values() {
+            if let Some(shard) = entry.cell.get() {
+                let c = shard.session.checkpoint_counters();
+                total.hits += c.hits;
+                total.misses += c.misses;
+                total.evictions += c.evictions;
+                total.resident_bytes += c.resident_bytes;
             }
         }
         total

@@ -137,6 +137,18 @@ impl CorruptionOverlay {
         self.deltas.is_empty()
     }
 
+    /// Whether the overlay is the identity in every observable way: it
+    /// touches no word **and** recorded no flips or corrections. Stricter
+    /// than [`CorruptionOverlay::is_empty`], which only checks the deltas —
+    /// a bounding pass can correct a value back to its clean bits, leaving
+    /// an empty delta list with a nonzero correction count, and such a load
+    /// still perturbs downstream statistics. A clean overlay is the
+    /// certificate that a load left both the data and the stats untouched,
+    /// which is what lets incremental re-evaluation skip the layer it feeds.
+    pub fn is_clean(&self) -> bool {
+        self.deltas.is_empty() && self.flips == 0 && self.corrections == 0
+    }
+
     /// Bits flipped by the error source while producing this overlay.
     pub fn bit_flips(&self) -> u64 {
         self.flips
@@ -387,5 +399,16 @@ mod tests {
         let mut t = clean.clone();
         overlay.apply(&mut t);
         assert_eq!(t, clean);
+    }
+
+    #[test]
+    fn is_clean_requires_empty_deltas_and_zero_counters() {
+        assert!(CorruptionOverlay::empty(8, 8).is_clean());
+        // A correction that restored the clean bits: empty deltas, but the
+        // load still perturbed the stats — not clean.
+        let corrected = CorruptionOverlay::new(8, 8, vec![(1, 0)], 0, 1);
+        assert!(corrected.is_empty() && !corrected.is_clean());
+        let flipped = CorruptionOverlay::new(8, 8, vec![(2, 0b1)], 1, 0);
+        assert!(!flipped.is_clean());
     }
 }

@@ -4,12 +4,23 @@
 //! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
 //! `black_box`, `criterion_group!`, `criterion_main!` — backed by a simple
 //! wall-clock loop: per benchmark it runs one warm-up iteration, then timed
-//! iterations until either `sample_size` samples or a ~2 s budget is
-//! reached, and reports min / mean / max per-iteration time.
+//! samples until either `sample_size` samples or a ~2 s budget is reached,
+//! and reports min / median / mean / max per-iteration time.
 //!
-//! No statistical analysis, outlier rejection, or HTML reports — numbers are
-//! indicative. The value of keeping the harnesses compiling is that switching
-//! to real criterion later is a manifest-only change.
+//! Two defenses against timer noise, both sized by the warm-up iteration:
+//!
+//! * **Batching**: a routine faster than the minimum sample time (default
+//!   5 ms) is run `k` times per sample and the per-iteration time recorded
+//!   as `elapsed / k`, so sub-microsecond benchmarks measure well above
+//!   clock granularity instead of a single ~100 ns tick.
+//! * **Median**: the reported median (lower median for even counts) is
+//!   robust to the scheduling outliers that stretch `max` and drag `mean`,
+//!   so downstream consumers (the `bench_gate` machine-speed calibration)
+//!   can rely on it.
+//!
+//! No further statistical analysis, outlier rejection, or HTML reports —
+//! numbers are indicative. The value of keeping the harnesses compiling is
+//! that switching to real criterion later is a manifest-only change.
 //!
 //! # Machine-readable output
 //!
@@ -17,7 +28,7 @@
 //! benchmark additionally appends one JSON object per line:
 //!
 //! ```json
-//! {"group":"g","id":"id","mean_ns":123,"min_ns":100,"max_ns":150,"samples":15}
+//! {"group":"g","id":"id","mean_ns":123,"median_ns":110,"min_ns":100,"max_ns":150,"samples":15}
 //! ```
 //!
 //! The file is JSON-lines (append-safe across the multiple bench binaries of
@@ -51,6 +62,7 @@ impl Criterion {
             name,
             sample_size: 20,
             measurement_time: Duration::from_secs(2),
+            min_sample_time: Duration::from_millis(5),
         }
     }
 
@@ -98,6 +110,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
     measurement_time: Duration,
+    min_sample_time: Duration,
 }
 
 impl BenchmarkGroup<'_> {
@@ -111,6 +124,16 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Minimum wall-clock time one recorded sample must span (default 5 ms):
+    /// routines faster than this are batched — run `k` times per sample with
+    /// `elapsed / k` recorded — so the measurement sits well above timer
+    /// granularity. Not part of real criterion's API; criterion's own
+    /// warm-up/iteration planner serves the same purpose there.
+    pub fn min_sample_time(&mut self, d: Duration) -> &mut Self {
+        self.min_sample_time = d;
+        self
+    }
+
     pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
@@ -119,6 +142,7 @@ impl BenchmarkGroup<'_> {
             samples: Vec::with_capacity(self.sample_size),
             budget: self.measurement_time,
             max_samples: self.sample_size,
+            min_sample_time: self.min_sample_time,
         };
         f(&mut bencher);
         bencher.report(&self.name, &id.to_string());
@@ -145,19 +169,38 @@ pub struct Bencher {
     samples: Vec<Duration>,
     budget: Duration,
     max_samples: usize,
+    min_sample_time: Duration,
 }
 
 impl Bencher {
-    /// Run `routine` repeatedly, recording one sample per call: one warm-up
-    /// iteration, then up to `sample_size` timed iterations within the
-    /// group's time budget.
+    /// Run `routine` repeatedly, recording one sample per measurement: one
+    /// warm-up iteration (which doubles as the batch-size probe), then up to
+    /// `sample_size` timed samples within the group's time budget. Routines
+    /// faster than the group's minimum sample time are batched: each sample
+    /// times `k` back-to-back calls and records `elapsed / k`.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let probe = Instant::now();
         black_box(routine());
+        let est = probe.elapsed();
+        let batch: u32 = if est >= self.min_sample_time {
+            1
+        } else {
+            // Estimate floored to 1 ns so the division is finite; capped so
+            // a mis-probed (e.g. lazily-initialized) routine cannot pin one
+            // sample for minutes.
+            (self
+                .min_sample_time
+                .as_nanos()
+                .div_ceil(est.as_nanos().max(1)))
+            .min(10_000_000) as u32
+        };
         let started = Instant::now();
         while self.samples.len() < self.max_samples && started.elapsed() < self.budget {
             let t = Instant::now();
-            black_box(routine());
-            self.samples.push(t.elapsed());
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed() / batch);
         }
     }
 
@@ -170,15 +213,23 @@ impl Bencher {
         let mean = total / self.samples.len() as u32;
         let min = self.samples.iter().min().unwrap();
         let max = self.samples.iter().max().unwrap();
+        let median = median(&self.samples);
         eprintln!(
-            "  {group}/{id}: [{min:?} {mean:?} {max:?}] ({n} samples)",
+            "  {group}/{id}: [{min:?} {median:?} {mean:?} {max:?}] ({n} samples)",
             n = self.samples.len()
         );
         if let Ok(path) = std::env::var("EDEN_BENCH_JSON") {
             if !path.is_empty() {
-                if let Err(e) =
-                    append_json_line(&path, group, id, *min, mean, *max, self.samples.len())
-                {
+                if let Err(e) = append_json_line(
+                    &path,
+                    group,
+                    id,
+                    *min,
+                    median,
+                    mean,
+                    *max,
+                    self.samples.len(),
+                ) {
                     eprintln!("  (EDEN_BENCH_JSON: failed to write {path}: {e})");
                 }
             }
@@ -186,13 +237,23 @@ impl Bencher {
     }
 }
 
+/// Lower median of a non-empty sample set: robust to the scheduling
+/// outliers that stretch `max` and drag `mean`.
+fn median(samples: &[Duration]) -> Duration {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    sorted[(sorted.len() - 1) / 2]
+}
+
 /// Appends one JSON-lines record for a finished benchmark. Group and id come
 /// from benchmark source code, so they are embedded verbatim (no escaping).
+#[allow(clippy::too_many_arguments)]
 fn append_json_line(
     path: &str,
     group: &str,
     id: &str,
     min: Duration,
+    median: Duration,
     mean: Duration,
     max: Duration,
     samples: usize,
@@ -203,8 +264,9 @@ fn append_json_line(
         .open(path)?;
     writeln!(
         file,
-        "{{\"group\":\"{group}\",\"id\":\"{id}\",\"mean_ns\":{},\"min_ns\":{},\"max_ns\":{},\"samples\":{samples}}}",
+        "{{\"group\":\"{group}\",\"id\":\"{id}\",\"mean_ns\":{},\"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\"samples\":{samples}}}",
         mean.as_nanos(),
+        median.as_nanos(),
         min.as_nanos(),
         max.as_nanos(),
     )
@@ -267,6 +329,7 @@ mod tests {
             "g",
             "id",
             Duration::from_nanos(100),
+            Duration::from_nanos(110),
             Duration::from_nanos(123),
             Duration::from_nanos(150),
             15,
@@ -278,6 +341,7 @@ mod tests {
             "id2",
             Duration::from_nanos(1),
             Duration::from_nanos(2),
+            Duration::from_nanos(2),
             Duration::from_nanos(3),
             1,
         )
@@ -288,7 +352,39 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert_eq!(
             lines[0],
-            "{\"group\":\"g\",\"id\":\"id\",\"mean_ns\":123,\"min_ns\":100,\"max_ns\":150,\"samples\":15}"
+            "{\"group\":\"g\",\"id\":\"id\",\"mean_ns\":123,\"median_ns\":110,\"min_ns\":100,\"max_ns\":150,\"samples\":15}"
         );
+    }
+
+    #[test]
+    fn median_is_the_lower_middle_sample() {
+        let ns = |n| Duration::from_nanos(n);
+        assert_eq!(median(&[ns(5)]), ns(5));
+        assert_eq!(median(&[ns(9), ns(1), ns(5)]), ns(5));
+        // Even count: the lower of the two middle samples.
+        assert_eq!(median(&[ns(4), ns(1), ns(9), ns(6)]), ns(4));
+        // Robust to one huge outlier.
+        assert_eq!(median(&[ns(10), ns(11), ns(12), ns(4_000_000)]), ns(11));
+    }
+
+    #[test]
+    fn fast_routines_are_batched_above_timer_granularity() {
+        // A near-free routine must be batched: per-sample times then sit at
+        // the per-iteration average, far below the 5 ms minimum sample span,
+        // and never at the raw ~100 ns clock-tick floor times the batch.
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            budget: Duration::from_millis(200),
+            max_samples: 4,
+            min_sample_time: Duration::from_millis(5),
+        };
+        bencher.iter(|| black_box(1u64).wrapping_mul(3));
+        assert!(!bencher.samples.is_empty());
+        for s in &bencher.samples {
+            assert!(
+                *s < Duration::from_micros(1),
+                "batched per-iteration time should be tiny, got {s:?}"
+            );
+        }
     }
 }

@@ -16,11 +16,11 @@ use eden::core::faults::{ApproximateMemory, MemoryStats};
 use eden::core::inference::InferenceBackend;
 use eden::core::session::{EvalSession, RefetchMode};
 use eden::dnn::train::{TrainConfig, Trainer};
-use eden::dnn::{data::SyntheticVision, zoo, Dataset, Network};
+use eden::dnn::{data::SyntheticVision, zoo, DataKind, DataSite, Dataset, Network};
 use eden::dram::device::ApproxDramDevice;
 use eden::dram::geometry::{partitions, DramGeometry, PartitionGranularity};
 use eden::dram::inject::Injector;
-use eden::dram::{ErrorModel, OperatingPoint, Vendor};
+use eden::dram::{ErrorModel, Layout, OperatingPoint, Vendor};
 use eden::tensor::{CorruptionOverlay, Precision, QuantTensor, Tensor};
 use eden_par::ThreadPool;
 use proptest::prelude::*;
@@ -34,6 +34,17 @@ fn trained_lenet(seed: u64) -> (Network, SyntheticVision) {
     })
     .train(&mut net, &dataset);
     (net, dataset)
+}
+
+/// The deepest IFM site of the network — dirtying it leaves the longest
+/// clean prefix, so checkpoint resume has the most to skip.
+fn deepest_ifm(net: &Network) -> DataSite {
+    net.data_sites()
+        .into_iter()
+        .filter(|info| info.site.kind == DataKind::Ifm)
+        .max_by_key(|info| info.site.layer_index)
+        .expect("network has IFM sites")
+        .site
 }
 
 /// Runs a probe sequence that revisits operating points (so the persistent
@@ -108,6 +119,75 @@ proptest! {
             via_overlay, via_reload,
             "{} {} {} threads bounding={}", precision, backend, threads, with_bounding
         );
+    }
+
+    #[test]
+    fn checkpointed_resume_is_bit_identical_to_the_full_forward(
+        seed in 0u64..100,
+        precision_idx in 0usize..4,
+        backend_sel in 0u8..2,
+        threads_idx in 0usize..3,
+        mode_sel in 0u8..2,
+        cold_sel in 0u8..2,
+    ) {
+        let precision =
+            [Precision::Int4, Precision::Int8, Precision::Int16, Precision::Fp32][precision_idx];
+        let backend = if backend_sel == 0 {
+            InferenceBackend::SimulatedF32
+        } else {
+            InferenceBackend::NativeInt
+        };
+        let threads = [1usize, 2, 8][threads_idx];
+        let mode = if mode_sel == 0 { RefetchMode::Overlay } else { RefetchMode::ImageReload };
+        // A 64-byte budget forces every harvest to evict: the store stays
+        // effectively empty and each probe runs the cold (full-forward) path
+        // through the checkpointing code — still bit-identical.
+        let cold = cold_sel == 1;
+        let (net, dataset) = trained_lenet(seed % 4);
+        let samples = &dataset.test()[..20];
+        let template = ErrorModel::uniform(0.02, 0.5, seed ^ 0x51CE);
+        // The deepest IFM site leaves the longest clean prefix to resume
+        // over, and IFM corruption exercises the per-lane forked streams
+        // (activations reload per sample, unlike weights).
+        let site = deepest_ifm(&net);
+
+        let pool = ThreadPool::new(threads);
+        let run = |checkpoints: bool| {
+            let mut session = EvalSession::new(&net, precision, backend)
+                .with_refetch_mode(mode)
+                .with_checkpoints(checkpoints);
+            if checkpoints && cold {
+                session = session.with_checkpoint_budget(64);
+            }
+            let out: Vec<(u32, MemoryStats)> = pool.install(|| {
+                [1e-3, 1e-2, 1e-3, 5e-2]
+                    .iter()
+                    .map(|&ber| {
+                        let mut memory = ApproximateMemory::reliable(seed);
+                        memory.assign_site(
+                            site.clone(),
+                            Injector::from_model(template.with_ber(ber), Layout::default()),
+                        );
+                        let acc = session.evaluate_with_faults(samples, &mut memory);
+                        (acc.to_bits(), memory.stats())
+                    })
+                    .collect()
+            });
+            let counters = session.checkpoint_counters();
+            (out, counters)
+        };
+        let (resumed, counters) = run(true);
+        let (full, _) = run(false);
+        prop_assert_eq!(
+            resumed, full,
+            "{} {} {} threads {:?} cold={}", precision, backend, threads, mode, cold
+        );
+        if cold {
+            prop_assert!(counters.evictions > 0, "tiny budget must evict");
+        } else {
+            prop_assert!(counters.hits > 0, "later probes must resume from checkpoints");
+        }
+        prop_assert!(counters.misses > 0, "the first probe is always cold");
     }
 
     #[test]
