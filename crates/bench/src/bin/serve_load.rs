@@ -3,9 +3,10 @@
 //! Boots an in-process server (or connects to a running daemon via
 //! `--socket`), drives it from several client connections round-robining
 //! over tenant configurations that map to distinct session shards, and
-//! reports throughput, latency percentiles (p50/p95/p99), session-shard and
-//! weak-map cache hit/miss counters, and a parallelism factor (aggregate
-//! busy time over wall time — the all-cores utilization sanity check).
+//! reports request and sample throughput (aggregate and per tenant),
+//! latency percentiles (p50/p95/p99), session-shard, weak-map and
+//! batch-group counters, and a parallelism factor (aggregate busy time over
+//! wall time — the all-cores utilization sanity check).
 //!
 //! Every response is verified bit-identical to a fresh standalone
 //! `EvalSession` evaluating the same spec (disable with `--no-verify` when
@@ -253,9 +254,19 @@ fn main() {
     );
     let throughput = latencies.len() as f64 / wall.as_secs_f64().max(1e-9);
 
+    // Sample throughput: every request evaluates COUNT samples, so the
+    // aggregate (and each tenant's share) is requests · COUNT over the wall.
+    let wall_s = wall.as_secs_f64().max(1e-9);
+    let samples_per_sec = results.len() as f64 * COUNT as f64 / wall_s;
+    let mut tenant_requests = vec![0usize; TENANTS.len()];
+    for &(t, _) in &results {
+        tenant_requests[t] += 1;
+    }
+
     let shards = stats.get("shards").cloned().unwrap_or(Json::Null);
     let weak = stats.get("weak_maps").cloned().unwrap_or(Json::Null);
     let ckpt = stats.get("checkpoints").cloned().unwrap_or(Json::Null);
+    let batches = stats.get("batches").cloned().unwrap_or(Json::Null);
     let live = shards.get("live").and_then(Json::as_u64).unwrap_or(0);
     let mut report = String::new();
     report.push_str("eden-serve load test report\n");
@@ -274,6 +285,15 @@ fn main() {
         ms(p95),
         ms(p99)
     ));
+    let per_tenant: Vec<String> = tenant_requests
+        .iter()
+        .enumerate()
+        .map(|(t, &n)| format!("t{t} {:.1}", n as f64 * COUNT as f64 / wall_s))
+        .collect();
+    report.push_str(&format!(
+        "throughput {samples_per_sec:.1} samples/s  per-tenant [{}]\n",
+        per_tenant.join("  ")
+    ));
     report.push_str(&format!(
         "shards live {live}  hits {}  misses {}  evictions {}\n",
         shards.get("hits").and_then(Json::as_u64).unwrap_or(0),
@@ -291,6 +311,18 @@ fn main() {
         ckpt.get("misses").and_then(Json::as_u64).unwrap_or(0),
         ckpt.get("evictions").and_then(Json::as_u64).unwrap_or(0),
         ckpt.get("resident_bytes")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+    ));
+    report.push_str(&format!(
+        "batch groups {}  samples batched {}  fallback {}\n",
+        batches.get("groups").and_then(Json::as_u64).unwrap_or(0),
+        batches
+            .get("samples_batched")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+        batches
+            .get("fallback_samples")
             .and_then(Json::as_u64)
             .unwrap_or(0),
     ));

@@ -101,7 +101,7 @@
 //! ```
 
 use crate::bounding::{BoundingLogic, CorrectionPolicy};
-use crate::faults::{ApproximateMemory, WeakMapCache};
+use crate::faults::{ApproximateMemory, MemoryStats, WeakMapCache};
 use crate::inference::{effective_backend, InferenceBackend};
 use eden_dnn::network::WeightImage;
 use eden_dnn::qexec::{self, NativeWeights, QuantScratch, ScratchArena};
@@ -129,6 +129,36 @@ const WINDOW: usize = 16 * WEIGHT_REFETCH_PERIOD;
 /// Number of refetch slots a window needs.
 fn refetch_slots(window_len: usize) -> usize {
     window_len.div_ceil(WEIGHT_REFETCH_PERIOD)
+}
+
+/// Default cap on the samples of one weight-stationary batch group
+/// ([`EvalSession::with_batch_limit`]).
+pub const DEFAULT_BATCH_LIMIT: usize = 32;
+
+/// Cumulative batch-group counters of a session's evaluations
+/// ([`EvalSession::batch_counters`]): how the overlay-grouping rule resolved
+/// each evaluated sample. `batched_samples` counts samples executed inside a
+/// multi-sample weight-stationary group (one of `groups`);
+/// `fallback_samples` counts samples that ran alone — either because their
+/// corrupted weight state matched no neighbour's or because the batch limit
+/// is 1.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchCounters {
+    /// Multi-sample groups formed (each executed as one batched forward).
+    pub groups: u64,
+    /// Samples executed inside a multi-sample group.
+    pub batched_samples: u64,
+    /// Samples that fell back to per-sample execution.
+    pub fallback_samples: u64,
+}
+
+/// Lock-free accumulators behind [`BatchCounters`] (grouping runs inside
+/// concurrent probes sharing one `&SessionCore`).
+#[derive(Default)]
+struct BatchStats {
+    groups: AtomicU64,
+    batched_samples: AtomicU64,
+    fallback_samples: AtomicU64,
 }
 
 /// How the session re-loads its corrupted weight state from approximate
@@ -179,6 +209,9 @@ impl FromStr for RefetchMode {
 struct SimScratch {
     stored: Option<QuantTensor>,
     dequantized: Vec<f32>,
+    /// Per-sample dequantized-activation buffers of the batched executor:
+    /// grown once to the group width, reused across the layer loop.
+    batch: Vec<Vec<f32>>,
 }
 
 /// How a session holds its network: borrowed from the caller's frame (the
@@ -245,6 +278,12 @@ struct SessionCore<'a> {
     /// Whether evaluations may consult and populate the checkpoint store
     /// (on by default; results are bit-identical either way).
     checkpoints_enabled: bool,
+    /// Cap on the samples of one weight-stationary batch group; 1 disables
+    /// batching (pure per-sample execution, the reference the batched path
+    /// is pinned against).
+    batch_limit: usize,
+    /// Batch-group accounting, surfaced by [`EvalSession::batch_counters`].
+    batch_stats: BatchStats,
 }
 
 /// Exact-value cache key of one [`BoundingLogic`]: every field as bits, so
@@ -642,6 +681,8 @@ impl<'a> EvalSession<'a> {
                 pool_arena: ScratchArena::new(),
                 checkpoints: CheckpointStore::new(CHECKPOINT_BUDGET_BYTES),
                 checkpoints_enabled: true,
+                batch_limit: DEFAULT_BATCH_LIMIT,
+                batch_stats: BatchStats::default(),
             },
             pools: ProbePools::default(),
             baselines: HashMap::new(),
@@ -716,6 +757,32 @@ impl<'a> EvalSession<'a> {
         self.core.checkpoints.counters()
     }
 
+    /// Overrides the cap on weight-stationary batch-group size (default
+    /// [`DEFAULT_BATCH_LIMIT`]; clamped to at least 1). A limit of 1
+    /// disables batching entirely — the reference per-sample execution the
+    /// batched path is pinned against, bit for bit.
+    pub fn with_batch_limit(mut self, limit: usize) -> Self {
+        self.core.batch_limit = limit.max(1);
+        self
+    }
+
+    /// The session's batch-group size cap.
+    pub fn batch_limit(&self) -> usize {
+        self.core.batch_limit
+    }
+
+    /// Cumulative batch-group counters (groups formed, samples batched,
+    /// per-sample fallbacks) across every evaluation the session has run —
+    /// surfaced by the serving layer next to the checkpoint counters.
+    pub fn batch_counters(&self) -> BatchCounters {
+        let s = &self.core.batch_stats;
+        BatchCounters {
+            groups: s.groups.load(AtomicOrdering::Relaxed),
+            batched_samples: s.batched_samples.load(AtomicOrdering::Relaxed),
+            fallback_samples: s.fallback_samples.load(AtomicOrdering::Relaxed),
+        }
+    }
+
     /// Classification accuracy over `samples` served from `memory` —
     /// bit-identical to [`crate::inference::evaluate_with_faults_backend`],
     /// with the session amortizing images, pools and weak-cell maps across
@@ -725,7 +792,7 @@ impl<'a> EvalSession<'a> {
         samples: &[(Tensor, usize)],
         memory: &mut ApproximateMemory,
     ) -> f32 {
-        self.core.evaluate(samples, memory, &mut self.pools)
+        self.core.evaluate(samples, memory, &mut self.pools, None)
     }
 
     /// Runs two independent probes concurrently on the `eden-par` pool (the
@@ -741,11 +808,11 @@ impl<'a> EvalSession<'a> {
         eden_par::join(
             || {
                 core.pool_arena
-                    .with(|p| core.evaluate(samples, memory_a, p))
+                    .with(|p| core.evaluate(samples, memory_a, p, None))
             },
             || {
                 core.pool_arena
-                    .with(|p| core.evaluate(samples, memory_b, p))
+                    .with(|p| core.evaluate(samples, memory_b, p, None))
             },
         )
     }
@@ -786,7 +853,7 @@ impl<'a> EvalSession<'a> {
             (
                 ber,
                 core.pool_arena
-                    .with(|p| core.evaluate(samples, &mut memory, p)),
+                    .with(|p| core.evaluate(samples, &mut memory, p, None)),
             )
         })
     }
@@ -866,7 +933,22 @@ impl<'a> EvalSession<'a> {
     ) -> f32 {
         self.core
             .pool_arena
-            .with(|pools| self.core.evaluate(samples, memory, pools))
+            .with(|pools| self.core.evaluate(samples, memory, pools, None))
+    }
+
+    /// [`EvalSession::evaluate_concurrent`] with a per-call batch-group size
+    /// cap overriding the session's [`EvalSession::batch_limit`] — the
+    /// serving layer's batched-evaluation entry point. `batch == 1` forces
+    /// per-sample execution; results are bit-identical at any cap.
+    pub fn evaluate_concurrent_batched(
+        &self,
+        samples: &[(Tensor, usize)],
+        memory: &mut ApproximateMemory,
+        batch: usize,
+    ) -> f32 {
+        self.core
+            .pool_arena
+            .with(|pools| self.core.evaluate(samples, memory, pools, Some(batch)))
     }
 
     /// Releases the session's transient probe state — the corrupted-weight
@@ -928,6 +1010,7 @@ impl SessionCore<'_> {
         samples: &[(Tensor, usize)],
         memory: &mut ApproximateMemory,
         pools: &mut ProbePools,
+        batch: Option<usize>,
     ) -> f32 {
         if samples.is_empty() {
             return f32::NAN;
@@ -939,13 +1022,67 @@ impl SessionCore<'_> {
         let ckpt = self.checkpoint_ctx(samples, memory);
         let correct = match effective_backend(self.backend, self.precision) {
             InferenceBackend::SimulatedF32 => {
-                self.evaluate_simulated(samples, memory, &mut pools.simulated, ckpt.as_ref())
+                self.evaluate_simulated(samples, memory, &mut pools.simulated, ckpt.as_ref(), batch)
             }
             InferenceBackend::NativeInt => {
-                self.evaluate_native(samples, memory, &mut pools.native, ckpt.as_ref())
+                self.evaluate_native(samples, memory, &mut pools.native, ckpt.as_ref(), batch)
             }
         };
         correct as f32 / samples.len() as f32
+    }
+
+    /// Partitions one window's samples into weight-stationary batch groups:
+    /// maximal runs of consecutive samples whose corrupted weight states are
+    /// provably equal, split to the batch cap. Samples sharing a refetch
+    /// slot trivially qualify; a run extends across a slot boundary iff both
+    /// slots are in [`SlotState::Overlaid`] with equal overlay sets — an
+    /// O(flips) comparison — which makes batched execution bit-identical by
+    /// construction (the group genuinely shares one weight state, and each
+    /// lane's fault stream is keyed by its own global sample index either
+    /// way). [`RefetchMode::ImageReload`] slots report
+    /// [`SlotState::Unknown`], so cross-slot merging never happens there.
+    ///
+    /// Also the single accounting point of [`BatchCounters`]: every returned
+    /// group increments either the group/batched-sample counters or the
+    /// fallback counter.
+    fn batch_groups<T>(
+        &self,
+        window_len: usize,
+        slots: &[Slot<T>],
+        batch: Option<usize>,
+    ) -> Vec<std::ops::Range<usize>> {
+        let limit = batch.unwrap_or(self.batch_limit).max(1);
+        let mergeable = |a: usize, b: usize| match (&slots[a].state, &slots[b].state) {
+            (SlotState::Overlaid(x), SlotState::Overlaid(y)) => x == y,
+            _ => false,
+        };
+        let mut groups = Vec::new();
+        let mut start = 0usize;
+        for i in 1..=window_len {
+            let split = i == window_len || i - start == limit || {
+                let (a, b) = ((i - 1) / WEIGHT_REFETCH_PERIOD, i / WEIGHT_REFETCH_PERIOD);
+                a != b && !mergeable(a, b)
+            };
+            if split {
+                groups.push(start..i);
+                start = i;
+            }
+        }
+        for g in &groups {
+            if g.len() > 1 {
+                self.batch_stats
+                    .groups
+                    .fetch_add(1, AtomicOrdering::Relaxed);
+                self.batch_stats
+                    .batched_samples
+                    .fetch_add(g.len() as u64, AtomicOrdering::Relaxed);
+            } else {
+                self.batch_stats
+                    .fallback_samples
+                    .fetch_add(1, AtomicOrdering::Relaxed);
+            }
+        }
+        groups
     }
 
     /// The checkpoint context of one `evaluate` call (`None` when the store
@@ -1061,6 +1198,7 @@ impl SessionCore<'_> {
         memory: &mut ApproximateMemory,
         pool: &mut Vec<Slot<Network>>,
         ckpt: Option<&CheckpointCtx<'_>>,
+        batch: Option<usize>,
     ) -> usize {
         // Reusable pool of corrupted network instances: cloned lazily (at
         // most once per refetch slot, i.e. ≤ 16 times per session) and
@@ -1084,42 +1222,52 @@ impl SessionCore<'_> {
             let base = w * WINDOW;
             let shared: &ApproximateMemory = memory;
             let pool_ref: &[Slot<Network>] = pool;
-            let outcomes = eden_par::par_map(window, |i, (x, label)| {
-                // Lane key is the sample's *global* index: invariant under
-                // both the window size and the thread count.
-                let mut lane = shared.fork((base + i) as u64);
-                let net = &pool_ref[i / WEIGHT_REFETCH_PERIOD].inner;
-                let sample = (base + i) as u32;
-                // Resume from the deepest clean checkpoint: set the boundary
-                // activation, advance the lane's load cursor past the clean
-                // prefix, run only the suffix. Bit-identical to the full
-                // pass because the prefix is skipped, not approximated.
-                let resumed = ckpt.and_then(|c| c.resume(sample));
-                let (start, resume_x) = match &resumed {
-                    Some((boundary, ck)) => {
-                        lane.skip_clean_loads(*boundary as u64, ck.corrections);
-                        (
-                            *boundary,
-                            Some(Tensor::from_vec(ck.data.clone(), &ck.shape)),
+            let groups = self.batch_groups(window.len(), &pool_ref[..slots], batch);
+            let outcomes = eden_par::par_map(&groups, |_, g| {
+                if g.len() == 1 {
+                    let i = g.start;
+                    let (x, label) = &window[i];
+                    // Lane key is the sample's *global* index: invariant
+                    // under the window size, the thread count and the
+                    // grouping.
+                    let mut lane = shared.fork((base + i) as u64);
+                    let net = &pool_ref[i / WEIGHT_REFETCH_PERIOD].inner;
+                    let sample = (base + i) as u32;
+                    // Resume from the deepest clean checkpoint: set the
+                    // boundary activation, advance the lane's load cursor
+                    // past the clean prefix, run only the suffix.
+                    // Bit-identical to the full pass because the prefix is
+                    // skipped, not approximated.
+                    let resumed = ckpt.and_then(|c| c.resume(sample));
+                    let (start, resume_x) = match &resumed {
+                        Some((boundary, ck)) => {
+                            lane.skip_clean_loads(*boundary as u64, ck.corrections);
+                            (
+                                *boundary,
+                                Some(Tensor::from_vec(ck.data.clone(), &ck.shape)),
+                            )
+                        }
+                        None => (0, None),
+                    };
+                    let input = resume_x.as_ref().unwrap_or(x);
+                    let logits = self.sim_scratch.with(|scratch| {
+                        self.forward_simulated(
+                            net,
+                            input,
+                            start,
+                            &mut lane,
+                            scratch,
+                            ckpt.map(|c| (c, sample)),
                         )
-                    }
-                    None => (0, None),
-                };
-                let input = resume_x.as_ref().unwrap_or(x);
-                let logits = self.sim_scratch.with(|scratch| {
-                    self.forward_simulated(
-                        net,
-                        input,
-                        start,
-                        &mut lane,
-                        scratch,
-                        ckpt.map(|c| (c, sample)),
-                    )
-                });
-                (logits.argmax() == *label, lane.stats())
+                    });
+                    vec![(logits.argmax() == *label, lane.stats())]
+                } else {
+                    let net = &pool_ref[g.start / WEIGHT_REFETCH_PERIOD].inner;
+                    self.forward_simulated_group(net, window, g.clone(), base, shared, ckpt)
+                }
             });
 
-            for (ok, stats) in outcomes {
+            for (ok, stats) in outcomes.into_iter().flatten() {
                 if ok {
                     correct += 1;
                 }
@@ -1127,6 +1275,107 @@ impl SessionCore<'_> {
             }
         }
         correct
+    }
+
+    /// One weight-stationary batched pass over a group of samples sharing a
+    /// corrupted network state: every sample gets its own fault lane (forked
+    /// by global index, exactly as per-sample execution forks it) and its own
+    /// checkpoint resume layer, while each layer's compute runs through
+    /// [`Layer::forward_batch`] — one GEMM over the whole group's activation
+    /// columns. Per sample, the sequence of IFM loads, harvests and layer
+    /// computations is exactly that of a solo [`SessionCore::
+    /// forward_simulated`] run, so outcomes and per-lane statistics are
+    /// bit-identical by construction.
+    fn forward_simulated_group(
+        &self,
+        net: &Network,
+        window: &[(Tensor, usize)],
+        g: std::ops::Range<usize>,
+        base: usize,
+        shared: &ApproximateMemory,
+        ckpt: Option<&CheckpointCtx<'_>>,
+    ) -> Vec<(bool, MemoryStats)> {
+        let batch = g.len();
+        let mut lanes: Vec<ApproximateMemory> =
+            g.clone().map(|i| shared.fork((base + i) as u64)).collect();
+        let mut starts = vec![0usize; batch];
+        let mut xs: Vec<Tensor> = Vec::with_capacity(batch);
+        for (j, i) in g.clone().enumerate() {
+            let sample = (base + i) as u32;
+            match ckpt.and_then(|c| c.resume(sample)) {
+                Some((boundary, ck)) => {
+                    lanes[j].skip_clean_loads(boundary as u64, ck.corrections);
+                    starts[j] = boundary;
+                    xs.push(Tensor::from_vec(ck.data.clone(), &ck.shape));
+                }
+                None => xs.push(window[i].0.clone()),
+            }
+        }
+        let min_start = starts.iter().copied().min().unwrap_or(0);
+        self.sim_scratch.with(|scratch| {
+            // Per-sample dequantized buffers, checked out of the scratch and
+            // grown once to the group width.
+            let mut bufs = std::mem::take(&mut scratch.batch);
+            bufs.resize_with(batch, Vec::new);
+            for (i, layer) in net.layers().iter().enumerate().skip(min_start) {
+                // (sample slot, its dequantized activation) per active sample.
+                let mut dq: Vec<(usize, Tensor)> = Vec::with_capacity(batch);
+                for j in 0..batch {
+                    if starts[j] > i {
+                        continue;
+                    }
+                    if let Some(ctx) = ckpt {
+                        if i > starts[j] {
+                            let sample = (base + g.start + j) as u32;
+                            ctx.harvest(sample, i, &xs[j], lanes[j].stats().corrections);
+                        }
+                    }
+                    let q = match &mut scratch.stored {
+                        Some(q) => {
+                            q.requantize_from(&xs[j], self.precision);
+                            q
+                        }
+                        None => scratch
+                            .stored
+                            .insert(QuantTensor::quantize(&xs[j], self.precision)),
+                    };
+                    lanes[j].corrupt(&self.ifm_sites[i], q);
+                    let mut buf = std::mem::take(&mut bufs[j]);
+                    buf.clear();
+                    buf.resize(q.len(), 0.0);
+                    q.dequantize_into(&mut buf);
+                    dq.push((j, Tensor::from_vec(buf, q.shape())));
+                }
+                let uniform = dq.windows(2).all(|w| w[0].1.shape() == w[1].1.shape());
+                let batched = if dq.len() > 1 && uniform {
+                    let refs: Vec<&Tensor> = dq.iter().map(|(_, t)| t).collect();
+                    layer.forward_batch(&refs)
+                } else {
+                    None
+                };
+                match batched {
+                    Some(ys) => {
+                        for ((j, t), y) in dq.into_iter().zip(ys) {
+                            xs[j] = y;
+                            bufs[j] = t.into_vec();
+                        }
+                    }
+                    None => {
+                        for (j, t) in dq {
+                            xs[j] = layer.forward(&t);
+                            bufs[j] = t.into_vec();
+                        }
+                    }
+                }
+            }
+            scratch.batch = bufs;
+        });
+        let g0 = g.start;
+        lanes
+            .into_iter()
+            .zip(g)
+            .map(|(lane, i)| (xs[i - g0].argmax() == window[i].1, lane.stats()))
+            .collect()
     }
 
     /// One simulated-f32 forward pass over a corrupted pool network —
@@ -1180,6 +1429,7 @@ impl SessionCore<'_> {
         memory: &mut ApproximateMemory,
         pool: &mut Vec<Slot<NativeWeights>>,
         ckpt: Option<&CheckpointCtx<'_>>,
+        batch: Option<usize>,
     ) -> usize {
         // Same window/refetch structure as the simulated path (and the same
         // load-stream consumption), but the refetched state is the integer
@@ -1198,49 +1448,58 @@ impl SessionCore<'_> {
             let base = w * WINDOW;
             let shared: &ApproximateMemory = memory;
             let pool_ref: &[Slot<NativeWeights>] = pool;
-            let outcomes = eden_par::par_map(window, |i, (x, label)| {
-                let mut lane = shared.fork((base + i) as u64);
-                let weights = &pool_ref[i / WEIGHT_REFETCH_PERIOD].inner;
-                let sample = (base + i) as u32;
-                // Same resume protocol as the simulated path; the boundary
-                // activation is the f32 tensor crossing the layer boundary,
-                // which both backends carry identically.
-                let resumed = ckpt.and_then(|c| c.resume(sample));
-                let (start, resume_x) = match &resumed {
-                    Some((boundary, ck)) => {
-                        lane.skip_clean_loads(*boundary as u64, ck.corrections);
-                        (
-                            *boundary,
-                            Some(Tensor::from_vec(ck.data.clone(), &ck.shape)),
-                        )
-                    }
-                    None => (0, None),
-                };
-                let input = resume_x.as_ref().unwrap_or(x);
-                // Checked-out scratch: buffer contents never influence
-                // results, so reuse across samples is thread-count invariant.
-                let logits = self.scratch.with(|scratch| {
-                    qexec::forward_native_observed(
-                        &self.net,
-                        weights,
-                        input,
-                        start,
-                        self.precision,
-                        &mut lane,
-                        scratch,
-                        |boundary, x, lane: &mut ApproximateMemory| {
-                            if let Some(ctx) = ckpt {
-                                if boundary > start {
-                                    ctx.harvest(sample, boundary, x, lane.stats().corrections);
+            let groups = self.batch_groups(window.len(), &pool_ref[..slots], batch);
+            let outcomes = eden_par::par_map(&groups, |_, g| {
+                if g.len() == 1 {
+                    let i = g.start;
+                    let (x, label) = &window[i];
+                    let mut lane = shared.fork((base + i) as u64);
+                    let weights = &pool_ref[i / WEIGHT_REFETCH_PERIOD].inner;
+                    let sample = (base + i) as u32;
+                    // Same resume protocol as the simulated path; the
+                    // boundary activation is the f32 tensor crossing the
+                    // layer boundary, which both backends carry identically.
+                    let resumed = ckpt.and_then(|c| c.resume(sample));
+                    let (start, resume_x) = match &resumed {
+                        Some((boundary, ck)) => {
+                            lane.skip_clean_loads(*boundary as u64, ck.corrections);
+                            (
+                                *boundary,
+                                Some(Tensor::from_vec(ck.data.clone(), &ck.shape)),
+                            )
+                        }
+                        None => (0, None),
+                    };
+                    let input = resume_x.as_ref().unwrap_or(x);
+                    // Checked-out scratch: buffer contents never influence
+                    // results, so reuse across samples is thread-count
+                    // invariant.
+                    let logits = self.scratch.with(|scratch| {
+                        qexec::forward_native_observed(
+                            &self.net,
+                            weights,
+                            input,
+                            start,
+                            self.precision,
+                            &mut lane,
+                            scratch,
+                            |boundary, x, lane: &mut ApproximateMemory| {
+                                if let Some(ctx) = ckpt {
+                                    if boundary > start {
+                                        ctx.harvest(sample, boundary, x, lane.stats().corrections);
+                                    }
                                 }
-                            }
-                        },
-                    )
-                });
-                (logits.argmax() == *label, lane.stats())
+                            },
+                        )
+                    });
+                    vec![(logits.argmax() == *label, lane.stats())]
+                } else {
+                    let weights = &pool_ref[g.start / WEIGHT_REFETCH_PERIOD].inner;
+                    self.forward_native_group(weights, window, g.clone(), base, shared, ckpt)
+                }
             });
 
-            for (ok, stats) in outcomes {
+            for (ok, stats) in outcomes.into_iter().flatten() {
                 if ok {
                     correct += 1;
                 }
@@ -1248,6 +1507,65 @@ impl SessionCore<'_> {
             }
         }
         correct
+    }
+
+    /// Native-backend counterpart of [`SessionCore::forward_simulated_group`]:
+    /// per-sample lanes and checkpoint resumes feed one
+    /// [`qexec::forward_native_batch_observed`] call over the group's shared
+    /// integer weight state, which runs each layer's compute as a single
+    /// packed integer GEMM. Bit-identical to per-sample execution for the
+    /// same reasons — per sample, the observe/load/compute sequence is
+    /// exactly the solo executor's.
+    fn forward_native_group(
+        &self,
+        weights: &NativeWeights,
+        window: &[(Tensor, usize)],
+        g: std::ops::Range<usize>,
+        base: usize,
+        shared: &ApproximateMemory,
+        ckpt: Option<&CheckpointCtx<'_>>,
+    ) -> Vec<(bool, MemoryStats)> {
+        let batch = g.len();
+        let mut lanes: Vec<ApproximateMemory> =
+            g.clone().map(|i| shared.fork((base + i) as u64)).collect();
+        let mut starts = vec![0usize; batch];
+        let mut xs: Vec<Tensor> = Vec::with_capacity(batch);
+        for (j, i) in g.clone().enumerate() {
+            let sample = (base + i) as u32;
+            match ckpt.and_then(|c| c.resume(sample)) {
+                Some((boundary, ck)) => {
+                    lanes[j].skip_clean_loads(boundary as u64, ck.corrections);
+                    starts[j] = boundary;
+                    xs.push(Tensor::from_vec(ck.data.clone(), &ck.shape));
+                }
+                None => xs.push(window[i].0.clone()),
+            }
+        }
+        let g0 = g.start;
+        let logits = self.scratch.with(|scratch| {
+            qexec::forward_native_batch_observed(
+                &self.net,
+                weights,
+                &xs,
+                &starts,
+                self.precision,
+                &mut lanes,
+                scratch,
+                |j, boundary, x, lane: &mut ApproximateMemory| {
+                    if let Some(ctx) = ckpt {
+                        if boundary > starts[j] {
+                            let sample = (base + g0 + j) as u32;
+                            ctx.harvest(sample, boundary, x, lane.stats().corrections);
+                        }
+                    }
+                },
+            )
+        });
+        lanes
+            .into_iter()
+            .zip(g)
+            .map(|(lane, i)| (logits[i - g0].argmax() == window[i].1, lane.stats()))
+            .collect()
     }
 }
 
@@ -1603,5 +1921,120 @@ mod tests {
         let after = session.evaluate_with_faults(samples, &mut again);
         assert_eq!(before.to_bits(), after.to_bits());
         assert_eq!(memory.stats(), again.stats());
+    }
+
+    #[test]
+    fn batched_execution_matches_per_sample_bit_for_bit() {
+        // The default (batched) session against a batch-limit-1 session —
+        // the per-sample reference execution — across backends and refetch
+        // modes: same accuracies, same memory statistics.
+        let (net, dataset) = trained_lenet(14);
+        let samples = &dataset.test()[..24];
+        let template = ErrorModel::uniform(0.02, 0.5, 3);
+        for backend in [InferenceBackend::SimulatedF32, InferenceBackend::NativeInt] {
+            for mode in [RefetchMode::Overlay, RefetchMode::ImageReload] {
+                let mut batched =
+                    EvalSession::new(&net, Precision::Int8, backend).with_refetch_mode(mode);
+                let mut solo = EvalSession::new(&net, Precision::Int8, backend)
+                    .with_refetch_mode(mode)
+                    .with_batch_limit(1);
+                assert_eq!(batched.batch_limit(), DEFAULT_BATCH_LIMIT);
+                assert_eq!(solo.batch_limit(), 1);
+                for ber in [1e-3, 1e-2] {
+                    let model = template.with_ber(ber);
+                    let mut a = ApproximateMemory::from_model(model, 7);
+                    let mut b = ApproximateMemory::from_model(model, 7);
+                    let via_batched = batched.evaluate_with_faults(samples, &mut a);
+                    let via_solo = solo.evaluate_with_faults(samples, &mut b);
+                    assert_eq!(
+                        via_batched.to_bits(),
+                        via_solo.to_bits(),
+                        "{backend} {mode}"
+                    );
+                    assert_eq!(a.stats(), b.stats(), "{backend} {mode}");
+                }
+                let c = batched.batch_counters();
+                assert!(c.groups > 0, "{backend} {mode}: slot-mates must batch");
+                assert!(c.batched_samples > 0, "{backend} {mode}");
+                let s = solo.batch_counters();
+                assert_eq!(s.groups, 0, "{backend} {mode}: limit 1 never batches");
+                assert_eq!(s.batched_samples, 0, "{backend} {mode}");
+                assert_eq!(s.fallback_samples, 2 * samples.len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn equal_overlays_merge_batch_groups_across_refetch_slots() {
+        // With a weak-cell flip probability of 1.0 every refetch draws the
+        // same overlays, so consecutive slots hold provably equal weights
+        // and the overlay-grouping rule forms groups wider than one slot —
+        // up to the batch cap.
+        let (net, dataset) = trained_lenet(15);
+        let samples = &dataset.test()[..48]; // 3 refetch slots
+        let model = ErrorModel::uniform(0.02, 1.0, 3).with_ber(1e-3);
+        let session = EvalSession::new(&net, Precision::Int8, InferenceBackend::NativeInt);
+        let mut memory = ApproximateMemory::from_model(model, 7);
+        let accuracy = session.evaluate_concurrent(samples, &mut memory);
+        let c = session.batch_counters();
+        // 48 equal-weight samples under a cap of 32 split into 32 + 16.
+        assert_eq!(c.groups, 2);
+        assert_eq!(c.batched_samples, 48);
+        assert_eq!(c.fallback_samples, 0);
+        // And the cross-slot groups stay pinned to per-sample execution.
+        let solo = EvalSession::new(&net, Precision::Int8, InferenceBackend::NativeInt)
+            .with_batch_limit(1);
+        let mut memory2 = ApproximateMemory::from_model(model, 7);
+        let reference = solo.evaluate_concurrent(samples, &mut memory2);
+        assert_eq!(accuracy.to_bits(), reference.to_bits());
+        assert_eq!(memory.stats(), memory2.stats());
+    }
+
+    #[test]
+    fn evaluate_concurrent_batched_overrides_the_session_cap() {
+        let (net, dataset) = trained_lenet(16);
+        let samples = &dataset.test()[..16]; // one slot: every sample groupable
+        let model = ErrorModel::uniform(0.02, 0.5, 3).with_ber(1e-2);
+        let session = EvalSession::new(&net, Precision::Int8, InferenceBackend::SimulatedF32);
+        let mut memory = ApproximateMemory::from_model(model, 7);
+        let capped = session.evaluate_concurrent_batched(samples, &mut memory, 4);
+        // A cap of 4 over 16 slot-sharing samples forms exactly 4 groups.
+        let c = session.batch_counters();
+        assert_eq!(c.groups, 4);
+        assert_eq!(c.batched_samples, 16);
+        let mut memory2 = ApproximateMemory::from_model(model, 7);
+        let reference = session.evaluate_concurrent_batched(samples, &mut memory2, 1);
+        assert_eq!(capped.to_bits(), reference.to_bits());
+        assert_eq!(memory.stats(), memory2.stats());
+        assert_eq!(session.batch_counters().fallback_samples, 16);
+    }
+
+    #[test]
+    fn batching_composes_with_checkpoint_resume_inside_a_group() {
+        // Probe sequences resume individual samples at their own boundaries;
+        // a batch group must honour each member's resume layer while the
+        // suffix layers still execute batched.
+        let (net, dataset) = trained_lenet(17);
+        let samples = &dataset.test()[..16];
+        let site = deepest_ifm(&net);
+        for backend in [InferenceBackend::SimulatedF32, InferenceBackend::NativeInt] {
+            let mut batched = EvalSession::new(&net, Precision::Int8, backend);
+            let mut solo = EvalSession::new(&net, Precision::Int8, backend).with_batch_limit(1);
+            for ber in [1e-3, 1e-2, 5e-2] {
+                let (mut a, mut b) = (
+                    single_site_memory(&site, ber, 23),
+                    single_site_memory(&site, ber, 23),
+                );
+                let via_batched = batched.evaluate_with_faults(samples, &mut a);
+                let via_solo = solo.evaluate_with_faults(samples, &mut b);
+                assert_eq!(via_batched.to_bits(), via_solo.to_bits(), "{backend} {ber}");
+                assert_eq!(a.stats(), b.stats(), "{backend} {ber}");
+            }
+            assert!(
+                batched.checkpoint_counters().hits > 0,
+                "{backend}: later probes must resume inside batch groups"
+            );
+            assert!(batched.batch_counters().groups > 0, "{backend}");
+        }
     }
 }

@@ -96,6 +96,38 @@ pub trait Layer: LayerClone + Send + Sync {
         None
     }
 
+    /// Batched pure forward pass over a group of same-shape samples:
+    /// im2col/pack once per sample into a single rhs, then **one** GEMM whose
+    /// B matrix holds the whole batch of activation columns
+    /// (weight-stationary dataflow — the layer's weights stream through the
+    /// cache once per batch instead of once per sample).
+    ///
+    /// Implementations must be **bit-identical** to calling
+    /// [`Layer::forward`] on each input independently: the f32 GEMM keeps
+    /// each output element's k-ascending accumulation chain, which packing
+    /// extra columns never reorders. The default returns `None` and the
+    /// executor falls back to per-sample [`Layer::forward`] calls.
+    fn forward_batch(&self, inputs: &[&Tensor]) -> Option<Vec<Tensor>> {
+        let _ = inputs;
+        None
+    }
+
+    /// Batched [`Layer::quant_forward`]: one integer GEMM over a packed
+    /// multi-sample patch matrix, with each sample's own quantization scale
+    /// applied in the per-column epilogue. Must be bit-identical to the
+    /// per-sample form (integer accumulation is exact, and the f32 epilogue
+    /// is element-wise); the default returns `None` and the executor falls
+    /// back to per-sample calls.
+    fn quant_forward_batch(
+        &self,
+        inputs: &[&QuantTensor],
+        params: &QuantLayerParams,
+        scratch: &mut QuantScratch,
+    ) -> Option<Vec<Tensor>> {
+        let _ = (inputs, params, scratch);
+        None
+    }
+
     /// Quantized-domain forward for parameterless layers whose f32 forward
     /// **commutes exactly with dequantization** — order-preserving maps
     /// (ReLU, max pooling: dequantization is monotone, so integer and float

@@ -125,6 +125,54 @@ impl Layer for Conv2d {
         (out[1] * out[2]) as u64 * self.weight.len() as u64
     }
 
+    /// Weight-stationary batched convolution: every sample's patch columns
+    /// pack into one `[ck, batch·oh·ow]` rhs, the bias seeds each output row
+    /// (participating first in every accumulation chain, exactly like
+    /// [`eden_tensor::ops::conv2d`]), and a single row-block-parallel
+    /// [`eden_tensor::ops::gemm_batch`] produces the whole batch. Per output
+    /// element the k-ascending chain is untouched, so the result is
+    /// bit-identical to per-sample [`Layer::forward`] calls.
+    fn forward_batch(&self, inputs: &[&Tensor]) -> Option<Vec<Tensor>> {
+        let first = inputs.first()?;
+        let shape = first.shape().to_vec();
+        assert_eq!(shape.len(), 3, "conv forward_batch input must be [c, h, w]");
+        assert!(
+            inputs.iter().all(|x| x.shape() == shape),
+            "conv forward_batch requires same-shape samples"
+        );
+        let (in_c, h, w) = (shape[0], shape[1], shape[2]);
+        assert_eq!(
+            in_c, self.in_channels,
+            "conv forward_batch channel mismatch"
+        );
+        let p = self.params;
+        let (oh, ow) = (p.out_size(h), p.out_size(w));
+        let (ohw, ck) = (oh * ow, in_c * p.kernel * p.kernel);
+        let n = inputs.len() * ohw;
+        let mut b = vec![0.0f32; ck * n];
+        for (j, x) in inputs.iter().enumerate() {
+            ops::im2col_strided(x.data(), in_c, h, w, p, j * ohw, n, &mut b);
+        }
+        let bd = self.bias.data();
+        let mut out = vec![0.0f32; self.out_channels * n];
+        for oc in 0..self.out_channels {
+            out[oc * n..(oc + 1) * n].fill(bd[oc]);
+        }
+        ops::gemm_batch(self.out_channels, ck, n, self.weight.data(), &b, &mut out);
+        Some(
+            (0..inputs.len())
+                .map(|j| {
+                    let mut y = vec![0.0f32; self.out_channels * ohw];
+                    for oc in 0..self.out_channels {
+                        y[oc * ohw..(oc + 1) * ohw]
+                            .copy_from_slice(&out[oc * n + j * ohw..oc * n + (j + 1) * ohw]);
+                    }
+                    Tensor::from_vec(y, &[self.out_channels, oh, ow])
+                })
+                .collect(),
+        )
+    }
+
     fn supports_quant_forward(&self) -> bool {
         true
     }
@@ -178,6 +226,108 @@ impl Layer for Conv2d {
             &mut y,
         );
         Some(Tensor::from_vec(y, &[self.out_channels, oh, ow]))
+    }
+
+    /// Batched quantized convolution: one integer GEMM whose rhs packs every
+    /// sample's patch matrix, with each sample's own `s_w·s_x` scale applied
+    /// in the per-column epilogue. Integer accumulation is exact and the
+    /// epilogue element-wise, so the result matches per-sample
+    /// [`Layer::quant_forward`] bit for bit.
+    fn quant_forward_batch(
+        &self,
+        inputs: &[&QuantTensor],
+        params: &QuantLayerParams,
+        scratch: &mut QuantScratch,
+    ) -> Option<Vec<Tensor>> {
+        let first = inputs.first()?;
+        let shape = first.shape().to_vec();
+        assert_eq!(
+            shape.len(),
+            3,
+            "conv quant_forward_batch input must be [c, h, w]"
+        );
+        assert!(
+            inputs
+                .iter()
+                .all(|q| q.shape() == shape && q.precision() == first.precision()),
+            "conv quant_forward_batch requires uniform sample geometry"
+        );
+        let (in_c, h, w) = (shape[0], shape[1], shape[2]);
+        assert_eq!(
+            in_c, self.in_channels,
+            "conv quant_forward_batch channel mismatch"
+        );
+        let p = self.params;
+        let (oh, ow) = (p.out_size(h), p.out_size(w));
+        let (ohw, ck) = (oh * ow, in_c * p.kernel * p.kernel);
+        let precision = first.precision();
+        let n = inputs.len() * ohw;
+        // The scratch matrices grow once to the batch-wide size here and are
+        // reused across layers and groups from then on — never reallocated
+        // inside the layer loop.
+        if qexec::use_i8_kernels_for(precision, ck) {
+            // Patch rows go out at the k-padded panel stride the packed
+            // GEMM consumes; pad lanes stay zero from the bulk resize.
+            let ck_pad = ops::packed_stride_i8(ck);
+            scratch.cols8.clear();
+            scratch.cols8.resize(n * ck_pad, 0);
+            let mut vals8 = std::mem::take(&mut scratch.vals8);
+            for (j, q) in inputs.iter().enumerate() {
+                ops::im2col_i8_t_stored_strided(
+                    q.stored(),
+                    q.bits_per_value(),
+                    in_c,
+                    h,
+                    w,
+                    p,
+                    ck_pad,
+                    &mut vals8,
+                    &mut scratch.cols8[j * ohw * ck_pad..(j + 1) * ohw * ck_pad],
+                );
+            }
+            scratch.vals8 = vals8;
+        } else {
+            scratch.cols.clear();
+            scratch.cols.resize(ck * n, 0);
+            // `cols` is the strided batch matrix, so the per-sample integer
+            // gather lands in `qx` first.
+            let mut cols = std::mem::take(&mut scratch.cols);
+            for (j, q) in inputs.iter().enumerate() {
+                q.q_values_into(&mut scratch.qx);
+                ops::im2col_i32_strided(&scratch.qx, in_c, h, w, p, j * ohw, n, &mut cols);
+            }
+            scratch.cols = cols;
+        }
+        let scales: Vec<f32> = inputs
+            .iter()
+            .map(|q| params.weight_scale * q.scale())
+            .collect();
+        // The GEMM output lives in the shared scratch too (the epilogue
+        // fully overwrites it, so stale contents are irrelevant).
+        let mut y = std::mem::take(&mut scratch.ybatch);
+        y.resize(self.out_channels * n, 0.0);
+        qexec::quant_gemm_bias_batch_into(
+            self.out_channels,
+            ck,
+            ohw,
+            params,
+            scratch,
+            precision,
+            &scales,
+            &params.bias,
+            &mut y,
+        );
+        let out = (0..inputs.len())
+            .map(|j| {
+                let mut s = Vec::with_capacity(self.out_channels * ohw);
+                for oc in 0..self.out_channels {
+                    s.extend_from_slice(&y[oc * n + j * ohw..oc * n + (j + 1) * ohw]);
+                }
+                Tensor::from_vec(s, &[self.out_channels, oh, ow])
+            })
+            .collect();
+        scratch.ybatch = y;
+        Some(out)
     }
 }
 

@@ -129,6 +129,44 @@ impl Layer for Dense {
         vec![self.out_features()]
     }
 
+    /// Weight-stationary batched dense layer: the batch's activation vectors
+    /// become the columns of one `[k, batch]` rhs, a single
+    /// [`eden_tensor::ops::gemm_batch`] produces all outputs, and each bias
+    /// is added after its product chain — mirroring the per-sample
+    /// `matmul` + `axpy` ordering bit for bit.
+    fn forward_batch(&self, inputs: &[&Tensor]) -> Option<Vec<Tensor>> {
+        let (m, k) = (self.out_features(), self.in_features());
+        let batch = inputs.len();
+        if batch == 0 {
+            return Some(Vec::new());
+        }
+        assert!(
+            inputs.iter().all(|x| x.len() == k),
+            "dense forward_batch input length mismatch"
+        );
+        let mut b = vec![0.0f32; k * batch];
+        for (j, x) in inputs.iter().enumerate() {
+            for (p, &v) in x.data().iter().enumerate() {
+                b[p * batch + j] = v;
+            }
+        }
+        let mut out = vec![0.0f32; m * batch];
+        ops::gemm_batch(m, k, batch, self.weight.data(), &b, &mut out);
+        let bd = self.bias.data();
+        Some(
+            (0..batch)
+                .map(|j| {
+                    let mut y = vec![0.0f32; m];
+                    for (o, yo) in y.iter_mut().enumerate() {
+                        *yo = out[o * batch + j];
+                        *yo += bd[o];
+                    }
+                    Tensor::from_vec(y, &[m])
+                })
+                .collect(),
+        )
+    }
+
     fn supports_quant_forward(&self) -> bool {
         true
     }
@@ -157,6 +195,78 @@ impl Layer for Dense {
             *o += b;
         }
         Some(Tensor::from_vec(y, &[m]))
+    }
+
+    /// Batched quantized dense layer: every sample contributes one column to
+    /// a single integer GEMM (the multi-sample form of the per-sample
+    /// matvec), with each sample's own scale in the epilogue. Integer dots
+    /// are exact and f32 addition commutative, so `bias + acc·s` here equals
+    /// the per-sample `acc·s`-then-`+bias` bit for bit.
+    fn quant_forward_batch(
+        &self,
+        inputs: &[&QuantTensor],
+        params: &QuantLayerParams,
+        scratch: &mut QuantScratch,
+    ) -> Option<Vec<Tensor>> {
+        let (m, k) = (self.out_features(), self.in_features());
+        let first = inputs.first()?;
+        let precision = first.precision();
+        assert!(
+            inputs
+                .iter()
+                .all(|q| q.len() == k && q.precision() == precision),
+            "dense quant_forward_batch requires uniform sample geometry"
+        );
+        let batch = inputs.len();
+        // Batch-wide operand matrices live in the shared scratch: grown once
+        // to the group size, reused across layers without reallocation.
+        if qexec::use_i8_kernels_for(precision, k) {
+            // Rows packed at the k-padded panel stride of the packed GEMM;
+            // pad lanes stay zero from the bulk resize.
+            let k_pad = ops::packed_stride_i8(k);
+            scratch.cols8.clear();
+            scratch.cols8.resize(batch * k_pad, 0);
+            for (j, q) in inputs.iter().enumerate() {
+                q.q_values_i8_into(&mut scratch.qx8);
+                scratch.cols8[j * k_pad..j * k_pad + k].copy_from_slice(&scratch.qx8);
+            }
+        } else {
+            scratch.cols.clear();
+            scratch.cols.resize(k * batch, 0);
+            let mut cols = std::mem::take(&mut scratch.cols);
+            for (j, q) in inputs.iter().enumerate() {
+                q.q_values_into(&mut scratch.qx);
+                for (p, &v) in scratch.qx.iter().enumerate() {
+                    cols[p * batch + j] = v;
+                }
+            }
+            scratch.cols = cols;
+        }
+        let scales: Vec<f32> = inputs
+            .iter()
+            .map(|q| params.weight_scale * q.scale())
+            .collect();
+        let mut y = std::mem::take(&mut scratch.ybatch);
+        y.resize(m * batch, 0.0);
+        qexec::quant_gemm_bias_batch_into(
+            m,
+            k,
+            1,
+            params,
+            scratch,
+            precision,
+            &scales,
+            &params.bias,
+            &mut y,
+        );
+        let out = (0..batch)
+            .map(|j| {
+                let col: Vec<f32> = (0..m).map(|o| y[o * batch + j]).collect();
+                Tensor::from_vec(col, &[m])
+            })
+            .collect();
+        scratch.ybatch = y;
+        Some(out)
     }
 }
 

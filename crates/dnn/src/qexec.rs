@@ -54,7 +54,18 @@ pub struct QuantScratch {
     /// Integer im2col patch matrix (i32 form, `[ck, ohw]`).
     pub cols: Vec<i32>,
     /// Transposed i8 im2col patch matrix (`[ohw, ck]`, int4/int8 path).
+    /// Batched layers pack rows at the k-padded panel stride instead
+    /// ([`eden_tensor::ops::packed_stride_i8`]).
     pub cols8: Vec<i8>,
+    /// i8 weight rows re-packed at the k-padded panel stride for
+    /// [`ops::gemm_i8_packed`] (batched path only).
+    pub apack8: Vec<i8>,
+    /// Batch-wide dequantized GEMM output (`[m, n]`), reused across layers
+    /// so no layer allocates it fresh.
+    pub ybatch: Vec<f32>,
+    /// Whole-image sign-extended byte view feeding the strided i8 im2col
+    /// ([`eden_tensor::ops::im2col_i8_t_stored_strided`]).
+    pub vals8: Vec<i8>,
     /// i32 accumulators (int4/int8).
     pub acc_i32: Vec<i32>,
     /// i64 accumulators (int16).
@@ -635,6 +646,223 @@ pub fn quant_gemm_bias_into(
     }
 }
 
+/// Batched form of [`forward_native_observed`]: runs a whole group of
+/// samples through one shared corrupted weight state, layer by layer —
+/// weight-stationary dataflow, with each layer's GEMM packing every active
+/// sample's activation columns into a single rhs
+/// ([`Layer::quant_forward_batch`]).
+///
+/// `starts[j]` is sample `j`'s resume layer (0 for a full pass): a sample
+/// participates in layer `i` iff `starts[j] <= i`, which is how per-sample
+/// checkpoint resumes compose with batching. Per sample, the sequence of
+/// `observe` calls, IFM loads (`hooks[j].corrupt`, each against its own
+/// hook) and layer computations is exactly that of a solo
+/// [`forward_native_observed`] run, so results and per-hook statistics are
+/// bit-identical to per-sample execution by construction.
+///
+/// # Panics
+///
+/// As [`forward_native_from`]; additionally if `inputs`, `starts` and
+/// `hooks` disagree in length.
+#[allow(clippy::too_many_arguments)]
+pub fn forward_native_batch_observed<H: FaultHook>(
+    net: &Network,
+    weights: &NativeWeights,
+    inputs: &[Tensor],
+    starts: &[usize],
+    precision: Precision,
+    hooks: &mut [H],
+    scratch: &mut QuantScratch,
+    mut observe: impl FnMut(usize, usize, &Tensor, &mut H),
+) -> Vec<Tensor> {
+    assert!(
+        precision.is_integer(),
+        "the native backend requires an integer precision, got {precision}"
+    );
+    assert_eq!(
+        weights.native.len(),
+        net.depth(),
+        "weights/network mismatch"
+    );
+    assert_eq!(inputs.len(), starts.len(), "inputs/starts mismatch");
+    assert_eq!(inputs.len(), hooks.len(), "inputs/hooks mismatch");
+    let batch = inputs.len();
+    let mut xs: Vec<Tensor> = inputs.to_vec();
+    // One stored-bits buffer per sample: layer boundaries of one sample
+    // reuse it exactly like the solo executor's single buffer.
+    let mut qts: Vec<Option<QuantTensor>> = (0..batch).map(|_| None).collect();
+    let min_start = starts.iter().copied().min().unwrap_or(0);
+    assert!(
+        starts.iter().all(|&s| s <= net.depth()),
+        "resume layer exceeds depth {}",
+        net.depth()
+    );
+    for (i, layer) in net.layers().iter().enumerate().skip(min_start) {
+        let site = DataSite::new(i, layer.name(), DataKind::Ifm);
+        let active: Vec<usize> = (0..batch).filter(|&j| starts[j] <= i).collect();
+        for &j in &active {
+            observe(j, i, &xs[j], &mut hooks[j]);
+            let q = match &mut qts[j] {
+                Some(q) => {
+                    q.requantize_from(&xs[j], precision);
+                    q
+                }
+                None => qts[j].insert(QuantTensor::quantize(&xs[j], precision)),
+            };
+            hooks[j].corrupt(&site, q);
+        }
+        match weights.native_params(i) {
+            Some(params) => {
+                let qrefs: Vec<&QuantTensor> =
+                    active.iter().map(|&j| qts[j].as_ref().unwrap()).collect();
+                match layer.quant_forward_batch(&qrefs, params, scratch) {
+                    Some(ys) => {
+                        for (&j, y) in active.iter().zip(ys) {
+                            xs[j] = y;
+                        }
+                    }
+                    None => {
+                        for &j in &active {
+                            xs[j] = layer
+                                .quant_forward(qts[j].as_ref().unwrap(), params, scratch)
+                                .expect("layer advertised native quantized support");
+                        }
+                    }
+                }
+            }
+            None => {
+                for &j in &active {
+                    let q = qts[j].as_ref().unwrap();
+                    xs[j] = match layer.quant_forward_activation(q) {
+                        Some(out) => out,
+                        None => {
+                            let l: &dyn Layer = if layer.param_count() > 0 {
+                                weights.fallback_layer(i)
+                            } else {
+                                layer.as_ref()
+                            };
+                            l.forward(&q.dequantize())
+                        }
+                    };
+                }
+            }
+        }
+    }
+    xs
+}
+
+/// Batched integer GEMM over a packed multi-sample rhs, dispatching on
+/// accumulator width exactly like [`quant_gemm_bias_into`] — but each sample
+/// contributes `cols_per_sample` consecutive output columns with its **own**
+/// quantization scale, so the fused epilogue is
+/// `out[row·n + j] = bias[row] + acc[row·n + j] · scales[j / cols_per_sample]`
+/// (`n = cols_per_sample · batch`). On the i8 fast path, `scratch.cols8`
+/// rows must be packed at the [`ops::packed_stride_i8`] panel stride with
+/// zero-filled pad lanes. Used by
+/// [`crate::layers::Conv2d::quant_forward_batch`] (patch columns) and
+/// [`crate::layers::Dense::quant_forward_batch`] (one column per sample).
+#[allow(clippy::too_many_arguments)]
+pub fn quant_gemm_bias_batch_into(
+    m: usize,
+    k: usize,
+    cols_per_sample: usize,
+    params: &QuantLayerParams,
+    scratch: &mut QuantScratch,
+    precision: Precision,
+    scales: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+) {
+    let n = cols_per_sample * scales.len();
+    if use_i8_kernels_for(precision, k) {
+        // Batched callers pack each `cols8` row at the k-padded panel
+        // stride; mirror the weights into the same layout and run the
+        // whole-row-pair panel GEMM (zero pad lanes are exact for integer
+        // accumulation, so this matches the unpadded form bit for bit).
+        let k_pad = ops::packed_stride_i8(k);
+        scratch.apack8.clear();
+        scratch.apack8.resize(m * k_pad, 0);
+        for (dst, src) in scratch
+            .apack8
+            .chunks_exact_mut(k_pad)
+            .zip(params.qweight8.chunks_exact(k))
+        {
+            dst[..k].copy_from_slice(src);
+        }
+        scratch.acc_i32.clear();
+        scratch.acc_i32.resize(m * n, 0);
+        ops::gemm_i8_packed(
+            m,
+            k_pad,
+            n,
+            &scratch.apack8,
+            &scratch.cols8,
+            &mut scratch.acc_i32,
+        );
+        epilogue_batch_i32(m, cols_per_sample, &scratch.acc_i32, scales, bias, out);
+    } else if needs_wide_accumulator(precision, k) {
+        scratch.acc_i64.clear();
+        scratch.acc_i64.resize(m * n, 0);
+        ops::gemm_i64_batch(
+            m,
+            k,
+            n,
+            &params.qweight,
+            &scratch.cols,
+            &mut scratch.acc_i64,
+        );
+        for (row, &b) in bias.iter().enumerate().take(m) {
+            for (s, &scale) in scales.iter().enumerate() {
+                let lo = row * n + s * cols_per_sample;
+                for (o, &acc) in out[lo..lo + cols_per_sample]
+                    .iter_mut()
+                    .zip(&scratch.acc_i64[lo..lo + cols_per_sample])
+                {
+                    *o = b + acc as f32 * scale;
+                }
+            }
+        }
+    } else {
+        scratch.acc_i32.clear();
+        scratch.acc_i32.resize(m * n, 0);
+        ops::gemm_i32_batch(
+            m,
+            k,
+            n,
+            &params.qweight,
+            &scratch.cols,
+            &mut scratch.acc_i32,
+        );
+        epilogue_batch_i32(m, cols_per_sample, &scratch.acc_i32, scales, bias, out);
+    }
+}
+
+/// Per-sample-scale variant of [`epilogue_i32`]:
+/// `out[row·n + j] = bias[row] + acc[row·n + j] · scales[j / cols_per_sample]`.
+fn epilogue_batch_i32(
+    m: usize,
+    cols_per_sample: usize,
+    acc: &[i32],
+    scales: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+) {
+    let n = cols_per_sample * scales.len();
+    for (row, &b) in bias.iter().enumerate().take(m) {
+        // Per-sample segments of the row share one scale: iterate segment
+        // by segment so the hot loop is a pure fused multiply-add.
+        for (s, &scale) in scales.iter().enumerate() {
+            let lo = row * n + s * cols_per_sample;
+            for (o, &a) in out[lo..lo + cols_per_sample]
+                .iter_mut()
+                .zip(&acc[lo..lo + cols_per_sample])
+            {
+                *o = b + a as f32 * scale;
+            }
+        }
+    }
+}
+
 /// Fused `out[row·n + j] = bias[row] + acc[row·n + j] · scale` epilogue.
 fn epilogue_i32(m: usize, n: usize, acc: &[i32], scale: f32, bias: &[f32], out: &mut [f32]) {
     for row in 0..m {
@@ -708,6 +936,110 @@ mod tests {
         let a = native_forward(&net, &x, Precision::Int8);
         let b = native_forward(&net, &x, Precision::Int8);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn layer_forward_batch_matches_per_sample_bit_for_bit() {
+        let mut rng = seeded_rng(21);
+        let conv = Conv2d::new("c", 2, 4, 3, 1, 1, &mut rng);
+        let xs: Vec<Tensor> = (0..3)
+            .map(|_| uniform(&[2, 9, 9], -1.0, 1.0, &mut rng))
+            .collect();
+        let refs: Vec<&Tensor> = xs.iter().collect();
+        for (x, y) in xs.iter().zip(conv.forward_batch(&refs).unwrap()) {
+            assert_eq!(conv.forward(x), y);
+        }
+        let dense = Dense::new("d", 32, 7, &mut rng);
+        let xs: Vec<Tensor> = (0..4)
+            .map(|_| uniform(&[32], -1.0, 1.0, &mut rng))
+            .collect();
+        let refs: Vec<&Tensor> = xs.iter().collect();
+        for (x, y) in xs.iter().zip(dense.forward_batch(&refs).unwrap()) {
+            assert_eq!(dense.forward(x), y);
+        }
+    }
+
+    #[test]
+    fn batched_native_forward_is_bit_identical_to_per_sample() {
+        let net = tiny_net(5);
+        let mut rng = seeded_rng(11);
+        let inputs: Vec<Tensor> = (0..5)
+            .map(|_| uniform(&[2, 7, 7], -1.0, 1.0, &mut rng))
+            .collect();
+        for p in [Precision::Int4, Precision::Int8, Precision::Int16] {
+            let images = net.weight_images(p);
+            let mut weights = NativeWeights::prepare(&net);
+            weights.refresh(&images, &mut NoFaults);
+            let per: Vec<Tensor> = inputs
+                .iter()
+                .map(|x| {
+                    let mut s = QuantScratch::new();
+                    forward_native(&net, &weights, x, p, &mut NoFaults, &mut s)
+                })
+                .collect();
+            let mut hooks: Vec<NoFaults> = (0..inputs.len()).map(|_| NoFaults).collect();
+            let starts = vec![0usize; inputs.len()];
+            let mut scratch = QuantScratch::new();
+            let batched = forward_native_batch_observed(
+                &net,
+                &weights,
+                &inputs,
+                &starts,
+                p,
+                &mut hooks,
+                &mut scratch,
+                |_, _, _, _| {},
+            );
+            assert_eq!(per, batched, "{p}");
+        }
+    }
+
+    #[test]
+    fn batched_native_forward_respects_per_sample_resume_layers() {
+        // Samples resuming at different boundaries (as checkpointed batch
+        // members do) must see exactly the suffix a solo resume would run.
+        let net = tiny_net(6);
+        let mut rng = seeded_rng(13);
+        let p = Precision::Int8;
+        let images = net.weight_images(p);
+        let mut weights = NativeWeights::prepare(&net);
+        weights.refresh(&images, &mut NoFaults);
+        let x0 = uniform(&[2, 7, 7], -1.0, 1.0, &mut rng);
+        // Sample 1 "resumes" from layer 2 with the boundary activation a full
+        // pass produces there.
+        let mut s = QuantScratch::new();
+        let mut boundary = None;
+        let full = forward_native_observed(
+            &net,
+            &weights,
+            &x0,
+            0,
+            p,
+            &mut NoFaults,
+            &mut s,
+            |i, x, _| {
+                if i == 2 {
+                    boundary = Some(x.clone());
+                }
+            },
+        );
+        let boundary = boundary.unwrap();
+        let inputs = vec![x0.clone(), boundary];
+        let starts = vec![0usize, 2];
+        let mut hooks: Vec<NoFaults> = vec![NoFaults, NoFaults];
+        let mut scratch = QuantScratch::new();
+        let batched = forward_native_batch_observed(
+            &net,
+            &weights,
+            &inputs,
+            &starts,
+            p,
+            &mut hooks,
+            &mut scratch,
+            |_, _, _, _| {},
+        );
+        assert_eq!(batched[0], full);
+        assert_eq!(batched[1], full);
     }
 
     #[test]

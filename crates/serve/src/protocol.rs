@@ -179,6 +179,14 @@ pub enum Request {
     Shutdown,
     /// One accuracy evaluation at `ber`.
     Eval { spec: EvalSpec, ber: f64 },
+    /// One accuracy evaluation at `ber` with an explicit weight-stationary
+    /// batch-group cap (`batch == 1` forces per-sample execution). Results
+    /// are bit-identical to `eval` at any cap; only the throughput differs.
+    EvalBatch {
+        spec: EvalSpec,
+        ber: f64,
+        batch: usize,
+    },
     /// A streamed accuracy-vs-BER sweep.
     Sweep { spec: EvalSpec, bers: Vec<f64> },
 }
@@ -277,7 +285,7 @@ impl Request {
             "ping" => Ok(Request::Ping),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
-            "eval" => {
+            "eval" | "eval-batch" => {
                 let spec = parse_spec(value)?;
                 let ber = match value.get("ber") {
                     None => 0.0,
@@ -287,9 +295,19 @@ impl Request {
                     return Err(format!("\"ber\" must be in [0, 1], got {ber}"));
                 }
                 if spec.error_model.is_some() && value.get("ber").is_none() {
-                    return Err("eval with an error_model requires \"ber\"".to_string());
+                    return Err(format!("{op} with an error_model requires \"ber\""));
                 }
-                Ok(Request::Eval { spec, ber })
+                if op == "eval" {
+                    return Ok(Request::Eval { spec, ber });
+                }
+                let batch = match value.get("batch") {
+                    None => eden_core::session::DEFAULT_BATCH_LIMIT,
+                    Some(v) => v.as_u64().ok_or("\"batch\" must be a whole number")? as usize,
+                };
+                if batch == 0 {
+                    return Err("\"batch\" must be at least 1".to_string());
+                }
+                Ok(Request::EvalBatch { spec, ber, batch })
             }
             "sweep" => {
                 let spec = parse_spec(value)?;
@@ -314,7 +332,7 @@ impl Request {
                 Ok(Request::Sweep { spec, bers })
             }
             other => Err(format!(
-                "unknown op {other:?} (expected ping, stats, eval, sweep or shutdown)"
+                "unknown op {other:?} (expected ping, stats, eval, eval-batch, sweep or shutdown)"
             )),
         }
     }
@@ -398,6 +416,41 @@ mod tests {
         )
         .is_err());
         assert!(parse(r#"{"op":"evla"}"#).is_err());
+    }
+
+    #[test]
+    fn eval_batch_requests_parse_and_validate_the_cap() {
+        let req = parse(
+            r#"{"op":"eval-batch","model":"lenet","precision":"int8","count":8,
+                "error_model":{"kind":"uniform"},"ber":0.001,"batch":8}"#,
+        )
+        .unwrap();
+        match req {
+            Request::EvalBatch { spec, ber, batch } => {
+                assert_eq!(spec.model, ModelId::LeNet);
+                assert_eq!(ber, 1e-3);
+                assert_eq!(batch, 8);
+            }
+            other => panic!("expected eval-batch, got {other:?}"),
+        }
+        // The cap defaults to the session default and rejects zero.
+        let req =
+            parse(r#"{"op":"eval-batch","model":"lenet","precision":"int8","count":8}"#).unwrap();
+        match req {
+            Request::EvalBatch { batch, .. } => {
+                assert_eq!(batch, eden_core::session::DEFAULT_BATCH_LIMIT);
+            }
+            other => panic!("expected eval-batch, got {other:?}"),
+        }
+        assert!(parse(
+            r#"{"op":"eval-batch","model":"lenet","precision":"int8","count":8,"batch":0}"#
+        )
+        .is_err());
+        assert!(parse(
+            r#"{"op":"eval-batch","model":"lenet","precision":"int8","count":8,
+                "error_model":{"kind":"uniform"}}"#
+        )
+        .is_err());
     }
 
     #[test]

@@ -328,13 +328,22 @@ fn handle_connection(stream: UnixStream, state: Arc<ServerState>) -> std::io::Re
                 // Unblock the accept loop so it can observe the flag.
                 let _ = UnixStream::connect(&state.config.socket);
             }
-            Request::Eval { spec, ber } => match handle_eval(&state, &spec, ber) {
+            Request::Eval { spec, ber } => match handle_eval(&state, &spec, ber, None) {
                 Ok(response) => write_json(&mut writer, &response)?,
                 Err(message) => {
                     state.stats.errors.fetch_add(1, Ordering::Relaxed);
                     write_json(&mut writer, &error_response(message))?;
                 }
             },
+            Request::EvalBatch { spec, ber, batch } => {
+                match handle_eval(&state, &spec, ber, Some(batch)) {
+                    Ok(response) => write_json(&mut writer, &response)?,
+                    Err(message) => {
+                        state.stats.errors.fetch_add(1, Ordering::Relaxed);
+                        write_json(&mut writer, &error_response(message))?;
+                    }
+                }
+            }
             Request::Sweep { spec, bers } => {
                 handle_sweep(&state, &spec, &bers, &mut writer)?;
             }
@@ -387,14 +396,16 @@ fn run_eval(
     samples: &[(Tensor, usize)],
     memory: &mut ApproximateMemory,
     deadline: Instant,
+    batch: Option<usize>,
 ) -> Result<f32, String> {
     let _permit = state.gate.acquire(deadline)?;
     if Instant::now() >= deadline {
         return Err("deadline exceeded before execution".to_string());
     }
-    let accuracy = state
-        .workers
-        .install(|| session.evaluate_concurrent(samples, memory));
+    let accuracy = state.workers.install(|| match batch {
+        Some(cap) => session.evaluate_concurrent_batched(samples, memory, cap),
+        None => session.evaluate_concurrent(samples, memory),
+    });
     state.stats.evals.fetch_add(1, Ordering::Relaxed);
     if accuracy.is_nan() {
         return Err(
@@ -418,12 +429,17 @@ fn eval_body(accuracy: f32, memory: &ApproximateMemory, shard_hit: bool) -> Vec<
     ]
 }
 
-fn handle_eval(state: &ServerState, spec: &EvalSpec, ber: f64) -> Result<Json, String> {
+fn handle_eval(
+    state: &ServerState,
+    spec: &EvalSpec,
+    ber: f64,
+    batch: Option<usize>,
+) -> Result<Json, String> {
     let deadline = request_deadline(state, spec);
     let (shard, hit) = resolve(state, spec)?;
     let samples = &shard.dataset.test()[spec.start..spec.start + spec.count];
     let mut memory = build_memory(spec, ber)?;
-    let accuracy = run_eval(state, &shard.session, samples, &mut memory, deadline)?;
+    let accuracy = run_eval(state, &shard.session, samples, &mut memory, deadline, batch)?;
     let mut body = vec![("ok".to_string(), Json::Bool(true))];
     body.extend(eval_body(accuracy, &memory, hit));
     Ok(Json::Obj(body.into_iter().collect()))
@@ -454,7 +470,7 @@ fn handle_sweep(
     let mut streamed = 0u64;
     for &ber in bers {
         let result = build_memory(spec, ber).and_then(|mut memory| {
-            let accuracy = run_eval(state, &shard.session, samples, &mut memory, deadline)?;
+            let accuracy = run_eval(state, &shard.session, samples, &mut memory, deadline, None)?;
             Ok((accuracy, memory))
         });
         match result {
@@ -496,6 +512,7 @@ fn stats_response(state: &ServerState) -> Json {
     let pool = state.pool.counters();
     let weak = state.pool.weak_map_counters();
     let ckpt = state.pool.checkpoint_counters();
+    let batches = state.pool.batch_counters();
     Json::obj([
         ("ok", Json::Bool(true)),
         (
@@ -538,6 +555,17 @@ fn stats_response(state: &ServerState) -> Json {
                 ("misses", Json::num(ckpt.misses as f64)),
                 ("evictions", Json::num(ckpt.evictions as f64)),
                 ("resident_bytes", Json::num(ckpt.resident_bytes as f64)),
+            ]),
+        ),
+        (
+            "batches",
+            Json::obj([
+                ("groups", Json::num(batches.groups as f64)),
+                ("samples_batched", Json::num(batches.batched_samples as f64)),
+                (
+                    "fallback_samples",
+                    Json::num(batches.fallback_samples as f64),
+                ),
             ]),
         ),
         (

@@ -21,7 +21,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use eden_core::faults::CacheCounters;
 use eden_core::inference::InferenceBackend;
-use eden_core::session::{CheckpointCounters, EvalSession};
+use eden_core::session::{BatchCounters, CheckpointCounters, EvalSession};
 use eden_dnn::zoo::{ModelId, ModelZoo};
 use eden_dnn::SyntheticVision;
 use eden_tensor::Precision;
@@ -237,6 +237,23 @@ impl SessionPool {
                 total.misses += c.misses;
                 total.evictions += c.evictions;
                 total.resident_bytes += c.resident_bytes;
+            }
+        }
+        total
+    }
+
+    /// Batch-group counters summed over the live shards (weight-stationary
+    /// batching: multi-sample groups formed, samples executed batched,
+    /// per-sample fallbacks).
+    pub fn batch_counters(&self) -> BatchCounters {
+        let state = self.state.lock().unwrap();
+        let mut total = BatchCounters::default();
+        for entry in state.slots.values() {
+            if let Some(shard) = entry.cell.get() {
+                let c = shard.session.batch_counters();
+                total.groups += c.groups;
+                total.batched_samples += c.batched_samples;
+                total.fallback_samples += c.fallback_samples;
             }
         }
         total

@@ -216,6 +216,43 @@ fn invalid_requests_get_structured_errors() {
 }
 
 #[test]
+fn eval_batch_matches_eval_and_reports_group_counters() {
+    let server = serve(config("eval-batch", 2)).unwrap();
+    let mut client = Client::connect_with_retry(server.socket(), Duration::from_secs(5)).unwrap();
+    let plain = accuracy(&client.request(&eval_request("int8", 1e-3)).unwrap());
+    for batch in [1u64, 3, 32] {
+        let mut request = eval_request("int8", 1e-3);
+        if let Json::Obj(map) = &mut request {
+            map.insert("op".to_string(), Json::str("eval-batch"));
+            map.insert("batch".to_string(), Json::num(batch as f64));
+        }
+        let batched = accuracy(&client.request(&request).unwrap());
+        // Bit-identical at any cap — batching is a pure throughput knob.
+        assert_eq!(batched.to_bits(), plain.to_bits(), "batch={batch}");
+    }
+    let stats = client.stats().unwrap();
+    let batches = stats.get("batches").unwrap();
+    // The cap-3 and cap-32 requests (and the default-cap plain eval) formed
+    // multi-sample groups; the cap-1 request fell back sample by sample.
+    assert!(batches.get("groups").and_then(Json::as_u64).unwrap() > 0);
+    assert!(
+        batches
+            .get("samples_batched")
+            .and_then(Json::as_u64)
+            .unwrap()
+            > 0
+    );
+    assert!(
+        batches
+            .get("fallback_samples")
+            .and_then(Json::as_u64)
+            .unwrap()
+            >= COUNT as u64
+    );
+    server.join();
+}
+
+#[test]
 fn sweeps_stream_points_that_match_single_evals() {
     let server = serve(config("sweep", 2)).unwrap();
     let mut client = Client::connect_with_retry(server.socket(), Duration::from_secs(5)).unwrap();

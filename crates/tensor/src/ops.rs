@@ -30,13 +30,26 @@ const GEMM_KC: usize = 256;
 ///
 /// Panics if a slice is shorter than its `m`/`k`/`n` geometry requires.
 pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    gemm_with(simd::kernels(), m, k, n, a, b, out);
+}
+
+/// [`gemm`] against an explicit kernel table — lets parity tests and
+/// benchmarks pin a specific ISA level instead of the process-wide one.
+pub fn gemm_with(
+    kr: &Kernels,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+) {
     assert!(a.len() >= m * k, "gemm: lhs slice too short");
     assert!(b.len() >= k * n, "gemm: rhs slice too short");
     assert!(out.len() >= m * n, "gemm: out slice too short");
     // The row update `out_row += av * b_row` is element-wise independent, so
     // the dispatched SIMD form (separate multiply and add, no FMA) preserves
     // each output element's k-ascending accumulation chain bit for bit.
-    let kr = simd::kernels();
     for kk in (0..k).step_by(GEMM_KC) {
         let k_end = (kk + GEMM_KC).min(k);
         for ii in (0..m).step_by(GEMM_MC) {
@@ -329,6 +342,205 @@ pub fn matvec_i8_with(kr: &Kernels, m: usize, k: usize, a: &[i8], x: &[i8], out:
     }
 }
 
+/// Output-row block of the batched GEMM entry points. The block geometry is
+/// a fixed function of the shape — never of the thread count — so a batched
+/// GEMM computes bit-identical results on any pool size (each output row's
+/// accumulation chain is independent of every other row's). Kept even so the
+/// dot-structured kernels' 2×2 row pairing never straddles a block boundary.
+const GEMM_PAR_ROWS: usize = 16;
+
+/// Minimum multiply–accumulate count (`m·k·n`) before a batched GEMM entry
+/// point fans its row blocks out across the [`eden_par`] pool; smaller
+/// problems run inline, where the scope overhead would dominate.
+const GEMM_PAR_MIN_MACS: usize = 1 << 20;
+
+/// The row-block size for an `m×k×n` batched GEMM: the whole matrix (one
+/// inline block) below the parallel threshold, [`GEMM_PAR_ROWS`] above it.
+fn gemm_par_rows(m: usize, k: usize, n: usize) -> usize {
+    if m * k * n < GEMM_PAR_MIN_MACS {
+        m
+    } else {
+        GEMM_PAR_ROWS
+    }
+}
+
+/// Batched f32 GEMM `out (m×n) += a (m×k) · b (k×n)` whose B matrix packs a
+/// whole batch of activation columns: identical accumulation semantics to
+/// [`gemm`] (each output element's `k` terms in ascending order, no FMA,
+/// exact-`0.0` lhs terms skipped), with the output rows split into
+/// fixed-geometry blocks that run on the [`eden_par`] pool. Bit-identical to
+/// [`gemm`] at every thread count.
+pub fn gemm_batch(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    gemm_batch_with(simd::kernels(), m, k, n, a, b, out);
+}
+
+/// [`gemm_batch`] against an explicit kernel table.
+pub fn gemm_batch_with(
+    kr: &Kernels,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+) {
+    assert!(a.len() >= m * k, "gemm_batch: lhs slice too short");
+    assert!(b.len() >= k * n, "gemm_batch: rhs slice too short");
+    assert!(out.len() >= m * n, "gemm_batch: out slice too short");
+    if m == 0 || n == 0 {
+        return;
+    }
+    let rows = gemm_par_rows(m, k, n);
+    eden_par::par_map_chunks_mut(&mut out[..m * n], rows * n, |bi, chunk| {
+        let r0 = bi * rows;
+        let rc = chunk.len() / n;
+        gemm_with(kr, rc, k, n, &a[r0 * k..(r0 + rc) * k], b, chunk);
+    });
+}
+
+/// Batched integer GEMM with i32 accumulation — the multi-sample form of
+/// [`gemm_i32`], row-blocked across the [`eden_par`] pool. Integer addition
+/// is associative, so the split is exact by construction.
+pub fn gemm_i32_batch(m: usize, k: usize, n: usize, a: &[i32], b: &[i32], out: &mut [i32]) {
+    gemm_i32_batch_with(simd::kernels(), m, k, n, a, b, out);
+}
+
+/// [`gemm_i32_batch`] against an explicit kernel table.
+pub fn gemm_i32_batch_with(
+    kr: &Kernels,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[i32],
+    b: &[i32],
+    out: &mut [i32],
+) {
+    assert!(a.len() >= m * k, "gemm_i32_batch: lhs slice too short");
+    assert!(b.len() >= k * n, "gemm_i32_batch: rhs slice too short");
+    assert!(out.len() >= m * n, "gemm_i32_batch: out slice too short");
+    if m == 0 || n == 0 {
+        return;
+    }
+    let rows = gemm_par_rows(m, k, n);
+    eden_par::par_map_chunks_mut(&mut out[..m * n], rows * n, |bi, chunk| {
+        let r0 = bi * rows;
+        let rc = chunk.len() / n;
+        gemm_i32_with(kr, rc, k, n, &a[r0 * k..(r0 + rc) * k], b, chunk);
+    });
+}
+
+/// Batched integer GEMM with i64 accumulation — the multi-sample form of
+/// [`gemm_i64`] (int16 operands), row-blocked across the [`eden_par`] pool.
+pub fn gemm_i64_batch(m: usize, k: usize, n: usize, a: &[i32], b: &[i32], out: &mut [i64]) {
+    assert!(a.len() >= m * k, "gemm_i64_batch: lhs slice too short");
+    assert!(b.len() >= k * n, "gemm_i64_batch: rhs slice too short");
+    assert!(out.len() >= m * n, "gemm_i64_batch: out slice too short");
+    if m == 0 || n == 0 {
+        return;
+    }
+    let rows = gemm_par_rows(m, k, n);
+    eden_par::par_map_chunks_mut(&mut out[..m * n], rows * n, |bi, chunk| {
+        let r0 = bi * rows;
+        let rc = chunk.len() / n;
+        gemm_i64(rc, k, n, &a[r0 * k..(r0 + rc) * k], b, chunk);
+    });
+}
+
+/// Row stride (in i8 lanes) of the k-padded panel layout consumed by
+/// [`gemm_i8_packed`]: the reduction depth rounded up to a whole number of
+/// 64-byte kernel chunks. Packing rows at this stride (zero-filling the pad
+/// — exact, since `0·x` contributes nothing to an integer sum) keeps every
+/// SIMD lane of the panel kernels full and the scalar tails unreachable.
+pub const fn packed_stride_i8(k: usize) -> usize {
+    (k + 63) & !63
+}
+
+/// Blocked i8 GEMM over a k-padded packed operand pair: `a` holds `m` rows
+/// of `k` lanes (the caller zero-pads real rows up to `k` =
+/// [`packed_stride_i8`] of the true depth), `bt` the transposed rhs in the
+/// same row form, and one [`crate::simd::Kernels::gemm2_i8`] call covers an
+/// entire row pair — the per-tile dispatch overhead and per-call scalar
+/// tails of [`gemm_dot_i8_batch`] disappear. Row-blocked across the
+/// [`eden_par`] pool with fixed geometry; integer accumulation makes the
+/// split exact at any thread count.
+pub fn gemm_i8_packed(m: usize, k: usize, n: usize, a: &[i8], bt: &[i8], out: &mut [i32]) {
+    gemm_i8_packed_with(simd::kernels(), m, k, n, a, bt, out);
+}
+
+/// [`gemm_i8_packed`] against an explicit kernel table.
+pub fn gemm_i8_packed_with(
+    kr: &Kernels,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[i8],
+    bt: &[i8],
+    out: &mut [i32],
+) {
+    assert!(a.len() >= m * k, "gemm_i8_packed: lhs slice too short");
+    assert!(bt.len() >= n * k, "gemm_i8_packed: rhs slice too short");
+    assert!(out.len() >= m * n, "gemm_i8_packed: out slice too short");
+    if m == 0 || n == 0 {
+        return;
+    }
+    let rows = gemm_par_rows(m, k, n);
+    eden_par::par_map_chunks_mut(&mut out[..m * n], rows * n, |bi, chunk| {
+        let r0 = bi * rows;
+        let rc = chunk.len() / n;
+        let a = &a[r0 * k..(r0 + rc) * k];
+        let mut i = 0;
+        while i + 2 <= rc {
+            let (o0, rest) = chunk[i * n..].split_at_mut(n);
+            (kr.gemm2_i8)(
+                &a[i * k..(i + 1) * k],
+                &a[(i + 1) * k..(i + 2) * k],
+                bt,
+                k,
+                o0,
+                &mut rest[..n],
+            );
+            i += 2;
+        }
+        if i < rc {
+            let arow = &a[i * k..(i + 1) * k];
+            for (o, brow) in chunk[i * n..i * n + n].iter_mut().zip(bt.chunks_exact(k)) {
+                *o += (kr.dot_i8)(arow, brow);
+            }
+        }
+    });
+}
+
+/// Batched dot-structured i8 GEMM — the multi-sample form of
+/// [`gemm_dot_i8`] (transposed `n×k` rhs packing a whole batch of patch
+/// rows), row-blocked across the [`eden_par`] pool.
+pub fn gemm_dot_i8_batch(m: usize, k: usize, n: usize, a: &[i8], bt: &[i8], out: &mut [i32]) {
+    gemm_dot_i8_batch_with(simd::kernels(), m, k, n, a, bt, out);
+}
+
+/// [`gemm_dot_i8_batch`] against an explicit kernel table.
+pub fn gemm_dot_i8_batch_with(
+    kr: &Kernels,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[i8],
+    bt: &[i8],
+    out: &mut [i32],
+) {
+    assert!(a.len() >= m * k, "gemm_dot_i8_batch: lhs slice too short");
+    assert!(bt.len() >= n * k, "gemm_dot_i8_batch: rhs slice too short");
+    assert!(out.len() >= m * n, "gemm_dot_i8_batch: out slice too short");
+    if m == 0 || n == 0 {
+        return;
+    }
+    let rows = gemm_par_rows(m, k, n);
+    eden_par::par_map_chunks_mut(&mut out[..m * n], rows * n, |bi, chunk| {
+        let r0 = bi * rows;
+        let rc = chunk.len() / n;
+        gemm_dot_i8_with(kr, rc, k, n, &a[r0 * k..(r0 + rc) * k], bt, chunk);
+    });
+}
+
 /// Matrix multiplication `a (m×k) * b (k×n) -> (m×n)`, backed by [`gemm`].
 ///
 /// # Panics
@@ -548,6 +760,250 @@ pub fn im2col_i8_t_stored(
     );
 }
 
+/// [`im2col_i8_t_stored`] writing into a caller-provided sub-slice instead of
+/// resizing a buffer: fills the `[oh·ow, in_c·k·k]` patch matrix of one
+/// sample at `cols[..oh·ow·ck]`. Batched conv packs one such block per
+/// sample, back to back, to form the transposed rhs of
+/// [`gemm_dot_i8_batch`]. The slice must be pre-zeroed (padding taps are
+/// left untouched, exactly like the resizing variants).
+pub fn im2col_i8_t_stored_into(
+    stored: &[u32],
+    bits: u32,
+    in_c: usize,
+    h: usize,
+    w: usize,
+    p: Conv2dParams,
+    cols: &mut [i8],
+) {
+    assert!(
+        bits <= 8,
+        "im2col_i8_t_stored_into: {bits}-bit values exceed i8"
+    );
+    im2col_t_into_with(
+        |i| crate::bits::sign_extend(stored[i], bits) as i8,
+        stored.len(),
+        in_c,
+        h,
+        w,
+        p,
+        cols,
+    );
+}
+
+/// [`im2col_i8_t_stored_into`] writing each patch row at `row_stride` ≥
+/// `in_c·k·k` — the k-padded panel form [`gemm_i8_packed`] consumes — and
+/// gathering from a byte image instead of per-tap stored-word reads: the
+/// stored words are sign-extended **once** into `vals` (O(values) instead of
+/// O(taps), and taps outnumber values by the kernel footprint), then every
+/// in-bounds kernel row becomes one contiguous byte copy. `cols` must be
+/// pre-zeroed; padding taps and pad lanes are left untouched, so the first
+/// `in_c·k·k` lanes of each row match [`im2col_i8_t_stored_into`] exactly.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col_i8_t_stored_strided(
+    stored: &[u32],
+    bits: u32,
+    in_c: usize,
+    h: usize,
+    w: usize,
+    p: Conv2dParams,
+    row_stride: usize,
+    vals: &mut Vec<i8>,
+    cols: &mut [i8],
+) {
+    assert!(
+        bits <= 8,
+        "im2col_i8_t_stored_strided: {bits}-bit values exceed i8"
+    );
+    assert!(
+        stored.len() >= in_c * h * w,
+        "im2col_i8_t_stored_strided: input too short"
+    );
+    let (oh, ow) = (p.out_size(h), p.out_size(w));
+    let k = p.kernel;
+    let ck = in_c * k * k;
+    assert!(
+        row_stride >= ck,
+        "im2col_i8_t_stored_strided: row stride below patch length"
+    );
+    assert!(
+        cols.len() >= oh * ow * row_stride,
+        "im2col_i8_t_stored_strided: output slice too short"
+    );
+    vals.clear();
+    vals.extend(
+        stored[..in_c * h * w]
+            .iter()
+            .map(|&s| crate::bits::sign_extend(s, bits) as i8),
+    );
+    // Output columns whose kx span covers the whole kernel row
+    // (ix = ox·stride + kx − padding ∈ [0, w) for every kx): everything
+    // left of `ox_full_lo` clips at the left image edge, everything at
+    // `ox_full_hi` or beyond clips at the right one.
+    let ox_full_lo = p.padding.div_ceil(p.stride).min(ow);
+    let ox_full_hi = if w + p.padding >= k {
+        ((w + p.padding - k) / p.stride + 1).min(ow)
+    } else {
+        0
+    };
+    // One partial (edge-clipped) column: the span of in-bounds kx taps.
+    let partial =
+        |vals: &[i8], cols: &mut [i8], ox: usize, src_row: usize, tap: usize, d: usize| {
+            let kx_lo = p.padding.saturating_sub(ox * p.stride);
+            let kx_hi = (w + p.padding).saturating_sub(ox * p.stride).min(k);
+            if kx_lo < kx_hi {
+                let src = src_row + ox * p.stride + kx_lo - p.padding;
+                cols[d + tap + kx_lo..d + tap + kx_hi]
+                    .copy_from_slice(&vals[src..src + (kx_hi - kx_lo)]);
+            }
+        };
+    for oy in 0..oh {
+        let drow = oy * ow;
+        for ic in 0..in_c {
+            for ky in 0..k {
+                let iy = (oy * p.stride + ky) as isize - p.padding as isize;
+                if iy < 0 || iy >= h as isize {
+                    continue;
+                }
+                let src_row = ic * h * w + iy as usize * w;
+                let tap = (ic * k + ky) * k;
+                for ox in 0..ox_full_lo {
+                    partial(vals, cols, ox, src_row, tap, (drow + ox) * row_stride);
+                }
+                // Full-span columns: one k-byte copy each, with all index
+                // math hoisted out of the loop.
+                if ox_full_hi > ox_full_lo {
+                    let mut d = (drow + ox_full_lo) * row_stride + tap;
+                    let mut src = src_row + ox_full_lo * p.stride - p.padding;
+                    // SAFETY: full-span columns read `vals[src..src+k]`
+                    // with ix ∈ [0, w) by construction of the ox bounds,
+                    // and write inside the patch row (`tap + k <= ck <=
+                    // row_stride`), whose end was asserted against
+                    // `cols.len()` above.
+                    unsafe {
+                        for _ in ox_full_lo..ox_full_hi {
+                            std::ptr::copy_nonoverlapping(
+                                vals.as_ptr().add(src),
+                                cols.as_mut_ptr().add(d),
+                                k,
+                            );
+                            d += row_stride;
+                            src += p.stride;
+                        }
+                    }
+                }
+                for ox in ox_full_hi.max(ox_full_lo)..ow {
+                    partial(vals, cols, ox, src_row, tap, (drow + ox) * row_stride);
+                }
+            }
+        }
+    }
+}
+
+/// Strided f32 im2col for batched convolution: writes one sample's
+/// `[in_c·k·k, oh·ow]` patch matrix into columns
+/// `[col_offset, col_offset + oh·ow)` of a `[in_c·k·k, row_stride]` batch
+/// matrix, so a whole batch of samples packs into one rhs for
+/// [`gemm_batch`]. `cols` must be pre-zeroed: padding taps are left
+/// untouched, matching [`im2col`] exactly.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col_strided(
+    input: &[f32],
+    in_c: usize,
+    h: usize,
+    w: usize,
+    p: Conv2dParams,
+    col_offset: usize,
+    row_stride: usize,
+    cols: &mut [f32],
+) {
+    im2col_strided_with(
+        |i| input[i],
+        input.len(),
+        in_c,
+        h,
+        w,
+        p,
+        col_offset,
+        row_stride,
+        cols,
+    );
+}
+
+/// Integer variant of [`im2col_strided`] over a raw sign-extended
+/// `[in_c, h, w]` slice — packs one sample's columns into the `[k, n]` rhs
+/// of [`gemm_i32_batch`]/[`gemm_i64_batch`].
+#[allow(clippy::too_many_arguments)]
+pub fn im2col_i32_strided(
+    input: &[i32],
+    in_c: usize,
+    h: usize,
+    w: usize,
+    p: Conv2dParams,
+    col_offset: usize,
+    row_stride: usize,
+    cols: &mut [i32],
+) {
+    im2col_strided_with(
+        |i| input[i],
+        input.len(),
+        in_c,
+        h,
+        w,
+        p,
+        col_offset,
+        row_stride,
+        cols,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn im2col_strided_with<T: Copy>(
+    read: impl Fn(usize) -> T,
+    len: usize,
+    in_c: usize,
+    h: usize,
+    w: usize,
+    p: Conv2dParams,
+    col_offset: usize,
+    row_stride: usize,
+    cols: &mut [T],
+) {
+    assert!(len >= in_c * h * w, "strided im2col: input too short");
+    let (oh, ow) = (p.out_size(h), p.out_size(w));
+    let k = p.kernel;
+    let ck = in_c * k * k;
+    assert!(
+        col_offset + oh * ow <= row_stride,
+        "strided im2col: sample columns exceed the row stride"
+    );
+    assert!(
+        cols.len() >= ck * row_stride,
+        "strided im2col: batch matrix too short"
+    );
+    for ic in 0..in_c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ic * k + ky) * k + kx;
+                let dst = &mut cols[row * row_stride + col_offset..][..oh * ow];
+                for oy in 0..oh {
+                    let iy = (oy * p.stride + ky) as isize - p.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let src_base = ic * h * w + iy as usize * w;
+                    for ox in 0..ow {
+                        let ix = (ox * p.stride + kx) as isize - p.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        dst[oy * ow + ox] = read(src_base + ix as usize);
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn im2col_t_with<T: Copy + Default>(
     read: impl Fn(usize) -> T,
@@ -558,12 +1014,33 @@ fn im2col_t_with<T: Copy + Default>(
     p: Conv2dParams,
     cols: &mut Vec<T>,
 ) {
+    let (oh, ow) = (p.out_size(h), p.out_size(w));
+    let ck = in_c * p.kernel * p.kernel;
+    cols.clear();
+    cols.resize(oh * ow * ck, T::default());
+    im2col_t_into_with(read, len, in_c, h, w, p, cols);
+}
+
+/// Body of the transposed im2col gathers, writing into a caller-provided
+/// (pre-zeroed) slice so batched conv can pack per-sample blocks back to
+/// back without intermediate buffers.
+fn im2col_t_into_with<T: Copy>(
+    read: impl Fn(usize) -> T,
+    len: usize,
+    in_c: usize,
+    h: usize,
+    w: usize,
+    p: Conv2dParams,
+    cols: &mut [T],
+) {
     assert!(len >= in_c * h * w, "im2col transposed: input too short");
     let (oh, ow) = (p.out_size(h), p.out_size(w));
     let k = p.kernel;
     let ck = in_c * k * k;
-    cols.clear();
-    cols.resize(oh * ow * ck, T::default());
+    assert!(
+        cols.len() >= oh * ow * ck,
+        "im2col transposed: output slice too short"
+    );
     for oy in 0..oh {
         for ox in 0..ow {
             let dst = &mut cols[(oy * ow + ox) * ck..(oy * ow + ox + 1) * ck];
@@ -1259,5 +1736,179 @@ mod tests {
         assert_eq!(d.shape(), &[3]);
         // Gradient sums to ~0 for softmax cross-entropy.
         assert!(d.sum().abs() < 1e-5);
+    }
+
+    /// Deterministic pseudo-random f32s in [-1, 1) for the batched parity
+    /// tests.
+    fn lcg_f32(seed: u64, len: usize) -> Vec<f32> {
+        let mut s = seed;
+        (0..len)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((s >> 40) as f32 / (1u64 << 23) as f32) - 1.0
+            })
+            .collect()
+    }
+
+    fn lcg_i32(seed: u64, len: usize, q: i32) -> Vec<i32> {
+        let span = (2 * q + 1) as u64;
+        let mut s = seed;
+        (0..len)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((s >> 33) % span) as i32 - q
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gemm_batch_is_bit_identical_to_gemm_at_any_pool_width() {
+        // Shape chosen above the parallel threshold so row blocks actually
+        // fan out; a few exact zeros exercise the sparsity skip.
+        let (m, k, n) = (37, 64, 448);
+        let mut a = lcg_f32(1, m * k);
+        a[5] = 0.0;
+        a[k + 7] = 0.0;
+        let b = lcg_f32(2, k * n);
+        let mut expect = vec![0.5f32; m * n];
+        gemm(m, k, n, &a, &b, &mut expect);
+        let mut got = vec![0.5f32; m * n];
+        gemm_batch(m, k, n, &a, &b, &mut got);
+        assert_eq!(expect, got);
+    }
+
+    #[test]
+    fn integer_gemm_batch_variants_match_their_per_call_forms() {
+        let (m, k, n) = (19, 96, 640);
+        let a = lcg_i32(3, m * k, 127);
+        let b = lcg_i32(4, k * n, 127);
+        let mut e32 = vec![0i32; m * n];
+        gemm_i32(m, k, n, &a, &b, &mut e32);
+        let mut g32 = vec![0i32; m * n];
+        gemm_i32_batch(m, k, n, &a, &b, &mut g32);
+        assert_eq!(e32, g32);
+
+        let mut e64 = vec![0i64; m * n];
+        gemm_i64(m, k, n, &a, &b, &mut e64);
+        let mut g64 = vec![0i64; m * n];
+        gemm_i64_batch(m, k, n, &a, &b, &mut g64);
+        assert_eq!(e64, g64);
+
+        let a8: Vec<i8> = a.iter().map(|&v| v as i8).collect();
+        let bt8: Vec<i8> = lcg_i32(5, n * k, 127).iter().map(|&v| v as i8).collect();
+        let mut e8 = vec![0i32; m * n];
+        gemm_dot_i8(m, k, n, &a8, &bt8, &mut e8);
+        let mut g8 = vec![0i32; m * n];
+        gemm_dot_i8_batch(m, k, n, &a8, &bt8, &mut g8);
+        assert_eq!(e8, g8);
+    }
+
+    #[test]
+    fn strided_im2col_packs_per_sample_patch_matrices() {
+        let p = Conv2dParams::new(3, 1, 1);
+        let (in_c, h, w) = (2, 5, 5);
+        let (oh, ow) = (p.out_size(h), p.out_size(w));
+        let ck = in_c * 9;
+        let samples: Vec<Vec<f32>> = (0..3).map(|s| lcg_f32(10 + s, in_c * h * w)).collect();
+        let n = 3 * oh * ow;
+        let mut packed = vec![0.0f32; ck * n];
+        for (j, s) in samples.iter().enumerate() {
+            im2col_strided(s, in_c, h, w, p, j * oh * ow, n, &mut packed);
+        }
+        for (j, s) in samples.iter().enumerate() {
+            let single = im2col(&Tensor::from_vec(s.clone(), &[in_c, h, w]), p);
+            for row in 0..ck {
+                assert_eq!(
+                    &packed[row * n + j * oh * ow..row * n + (j + 1) * oh * ow],
+                    &single.data()[row * oh * ow..(row + 1) * oh * ow],
+                    "sample {j} row {row}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_i8_into_matches_the_resizing_form() {
+        let p = Conv2dParams::new(3, 2, 1);
+        let (in_c, h, w) = (3, 7, 7);
+        let (oh, ow) = (p.out_size(h), p.out_size(w));
+        let ck = in_c * 9;
+        let bits = 8u32;
+        let stored: Vec<u32> = lcg_i32(42, in_c * h * w, 127)
+            .iter()
+            .map(|&v| (v as u32) & 0xFF)
+            .collect();
+        let mut expect = Vec::new();
+        im2col_i8_t_stored(&stored, bits, in_c, h, w, p, &mut expect);
+        let mut got = vec![0i8; oh * ow * ck];
+        im2col_i8_t_stored_into(&stored, bits, in_c, h, w, p, &mut got);
+        assert_eq!(expect, got);
+    }
+
+    /// The span-copy strided gather must reproduce the per-tap form exactly
+    /// in the first `ck` lanes of every patch row and leave the pad lanes
+    /// zero, across strides/paddings and sub-byte precisions.
+    #[test]
+    fn strided_i8_im2col_matches_the_per_tap_form_with_zero_pad_lanes() {
+        for (kernel, stride, padding, bits) in [(3, 1, 1, 8u32), (3, 2, 1, 4), (5, 2, 2, 8)] {
+            let p = Conv2dParams::new(kernel, stride, padding);
+            let (in_c, h, w) = (3, 9, 7);
+            let (oh, ow) = (p.out_size(h), p.out_size(w));
+            let ck = in_c * kernel * kernel;
+            let mask = (1u32 << bits) - 1;
+            let stored: Vec<u32> = lcg_i32(7, in_c * h * w, 1 << 20)
+                .iter()
+                .map(|&v| (v as u32) & mask)
+                .collect();
+            let mut expect = Vec::new();
+            im2col_i8_t_stored(&stored, bits, in_c, h, w, p, &mut expect);
+            let row_stride = packed_stride_i8(ck);
+            let mut vals = Vec::new();
+            let mut got = vec![0i8; oh * ow * row_stride];
+            im2col_i8_t_stored_strided(
+                &stored, bits, in_c, h, w, p, row_stride, &mut vals, &mut got,
+            );
+            for patch in 0..oh * ow {
+                let row = &got[patch * row_stride..(patch + 1) * row_stride];
+                assert_eq!(
+                    &row[..ck],
+                    &expect[patch * ck..(patch + 1) * ck],
+                    "patch {patch} at k{kernel}/s{stride}/p{padding}/{bits}b"
+                );
+                assert!(
+                    row[ck..].iter().all(|&v| v == 0),
+                    "pad lanes of patch {patch} must stay zero"
+                );
+            }
+        }
+    }
+
+    /// The packed-panel GEMM must equal the unpadded dot-structured form on
+    /// the same logical operands (the pad lanes hold zeros, which contribute
+    /// nothing to an integer sum) — odd m included.
+    #[test]
+    fn packed_i8_gemm_matches_the_dot_structured_form() {
+        for (m, k, n) in [(1usize, 27usize, 5usize), (12, 108, 33), (7, 64, 16)] {
+            let k_pad = packed_stride_i8(k);
+            let a8: Vec<i8> = lcg_i32(3, m * k, 128).iter().map(|&v| v as i8).collect();
+            let bt8: Vec<i8> = lcg_i32(9, n * k, 128).iter().map(|&v| v as i8).collect();
+            let mut want = vec![0i32; m * n];
+            gemm_dot_i8(m, k, n, &a8, &bt8, &mut want);
+            let mut a_pad = vec![0i8; m * k_pad];
+            let mut bt_pad = vec![0i8; n * k_pad];
+            for r in 0..m {
+                a_pad[r * k_pad..r * k_pad + k].copy_from_slice(&a8[r * k..(r + 1) * k]);
+            }
+            for c in 0..n {
+                bt_pad[c * k_pad..c * k_pad + k].copy_from_slice(&bt8[c * k..(c + 1) * k]);
+            }
+            let mut got = vec![0i32; m * n];
+            gemm_i8_packed(m, k_pad, n, &a_pad, &bt_pad, &mut got);
+            assert_eq!(got, want, "packed gemm at ({m},{k},{n})");
+        }
     }
 }

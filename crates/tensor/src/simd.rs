@@ -117,6 +117,14 @@ impl FromStr for Isa {
 /// and two columns (`a0·b0, a0·b1, a1·b0, a1·b1`).
 pub type Dot4Fn<T> = fn(&[T], &[T], &[T], &[T]) -> (i32, i32, i32, i32);
 
+/// A two-row i8 panel kernel: `out0[j] += a0 · bt[j·k..][..k]` and
+/// `out1[j] += a1 · bt[j·k..][..k]` for every column `j` of a transposed,
+/// contiguously packed rhs panel. One call covers a whole row pair of a
+/// GEMM, so the per-tile dispatch overhead of [`Dot4Fn`] disappears; callers
+/// that additionally pad `k` to [`crate::ops::packed_stride_i8`] never touch
+/// the scalar tail. Arguments: `(a0, a1, bt, k, out0, out1)`.
+pub type GemmPanelI8Fn = fn(&[i8], &[i8], &[i8], usize, &mut [i32], &mut [i32]);
+
 /// The dispatch table: one function pointer per hot inner loop. All entries
 /// of one table come from the same ISA level and are bit-for-bit equal to
 /// the [`Isa::Scalar`] table (see the module docs for why that holds).
@@ -135,6 +143,10 @@ pub struct Kernels {
     pub dot_i8: fn(&[i8], &[i8]) -> i32,
     /// 2×2-blocked variant of [`Kernels::dot_i8`].
     pub dot4_i8: Dot4Fn<i8>,
+    /// Two-row × all-columns i8 panel GEMM over a packed transposed rhs —
+    /// the batched-execution workhorse (integer accumulation, so every
+    /// blocking order reproduces the scalar sums exactly).
+    pub gemm2_i8: GemmPanelI8Fn,
     /// i32×i32 dot product with i32 accumulation.
     pub dot_i32: fn(&[i32], &[i32]) -> i32,
     /// `out[j] += a · b[j]` over i32 — the i32 GEMM row update.
@@ -169,6 +181,7 @@ pub fn kernels_for(isa: Isa) -> Kernels {
             dot4_i16: scalar::dot4_i16,
             dot_i8: scalar::dot_i8,
             dot4_i8: scalar::dot4_i8,
+            gemm2_i8: scalar::gemm2_i8,
             dot_i32: scalar::dot_i32,
             axpy_i32: scalar::axpy_i32,
             axpy_f32: scalar::axpy_f32,
@@ -180,6 +193,7 @@ pub fn kernels_for(isa: Isa) -> Kernels {
             dot4_i16: sse2::dot4_i16,
             dot_i8: sse2::dot_i8,
             dot4_i8: sse2::dot4_i8,
+            gemm2_i8: sse2::gemm2_i8,
             // SSE2 has no 4-wide i32 multiply (`pmulld` is SSE4.1); the
             // scalar loops are the honest SSE2-era implementation.
             dot_i32: scalar::dot_i32,
@@ -193,6 +207,7 @@ pub fn kernels_for(isa: Isa) -> Kernels {
             dot4_i16: avx2::dot4_i16,
             dot_i8: avx2::dot_i8,
             dot4_i8: avx2::dot4_i8,
+            gemm2_i8: avx2::gemm2_i8,
             dot_i32: avx2::dot_i32,
             axpy_i32: avx2::axpy_i32,
             axpy_f32: avx2::axpy_f32,
@@ -204,6 +219,15 @@ pub fn kernels_for(isa: Isa) -> Kernels {
             dot4_i16: avx512::dot4_i16,
             dot_i8: avx512::dot_i8,
             dot4_i8: avx512::dot4_i8,
+            // VNNI is an upgrade within the avx512 level, not a level of
+            // its own: the fused-dot form is bit-identical to the
+            // `vpmaddwd` form, so which one a CPU gets is invisible to
+            // results (and to `EDEN_ISA`, which only names levels).
+            gemm2_i8: if std::arch::is_x86_feature_detected!("avx512vnni") {
+                avx512::gemm2_i8_vnni
+            } else {
+                avx512::gemm2_i8
+            },
             dot_i32: avx512::dot_i32,
             axpy_i32: avx512::axpy_i32,
             axpy_f32: avx512::axpy_f32,
@@ -291,6 +315,15 @@ mod scalar {
             s11 += x1 * y1;
         }
         (s00, s01, s10, s11)
+    }
+
+    pub fn gemm2_i8(a0: &[i8], a1: &[i8], bt: &[i8], k: usize, out0: &mut [i32], out1: &mut [i32]) {
+        let n = out0.len().min(out1.len()).min(bt.len() / k.max(1));
+        for j in 0..n {
+            let col = &bt[j * k..(j + 1) * k];
+            out0[j] += dot_i8(&a0[..k], col);
+            out1[j] += dot_i8(&a1[..k], col);
+        }
     }
 
     pub fn dot_i32(a: &[i32], b: &[i32]) -> i32 {
@@ -472,6 +505,30 @@ mod sse2 {
                 s11 += x1 * y1;
             }
             (s00, s01, s10, s11)
+        }
+    }
+
+    pub fn gemm2_i8(a0: &[i8], a1: &[i8], bt: &[i8], k: usize, out0: &mut [i32], out1: &mut [i32]) {
+        // Direct (inlinable) calls into this module's dot kernels: the panel
+        // form buys SSE2 the loss of the per-tile function-pointer dispatch,
+        // which is already most of the win at 128-bit width.
+        let n = out0.len().min(out1.len()).min(bt.len() / k.max(1));
+        let (a0, a1) = (&a0[..k], &a1[..k]);
+        let mut j = 0;
+        while j + 2 <= n {
+            let b0 = &bt[j * k..(j + 1) * k];
+            let b1 = &bt[(j + 1) * k..(j + 2) * k];
+            let (s00, s01, s10, s11) = dot4_i8(a0, a1, b0, b1);
+            out0[j] += s00;
+            out0[j + 1] += s01;
+            out1[j] += s10;
+            out1[j + 1] += s11;
+            j += 2;
+        }
+        if j < n {
+            let b0 = &bt[j * k..(j + 1) * k];
+            out0[j] += dot_i8(a0, b0);
+            out1[j] += dot_i8(a1, b0);
         }
     }
 
@@ -661,6 +718,84 @@ mod avx2 {
     pub fn dot4_i8(a0: &[i8], a1: &[i8], b0: &[i8], b1: &[i8]) -> (i32, i32, i32, i32) {
         // SAFETY: as `dot_i16`.
         unsafe { dot4_i8_impl(a0, a1, b0, b1) }
+    }
+
+    /// Reduces four 8-lane i32 accumulators to their four exact horizontal
+    /// sums `[Σc00, Σc01, Σc10, Σc11]` with two `hadd` levels — ~6
+    /// instructions for what four independent `hsum_epi32` calls spend ~24
+    /// on. Integer addition is associative, so the tree order is exact.
+    #[inline]
+    unsafe fn hsum4_epi32(c00: __m256i, c01: __m256i, c10: __m256i, c11: __m256i) -> __m128i {
+        let t0 = _mm256_hadd_epi32(c00, c01);
+        let t1 = _mm256_hadd_epi32(c10, c11);
+        let t2 = _mm256_hadd_epi32(t0, t1);
+        _mm_add_epi32(_mm256_castsi256_si128(t2), _mm256_extracti128_si256(t2, 1))
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn gemm2_i8_impl(
+        a0: &[i8],
+        a1: &[i8],
+        bt: &[i8],
+        k: usize,
+        out0: &mut [i32],
+        out1: &mut [i32],
+    ) {
+        let n = out0.len().min(out1.len()).min(bt.len() / k.max(1));
+        let chunks = k / 16;
+        let done = chunks * 16;
+        let mut j = 0;
+        while j + 2 <= n {
+            let b0 = bt.as_ptr().add(j * k);
+            let b1 = bt.as_ptr().add((j + 1) * k);
+            let mut c00 = _mm256_setzero_si256();
+            let mut c01 = _mm256_setzero_si256();
+            let mut c10 = _mm256_setzero_si256();
+            let mut c11 = _mm256_setzero_si256();
+            for i in 0..chunks {
+                let p = i * 16;
+                let va0 =
+                    _mm256_cvtepi8_epi16(_mm_loadu_si128(a0.as_ptr().add(p) as *const __m128i));
+                let va1 =
+                    _mm256_cvtepi8_epi16(_mm_loadu_si128(a1.as_ptr().add(p) as *const __m128i));
+                let vb0 = _mm256_cvtepi8_epi16(_mm_loadu_si128(b0.add(p) as *const __m128i));
+                let vb1 = _mm256_cvtepi8_epi16(_mm_loadu_si128(b1.add(p) as *const __m128i));
+                c00 = _mm256_add_epi32(c00, _mm256_madd_epi16(va0, vb0));
+                c01 = _mm256_add_epi32(c01, _mm256_madd_epi16(va0, vb1));
+                c10 = _mm256_add_epi32(c10, _mm256_madd_epi16(va1, vb0));
+                c11 = _mm256_add_epi32(c11, _mm256_madd_epi16(va1, vb1));
+            }
+            let mut sums = [0i32; 4];
+            _mm_storeu_si128(
+                sums.as_mut_ptr() as *mut __m128i,
+                hsum4_epi32(c00, c01, c10, c11),
+            );
+            for i in done..k {
+                let (x0, x1) = (*a0.get_unchecked(i) as i32, *a1.get_unchecked(i) as i32);
+                let (y0, y1) = (*b0.add(i) as i32, *b1.add(i) as i32);
+                sums[0] += x0 * y0;
+                sums[1] += x0 * y1;
+                sums[2] += x1 * y0;
+                sums[3] += x1 * y1;
+            }
+            *out0.get_unchecked_mut(j) += sums[0];
+            *out0.get_unchecked_mut(j + 1) += sums[1];
+            *out1.get_unchecked_mut(j) += sums[2];
+            *out1.get_unchecked_mut(j + 1) += sums[3];
+            j += 2;
+        }
+        if j < n {
+            let b0 = &bt[j * k..(j + 1) * k];
+            out0[j] += dot_i8(&a0[..k], b0);
+            out1[j] += dot_i8(&a1[..k], b0);
+        }
+    }
+
+    pub fn gemm2_i8(a0: &[i8], a1: &[i8], bt: &[i8], k: usize, out0: &mut [i32], out1: &mut [i32]) {
+        assert!(a0.len() >= k && a1.len() >= k, "gemm2_i8: lhs rows short");
+        // SAFETY: as `dot_i16`; the column count is clamped to what `bt` and
+        // both out rows can hold, and the lhs length is asserted above.
+        unsafe { gemm2_i8_impl(a0, a1, bt, k, out0, out1) }
     }
 
     #[target_feature(enable = "avx2")]
@@ -901,6 +1036,191 @@ mod avx512 {
         unsafe { dot4_i8_impl(a0, a1, b0, b1) }
     }
 
+    /// Folds a 16-lane i32 accumulator to 8 lanes (exact: integer addition).
+    #[inline]
+    unsafe fn fold_epi32(v: __m512i) -> __m256i {
+        _mm256_add_epi32(_mm512_castsi512_si256(v), _mm512_extracti64x4_epi64(v, 1))
+    }
+
+    /// Reduces four folded accumulators to `[Σc00, Σc01, Σc10, Σc11]` with
+    /// two `hadd` levels (cf. the AVX2 table's `hsum4_epi32`). AVX-512
+    /// implies AVX2, so the 256-bit `hadd` forms are always available here.
+    #[inline]
+    unsafe fn hsum4_epi32(c00: __m256i, c01: __m256i, c10: __m256i, c11: __m256i) -> __m128i {
+        let t0 = _mm256_hadd_epi32(c00, c01);
+        let t1 = _mm256_hadd_epi32(c10, c11);
+        let t2 = _mm256_hadd_epi32(t0, t1);
+        _mm_add_epi32(_mm256_castsi256_si128(t2), _mm256_extracti128_si256(t2, 1))
+    }
+
+    #[target_feature(enable = "avx512f", enable = "avx512bw", enable = "avx2")]
+    unsafe fn gemm2_i8_impl(
+        a0: &[i8],
+        a1: &[i8],
+        bt: &[i8],
+        k: usize,
+        out0: &mut [i32],
+        out1: &mut [i32],
+    ) {
+        let n = out0.len().min(out1.len()).min(bt.len() / k.max(1));
+        let chunks = k / 32;
+        let done = chunks * 32;
+        let mut j = 0;
+        while j + 2 <= n {
+            let b0 = bt.as_ptr().add(j * k);
+            let b1 = bt.as_ptr().add((j + 1) * k);
+            let mut c00 = _mm512_setzero_si512();
+            let mut c01 = _mm512_setzero_si512();
+            let mut c10 = _mm512_setzero_si512();
+            let mut c11 = _mm512_setzero_si512();
+            for i in 0..chunks {
+                let p = i * 32;
+                let va0 =
+                    _mm512_cvtepi8_epi16(_mm256_loadu_si256(a0.as_ptr().add(p) as *const __m256i));
+                let va1 =
+                    _mm512_cvtepi8_epi16(_mm256_loadu_si256(a1.as_ptr().add(p) as *const __m256i));
+                let vb0 = _mm512_cvtepi8_epi16(_mm256_loadu_si256(b0.add(p) as *const __m256i));
+                let vb1 = _mm512_cvtepi8_epi16(_mm256_loadu_si256(b1.add(p) as *const __m256i));
+                c00 = _mm512_add_epi32(c00, _mm512_madd_epi16(va0, vb0));
+                c01 = _mm512_add_epi32(c01, _mm512_madd_epi16(va0, vb1));
+                c10 = _mm512_add_epi32(c10, _mm512_madd_epi16(va1, vb0));
+                c11 = _mm512_add_epi32(c11, _mm512_madd_epi16(va1, vb1));
+            }
+            let mut sums = [0i32; 4];
+            _mm_storeu_si128(
+                sums.as_mut_ptr() as *mut __m128i,
+                hsum4_epi32(
+                    fold_epi32(c00),
+                    fold_epi32(c01),
+                    fold_epi32(c10),
+                    fold_epi32(c11),
+                ),
+            );
+            for i in done..k {
+                let (x0, x1) = (*a0.get_unchecked(i) as i32, *a1.get_unchecked(i) as i32);
+                let (y0, y1) = (*b0.add(i) as i32, *b1.add(i) as i32);
+                sums[0] += x0 * y0;
+                sums[1] += x0 * y1;
+                sums[2] += x1 * y0;
+                sums[3] += x1 * y1;
+            }
+            *out0.get_unchecked_mut(j) += sums[0];
+            *out0.get_unchecked_mut(j + 1) += sums[1];
+            *out1.get_unchecked_mut(j) += sums[2];
+            *out1.get_unchecked_mut(j + 1) += sums[3];
+            j += 2;
+        }
+        if j < n {
+            let b0 = &bt[j * k..(j + 1) * k];
+            out0[j] += dot_i8(&a0[..k], b0);
+            out1[j] += dot_i8(&a1[..k], b0);
+        }
+    }
+
+    pub fn gemm2_i8(a0: &[i8], a1: &[i8], bt: &[i8], k: usize, out0: &mut [i32], out1: &mut [i32]) {
+        assert!(a0.len() >= k && a1.len() >= k, "gemm2_i8: lhs rows short");
+        // SAFETY: as `dot_i16`; the column count is clamped to what `bt` and
+        // both out rows can hold, and the lhs length is asserted above.
+        unsafe { gemm2_i8_impl(a0, a1, bt, k, out0, out1) }
+    }
+
+    /// [`gemm2_i8`] on the AVX512-VNNI `vpdpbusd` path: rhs bytes are
+    /// biased to unsigned on load (`b ^ 0x80 = b + 128`), one instruction
+    /// fuses 64 u8×i8 MACs (4× the `vpmaddwd` form's per-instruction
+    /// throughput, with no widening converts), and the bias is removed
+    /// exactly afterwards via `Σ(b+128)·a = Σa·b + 128·Σa` — all in i32,
+    /// so the result is bit-identical to the signed form.
+    #[target_feature(
+        enable = "avx512f",
+        enable = "avx512bw",
+        enable = "avx512vnni",
+        enable = "avx2"
+    )]
+    unsafe fn gemm2_i8_vnni_impl(
+        a0: &[i8],
+        a1: &[i8],
+        bt: &[i8],
+        k: usize,
+        out0: &mut [i32],
+        out1: &mut [i32],
+    ) {
+        let n = out0.len().min(out1.len()).min(bt.len() / k.max(1));
+        let chunks = k / 64;
+        let done = chunks * 64;
+        // 128·Σa over the vectorized prefix (the scalar tail multiplies
+        // unbiased bytes, so it needs no correction).
+        let (mut sub0, mut sub1) = (0i32, 0i32);
+        for i in 0..done {
+            sub0 += *a0.get_unchecked(i) as i32;
+            sub1 += *a1.get_unchecked(i) as i32;
+        }
+        sub0 *= 128;
+        sub1 *= 128;
+        let flip = _mm512_set1_epi8(-128);
+        let mut j = 0;
+        while j + 2 <= n {
+            let b0 = bt.as_ptr().add(j * k);
+            let b1 = bt.as_ptr().add((j + 1) * k);
+            let mut c00 = _mm512_setzero_si512();
+            let mut c01 = _mm512_setzero_si512();
+            let mut c10 = _mm512_setzero_si512();
+            let mut c11 = _mm512_setzero_si512();
+            for i in 0..chunks {
+                let p = i * 64;
+                let va0 = _mm512_loadu_si512(a0.as_ptr().add(p) as *const __m512i);
+                let va1 = _mm512_loadu_si512(a1.as_ptr().add(p) as *const __m512i);
+                let vb0 = _mm512_xor_si512(_mm512_loadu_si512(b0.add(p) as *const __m512i), flip);
+                let vb1 = _mm512_xor_si512(_mm512_loadu_si512(b1.add(p) as *const __m512i), flip);
+                c00 = _mm512_dpbusd_epi32(c00, vb0, va0);
+                c01 = _mm512_dpbusd_epi32(c01, vb1, va0);
+                c10 = _mm512_dpbusd_epi32(c10, vb0, va1);
+                c11 = _mm512_dpbusd_epi32(c11, vb1, va1);
+            }
+            let mut sums = [0i32; 4];
+            _mm_storeu_si128(
+                sums.as_mut_ptr() as *mut __m128i,
+                hsum4_epi32(
+                    fold_epi32(c00),
+                    fold_epi32(c01),
+                    fold_epi32(c10),
+                    fold_epi32(c11),
+                ),
+            );
+            for i in done..k {
+                let (x0, x1) = (*a0.get_unchecked(i) as i32, *a1.get_unchecked(i) as i32);
+                let (y0, y1) = (*b0.add(i) as i32, *b1.add(i) as i32);
+                sums[0] += x0 * y0;
+                sums[1] += x0 * y1;
+                sums[2] += x1 * y0;
+                sums[3] += x1 * y1;
+            }
+            *out0.get_unchecked_mut(j) += sums[0] - sub0;
+            *out0.get_unchecked_mut(j + 1) += sums[1] - sub0;
+            *out1.get_unchecked_mut(j) += sums[2] - sub1;
+            *out1.get_unchecked_mut(j + 1) += sums[3] - sub1;
+            j += 2;
+        }
+        if j < n {
+            let b0 = &bt[j * k..(j + 1) * k];
+            out0[j] += dot_i8(&a0[..k], b0);
+            out1[j] += dot_i8(&a1[..k], b0);
+        }
+    }
+
+    pub fn gemm2_i8_vnni(
+        a0: &[i8],
+        a1: &[i8],
+        bt: &[i8],
+        k: usize,
+        out0: &mut [i32],
+        out1: &mut [i32],
+    ) {
+        assert!(a0.len() >= k && a1.len() >= k, "gemm2_i8: lhs rows short");
+        // SAFETY: as `gemm2_i8`; only installed in the table when
+        // `avx512vnni` is detected.
+        unsafe { gemm2_i8_vnni_impl(a0, a1, bt, k, out0, out1) }
+    }
+
     #[target_feature(enable = "avx512f")]
     unsafe fn dot_i32_impl(a: &[i32], b: &[i32]) -> i32 {
         let n = a.len().min(b.len());
@@ -1021,6 +1341,31 @@ mod tests {
             let k = kernels_for(isa);
             assert_eq!((k.dot_i16)(&a16, &b16), reference.0, "{isa} dot_i16");
             assert_eq!((k.dot_i8)(&a8, &b8), reference.1, "{isa} dot_i8");
+        }
+    }
+
+    /// Every ISA's panel kernel must reproduce the scalar sums bit for bit —
+    /// across odd column counts, k values that leave scalar tails, and the
+    /// full corrupted i8 domain (±128).
+    #[test]
+    fn gemm2_i8_matches_scalar_on_every_supported_table() {
+        for (k, n) in [(1usize, 5usize), (16, 8), (27, 7), (64, 32), (108, 33)] {
+            let a0: Vec<i8> = (0..k).map(|i| ((i * 97 + 13) % 256) as u8 as i8).collect();
+            let a1: Vec<i8> = (0..k).map(|i| ((i * 41 + 128) % 256) as u8 as i8).collect();
+            let bt: Vec<i8> = (0..n * k)
+                .map(|i| ((i * 61 + 7) % 256) as u8 as i8)
+                .collect();
+            let mut want0 = vec![3i32; n];
+            let mut want1 = vec![-5i32; n];
+            scalar::gemm2_i8(&a0, &a1, &bt, k, &mut want0, &mut want1);
+            for isa in Isa::all().into_iter().filter(|i| i.is_supported()) {
+                let kr = kernels_for(isa);
+                let mut got0 = vec![3i32; n];
+                let mut got1 = vec![-5i32; n];
+                (kr.gemm2_i8)(&a0, &a1, &bt, k, &mut got0, &mut got1);
+                assert_eq!(got0, want0, "{isa} gemm2_i8 row0 at k={k} n={n}");
+                assert_eq!(got1, want1, "{isa} gemm2_i8 row1 at k={k} n={n}");
+            }
         }
     }
 
